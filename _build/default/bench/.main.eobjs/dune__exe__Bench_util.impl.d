@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Buffer Fun Hashtbl Option Printf Rrms_core Rrms_dataset Rrms_rng Unix

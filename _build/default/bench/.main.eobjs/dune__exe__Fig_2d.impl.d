@@ -1,0 +1,1 @@
+bench/fig_2d.ml: Array Bench_util List Rrms_core Rrms_dataset Rrms_rng Rrms_skyline

@@ -1,0 +1,1 @@
+bench/fig_ablation.ml: Array Bench_util List Printf Rrms_core Rrms_dataset Rrms_rng

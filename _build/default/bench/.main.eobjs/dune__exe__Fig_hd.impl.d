@@ -1,0 +1,1 @@
+bench/fig_hd.ml: Array Bench_util List Printf Rrms_core Rrms_dataset Rrms_skyline

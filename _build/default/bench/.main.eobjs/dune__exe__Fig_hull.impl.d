@@ -1,0 +1,1 @@
+bench/fig_hull.ml: Bench_util List Rrms_core Rrms_dataset Rrms_rng

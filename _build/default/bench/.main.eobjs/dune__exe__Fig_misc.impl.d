@@ -1,0 +1,1 @@
+bench/fig_misc.ml: Array Bench_util List Printf Rrms_core Rrms_dataset Rrms_geom Rrms_rng Rrms_skyline

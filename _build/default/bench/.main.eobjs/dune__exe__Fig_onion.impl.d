@@ -1,0 +1,1 @@
+bench/fig_onion.ml: Array Bench_util Float List Printf Rrms_core Rrms_dataset Rrms_geom Rrms_rng

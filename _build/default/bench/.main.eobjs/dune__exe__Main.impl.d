@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_util Fig_2d Fig_ablation Fig_hd Fig_hull Fig_misc Fig_onion List Micro Printf String Unix

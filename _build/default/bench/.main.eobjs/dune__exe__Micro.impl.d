@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Rrms_core Rrms_geom Rrms_lp Rrms_rng Rrms_setcover Rrms_skyline Staged Test Time Toolkit

@@ -1,0 +1,149 @@
+(* Figures 8-12: the two-dimensional experiments.
+
+   Following §6.1, the 2D-RRMS time is the SUM of a Block-Nested-Loop
+   skyline pass (the paper's preprocessing) and the algorithm proper;
+   Sweeping-Line works on the raw points.  Sweeping-Line is Θ(n²), so
+   it is only run up to a cap and reported as skipped beyond it — the
+   paper's own figures stop timing it for the same reason (tens of
+   thousands of seconds). *)
+
+open Bench_util
+
+let sweepline_cap = function Small -> 20_000 | Paper -> 40_000
+
+let run_pair fig ~scale ~series_suffix ~r points =
+  let n = Array.length points in
+  let x = string_of_int n in
+  (* 2D-RRMS = BNL skyline + the published DP; the corrected exact
+     variant (DESIGN.md §5) is reported alongside. *)
+  let _, t_bnl = time (fun () -> Rrms_skyline.Skyline.bnl points) in
+  let res, t_dp = time (fun () -> Rrms_core.Rrms2d.solve points ~r) in
+  row fig ~x ~x_name:"n"
+    ~series:("2DRRMS" ^ series_suffix)
+    ~time:(t_bnl +. t_dp) ~regret:res.Rrms_core.Rrms2d.regret ();
+  let ex, t_ex = time (fun () -> Rrms_core.Rrms2d.solve_exact points ~r) in
+  row fig ~x ~x_name:"n"
+    ~series:("2DRRMS-exact" ^ series_suffix)
+    ~time:(t_bnl +. t_ex) ~regret:ex.Rrms_core.Rrms2d.regret ();
+  if n <= sweepline_cap scale then begin
+    let sl, t_sl = time (fun () -> Rrms_core.Sweepline.solve points ~r) in
+    row fig ~x ~x_name:"n"
+      ~series:("SweepingLine" ^ series_suffix)
+      ~time:t_sl ~regret:sl.Rrms_core.Sweepline.regret ()
+  end
+  else
+    skipped fig ~x ~x_name:"n"
+      ~series:("SweepingLine" ^ series_suffix)
+      ~reason:"quadratic-cap" ()
+
+(* Figure 8: time vs n on the three correlation families. *)
+let fig8 scale =
+  header "fig8" "2D, time vs dataset size (3 correlation families)";
+  let ns =
+    match scale with
+    | Small -> [ 5_000; 20_000; 50_000; 200_000 ]
+    | Paper -> [ 5_000; 20_000; 50_000; 200_000; 500_000; 1_000_000 ]
+  in
+  List.iter
+    (fun kind ->
+      let biggest = List.fold_left max 0 ns in
+      let d = synthetic kind ~n:biggest ~m:2 in
+      List.iter
+        (fun n ->
+          let points =
+            Rrms_dataset.Dataset.rows (Rrms_dataset.Dataset.take d n)
+          in
+          run_pair "fig8" ~scale
+            ~series_suffix:("/" ^ correlation_name kind)
+            ~r:5 points)
+        ns)
+    correlations
+
+(* Figure 9: time vs output size r (n fixed). *)
+let fig9 scale =
+  header "fig9" "2D, time vs output size r";
+  let n = match scale with Small -> 5_000 | Paper -> 40_000 in
+  List.iter
+    (fun kind ->
+      let d = synthetic kind ~n ~m:2 in
+      let points = Rrms_dataset.Dataset.rows d in
+      List.iter
+        (fun r ->
+          let _, t_bnl = time (fun () -> Rrms_skyline.Skyline.bnl points) in
+          let res, t_dp = time (fun () -> Rrms_core.Rrms2d.solve points ~r) in
+          row "fig9" ~x:(string_of_int r) ~x_name:"r"
+            ~series:("2DRRMS/" ^ correlation_name kind)
+            ~time:(t_bnl +. t_dp) ~regret:res.Rrms_core.Rrms2d.regret ();
+          let ex, t_ex =
+            time (fun () -> Rrms_core.Rrms2d.solve_exact points ~r)
+          in
+          row "fig9" ~x:(string_of_int r) ~x_name:"r"
+            ~series:("2DRRMS-exact/" ^ correlation_name kind)
+            ~time:(t_bnl +. t_ex) ~regret:ex.Rrms_core.Rrms2d.regret ();
+          if n <= sweepline_cap scale then begin
+            let sl, t_sl = time (fun () -> Rrms_core.Sweepline.solve points ~r) in
+            row "fig9" ~x:(string_of_int r) ~x_name:"r"
+              ~series:("SweepingLine/" ^ correlation_name kind)
+              ~time:t_sl ~regret:sl.Rrms_core.Sweepline.regret ()
+          end)
+        [ 3; 4; 5; 6; 7; 8; 9; 10 ])
+    correlations
+
+(* Figure 10: skyline-only datasets (every tuple on the skyline). *)
+let fig10 scale =
+  header "fig10" "2D, skyline-only datasets: time vs skyline size";
+  let sizes =
+    match scale with
+    | Small -> [ 300; 600; 1_200; 2_400; 5_000 ]
+    | Paper -> [ 1_212; 2_431; 3_782; 5_335; 8_488; 12_032 ]
+  in
+  List.iter
+    (fun target ->
+      let rng = Rrms_rng.Rng.create (seed_of ("fig10", target)) in
+      let d = Rrms_dataset.Synthetic.skyline_only_2d rng ~target in
+      let points = Rrms_dataset.Dataset.rows d in
+      let x = string_of_int target in
+      let res, t_dp = time (fun () -> Rrms_core.Rrms2d.solve points ~r:5) in
+      row "fig10" ~x ~x_name:"s" ~series:"2DRRMS" ~time:t_dp
+        ~regret:res.Rrms_core.Rrms2d.regret ();
+      let ex, t_ex = time (fun () -> Rrms_core.Rrms2d.solve_exact points ~r:5) in
+      row "fig10" ~x ~x_name:"s" ~series:"2DRRMS-exact" ~time:t_ex
+        ~regret:ex.Rrms_core.Rrms2d.regret ();
+      let sl, t_sl = time (fun () -> Rrms_core.Sweepline.solve points ~r:5) in
+      row "fig10" ~x ~x_name:"s" ~series:"SweepingLine" ~time:t_sl
+        ~regret:sl.Rrms_core.Sweepline.regret ())
+    sizes
+
+(* Figure 11: simulated NBA restricted to two attributes. *)
+let fig11 scale =
+  header "fig11" "2D, NBA-sim (pts, reb): time vs n";
+  let ns =
+    match scale with
+    | Small -> [ 5_000; 10_000; 15_000; 20_000 ]
+    | Paper -> [ 5_000; 10_000; 15_000; 20_000 ]
+  in
+  let biggest = List.fold_left max 0 ns in
+  let full = nba ~n:biggest in
+  List.iter
+    (fun n ->
+      let d = Rrms_dataset.Dataset.take full n in
+      let points = project_rows d 2 in
+      run_pair "fig11" ~scale ~series_suffix:"" ~r:5 points)
+    ns
+
+(* Figure 12: simulated Airline at larger scale. *)
+let fig12 scale =
+  header "fig12" "2D, Airline-sim: time vs n";
+  let ns =
+    match scale with
+    | Small -> [ 100_000; 250_000; 500_000 ]
+    | Paper -> [ 250_000; 500_000; 1_000_000; 2_000_000 ]
+  in
+  let biggest = List.fold_left max 0 ns in
+  let full = airline ~n:biggest in
+  List.iter
+    (fun n ->
+      let d = Rrms_dataset.Dataset.take full n in
+      let points = normalized_rows d in
+      run_pair "fig12" ~scale ~series_suffix:"" ~r:5 points)
+    ns

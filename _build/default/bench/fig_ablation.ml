@@ -1,0 +1,170 @@
+(* Ablation benches for the design choices DESIGN.md calls out:
+
+   - abl-discretize: the §4.3 polar grid vs the two §5.2 alternatives
+     (uniform random, force-directed) at the same |F|: covering radius
+     of the direction sample and end-to-end HD-RRMS regret.
+   - abl-mrst: the practical greedy set-cover oracle vs the theoretical
+     exact one: accepted ε_min, output regret and time.
+   - abl-greedy-skyline: GREEDY's candidate LPs over all tuples (as
+     published) vs over the skyline only.
+   - abl-cube: the CUBE baseline vs HD-RRMS at equal budget. *)
+
+open Bench_util
+
+let discretize scale =
+  header "abl-discretize" "grid vs random vs force-directed directions";
+  let n = match scale with Small -> 5_000 | Paper -> 20_000 in
+  let m = 3 and gamma = 4 and r = 5 in
+  let d = synthetic `Independent ~n ~m in
+  let points = Rrms_dataset.Dataset.rows d in
+  let count = (gamma + 1) * (gamma + 1) in
+  let schemes =
+    [
+      ("grid", Rrms_core.Discretize.grid ~gamma ~m);
+      ( "random",
+        Rrms_core.Discretize.random
+          (Rrms_rng.Rng.create (seed_of "abl-rand"))
+          ~count ~m );
+      ( "force-directed",
+        Rrms_core.Discretize.force_directed
+          (Rrms_rng.Rng.create (seed_of "abl-force"))
+          ~count ~m );
+    ]
+  in
+  List.iter
+    (fun (name, funcs) ->
+      let coverage =
+        Rrms_core.Discretize.max_coverage_angle ~samples:3000
+          (Rrms_rng.Rng.create (seed_of ("abl-cov", name)))
+          funcs ~m
+      in
+      Printf.printf "[abl-discretize] scheme=%s coverage-angle=%.4f\n" name
+        coverage;
+      let res, t =
+        time (fun () -> Rrms_core.Hd_rrms.solve ~funcs points ~r)
+      in
+      row "abl-discretize" ~x:name ~x_name:"scheme" ~series:"HDRRMS" ~time:t
+        ~regret:(exact_regret points res.Rrms_core.Hd_rrms.selected)
+        ())
+    schemes
+
+let mrst scale =
+  header "abl-mrst" "greedy vs exact set-cover oracle inside HD-RRMS";
+  let n = match scale with Small -> 2_000 | Paper -> 5_000 in
+  let d = synthetic `Independent ~n ~m:3 in
+  let points = Rrms_dataset.Dataset.rows d in
+  List.iter
+    (fun (name, solver) ->
+      let res, t =
+        time (fun () ->
+            Rrms_core.Hd_rrms.solve ~gamma:4 ~solver points ~r:4)
+      in
+      Printf.printf "[abl-mrst] solver=%s eps-min=%.4f\n" name
+        res.Rrms_core.Hd_rrms.eps_min;
+      row "abl-mrst" ~x:name ~x_name:"solver" ~series:"HDRRMS" ~time:t
+        ~regret:(exact_regret points res.Rrms_core.Hd_rrms.selected)
+        ())
+    [ ("greedy", Rrms_core.Mrst.Greedy); ("exact", Rrms_core.Mrst.Exact) ]
+
+let greedy_skyline scale =
+  header "abl-greedy-skyline" "GREEDY candidate LPs: all tuples vs skyline";
+  let n = match scale with Small -> 20_000 | Paper -> 100_000 in
+  let d = synthetic `Independent ~n ~m:4 in
+  let points = Rrms_dataset.Dataset.rows d in
+  List.iter
+    (fun (name, restrict) ->
+      let res, t =
+        time (fun () ->
+            Rrms_core.Greedy.solve ~restrict_to_skyline:restrict points ~r:5)
+      in
+      row "abl-greedy-skyline" ~x:name ~x_name:"candidates" ~series:"GREEDY"
+        ~time:t ~regret:res.Rrms_core.Greedy.regret_lp ())
+    [ ("all", false); ("skyline", true) ]
+
+let cube scale =
+  header "abl-cube" "CUBE baseline vs HD-RRMS at equal budget";
+  let n = match scale with Small -> 10_000 | Paper -> 50_000 in
+  List.iter
+    (fun kind ->
+      let d = synthetic kind ~n ~m:3 in
+      let points = Rrms_dataset.Dataset.rows d in
+      let r = 9 in
+      let c, t_c = time (fun () -> Rrms_core.Cube.solve points ~r) in
+      row "abl-cube"
+        ~x:(correlation_name kind)
+        ~x_name:"data" ~series:"CUBE" ~time:t_c
+        ~regret:(exact_regret points c.Rrms_core.Cube.selected)
+        ();
+      let hd, t_hd = time (fun () -> Rrms_core.Hd_rrms.solve ~gamma:4 points ~r) in
+      row "abl-cube"
+        ~x:(correlation_name kind)
+        ~x_name:"data" ~series:"HDRRMS" ~time:t_hd
+        ~regret:(exact_regret points hd.Rrms_core.Hd_rrms.selected)
+        ())
+    correlations
+
+let eps_kernel scale =
+  header "abl-kernel" "ε-kernel (regret-first) vs HD-RRMS (size-first)";
+  let n = match scale with Small -> 10_000 | Paper -> 50_000 in
+  List.iter
+    (fun kind ->
+      let d = synthetic kind ~n ~m:3 in
+      let points = Rrms_dataset.Dataset.rows d in
+      List.iter
+        (fun gamma ->
+          let kernel, t =
+            time (fun () -> Rrms_core.Eps_kernel.build_grid ~gamma points)
+          in
+          row "abl-kernel"
+            ~x:(string_of_int gamma)
+            ~x_name:"gamma"
+            ~series:("kernel/" ^ correlation_name kind)
+            ~time:t
+            ~count:(Array.length kernel)
+            ~regret:(exact_regret points kernel)
+            ();
+          (* HD-RRMS at the kernel's size, for the opposite trade-off. *)
+          let r = max 1 (Array.length kernel) in
+          let hd, t_hd =
+            time (fun () -> Rrms_core.Hd_rrms.solve ~gamma points ~r)
+          in
+          row "abl-kernel"
+            ~x:(string_of_int gamma)
+            ~x_name:"gamma"
+            ~series:("hdrrms-samesize/" ^ correlation_name kind)
+            ~time:t_hd
+            ~count:(Array.length hd.Rrms_core.Hd_rrms.selected)
+            ~regret:(exact_regret points hd.Rrms_core.Hd_rrms.selected)
+            ())
+        [ 2; 4; 6 ])
+    correlations
+
+let seeds scale =
+  header "abl-seeds" "GREEDY seed strategies (§6.2)";
+  let n = match scale with Small -> 2_000 | Paper -> 10_000 in
+  List.iter
+    (fun kind ->
+      let d = synthetic kind ~n ~m:3 in
+      let points = Rrms_dataset.Dataset.rows d in
+      List.iter
+        (fun (name, seed) ->
+          let res, t =
+            time (fun () -> Rrms_core.Greedy.solve ~seed points ~r:5)
+          in
+          row "abl-seeds" ~x:name ~x_name:"seed"
+            ~series:("GREEDY/" ^ correlation_name kind)
+            ~time:t ~regret:res.Rrms_core.Greedy.regret_lp ())
+        [
+          ("first-attribute", Rrms_core.Greedy.First_attribute);
+          ("best-singleton", Rrms_core.Greedy.Best_singleton);
+          ("all-seeds", Rrms_core.Greedy.All_seeds);
+        ])
+    correlations
+
+let run scale =
+  discretize scale;
+  mrst scale;
+  greedy_skyline scale;
+  cube scale;
+  eps_kernel scale;
+  seeds scale

@@ -1,0 +1,198 @@
+(* Figures 13-30: the high-dimensional experiments.
+
+   Each run times the three competitors on identical data and reports
+   the exact (LP-evaluated) maximum regret ratio of every output.
+   GREEDY's cost is O(n·r) LPs, so it is capped like in the paper's
+   narrative (it "did not scale"); HD-RRMS and HD-GREEDY include their
+   internal skyline pass in the reported time, as the paper does. *)
+
+open Bench_util
+
+let greedy_cap = function Small -> 50_000 | Paper -> 200_000
+
+(* Run the three HD algorithms on one configuration and print a row
+   per algorithm. *)
+let run_trio fig ~scale ~x ~x_name ~suffix ~r ~gamma points =
+  let hd, t_hd = time (fun () -> Rrms_core.Hd_rrms.solve ~gamma points ~r) in
+  row fig ~x ~x_name ~series:("HDRRMS" ^ suffix) ~time:t_hd
+    ~regret:(exact_regret points hd.Rrms_core.Hd_rrms.selected)
+    ();
+  let hg, t_hg = time (fun () -> Rrms_core.Hd_greedy.solve ~gamma points ~r) in
+  row fig ~x ~x_name ~series:("HDGREEDY" ^ suffix) ~time:t_hg
+    ~regret:(exact_regret points hg.Rrms_core.Hd_greedy.selected)
+    ();
+  if Array.length points <= greedy_cap scale then begin
+    let g, t_g = time (fun () -> Rrms_core.Greedy.solve points ~r) in
+    row fig ~x ~x_name ~series:("GREEDY" ^ suffix) ~time:t_g
+      ~regret:g.Rrms_core.Greedy.regret_lp ()
+  end
+  else
+    skipped fig ~x ~x_name ~series:("GREEDY" ^ suffix) ~reason:"lp-cap" ()
+
+(* Figures 13-15 (+16): vary n on the three correlation families. *)
+let fig_n scale =
+  let ns =
+    match scale with
+    | Small -> [ 1_000; 5_000; 20_000; 50_000 ]
+    | Paper -> [ 10_000; 50_000; 100_000; 250_000 ]
+  in
+  List.iteri
+    (fun idx kind ->
+      let fig = Printf.sprintf "fig%d" (13 + idx) in
+      header fig
+        (Printf.sprintf "HD, time+regret vs n (%s)" (correlation_name kind));
+      let biggest = List.fold_left max 0 ns in
+      let d = synthetic kind ~n:biggest ~m:4 in
+      List.iter
+        (fun n ->
+          let points =
+            Rrms_dataset.Dataset.rows (Rrms_dataset.Dataset.take d n)
+          in
+          run_trio fig ~scale ~x:(string_of_int n) ~x_name:"n" ~suffix:"" ~r:5
+            ~gamma:4 points;
+          (* Figure 16: the skyline sizes behind the same runs. *)
+          let s, t_s = time (fun () -> Rrms_skyline.Skyline.size_of points) in
+          row "fig16" ~x:(string_of_int n) ~x_name:"n"
+            ~series:("skyline/" ^ correlation_name kind)
+            ~time:t_s ~count:s ())
+        ns)
+    correlations
+
+(* Figures 17-19 (+20): vary the number of attributes m. *)
+let fig_m scale =
+  (* m is capped at 7: the γ-grid matrix needs s·(γ+1)^(m-1) cells, and
+     at m=8, γ=3 an anti-correlated skyline of ~10K rows would already
+     need >1 GB (EXPERIMENTS.md argues the paper's own m=10 sweep cannot
+     have been literal either). *)
+  let n, gamma, ms =
+    match scale with
+    | Small -> (2_000, 3, [ 4; 5; 6; 7 ])
+    | Paper -> (10_000, 3, [ 4; 5; 6; 7 ])
+  in
+  List.iteri
+    (fun idx kind ->
+      let fig = Printf.sprintf "fig%d" (17 + idx) in
+      header fig
+        (Printf.sprintf "HD, time+regret vs m (%s, γ=%d)"
+           (correlation_name kind) gamma);
+      List.iter
+        (fun m ->
+          let d = synthetic kind ~n ~m in
+          let points = Rrms_dataset.Dataset.rows d in
+          run_trio fig ~scale ~x:(string_of_int m) ~x_name:"m" ~suffix:"" ~r:5
+            ~gamma points)
+        ms)
+    correlations;
+  header "fig20" "HD, skyline size vs m";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun m ->
+          let d = synthetic kind ~n ~m in
+          let points = Rrms_dataset.Dataset.rows d in
+          let s, t_s = time (fun () -> Rrms_skyline.Skyline.size_of points) in
+          row "fig20" ~x:(string_of_int m) ~x_name:"m"
+            ~series:("skyline/" ^ correlation_name kind)
+            ~time:t_s ~count:s ())
+        (3 :: ms))
+    correlations
+
+(* Figures 21-23: vary the output size r. *)
+let fig_r scale =
+  let n = match scale with Small -> 10_000 | Paper -> 10_000 in
+  List.iteri
+    (fun idx kind ->
+      let fig = Printf.sprintf "fig%d" (21 + idx) in
+      header fig
+        (Printf.sprintf "HD, time+regret vs r (%s)" (correlation_name kind));
+      let d = synthetic kind ~n ~m:4 in
+      let points = Rrms_dataset.Dataset.rows d in
+      List.iter
+        (fun r ->
+          run_trio fig ~scale ~x:(string_of_int r) ~x_name:"r" ~suffix:"" ~r
+            ~gamma:4 points)
+        [ 2; 3; 4; 5; 6; 7 ])
+    correlations
+
+(* Figures 24-26: vary the discretization parameter γ (HD-RRMS and
+   HD-GREEDY only, as in the paper). *)
+let fig_gamma scale =
+  let n = 10_000 in
+  let gammas =
+    match scale with
+    | Small -> [ 2; 4; 6; 8; 10 ]
+    | Paper -> [ 2; 4; 6; 8; 10; 12; 14 ]
+  in
+  List.iteri
+    (fun idx kind ->
+      let fig = Printf.sprintf "fig%d" (24 + idx) in
+      header fig
+        (Printf.sprintf "HD, impact of γ (%s)" (correlation_name kind));
+      let d = synthetic kind ~n ~m:4 in
+      let points = Rrms_dataset.Dataset.rows d in
+      List.iter
+        (fun gamma ->
+          let hd, t_hd =
+            time (fun () -> Rrms_core.Hd_rrms.solve ~gamma points ~r:5)
+          in
+          row fig ~x:(string_of_int gamma) ~x_name:"gamma" ~series:"HDRRMS"
+            ~time:t_hd
+            ~regret:(exact_regret points hd.Rrms_core.Hd_rrms.selected)
+            ();
+          let hg, t_hg =
+            time (fun () -> Rrms_core.Hd_greedy.solve ~gamma points ~r:5)
+          in
+          row fig ~x:(string_of_int gamma) ~x_name:"gamma" ~series:"HDGREEDY"
+            ~time:t_hg
+            ~regret:(exact_regret points hg.Rrms_core.Hd_greedy.selected)
+            ())
+        gammas)
+    correlations
+
+(* Figures 27-30: the simulated DOT and NBA datasets. *)
+let fig_real scale =
+  (* Figure 27: DOT, vary n (m = 4, γ = 6 as in §6.3). *)
+  header "fig27" "HD, DOT-sim: time+regret vs n";
+  let ns27 =
+    match scale with
+    | Small -> [ 25_000; 50_000; 100_000 ]
+    | Paper -> [ 100_000; 200_000; 400_000 ]
+  in
+  let dot_full = dot ~n:(List.fold_left max 0 ns27) in
+  List.iter
+    (fun n ->
+      let d = Rrms_dataset.Dataset.take dot_full n in
+      let points = project_rows d 4 in
+      run_trio "fig27" ~scale ~x:(string_of_int n) ~x_name:"n" ~suffix:"" ~r:5
+        ~gamma:6 points)
+    ns27;
+  (* Figure 28: DOT, vary m (γ = 4 to keep the grid tractable at m=6). *)
+  header "fig28" "HD, DOT-sim: time+regret vs m";
+  let n28 = match scale with Small -> 25_000 | Paper -> 100_000 in
+  let d28 = Rrms_dataset.Dataset.take dot_full n28 in
+  List.iter
+    (fun m ->
+      let points = project_rows d28 m in
+      run_trio "fig28" ~scale ~x:(string_of_int m) ~x_name:"m" ~suffix:"" ~r:5
+        ~gamma:4 points)
+    [ 3; 4; 5; 6 ];
+  (* Figure 29: NBA, vary n (m = 4, γ = 6). *)
+  header "fig29" "HD, NBA-sim: time+regret vs n";
+  let ns29 = [ 5_000; 10_000; 15_000; 20_000 ] in
+  let nba_full = nba ~n:(List.fold_left max 0 ns29) in
+  List.iter
+    (fun n ->
+      let d = Rrms_dataset.Dataset.take nba_full n in
+      let points = project_rows d 4 in
+      run_trio "fig29" ~scale ~x:(string_of_int n) ~x_name:"n" ~suffix:"" ~r:5
+        ~gamma:6 points)
+    ns29;
+  (* Figure 30: NBA, vary m. *)
+  header "fig30" "HD, NBA-sim: time+regret vs m";
+  let d30 = Rrms_dataset.Dataset.take nba_full 10_000 in
+  List.iter
+    (fun m ->
+      let points = project_rows d30 m in
+      run_trio "fig30" ~scale ~x:(string_of_int m) ~x_name:"m" ~suffix:"" ~r:5
+        ~gamma:4 points)
+    [ 3; 4; 5; 6 ]

@@ -1,0 +1,37 @@
+(* Figure 1: convex-hull size versus the number of attributes on
+   uniformly distributed data.  The paper's point: the hull explodes
+   with m, so it cannot serve as a compact representative.
+
+   The LP extreme-point test is O(n) LPs with O(n) variables each, so
+   the sample is scaled down; the growth *shape* (superlinear in m) is
+   what matters. *)
+
+open Bench_util
+
+let run scale =
+  header "fig1" "convex hull size vs number of attributes (uniform data)";
+  let n = match scale with Small -> 400 | Paper -> 1500 in
+  let ms = [ 2; 3; 4; 5; 6 ] in
+  List.iter
+    (fun m ->
+      let d = synthetic `Independent ~n ~m in
+      let points = Rrms_dataset.Dataset.rows d in
+      let count, t = time (fun () -> Rrms_core.Regret.convex_hull_size points) in
+      row "fig1" ~x:(string_of_int m) ~x_name:"m" ~series:"hull-size" ~time:t
+        ~count ())
+    ms;
+  (* Companion curve at larger n via sampled maxima counting (cheap
+     lower bound): same qualitative growth without the LP cost. *)
+  let n_big = match scale with Small -> 20_000 | Paper -> 100_000 in
+  List.iter
+    (fun m ->
+      let d = synthetic `Independent ~n:n_big ~m in
+      let points = Rrms_dataset.Dataset.rows d in
+      let rng = Rrms_rng.Rng.create (seed_of ("fig1-sample", m)) in
+      let funcs = Rrms_core.Discretize.random rng ~count:20_000 ~m in
+      let count, t =
+        time (fun () -> Rrms_core.Regret.maxima_count_sampled ~points ~funcs)
+      in
+      row "fig1" ~x:(string_of_int m) ~x_name:"m" ~series:"maxima-sampled"
+        ~time:t ~count ())
+    ms

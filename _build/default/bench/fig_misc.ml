@@ -1,0 +1,86 @@
+(* Figure 31 and the two "adopting the state-of-the-art" experiments of
+   §6.3, plus the §4.1 GREEDY pathological gadget. *)
+
+open Bench_util
+
+(* Figure 31: the k-dominant-skyline adaptation.  The paper's point is
+   a negative one: on all three families the binary search over k
+   returns the empty set (k = m-1 already kills everything), and only
+   the running time is worth plotting. *)
+let fig31 scale =
+  header "fig31" "k-dominant skyline adaptation (returns empty sets)";
+  let n = match scale with Small -> 4_000 | Paper -> 10_000 in
+  List.iter
+    (fun kind ->
+      let d = synthetic kind ~n ~m:4 in
+      let points = Rrms_dataset.Dataset.rows d in
+      List.iter
+        (fun r ->
+          let set, t =
+            time (fun () -> Rrms_skyline.Kdom.adapt_for_size ~r points)
+          in
+          row "fig31" ~x:(string_of_int r) ~x_name:"r"
+            ~series:("kdom/" ^ correlation_name kind)
+            ~time:t ~count:(Array.length set) ())
+        [ 2; 4; 6 ])
+    correlations
+
+(* §4.1: the gadget on which GREEDY's approximation ratio is unbounded.
+   With ε = 1/(2+v), GREEDY r=3 returns regret ~1-2ε while the optimum
+   is ~ε. *)
+let gadget _scale =
+  header "gadget" "§4.1 GREEDY pathological example";
+  List.iter
+    (fun epsilon ->
+      let rng = Rrms_rng.Rng.create (seed_of ("gadget", epsilon)) in
+      let d =
+        Rrms_dataset.Synthetic.greedy_pathological ~epsilon ~extra:100 rng
+      in
+      let points = Rrms_dataset.Dataset.rows d in
+      let x = Printf.sprintf "%.3f" epsilon in
+      let g, t_g = time (fun () -> Rrms_core.Greedy.solve points ~r:3) in
+      row "gadget" ~x ~x_name:"eps" ~series:"GREEDY" ~time:t_g
+        ~regret:g.Rrms_core.Greedy.regret_lp ();
+      let hd, t_hd =
+        time (fun () -> Rrms_core.Hd_rrms.solve ~gamma:6 points ~r:3)
+      in
+      row "gadget" ~x ~x_name:"eps" ~series:"HDRRMS" ~time:t_hd
+        ~regret:(exact_regret points hd.Rrms_core.Hd_rrms.selected)
+        ();
+      (* The optimal-style answer: the near-diagonal corner plus two
+         unit vectors. *)
+      row "gadget" ~x ~x_name:"eps" ~series:"optimal-style"
+        ~regret:(exact_regret points [| 3; 0; 1 |])
+        ())
+    [ 0.25; 0.1; 0.04 ]
+
+(* §6.3: the approximate convex hull of Bentley-Preparata-Faust finds a
+   set LARGER than the true hull — the wrong tool for compaction. *)
+let ahull scale =
+  header "ahull" "approximate convex hull vs true hull size";
+  let n = match scale with Small -> 20_000 | Paper -> 100_000 in
+  List.iter
+    (fun kind ->
+      let d = synthetic kind ~n ~m:2 in
+      let points = Rrms_dataset.Dataset.rows d in
+      let name = correlation_name kind in
+      let hull, t_hull =
+        time (fun () -> Rrms_geom.Hull2d.size (Rrms_geom.Hull2d.build points))
+      in
+      row "ahull" ~x:name ~x_name:"data" ~series:"true-hull" ~time:t_hull
+        ~count:hull ();
+      List.iter
+        (fun strips ->
+          let approx, t =
+            time (fun () ->
+                Rrms_core.Approx_hull.maxima_hull_2d ~strips points)
+          in
+          let selected = approx in
+          row "ahull" ~x:name ~x_name:"data"
+            ~series:(Printf.sprintf "bpf-%d-strips" strips)
+            ~time:t
+            ~count:(Array.length approx)
+            ~regret:(exact_regret points selected)
+            ())
+        [ 32; 128 ])
+    correlations

@@ -1,0 +1,52 @@
+(* The introduction's motivating trade-off, measured: ONION's layer-1
+   hull answers top-1 exactly but stores the whole hull; an RRMS set
+   stores r tuples and pays a bounded regret.  Also times index
+   construction and per-query latency vs a full scan. *)
+
+open Bench_util
+
+let run scale =
+  header "onion" "index size vs regret: ONION layer 1 vs RRMS sets";
+  let target = match scale with Small -> 2_000 | Paper -> 8_000 in
+  let rng = Rrms_rng.Rng.create (seed_of "onion") in
+  let d = Rrms_dataset.Synthetic.skyline_only_2d rng ~target in
+  let points = Rrms_dataset.Dataset.rows d in
+  (* ONION: exact answers, hull-sized footprint. *)
+  let onion, t_build =
+    time (fun () -> Rrms_core.Onion.build ~max_layers:1 points)
+  in
+  row "onion" ~x:"onion-layer1" ~x_name:"index" ~series:"size" ~time:t_build
+    ~count:(Rrms_core.Onion.size_upto onion 1)
+    ~regret:0. ();
+  (* RRMS at growing budgets. *)
+  List.iter
+    (fun r ->
+      let res, t = time (fun () -> Rrms_core.Rrms2d.solve points ~r) in
+      row "onion"
+        ~x:(Printf.sprintf "rrms-r%d" r)
+        ~x_name:"index" ~series:"size" ~time:t
+        ~count:(Array.length res.Rrms_core.Rrms2d.selected)
+        ~regret:res.Rrms_core.Rrms2d.regret ())
+    [ 2; 4; 8; 16; 32 ];
+  (* Query latency: ONION top-1 (binary search) vs full scan, averaged
+     over many random preferences. *)
+  let queries = 10_000 in
+  let probes =
+    Array.init queries (fun i ->
+        Rrms_geom.Polar.weight_of_angle_2d
+          (Float.pi /. 2. *. float_of_int (i + 1) /. float_of_int (queries + 2)))
+  in
+  let (), t_index =
+    time (fun () ->
+        Array.iter (fun w -> ignore (Rrms_core.Onion.top1 onion w)) probes)
+  in
+  let (), t_scan =
+    time (fun () ->
+        Array.iter
+          (fun w -> ignore (Rrms_geom.Vec.max_score_index w points))
+          probes)
+  in
+  row "onion" ~x:"query-top1-x10k" ~x_name:"op" ~series:"onion-index"
+    ~time:t_index ();
+  row "onion" ~x:"query-top1-x10k" ~x_name:"op" ~series:"full-scan"
+    ~time:t_scan ()

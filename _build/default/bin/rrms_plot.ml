@@ -1,0 +1,124 @@
+(* rrms_plot: render bench/main.exe output as terminal charts.
+
+   Usage:
+     dune exec bench/main.exe > bench.log
+     dune exec bin/rrms_plot.exe -- bench.log                 # all figures
+     dune exec bin/rrms_plot.exe -- --fig fig8 --y time --logy bench.log
+     dune exec bench/main.exe -- --only fig13 | dune exec bin/rrms_plot.exe
+
+   Each figure becomes one chart; the swept parameter is the x axis and
+   the chosen metric (time | regret | count) the y axis.  Categorical x
+   values are plotted by their order of appearance. *)
+
+open Rrms_report
+
+let metric_of_string = function
+  | "time" -> Ok `Time
+  | "regret" -> Ok `Regret
+  | "count" -> Ok `Count
+  | s -> Error (Printf.sprintf "unknown metric %S (use time | regret | count)" s)
+
+let metric_value metric (row : Bench_rows.row) =
+  match metric with
+  | `Time -> row.Bench_rows.time
+  | `Regret -> row.Bench_rows.regret
+  | `Count -> Option.map float_of_int row.Bench_rows.count
+
+let chart_of_figure ~metric ~log_x ~log_y rows fig =
+  let fig_rows = List.filter (fun r -> r.Bench_rows.fig = fig) rows in
+  let series_names = Bench_rows.series_of ~fig rows in
+  (* Categorical x values (e.g. data=corr) get their appearance index. *)
+  let categorical = Hashtbl.create 8 in
+  let x_value row =
+    match Bench_rows.x_as_float row with
+    | Some v -> v
+    | None ->
+        let key = row.Bench_rows.x in
+        (match Hashtbl.find_opt categorical key with
+        | Some i -> i
+        | None ->
+            let i = float_of_int (Hashtbl.length categorical) in
+            Hashtbl.add categorical key i;
+            i)
+  in
+  let series =
+    List.map
+      (fun name ->
+        let points =
+          List.filter_map
+            (fun r ->
+              if r.Bench_rows.series = name then
+                Option.map (fun y -> (x_value r, y)) (metric_value metric r)
+              else None)
+            fig_rows
+        in
+        { Ascii_chart.label = name; points })
+      series_names
+  in
+  let x_label =
+    match fig_rows with r :: _ -> Some r.Bench_rows.x_name | [] -> None
+  in
+  let y_label =
+    match metric with
+    | `Time -> "time (s)"
+    | `Regret -> "max regret ratio"
+    | `Count -> "count"
+  in
+  Ascii_chart.render ~log_x ~log_y ?x_label ~y_label
+    ~title:(Printf.sprintf "%s (%s)" fig y_label)
+    series
+
+let () =
+  let fig_filter = ref [] in
+  let metric = ref `Time in
+  let log_x = ref false and log_y = ref false in
+  let files = ref [] in
+  let args =
+    [
+      ( "--fig",
+        Arg.String (fun s -> fig_filter := String.split_on_char ',' s),
+        "fig8,fig13  only these figures" );
+      ( "--y",
+        Arg.String
+          (fun s ->
+            match metric_of_string s with
+            | Ok m -> metric := m
+            | Error msg ->
+                prerr_endline msg;
+                exit 2),
+        "time|regret|count  metric on the y axis (default time)" );
+      ("--logx", Arg.Set log_x, " log-scale x axis");
+      ("--logy", Arg.Set log_y, " log-scale y axis");
+    ]
+  in
+  Arg.parse args
+    (fun f -> files := f :: !files)
+    "rrms_plot [--fig figN,...] [--y metric] [--logx] [--logy] [bench.log]";
+  let rows =
+    match !files with
+    | [] -> Bench_rows.parse_channel stdin
+    | fs ->
+        List.concat_map
+          (fun f ->
+            let ic = open_in f in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> Bench_rows.parse_channel ic))
+          (List.rev fs)
+  in
+  if rows = [] then begin
+    prerr_endline "rrms_plot: no bench rows found in input";
+    exit 1
+  end;
+  let figures = Bench_rows.figures rows in
+  let wanted =
+    match !fig_filter with
+    | [] -> figures
+    | sel -> List.filter (fun f -> List.mem f sel) figures
+  in
+  List.iter
+    (fun fig ->
+      print_endline
+        (chart_of_figure ~metric:!metric ~log_x:!log_x ~log_y:!log_y rows fig);
+      print_newline ())
+    wanted

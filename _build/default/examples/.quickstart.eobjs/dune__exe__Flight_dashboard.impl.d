@@ -1,0 +1,1 @@
+examples/flight_dashboard.ml: Array Discretize Float Fun Hd_rrms List Printf Regret Rrms_core Rrms_dataset Rrms_geom Rrms_rng String Topk

@@ -1,0 +1,1 @@
+examples/live_catalog.ml: Array Dynamic2d Float Fun List Printf Rrms2d Rrms_core Rrms_rng

@@ -1,0 +1,1 @@
+examples/nba_scout.ml: Array Float Greedy Hd_greedy Hd_rrms List Printf Regret Rrms_core Rrms_dataset Rrms_geom Rrms_rng Rrms_skyline String Unix

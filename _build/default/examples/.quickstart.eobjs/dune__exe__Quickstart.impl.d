@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hd_rrms Printf Regret Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng Rrms_skyline

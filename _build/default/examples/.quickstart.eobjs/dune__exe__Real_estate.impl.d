@@ -1,0 +1,1 @@
+examples/real_estate.ml: Array Float Fun Printf Regret Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng Rrms_skyline

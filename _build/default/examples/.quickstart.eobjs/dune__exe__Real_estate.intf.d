@@ -1,0 +1,1 @@
+examples/real_estate.mli:

@@ -1,0 +1,1 @@
+lib/core/approx_hull.ml: Array Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/approx_hull.mli: Rrms_geom

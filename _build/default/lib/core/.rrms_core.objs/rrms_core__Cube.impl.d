@@ -1,0 +1,1 @@
+lib/core/cube.ml: Array Float Hashtbl List

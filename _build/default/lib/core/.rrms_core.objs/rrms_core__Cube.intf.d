@@ -1,0 +1,1 @@
+lib/core/cube.mli: Rrms_geom

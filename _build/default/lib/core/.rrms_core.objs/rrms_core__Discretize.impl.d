@@ -1,0 +1,1 @@
+lib/core/discretize.ml: Array Float Polar Printf Rrms_geom Rrms_rng Vec

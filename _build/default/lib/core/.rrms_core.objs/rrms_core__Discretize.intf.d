@@ -1,0 +1,1 @@
+lib/core/discretize.mli: Rrms_geom Rrms_rng

@@ -1,0 +1,1 @@
+lib/core/dynamic2d.ml: Array Float Rrms2d Rrms_geom Vec

@@ -1,0 +1,1 @@
+lib/core/dynamic2d.mli: Rrms_geom

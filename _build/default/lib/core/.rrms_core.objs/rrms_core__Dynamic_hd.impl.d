@@ -1,0 +1,1 @@
+lib/core/dynamic_hd.ml: Array Float Hd_rrms Regret Rrms_geom Rrms_skyline Vec

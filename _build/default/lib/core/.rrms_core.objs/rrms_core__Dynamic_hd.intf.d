@@ -1,0 +1,1 @@
+lib/core/dynamic_hd.mli: Rrms_geom

@@ -1,0 +1,1 @@
+lib/core/eps_kernel.ml: Array Discretize Hashtbl List Rrms_geom

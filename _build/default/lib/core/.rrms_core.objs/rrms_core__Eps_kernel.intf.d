@@ -1,0 +1,1 @@
+lib/core/eps_kernel.mli: Rrms_geom

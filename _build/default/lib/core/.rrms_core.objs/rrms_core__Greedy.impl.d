@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Fun Hashtbl Lazy List Regret Rrms_skyline

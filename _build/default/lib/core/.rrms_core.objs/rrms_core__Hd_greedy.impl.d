@@ -1,0 +1,1 @@
+lib/core/hd_greedy.ml: Array Discretize Float List Regret_matrix Rrms_skyline

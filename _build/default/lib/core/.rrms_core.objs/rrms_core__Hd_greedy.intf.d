@@ -1,0 +1,1 @@
+lib/core/hd_greedy.mli: Rrms_geom

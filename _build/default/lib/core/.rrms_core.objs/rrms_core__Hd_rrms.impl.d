@@ -1,0 +1,1 @@
+lib/core/hd_rrms.ml: Array Discretize Mrst Regret_matrix Rrms_skyline

@@ -1,0 +1,1 @@
+lib/core/hd_rrms.mli: Mrst Regret_matrix Rrms_geom

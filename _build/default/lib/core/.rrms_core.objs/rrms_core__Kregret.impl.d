@@ -1,0 +1,1 @@
+lib/core/kregret.ml: Array Float Rrms_geom Vec

@@ -1,0 +1,1 @@
+lib/core/kregret.mli: Rrms_geom

@@ -1,0 +1,1 @@
+lib/core/mrst.ml: Array Bitset Hashtbl List Option Regret_matrix Rrms_setcover Setcover

@@ -1,0 +1,1 @@
+lib/core/mrst.mli: Regret_matrix

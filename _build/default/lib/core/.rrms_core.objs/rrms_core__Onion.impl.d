@@ -1,0 +1,1 @@
+lib/core/onion.ml: Array Float Fun Hashtbl Hull2d List Polar Rrms_geom Seq Vec

@@ -1,0 +1,1 @@
+lib/core/regret.ml: Array Float Fun Hashtbl Hull2d List Polar Rrms_geom Rrms_lp Rrms_skyline Vec

@@ -1,0 +1,1 @@
+lib/core/regret_matrix.ml: Array Float Rrms_geom Vec

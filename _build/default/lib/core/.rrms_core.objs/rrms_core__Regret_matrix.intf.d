@@ -1,0 +1,1 @@
+lib/core/regret_matrix.mli: Rrms_geom

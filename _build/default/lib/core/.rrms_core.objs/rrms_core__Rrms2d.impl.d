@@ -1,0 +1,1 @@
+lib/core/rrms2d.ml: Array Float Fun Hull2d List Polar Regret Rrms_geom Rrms_skyline Vec

@@ -1,0 +1,1 @@
+lib/core/rrms2d.mli: Rrms_geom

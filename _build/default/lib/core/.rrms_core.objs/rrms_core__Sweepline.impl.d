@@ -1,0 +1,1 @@
+lib/core/sweepline.ml: Array Float Hashtbl List Polar Regret Rrms_geom Vec

@@ -1,0 +1,1 @@
+lib/core/sweepline.mli: Rrms_geom

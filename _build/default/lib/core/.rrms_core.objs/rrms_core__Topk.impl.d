@@ -1,0 +1,1 @@
+lib/core/topk.ml: Array Float Fun Hashtbl List Rrms_geom Vec

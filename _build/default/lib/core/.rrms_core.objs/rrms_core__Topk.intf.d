@@ -1,0 +1,1 @@
+lib/core/topk.mli: Rrms_geom

@@ -1,0 +1,70 @@
+let maxima_hull_2d ~strips points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Approx_hull.maxima_hull_2d: empty input";
+  if strips < 1 then invalid_arg "Approx_hull.maxima_hull_2d: strips < 1";
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then
+        invalid_arg "Approx_hull.maxima_hull_2d: dimension <> 2")
+    points;
+  let max_x = Array.fold_left (fun acc p -> Float.max acc p.(0)) 0. points in
+  let strip_of p =
+    if max_x <= 0. then 0
+    else min (strips - 1) (int_of_float (p.(0) /. max_x *. float_of_int strips))
+  in
+  let best = Array.make strips (-1) in
+  let gx = ref 0 and gy = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let s = strip_of p in
+      if best.(s) < 0 || p.(1) > points.(best.(s)).(1) then best.(s) <- i;
+      if p.(0) > points.(!gx).(0) then gx := i;
+      if p.(1) > points.(!gy).(1) then gy := i)
+    points;
+  let chosen = Hashtbl.create strips in
+  Array.iter (fun i -> if i >= 0 then Hashtbl.replace chosen i ()) best;
+  Hashtbl.replace chosen !gx ();
+  Hashtbl.replace chosen !gy ();
+  let out = Hashtbl.fold (fun i () acc -> i :: acc) chosen [] in
+  Array.of_list (List.sort compare out)
+
+let maxima_hull_nd ~grid points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Approx_hull.maxima_hull_nd: empty input";
+  if grid < 1 then invalid_arg "Approx_hull.maxima_hull_nd: grid < 1";
+  let m = Array.length points.(0) in
+  let maxes = Array.make m 0. in
+  Array.iter
+    (fun p ->
+      for d = 0 to m - 1 do
+        if p.(d) > maxes.(d) then maxes.(d) <- p.(d)
+      done)
+    points;
+  let cell_of p =
+    let id = ref 0 in
+    for d = 0 to m - 2 do
+      let scaled = if maxes.(d) > 0. then p.(d) /. maxes.(d) else 0. in
+      let c = min (grid - 1) (int_of_float (scaled *. float_of_int grid)) in
+      id := (!id * grid) + c
+    done;
+    !id
+  in
+  let best_in_cell : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i p ->
+      let c = cell_of p in
+      match Hashtbl.find_opt best_in_cell c with
+      | Some j when points.(j).(m - 1) >= p.(m - 1) -> ()
+      | Some _ | None -> Hashtbl.replace best_in_cell c i)
+    points;
+  let chosen = Hashtbl.create 64 in
+  Hashtbl.iter (fun _ i -> Hashtbl.replace chosen i ()) best_in_cell;
+  for d = 0 to m - 1 do
+    let b = ref 0 in
+    for i = 1 to n - 1 do
+      if points.(i).(d) > points.(!b).(d) then b := i
+    done;
+    Hashtbl.replace chosen !b ()
+  done;
+  let out = Hashtbl.fold (fun i () acc -> i :: acc) chosen [] in
+  Array.of_list (List.sort compare out)

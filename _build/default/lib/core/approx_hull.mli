@@ -1,0 +1,22 @@
+(** Approximate convex hulls à la Bentley–Preparata–Faust (CACM'82),
+    for the "adopting the state-of-the-art" experiment of §6.3.
+
+    BPF partitions one axis into [k] strips and keeps, per strip, only
+    the extreme points — an O(n) ε-approximate hull with ε = 1/k.  The
+    paper implements it to show that approximate-hull methods do {e not}
+    solve the compact-representative problem: their output approximates
+    the hull's {e shape} and is typically a {e superset} of the hull
+    vertex set, so it is larger, not smaller, than the thing one wanted
+    to shrink. *)
+
+val maxima_hull_2d : strips:int -> Rrms_geom.Vec.t array -> int array
+(** 2D BPF restricted to the maxima (upper-right) hull: [strips] strips
+    over A₁; per non-empty strip keep the maximum-A₂ point; always
+    include the global A₁ and A₂ maxima.  Error bound: every point is
+    within [max A₁ / strips] (in A₁) of a kept point that is at least as
+    good in A₂.  @raise Invalid_argument if [strips < 1] or empty. *)
+
+val maxima_hull_nd : grid:int -> Rrms_geom.Vec.t array -> int array
+(** The high-dimensional extension: grid the first [m-1] attributes with
+    [grid] cells per axis and keep the best last-attribute point of each
+    non-empty cell plus the per-attribute maxima. *)

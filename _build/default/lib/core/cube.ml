@@ -1,0 +1,67 @@
+type result = { selected : int array; t_parameter : int }
+
+let solve points ~r =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Cube.solve: empty input";
+  let m = Array.length points.(0) in
+  if r < m then invalid_arg "Cube.solve: r must be >= m";
+  let budget = r - (m - 1) in
+  let t =
+    if m = 2 then budget
+    else
+      int_of_float (Float.floor (float_of_int budget ** (1. /. float_of_int (m - 1))))
+  in
+  let t = max 1 t in
+  (* Per-attribute maxima of the first m-1 attributes. *)
+  let chosen = Hashtbl.create 16 in
+  for d = 0 to m - 2 do
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if points.(i).(d) > points.(!best).(d) then best := i
+    done;
+    Hashtbl.replace chosen !best ()
+  done;
+  (* Grid cell of a tuple on the first m-1 attributes, scaled by the
+     column maxima. *)
+  let maxes = Array.make (m - 1) 0. in
+  Array.iter
+    (fun p ->
+      for d = 0 to m - 2 do
+        if p.(d) > maxes.(d) then maxes.(d) <- p.(d)
+      done)
+    points;
+  let cell_of p =
+    let id = ref 0 in
+    for d = 0 to m - 2 do
+      let scaled = if maxes.(d) > 0. then p.(d) /. maxes.(d) else 0. in
+      let c = min (t - 1) (int_of_float (scaled *. float_of_int t)) in
+      id := (!id * t) + c
+    done;
+    !id
+  in
+  (* Best last-attribute tuple per non-empty cell. *)
+  let best_in_cell : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i p ->
+      let c = cell_of p in
+      match Hashtbl.find_opt best_in_cell c with
+      | Some j when points.(j).(m - 1) >= p.(m - 1) -> ()
+      | Some _ | None -> Hashtbl.replace best_in_cell c i)
+    points;
+  Hashtbl.iter (fun _ i -> Hashtbl.replace chosen i ()) best_in_cell;
+  (* Trim to r if cell maxima plus attribute maxima overflow (possible
+     when t^(m-1) > budget due to flooring interplay): keep attribute
+     maxima and the best cells by last-attribute value. *)
+  let all = Hashtbl.fold (fun i () acc -> i :: acc) chosen [] in
+  let all = List.sort (fun a b -> Float.compare points.(b).(m - 1) points.(a).(m - 1)) all in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  { selected = Array.of_list (take r all); t_parameter = t }
+
+let bound ~m ~t =
+  if m < 2 then invalid_arg "Cube.bound: m must be >= 2";
+  if t < 1 then invalid_arg "Cube.bound: t must be >= 1";
+  float_of_int (m - 1) /. float_of_int (t + m - 1)

@@ -1,0 +1,26 @@
+(** CUBE: the discretization baseline of Nanongkai et al. (VLDB'10)
+    (§1.1, "a simple space discretization approach").
+
+    CUBE partitions the domain of the first [m-1] attributes into
+    [t = ⌊(r - m + 1)^(1/(m-1))⌋] equal intervals, keeps the tuple with
+    the largest m-th attribute inside every grid cell, and adds the
+    per-attribute maxima of the first [m-1] attributes.  Its regret
+    bound is input-size independent but weak in practice; it completes
+    the set of published competitors. *)
+
+type result = {
+  selected : int array;  (** indices into the input; at most [r] *)
+  t_parameter : int;  (** the grid resolution used *)
+}
+
+val solve : Rrms_geom.Vec.t array -> r:int -> result
+(** @raise Invalid_argument if [r < m] (CUBE needs at least the [m-1]
+    attribute maxima plus one cell) or the input is empty. *)
+
+val bound : m:int -> t:int -> float
+(** CUBE's published guarantee (Nanongkai et al., Theorem 1): on data
+    normalized to \[0,1\] per attribute, the maximum regret ratio of
+    the CUBE output with grid resolution [t] is at most
+    [(m - 1) / (t + m - 1)] — independent of the input size [n], which
+    is the property the paper credits it with (§7).
+    @raise Invalid_argument if [m < 2] or [t < 1]. *)

@@ -1,0 +1,142 @@
+open Rrms_geom
+
+let half_pi = Float.pi /. 2.
+
+let alpha ~gamma = half_pi /. float_of_int gamma
+
+let max_grid_size = 2_000_000
+
+let grid ~gamma ~m =
+  if gamma < 1 then invalid_arg "Discretize.grid: gamma must be >= 1";
+  if m < 2 then invalid_arg "Discretize.grid: m must be >= 2";
+  let a = alpha ~gamma in
+  let k = m - 1 in
+  let total =
+    let rec power acc i =
+      if acc > max_grid_size then
+        invalid_arg
+          (Printf.sprintf
+             "Discretize.grid: (gamma+1)^(m-1) exceeds %d directions; project \
+              to fewer attributes or use Discretize.random"
+             max_grid_size)
+      else if i = 0 then acc
+      else power (acc * (gamma + 1)) (i - 1)
+    in
+    power 1 k
+  in
+  (* Odometer enumeration of all (γ+1)^(m-1) angle index tuples. *)
+  let digits = Array.make k 0 in
+  let angles = Array.make k 0. in
+  Array.init total (fun idx ->
+      if idx > 0 then begin
+        let j = ref 0 in
+        let carry = ref true in
+        while !carry && !j < k do
+          if digits.(!j) < gamma then begin
+            digits.(!j) <- digits.(!j) + 1;
+            carry := false
+          end
+          else begin
+            digits.(!j) <- 0;
+            incr j
+          end
+        done
+      end;
+      for j = 0 to k - 1 do
+        angles.(j) <- float_of_int digits.(j) *. a
+      done;
+      Polar.to_cartesian angles)
+
+let random rng ~count ~m =
+  if m < 2 then invalid_arg "Discretize.random: m must be >= 2";
+  Array.init count (fun _ ->
+      let angles =
+        Array.init (m - 1) (fun _ -> Rrms_rng.Rng.uniform rng 0. half_pi)
+      in
+      Polar.to_cartesian angles)
+
+let force_directed ?(iterations = 100) ?(step = 0.05) rng ~count ~m =
+  let dirs = random rng ~count ~m in
+  let force = Array.make m 0. in
+  for _ = 1 to iterations do
+    for i = 0 to count - 1 do
+      Array.fill force 0 m 0.;
+      let p = dirs.(i) in
+      for j = 0 to count - 1 do
+        if j <> i then begin
+          let q = dirs.(j) in
+          let d2 = ref 1e-9 in
+          for d = 0 to m - 1 do
+            let diff = p.(d) -. q.(d) in
+            d2 := !d2 +. (diff *. diff)
+          done;
+          (* Coulomb repulsion 1/d², directed away from q. *)
+          let mag = 1. /. (!d2 *. sqrt !d2) in
+          for d = 0 to m - 1 do
+            force.(d) <- force.(d) +. (mag *. (p.(d) -. q.(d)))
+          done
+        end
+      done;
+      (* Keep only the tangential component so the move stays on the
+         sphere to first order. *)
+      let radial = Vec.dot force p in
+      for d = 0 to m - 1 do
+        force.(d) <- force.(d) -. (radial *. p.(d))
+      done;
+      let norm = Vec.norm force in
+      if norm > 0. then begin
+        let scale = step /. norm in
+        let moved =
+          Array.mapi (fun d x -> Float.max 0. (x +. (scale *. force.(d)))) p
+        in
+        if Vec.norm moved > 0. then dirs.(i) <- Vec.normalize moved
+      end
+    done
+  done;
+  dirs
+
+let min_pairwise_angle dirs =
+  let n = Array.length dirs in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = Polar.angular_distance dirs.(i) dirs.(j) in
+      if a < !best then best := a
+    done
+  done;
+  !best
+
+let max_coverage_angle ?(samples = 2000) rng dirs ~m =
+  let worst = ref 0. in
+  for _ = 1 to samples do
+    let angles = Array.init (m - 1) (fun _ -> Rrms_rng.Rng.uniform rng 0. half_pi) in
+    let probe = Polar.to_cartesian angles in
+    let nearest =
+      Array.fold_left
+        (fun acc d -> Float.min acc (Polar.angular_distance probe d))
+        infinity dirs
+    in
+    if nearest > !worst then worst := nearest
+  done;
+  !worst
+
+let theorem4_alpha' ~gamma ~m =
+  let a = alpha ~gamma in
+  let cm = cos a ** float_of_int (m - 1) in
+  2. *. asin (sqrt ((1. -. cm) /. 2.))
+
+(* Theorem 4's contraction constant as a function of the covering
+   radius δ (= α'/2 for the grid): any direction within angle δ of a
+   satisfied one keeps at least a c-fraction of its guarantee. *)
+let c_of_coverage delta =
+  cos delta *. cos (Float.pi /. 4.) /. cos ((Float.pi /. 4.) -. delta)
+
+let bound_for_coverage ~coverage ~eps =
+  let c = c_of_coverage coverage in
+  (c *. eps) +. (1. -. c)
+
+let theorem4_c ~gamma ~m = c_of_coverage (theorem4_alpha' ~gamma ~m /. 2.)
+
+let theorem4_bound ~gamma ~m ~eps =
+  let c = theorem4_c ~gamma ~m in
+  (c *. eps) +. (1. -. c)

@@ -1,0 +1,75 @@
+(** Discretization of the linear ranking-function space (§4.3, §5.2).
+
+    HD-RRMS replaces the continuous function space — the non-negative
+    orthant of the unit sphere — with a finite sample [F].  The paper's
+    primary scheme ({!grid}, Algorithm 3 DISCRETIZE) divides each of the
+    [m-1] polar angles into γ equal parts, giving [(γ+1)^(m-1)]
+    directions and the additive quality guarantee of Theorem 4.  §5.2
+    sketches two alternatives that fix [|F|] directly instead of γ:
+    uniform random directions ({!random}) and a force-directed spreading
+    of charged particles on the quarter hypersphere ({!force_directed});
+    both are implemented as the paper's proposed extensions. *)
+
+val grid : gamma:int -> m:int -> Rrms_geom.Vec.t array
+(** Algorithm 3: all [(γ+1)^(m-1)] unit directions whose polar angles
+    are multiples of [α = π/(2γ)].  Directions are non-negative unit
+    vectors.  @raise Invalid_argument if [gamma < 1] or [m < 2]. *)
+
+val random : Rrms_rng.Rng.t -> count:int -> m:int -> Rrms_geom.Vec.t array
+(** [count] directions with each polar angle drawn uniformly from
+    \[0, π/2\] (§5.2's "uniformly at random" alternative). *)
+
+val force_directed :
+  ?iterations:int ->
+  ?step:float ->
+  Rrms_rng.Rng.t ->
+  count:int ->
+  m:int ->
+  Rrms_geom.Vec.t array
+(** §5.2's Barycentric/force-directed alternative: start from {!random}
+    and relax — every pair of directions repels with force ∝ 1/d², each
+    point moves along the tangential component of the net force, is
+    re-normalized, and is clamped to the non-negative orthant; repeat
+    [iterations] times (default 100, [step] default 0.05).  The result
+    spreads the [count] directions nearly evenly over the quarter
+    hypersphere. *)
+
+val min_pairwise_angle : Rrms_geom.Vec.t array -> float
+(** Smallest angular distance between two of the directions — the
+    quality measure for a spread (bigger is better). *)
+
+val max_coverage_angle :
+  ?samples:int -> Rrms_rng.Rng.t -> Rrms_geom.Vec.t array -> m:int -> float
+(** Monte-Carlo estimate of the covering radius: the largest angle from
+    a random direction to its nearest sample.  Drives the empirical
+    check of Theorem 4's α'/2 bound. *)
+
+val alpha : gamma:int -> float
+(** The grid step [α = π / (2γ)] (Equation 6). *)
+
+val theorem4_alpha' : gamma:int -> m:int -> float
+(** Equation 19: the worst angular distance [α'] between a ranking
+    function and the discretized grid,
+    [α' = 2·asin(√((1 - cos^(m-1) α) / 2))]. *)
+
+val c_of_coverage : float -> float
+(** Theorem 4's contraction constant for an arbitrary covering radius δ
+    (the grid's is [α'/2]): [c = cos δ · cos(π/4) / cos(π/4 − δ)].
+    Drives the §5.2 alternative discretizations, whose covering radius
+    is estimated rather than derived. *)
+
+val bound_for_coverage : coverage:float -> eps:float -> float
+(** [c·eps + (1 − c)] for [c = c_of_coverage coverage]: the Theorem-4
+    regret bound of a direction sample with the given (estimated)
+    covering radius — §5.2's "expected bound".  Pair with
+    {!max_coverage_angle}. *)
+
+val theorem4_c : gamma:int -> m:int -> float
+(** The contraction constant of Theorem 4:
+    [c = cos(α'/2)·cos(π/4) / cos(π/4 - α'/2)].  The regret of HD-RRMS
+    satisfies [E ≤ c·E_opt + (1 - c)]. *)
+
+val theorem4_bound : gamma:int -> m:int -> eps:float -> float
+(** [theorem4_bound ~gamma ~m ~eps = c·eps + (1 - c)] (Equation 8):
+    the guaranteed regret for any set achieving regret [eps] on the
+    grid. *)

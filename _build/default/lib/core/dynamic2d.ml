@@ -1,0 +1,129 @@
+open Rrms_geom
+
+type t = {
+  r : int;
+  mutable store : Vec.t option array; (* handle -> tuple, None = removed *)
+  mutable used : int; (* handles allocated *)
+  mutable live : int;
+  mutable dirty : bool;
+  mutable selection : int array; (* handles *)
+  mutable regret : float;
+  mutable skyline : int array; (* handles of the current skyline *)
+  mutable recomputes : int;
+}
+
+let check_tuple p =
+  if Array.length p <> 2 then invalid_arg "Dynamic2d: tuples must be 2D";
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) || v < 0. then
+        invalid_arg "Dynamic2d: values must be finite and non-negative")
+    p
+
+let create ~r points =
+  if r < 1 then invalid_arg "Dynamic2d.create: r must be >= 1";
+  Array.iter check_tuple points;
+  let n = Array.length points in
+  let store = Array.make (max 8 (2 * n)) None in
+  Array.iteri (fun i p -> store.(i) <- Some p) points;
+  {
+    r;
+    store;
+    used = n;
+    live = n;
+    dirty = true;
+    selection = [||];
+    regret = 0.;
+    skyline = [||];
+    recomputes = 0;
+  }
+
+let size t = t.live
+
+let live_handles t =
+  let acc = ref [] in
+  for h = t.used - 1 downto 0 do
+    if t.store.(h) <> None then acc := h :: !acc
+  done;
+  Array.of_list !acc
+
+let recompute t =
+  let handles = live_handles t in
+  if Array.length handles = 0 then begin
+    t.selection <- [||];
+    t.regret <- 0.;
+    t.skyline <- [||]
+  end
+  else begin
+    let points =
+      Array.map
+        (fun h -> match t.store.(h) with Some p -> p | None -> assert false)
+        handles
+    in
+    let ctx = Rrms2d.make_ctx points in
+    t.skyline <- Array.map (fun i -> handles.(i)) (Rrms2d.skyline_order ctx);
+    let res = Rrms2d.solve_exact ~ctx points ~r:t.r in
+    t.selection <- Array.map (fun i -> handles.(i)) res.Rrms2d.selected;
+    t.regret <- res.Rrms2d.regret
+  end;
+  t.recomputes <- t.recomputes + 1;
+  t.dirty <- false
+
+let ensure t = if t.dirty then recompute t
+
+let grow t =
+  if t.used = Array.length t.store then begin
+    let bigger = Array.make (2 * Array.length t.store) None in
+    Array.blit t.store 0 bigger 0 t.used;
+    t.store <- bigger
+  end
+
+(* Is the candidate dominated (weakly) by some current skyline member?
+   Weak domination (>= on both attributes) suffices: such a tuple can
+   never be the strict maximum of any function, so the cached solution's
+   regret and optimality are unchanged. *)
+let covered t p =
+  Array.exists
+    (fun h ->
+      match t.store.(h) with
+      | Some q -> q.(0) >= p.(0) && q.(1) >= p.(1)
+      | None -> false)
+    t.skyline
+
+let insert t p =
+  check_tuple p;
+  grow t;
+  let handle = t.used in
+  t.store.(handle) <- Some p;
+  t.used <- t.used + 1;
+  t.live <- t.live + 1;
+  if not t.dirty then if not (covered t p) then t.dirty <- true;
+  handle
+
+let remove t handle =
+  if handle < 0 || handle >= t.used then
+    invalid_arg "Dynamic2d.remove: unknown handle";
+  match t.store.(handle) with
+  | None -> () (* idempotent *)
+  | Some _ ->
+      t.store.(handle) <- None;
+      t.live <- t.live - 1;
+      (* Only losing a skyline member can change the optimum (selected
+         tuples are always skyline members). *)
+      if (not t.dirty) && Array.mem handle t.skyline then t.dirty <- true
+
+let get t handle =
+  if handle < 0 || handle >= t.used then
+    invalid_arg "Dynamic2d.get: unknown handle";
+  t.store.(handle)
+
+let selection t =
+  ensure t;
+  Array.copy t.selection
+
+let regret t =
+  ensure t;
+  t.regret
+
+let recompute_count t = t.recomputes
+let is_dirty t = t.dirty

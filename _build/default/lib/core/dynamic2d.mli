@@ -1,0 +1,53 @@
+(** Incremental maintenance of a 2D regret-minimizing set under updates.
+
+    A serving system keeps the compact set around while the underlying
+    table changes.  Recomputing from scratch on every insert is wasteful
+    because most updates cannot change the answer: a tuple that is
+    dominated by the current skyline is never the maximum of any
+    non-negative linear function, so neither the optimal set nor its
+    regret moves.  This wrapper tracks exactly that:
+
+    - {!insert} appends a tuple; if it is dominated the cached solution
+      stays valid, otherwise the structure is marked dirty;
+    - {!remove} tombstones a tuple; only the removal of a current
+      skyline member dirties the cache;
+    - queries ({!selection}, {!regret}) lazily recompute (with
+      {!Rrms2d.solve_exact}) when dirty.
+
+    Under random insertion order only O(log n) of n inserts touch the
+    skyline in expectation, so recomputations are rare —
+    {!recompute_count} exposes the number for inspection. *)
+
+type t
+
+val create : r:int -> Rrms_geom.Vec.t array -> t
+(** Start from an initial table (may be empty).
+    @raise Invalid_argument if [r < 1] or a tuple is not 2D. *)
+
+val size : t -> int
+(** Live (non-removed) tuples. *)
+
+val insert : t -> Rrms_geom.Vec.t -> int
+(** Add a tuple; returns its handle (stable across updates).
+    @raise Invalid_argument if not 2D or negative. *)
+
+val remove : t -> int -> unit
+(** Tombstone a tuple by handle.  Idempotent.
+    @raise Invalid_argument on an unknown handle. *)
+
+val get : t -> int -> Rrms_geom.Vec.t option
+(** The tuple behind a handle; [None] if removed. *)
+
+val selection : t -> int array
+(** Handles of the current regret-minimizing set (recomputes if dirty).
+    Empty array when the table is empty. *)
+
+val regret : t -> float
+(** Exact maximum regret ratio of {!selection}; [0.] on an empty or
+    fully-coverable table. *)
+
+val recompute_count : t -> int
+(** How many times the solution has been recomputed since {!create}. *)
+
+val is_dirty : t -> bool
+(** Whether the next query will recompute. *)

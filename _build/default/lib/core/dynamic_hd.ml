@@ -1,0 +1,143 @@
+open Rrms_geom
+
+type t = {
+  r : int;
+  gamma : int;
+  mutable dim : int option; (* fixed by the first tuple seen *)
+  mutable store : Vec.t option array;
+  mutable used : int;
+  mutable live : int;
+  mutable dirty : bool;
+  mutable selection : int array; (* handles *)
+  mutable regret : float;
+  mutable skyline : int array; (* handles *)
+  mutable recomputes : int;
+}
+
+let check_tuple t p =
+  if Array.length p < 2 then
+    invalid_arg "Dynamic_hd: tuples must have dimension >= 2";
+  (match t.dim with
+  | Some m when m <> Array.length p ->
+      invalid_arg "Dynamic_hd: inconsistent tuple dimension"
+  | Some _ -> ()
+  | None -> t.dim <- Some (Array.length p));
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) || v < 0. then
+        invalid_arg "Dynamic_hd: values must be finite and non-negative")
+    p
+
+let create ?(gamma = 4) ~r points =
+  if r < 1 then invalid_arg "Dynamic_hd.create: r must be >= 1";
+  let n = Array.length points in
+  let t =
+    {
+      r;
+      gamma;
+      dim = None;
+      store = Array.make (max 8 (2 * n)) None;
+      used = 0;
+      live = 0;
+      dirty = true;
+      selection = [||];
+      regret = 0.;
+      skyline = [||];
+      recomputes = 0;
+    }
+  in
+  Array.iter
+    (fun p ->
+      check_tuple t p;
+      t.store.(t.used) <- Some p;
+      t.used <- t.used + 1;
+      t.live <- t.live + 1)
+    points;
+  t
+
+let size t = t.live
+
+let live_handles t =
+  let acc = ref [] in
+  for h = t.used - 1 downto 0 do
+    if t.store.(h) <> None then acc := h :: !acc
+  done;
+  Array.of_list !acc
+
+let recompute t =
+  let handles = live_handles t in
+  if Array.length handles = 0 then begin
+    t.selection <- [||];
+    t.regret <- 0.;
+    t.skyline <- [||]
+  end
+  else begin
+    let points =
+      Array.map
+        (fun h -> match t.store.(h) with Some p -> p | None -> assert false)
+        handles
+    in
+    let sky = Rrms_skyline.Skyline.sfs points in
+    t.skyline <- Array.map (fun i -> handles.(i)) sky;
+    let res = Hd_rrms.solve ~gamma:t.gamma points ~r:t.r in
+    t.selection <- Array.map (fun i -> handles.(i)) res.Hd_rrms.selected;
+    t.regret <- Regret.exact_lp ~selected:res.Hd_rrms.selected points
+  end;
+  t.recomputes <- t.recomputes + 1;
+  t.dirty <- false
+
+let ensure t = if t.dirty then recompute t
+
+let grow t =
+  if t.used = Array.length t.store then begin
+    let bigger = Array.make (2 * Array.length t.store) None in
+    Array.blit t.store 0 bigger 0 t.used;
+    t.store <- bigger
+  end
+
+let covered t p =
+  Array.exists
+    (fun h ->
+      match t.store.(h) with
+      | Some q ->
+          let ge = ref true in
+          Array.iteri (fun j x -> if x < p.(j) then ge := false) q;
+          !ge
+      | None -> false)
+    t.skyline
+
+let insert t p =
+  check_tuple t p;
+  grow t;
+  let handle = t.used in
+  t.store.(handle) <- Some p;
+  t.used <- t.used + 1;
+  t.live <- t.live + 1;
+  if not t.dirty then if not (covered t p) then t.dirty <- true;
+  handle
+
+let remove t handle =
+  if handle < 0 || handle >= t.used then
+    invalid_arg "Dynamic_hd.remove: unknown handle";
+  match t.store.(handle) with
+  | None -> ()
+  | Some _ ->
+      t.store.(handle) <- None;
+      t.live <- t.live - 1;
+      if (not t.dirty) && Array.mem handle t.skyline then t.dirty <- true
+
+let get t handle =
+  if handle < 0 || handle >= t.used then
+    invalid_arg "Dynamic_hd.get: unknown handle";
+  t.store.(handle)
+
+let selection t =
+  ensure t;
+  Array.copy t.selection
+
+let regret t =
+  ensure t;
+  t.regret
+
+let recompute_count t = t.recomputes
+let is_dirty t = t.dirty

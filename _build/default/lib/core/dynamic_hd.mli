@@ -1,0 +1,31 @@
+(** Incremental maintenance of a high-dimensional compact set.
+
+    The m-dimensional sibling of {!Dynamic2d}: inserts dominated by the
+    current skyline and removals of non-skyline tuples are absorbed
+    without recomputation; anything else lazily re-runs {!Hd_rrms} on
+    the live tuples.  Because HD-RRMS is an approximation, the cached
+    answer is "a valid HD-RRMS output for the current table", not a
+    global optimum; {!regret} reports its exact LP-evaluated maximum
+    regret ratio. *)
+
+type t
+
+val create : ?gamma:int -> r:int -> Rrms_geom.Vec.t array -> t
+(** Start from an initial table (may be empty); [gamma] (default 4) is
+    passed through to {!Hd_rrms.solve}.  All tuples must share one
+    dimension [>= 2].
+    @raise Invalid_argument if [r < 1] or tuples are invalid. *)
+
+val size : t -> int
+val insert : t -> Rrms_geom.Vec.t -> int
+val remove : t -> int -> unit
+val get : t -> int -> Rrms_geom.Vec.t option
+
+val selection : t -> int array
+(** Handles of the current compact set (recomputes if dirty). *)
+
+val regret : t -> float
+(** Exact ({!Regret.exact_lp}) maximum regret ratio of {!selection}. *)
+
+val recompute_count : t -> int
+val is_dirty : t -> bool

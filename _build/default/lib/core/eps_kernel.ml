@@ -1,0 +1,21 @@
+let build ~funcs points =
+  if Array.length points = 0 then invalid_arg "Eps_kernel.build: no points";
+  if Array.length funcs = 0 then invalid_arg "Eps_kernel.build: no functions";
+  let seen = Hashtbl.create 64 in
+  let kept = ref [] in
+  Array.iter
+    (fun w ->
+      let i = Rrms_geom.Vec.max_score_index w points in
+      if not (Hashtbl.mem seen i) then begin
+        Hashtbl.add seen i ();
+        kept := i :: !kept
+      end)
+    funcs;
+  Array.of_list (List.rev !kept)
+
+let build_grid ~gamma points =
+  if Array.length points = 0 then invalid_arg "Eps_kernel.build_grid: no points";
+  let m = Array.length points.(0) in
+  build ~funcs:(Discretize.grid ~gamma ~m) points
+
+let guarantee ~gamma ~m = Discretize.theorem4_bound ~gamma ~m ~eps:0.

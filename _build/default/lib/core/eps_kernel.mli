@@ -1,0 +1,27 @@
+(** Direction-net ε-kernels: the coreset-style counterpart of HD-RRMS.
+
+    Keep, for every direction of a sample [F] of the function space, the
+    tuple that maximizes it.  The result answers every sampled function
+    with zero regret, so by Theorem 4 its regret over the {e whole}
+    function space is at most [1 − c] for the sample's covering radius —
+    the [ε]-kernel guarantee of the coreset literature (Agarwal et al.),
+    obtained here with the paper's own machinery (it is exactly HD-RRMS
+    with threshold ε = 0 and no size budget).
+
+    Where HD-RRMS fixes the size [r] and minimizes the regret, the
+    kernel fixes the regret (via the direction-net density) and lets the
+    size float: at most [|F|], usually far fewer because neighbouring
+    directions share winners.  The [ablation] bench contrasts the two
+    trade-offs. *)
+
+val build : funcs:Rrms_geom.Vec.t array -> Rrms_geom.Vec.t array -> int array
+(** [build ~funcs points] keeps one winner per direction, deduplicated,
+    in first-win order.  O(|points|·|funcs|·m).
+    @raise Invalid_argument on empty points or funcs. *)
+
+val build_grid : gamma:int -> Rrms_geom.Vec.t array -> int array
+(** {!build} over the Algorithm-3 polar grid for the points' dimension. *)
+
+val guarantee : gamma:int -> m:int -> float
+(** The regret bound of {!build_grid}: [1 − c] with Theorem 4's [c] —
+    i.e. [Discretize.theorem4_bound ~eps:0.]. *)

@@ -1,0 +1,81 @@
+type seed = First_attribute | Best_singleton | All_seeds
+
+type result = { selected : int array; regret_lp : float }
+
+(* One greedy run from a fixed seed tuple. *)
+let run_from ?eps ~candidates ~points ~r seed_idx =
+  let n = Array.length points in
+  let chosen = Hashtbl.create 16 in
+  Hashtbl.replace chosen seed_idx ();
+  let selected = ref [ seed_idx ] in
+  let steps = min r n - 1 in
+  for _ = 1 to steps do
+    let set = Array.of_list (List.map (fun i -> points.(i)) !selected) in
+    let best = ref (-1) and best_regret = ref neg_infinity in
+    Array.iter
+      (fun i ->
+        if not (Hashtbl.mem chosen i) then begin
+          let reg = Regret.point_regret_lp ?eps ~set points.(i) in
+          if reg > !best_regret then begin
+            best_regret := reg;
+            best := i
+          end
+        end)
+      candidates;
+    if !best >= 0 then begin
+      Hashtbl.replace chosen !best ();
+      selected := !best :: !selected
+    end
+  done;
+  Array.of_list (List.rev !selected)
+
+let solve ?eps ?(restrict_to_skyline = false) ?(seed = First_attribute) points
+    ~r =
+  if r < 1 then invalid_arg "Greedy.solve: r must be >= 1";
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Greedy.solve: empty input";
+  let sky = lazy (Rrms_skyline.Skyline.sfs points) in
+  let candidates =
+    if restrict_to_skyline then Lazy.force sky else Array.init n Fun.id
+  in
+  let evaluate selected = Regret.exact_lp ?eps ~selected points in
+  match seed with
+  | First_attribute ->
+      (* The published algorithm seeds with the maximum of the first
+         attribute (§4.1 critiques exactly this choice). *)
+      let first = ref 0 in
+      for i = 1 to n - 1 do
+        if points.(i).(0) > points.(!first).(0) then first := i
+      done;
+      let selected = run_from ?eps ~candidates ~points ~r !first in
+      { selected; regret_lp = evaluate selected }
+  | Best_singleton ->
+      (* Seed with the skyline tuple that is the best one-tuple answer:
+         one exact regret evaluation per skyline tuple. *)
+      let sky = Lazy.force sky in
+      let best = ref sky.(0) and best_regret = ref infinity in
+      Array.iter
+        (fun i ->
+          let e = evaluate [| i |] in
+          if e < !best_regret then begin
+            best_regret := e;
+            best := i
+          end)
+        sky;
+      let selected = run_from ?eps ~candidates ~points ~r !best in
+      { selected; regret_lp = evaluate selected }
+  | All_seeds ->
+      (* §6.2: rerun from every skyline seed; keep the best final set. *)
+      let sky = Lazy.force sky in
+      let best = ref None in
+      Array.iter
+        (fun s ->
+          let selected = run_from ?eps ~candidates ~points ~r s in
+          let e = evaluate selected in
+          match !best with
+          | Some (be, _) when be <= e -> ()
+          | _ -> best := Some (e, selected))
+        sky;
+      (match !best with
+      | Some (regret_lp, selected) -> { selected; regret_lp }
+      | None -> assert false (* the skyline is never empty *))

@@ -1,0 +1,46 @@
+(** GREEDY: the LP-based baseline of Nanongkai et al. (VLDB'10),
+    re-implemented as the paper's primary high-dimensional competitor
+    (§4.1, §6.1).
+
+    Start from a seed tuple; then repeatedly add the tuple whose
+    worst-case regret with respect to the current selection is largest,
+    where each candidate's regret is an LP
+    ({!Regret.point_regret_lp}).  Runs O(n·r) LPs, which is what makes
+    it slow at scale (Figures 13–15); §4.1 also shows its regret can be
+    arbitrarily worse than optimal ({!Rrms_dataset} provides the
+    gadget).
+
+    The paper traces much of GREEDY's observed regret to its seed — the
+    published algorithm just takes the maximum of the first attribute —
+    and sketches the obvious fixes in §6.2; all three are implemented: *)
+
+type seed =
+  | First_attribute
+      (** the published rule: argmax of attribute 1 (§4.1's critique) *)
+  | Best_singleton
+      (** the skyline tuple with the smallest single-tuple regret
+          (one LP per skyline tuple to seed) *)
+  | All_seeds
+      (** §6.2's brute-force fix: rerun greedy from every skyline seed
+          and keep the best outcome — multiplies the cost by s *)
+
+type result = {
+  selected : int array;  (** indices into the input; exactly [min r n] *)
+  regret_lp : float;
+      (** exact maximum regret ratio of the selection
+          ({!Regret.exact_lp}) *)
+}
+
+val solve :
+  ?eps:float ->
+  ?restrict_to_skyline:bool ->
+  ?seed:seed ->
+  Rrms_geom.Vec.t array ->
+  r:int ->
+  result
+(** [solve points ~r].  [seed] defaults to [First_attribute] (the
+    published algorithm).  [restrict_to_skyline] (default [false],
+    matching the published algorithm) evaluates candidate LPs only on
+    skyline tuples — an easy speedup that does not change the selection
+    except through tie-breaking, provided for the ablation benches.
+    @raise Invalid_argument if [r < 1] or the input is empty. *)

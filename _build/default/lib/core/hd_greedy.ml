@@ -1,0 +1,46 @@
+type result = { selected : int array; discretized_regret : float }
+
+let solve ?(gamma = 4) ?funcs points ~r =
+  if r < 1 then invalid_arg "Hd_greedy.solve: r must be >= 1";
+  if Array.length points = 0 then invalid_arg "Hd_greedy.solve: empty input";
+  let m = Array.length points.(0) in
+  let funcs =
+    match funcs with Some f -> f | None -> Discretize.grid ~gamma ~m
+  in
+  let sky = Rrms_skyline.Skyline.sfs points in
+  let sky_points = Array.map (fun i -> points.(i)) sky in
+  let matrix = Regret_matrix.build ~points:sky_points ~funcs in
+  let s = Array.length sky and k = Array.length funcs in
+  let current = Array.make k infinity in
+  let chosen = Array.make s false in
+  let selected = ref [] in
+  let steps = min r s in
+  for _ = 1 to steps do
+    (* Pick the row minimizing the resulting max over columns of the
+       min of current coverage and the row's cells. *)
+    let best_row = ref (-1) and best_val = ref infinity in
+    for i = 0 to s - 1 do
+      if not chosen.(i) then begin
+        let worst = ref 0. in
+        for f = 0 to k - 1 do
+          let v = Float.min current.(f) (Regret_matrix.get matrix i f) in
+          if v > !worst then worst := v
+        done;
+        if !worst < !best_val then begin
+          best_val := !worst;
+          best_row := i
+        end
+      end
+    done;
+    let i = !best_row in
+    chosen.(i) <- true;
+    selected := i :: !selected;
+    for f = 0 to k - 1 do
+      current.(f) <- Float.min current.(f) (Regret_matrix.get matrix i f)
+    done
+  done;
+  let rows = Array.of_list (List.rev !selected) in
+  {
+    selected = Array.map (fun i -> sky.(i)) rows;
+    discretized_regret = Regret_matrix.regret_of_rows matrix rows;
+  }

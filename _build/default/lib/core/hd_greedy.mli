@@ -1,0 +1,24 @@
+(** HD-GREEDY: greedy selection over the discretized regret matrix
+    (§6.1).
+
+    The paper introduces this algorithm to ablate its two ideas: it uses
+    the discretized matrix (idea 1) but replaces the set-cover reduction
+    (idea 2) with a greedy loop that repeatedly adds the tuple giving
+    the largest reduction of the current max-column regret.  O(r·s·|F|). *)
+
+type result = {
+  selected : int array;  (** indices into the input points; exactly
+                             [min r s] of them *)
+  discretized_regret : float;
+      (** [max_f min_{t∈selected} M[t,f]] at termination *)
+}
+
+val solve :
+  ?gamma:int ->
+  ?funcs:Rrms_geom.Vec.t array ->
+  Rrms_geom.Vec.t array ->
+  r:int ->
+  result
+(** [solve points ~r] with the γ-grid discretization (default
+    [gamma = 4]) or an explicit function sample [funcs].
+    @raise Invalid_argument if [r < 1] or the input is empty. *)

@@ -1,0 +1,62 @@
+type result = {
+  selected : int array;
+  eps_min : float;
+  guarantee : float;
+  discretized_regret : float;
+}
+
+type budget = Strict | Inflated
+
+(* Algorithm 4: binary search over the sorted distinct cell values; each
+   probe asks MRST whether some row set of size <= max_size satisfies
+   the threshold (max_size = r for the §6.1 rule; r·H(|F|) for §4.4.3's
+   alternative). *)
+let solve_on_matrix ?solver ?max_size matrix ~r =
+  let max_size = match max_size with Some s -> s | None -> r in
+  let values = Regret_matrix.distinct_values matrix in
+  let best = ref None in
+  let low = ref 0 and high = ref (Array.length values - 1) in
+  while !low <= !high do
+    let mid = (!low + !high) / 2 in
+    (match Mrst.solve ?solver matrix ~eps:values.(mid) with
+    | Some rows when Array.length rows <= max_size ->
+        best := Some (rows, values.(mid));
+        high := mid - 1
+    | Some _ | None -> low := mid + 1)
+  done;
+  !best
+
+let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs points ~r =
+  if r < 1 then invalid_arg "Hd_rrms.solve: r must be >= 1";
+  if Array.length points = 0 then invalid_arg "Hd_rrms.solve: empty input";
+  let m = Array.length points.(0) in
+  let funcs =
+    match funcs with Some f -> f | None -> Discretize.grid ~gamma ~m
+  in
+  (* Theorem 1: the optimal set lives on the skyline. *)
+  let sky = Rrms_skyline.Skyline.sfs points in
+  let sky_points = Array.map (fun i -> points.(i)) sky in
+  let matrix = Regret_matrix.build ~points:sky_points ~funcs in
+  let max_size =
+    match budget with
+    | Strict -> r
+    | Inflated ->
+        (* Chvátal: greedy cover <= H(|F|)·opt <= (ln|F| + 1)·opt, so a
+           size-r optimal cover always passes this acceptance bound. *)
+        let h = log (float_of_int (Array.length funcs)) +. 1. in
+        max r (int_of_float (ceil (float_of_int r *. h)))
+  in
+  match solve_on_matrix ?solver ~max_size matrix ~r with
+  | Some (rows, eps_min) ->
+      let selected = Array.map (fun i -> sky.(i)) rows in
+      {
+        selected;
+        eps_min;
+        guarantee = Discretize.theorem4_bound ~gamma ~m ~eps:eps_min;
+        discretized_regret = Regret_matrix.regret_of_rows matrix rows;
+      }
+  | None ->
+      (* Unreachable for a well-formed matrix: at the largest distinct
+         value every row satisfies every column, so any single row is a
+         cover of size 1 <= r. *)
+      assert false

@@ -1,0 +1,68 @@
+(** HD-RRMS: the paper's high-dimensional approximation algorithm
+    (§4.4, Algorithm 4).
+
+    Pipeline: restrict to the skyline (Theorem 1) → discretize the
+    function space with the polar γ-grid (Algorithm 3) → build the
+    regret matrix → binary-search its sorted distinct cell values,
+    asking the MRST set-cover oracle at each candidate ε for a row set
+    of size ≤ r.  The smallest feasible ε is optimal {e for the
+    discretized function set}, and Theorem 4 lifts it to the full
+    continuous space: [E ≤ c·ε_min + (1 − c) ≤ c·E_opt + (1 − c)].
+
+    With the exact set-cover oracle this is the theoretical algorithm;
+    with Chvátal's greedy (the default) it is the practical §4.4.3
+    variant.  §4.4.3 and §6.1 describe two acceptance policies for the
+    greedy cover, both implemented here as {!budget}:
+
+    - {!Strict} (§6.1, the default): accept a cover only if its size is
+      at most [r].  Output never exceeds [r], but since the greedy
+      cover can be up to [H(|F|)] times larger than optimal, the binary
+      search may settle above the grid optimum.
+    - {!Inflated} (§4.4.3's alternative): accept covers up to
+      [r·(ln|F| + 1)].  Whenever a size-[r] cover exists the greedy one
+      passes, so [eps_min] is at most the grid optimum for [r] and
+      Theorem 4's bound holds against it — at the cost of returning up
+      to [r·(ln|F| + 1)] tuples. *)
+
+type budget = Strict | Inflated
+
+type result = {
+  selected : int array;
+      (** chosen tuples (indices into the input points); at most [r]
+          under the [Strict] budget, up to [r·(ln|F|+1)] under
+          [Inflated] *)
+  eps_min : float;
+      (** the smallest accepted discretized regret (ε_min of §4.4.1) *)
+  guarantee : float;
+      (** Theorem 4's bound [c·ε_min + (1 − c)] on the true regret *)
+  discretized_regret : float;
+      (** [max_f min_{t∈selected} M[t,f]] of the returned set — equals
+          [eps_min] up to set-cover slack *)
+}
+
+val solve :
+  ?gamma:int ->
+  ?solver:Mrst.solver ->
+  ?budget:budget ->
+  ?funcs:Rrms_geom.Vec.t array ->
+  Rrms_geom.Vec.t array ->
+  r:int ->
+  result
+(** [solve points ~r] runs HD-RRMS with [gamma] grid partitions per
+    angle (default 4, the paper's default), the given MRST [solver]
+    (default [Greedy]) and acceptance [budget] (default [Strict]).  [funcs] overrides the discretized function set
+    entirely (for the §5.2 alternative discretizations; Theorem 4's
+    [guarantee] field is then computed from [gamma] anyway and should be
+    ignored by the caller).
+    @raise Invalid_argument if [r < 1] or the input is empty. *)
+
+val solve_on_matrix :
+  ?solver:Mrst.solver ->
+  ?max_size:int ->
+  Regret_matrix.t ->
+  r:int ->
+  (int array * float) option
+(** The core binary search of Algorithm 4, exposed for tests: returns
+    (row set, ε_min) over an arbitrary matrix, accepting covers of size
+    at most [max_size] (default [r]); [None] if nothing satisfies even
+    the largest cell value. *)

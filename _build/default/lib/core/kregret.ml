@@ -1,0 +1,61 @@
+open Rrms_geom
+
+let kth_score ~k w points =
+  let n = Array.length points in
+  if k < 1 || k > n then invalid_arg "Kregret.kth_score: k out of range";
+  (* Partial selection: keep the k largest scores in a small insertion
+     buffer — O(n·k), fine for the small k this extension targets. *)
+  let top = Array.make k neg_infinity in
+  Array.iter
+    (fun p ->
+      let s = Vec.dot w p in
+      if s > top.(k - 1) then begin
+        (* insert into the sorted (descending) buffer *)
+        let pos = ref (k - 1) in
+        while !pos > 0 && top.(!pos - 1) < s do
+          top.(!pos) <- top.(!pos - 1);
+          decr pos
+        done;
+        top.(!pos) <- s
+      end)
+    points;
+  top.(k - 1)
+
+let for_function ~k ~points ~selected w =
+  if Array.length selected = 0 then
+    invalid_arg "Kregret.for_function: empty selection";
+  let target = kth_score ~k w points in
+  if target <= 0. then 0.
+  else begin
+    let best_sel = ref neg_infinity in
+    Array.iter
+      (fun i ->
+        let s = Vec.dot w points.(i) in
+        if s > !best_sel then best_sel := s)
+      selected;
+    Float.max 0. ((target -. !best_sel) /. target)
+  end
+
+let sampled ~k ~points ~selected ~funcs =
+  Array.fold_left
+    (fun acc w -> Float.max acc (for_function ~k ~points ~selected w))
+    0. funcs
+
+let layered_sampled ~points ~layers ~funcs ~k =
+  if k < 1 then invalid_arg "Kregret.layered_sampled: k must be >= 1";
+  let upto = min k (Array.length layers) in
+  let union = Array.concat (Array.to_list (Array.sub layers 0 upto)) in
+  if Array.length union = 0 then 1.
+  else
+    Array.fold_left
+      (fun acc w ->
+        let target = kth_score ~k w points in
+        if target <= 0. then acc
+        else begin
+          (* k-th best answer served from the layer union *)
+          let kk = min k (Array.length union) in
+          let sel_points = Array.map (fun i -> points.(i)) union in
+          let served = kth_score ~k:kk w sel_points in
+          Float.max acc (Float.max 0. ((target -. served) /. target))
+        end)
+      0. funcs

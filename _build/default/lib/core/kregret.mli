@@ -1,0 +1,49 @@
+(** k-regret ratios (Chester et al., VLDB'14 — the generalization the
+    paper's §5.1/§7 discuss).
+
+    The 1-regret ratio compares the compact set's best answer to the
+    database's best; the {e k-regret ratio} compares it to the
+    database's k-th best:
+
+    {v krr(C, w, k) = max(0, (kth_D(w) − max_C(w)) / kth_D(w)) v}
+
+    so a set has small k-regret when its top answer is at least
+    competitive with the k-th true answer — a weaker, often much easier
+    target.  Exact maximization over all weight vectors would need the
+    k-level of the dual arrangement, so this module evaluates over a
+    supplied function sample (use {!Discretize.grid}), which matches how
+    the k-regret literature evaluates in higher dimensions. *)
+
+val kth_score : k:int -> Rrms_geom.Vec.t -> Rrms_geom.Vec.t array -> float
+(** [kth_score ~k w points] is the k-th largest score under [w].
+    O(n·k).  @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val for_function :
+  k:int ->
+  points:Rrms_geom.Vec.t array ->
+  selected:int array ->
+  Rrms_geom.Vec.t ->
+  float
+(** The k-regret ratio of [selected] for one weight vector.
+    @raise Invalid_argument if the selection is empty or [k] is out of
+    range. *)
+
+val sampled :
+  k:int ->
+  points:Rrms_geom.Vec.t array ->
+  selected:int array ->
+  funcs:Rrms_geom.Vec.t array ->
+  float
+(** Maximum k-regret ratio over the function sample.  For [k = 1] this
+    is {!Regret.sampled}. *)
+
+val layered_sampled :
+  points:Rrms_geom.Vec.t array ->
+  layers:int array array ->
+  funcs:Rrms_geom.Vec.t array ->
+  k:int ->
+  float
+(** The §5.1 promise, measured: serve top-k queries from the union of
+    the first [k] layers (e.g. {!Topk.build}'s output) and report the
+    worst ratio between the k-th served answer and the true k-th
+    answer, over the function sample. *)

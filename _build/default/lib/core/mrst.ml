@@ -1,0 +1,30 @@
+open Rrms_setcover
+
+type solver = Exact | Greedy
+
+let solve ?(solver = Greedy) matrix ~eps =
+  let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
+  (* Threshold every row into the bitset of columns it satisfies, and
+     collapse duplicate rows (Algorithm 5's dedup step), remembering one
+     representative row per distinct bitset. *)
+  let seen : (Bitset.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let distinct = ref [] in
+  for i = 0 to n - 1 do
+    let b = Bitset.create k in
+    for f = 0 to k - 1 do
+      if Regret_matrix.get matrix i f <= eps then Bitset.set b f
+    done;
+    if (not (Bitset.is_empty b)) && not (Hashtbl.mem seen b) then begin
+      Hashtbl.add seen b i;
+      distinct := (i, b) :: !distinct
+    end
+  done;
+  let pairs = Array.of_list (List.rev !distinct) in
+  let sets = Array.map snd pairs in
+  let instance = Setcover.make_instance ~universe:k sets in
+  let cover =
+    match solver with
+    | Greedy -> Setcover.greedy instance
+    | Exact -> Setcover.exact instance
+  in
+  Option.map (Array.map (fun si -> fst pairs.(si))) cover

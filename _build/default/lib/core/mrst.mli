@@ -1,0 +1,16 @@
+(** MRST — Minimum Rows Satisfying a Threshold (§4.4.1, Algorithm 5).
+
+    Given the discretized regret matrix and a threshold ε, find the
+    fewest rows such that every column has some selected row with cell
+    value ≤ ε.  The reduction: threshold the matrix to 0/1, collapse
+    duplicate rows, and solve set cover — exactly (branch and bound) for
+    the theoretical algorithm, or with Chvátal's greedy for the
+    practical one (§4.4.3). *)
+
+type solver = Exact | Greedy
+
+val solve : ?solver:solver -> Regret_matrix.t -> eps:float -> int array option
+(** [solve matrix ~eps] returns row indices covering every column within
+    [eps], of minimum (Exact) or near-minimum (Greedy, the default)
+    cardinality; [None] when some column cannot be satisfied by any
+    single row. *)

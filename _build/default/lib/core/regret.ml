@@ -1,0 +1,169 @@
+open Rrms_geom
+
+let for_function ~points ~selected w =
+  if Array.length selected = 0 then
+    invalid_arg "Regret.for_function: empty selection";
+  let best_all = Vec.max_score w points in
+  let best_sel = ref neg_infinity in
+  Array.iter
+    (fun i ->
+      let s = Vec.dot w points.(i) in
+      if s > !best_sel then best_sel := s)
+    selected;
+  if best_all <= 0. then 0.
+  else Float.max 0. ((best_all -. !best_sel) /. best_all)
+
+(* LP of Nanongkai et al.:  maximize x  subject to
+     w·p = 1,   w·(p - q) >= x  for every q in the set,   w, x >= 0.
+   The optimum is exactly sup_w (w·p - max_q w·q)/(w·p): the ratio is
+   scale-invariant in w so normalizing w·p = 1 loses nothing.  An
+   infeasible system means even x = 0 is unreachable, i.e. the set beats
+   p everywhere: regret 0. *)
+let point_regret_lp ?eps ~set p =
+  if Array.length set = 0 then
+    invalid_arg "Regret.point_regret_lp: empty set";
+  let m = Array.length p in
+  (* Variables: w_0 .. w_{m-1}, x. *)
+  let nvars = m + 1 in
+  let objective = Array.make nvars 0. in
+  objective.(m) <- 1.;
+  let normalization =
+    let row = Array.make nvars 0. in
+    Array.blit p 0 row 0 m;
+    Rrms_lp.Simplex.constraint_ row Rrms_lp.Simplex.Eq 1.
+  in
+  let gap_rows =
+    Array.to_list
+      (Array.map
+         (fun q ->
+           let row = Array.make nvars 0. in
+           for j = 0 to m - 1 do
+             row.(j) <- p.(j) -. q.(j)
+           done;
+           row.(m) <- -1.;
+           Rrms_lp.Simplex.constraint_ row Rrms_lp.Simplex.Ge 0.)
+         set)
+  in
+  match Rrms_lp.Simplex.maximize ?eps ~c:objective (normalization :: gap_rows) with
+  | Rrms_lp.Simplex.Optimal { objective = v; _ } ->
+      Float.min 1. (Float.max 0. v)
+  | Rrms_lp.Simplex.Infeasible -> 0.
+  | Rrms_lp.Simplex.Unbounded ->
+      (* x <= w·p - w·q <= w·p = 1, so the LP is never unbounded. *)
+      assert false
+
+let exact_lp ?eps ~selected points =
+  if Array.length selected = 0 then
+    invalid_arg "Regret.exact_lp: empty selection";
+  let set = Array.map (fun i -> points.(i)) selected in
+  (* The maximizer of the per-point regret is a skyline point: a
+     dominated point scores below its dominator for every function. *)
+  let sky = Rrms_skyline.Skyline.sfs points in
+  Array.fold_left
+    (fun acc i -> Float.max acc (point_regret_lp ?eps ~set points.(i)))
+    0. sky
+
+let exact_2d ~selected points =
+  if Array.length selected = 0 then
+    invalid_arg "Regret.exact_2d: empty selection";
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then invalid_arg "Regret.exact_2d: dimension <> 2")
+    points;
+  let hull_all = Hull2d.build points in
+  let hull_sel = Hull2d.build (Array.map (fun i -> points.(i)) selected) in
+  (* On any angle interval where both the database envelope and the
+     subset envelope are realized by fixed points, the regret ratio
+     1 - F(q)/F(p) is monotone in the angle, so its maximum over all
+     angles is attained at an envelope breakpoint (or the domain ends). *)
+  let candidates =
+    Array.concat
+      [
+        [| 0.; Float.pi /. 2. |];
+        Hull2d.breakpoints hull_all;
+        Hull2d.breakpoints hull_sel;
+      ]
+  in
+  Array.fold_left
+    (fun acc phi ->
+      let w = Polar.weight_of_angle_2d phi in
+      let best_all = Vec.dot w (Hull2d.max_point_at hull_all phi) in
+      let best_sel = Vec.dot w (Hull2d.max_point_at hull_sel phi) in
+      if best_all <= 0. then acc
+      else Float.max acc ((best_all -. best_sel) /. best_all))
+    0. candidates
+
+let profile_2d ?(steps = 200) ~selected points =
+  if Array.length selected = 0 then
+    invalid_arg "Regret.profile_2d: empty selection";
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then
+        invalid_arg "Regret.profile_2d: dimension <> 2")
+    points;
+  let hull_all = Hull2d.build points in
+  let hull_sel = Hull2d.build (Array.map (fun i -> points.(i)) selected) in
+  let half_pi = Float.pi /. 2. in
+  let angles =
+    Array.concat
+      [
+        Array.init (steps + 1) (fun q ->
+            half_pi *. float_of_int q /. float_of_int steps);
+        Hull2d.breakpoints hull_all;
+        Hull2d.breakpoints hull_sel;
+      ]
+  in
+  Array.sort Float.compare angles;
+  Array.map
+    (fun phi ->
+      let w = Polar.weight_of_angle_2d phi in
+      let best_all = Vec.dot w (Hull2d.max_point_at hull_all phi) in
+      let best_sel = Vec.dot w (Hull2d.max_point_at hull_sel phi) in
+      let reg =
+        if best_all <= 0. then 0.
+        else Float.max 0. ((best_all -. best_sel) /. best_all)
+      in
+      (phi, reg))
+    angles
+
+let sampled ~selected ~funcs points =
+  Array.fold_left
+    (fun acc w -> Float.max acc (for_function ~points ~selected w))
+    0. funcs
+
+let is_extreme_point ?eps points i =
+  let n = Array.length points in
+  let m = Array.length points.(i) in
+  let p = points.(i) in
+  (* p is NOT extreme iff p = Σ λ_j q_j with λ >= 0, Σ λ = 1 over the
+     other points.  Variables: one λ per other point. *)
+  let others = Array.of_list (List.filter (fun j -> j <> i) (List.init n Fun.id)) in
+  let k = Array.length others in
+  if k = 0 then true
+  else begin
+    let rows = ref [] in
+    for d = 0 to m - 1 do
+      let row = Array.map (fun j -> points.(j).(d)) others in
+      rows := Rrms_lp.Simplex.constraint_ row Rrms_lp.Simplex.Eq p.(d) :: !rows
+    done;
+    let ones = Array.make k 1. in
+    rows := Rrms_lp.Simplex.constraint_ ones Rrms_lp.Simplex.Eq 1. :: !rows;
+    not (Rrms_lp.Simplex.feasible ?eps k !rows)
+  end
+
+let convex_hull_size ?eps points =
+  let n = Array.length points in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if is_extreme_point ?eps points i then incr count
+  done;
+  !count
+
+let maxima_count_sampled ~points ~funcs =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun w ->
+      let i = Vec.max_score_index w points in
+      if not (Hashtbl.mem seen i) then Hashtbl.add seen i ())
+    funcs;
+  Hashtbl.length seen

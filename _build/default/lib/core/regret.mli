@@ -1,0 +1,81 @@
+(** Regret-ratio definitions and evaluation (§2 of the paper).
+
+    For a database [D], a compact set [C ⊆ D] and a linear ranking
+    function with weights [w ≥ 0], the regret ratio is
+
+    {v rr(C, w) = (max_{t∈D} w·t − max_{t∈C} w·t) / max_{t∈D} w·t v}
+
+    and the {e maximum regret ratio} [E(C)] is its supremum over all
+    non-negative weight vectors.  This module evaluates [E(C)]:
+
+    - exactly in 2D via convex-hull envelopes ({!exact_2d});
+    - exactly in any dimension via one LP per skyline point ({!exact_lp});
+    - approximately via a supplied set of sample functions ({!sampled}).
+
+    It also provides the LP-based per-point regret that the GREEDY
+    baseline needs, and the LP extreme-point test behind Figure 1's
+    convex-hull-size experiment. *)
+
+val for_function :
+  points:Rrms_geom.Vec.t array -> selected:int array -> Rrms_geom.Vec.t -> float
+(** [for_function ~points ~selected w] is the regret ratio of the subset
+    for one weight vector.  Zero when the database's best score for [w]
+    is not positive.  @raise Invalid_argument if [selected] is empty. *)
+
+val point_regret_lp :
+  ?eps:float -> set:Rrms_geom.Vec.t array -> Rrms_geom.Vec.t -> float
+(** [point_regret_lp ~set p] is [sup_w (w·p − max_{q∈set} w·q) / (w·p)]
+    clamped to [\[0, 1\]] — the worst-case regret a user whose favourite
+    is [p] suffers when restricted to [set] (the LP of Nanongkai et al.
+    used by GREEDY).  [0.] when [p] is dominated by [set] for every
+    function.  @raise Invalid_argument if [set] is empty. *)
+
+val exact_lp :
+  ?eps:float -> selected:int array -> Rrms_geom.Vec.t array -> float
+(** [exact_lp ~selected points] is [E(selected)] computed exactly: the
+    maximum of {!point_regret_lp} over the skyline points of [points].
+    O(s) small LPs. *)
+
+val exact_2d : selected:int array -> Rrms_geom.Vec.t array -> float
+(** [exact_2d ~selected points] is [E(selected)] for 2D data, exactly, via the maxima-hull envelopes of
+    the database and of the subset: on each common linearity piece the
+    score ratio is monotone in the angle, so the supremum is attained at
+    an envelope breakpoint.  O((n + c) log c).
+    @raise Invalid_argument if not 2-dimensional or [selected] empty. *)
+
+val profile_2d :
+  ?steps:int ->
+  selected:int array ->
+  Rrms_geom.Vec.t array ->
+  (float * float) array
+(** [profile_2d ~selected points] traces the regret ratio as a function
+    of the ranking-function angle φ ∈ \[0, π/2\]: [steps + 1] evenly
+    spaced samples (default 200) {e plus} both envelopes' breakpoints,
+    sorted by angle — so the curve's kinks and its exact maximum are
+    always included.  Useful for plotting which preferences a compact
+    set serves well.
+    @raise Invalid_argument like {!exact_2d}. *)
+
+val sampled :
+  selected:int array ->
+  funcs:Rrms_geom.Vec.t array ->
+  Rrms_geom.Vec.t array ->
+  float
+(** Maximum regret ratio over the given sample of weight vectors; a
+    cheap lower bound on [E(selected)]. *)
+
+val is_extreme_point : ?eps:float -> Rrms_geom.Vec.t array -> int -> bool
+(** [is_extreme_point points i] tests by LP whether [points.(i)] is a
+    vertex of the convex hull (not expressible as a convex combination
+    of the other points). *)
+
+val convex_hull_size : ?eps:float -> Rrms_geom.Vec.t array -> int
+(** Number of convex-hull vertices, via {!is_extreme_point} on every
+    point — the quantity plotted in Figure 1.  O(n) LPs with O(n)
+    variables each: meant for moderate [n]. *)
+
+val maxima_count_sampled :
+  points:Rrms_geom.Vec.t array -> funcs:Rrms_geom.Vec.t array -> int
+(** Number of distinct tuples that are the maximum of at least one of
+    the sample functions — a fast lower bound on the maxima-hull size
+    used by the larger-scale variants of the Figure 1 experiment. *)

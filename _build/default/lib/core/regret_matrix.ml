@@ -1,0 +1,62 @@
+open Rrms_geom
+
+type t = {
+  cells : float array array; (* rows x cols *)
+  best : float array; (* per-column best database score *)
+}
+
+let build ~points ~funcs =
+  let n = Array.length points and k = Array.length funcs in
+  if n = 0 then invalid_arg "Regret_matrix.build: no points";
+  if k = 0 then invalid_arg "Regret_matrix.build: no functions";
+  let best = Array.make k 0. in
+  for f = 0 to k - 1 do
+    best.(f) <- Vec.max_score funcs.(f) points
+  done;
+  let cells =
+    Array.init n (fun i ->
+        Array.init k (fun f ->
+            if best.(f) <= 0. then 0.
+            else
+              Float.max 0. ((best.(f) -. Vec.dot funcs.(f) points.(i)) /. best.(f))))
+  in
+  { cells; best }
+
+let rows t = Array.length t.cells
+let cols t = Array.length t.best
+let get t i f = t.cells.(i).(f)
+let column_best_score t f = t.best.(f)
+
+let distinct_values t =
+  let all = Array.concat (Array.to_list t.cells) in
+  Array.sort Float.compare all;
+  let count = ref 0 in
+  Array.iteri
+    (fun i v -> if i = 0 || v <> all.(i - 1) then incr count)
+    all;
+  let out = Array.make !count 0. in
+  let j = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if i = 0 || v <> all.(i - 1) then begin
+        out.(!j) <- v;
+        incr j
+      end)
+    all;
+  out
+
+let regret_of_rows t rs =
+  if Array.length rs = 0 then
+    invalid_arg "Regret_matrix.regret_of_rows: empty row set";
+  let k = cols t in
+  let worst = ref 0. in
+  for f = 0 to k - 1 do
+    let best = ref infinity in
+    Array.iter
+      (fun i ->
+        let v = t.cells.(i).(f) in
+        if v < !best then best := v)
+      rs;
+    if !best > !worst then worst := !best
+  done;
+  !worst

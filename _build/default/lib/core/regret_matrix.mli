@@ -1,0 +1,35 @@
+(** The discretized regret matrix M (§4.2–4.3).
+
+    Rows are candidate tuples (the skyline suffices, by Theorem 1),
+    columns are the discretized ranking functions; cell [(i, f)] is the
+    regret ratio a user of function [f] suffers if tuple [i] alone is
+    kept.  HD-RRMS and HD-GREEDY both operate on this matrix. *)
+
+type t
+
+val build :
+  points:Rrms_geom.Vec.t array -> funcs:Rrms_geom.Vec.t array -> t
+(** [build ~points ~funcs] computes the full matrix in O(|points|·|F|·m).
+    Rows are exactly the given points (pre-filter to the skyline for the
+    paper's setting).  Columns whose best database score is not positive
+    yield all-zero regret.
+    @raise Invalid_argument if either array is empty. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** [get t i f] = M\[i, f\]. *)
+
+val column_best_score : t -> int -> float
+(** The database-wide best score of column [f]'s function. *)
+
+val distinct_values : t -> float array
+(** All distinct cell values, sorted ascending — the binary-search
+    domain of Algorithm 4.  Includes at least [0.] when the matrix has a
+    zero cell. *)
+
+val regret_of_rows : t -> int array -> float
+(** [regret_of_rows t rs] = the discretized maximum regret of keeping
+    the row subset [rs]: [max_f min_{i∈rs} M[i,f]].
+    @raise Invalid_argument if [rs] is empty. *)

@@ -1,0 +1,254 @@
+open Rrms_geom
+
+type ctx = {
+  points : Vec.t array; (* original input *)
+  sky : int array; (* skyline, top-left -> bottom-right, into [points] *)
+  sky_points : Vec.t array; (* points in skyline order *)
+  hull : Hull2d.t; (* maxima hull of the skyline points *)
+  hull_breaks : float array;
+}
+
+let make_ctx points =
+  if Array.length points = 0 then invalid_arg "Rrms2d.make_ctx: empty input";
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then invalid_arg "Rrms2d.make_ctx: dimension <> 2")
+    points;
+  let sky = Rrms_skyline.Skyline.two_d points in
+  let sky_points = Array.map (fun i -> points.(i)) sky in
+  let hull = Hull2d.build sky_points in
+  { points; sky; sky_points; hull; hull_breaks = Hull2d.breakpoints hull }
+
+let skyline_order ctx = Array.copy ctx.sky
+let skyline_size ctx = Array.length ctx.sky
+
+let check_positions ctx i j =
+  let s = Array.length ctx.sky in
+  if i >= j || i < -1 || j > s then
+    invalid_arg "Rrms2d.edge_weight: bad positions";
+  s
+
+(* Weights of the dummy edges and trivially empty gaps; [None] when the
+   gap is interior and non-trivial.  The dummy formulas are exact
+   suprema: for the left dummy the regret ratio of keeping tⱼ against a
+   removed hull vertex is monotone in the angle, so the supremum sits at
+   the pure-A₂ function (and symmetrically on the right). *)
+let boundary_weight ctx i j =
+  let s = Array.length ctx.sky in
+  let p = ctx.sky_points in
+  if i = -1 && j = s then Some (if s = 0 then 0. else 1.)
+  else if i = -1 then begin
+    let top = p.(0).(1) in
+    Some (if top <= 0. then 0. else Float.max 0. ((top -. p.(j).(1)) /. top))
+  end
+  else if j = s then begin
+    let top = p.(s - 1).(0) in
+    Some (if top <= 0. then 0. else Float.max 0. ((top -. p.(i).(0)) /. top))
+  end
+  else if j - i <= 1 then Some 0.
+  else None
+
+(* Algorithm 1 (ComputeEdgeWeight) exactly as published: evaluate only
+   at the tie angle of (tᵢ, tⱼ), and return 0 when the maximizer there
+   is not inside the gap. *)
+let edge_weight ctx i j =
+  ignore (check_positions ctx i j);
+  match boundary_weight ctx i j with
+  | Some w -> w
+  | None -> (
+      let p = ctx.sky_points in
+      match Polar.tie_angle_2d p.(i) p.(j) with
+      | None -> 0. (* cannot happen on a strict skyline; defensive *)
+      | Some alpha ->
+          let k = Hull2d.max_index_at ctx.hull alpha in
+          let ks = Hull2d.vertex ctx.hull k in
+          (* hull was built over sky_points, so ks is a skyline position *)
+          if ks <= i || ks >= j then 0.
+          else begin
+            let w = Polar.weight_of_angle_2d alpha in
+            let fk = Vec.dot w p.(ks) in
+            if fk <= 0. then 0.
+            else begin
+              let fi = Vec.dot w p.(i) and fj = Vec.dot w p.(j) in
+              Float.max 0. ((fk -. Float.max fi fj) /. fk)
+            end
+          end)
+
+(* Corrected weight: the exact supremum of the pair regret over the
+   whole angle range [θL, θR] on which a removed hull vertex is the
+   database maximum.  Within that range every envelope vertex h has
+   x(tᵢ) < x(h) < x(tⱼ), so F(tᵢ)/E(φ) is decreasing in φ (the regret
+   against tᵢ rises) and F(tⱼ)/E(φ) is increasing (the regret against tⱼ
+   falls); the pair regret is the min of the two, so its supremum sits
+   at their crossing — the tie angle α of (tᵢ, tⱼ) — clamped into
+   [θL, θR].  One O(log c) envelope query therefore evaluates the
+   supremum exactly; we evaluate all three candidate angles to be robust
+   to floating-point ties. *)
+let edge_weight_exact ctx i j =
+  ignore (check_positions ctx i j);
+  match boundary_weight ctx i j with
+  | Some w -> w
+  | None ->
+      let p = ctx.sky_points in
+      let c = Hull2d.size ctx.hull in
+      (* Hull chain positions hl..hr whose skyline position lies strictly
+         inside (i, j); hull sky-positions increase along the chain. *)
+      let hull_pos k = Hull2d.vertex ctx.hull k in
+      let hl =
+        let lo = ref 0 and hi = ref c in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if hull_pos mid > i then hi := mid else lo := mid + 1
+        done;
+        !lo
+      in
+      let hr =
+        let lo = ref (-1) and hi = ref (c - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if hull_pos mid < j then lo := mid else hi := mid - 1
+        done;
+        !lo
+      in
+      if hl > hr then 0. (* no removed hull vertex: nothing is ever lost *)
+      else begin
+        let breaks = ctx.hull_breaks in
+        let lo_angle = if hl = 0 then 0. else breaks.(hl - 1) in
+        let hi_angle = if hr = c - 1 then Float.pi /. 2. else breaks.(hr) in
+        let alpha = Polar.tie_angle_2d p.(i) p.(j) in
+        let eval phi =
+          let w = Polar.weight_of_angle_2d phi in
+          let top = Vec.dot w (Hull2d.max_point_at ctx.hull phi) in
+          if top <= 0. then 0.
+          else begin
+            let alt = Float.max (Vec.dot w p.(i)) (Vec.dot w p.(j)) in
+            Float.max 0. ((top -. alt) /. top)
+          end
+        in
+        let best = ref (Float.max (eval lo_angle) (eval hi_angle)) in
+        (match alpha with
+        | Some a when a > lo_angle && a < hi_angle ->
+            let v = eval a in
+            if v > !best then best := v
+        | Some _ | None -> ());
+        !best
+      end
+
+type result = { selected : int array; dp_value : float; regret : float }
+
+let evaluate ctx selected =
+  if Array.length selected = 0 then 1.
+  else Regret.exact_2d ~selected ctx.points
+
+(* Shared DP skeleton.  [choose] computes, for DP level [level] and
+   start position [i], the best successor and its value given the
+   previous level's table; it differs between the published
+   binary-search variant and the exact full-scan variant. *)
+let run_dp ctx ~r ~weight ~choose =
+  let s = Array.length ctx.sky in
+  if s <= r then begin
+    let selected = Array.copy ctx.sky in
+    { selected; dp_value = 0.; regret = evaluate ctx selected }
+  end
+  else begin
+    let dp_prev = Array.init s (fun i -> weight i s) in
+    let dp_cur = Array.make s 0. in
+    let choice = Array.make_matrix r s s in
+    for level = 1 to r - 1 do
+      for i = 0 to s - 1 do
+        if i >= s - 1 then begin
+          dp_cur.(i) <- weight i s;
+          choice.(level).(i) <- s
+        end
+        else begin
+          let j, v = choose dp_prev i in
+          dp_cur.(i) <- v;
+          choice.(level).(i) <- j
+        end
+      done;
+      Array.blit dp_cur 0 dp_prev 0 s
+    done;
+    let best_j, best_v = choose dp_prev (-1) in
+    let rec follow acc level i =
+      if i >= s then List.rev acc
+      else if level <= 0 then List.rev (i :: acc)
+      else follow (i :: acc) (level - 1) choice.(level).(i)
+    in
+    let positions = follow [] (r - 1) best_j in
+    let selected =
+      Array.of_list (List.map (fun pos -> ctx.sky.(pos)) positions)
+    in
+    { selected; dp_value = best_v; regret = evaluate ctx selected }
+  end
+
+(* Algorithm 2's successor binary search: valid under the paper's
+   Property 1; evaluates both sides of the crossing to be safe. *)
+let choose_binary_search ~weight ~s dp_prev i =
+  let low = ref (i + 1) and high = ref (s - 1) in
+  while !low < !high do
+    let mid = (!low + !high) / 2 in
+    if weight i mid >= dp_prev.(mid) then high := mid else low := mid + 1
+  done;
+  let eval j = Float.max (weight i j) dp_prev.(j) in
+  let j = !low in
+  let vj = eval j in
+  if j > i + 1 && eval (j - 1) < vj then (j - 1, eval (j - 1)) else (j, vj)
+
+let choose_full_scan ~weight ~s dp_prev i =
+  let best_j = ref (i + 1) and best_v = ref infinity in
+  for j = i + 1 to s - 1 do
+    let v = Float.max (weight i j) dp_prev.(j) in
+    if v < !best_v then begin
+      best_v := v;
+      best_j := j
+    end
+  done;
+  (!best_j, !best_v)
+
+let solve ?ctx points ~r =
+  if r < 1 then invalid_arg "Rrms2d.solve: r must be >= 1";
+  let ctx = match ctx with Some c -> c | None -> make_ctx points in
+  let s = Array.length ctx.sky in
+  let weight = edge_weight ctx in
+  run_dp ctx ~r ~weight ~choose:(choose_binary_search ~weight ~s)
+
+let solve_exact ?ctx points ~r =
+  if r < 1 then invalid_arg "Rrms2d.solve_exact: r must be >= 1";
+  let ctx = match ctx with Some c -> c | None -> make_ctx points in
+  let s = Array.length ctx.sky in
+  let weight = edge_weight_exact ctx in
+  run_dp ctx ~r ~weight ~choose:(choose_full_scan ~weight ~s)
+
+let solve_brute_force points ~r =
+  if r < 1 then invalid_arg "Rrms2d.solve_brute_force: r must be >= 1";
+  let ctx = make_ctx points in
+  let s = Array.length ctx.sky in
+  if s <= r then
+    let selected = Array.copy ctx.sky in
+    { selected; dp_value = 0.; regret = evaluate ctx selected }
+  else begin
+    let best = ref None in
+    (* Enumerate subsets of skyline positions of size exactly r (adding
+       tuples never hurts, so size r dominates smaller sizes). *)
+    let subset = Array.make r 0 in
+    let rec enumerate pos start =
+      if pos = r then begin
+        let selected =
+          Array.map (fun q -> ctx.sky.(subset.(q))) (Array.init r Fun.id)
+        in
+        let e = evaluate ctx selected in
+        match !best with
+        | Some (be, _) when be <= e -> ()
+        | _ -> best := Some (e, selected)
+      end
+      else
+        for v = start to s - (r - pos) do
+          subset.(pos) <- v;
+          enumerate (pos + 1) (v + 1)
+        done
+    in
+    enumerate 0 0;
+    match !best with
+    | Some (e, selected) -> { selected; dp_value = e; regret = e }
+    | None -> assert false
+  end

@@ -1,0 +1,95 @@
+(** 2D-RRMS: the paper's 2D algorithm (§3), in two variants.
+
+    The skyline of a 2D database is totally ordered (top-left to
+    bottom-right).  Selecting [r] representatives splits it into gaps
+    between consecutive selected tuples; the paper models the problem as
+    a min-max path search over these gaps and solves it by dynamic
+    programming, evaluating each gap's weight with one binary search
+    over the hull's sorted angle list ℓ (Algorithm 1) and each DP cell
+    with one binary search over successors (Algorithm 2), for
+    O(r·s·log s·log c) total.
+
+    {b Reproduction finding.}  Two of the paper's structural claims do
+    not hold in general, and both are exercised by random anti-correlated
+    data (see the tests):
+
+    - {e Algorithm 1's zero case}: when the maximizer at the tie angle
+      of [(tᵢ, tⱼ)] falls outside the gap, the algorithm returns weight
+      0 — but removed hull vertices inside the gap can still carry
+      positive regret, whose worst angle then lies elsewhere in the
+      gap's angle range (Theorem 2 locates the supremum at the tie
+      angle only when that angle belongs to the range).
+    - {e Property 1} (w(tᵢ,tⱼ) ≤ w(tᵢ,tⱼ₊₁)): enlarging a gap moves its
+      right endpoint to a tuple with a larger A₁, which is a strictly
+      better alternative for the A₁-heavy worst-case functions, so the
+      weight can {e decrease}.  The successor binary search of
+      Algorithm 2 therefore has no monotone structure to exploit and
+      can return a slightly sub-optimal path.
+
+    Accordingly {!solve} implements the published algorithm verbatim
+    (linearithmic; regret within a few percent of optimal empirically),
+    while {!solve_exact} fixes both issues — the clamped-tie-angle gap
+    weights (still O(log c) each) and a full successor scan — at
+    O(r·s²·log c) cost, and matches brute force on every tested
+    instance. *)
+
+type ctx
+(** Preprocessed database: skyline order, maxima hull and angle list. *)
+
+val make_ctx : Rrms_geom.Vec.t array -> ctx
+(** @raise Invalid_argument on empty or non-2D input. *)
+
+val skyline_order : ctx -> int array
+(** Indices into the original points of the skyline, top-left →
+    bottom-right (the paper's t₁ … tₛ).  Fresh copy. *)
+
+val skyline_size : ctx -> int
+
+val edge_weight : ctx -> int -> int -> float
+(** [edge_weight ctx i j] is Algorithm 1's w(tᵢ, tⱼ) exactly as
+    published: the regret at the tie angle of [(tᵢ, tⱼ)] when the hull
+    maximizer at that angle lies inside the gap, 0 otherwise.
+    Positions are 0-based skyline positions; [i = -1] denotes the dummy
+    t₀ and [j = skyline_size ctx] the dummy t₊.  O(log c).
+    @raise Invalid_argument unless [-1 <= i < j <= s]. *)
+
+val edge_weight_exact : ctx -> int -> int -> float
+(** The corrected gap weight: the exact supremum, over the angle range
+    [θL, θR] on which some removed hull vertex is the database maximum,
+    of the regret of answering from [{tᵢ, tⱼ}].  Monotonicity analysis
+    (the regret against tᵢ rises with the angle, against tⱼ falls)
+    places the supremum at the tie angle of [(tᵢ, tⱼ)] {e clamped into}
+    [θL, θR] — the one-token fix to Algorithm 1's zero case — computable
+    with a single O(log c) envelope query.
+    Always [>= edge_weight ctx i j]. *)
+
+type result = {
+  selected : int array;
+      (** chosen tuples as indices into the original input, in skyline
+          order; at most [r] of them *)
+  dp_value : float;
+      (** the DP objective: the largest gap weight along the chosen
+          path (an upper bound on the selection's true regret) *)
+  regret : float;
+      (** [E(selected)] recomputed independently by {!Regret.exact_2d} —
+          always [<= dp_value] *)
+}
+
+val solve : ?ctx:ctx -> Rrms_geom.Vec.t array -> r:int -> result
+(** The published 2D-RRMS (Algorithms 1 + 2): O(r·s·log s·log c) after
+    skyline computation.  Optimal whenever the paper's monotonicity
+    assumptions hold on the instance; within a few percent of optimal
+    otherwise (see module preamble).  [ctx] avoids recomputing the
+    skyline/hull when solving repeatedly on the same data.
+    @raise Invalid_argument if [r < 1]. *)
+
+val solve_exact : ?ctx:ctx -> Rrms_geom.Vec.t array -> r:int -> result
+(** The corrected exact variant: {!edge_weight_exact} plus a full
+    successor scan, O(r·s²·log c).  Returns a truly optimal set (the
+    DP objective upper-bounds every selection's regret and is tight on
+    an optimal path; validated against brute force in the tests). *)
+
+val solve_brute_force : Rrms_geom.Vec.t array -> r:int -> result
+(** Reference implementation: enumerate every subset of exactly
+    [min r s] skyline tuples and evaluate each with {!Regret.exact_2d}.
+    Exponential; for tests and the baseline discussion of §3.2. *)

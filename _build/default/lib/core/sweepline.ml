@@ -1,0 +1,211 @@
+open Rrms_geom
+
+let half_pi = Float.pi /. 2.
+
+(* Intersect, over all other tuples q, the angle ranges on which p
+   scores at least as high as q.  F_φ(p) - F_φ(q) = sin φ·dx + cos φ·dy,
+   so each pair contributes a one-sided interval with endpoint at the
+   dual intersection atan2(|dy|, |dx|). *)
+let winner_intervals points =
+  let n = Array.length points in
+  let result = ref [] in
+  for i = 0 to n - 1 do
+    let p = points.(i) in
+    let lo = ref 0. and hi = ref half_pi and dead = ref false in
+    (* Deliberately no early exit: the baseline's defining cost is the
+       full Θ(n²) dual-intersection pass, independent of how quickly a
+       tuple turns out to be dominated (DESIGN.md §4). *)
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let q = points.(j) in
+        let dx = p.(0) -. q.(0) and dy = p.(1) -. q.(1) in
+        if dx >= 0. && dy >= 0. then begin
+          (* p >= q everywhere; but a duplicate with a larger index must
+             not also claim the interval. *)
+          if dx = 0. && dy = 0. && j < i then dead := true
+        end
+        else if dx <= 0. && dy <= 0. then dead := true
+        else if dx > 0. then begin
+          (* p wins for φ >= atan2(-dy, dx). *)
+          let cut = atan2 (-.dy) dx in
+          if cut > !lo then lo := cut
+        end
+        else begin
+          (* dx < 0, dy > 0: p wins for φ <= atan2(dy, -dx). *)
+          let cut = atan2 dy (-.dx) in
+          if cut < !hi then hi := cut
+        end
+      end
+    done;
+    if (not !dead) && !lo <= !hi then result := (i, !lo, !hi) :: !result
+  done;
+  let arr = Array.of_list !result in
+  Array.sort (fun (_, lo1, _) (_, lo2, _) -> Float.compare lo1 lo2) arr;
+  arr
+
+type result = { selected : int array; dp_value : float; regret : float }
+
+(* The database maximum at angle φ, by binary search over the winner
+   intervals (sorted by lo, and tiling [0, π/2]). *)
+let max_at winners phi =
+  let lo = ref 0 and hi = ref (Array.length winners - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    let _, l, _ = winners.(mid) in
+    if l <= phi then lo := mid else hi := mid - 1
+  done;
+  let idx, _, _ = winners.(!lo) in
+  idx
+
+(* 2D skyline in top-left -> bottom-right order, derived locally (sort
+   plus sweep) to keep this implementation independent of Rrms2d. *)
+let skyline_order points =
+  let n = Array.length points in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare points.(j).(0) points.(i).(0) in
+      if c <> 0 then c else Float.compare points.(j).(1) points.(i).(1))
+    idx;
+  let kept = ref [] and best_y = ref neg_infinity in
+  Array.iter
+    (fun i ->
+      if points.(i).(1) > !best_y then begin
+        kept := i :: !kept;
+        best_y := points.(i).(1)
+      end)
+    idx;
+  Array.of_list !kept
+
+let solve points ~r =
+  if r < 1 then invalid_arg "Sweepline.solve: r must be >= 1";
+  if Array.length points = 0 then invalid_arg "Sweepline.solve: empty input";
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then invalid_arg "Sweepline.solve: dimension <> 2")
+    points;
+  (* The O(n²) dual-arrangement pass over all tuples. *)
+  let winners = winner_intervals points in
+  let sky = skyline_order points in
+  let s = Array.length sky in
+  (* Keyed by coordinates: the winner pass and the skyline pass may pick
+     different representative indices for duplicated points. *)
+  let pos_of : (float * float, int) Hashtbl.t = Hashtbl.create s in
+  Array.iteri
+    (fun pos i -> Hashtbl.replace pos_of (points.(i).(0), points.(i).(1)) pos)
+    sky;
+  let sp pos = points.(sky.(pos)) in
+  (* Skyline position of each winner, in winner (= chain) order: the
+     winners are the maxima-hull vertices sorted by interval start, so
+     their skyline positions increase. *)
+  let winner_sky_pos =
+    Array.map
+      (fun (idx, _, _) ->
+        match Hashtbl.find_opt pos_of (points.(idx).(0), points.(idx).(1)) with
+        | Some p -> p
+        | None -> assert false (* every winner is a skyline point *))
+      winners
+  in
+  let nw = Array.length winners in
+  (* Exact gap weight: the supremum, over the angle range on which a
+     removed winner holds the maximum, of the regret of answering from
+     {tᵢ, tⱼ}.  Piecewise monotone, so evaluating the interval
+     boundaries inside the range plus the endpoints' tie angle is
+     exact. *)
+  let weight i j =
+    if i = -1 && j = s then if s = 0 then 0. else 1.
+    else if i = -1 then begin
+      let top = (sp 0).(1) in
+      if top <= 0. then 0. else Float.max 0. ((top -. (sp j).(1)) /. top)
+    end
+    else if j = s then begin
+      let top = (sp (s - 1)).(0) in
+      if top <= 0. then 0. else Float.max 0. ((top -. (sp i).(0)) /. top)
+    end
+    else if j - i <= 1 then 0.
+    else begin
+      (* Winner chain range strictly inside the gap. *)
+      let wl =
+        let lo = ref 0 and hi = ref nw in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if winner_sky_pos.(mid) > i then hi := mid else lo := mid + 1
+        done;
+        !lo
+      in
+      let wr =
+        let lo = ref (-1) and hi = ref (nw - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if winner_sky_pos.(mid) < j then lo := mid else hi := mid - 1
+        done;
+        !lo
+      in
+      if wl > wr then 0.
+      else begin
+        let _, lo_angle, _ = winners.(wl) in
+        let _, _, hi_angle = winners.(wr) in
+        let eval phi =
+          let star = max_at winners phi in
+          let w = Polar.weight_of_angle_2d phi in
+          let top = Vec.dot w points.(star) in
+          if top <= 0. then 0.
+          else
+            Float.max 0.
+              ((top -. Float.max (Vec.dot w (sp i)) (Vec.dot w (sp j))) /. top)
+        in
+        (* The pair regret rises with φ on the tᵢ side and falls on the
+           tⱼ side, so its supremum is at the endpoints' tie angle
+           clamped into [lo_angle, hi_angle] (see Rrms2d for the
+           argument); evaluate all three candidates for robustness. *)
+        let best = ref (Float.max (eval lo_angle) (eval hi_angle)) in
+        (match Polar.tie_angle_2d (sp i) (sp j) with
+        | Some a when a > lo_angle && a < hi_angle ->
+            let v = eval a in
+            if v > !best then best := v
+        | Some _ | None -> ());
+        !best
+      end
+    end
+  in
+  if s <= r then begin
+    let selected = Array.copy sky in
+    { selected; dp_value = 0.; regret = Regret.exact_2d ~selected points }
+  end
+  else begin
+    (* Plain quadratic min-max path DP (no successor binary search). *)
+    let dp_prev = Array.init s (fun i -> weight i s) in
+    let dp_cur = Array.make s 0. in
+    let choice = Array.make_matrix r s s in
+    for level = 1 to r - 1 do
+      for i = 0 to s - 1 do
+        let best_v = ref (weight i s) and best_j = ref s in
+        for j = i + 1 to s - 1 do
+          let v = Float.max (weight i j) dp_prev.(j) in
+          if v < !best_v then begin
+            best_v := v;
+            best_j := j
+          end
+        done;
+        dp_cur.(i) <- !best_v;
+        choice.(level).(i) <- !best_j
+      done;
+      Array.blit dp_cur 0 dp_prev 0 s
+    done;
+    let best_v = ref infinity and best_j = ref 0 in
+    for j = 0 to s - 1 do
+      let v = Float.max (weight (-1) j) dp_prev.(j) in
+      if v < !best_v then begin
+        best_v := v;
+        best_j := j
+      end
+    done;
+    let rec follow acc level i =
+      if i >= s then List.rev acc
+      else if level <= 0 then List.rev (i :: acc)
+      else follow (i :: acc) (level - 1) choice.(level).(i)
+    in
+    let positions = follow [] (r - 1) !best_j in
+    let selected = Array.of_list (List.map (fun pos -> sky.(pos)) positions) in
+    { selected; dp_value = !best_v; regret = Regret.exact_2d ~selected points }
+  end

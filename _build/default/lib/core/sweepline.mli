@@ -1,0 +1,36 @@
+(** Sweeping-Line: the quadratic exact 2D baseline of Chester et al.
+    (VLDB'14), reconstructed from the paper's description (§6.1).
+
+    The algorithm works in the dual space: every tuple maps to a line
+    over the ranking-function angle, and the O(n²) pairwise intersections
+    of these lines are where the ranking of two tuples swaps.  Sweeping
+    those events yields, for every tuple, the (possibly empty) angle
+    interval on which it is the database maximum — the level-0 of the
+    dual arrangement.  The optimal set is then found by a plain
+    quadratic min-max path DP over the ordered skyline, with edge
+    weights read off the precomputed winner intervals.
+
+    Faithfulness note (DESIGN.md §4): the pairwise O(n²) dual
+    intersection pass over {e all} tuples dominates the cost, making the
+    running time quadratic in [n] and independent of the attribute
+    correlation — the two properties every 2D figure of the paper relies
+    on — while the result is exactly optimal, like the original.  It is
+    also implemented independently of {!Rrms2d} (no shared hull or DP
+    code), so the two exact algorithms cross-validate each other. *)
+
+type result = {
+  selected : int array;  (** chosen tuples, indices into the input *)
+  dp_value : float;  (** optimal max-gap value found by the DP *)
+  regret : float;  (** [E(selected)] recomputed by {!Regret.exact_2d} *)
+}
+
+val winner_intervals : Rrms_geom.Vec.t array -> (int * float * float) array
+(** The level-0 arrangement: for every tuple that is maximal for some
+    angle, its [(index, lo, hi)] winning interval over φ ∈ \[0, π/2\],
+    sorted by [lo].  Computed by the O(n²) pairwise pass; exposed for
+    tests (the intervals must tile \[0, π/2\] and agree with
+    {!Rrms_geom.Hull2d}). *)
+
+val solve : Rrms_geom.Vec.t array -> r:int -> result
+(** Optimal RRMS by the reconstruction above.  O(n² + r·s²).
+    @raise Invalid_argument if [r < 1] or the input is empty/non-2D. *)

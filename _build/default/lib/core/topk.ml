@@ -1,0 +1,58 @@
+open Rrms_geom
+
+type layers = { layer_members : int array array; covered : int array array }
+
+let build ~select ~probe_funcs ~k points =
+  if k < 1 then invalid_arg "Topk.build: k must be >= 1";
+  let members = Array.make k [||] in
+  let covered = Array.make k [||] in
+  (* [remaining] holds original indices of tuples still alive. *)
+  let remaining = ref (Array.init (Array.length points) Fun.id) in
+  (try
+     for layer = 0 to k - 1 do
+       if Array.length !remaining = 0 then raise Exit;
+       let sub = Array.map (fun i -> points.(i)) !remaining in
+       let picked_sub = select sub in
+       let picked = Array.map (fun si -> !remaining.(si)) picked_sub in
+       members.(layer) <- picked;
+       let picked_points = Array.map (fun i -> points.(i)) picked in
+       let in_picked = Hashtbl.create 16 in
+       Array.iter (fun i -> Hashtbl.replace in_picked i ()) picked;
+       (* A tuple is outside the layer's convex shape if some probe
+          function ranks it above every selected tuple. *)
+       let outside i =
+         let p = points.(i) in
+         Array.exists
+           (fun w ->
+             let score = Vec.dot w p in
+             let best_sel =
+               Array.fold_left
+                 (fun acc q -> Float.max acc (Vec.dot w q))
+                 neg_infinity picked_points
+             in
+             score > best_sel)
+           probe_funcs
+       in
+       let removed = ref [] and kept = ref [] in
+       Array.iter
+         (fun i ->
+           if Hashtbl.mem in_picked i || outside i then removed := i :: !removed
+           else kept := i :: !kept)
+         !remaining;
+       covered.(layer) <- Array.of_list (List.rev !removed);
+       remaining := Array.of_list (List.rev !kept)
+     done
+   with Exit -> ());
+  { layer_members = members; covered }
+
+let topk_from_layers points l w ~k =
+  let pool = ref [] in
+  let upto = min k (Array.length l.layer_members) in
+  for layer = 0 to upto - 1 do
+    Array.iter (fun i -> pool := i :: !pool) l.layer_members.(layer)
+  done;
+  let arr = Array.of_list !pool in
+  Array.sort
+    (fun a b -> Float.compare (Vec.dot w points.(b)) (Vec.dot w points.(a)))
+    arr;
+  if Array.length arr <= k then arr else Array.sub arr 0 k

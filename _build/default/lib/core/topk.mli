@@ -1,0 +1,39 @@
+(** Top-k extension (§5.1): layered compact sets.
+
+    To serve top-k queries (not just top-1) the paper proposes an
+    iterative construction: compute a compact maxima set over the
+    remaining tuples, remove both the selected tuples and every tuple
+    that would "stick out" of the convex shape they form (i.e. beats the
+    whole layer on some ranking function — those tuples belong to the
+    layer's coverage, like ONION's hull layers), and repeat k times.
+    The i-th query answer can then be taken from the first i layers. *)
+
+type layers = {
+  layer_members : int array array;
+      (** [layer_members.(i)] = tuples selected for layer i (indices
+          into the original input) *)
+  covered : int array array;
+      (** [covered.(i)] = tuples removed with layer i (selected or
+          outside its convex shape) *)
+}
+
+val build :
+  select:(Rrms_geom.Vec.t array -> int array) ->
+  probe_funcs:Rrms_geom.Vec.t array ->
+  k:int ->
+  Rrms_geom.Vec.t array ->
+  layers
+(** [build ~select ~probe_funcs ~k points] runs [k] iterations.
+    [select] is the single-layer algorithm on the remaining tuples
+    (returning indices {e into the array it is given}); a tuple is
+    outside the layer's shape when some probe function scores it above
+    every selected tuple.  Stops early when no tuples remain; trailing
+    layers are then empty.
+    @raise Invalid_argument if [k < 1]. *)
+
+val topk_from_layers :
+  Rrms_geom.Vec.t array -> layers -> Rrms_geom.Vec.t -> k:int -> int array
+(** [topk_from_layers points l w ~k] answers a top-k query for weights
+    [w] from the union of the first [k] layers, returning [k] tuple
+    indices in decreasing score order (fewer if the layers hold fewer
+    tuples). *)

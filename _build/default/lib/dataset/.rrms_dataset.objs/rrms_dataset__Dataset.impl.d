@@ -1,0 +1,1 @@
+lib/dataset/dataset.ml: Array Filename Float Format Fun In_channel List Printf Rrms_geom String

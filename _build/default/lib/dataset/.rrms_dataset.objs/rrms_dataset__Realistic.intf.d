@@ -1,0 +1,1 @@
+lib/dataset/realistic.mli: Dataset Rrms_rng

@@ -1,0 +1,1 @@
+lib/dataset/synthetic.ml: Array Dataset Float Printf Rrms_rng

@@ -1,0 +1,1 @@
+lib/dataset/synthetic.mli: Dataset Rrms_rng

@@ -1,0 +1,132 @@
+type t = {
+  name : string;
+  attributes : string array;
+  data : Rrms_geom.Vec.t array;
+}
+
+let create ?(name = "dataset") ~attributes data =
+  let m = Array.length attributes in
+  if m = 0 then invalid_arg "Dataset.create: no attributes";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> m then
+        invalid_arg
+          (Printf.sprintf "Dataset.create: row %d has %d values, expected %d" i
+             (Array.length row) m);
+      Array.iter
+        (fun v ->
+          if not (Float.is_finite v) || v < 0. then
+            invalid_arg
+              (Printf.sprintf
+                 "Dataset.create: row %d has a negative or non-finite value" i))
+        row)
+    data;
+  { name; attributes; data }
+
+let name t = t.name
+let attributes t = Array.copy t.attributes
+let size t = Array.length t.data
+let dim t = Array.length t.attributes
+let row t i = t.data.(i)
+let rows t = Array.copy t.data
+let value t i j = t.data.(i).(j)
+
+let project t cols =
+  let m = dim t in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m then invalid_arg "Dataset.project: bad column index")
+    cols;
+  {
+    name = t.name;
+    attributes = Array.map (fun j -> t.attributes.(j)) cols;
+    data = Array.map (fun r -> Array.map (fun j -> r.(j)) cols) t.data;
+  }
+
+let take t k =
+  let k = min k (size t) in
+  { t with data = Array.sub t.data 0 k }
+
+let select t idxs =
+  { t with data = Array.map (fun i -> t.data.(i)) idxs }
+
+let attribute_max t j =
+  Array.fold_left (fun acc r -> Float.max acc r.(j)) neg_infinity t.data
+
+let normalize t =
+  if size t = 0 then t
+  else begin
+    let m = dim t in
+    let maxima = Array.init m (fun j -> attribute_max t j) in
+    let scale = Array.map (fun mx -> if mx > 0. then 1. /. mx else 1.) maxima in
+    {
+      t with
+      data = Array.map (fun r -> Array.mapi (fun j v -> v *. scale.(j)) r) t.data;
+    }
+  end
+
+let to_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," (Array.to_list t.attributes));
+      output_char oc '\n';
+      Array.iter
+        (fun r ->
+          let cells = Array.to_list (Array.map (Printf.sprintf "%.17g") r) in
+          output_string oc (String.concat "," cells);
+          output_char oc '\n')
+        t.data)
+
+let of_csv ?name:(nm = "") path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | Some line -> line
+        | None -> failwith "Dataset.of_csv: empty file"
+      in
+      let attributes =
+        Array.of_list (String.split_on_char ',' (String.trim header))
+      in
+      let m = Array.length attributes in
+      let rows = ref [] in
+      let lineno = ref 1 in
+      let rec read () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+            incr lineno;
+            let line = String.trim line in
+            if line <> "" then begin
+              let cells = String.split_on_char ',' line in
+              if List.length cells <> m then
+                failwith
+                  (Printf.sprintf "Dataset.of_csv: line %d has %d cells, expected %d"
+                     !lineno (List.length cells) m);
+              let row =
+                Array.of_list
+                  (List.map
+                     (fun c ->
+                       match float_of_string_opt (String.trim c) with
+                       | Some v -> v
+                       | None ->
+                           failwith
+                             (Printf.sprintf
+                                "Dataset.of_csv: line %d: not a number: %s"
+                                !lineno c))
+                     cells)
+              in
+              rows := row :: !rows
+            end;
+            read ()
+      in
+      read ();
+      let nm = if nm = "" then Filename.remove_extension (Filename.basename path) else nm in
+      create ~name:nm ~attributes (Array.of_list (List.rev !rows)))
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d tuples x %d attributes" t.name (size t) (dim t)

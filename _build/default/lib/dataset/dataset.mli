@@ -1,0 +1,63 @@
+(** In-memory databases of numeric tuples.
+
+    A dataset is an immutable collection of [n] tuples over [m] named
+    numeric attributes, all non-negative and "higher is better" — the data
+    model of the paper (§2).  Tuples are stored as one [float array] per
+    row, shared with {!Rrms_geom.Vec.t} so algorithms can score rows with
+    no conversion. *)
+
+type t
+
+val create : ?name:string -> attributes:string array -> Rrms_geom.Vec.t array -> t
+(** [create ~attributes rows] builds a dataset.  Every row must have
+    length [Array.length attributes] and only finite, non-negative
+    values.
+    @raise Invalid_argument otherwise, or if there are no attributes. *)
+
+val name : t -> string
+val attributes : t -> string array
+val size : t -> int
+(** Number of tuples, [n]. *)
+
+val dim : t -> int
+(** Number of attributes, [m]. *)
+
+val row : t -> int -> Rrms_geom.Vec.t
+(** [row d i] is the i-th tuple.  The array is shared, do not mutate. *)
+
+val rows : t -> Rrms_geom.Vec.t array
+(** All rows; the outer array is fresh, the rows are shared. *)
+
+val value : t -> int -> int -> float
+(** [value d i j] is attribute [j] of tuple [i]. *)
+
+val project : t -> int array -> t
+(** [project d cols] keeps only the given attribute columns (in the given
+    order).  @raise Invalid_argument on bad column indices. *)
+
+val take : t -> int -> t
+(** [take d k] is the dataset of the first [min k n] tuples.  Used by the
+    vary-[n] experiments, which grow a prefix of one generated dataset. *)
+
+val select : t -> int array -> t
+(** [select d idxs] is the sub-dataset of the given row indices. *)
+
+val normalize : t -> t
+(** Scale each attribute to \[0, 1\] by dividing by its maximum (columns
+    with maximum 0 are left untouched).  Regret ratios are invariant
+    under per-dataset uniform scaling but not per-attribute scaling, so
+    experiments normalize first, as is standard for this literature. *)
+
+val attribute_max : t -> int -> float
+(** Maximum of a column. *)
+
+val to_csv : t -> string -> unit
+(** [to_csv d path] writes a header line with attribute names and one
+    comma-separated line per tuple. *)
+
+val of_csv : ?name:string -> string -> t
+(** [of_csv path] reads a file written by {!to_csv} (header required).
+    @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Short human-readable summary: name, [n], [m]. *)

@@ -1,0 +1,136 @@
+let clamp lo hi v = Float.min hi (Float.max lo v)
+
+(* Rough US domestic flight-length distribution: a short-haul bulk, a
+   mid-haul shoulder and a transcontinental tail, in miles. *)
+let sample_distance rng =
+  let u = Rrms_rng.Rng.float rng 1. in
+  if u < 0.55 then Rrms_rng.Rng.uniform rng 150. 800.
+  else if u < 0.9 then Rrms_rng.Rng.uniform rng 800. 2000.
+  else Rrms_rng.Rng.uniform rng 2000. 2800.
+
+let airline rng ~n =
+  (* Elapsed time is lower-is-better, so it is flipped against a 600-min
+     cap at generation (like the DOT delays): a maxima query then seeks
+     the long-distance, short-duration trade-off curve, which gives the
+     non-trivial skyline the 2D experiments need. *)
+  let cap = 600. in
+  let data =
+    Array.init n (fun _ ->
+        let distance = sample_distance rng in
+        (* Cruise ~470 mph plus ~40 min fixed overhead and noise. *)
+        let elapsed =
+          (distance /. 470. *. 60.) +. 40.
+          +. Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:12.
+        in
+        [| cap -. clamp 20. cap elapsed; distance |])
+  in
+  Dataset.create ~name:"airline-sim"
+    ~attributes:[| "actual_elapsed_time"; "distance" |]
+    data
+
+(* One draw from a mixture mimicking flight delays: most flights are
+   on time, a minority have a heavy exponential tail. *)
+let sample_delay rng ~p_late ~tail_mean =
+  if Rrms_rng.Rng.float rng 1. < p_late then
+    Rrms_rng.Rng.exponential rng ~rate:(1. /. tail_mean)
+  else Float.abs (Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:3.)
+
+let dot rng ~n =
+  (* Flip caps chosen near real-data extremes so flipped values stay
+     non-negative. *)
+  let delay_cap = 600. in
+  let data =
+    Array.init n (fun _ ->
+        let distance = sample_distance rng in
+        let air_time =
+          clamp 15. 500.
+            ((distance /. 470. *. 60.)
+            +. Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:8.)
+        in
+        let taxi_out =
+          clamp 1. 120. (Rrms_rng.Rng.gaussian rng ~mean:16. ~stddev:6.)
+        in
+        let taxi_in =
+          clamp 1. 60. (Rrms_rng.Rng.gaussian rng ~mean:7. ~stddev:3.)
+        in
+        let elapsed = air_time +. taxi_out +. taxi_in in
+        let dep_delay = clamp 0. delay_cap (sample_delay rng ~p_late:0.35 ~tail_mean:28.) in
+        (* Arrival delay tracks departure delay minus slack made up in
+           the air, plus independent arrival noise. *)
+        let arr_delay =
+          clamp 0. delay_cap
+            ((dep_delay *. 0.85)
+            +. sample_delay rng ~p_late:0.2 ~tail_mean:15.
+            -. Float.abs (Rrms_rng.Rng.gaussian rng ~mean:5. ~stddev:5.))
+        in
+        (* Higher is better: flip delay/taxi metrics. *)
+        [|
+          delay_cap -. dep_delay;
+          120. -. taxi_out;
+          60. -. taxi_in;
+          elapsed;
+          air_time;
+          distance;
+          delay_cap -. arr_delay;
+        |])
+  in
+  Dataset.create ~name:"dot-sim"
+    ~attributes:
+      [|
+        "dep_delay";
+        "taxi_out";
+        "taxi_in";
+        "actual_elapsed_time";
+        "air_time";
+        "distance";
+        "arrival_delay";
+      |]
+    data
+
+let nba rng ~n =
+  let data =
+    Array.init n (fun _ ->
+        (* Latent factors: availability, role size and scoring skill. *)
+        let gp = float_of_int (1 + Rrms_rng.Rng.int rng 82) in
+        let role = Rrms_rng.Rng.float rng 1. in
+        (* Minutes per game grows with role; bench players cluster low. *)
+        let mpg = clamp 2. 42. (4. +. (36. *. (role ** 1.3))
+                                +. Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:3.) in
+        let minutes = gp *. mpg in
+        let usage = clamp 0.05 0.38 (0.12 +. (0.18 *. role)
+                                     +. Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:0.04) in
+        (* Per-36-minute attempt rates scaled by usage. *)
+        let per36 = minutes /. 36. in
+        let noise s = Float.max 0. (1. +. Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:s) in
+        let fga = per36 *. usage *. 45. *. noise 0.15 in
+        let three_share = Rrms_rng.Rng.float rng 0.5 in
+        let tpa = fga *. three_share *. noise 0.3 in
+        let fg_pct = clamp 0.3 0.65 (Rrms_rng.Rng.gaussian rng ~mean:0.46 ~stddev:0.05) in
+        let tp_pct = clamp 0.2 0.45 (Rrms_rng.Rng.gaussian rng ~mean:0.34 ~stddev:0.05) in
+        let fgm = fga *. fg_pct in
+        let tpm = tpa *. tp_pct in
+        let fta = fga *. clamp 0.1 0.6 (Rrms_rng.Rng.gaussian rng ~mean:0.3 ~stddev:0.1) in
+        let ftm = fta *. clamp 0.4 0.95 (Rrms_rng.Rng.gaussian rng ~mean:0.76 ~stddev:0.08) in
+        let pts = (2. *. (fgm -. tpm)) +. (3. *. tpm) +. ftm in
+        let big = Rrms_rng.Rng.float rng 1. in (* size: bigs rebound/block *)
+        let oreb = per36 *. (1. +. (3.5 *. big)) *. noise 0.3 in
+        let dreb = per36 *. (2. +. (6. *. big)) *. noise 0.25 in
+        let reb = oreb +. dreb in
+        let asts = per36 *. (1. +. (7. *. (1. -. big) *. role)) *. noise 0.3 in
+        let stl = per36 *. (0.5 +. (1.2 *. role)) *. noise 0.3 in
+        let blk = per36 *. (0.2 +. (2.2 *. big *. role)) *. noise 0.4 in
+        let turnover = (fga *. 0.18) +. (asts *. 0.25) *. noise 0.2 in
+        let pf = per36 *. clamp 0.5 6. (Rrms_rng.Rng.gaussian rng ~mean:2.8 ~stddev:0.8) in
+        let r v = Float.round (Float.max 0. v) in
+        [|
+          r pts; r reb; r asts; r stl; r blk; r minutes; gp; r oreb; r dreb;
+          r turnover; r pf; r fga; r fgm; r fta; r ftm; r tpa; r tpm;
+        |])
+  in
+  Dataset.create ~name:"nba-sim"
+    ~attributes:
+      [|
+        "pts"; "reb"; "asts"; "stl"; "blk"; "minutes"; "gp"; "oreb"; "dreb";
+        "turnover"; "pf"; "fga"; "fgm"; "fta"; "ftm"; "tpa"; "tpm";
+      |]
+    data

@@ -1,0 +1,41 @@
+(** Simulated stand-ins for the paper's real-world datasets.
+
+    The evaluation uses three public datasets (Airline 2008, US DOT
+    on-time performance 2015, and databasebasketball.com NBA player
+    seasons).  This reproduction runs in a sealed container, so the raw
+    files cannot be fetched; instead each simulator below synthesizes a
+    table with the same schema (ordinal attributes only), scale and —
+    most importantly — correlation structure, since attribute correlation
+    is what determines skyline/hull size and therefore algorithm
+    behaviour.  See DESIGN.md §4 for the substitution rationale.
+
+    All attributes are emitted "higher is better" and non-negative:
+    delay-like metrics are flipped as [cap - value] at generation time so
+    a maxima query prefers punctual flights, exactly as one would
+    preprocess the real data for a regret-minimization study. *)
+
+val airline : Rrms_rng.Rng.t -> n:int -> Dataset.t
+(** Two strongly (negatively) dependent attributes mirroring the 2008
+    Airline dataset columns used in Figure 12: [actual_elapsed_time]
+    (flipped to higher-is-better against a 600-minute cap, since flight
+    time is essentially distance over cruise speed plus overhead) and
+    [distance].  The tight dependence leaves a narrow trade-off band
+    whose upper envelope is the skyline. *)
+
+val dot : Rrms_rng.Rng.t -> n:int -> Dataset.t
+(** Seven ordinal attributes in the DOT on-time schema order:
+    [dep_delay, taxi_out, taxi_in, actual_elapsed_time, air_time,
+    distance, arrival_delay].  Delays are heavy-tailed (exponential
+    mixture) and correlated with each other; times/distance are mutually
+    correlated but nearly independent of the delays, producing the
+    mid-sized skylines that make Figures 27–28 interesting.  Delay-like
+    columns are flipped to higher-is-better. *)
+
+val nba : Rrms_rng.Rng.t -> n:int -> Dataset.t
+(** Seventeen per-season counting stats, driven by latent games-played,
+    minutes and usage factors so that the strong positive correlations of
+    real box-score data (points vs minutes vs field-goal attempts, ...)
+    are present.  Attribute order puts the commonly ranked stats first
+    ([pts, reb, asts, stl, blk, ...]) so projecting to the first [m]
+    columns — what the vary-[m] experiments do — ranks players on
+    meaningful criteria. *)

@@ -1,0 +1,164 @@
+let clamp01 v = Float.min 1. (Float.max 0. v)
+
+let attr_names m = Array.init m (fun j -> Printf.sprintf "a%d" (j + 1))
+
+let independent rng ~n ~m =
+  let data =
+    Array.init n (fun _ -> Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.))
+  in
+  Dataset.create ~name:"independent" ~attributes:(attr_names m) data
+
+let correlated ?(sigma = 0.05) rng ~n ~m =
+  let data =
+    Array.init n (fun _ ->
+        let base = Rrms_rng.Rng.float rng 1. in
+        Array.init m (fun _ ->
+            clamp01 (base +. Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:sigma)))
+  in
+  Dataset.create ~name:"correlated" ~attributes:(attr_names m) data
+
+let anticorrelated ?(spread = 0.6) rng ~n ~m =
+  let data =
+    Array.init n (fun _ ->
+        let base =
+          clamp01 (Rrms_rng.Rng.gaussian rng ~mean:0.5 ~stddev:0.05)
+        in
+        (* Zero-sum displacement keeps the tuple near the plane
+           Σxᵢ = m·base while spreading it along the plane; the base
+           jitter is kept small so the along-plane spread dominates and
+           the pairwise correlation is strongly negative (≈ -0.9 in 2D
+           at the default spread). *)
+        let u = Array.init m (fun _ -> Rrms_rng.Rng.uniform rng (-1.) 1.) in
+        let mean = Array.fold_left ( +. ) 0. u /. float_of_int m in
+        Array.map (fun ui -> clamp01 (base +. (spread *. (ui -. mean)))) u)
+  in
+  Dataset.create ~name:"anticorrelated" ~attributes:(attr_names m) data
+
+let of_correlation kind rng ~n ~m =
+  match kind with
+  | `Correlated -> correlated rng ~n ~m
+  | `Independent -> independent rng ~n ~m
+  | `Anticorrelated -> anticorrelated rng ~n ~m
+
+let in_quarter_disk rng ~n =
+  let data =
+    Array.init n (fun _ ->
+        (* Rejection sampling in the unit square: ~78% acceptance. *)
+        let rec draw () =
+          let x = Rrms_rng.Rng.float rng 1. and y = Rrms_rng.Rng.float rng 1. in
+          if (x *. x) +. (y *. y) <= 1. then [| x; y |] else draw ()
+        in
+        draw ())
+  in
+  Dataset.create ~name:"quarter-disk" ~attributes:(attr_names 2) data
+
+(* 2D dominance filter (kept local to avoid depending on the skyline
+   library from below it): sort by x descending and sweep, keeping points
+   of strictly increasing y. *)
+let non_dominated_2d points =
+  let idx = Array.init (Array.length points) (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare points.(j).(0) points.(i).(0) in
+      if c <> 0 then c else Float.compare points.(j).(1) points.(i).(1))
+    idx;
+  let kept = ref [] and best_y = ref neg_infinity in
+  Array.iter
+    (fun i ->
+      if points.(i).(1) > !best_y then begin
+        kept := points.(i) :: !kept;
+        best_y := points.(i).(1)
+      end)
+    idx;
+  Array.of_list !kept
+
+let skyline_only_2d rng ~target =
+  if target <= 0 then invalid_arg "Synthetic.skyline_only_2d: target <= 0";
+  (* The skyline of N points drawn uniformly from the disk interior is
+     only Θ(N^⅓), so the paper's "draw from the unit circle and remove
+     dominated points" recipe is only practical when the draws land near
+     the arc.  We sample angles uniformly with a small inward radial
+     jitter (so the surviving set is curved, with the convex hull a
+     proper subset of the skyline) and dominance-filter until [target]
+     skyline points remain. *)
+  let draw_batch k =
+    Array.init k (fun _ ->
+        let theta = Rrms_rng.Rng.uniform rng 0. (Float.pi /. 2.) in
+        let jitter = Float.abs (Rrms_rng.Rng.gaussian rng ~mean:0. ~stddev:0.002) in
+        let radius = Float.max 0.98 (1. -. jitter) in
+        [| radius *. cos theta; radius *. sin theta |])
+  in
+  let rec grow acc =
+    if Array.length acc >= target then Array.sub acc 0 target
+    else
+      let batch = draw_batch (max 256 target) in
+      grow (non_dominated_2d (Array.append acc batch))
+  in
+  let data = grow [||] in
+  Dataset.create ~name:"skyline-only-2d" ~attributes:(attr_names 2) data
+
+let in_polygon rng ~vertices ~n =
+  let k = Array.length vertices in
+  if k < 3 then invalid_arg "Synthetic.in_polygon: need >= 3 vertices";
+  Array.iter
+    (fun (x, y) ->
+      if x < 0. || y < 0. then
+        invalid_arg "Synthetic.in_polygon: negative coordinate")
+    vertices;
+  (* Fan triangulation from vertex 0, with triangles picked by area. *)
+  let x0, y0 = vertices.(0) in
+  let tri_area (ax, ay) (bx, by) =
+    Float.abs (((ax -. x0) *. (by -. y0)) -. ((ay -. y0) *. (bx -. x0))) /. 2.
+  in
+  let areas =
+    Array.init (k - 2) (fun i -> tri_area vertices.(i + 1) vertices.(i + 2))
+  in
+  let total = Array.fold_left ( +. ) 0. areas in
+  if total <= 0. then invalid_arg "Synthetic.in_polygon: degenerate polygon";
+  let pick_triangle () =
+    let r = Rrms_rng.Rng.float rng total in
+    let acc = ref 0. and chosen = ref (k - 3) in
+    (try
+       Array.iteri
+         (fun i a ->
+           acc := !acc +. a;
+           if r < !acc then begin
+             chosen := i;
+             raise Exit
+           end)
+         areas
+     with Exit -> ());
+    !chosen
+  in
+  let data =
+    Array.init n (fun _ ->
+        let i = pick_triangle () in
+        let ax, ay = vertices.(i + 1) and bx, by = vertices.(i + 2) in
+        (* Uniform in a triangle via the reflection trick. *)
+        let u = Rrms_rng.Rng.float rng 1. and v = Rrms_rng.Rng.float rng 1. in
+        let u, v = if u +. v > 1. then (1. -. u, 1. -. v) else (u, v) in
+        [|
+          x0 +. (u *. (ax -. x0)) +. (v *. (bx -. x0));
+          y0 +. (u *. (ay -. y0)) +. (v *. (by -. y0));
+        |])
+  in
+  Dataset.create ~name:"polygon" ~attributes:(attr_names 2) data
+
+let greedy_pathological ~epsilon ~extra rng =
+  if epsilon <= 0. || epsilon >= 0.5 then
+    invalid_arg "Synthetic.greedy_pathological: epsilon must be in (0, 0.5)";
+  let corner = 1. -. epsilon in
+  let fixed =
+    [|
+      [| 1.; 0.; 0. |];
+      [| 0.; 1.; 0. |];
+      [| 0.; 0.; 1. |];
+      [| corner; corner; corner |];
+    |]
+  in
+  let filler =
+    Array.init extra (fun _ ->
+        Array.init 3 (fun _ -> Rrms_rng.Rng.float rng corner))
+  in
+  Dataset.create ~name:"greedy-pathological" ~attributes:(attr_names 3)
+    (Array.append fixed filler)

@@ -1,0 +1,61 @@
+(** Synthetic data generators.
+
+    The correlated / independent / anti-correlated families follow the
+    construction of Börzsönyi, Kossmann & Stocker (ICDE'01), the standard
+    benchmark generator of the skyline literature and the one the paper
+    uses (§6.1).  Attribute correlation is the main driver of skyline and
+    convex-hull size, which in turn drives the algorithms' behaviour:
+
+    - {e correlated}: tuples hug the main diagonal; tiny skyline.
+    - {e independent}: uniform in the unit hypercube;
+      skyline ≈ O((ln n)^(m-1)).
+    - {e anti-correlated}: tuples hug the hyperplane Σxᵢ ≈ const with a
+      large spread along it; most tuples are on the skyline.
+
+    All generators are deterministic given the {!Rrms_rng.Rng.t}. *)
+
+val independent : Rrms_rng.Rng.t -> n:int -> m:int -> Dataset.t
+(** Uniform in [\[0,1\]^m]. *)
+
+val correlated : ?sigma:float -> Rrms_rng.Rng.t -> n:int -> m:int -> Dataset.t
+(** Each tuple is a common uniform base value plus per-attribute Gaussian
+    jitter of standard deviation [sigma] (default 0.05), clamped to
+    [\[0,1\]]. *)
+
+val anticorrelated :
+  ?spread:float -> Rrms_rng.Rng.t -> n:int -> m:int -> Dataset.t
+(** Each tuple sits near the hyperplane [Σ xᵢ = m·v] for a base value [v]
+    concentrated around 0.5, displaced along the plane by a zero-sum
+    perturbation of magnitude up to [spread] (default 0.35), clamped to
+    [\[0,1\]]. *)
+
+val of_correlation :
+  [ `Correlated | `Independent | `Anticorrelated ] ->
+  Rrms_rng.Rng.t ->
+  n:int ->
+  m:int ->
+  Dataset.t
+(** Dispatch on the correlation model (used by the experiment harness). *)
+
+val skyline_only_2d : Rrms_rng.Rng.t -> target:int -> Dataset.t
+(** The paper's "skyline-only" workload (Figure 10): draw points uniformly
+    from the positive quadrant of the unit disk and keep only the
+    non-dominated ones, repeating until at least [target] skyline points
+    exist; the result is trimmed to exactly [target] tuples, every one of
+    which is on the skyline of the result. *)
+
+val in_polygon : Rrms_rng.Rng.t -> vertices:(float * float) array -> n:int -> Dataset.t
+(** Uniform points inside a convex polygon with the given vertices (in
+    order).  Reproduces the "curvature" discussion of §1: a k-gon yields
+    an expected hull of O(k log n) while a disk yields O(n^⅓).
+    @raise Invalid_argument if fewer than 3 vertices or any coordinate is
+    negative. *)
+
+val in_quarter_disk : Rrms_rng.Rng.t -> n:int -> Dataset.t
+(** Uniform points in the positive quadrant of the unit disk. *)
+
+val greedy_pathological : epsilon:float -> extra:int -> Rrms_rng.Rng.t -> Dataset.t
+(** The §4.1 gadget showing GREEDY can be arbitrarily bad: the 3D points
+    [e₁, e₂, e₃, (1-ε, 1-ε, 1-ε)] plus [extra] filler points uniform in
+    [\[0, 1-ε)³].  With [r = 3], GREEDY picks the three unit vectors
+    (regret 1 - 2ε ≈ 1) while the optimal set achieves ε. *)

@@ -1,0 +1,1 @@
+lib/geom/hull2d.ml: Array Float List Polar Vec

@@ -1,0 +1,1 @@
+lib/geom/polar.ml: Array Float Vec

@@ -1,0 +1,96 @@
+type t = {
+  points : Vec.t array;
+  hull : int array; (* indices into [points], top-left -> bottom-right *)
+  breaks : float array; (* tie angles between consecutive hull vertices *)
+}
+
+(* Indices of the 2D skyline, sorted by A₁ ascending (hence A₂ strictly
+   descending).  Duplicates of a point collapse to one representative. *)
+let staircase points =
+  let n = Array.length points in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare points.(i).(0) points.(j).(0) in
+      if c <> 0 then c else Float.compare points.(j).(1) points.(i).(1))
+    idx;
+  (* Keep the first (max-A₂) point of every A₁ group, then sweep from the
+     right keeping points whose A₂ strictly exceeds everything seen. *)
+  let dedup = ref [] in
+  Array.iteri
+    (fun k i ->
+      match !dedup with
+      | j :: _ when points.(j).(0) = points.(i).(0) -> ignore k
+      | _ -> dedup := i :: !dedup)
+    idx;
+  (* [dedup] is in descending A₁ order. *)
+  let kept = ref [] and best_y = ref neg_infinity in
+  List.iter
+    (fun i ->
+      if points.(i).(1) > !best_y then begin
+        kept := i :: !kept;
+        best_y := points.(i).(1)
+      end)
+    !dedup;
+  (* [dedup] was descending in A₁ and [kept] prepends, so it is already
+     ascending. *)
+  Array.of_list !kept
+
+let cross o a b =
+  ((a.(0) -. o.(0)) *. (b.(1) -. o.(1)))
+  -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+let build points =
+  if Array.length points = 0 then invalid_arg "Hull2d.build: empty input";
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then invalid_arg "Hull2d.build: dimension <> 2")
+    points;
+  let stair = staircase points in
+  (* Monotone chain over the staircase: walking left to right an upper
+     hull makes only clockwise turns (negative cross product). *)
+  let stack = Array.make (Array.length stair) 0 in
+  let top = ref 0 in
+  Array.iter
+    (fun i ->
+      let p = points.(i) in
+      while
+        !top >= 2
+        && cross points.(stack.(!top - 2)) points.(stack.(!top - 1)) p >= 0.
+      do
+        decr top
+      done;
+      stack.(!top) <- i;
+      incr top)
+    stair;
+  let hull = Array.sub stack 0 !top in
+  let breaks =
+    Array.init (Array.length hull - 1) (fun k ->
+        match Polar.tie_angle_2d points.(hull.(k)) points.(hull.(k + 1)) with
+        | Some phi -> phi
+        | None -> assert false (* consecutive hull vertices always tie *))
+  in
+  { points; hull; breaks }
+
+let size t = Array.length t.hull
+
+let vertex t k = t.hull.(k)
+
+let vertex_point t k = t.points.(t.hull.(k))
+
+let vertices t = Array.copy t.hull
+
+let breakpoints t = Array.copy t.breaks
+
+let max_index_at t phi =
+  (* Smallest k with phi <= breaks.(k); vertex k is the maximum on
+     [breaks.(k-1), breaks.(k)]. *)
+  let c = Array.length t.breaks in
+  let lo = ref 0 and hi = ref c in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if phi <= t.breaks.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let max_point_at t phi = vertex_point t (max_index_at t phi)

@@ -1,0 +1,45 @@
+(** The 2D maxima hull and its sorted angle list ℓ (§3.1.2 of the paper).
+
+    The {e maxima hull} of a set of 2D points is the chain of convex-hull
+    vertices that maximize at least one linear ranking function with
+    non-negative weights — the upper-right staircase of the hull, running
+    from the maximum-A₂ point (top left) to the maximum-A₁ point (bottom
+    right).  Walking the chain, the ranking-function angle φ (measured
+    from the +A₂ axis, see {!Polar.angle_2d}) at which the maximum hands
+    over from one vertex to the next is the tie angle of the two vertices;
+    the paper calls the sorted list of these angles ℓ and binary-searches
+    it to evaluate edge weights in O(log c). *)
+
+type t
+
+val build : Vec.t array -> t
+(** [build points] computes the maxima hull of [points] (any 2D points,
+    not necessarily a skyline; dominated points are filtered internally).
+    @raise Invalid_argument if [points] is empty or not 2-dimensional. *)
+
+val size : t -> int
+(** Number of hull vertices, [c]. *)
+
+val vertex : t -> int -> int
+(** [vertex h k] is the index {e into the original input array} of the
+    k-th hull vertex (0-based, top-left to bottom-right). *)
+
+val vertex_point : t -> int -> Vec.t
+(** The coordinates of the k-th hull vertex. *)
+
+val vertices : t -> int array
+(** All hull vertex input-indices, in chain order.  Fresh copy. *)
+
+val breakpoints : t -> float array
+(** The interior angles of ℓ: [breakpoints h] has length [size h - 1] and
+    its k-th entry is the angle at which the maximum passes from vertex
+    [k] to vertex [k+1].  Non-decreasing.  Fresh copy. *)
+
+val max_index_at : t -> float -> int
+(** [max_index_at h φ] is the hull position (0-based) of the vertex that
+    maximizes the ranking function with angle [φ ∈ [0, π/2]] — a binary
+    search on ℓ, O(log c).  At a breakpoint either endpoint maximizes;
+    the smaller position is returned. *)
+
+val max_point_at : t -> float -> Vec.t
+(** Convenience: the coordinates of [max_index_at]. *)

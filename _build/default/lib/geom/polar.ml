@@ -1,0 +1,66 @@
+let to_cartesian angles =
+  let k = Array.length angles in
+  if k = 0 then invalid_arg "Polar.to_cartesian: no angles";
+  let m = k + 1 in
+  let v = Array.make m 0. in
+  (* Algorithm 3 of the paper, 0-based: peel one cosine per coordinate
+     from the highest down, carrying the product of sines as the radius. *)
+  let radius = ref 1. in
+  for j = m - 1 downto 1 do
+    v.(j) <- !radius *. cos angles.(j - 1);
+    radius := !radius *. sin angles.(j - 1)
+  done;
+  v.(0) <- !radius;
+  v
+
+let to_angles v =
+  let m = Array.length v in
+  if m < 2 then invalid_arg "Polar.to_angles: dimension must be >= 2";
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg "Polar.to_angles: negative component")
+    v;
+  let n = Vec.norm v in
+  if n = 0. then invalid_arg "Polar.to_angles: zero vector";
+  let angles = Array.make (m - 1) 0. in
+  let radius = ref n in
+  (* Invert the recursion: at step j, v.(j) = radius * cos θ_{j-1}. *)
+  (try
+     for j = m - 1 downto 1 do
+       if !radius <= 0. then begin
+         (* Remaining coordinates are all zero; leave angles at 0. *)
+         raise Exit
+       end;
+       let c = Float.min 1. (Float.max (-1.) (v.(j) /. !radius)) in
+       let theta = acos c in
+       angles.(j - 1) <- theta;
+       radius := !radius *. sin theta
+     done
+   with Exit -> ());
+  angles
+
+let angle_2d w =
+  if Array.length w <> 2 then invalid_arg "Polar.angle_2d: dimension <> 2";
+  atan2 w.(0) w.(1)
+
+let weight_of_angle_2d phi = [| sin phi; cos phi |]
+
+let tie_angle_2d p q =
+  if Array.length p <> 2 || Array.length q <> 2 then
+    invalid_arg "Polar.tie_angle_2d: dimension <> 2";
+  (* w·p = w·q with w = (sin φ, cos φ) gives sin φ · dx = cos φ · dy, i.e.
+     tan φ = dy / dx; a φ in [0, π/2] exists only when dx and dy do not
+     have opposite signs. *)
+  let dx = p.(0) -. q.(0) and dy = q.(1) -. p.(1) in
+  if dx = 0. && dy = 0. then None
+  else if dx = 0. then Some (Float.pi /. 2.) (* equal A₁: tie under pure A₁ *)
+  else if dy = 0. then Some 0. (* equal A₂: tie under pure A₂ *)
+  else if (dx > 0. && dy > 0.) || (dx < 0. && dy < 0.) then
+    Some (atan2 (Float.abs dy) (Float.abs dx))
+  else None
+
+let angular_distance a b =
+  let na = Vec.norm a and nb = Vec.norm b in
+  if na = 0. || nb = 0. then
+    invalid_arg "Polar.angular_distance: zero vector";
+  let c = Vec.dot a b /. (na *. nb) in
+  acos (Float.min 1. (Float.max (-1.) c))

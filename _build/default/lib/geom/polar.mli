@@ -1,0 +1,52 @@
+(** Polar coordinates on the non-negative orthant of the unit sphere.
+
+    Linear ranking functions are identified with their weight vectors; the
+    regret ratio is invariant under positive scaling of the weights, so the
+    function space is exactly the portion of the unit sphere with all
+    coordinates non-negative.  The paper's DISCRETIZE algorithm (§4.3)
+    walks this surface on a grid of [m - 1] polar angles, each in
+    [\[0, π/2\]].  This module implements the polar ↔ Cartesian transform
+    in the exact convention of the paper's Algorithm 3:
+
+    {v
+      v[m]   = cos θ[m-1]
+      v[m-1] = sin θ[m-1] · cos θ[m-2]
+      ...
+      v[1]   = sin θ[m-1] · ... · sin θ[1]
+    v}
+
+    (with 1-based indexing as in the paper; here arrays are 0-based). *)
+
+val to_cartesian : float array -> float array
+(** [to_cartesian angles] maps [m - 1] angles in [\[0, π/2\]] to a unit
+    vector of dimension [m] with non-negative components.
+    @raise Invalid_argument if the array is empty. *)
+
+val to_angles : float array -> float array
+(** [to_angles v] inverts {!to_cartesian} for a non-negative, non-zero
+    vector [v] (which is normalized internally).  When a suffix of the
+    recursion has zero radius the remaining angles are defined to be [0],
+    matching what {!to_cartesian} maps back.
+    @raise Invalid_argument if [v] has dimension < 2 or is not
+    non-negative and non-zero. *)
+
+val angle_2d : float array -> float
+(** 2D special case: the angle [φ ∈ [0, π/2]] of a non-negative weight
+    vector [(w1, w2)] measured from the +A₂ axis, i.e.
+    [w(φ) ∝ (sin φ, cos φ)].  With this convention the top-left skyline
+    tuple (max A₂) is the maximum at [φ = 0] and the bottom-right (max A₁)
+    at [φ = π/2], matching the paper's sorted list ℓ. *)
+
+val weight_of_angle_2d : float -> float array
+(** Inverse of {!angle_2d}: [weight_of_angle_2d φ = [|sin φ; cos φ|]]. *)
+
+val tie_angle_2d : float array -> float array -> float option
+(** [tie_angle_2d p q] is the angle [φ] of the (unique, if any) ranking
+    function with non-negative weights under which the 2D points [p] and
+    [q] score equally — the function whose contour is the line through [p]
+    and [q] (Theorem 2).  [None] if no such function exists with
+    non-negative weights (i.e. one point dominates the other) or the
+    points coincide. *)
+
+val angular_distance : float array -> float array -> float
+(** Angle in radians between two non-zero vectors. *)

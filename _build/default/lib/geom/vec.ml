@@ -1,0 +1,73 @@
+type t = float array
+
+let dim = Array.length
+
+let dot a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Vec.dot: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+
+let norm2 a = dot a a
+
+let norm a = sqrt (norm2 a)
+
+let normalize a =
+  let n = norm a in
+  if n = 0. then invalid_arg "Vec.normalize: zero vector";
+  Array.map (fun x -> x /. n) a
+
+let add a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec.add: dimension mismatch";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec.sub: dimension mismatch";
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let axpy a x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Vec.axpy: dimension mismatch";
+  for i = 0 to n - 1 do
+    Array.unsafe_set y i
+      (Array.unsafe_get y i +. (a *. Array.unsafe_get x i))
+  done
+
+let equal ?(eps = 1e-12) a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if Float.abs (x -. b.(i)) > eps then ok := false) a;
+      !ok)
+
+let pp ppf v =
+  Format.fprintf ppf "(@[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%.6g" x)
+    v;
+  Format.fprintf ppf "@])"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let max_score_index w points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Vec.max_score_index: empty array";
+  let best = ref 0 and best_score = ref (dot w points.(0)) in
+  for i = 1 to n - 1 do
+    let s = dot w points.(i) in
+    if s > !best_score then begin
+      best := i;
+      best_score := s
+    end
+  done;
+  !best
+
+let max_score w points = dot w points.(max_score_index w points)

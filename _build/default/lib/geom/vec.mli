@@ -1,0 +1,47 @@
+(** Dense float vectors.
+
+    Tuples of the database and ranking-function weight vectors are both
+    represented as [float array]s of length [m] (the number of attributes).
+    This module collects the small amount of linear algebra the algorithms
+    need; everything is allocation-conscious because these operations sit
+    in the innermost loops of the regret-matrix construction. *)
+
+type t = float array
+
+val dim : t -> int
+
+val dot : t -> t -> float
+(** Inner product.  @raise Invalid_argument on dimension mismatch. *)
+
+val norm2 : t -> float
+(** Squared Euclidean norm. *)
+
+val norm : t -> float
+
+val normalize : t -> t
+(** Unit vector in the same direction.  @raise Invalid_argument on the
+    zero vector. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] sets [y <- a*x + y] in place. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance [eps]
+    (default [1e-12]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v1, v2, ...)] with 6 significant digits. *)
+
+val to_string : t -> string
+
+val max_score_index : t -> t array -> int
+(** [max_score_index w points] is the index of the point with the largest
+    score [dot w p], breaking ties towards the smaller index.
+    @raise Invalid_argument on an empty array. *)
+
+val max_score : t -> t array -> float
+(** Largest score [dot w p] over [points]. *)

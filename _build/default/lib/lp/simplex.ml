@@ -1,0 +1,237 @@
+type relation = Le | Ge | Eq
+
+type constraint_ = { coeffs : float array; relation : relation; rhs : float }
+
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let constraint_ coeffs relation rhs = { coeffs; relation; rhs }
+
+(* Internal tableau:
+     tab : nrows x (ncols + 1) — constraint rows, last column = rhs
+     obj : 1 x (ncols + 1)     — reduced-cost row (entry j negative means
+                                 variable j improves the maximization)
+   Column layout: [0, nvars) structural, then slack/surplus, then
+   artificial variables. *)
+
+type tableau = {
+  tab : float array array;
+  obj : float array;
+  basis : int array; (* basic variable of each row *)
+  nrows : int;
+  ncols : int;
+  art_start : int; (* first artificial column *)
+}
+
+let pivot t ~row ~col =
+  let prow = t.tab.(row) in
+  let piv = prow.(col) in
+  for j = 0 to t.ncols do
+    prow.(j) <- prow.(j) /. piv
+  done;
+  let eliminate r =
+    let f = r.(col) in
+    if f <> 0. then
+      for j = 0 to t.ncols do
+        r.(j) <- r.(j) -. (f *. prow.(j))
+      done
+  in
+  for i = 0 to t.nrows - 1 do
+    if i <> row then eliminate t.tab.(i)
+  done;
+  eliminate t.obj;
+  t.basis.(row) <- col
+
+(* One simplex phase with Bland's rule.  [allowed j] restricts the
+   entering columns (used to exclude artificials in phase 2).  Returns
+   [`Optimal] or [`Unbounded]. *)
+let run_phase ~eps ~allowed t =
+  let rec loop () =
+    (* Bland: entering variable = smallest allowed index with negative
+       reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed j && t.obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Leaving row = minimum ratio; ties broken by smallest basic
+         variable index (Bland). *)
+      let best_row = ref (-1) and best_ratio = ref infinity in
+      for i = 0 to t.nrows - 1 do
+        let a = t.tab.(i).(col) in
+        if a > eps then begin
+          let ratio = t.tab.(i).(t.ncols) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let build_tableau constraints nvars =
+  (* Normalize rows to non-negative rhs so artificial variables start
+     feasible. *)
+  let rows =
+    List.map
+      (fun { coeffs; relation; rhs } ->
+        if Array.length coeffs <> nvars then
+          invalid_arg "Simplex: constraint dimension mismatch";
+        if rhs < 0. then
+          let flipped =
+            match relation with Le -> Ge | Ge -> Le | Eq -> Eq
+          in
+          (Array.map (fun x -> -.x) coeffs, flipped, -.rhs)
+        else (Array.copy coeffs, relation, rhs))
+      constraints
+  in
+  let nrows = List.length rows in
+  let nslack =
+    List.fold_left
+      (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let nart =
+    List.fold_left
+      (fun acc (_, rel, _) -> match rel with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let art_start = nvars + nslack in
+  let ncols = nvars + nslack + nart in
+  let tab = Array.make_matrix nrows (ncols + 1) 0. in
+  let basis = Array.make nrows 0 in
+  let next_slack = ref nvars and next_art = ref art_start in
+  List.iteri
+    (fun i (coeffs, rel, rhs) ->
+      Array.blit coeffs 0 tab.(i) 0 nvars;
+      tab.(i).(ncols) <- rhs;
+      (match rel with
+      | Le ->
+          tab.(i).(!next_slack) <- 1.;
+          basis.(i) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          tab.(i).(!next_slack) <- -1.;
+          incr next_slack;
+          tab.(i).(!next_art) <- 1.;
+          basis.(i) <- !next_art;
+          incr next_art
+      | Eq ->
+          tab.(i).(!next_art) <- 1.;
+          basis.(i) <- !next_art;
+          incr next_art))
+    rows;
+  { tab; obj = Array.make (ncols + 1) 0.; basis; nrows; ncols; art_start }
+
+(* Install an objective row for "maximize c·x": reduced costs start at
+   [-c] and are then zeroed on the basic columns. *)
+let set_objective t c_full =
+  Array.fill t.obj 0 (t.ncols + 1) 0.;
+  Array.iteri (fun j cj -> t.obj.(j) <- -.cj) c_full;
+  for i = 0 to t.nrows - 1 do
+    let f = t.obj.(t.basis.(i)) in
+    if f <> 0. then
+      for j = 0 to t.ncols do
+        t.obj.(j) <- t.obj.(j) -. (f *. t.tab.(i).(j))
+      done
+  done
+
+(* After phase 1, pivot artificial variables out of the basis when
+   possible; rows where no structural pivot exists are redundant and the
+   artificial stays basic at value 0 (harmless as long as artificials are
+   barred from re-entering). *)
+let purge_artificials ~eps t =
+  for i = 0 to t.nrows - 1 do
+    if t.basis.(i) >= t.art_start then begin
+      let col = ref (-1) in
+      (try
+         for j = 0 to t.art_start - 1 do
+           if Float.abs t.tab.(i).(j) > eps then begin
+             col := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !col >= 0 then pivot t ~row:i ~col:!col
+    end
+  done
+
+let extract_solution t nvars =
+  let x = Array.make nvars 0. in
+  for i = 0 to t.nrows - 1 do
+    if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.tab.(i).(t.ncols)
+  done;
+  x
+
+let maximize ?(eps = 1e-9) ~c constraints =
+  let nvars = Array.length c in
+  let t = build_tableau constraints nvars in
+  let has_artificials = t.ncols > t.art_start in
+  let feasible_start =
+    if not has_artificials then true
+    else begin
+      (* Phase 1: maximize -(sum of artificials). *)
+      let c1 = Array.make t.ncols 0. in
+      for j = t.art_start to t.ncols - 1 do
+        c1.(j) <- -1.
+      done;
+      set_objective t c1;
+      (match run_phase ~eps ~allowed:(fun _ -> true) t with
+      | `Optimal -> ()
+      | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *));
+      (* obj rhs now holds -z = sum of artificials at optimum. *)
+      let infeasibility = -.t.obj.(t.ncols) in
+      if Float.abs infeasibility > eps *. 100. then false
+      else begin
+        purge_artificials ~eps t;
+        true
+      end
+    end
+  in
+  if not feasible_start then Infeasible
+  else begin
+    let c2 = Array.make t.ncols 0. in
+    Array.blit c 0 c2 0 nvars;
+    set_objective t c2;
+    let allowed j = j < t.art_start in
+    match run_phase ~eps ~allowed t with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = extract_solution t nvars in
+        let objective =
+          Array.fold_left ( +. ) 0. (Array.mapi (fun j x -> c.(j) *. x) solution)
+        in
+        Optimal { objective; solution }
+  end
+
+let minimize ?eps ~c constraints =
+  match maximize ?eps ~c:(Array.map (fun x -> -.x) c) constraints with
+  | Optimal { objective; solution } ->
+      Optimal { objective = -.objective; solution }
+  | (Infeasible | Unbounded) as s -> s
+
+let feasible ?eps nvars constraints =
+  match maximize ?eps ~c:(Array.make nvars 0.) constraints with
+  | Optimal _ -> true
+  | Infeasible -> false
+  | Unbounded -> assert false (* zero objective is never unbounded *)

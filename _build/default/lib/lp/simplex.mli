@@ -1,0 +1,44 @@
+(** A dense two-phase primal simplex solver.
+
+    OCaml ships no LP tooling, and the paper's GREEDY baseline
+    [Nanongkai et al., VLDB'10] as well as exact regret-ratio evaluation
+    both reduce to small dense LPs (a handful of variables, tens of
+    constraints), so this hand-rolled solver is a core substrate of the
+    reproduction.  It solves
+
+    {v maximize c·x  subject to  Aᵢ·x (≤ | ≥ | =) bᵢ,  x ≥ 0 v}
+
+    using the standard two-phase tableau method with Bland's rule, which
+    guarantees termination (no cycling).  It is exact up to the floating
+    tolerance [eps] and intended for {e small} problems — no sparsity, no
+    revised simplex, no presolve. *)
+
+type relation = Le | Ge | Eq
+
+type constraint_ = {
+  coeffs : float array;  (** row of A; length = number of variables *)
+  relation : relation;
+  rhs : float;  (** bᵢ, any sign *)
+}
+
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val constraint_ : float array -> relation -> float -> constraint_
+(** Convenience constructor. *)
+
+val maximize : ?eps:float -> c:float array -> constraint_ list -> status
+(** [maximize ~c constraints] solves the LP above.  All variables are
+    non-negative; model a free variable as a difference of two
+    non-negative ones if needed.  [eps] (default [1e-9]) is the pivot /
+    optimality tolerance.
+    @raise Invalid_argument on dimension mismatches. *)
+
+val minimize : ?eps:float -> c:float array -> constraint_ list -> status
+(** [minimize ~c] is [maximize ~c:(-c)] with the objective negated back. *)
+
+val feasible : ?eps:float -> int -> constraint_ list -> bool
+(** [feasible nvars constraints] is [true] iff the system has a
+    non-negative solution (phase 1 only). *)

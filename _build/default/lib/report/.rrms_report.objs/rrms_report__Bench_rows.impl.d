@@ -1,0 +1,1 @@
+lib/report/bench_rows.ml: Hashtbl In_channel List Option String

@@ -1,0 +1,1 @@
+lib/report/bench_rows.mli:

@@ -1,0 +1,108 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = "abcdefghijklmnopqrstuvwxyz"
+
+let transform ~log v = if log then log10 v else v
+
+let usable ~log_x ~log_y (x, y) =
+  Float.is_finite x && Float.is_finite y
+  && ((not log_x) || x > 0.)
+  && ((not log_y) || y > 0.)
+
+let render ?(width = 64) ?(height = 16) ?(log_x = false) ?(log_y = false)
+    ?x_label ?y_label ~title series =
+  let width = max 8 width and height = max 4 height in
+  let cleaned =
+    List.map
+      (fun s ->
+        ( s.label,
+          List.filter_map
+            (fun p ->
+              if usable ~log_x ~log_y p then
+                Some
+                  (transform ~log:log_x (fst p), transform ~log:log_y (snd p))
+              else None)
+            s.points ))
+      series
+  in
+  let all = List.concat_map snd cleaned in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  if all = [] then begin
+    Buffer.add_string buf "(no plottable data)";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map fst all and ys = List.map snd all in
+    let fmin l = List.fold_left Float.min infinity l in
+    let fmax l = List.fold_left Float.max neg_infinity l in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = fmin ys and y1 = fmax ys in
+    (* Avoid a zero-extent axis. *)
+    let pad lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+    let x0, x1 = pad x0 x1 and y0, y1 = pad y0 y1 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      let t = (x -. x0) /. (x1 -. x0) in
+      min (width - 1) (max 0 (int_of_float (t *. float_of_int (width - 1))))
+    in
+    let rowi y =
+      let t = (y -. y0) /. (y1 -. y0) in
+      (* row 0 is the top of the plot *)
+      let r = int_of_float (t *. float_of_int (height - 1)) in
+      min (height - 1) (max 0 (height - 1 - r))
+    in
+    List.iteri
+      (fun si (_, pts) ->
+        let marker = markers.[si mod String.length markers] in
+        List.iter (fun (x, y) -> grid.(rowi y).(col x) <- marker) pts)
+      cleaned;
+    let unscale_y v = if log_y then 10. ** v else v in
+    let unscale_x v = if log_x then 10. ** v else v in
+    (* Top y label. *)
+    Buffer.add_string buf (Printf.sprintf "%10.4g +" (unscale_y y1));
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_string buf "+\n";
+    Array.iteri
+      (fun i line ->
+        let prefix =
+          if i = height - 1 then Printf.sprintf "%10.4g |" (unscale_y y0)
+          else "           |"
+        in
+        Buffer.add_string buf prefix;
+        Buffer.add_string buf (String.init width (fun j -> line.(j)));
+        Buffer.add_string buf "|\n")
+      grid;
+    Buffer.add_string buf "           +";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_string buf "+\n";
+    Buffer.add_string buf
+      (Printf.sprintf "            %.4g%s%.4g\n" (unscale_x x0)
+         (String.make (max 1 (width - 12)) ' ')
+         (unscale_x x1));
+    (match (x_label, y_label) with
+    | Some xl, Some yl ->
+        Buffer.add_string buf (Printf.sprintf "            x: %s%s, y: %s%s\n" xl
+          (if log_x then " (log)" else "") yl (if log_y then " (log)" else ""))
+    | Some xl, None ->
+        Buffer.add_string buf
+          (Printf.sprintf "            x: %s%s\n" xl
+             (if log_x then " (log)" else ""))
+    | None, Some yl ->
+        Buffer.add_string buf
+          (Printf.sprintf "            y: %s%s\n" yl
+             (if log_y then " (log)" else ""))
+    | None, None -> ());
+    List.iteri
+      (fun si (label, pts) ->
+        let marker = markers.[si mod String.length markers] in
+        Buffer.add_string buf
+          (Printf.sprintf "            %c = %s%s\n" marker label
+             (if pts = [] then " (no data)" else "")))
+      cleaned;
+    (* Trim the trailing newline. *)
+    let s = Buffer.contents buf in
+    if String.length s > 0 && s.[String.length s - 1] = '\n' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  end

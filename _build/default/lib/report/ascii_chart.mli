@@ -1,0 +1,28 @@
+(** Terminal scatter/line charts.
+
+    Renders multiple numeric series onto a character grid with axes,
+    min/max labels and a legend — enough to eyeball the shape of a
+    reproduced figure (who wins, growth rate, crossovers) straight from
+    a bench log, without leaving the terminal. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y); non-finite points skipped *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** [render ~title series] draws the series into a [width]×[height]
+    (default 64×16) plot area.  Each series gets a marker character
+    ([a], [b], …); overlapping points show the later series' marker.
+    With [log_x]/[log_y], non-positive coordinates are dropped.  Returns
+    the multi-line string (no trailing newline).  Series with no
+    plottable points are listed in the legend as "(no data)". *)

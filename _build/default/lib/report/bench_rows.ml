@@ -1,0 +1,90 @@
+type row = {
+  fig : string;
+  x_name : string;
+  x : string;
+  series : string;
+  time : float option;
+  regret : float option;
+  count : int option;
+  skipped : string option;
+}
+
+let split_kv token =
+  match String.index_opt token '=' with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.sub token 0 i,
+          String.sub token (i + 1) (String.length token - i - 1) )
+
+let parse_line line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n < 3 || line.[0] <> '[' then None
+  else
+    match String.index_opt line ']' with
+    | None -> None
+    | Some close ->
+        let fig = String.sub line 1 (close - 1) in
+        let rest = String.trim (String.sub line (close + 1) (n - close - 1)) in
+        let tokens =
+          List.filter (fun t -> t <> "") (String.split_on_char ' ' rest)
+        in
+        let kvs = List.filter_map split_kv tokens in
+        (* The first key=value pair is the swept parameter. *)
+        (match kvs with
+        | (x_name, x) :: _ when x_name <> "series" ->
+            let find key = List.assoc_opt key kvs in
+            (match find "series" with
+            | None -> None
+            | Some series ->
+                Some
+                  {
+                    fig;
+                    x_name;
+                    x;
+                    series;
+                    time = Option.bind (find "time") float_of_string_opt;
+                    regret = Option.bind (find "regret") float_of_string_opt;
+                    count = Option.bind (find "count") int_of_string_opt;
+                    skipped = find "skipped";
+                  })
+        | _ -> None)
+
+let parse_lines lines = List.filter_map parse_line lines
+
+let parse_channel ic =
+  let rows = ref [] in
+  (try
+     while true do
+       match In_channel.input_line ic with
+       | None -> raise Exit
+       | Some line -> (
+           match parse_line line with
+           | Some r -> rows := r :: !rows
+           | None -> ())
+     done
+   with Exit -> ());
+  List.rev !rows
+
+let distinct key rows =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun r ->
+      let k = key r in
+      match k with
+      | None -> None
+      | Some k ->
+          if Hashtbl.mem seen k then None
+          else begin
+            Hashtbl.add seen k ();
+            Some k
+          end)
+    rows
+
+let figures rows = distinct (fun r -> Some r.fig) rows
+
+let series_of ~fig rows =
+  distinct (fun r -> if r.fig = fig then Some r.series else None) rows
+
+let x_as_float row = float_of_string_opt row.x

@@ -1,0 +1,39 @@
+(** Parsing of the benchmark harness's machine-readable output.
+
+    `bench/main.exe` prints one row per measurement:
+
+    {v [fig8] n=20000 series=2DRRMS/anti time=0.1234 regret=0.0456 v}
+
+    (optional fields: [time], [regret], [count]; a row may instead carry
+    [skipped=<reason>]).  This module parses those rows back so the
+    plotting tool — and any downstream analysis — can consume a bench
+    log without ad-hoc grepping. *)
+
+type row = {
+  fig : string;  (** figure id, e.g. "fig8" *)
+  x_name : string;  (** swept parameter name, e.g. "n" *)
+  x : string;  (** swept parameter value, numeric or categorical *)
+  series : string;  (** algorithm/series label *)
+  time : float option;
+  regret : float option;
+  count : int option;
+  skipped : string option;
+}
+
+val parse_line : string -> row option
+(** [parse_line s] parses one output line; [None] for headers, blank
+    lines and anything else that is not a measurement row. *)
+
+val parse_lines : string list -> row list
+
+val parse_channel : in_channel -> row list
+(** Reads to EOF. *)
+
+val figures : row list -> string list
+(** Distinct figure ids, in first-appearance order. *)
+
+val series_of : fig:string -> row list -> string list
+(** Distinct series labels of one figure, in first-appearance order. *)
+
+val x_as_float : row -> float option
+(** Numeric interpretation of the x value, if any. *)

@@ -1,0 +1,121 @@
+(* Splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014.  Chosen for its tiny state, good statistical
+   quality and trivially reproducible semantics. *)
+
+type t = {
+  mutable state : int64;
+  (* One cached normal deviate: Box-Muller produces deviates in pairs. *)
+  mutable spare_normal : float;
+  mutable has_spare : bool;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.of_int seed; spare_normal = 0.; has_spare = false }
+
+let copy t =
+  { state = t.state; spare_normal = t.spare_normal; has_spare = t.has_spare }
+
+let bits64 t =
+  let z = Int64.add t.state golden_gamma in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed; spare_normal = 0.; has_spare = false }
+
+(* Top 53 bits give a uniform float in [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling: retry while the draw falls in the final partial
+     block of size [2^63 mod bound], so the result is exactly uniform. *)
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    if raw >= limit then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let float t bound = unit_float t *. bound
+
+let uniform t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let normal t =
+  if t.has_spare then begin
+    t.has_spare <- false;
+    t.spare_normal
+  end
+  else begin
+    (* Box-Muller; u1 must be strictly positive for the log. *)
+    let rec positive () =
+      let u = unit_float t in
+      if u > 0. then u else positive ()
+    in
+    let u1 = positive () and u2 = unit_float t in
+    let radius = sqrt (-2. *. log u1) in
+    let theta = 2. *. Float.pi *. u2 in
+    t.spare_normal <- radius *. sin theta;
+    t.has_spare <- true;
+    radius *. cos theta
+  end
+
+let gaussian t ~mean ~stddev = mean +. (stddev *. normal t)
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let rec positive () =
+    let u = unit_float t in
+    if u > 0. then u else positive ()
+  in
+  -.log (positive ()) /. rate
+
+(* Rejection sampling for the Zipf distribution (Devroye 1986, ch. X.6).
+   Works for any exponent s > 0 without precomputing the harmonic sum. *)
+let zipf t ~s ~n =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if s <= 0. then invalid_arg "Rng.zipf: s must be positive";
+  if n = 1 then 1
+  else begin
+    let nf = float_of_int n in
+    (* Inverse of the integral of x^-s over [1, n]. *)
+    let h x = if s = 1. then log x else (x ** (1. -. s) -. 1.) /. (1. -. s) in
+    let h_inv y =
+      if s = 1. then exp y else (1. +. ((1. -. s) *. y)) ** (1. /. (1. -. s))
+    in
+    let total = h (nf +. 0.5) -. h 0.5 in
+    let rec draw () =
+      let u = unit_float t in
+      let x = h_inv (h 0.5 +. (u *. total)) in
+      let k = Float.round x in
+      let k = if k < 1. then 1. else if k > nf then nf else k in
+      (* Accept with probability (k^-s) / envelope(x). *)
+      let ratio = (k ** -.s) /. (x ** -.s) in
+      if unit_float t <= ratio then int_of_float k else draw ()
+    in
+    draw ()
+  end
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,94 @@
+type t = { width : int; words : int array }
+
+let bits_per_word = 63 (* OCaml native ints *)
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  { width; words = Array.make (max 1 (nwords width)) 0 }
+
+let width t = t.width
+
+let copy t = { width = t.width; words = Array.copy t.words }
+
+let check t i name =
+  if i < 0 || i >= t.width then invalid_arg (name ^ ": index out of range")
+
+let set t i =
+  check t i "Bitset.set";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let clear t i =
+  check t i "Bitset.clear";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i "Bitset.mem";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let check_widths a b name =
+  if a.width <> b.width then invalid_arg (name ^ ": width mismatch")
+
+let union_into s ~into =
+  check_widths s into "Bitset.union_into";
+  Array.iteri (fun i w -> into.words.(i) <- into.words.(i) lor w) s.words
+
+let diff_count s ~minus =
+  check_widths s minus "Bitset.diff_count";
+  let acc = ref 0 in
+  Array.iteri
+    (fun i w -> acc := !acc + popcount (w land lnot minus.words.(i)))
+    s.words;
+  !acc
+
+let subset s ~of_ =
+  check_widths s of_ "Bitset.subset";
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot of_.words.(i) <> 0 then ok := false) s.words;
+  !ok
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash t.words
+
+let iter f t =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    t.words
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let full width =
+  let t = create width in
+  for i = 0 to width - 1 do
+    set t i
+  done;
+  t
+
+let of_list width elems =
+  let t = create width in
+  List.iter (fun i -> set t i) elems;
+  t

@@ -1,0 +1,50 @@
+(** Fixed-width bitsets over the universe [0, width).
+
+    The MRST oracle (§4.4.1) turns every tuple row of the thresholded
+    regret matrix into the set of ranking-function columns it covers;
+    with `|F| = (γ+1)^(m-1)` columns these sets are wide but dense, so a
+    packed int-array bitset keeps both the dedup step and the greedy
+    cover fast. *)
+
+type t
+
+val create : int -> t
+(** All-zero bitset of the given width.  @raise Invalid_argument if the
+    width is negative. *)
+
+val width : t -> int
+val copy : t -> t
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val count : t -> int
+(** Number of set bits. *)
+
+val union_into : t -> into:t -> unit
+(** [union_into s ~into] sets [into <- into ∪ s]. *)
+
+val diff_count : t -> minus:t -> int
+(** [diff_count s ~minus] = |s \ minus| without allocating. *)
+
+val subset : t -> of_:t -> bool
+(** [subset s ~of_:t] is [s ⊆ t]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order usable as a [Map]/[Hashtbl] key (lexicographic on the
+    packed words). *)
+
+val hash : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate set bit positions in increasing order. *)
+
+val elements : t -> int list
+
+val full : int -> t
+(** [full width]: all bits set. *)
+
+val of_list : int -> int list -> t
+(** [of_list width elems].  @raise Invalid_argument on out-of-range
+    elements. *)

@@ -1,0 +1,90 @@
+type instance = { universe : int; sets : Bitset.t array }
+
+let make_instance ~universe sets =
+  Array.iter
+    (fun s ->
+      if Bitset.width s <> universe then
+        invalid_arg "Setcover.make_instance: set width mismatch")
+    sets;
+  { universe; sets }
+
+let union_all t =
+  let u = Bitset.create t.universe in
+  Array.iter (fun s -> Bitset.union_into s ~into:u) t.sets;
+  u
+
+let coverable t = Bitset.count (union_all t) = t.universe
+
+let greedy t =
+  let covered = Bitset.create t.universe in
+  let chosen = ref [] in
+  let remaining = ref t.universe in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun i s ->
+        let gain = Bitset.diff_count s ~minus:covered in
+        if gain > !best_gain then begin
+          best := i;
+          best_gain := gain
+        end)
+      t.sets;
+    if !best < 0 then progress := false
+    else begin
+      Bitset.union_into t.sets.(!best) ~into:covered;
+      chosen := !best :: !chosen;
+      remaining := !remaining - !best_gain
+    end
+  done;
+  if !remaining > 0 then None else Some (Array.of_list (List.rev !chosen))
+
+let exact ?(max_sets = max_int) t =
+  if t.universe = 0 then Some [||]
+  else begin
+    (* Upper bound from greedy (if within max_sets). *)
+    let best : int list option ref =
+      match greedy t with
+      | Some g when Array.length g <= max_sets ->
+          ref (Some (Array.to_list g))
+      | _ -> ref None
+    in
+    let best_size () =
+      match !best with Some l -> List.length l | None -> max_sets + 1
+    in
+    (* For each item, the sets containing it (branching candidates). *)
+    let containing = Array.make t.universe [] in
+    Array.iteri
+      (fun i s -> Bitset.iter (fun item -> containing.(item) <- i :: containing.(item)) s)
+      t.sets;
+    Array.iteri (fun item l -> containing.(item) <- List.rev l) containing;
+    (* Max set size, for the ceiling lower bound. *)
+    let max_size =
+      Array.fold_left (fun acc s -> max acc (Bitset.count s)) 1 t.sets
+    in
+    let rec first_uncovered covered i =
+      if i >= t.universe then None
+      else if Bitset.mem covered i then first_uncovered covered (i + 1)
+      else Some i
+    in
+    let rec branch covered chosen depth =
+      match first_uncovered covered 0 with
+      | None -> if depth < best_size () then best := Some chosen
+      | Some item ->
+          let uncovered = t.universe - Bitset.count covered in
+          let lower = (uncovered + max_size - 1) / max_size in
+          if depth + lower < best_size () then
+            (* Branch over every set that covers the first uncovered
+               item: some chosen set must. *)
+            List.iter
+              (fun i ->
+                let covered' = Bitset.copy covered in
+                Bitset.union_into t.sets.(i) ~into:covered';
+                branch covered' (i :: chosen) (depth + 1))
+              containing.(item)
+    in
+    branch (Bitset.create t.universe) [] 0;
+    match !best with
+    | Some l -> Some (Array.of_list (List.rev l))
+    | None -> None
+  end

@@ -1,0 +1,33 @@
+(** Set cover solvers.
+
+    The MRST oracle (§4.4.1) reduces "which tuples satisfy a regret
+    threshold?" to covering the discretized ranking functions with tuple
+    rows.  The paper's theoretical algorithm assumes an exact solver on
+    constant-size instances; its practical variant (§4.4.3) substitutes
+    Chvátal's greedy, which guarantees an [H(|U|) ≤ ln|U| + 1]
+    approximation.  Both are implemented here over {!Bitset}s. *)
+
+type instance = {
+  universe : int;  (** items are [0 .. universe-1] *)
+  sets : Bitset.t array;  (** each of width [universe] *)
+}
+
+val make_instance : universe:int -> Bitset.t array -> instance
+(** @raise Invalid_argument if a set has the wrong width. *)
+
+val coverable : instance -> bool
+(** True iff the union of all sets is the whole universe. *)
+
+val greedy : instance -> int array option
+(** Chvátal's greedy algorithm: repeatedly take the set covering the
+    most uncovered items (ties to the smallest index).  Returns the
+    chosen set indices in selection order, or [None] if the instance is
+    not coverable.  O(|sets|² · words). *)
+
+val exact : ?max_sets:int -> instance -> int array option
+(** Optimal cover by depth-first branch-and-bound: branch on the
+    lowest-index uncovered item, prune with the greedy upper bound and a
+    simple lower bound.  Exponential in general — intended for the
+    constant-size instances of the theoretical HD-RRMS and for tests.
+    [max_sets] (default [max_int]) aborts branches deeper than that.
+    Returns [None] when not coverable (or no cover within [max_sets]). *)

@@ -1,0 +1,1 @@
+lib/skyline/dominance.mli: Rrms_geom

@@ -1,0 +1,1 @@
+lib/skyline/kdom.ml: Array Dominance

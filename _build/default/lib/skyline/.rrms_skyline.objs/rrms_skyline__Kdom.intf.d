@@ -1,0 +1,1 @@
+lib/skyline/kdom.mli: Rrms_geom

@@ -1,0 +1,1 @@
+lib/skyline/skyline.ml: Array Dominance Float List Seq Stdlib

@@ -1,0 +1,1 @@
+lib/skyline/skyline.mli: Rrms_geom

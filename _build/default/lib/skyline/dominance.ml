@@ -1,0 +1,50 @@
+let check_dims a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let dominates a b =
+  check_dims a b "Dominance.dominates";
+  let ge = ref true and strict = ref false in
+  let n = Array.length a in
+  let i = ref 0 in
+  while !ge && !i < n do
+    let x = Array.unsafe_get a !i and y = Array.unsafe_get b !i in
+    if x < y then ge := false else if x > y then strict := true;
+    incr i
+  done;
+  !ge && !strict
+
+let strictly_dominates a b =
+  check_dims a b "Dominance.strictly_dominates";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <= b.(i) then ok := false) a;
+  !ok
+
+let compare a b =
+  check_dims a b "Dominance.compare";
+  let a_better = ref false and b_better = ref false in
+  Array.iteri
+    (fun i x ->
+      if x > b.(i) then a_better := true
+      else if x < b.(i) then b_better := true)
+    a;
+  match (!a_better, !b_better) with
+  | true, false -> `Left
+  | false, true -> `Right
+  | true, true -> `Incomparable
+  | false, false -> `Equal
+
+let k_dominates k a b =
+  check_dims a b "Dominance.k_dominates";
+  let m = Array.length a in
+  if k < 1 || k > m then invalid_arg "Dominance.k_dominates: k out of range";
+  (* t k-dominates t' iff >= holds on at least k attributes and > holds
+     on at least one (a strict attribute is also a >= attribute, so it
+     can always be included in the k-subset). *)
+  let ge = ref 0 and strict = ref false in
+  Array.iteri
+    (fun i x ->
+      if x >= b.(i) then incr ge;
+      if x > b.(i) then strict := true)
+    a;
+  !ge >= k && !strict

@@ -1,0 +1,22 @@
+(** Pareto dominance between tuples.
+
+    A tuple [t] dominates [t'] (written [t ≻ t']) iff [t] is at least as
+    good on every attribute and strictly better on at least one (§2,
+    footnote 1).  All comparisons assume "higher is better". *)
+
+val dominates : Rrms_geom.Vec.t -> Rrms_geom.Vec.t -> bool
+(** [dominates t t'] is [t ≻ t'].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val strictly_dominates : Rrms_geom.Vec.t -> Rrms_geom.Vec.t -> bool
+(** Strict on {e every} attribute. *)
+
+val compare : Rrms_geom.Vec.t -> Rrms_geom.Vec.t -> [ `Left | `Right | `Incomparable | `Equal ]
+(** Three-way dominance comparison in one pass: [`Left] if the first
+    argument dominates, [`Right] if the second does. *)
+
+val k_dominates : int -> Rrms_geom.Vec.t -> Rrms_geom.Vec.t -> bool
+(** [k_dominates k t t'] is Chan et al.'s relaxed dominance: there exist
+    [k] attributes on which [t ≥ t'], with strict inequality on at least
+    one of them (§6.3).  For [k = m] this is ordinary dominance.
+    @raise Invalid_argument if [k] is not in [\[1, m\]]. *)

@@ -1,0 +1,47 @@
+let k_dominant_skyline ~k points =
+  let n = Array.length points in
+  if n = 0 then [||]
+  else begin
+    let m = Array.length points.(0) in
+    if k < 1 || k > m then
+      invalid_arg "Kdom.k_dominant_skyline: k out of range";
+    (* k-dominance is not transitive for k < m, so no window pruning is
+       sound: test every tuple against every other. *)
+    let result = ref [] in
+    for i = n - 1 downto 0 do
+      let p = points.(i) in
+      let dominated = ref false in
+      let j = ref 0 in
+      while (not !dominated) && !j < n do
+        if !j <> i && Dominance.k_dominates k points.(!j) p then
+          dominated := true;
+        incr j
+      done;
+      if not !dominated then result := i :: !result
+    done;
+    Array.of_list !result
+  end
+
+let adapt_for_size ~r points =
+  if Array.length points = 0 then [||]
+  else begin
+    let m = Array.length points.(0) in
+    (* Binary search over k: the k-dominant skyline grows with k, so find
+       the largest k whose set still fits in r.  (The paper's observation
+       is that the step below the full skyline is usually empty.) *)
+    let best = ref [||] in
+    let lo = ref 1 and hi = ref m in
+    while !lo <= !hi do
+      let k = (!lo + !hi) / 2 in
+      let set = k_dominant_skyline ~k points in
+      let size = Array.length set in
+      if size > r then hi := k - 1
+      else begin
+        (* Fits; prefer the largest such k (a larger, more informative
+           set closer to r). *)
+        if size > Array.length !best then best := set;
+        lo := k + 1
+      end
+    done;
+    !best
+  end

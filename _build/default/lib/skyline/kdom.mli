@@ -1,0 +1,22 @@
+(** k-dominant skylines [Chan et al., SIGMOD'06] and the paper's negative
+    adaptation experiment (§6.3, Figure 31).
+
+    A tuple [t] k-dominates [t'] if it is at least as good on some [k]
+    attributes and strictly better on one of them; the k-dominant skyline
+    is the set of tuples k-dominated by nobody.  Decreasing [k] below [m]
+    shrinks the set — but, as the paper demonstrates, usually collapses
+    it straight to the empty set, which is why it is unsuitable as a
+    regret-minimizing representative. *)
+
+val k_dominant_skyline : k:int -> Rrms_geom.Vec.t array -> int array
+(** Indices of the tuples not k-dominated by any other tuple.  For
+    [k = m] this equals the ordinary skyline (up to duplicate handling:
+    duplicates never dominate each other).  O(n²·m).
+    @raise Invalid_argument if [k] not in [\[1, m\]]. *)
+
+val adapt_for_size : r:int -> Rrms_geom.Vec.t array -> int array
+(** The paper's adaptation: binary-search over [k ∈ [1, m]] for the
+    largest [k] whose k-dominant skyline has at most [r] tuples and is
+    non-empty if possible; returns that set (possibly empty — the
+    paper's point is that it usually is, because k-dominance for k < m
+    is not transitive and can eliminate everything). *)

@@ -1,0 +1,192 @@
+(* Window-based Block-Nested-Loop.  The window is kept as a list of
+   candidate indices; every incoming tuple either is dominated (or
+   duplicated) and dropped, or evicts the window tuples it dominates and
+   joins the window.  With enough memory for the whole window this is the
+   one-pass in-memory BNL variant. *)
+let bnl points =
+  let window = ref [] in
+  Array.iteri
+    (fun i p ->
+      let rec filter kept = function
+        | [] -> Some kept
+        | j :: rest -> (
+            match Dominance.compare p points.(j) with
+            | `Right | `Equal -> None (* p is dominated or a duplicate *)
+            | `Left -> filter kept rest (* p evicts j *)
+            | `Incomparable -> filter (j :: kept) rest)
+      in
+      match filter [] !window with
+      | None -> ()
+      | Some kept -> window := i :: kept)
+    points;
+  Array.of_list (List.rev !window)
+
+(* Sort-Filter-Skyline: after sorting by attribute sum (descending), a
+   tuple can only be dominated by tuples that precede it, so every kept
+   tuple is final. *)
+let sfs points =
+  let n = Array.length points in
+  let sum p = Array.fold_left ( +. ) 0. p in
+  let idx = Array.init n (fun i -> i) in
+  let sums = Array.map sum points in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare sums.(j) sums.(i) in
+      if c <> 0 then c else Stdlib.compare i j)
+    idx;
+  let kept = ref [] in
+  Array.iter
+    (fun i ->
+      let p = points.(i) in
+      let dominated =
+        List.exists
+          (fun j ->
+            match Dominance.compare points.(j) p with
+            | `Left | `Equal -> true
+            | `Right | `Incomparable -> false)
+          !kept
+      in
+      if not dominated then kept := i :: !kept)
+    idx;
+  Array.of_list (List.rev !kept)
+
+let two_d points =
+  Array.iter
+    (fun p ->
+      if Array.length p <> 2 then
+        invalid_arg "Skyline.two_d: dimension <> 2")
+    points;
+  let n = Array.length points in
+  let idx = Array.init n (fun i -> i) in
+  (* Sort by A₁ descending, A₂ descending within ties, then sweep: a
+     point survives iff its A₂ strictly exceeds every A₂ seen so far
+     (i.e. of every point with larger-or-equal A₁). *)
+  Array.sort
+    (fun i j ->
+      let c = Float.compare points.(j).(0) points.(i).(0) in
+      if c <> 0 then c else Float.compare points.(j).(1) points.(i).(1))
+    idx;
+  let kept = ref [] and best_y = ref neg_infinity in
+  Array.iter
+    (fun i ->
+      if points.(i).(1) > !best_y then begin
+        kept := i :: !kept;
+        best_y := points.(i).(1)
+      end)
+    idx;
+  (* Built from A₁-descending input by prepending, so [kept] is already
+     A₁ ascending = top-left → bottom-right. *)
+  Array.of_list !kept
+
+let is_skyline_point points i =
+  let p = points.(i) in
+  let n = Array.length points in
+  let rec loop j =
+    if j >= n then true
+    else if j <> i && Dominance.dominates points.(j) p then false
+    else loop (j + 1)
+  in
+  loop 0
+
+let size_of points = Array.length (sfs points)
+
+(* Divide and conquer on the first attribute: tuples in the high half
+   can never be dominated by the low half (they win on A₁ up to ties,
+   which the cross-pruning handles), so only the low half's local
+   skyline needs pruning against the high half's. *)
+let divide_and_conquer points =
+  let rec solve (idx : int array) =
+    let n = Array.length idx in
+    if n <= 8 then
+      (* Small base case: quadratic scan. *)
+      Array.of_seq
+        (Seq.filter
+           (fun i ->
+             Array.for_all
+               (fun j ->
+                 j = i
+                 ||
+                 match Dominance.compare points.(j) points.(i) with
+                 | `Left -> false
+                 | `Equal -> j > i (* keep the first duplicate only *)
+                 | `Right | `Incomparable -> true)
+               idx)
+           (Array.to_seq idx))
+    else begin
+      let sorted = Array.copy idx in
+      Array.sort
+        (fun a b ->
+          let c = Float.compare points.(b).(0) points.(a).(0) in
+          if c <> 0 then c else compare a b)
+        sorted;
+      (* The split must not separate an A₁ tie group: with equal A₁ a
+         "low" tuple could dominate a "high" one on the remaining
+         attributes, breaking the merge's one-sided pruning. *)
+      let mid = ref (n / 2) in
+      while
+        !mid < n && points.(sorted.(!mid - 1)).(0) = points.(sorted.(!mid)).(0)
+      do
+        incr mid
+      done;
+      if !mid >= n then
+        (* Every tuple ties on A₁; no valid split, quadratic scan. *)
+        Array.of_seq
+          (Seq.filter
+             (fun i ->
+               Array.for_all
+                 (fun j ->
+                   j = i
+                   ||
+                   match Dominance.compare points.(j) points.(i) with
+                   | `Left -> false
+                   | `Equal -> j > i
+                   | `Right | `Incomparable -> true)
+                 idx)
+             (Array.to_seq idx))
+      else begin
+      let mid = !mid in
+      let high = solve (Array.sub sorted 0 mid) in
+      let low = solve (Array.sub sorted mid (n - mid)) in
+      (* Prune the low survivors against the high survivors; the high
+         survivors are all final. *)
+      let kept_low =
+        Array.of_seq
+          (Seq.filter
+             (fun i ->
+               Array.for_all
+                 (fun j ->
+                   match Dominance.compare points.(j) points.(i) with
+                   | `Left | `Equal -> false
+                   | `Right | `Incomparable -> true)
+                 high)
+             (Array.to_seq low))
+      in
+      Array.append high kept_low
+      end
+    end
+  in
+  solve (Array.init (Array.length points) (fun i -> i))
+
+let skyband ~k points =
+  if k < 1 then invalid_arg "Skyline.skyband: k must be >= 1";
+  let n = Array.length points in
+  let result = ref [] in
+  for i = n - 1 downto 0 do
+    let p = points.(i) in
+    (* Count dominators; duplicates tie-break by index so only k copies
+       of a repeated point survive. *)
+    let dominators = ref 0 in
+    (try
+       for j = 0 to n - 1 do
+         if j <> i then begin
+           match Dominance.compare points.(j) p with
+           | `Left -> incr dominators
+           | `Equal -> if j < i then incr dominators
+           | `Right | `Incomparable -> ()
+         end;
+         if !dominators >= k then raise Exit
+       done
+     with Exit -> ());
+    if !dominators < k then result := i :: !result
+  done;
+  Array.of_list !result

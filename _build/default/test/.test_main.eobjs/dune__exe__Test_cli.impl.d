@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Astring_contains Buffer Filename Fun In_channel List Printf Scanf String Sys Unix

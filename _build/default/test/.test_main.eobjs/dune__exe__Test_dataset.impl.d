@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Dataset Filename Float Fun Rrms_dataset Sys

@@ -1,0 +1,1 @@
+test/test_discretize.ml: Alcotest Array Discretize Float Printf Rrms_core Rrms_geom Rrms_rng

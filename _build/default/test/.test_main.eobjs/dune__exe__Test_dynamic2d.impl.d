@@ -1,0 +1,1 @@
+test/test_dynamic2d.ml: Alcotest Array Dynamic2d Fun List Printf Rrms2d Rrms_core Rrms_rng

@@ -1,0 +1,1 @@
+test/test_dynamic_hd.ml: Alcotest Array Dynamic_hd Hd_rrms List Printf Regret Rrms_core Rrms_rng

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Bitset Discretize Float Hd_rrms Kregret Printf Regret Rrms2d Rrms_core Rrms_lp Rrms_rng Rrms_setcover Setcover Simplex

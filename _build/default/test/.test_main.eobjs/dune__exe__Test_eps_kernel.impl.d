@@ -1,0 +1,1 @@
+test/test_eps_kernel.ml: Alcotest Array Discretize Eps_kernel Printf Regret Rrms_core Rrms_rng Rrms_skyline

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Astring_contains Buffer In_channel List Printf Unix

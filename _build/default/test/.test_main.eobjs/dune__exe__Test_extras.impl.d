@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Approx_hull Array Cube Discretize Float Hashtbl Printf Regret Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng Topk

@@ -1,0 +1,1 @@
+test/test_findings.ml: Alcotest Array Float Printf Regret Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng

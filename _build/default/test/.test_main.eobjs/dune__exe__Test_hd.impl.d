@@ -1,0 +1,1 @@
+test/test_hd.ml: Alcotest Array Discretize Float Greedy Hd_greedy Hd_rrms Mrst Printf Regret Regret_matrix Rrms2d Rrms_core Rrms_dataset Rrms_rng Rrms_skyline

@@ -1,0 +1,1 @@
+test/test_hull2d.ml: Alcotest Array Float Hull2d Polar Printf Rrms_geom Rrms_rng Vec

@@ -1,0 +1,1 @@
+test/test_kregret.ml: Alcotest Array Discretize Float Kregret Printf Regret Rrms2d Rrms_core Rrms_geom Rrms_rng Topk

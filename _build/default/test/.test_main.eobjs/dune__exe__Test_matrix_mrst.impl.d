@@ -1,0 +1,1 @@
+test/test_matrix_mrst.ml: Alcotest Array Discretize Float Mrst Printf Regret_matrix Rrms_core Rrms_rng

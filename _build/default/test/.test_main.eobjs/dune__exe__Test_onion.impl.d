@@ -1,0 +1,1 @@
+test/test_onion.ml: Alcotest Array Float Fun Onion Printf Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng

@@ -1,0 +1,1 @@
+test/test_polar.ml: Alcotest Array Float Polar Printf Rrms_geom Rrms_rng Vec

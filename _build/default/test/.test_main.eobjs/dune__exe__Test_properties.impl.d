@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Discretize Dynamic2d Eps_kernel Float Hd_rrms List Onion Printf QCheck QCheck_alcotest Regret Regret_matrix Rrms2d Rrms_core Rrms_geom Rrms_skyline String Sweepline

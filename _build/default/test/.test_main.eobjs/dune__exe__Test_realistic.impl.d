@@ -1,0 +1,1 @@
+test/test_realistic.ml: Alcotest Array Dataset Float Printf Realistic Rrms_dataset Rrms_rng Rrms_skyline

@@ -1,0 +1,1 @@
+test/test_regret.ml: Alcotest Array Discretize Float Printf Regret Rrms_core Rrms_geom Rrms_rng

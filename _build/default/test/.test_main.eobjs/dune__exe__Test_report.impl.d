@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ascii_chart Astring_contains Bench_rows Float List Printf QCheck QCheck_alcotest Rrms_report String

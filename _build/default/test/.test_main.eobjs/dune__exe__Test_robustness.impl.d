@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Dataset Filename Float Fun List Printf QCheck QCheck_alcotest Rrms_core Rrms_dataset Rrms_lp Rrms_rng Rrms_skyline String Synthetic Sys Unix

@@ -1,0 +1,1 @@
+test/test_rrms2d.ml: Alcotest Array Float List Printf Regret Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng Rrms_skyline

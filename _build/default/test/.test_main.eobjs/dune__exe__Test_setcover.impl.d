@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Bitset List Rrms_rng Rrms_setcover Setcover

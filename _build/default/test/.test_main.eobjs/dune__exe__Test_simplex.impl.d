@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float List Printf Rrms_lp Rrms_rng Simplex

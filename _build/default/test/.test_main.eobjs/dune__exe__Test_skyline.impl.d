@@ -1,0 +1,1 @@
+test/test_skyline.ml: Alcotest Array Dominance Float Fun Kdom Printf Rrms_geom Rrms_rng Rrms_skyline Skyline

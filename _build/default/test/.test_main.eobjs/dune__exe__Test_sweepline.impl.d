@@ -1,0 +1,1 @@
+test/test_sweepline.ml: Alcotest Array Float Printf Rrms2d Rrms_core Rrms_dataset Rrms_geom Rrms_rng Sweepline

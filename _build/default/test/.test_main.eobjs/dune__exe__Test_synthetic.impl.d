@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Array Dataset Float Printf Rrms_dataset Rrms_geom Rrms_rng Rrms_skyline Synthetic

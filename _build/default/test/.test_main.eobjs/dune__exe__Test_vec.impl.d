@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Float Printf QCheck QCheck_alcotest Rrms_geom Vec

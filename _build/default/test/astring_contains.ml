@@ -1,0 +1,14 @@
+(* Tiny substring-search helper for the test suite (the stdlib has no
+   String.contains_substring). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec scan i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end

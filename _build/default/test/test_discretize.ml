@@ -1,0 +1,137 @@
+(* Tests for the function-space discretizations and Theorem 4's
+   constants. *)
+
+open Rrms_core
+
+let feq ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let test_grid_count () =
+  (* |F| = (γ+1)^(m-1), Equation 7. *)
+  Alcotest.(check int) "2D γ=4" 5 (Array.length (Discretize.grid ~gamma:4 ~m:2));
+  Alcotest.(check int) "3D γ=3" 16 (Array.length (Discretize.grid ~gamma:3 ~m:3));
+  Alcotest.(check int) "4D γ=4" 125 (Array.length (Discretize.grid ~gamma:4 ~m:4))
+
+let test_grid_unit_nonneg () =
+  let dirs = Discretize.grid ~gamma:5 ~m:4 in
+  Array.iter
+    (fun v ->
+      feq ~eps:1e-9 "unit norm" 1. (Rrms_geom.Vec.norm v);
+      Array.iter
+        (fun x -> Alcotest.(check bool) "non-negative" true (x >= -1e-12))
+        v)
+    dirs
+
+let test_grid_distinct () =
+  let dirs = Discretize.grid ~gamma:4 ~m:3 in
+  let n = Array.length dirs in
+  (* The grid may repeat directions on degenerate boundaries (sin θ = 0
+     makes lower angles irrelevant), but most must be distinct. *)
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    let dup = ref false in
+    for j = 0 to i - 1 do
+      if Rrms_geom.Vec.equal ~eps:1e-12 dirs.(i) dirs.(j) then dup := true
+    done;
+    if not !dup then incr distinct
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly distinct (%d of %d)" !distinct n)
+    true
+    (!distinct >= (n * 3) / 4)
+
+let test_grid_includes_axes_2d () =
+  let dirs = Discretize.grid ~gamma:4 ~m:2 in
+  let has v = Array.exists (fun d -> Rrms_geom.Vec.equal ~eps:1e-9 d v) dirs in
+  Alcotest.(check bool) "has pure A2" true (has [| 0.; 1. |]);
+  Alcotest.(check bool) "has pure A1" true (has [| 1.; 0. |])
+
+let test_grid_invalid () =
+  Alcotest.check_raises "gamma 0"
+    (Invalid_argument "Discretize.grid: gamma must be >= 1") (fun () ->
+      ignore (Discretize.grid ~gamma:0 ~m:3));
+  Alcotest.check_raises "m 1"
+    (Invalid_argument "Discretize.grid: m must be >= 2") (fun () ->
+      ignore (Discretize.grid ~gamma:3 ~m:1))
+
+let test_random_dirs () =
+  let rng = Rrms_rng.Rng.create 101 in
+  let dirs = Discretize.random rng ~count:50 ~m:5 in
+  Alcotest.(check int) "count" 50 (Array.length dirs);
+  Array.iter
+    (fun v ->
+      feq ~eps:1e-9 "unit" 1. (Rrms_geom.Vec.norm v);
+      Array.iter (fun x -> Alcotest.(check bool) "nonneg" true (x >= -1e-12)) v)
+    dirs
+
+let test_force_directed_improves_spread () =
+  let rng = Rrms_rng.Rng.create 102 in
+  let base = Discretize.random (Rrms_rng.Rng.copy rng) ~count:30 ~m:3 in
+  let relaxed = Discretize.force_directed rng ~count:30 ~m:3 in
+  Array.iter
+    (fun v ->
+      feq ~eps:1e-9 "unit after relaxation" 1. (Rrms_geom.Vec.norm v);
+      Array.iter (fun x -> Alcotest.(check bool) "nonneg" true (x >= -1e-12)) v)
+    relaxed;
+  let a = Discretize.min_pairwise_angle base in
+  let b = Discretize.min_pairwise_angle relaxed in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread improved: %g -> %g" a b)
+    true (b > a)
+
+let test_theorem4_constants () =
+  (* α = π/(2γ). *)
+  feq "alpha γ=3" (Float.pi /. 6.) (Discretize.alpha ~gamma:3);
+  (* In 2D, cos^(m-1)α = cos α and α' simplifies to α itself:
+     2 asin(sqrt((1-cos α)/2)) = 2 asin(sin(α/2)) = α. *)
+  feq ~eps:1e-12 "α' = α in 2D" (Discretize.alpha ~gamma:4)
+    (Discretize.theorem4_alpha' ~gamma:4 ~m:2);
+  (* c is in (0, 1] and increases with γ (finer grid, better bound). *)
+  let c4 = Discretize.theorem4_c ~gamma:4 ~m:4 in
+  let c8 = Discretize.theorem4_c ~gamma:8 ~m:4 in
+  Alcotest.(check bool) "0 < c <= 1" true (c4 > 0. && c4 <= 1.);
+  Alcotest.(check bool) "finer grid, larger c" true (c8 > c4);
+  (* Bound degrades with dimension at fixed γ. *)
+  let c_m3 = Discretize.theorem4_c ~gamma:4 ~m:3 in
+  let c_m6 = Discretize.theorem4_c ~gamma:4 ~m:6 in
+  Alcotest.(check bool) "higher m, smaller c" true (c_m6 < c_m3);
+  (* theorem4_bound at eps=0 equals 1-c. *)
+  feq "bound at 0" (1. -. c4) (Discretize.theorem4_bound ~gamma:4 ~m:4 ~eps:0.);
+  (* bound(1) = 1 for any c. *)
+  feq "bound at 1" 1. (Discretize.theorem4_bound ~gamma:4 ~m:4 ~eps:1.)
+
+let test_coverage_within_alpha' () =
+  (* Theorem 4's geometry: any direction is within α'/2 of the grid.
+     Monte-Carlo check with some slack for the estimate itself. *)
+  let rng = Rrms_rng.Rng.create 103 in
+  let gamma = 4 and m = 3 in
+  let dirs = Discretize.grid ~gamma ~m in
+  let cover = Discretize.max_coverage_angle ~samples:3000 rng dirs ~m in
+  let bound = Discretize.theorem4_alpha' ~gamma ~m /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %g <= α'/2 = %g" cover bound)
+    true
+    (cover <= bound +. 1e-6)
+
+let test_min_pairwise_angle_grid () =
+  (* Adjacent single-angle grid steps in 2D are exactly α apart. *)
+  let dirs = Discretize.grid ~gamma:6 ~m:2 in
+  feq ~eps:1e-9 "2D grid spacing = α" (Discretize.alpha ~gamma:6)
+    (Discretize.min_pairwise_angle dirs)
+
+let suite =
+  [
+    Alcotest.test_case "grid count" `Quick test_grid_count;
+    Alcotest.test_case "grid unit/nonneg" `Quick test_grid_unit_nonneg;
+    Alcotest.test_case "grid distinct" `Quick test_grid_distinct;
+    Alcotest.test_case "grid includes axes" `Quick test_grid_includes_axes_2d;
+    Alcotest.test_case "grid invalid" `Quick test_grid_invalid;
+    Alcotest.test_case "random dirs" `Quick test_random_dirs;
+    Alcotest.test_case "force-directed spread" `Slow test_force_directed_improves_spread;
+    Alcotest.test_case "theorem 4 constants" `Quick test_theorem4_constants;
+    Alcotest.test_case "coverage within α'/2" `Slow test_coverage_within_alpha';
+    Alcotest.test_case "grid spacing 2D" `Quick test_min_pairwise_angle_grid;
+  ]

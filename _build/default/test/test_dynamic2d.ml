@@ -1,0 +1,160 @@
+(* Tests for incremental 2D maintenance: every answer must match a
+   from-scratch recomputation, and the dominated-insert fast path must
+   actually skip recomputations. *)
+
+open Rrms_core
+
+let from_scratch points r =
+  if Array.length points = 0 then ([||], 0.)
+  else begin
+    let res = Rrms2d.solve_exact points ~r in
+    (res.Rrms2d.selected, res.Rrms2d.regret)
+  end
+
+let test_matches_from_scratch_under_inserts () =
+  let rng = Rrms_rng.Rng.create 201 in
+  let r = 3 in
+  let dyn = Dynamic2d.create ~r [||] in
+  let reference = ref [] in
+  for step = 1 to 60 do
+    let p = [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |] in
+    ignore (Dynamic2d.insert dyn p);
+    reference := p :: !reference;
+    if step mod 10 = 0 then begin
+      let points = Array.of_list (List.rev !reference) in
+      let _, want = from_scratch points r in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "regret matches at step %d" step)
+        want (Dynamic2d.regret dyn)
+    end
+  done
+
+let test_dominated_inserts_skip_recompute () =
+  let dyn = Dynamic2d.create ~r:2 [| [| 1.; 1. |]; [| 0.5; 1.5 |] |] in
+  ignore (Dynamic2d.regret dyn);
+  let before = Dynamic2d.recompute_count dyn in
+  (* All dominated by (1,1): no recomputation needed. *)
+  for _ = 1 to 20 do
+    ignore (Dynamic2d.insert dyn [| 0.3; 0.4 |])
+  done;
+  Alcotest.(check bool) "not dirty" false (Dynamic2d.is_dirty dyn);
+  ignore (Dynamic2d.regret dyn);
+  Alcotest.(check int) "no recompute for dominated inserts" before
+    (Dynamic2d.recompute_count dyn);
+  (* A new skyline point dirties the cache. *)
+  ignore (Dynamic2d.insert dyn [| 2.; 0.1 |]);
+  Alcotest.(check bool) "dirty after skyline insert" true (Dynamic2d.is_dirty dyn);
+  ignore (Dynamic2d.regret dyn);
+  Alcotest.(check int) "one recompute" (before + 1) (Dynamic2d.recompute_count dyn)
+
+let test_random_insert_recompute_rate () =
+  (* Under random insertion order the expected number of skyline-touching
+     inserts is O(log² n); recomputes must be a small fraction. *)
+  let rng = Rrms_rng.Rng.create 202 in
+  let dyn = Dynamic2d.create ~r:3 [||] in
+  let n = 1_000 in
+  for _ = 1 to n do
+    ignore
+      (Dynamic2d.insert dyn
+         [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |]);
+    (* Query every insert so each dirty flag costs one recompute. *)
+    ignore (Dynamic2d.regret dyn)
+  done;
+  let rc = Dynamic2d.recompute_count dyn in
+  Alcotest.(check bool)
+    (Printf.sprintf "recomputes (%d) << inserts (%d)" rc n)
+    true
+    (rc < n / 5)
+
+let test_remove () =
+  let dyn =
+    Dynamic2d.create ~r:2 [| [| 0.; 1. |]; [| 0.7; 0.7 |]; [| 1.; 0. |] |]
+  in
+  let regret_before = Dynamic2d.regret dyn in
+  Alcotest.(check bool) "three points, r=2: positive regret" true
+    (regret_before > 0.);
+  (* Removing a non-skyline point changes nothing. *)
+  let h = Dynamic2d.insert dyn [| 0.1; 0.1 |] in
+  ignore (Dynamic2d.regret dyn);
+  let rc = Dynamic2d.recompute_count dyn in
+  Dynamic2d.remove dyn h;
+  ignore (Dynamic2d.regret dyn);
+  Alcotest.(check int) "no recompute for interior removal" rc
+    (Dynamic2d.recompute_count dyn);
+  (* Removing a skyline member triggers recomputation; with only two
+     points left the regret drops to 0. *)
+  Dynamic2d.remove dyn 1;
+  Alcotest.(check (float 1e-9)) "regret after removing the middle" 0.
+    (Dynamic2d.regret dyn);
+  Alcotest.(check int) "two live tuples + none" 2 (Dynamic2d.size dyn);
+  (* Idempotent removal. *)
+  Dynamic2d.remove dyn 1;
+  Alcotest.(check int) "size unchanged" 2 (Dynamic2d.size dyn)
+
+let test_remove_matches_from_scratch () =
+  let rng = Rrms_rng.Rng.create 203 in
+  let points =
+    Array.init 40 (fun _ ->
+        [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+  in
+  let dyn = Dynamic2d.create ~r:3 points in
+  let alive = Array.make 40 true in
+  for _ = 1 to 20 do
+    let h = Rrms_rng.Rng.int rng 40 in
+    Dynamic2d.remove dyn h;
+    alive.(h) <- false;
+    let remaining =
+      Array.of_list
+        (List.filter_map
+           (fun i -> if alive.(i) then Some points.(i) else None)
+           (List.init 40 Fun.id))
+    in
+    let _, want = from_scratch remaining 3 in
+    Alcotest.(check (float 1e-9)) "regret matches after removal" want
+      (Dynamic2d.regret dyn)
+  done
+
+let test_handles_stable () =
+  let dyn = Dynamic2d.create ~r:1 [||] in
+  let h1 = Dynamic2d.insert dyn [| 1.; 2. |] in
+  let h2 = Dynamic2d.insert dyn [| 3.; 4. |] in
+  Alcotest.(check bool) "distinct handles" true (h1 <> h2);
+  Alcotest.(check (option (array (float 0.)))) "get h1" (Some [| 1.; 2. |])
+    (Dynamic2d.get dyn h1);
+  Dynamic2d.remove dyn h1;
+  Alcotest.(check (option (array (float 0.)))) "h1 removed" None
+    (Dynamic2d.get dyn h1);
+  Alcotest.(check (option (array (float 0.)))) "h2 intact" (Some [| 3.; 4. |])
+    (Dynamic2d.get dyn h2)
+
+let test_empty_table () =
+  let dyn = Dynamic2d.create ~r:2 [||] in
+  Alcotest.(check (array int)) "empty selection" [||] (Dynamic2d.selection dyn);
+  Alcotest.(check (float 0.)) "zero regret" 0. (Dynamic2d.regret dyn)
+
+let test_invalid () =
+  Alcotest.check_raises "r = 0"
+    (Invalid_argument "Dynamic2d.create: r must be >= 1") (fun () ->
+      ignore (Dynamic2d.create ~r:0 [||]));
+  let dyn = Dynamic2d.create ~r:1 [||] in
+  Alcotest.check_raises "3D tuple"
+    (Invalid_argument "Dynamic2d: tuples must be 2D") (fun () ->
+      ignore (Dynamic2d.insert dyn [| 1.; 2.; 3. |]));
+  Alcotest.check_raises "unknown handle"
+    (Invalid_argument "Dynamic2d.remove: unknown handle") (fun () ->
+      Dynamic2d.remove dyn 99)
+
+let suite =
+  [
+    Alcotest.test_case "matches from-scratch (inserts)" `Quick
+      test_matches_from_scratch_under_inserts;
+    Alcotest.test_case "dominated inserts skip work" `Quick
+      test_dominated_inserts_skip_recompute;
+    Alcotest.test_case "recompute rate" `Slow test_random_insert_recompute_rate;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove matches from-scratch" `Quick
+      test_remove_matches_from_scratch;
+    Alcotest.test_case "handles stable" `Quick test_handles_stable;
+    Alcotest.test_case "empty table" `Quick test_empty_table;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+  ]

@@ -1,0 +1,68 @@
+(* Tests for high-dimensional incremental maintenance. *)
+
+open Rrms_core
+
+let test_matches_from_scratch () =
+  let rng = Rrms_rng.Rng.create 211 in
+  let dyn = Dynamic_hd.create ~gamma:3 ~r:3 [||] in
+  let reference = ref [] in
+  for step = 1 to 40 do
+    let p = Array.init 3 (fun _ -> Rrms_rng.Rng.float rng 1.) in
+    ignore (Dynamic_hd.insert dyn p);
+    reference := p :: !reference;
+    if step mod 10 = 0 then begin
+      let points = Array.of_list (List.rev !reference) in
+      let want = Hd_rrms.solve ~gamma:3 points ~r:3 in
+      let want_regret = Regret.exact_lp ~selected:want.Hd_rrms.selected points in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "regret matches at step %d" step)
+        want_regret (Dynamic_hd.regret dyn)
+    end
+  done
+
+let test_dominated_absorbed () =
+  let dyn =
+    Dynamic_hd.create ~gamma:3 ~r:2 [| [| 1.; 1.; 1. |]; [| 0.5; 0.9; 0.2 |] |]
+  in
+  ignore (Dynamic_hd.regret dyn);
+  let before = Dynamic_hd.recompute_count dyn in
+  for _ = 1 to 10 do
+    ignore (Dynamic_hd.insert dyn [| 0.2; 0.3; 0.4 |])
+  done;
+  ignore (Dynamic_hd.regret dyn);
+  Alcotest.(check int) "dominated inserts absorbed" before
+    (Dynamic_hd.recompute_count dyn);
+  ignore (Dynamic_hd.insert dyn [| 2.; 0.; 0. |]);
+  Alcotest.(check bool) "skyline insert dirties" true (Dynamic_hd.is_dirty dyn)
+
+let test_remove_skyline_dirties () =
+  let dyn =
+    Dynamic_hd.create ~gamma:3 ~r:2
+      [| [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.5; 0.; 0. |] |]
+  in
+  ignore (Dynamic_hd.regret dyn);
+  let rc = Dynamic_hd.recompute_count dyn in
+  (* Interior removal: no recompute. *)
+  Dynamic_hd.remove dyn 2;
+  ignore (Dynamic_hd.regret dyn);
+  Alcotest.(check int) "interior removal free" rc (Dynamic_hd.recompute_count dyn);
+  (* Skyline removal: recompute, and the answer reflects it. *)
+  Dynamic_hd.remove dyn 0;
+  let sel = Dynamic_hd.selection dyn in
+  Alcotest.(check int) "one live skyline tuple selected" 1 (Array.length sel);
+  Alcotest.(check int) "it is the remaining corner" 1 sel.(0)
+
+let test_dimension_consistency () =
+  let dyn = Dynamic_hd.create ~r:1 [||] in
+  ignore (Dynamic_hd.insert dyn [| 1.; 2.; 3. |]);
+  Alcotest.check_raises "dimension mismatch rejected"
+    (Invalid_argument "Dynamic_hd: inconsistent tuple dimension") (fun () ->
+      ignore (Dynamic_hd.insert dyn [| 1.; 2. |]))
+
+let suite =
+  [
+    Alcotest.test_case "matches from-scratch" `Quick test_matches_from_scratch;
+    Alcotest.test_case "dominated absorbed" `Quick test_dominated_absorbed;
+    Alcotest.test_case "skyline removal" `Quick test_remove_skyline_dirties;
+    Alcotest.test_case "dimension consistency" `Quick test_dimension_consistency;
+  ]

@@ -1,0 +1,87 @@
+(* Tests for the direction-net ε-kernel. *)
+
+open Rrms_core
+
+let random_points rng n m =
+  Array.init n (fun _ -> Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.))
+
+let test_zero_regret_on_sample () =
+  let rng = Rrms_rng.Rng.create 181 in
+  let pts = random_points rng 200 3 in
+  let funcs = Discretize.grid ~gamma:4 ~m:3 in
+  let kernel = Eps_kernel.build ~funcs pts in
+  (* By construction, the kernel answers every sampled function with
+     zero regret. *)
+  Array.iter
+    (fun w ->
+      Alcotest.(check (float 1e-12))
+        "zero regret on sampled function" 0.
+        (Regret.for_function ~points:pts ~selected:kernel w))
+    funcs
+
+let test_guarantee_holds_exactly () =
+  let rng = Rrms_rng.Rng.create 182 in
+  for _ = 1 to 10 do
+    let pts = random_points rng 100 3 in
+    let gamma = 3 in
+    let kernel = Eps_kernel.build_grid ~gamma pts in
+    let true_regret = Regret.exact_lp ~selected:kernel pts in
+    let bound = Eps_kernel.guarantee ~gamma ~m:3 in
+    Alcotest.(check bool)
+      (Printf.sprintf "regret %g <= 1-c = %g" true_regret bound)
+      true
+      (true_regret <= bound +. 1e-9)
+  done
+
+let test_size_bounded_and_deduplicated () =
+  let rng = Rrms_rng.Rng.create 183 in
+  let pts = random_points rng 500 4 in
+  let funcs = Discretize.grid ~gamma:3 ~m:4 in
+  let kernel = Eps_kernel.build ~funcs pts in
+  Alcotest.(check bool) "size <= |F|" true
+    (Array.length kernel <= Array.length funcs);
+  let sorted = Array.copy kernel in
+  Array.sort compare sorted;
+  for i = 0 to Array.length sorted - 2 do
+    Alcotest.(check bool) "no duplicate indices" true (sorted.(i) <> sorted.(i + 1))
+  done
+
+let test_kernel_members_are_skyline () =
+  (* A strict maximizer of a positive function is never dominated. *)
+  let rng = Rrms_rng.Rng.create 184 in
+  let pts = random_points rng 150 3 in
+  let kernel = Eps_kernel.build_grid ~gamma:3 pts in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "kernel member on skyline" true
+        (Rrms_skyline.Skyline.is_skyline_point pts i))
+    kernel
+
+let test_finer_grid_lower_regret () =
+  let rng = Rrms_rng.Rng.create 185 in
+  let pts = random_points rng 300 3 in
+  let r2 = Regret.exact_lp ~selected:(Eps_kernel.build_grid ~gamma:2 pts) pts in
+  let r6 = Regret.exact_lp ~selected:(Eps_kernel.build_grid ~gamma:6 pts) pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "γ=6 regret %g <= γ=2 regret %g" r6 r2)
+    true (r6 <= r2 +. 1e-9)
+
+let test_invalid () =
+  Alcotest.check_raises "no points"
+    (Invalid_argument "Eps_kernel.build: no points") (fun () ->
+      ignore (Eps_kernel.build ~funcs:[| [| 1.; 0. |] |] [||]));
+  Alcotest.check_raises "no funcs"
+    (Invalid_argument "Eps_kernel.build: no functions") (fun () ->
+      ignore (Eps_kernel.build ~funcs:[||] [| [| 1.; 0. |] |]))
+
+let suite =
+  [
+    Alcotest.test_case "zero regret on sample" `Quick test_zero_regret_on_sample;
+    Alcotest.test_case "Theorem-4 guarantee" `Quick test_guarantee_holds_exactly;
+    Alcotest.test_case "size bounded + dedup" `Quick
+      test_size_bounded_and_deduplicated;
+    Alcotest.test_case "members on skyline" `Quick test_kernel_members_are_skyline;
+    Alcotest.test_case "finer grid lower regret" `Quick
+      test_finer_grid_lower_regret;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+  ]

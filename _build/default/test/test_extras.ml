@@ -1,0 +1,237 @@
+(* Tests for the remaining competitors and extensions: CUBE, the
+   approximate hull, and the Top-k layers. *)
+
+open Rrms_core
+
+let random_points rng n m =
+  Array.init n (fun _ -> Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.))
+
+let test_cube_budget () =
+  let rng = Rrms_rng.Rng.create 141 in
+  for _ = 1 to 10 do
+    let m = 2 + Rrms_rng.Rng.int rng 3 in
+    let pts = random_points rng 200 m in
+    let r = m + Rrms_rng.Rng.int rng 10 in
+    let res = Cube.solve pts ~r in
+    Alcotest.(check bool)
+      (Printf.sprintf "within budget (got %d <= %d)" (Array.length res.Cube.selected) r)
+      true
+      (Array.length res.Cube.selected <= r);
+    Alcotest.(check bool) "non-empty" true (Array.length res.Cube.selected > 0);
+    Alcotest.(check bool) "t >= 1" true (res.Cube.t_parameter >= 1)
+  done
+
+let test_cube_includes_attribute_maxima () =
+  let pts =
+    [| [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |]; [| 0.3; 0.3; 0.3 |] |]
+  in
+  let res = Cube.solve pts ~r:5 in
+  let has i = Array.mem i res.Cube.selected in
+  Alcotest.(check bool) "max of attr 1 kept" true (has 0);
+  Alcotest.(check bool) "max of attr 2 kept" true (has 1)
+
+let test_cube_regret_reasonable () =
+  (* CUBE should achieve a sane regret on smooth data (its bound is
+     weak but finite). *)
+  let rng = Rrms_rng.Rng.create 142 in
+  let pts = random_points rng 500 3 in
+  let res = Cube.solve pts ~r:12 in
+  let regret = Regret.exact_lp ~selected:res.Cube.selected pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "regret %g < 1" regret)
+    true (regret < 1.)
+
+let test_cube_published_bound () =
+  (* On normalized data CUBE's regret must respect its n-independent
+     bound (m-1)/(t+m-1). *)
+  let rng = Rrms_rng.Rng.create 150 in
+  for _ = 1 to 8 do
+    let m = 2 + Rrms_rng.Rng.int rng 2 in
+    let n = 200 + Rrms_rng.Rng.int rng 800 in
+    let pts = random_points rng n m in
+    let r = m + Rrms_rng.Rng.int rng 12 in
+    let res = Cube.solve pts ~r in
+    let regret = Regret.exact_lp ~selected:res.Cube.selected pts in
+    let bound = Cube.bound ~m ~t:res.Cube.t_parameter in
+    Alcotest.(check bool)
+      (Printf.sprintf "regret %g <= CUBE bound %g (m=%d t=%d)" regret bound m
+         res.Cube.t_parameter)
+      true
+      (regret <= bound +. 1e-9)
+  done;
+  (* The bound itself shrinks with t and is n-independent by
+     construction. *)
+  Alcotest.(check bool) "bound decreasing in t" true
+    (Cube.bound ~m:4 ~t:10 < Cube.bound ~m:4 ~t:2)
+
+let test_cube_invalid () =
+  Alcotest.check_raises "r < m" (Invalid_argument "Cube.solve: r must be >= m")
+    (fun () -> ignore (Cube.solve [| [| 1.; 1.; 1. |] |] ~r:2))
+
+let test_approx_hull_2d_superset_behaviour () =
+  (* §6.3's point: the approximate hull is usually LARGER than the true
+     maxima hull — useless as a compact representative. *)
+  let rng = Rrms_rng.Rng.create 143 in
+  let d = Rrms_dataset.Synthetic.correlated rng ~n:2000 ~m:2 in
+  let pts = Rrms_dataset.Dataset.rows d in
+  let true_hull = Rrms_geom.Hull2d.size (Rrms_geom.Hull2d.build pts) in
+  let approx = Approx_hull.maxima_hull_2d ~strips:64 pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "approx (%d) > true hull (%d) on correlated data"
+       (Array.length approx) true_hull)
+    true
+    (Array.length approx > true_hull)
+
+let test_approx_hull_2d_covers_maxima () =
+  (* Error guarantee: for every angle, the best kept point is close to
+     the true best — here we check the weaker containment property that
+     the global axis maxima are present. *)
+  let rng = Rrms_rng.Rng.create 144 in
+  let pts = random_points rng 500 2 in
+  let approx = Approx_hull.maxima_hull_2d ~strips:16 pts in
+  let best_x = ref 0 and best_y = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if p.(0) > pts.(!best_x).(0) then best_x := i;
+      if p.(1) > pts.(!best_y).(1) then best_y := i)
+    pts;
+  Alcotest.(check bool) "max-x kept" true (Array.mem !best_x approx);
+  Alcotest.(check bool) "max-y kept" true (Array.mem !best_y approx)
+
+let test_approx_hull_2d_regret_bound () =
+  (* With k strips over normalized data the kept set's regret is
+     small: every strip winner is within 1/k in A1 of the true winner
+     with at least its A2. *)
+  let rng = Rrms_rng.Rng.create 145 in
+  let pts = random_points rng 800 2 in
+  let approx = Approx_hull.maxima_hull_2d ~strips:40 pts in
+  let regret = Regret.exact_2d ~selected:approx pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "approx hull regret %g small" regret)
+    true (regret <= 0.15)
+
+let test_approx_hull_nd () =
+  let rng = Rrms_rng.Rng.create 146 in
+  let pts = random_points rng 500 3 in
+  let approx = Approx_hull.maxima_hull_nd ~grid:4 pts in
+  Alcotest.(check bool) "non-empty" true (Array.length approx > 0);
+  Alcotest.(check bool) "bounded by grid cells + maxima" true
+    (Array.length approx <= (4 * 4) + 3);
+  let sorted = Array.copy approx in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "sorted unique indices" sorted approx
+
+let test_approx_hull_strip_coverage () =
+  (* The BPF guarantee, verified pointwise: every tuple is covered by a
+     kept tuple in its own strip that is at least as good on A2 (so the
+     kept set loses at most one strip-width of A1). *)
+  let rng = Rrms_rng.Rng.create 149 in
+  let pts = random_points rng 600 2 in
+  let strips = 20 in
+  let kept = Approx_hull.maxima_hull_2d ~strips pts in
+  let max_x = Array.fold_left (fun acc p -> Float.max acc p.(0)) 0. pts in
+  let strip_of p =
+    min (strips - 1) (int_of_float (p.(0) /. max_x *. float_of_int strips))
+  in
+  Array.iter
+    (fun p ->
+      let covered =
+        Array.exists
+          (fun k ->
+            strip_of pts.(k) = strip_of p && pts.(k).(1) >= p.(1))
+          kept
+      in
+      Alcotest.(check bool) "strip winner covers the point" true covered)
+    pts
+
+let test_topk_layers_partition () =
+  let rng = Rrms_rng.Rng.create 147 in
+  let pts = random_points rng 120 2 in
+  let probe_funcs = Discretize.grid ~gamma:8 ~m:2 in
+  let select sub = (Rrms2d.solve sub ~r:4).Rrms2d.selected in
+  let layers = Topk.build ~select ~probe_funcs ~k:3 pts in
+  Alcotest.(check int) "three layers" 3 (Array.length layers.Topk.layer_members);
+  (* Covered sets are disjoint. *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun cover ->
+      Array.iter
+        (fun i ->
+          Alcotest.(check bool) "no tuple covered twice" false (Hashtbl.mem seen i);
+          Hashtbl.replace seen i ())
+        cover)
+    layers.Topk.covered;
+  (* Members of layer i are covered by layer i. *)
+  Array.iteri
+    (fun li members ->
+      Array.iter
+        (fun i ->
+          Alcotest.(check bool) "member covered by its layer" true
+            (Array.mem i layers.Topk.covered.(li)))
+        members)
+    layers.Topk.layer_members
+
+let test_topk_query () =
+  let rng = Rrms_rng.Rng.create 148 in
+  let pts = random_points rng 100 2 in
+  let probe_funcs = Discretize.grid ~gamma:8 ~m:2 in
+  let select sub = (Rrms2d.solve sub ~r:3).Rrms2d.selected in
+  let layers = Topk.build ~select ~probe_funcs ~k:3 pts in
+  let w = [| 0.5; 0.5 |] in
+  let top3 = Topk.topk_from_layers pts layers w ~k:3 in
+  Alcotest.(check bool) "returns k results" true (Array.length top3 <= 3);
+  (* Scores are in decreasing order. *)
+  for i = 0 to Array.length top3 - 2 do
+    Alcotest.(check bool) "decreasing scores" true
+      (Rrms_geom.Vec.dot w pts.(top3.(i)) >= Rrms_geom.Vec.dot w pts.(top3.(i + 1)))
+  done;
+  (* The top-1 answer matches the layer-1 compact set's promise: its
+     regret vs the true top-1 is bounded by the layer's regret. *)
+  let true_best = Rrms_geom.Vec.max_score w pts in
+  let got = Rrms_geom.Vec.dot w pts.(top3.(0)) in
+  let layer_regret = Regret.exact_2d ~selected:layers.Topk.layer_members.(0) pts in
+  Alcotest.(check bool) "top-1 within layer regret" true
+    ((true_best -. got) /. true_best <= layer_regret +. 1e-9)
+
+let test_topk_exhaustion () =
+  (* k larger than the data can sustain: trailing layers empty, no
+     crash. *)
+  let pts = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let probe_funcs = Discretize.grid ~gamma:4 ~m:2 in
+  let select sub = (Rrms2d.solve sub ~r:2).Rrms2d.selected in
+  let layers = Topk.build ~select ~probe_funcs ~k:5 pts in
+  Alcotest.(check int) "first layer everything" 2
+    (Array.length layers.Topk.layer_members.(0));
+  Alcotest.(check int) "later layers empty" 0
+    (Array.length layers.Topk.layer_members.(2))
+
+let test_topk_invalid () =
+  Alcotest.check_raises "k = 0" (Invalid_argument "Topk.build: k must be >= 1")
+    (fun () ->
+      ignore
+        (Topk.build
+           ~select:(fun _ -> [||])
+           ~probe_funcs:[||] ~k:0 [| [| 1. |] |]))
+
+let suite =
+  [
+    Alcotest.test_case "cube budget" `Quick test_cube_budget;
+    Alcotest.test_case "cube keeps attribute maxima" `Quick
+      test_cube_includes_attribute_maxima;
+    Alcotest.test_case "cube regret reasonable" `Slow test_cube_regret_reasonable;
+    Alcotest.test_case "cube published bound" `Slow test_cube_published_bound;
+    Alcotest.test_case "cube invalid" `Quick test_cube_invalid;
+    Alcotest.test_case "approx hull superset behaviour" `Quick
+      test_approx_hull_2d_superset_behaviour;
+    Alcotest.test_case "approx hull covers maxima" `Quick
+      test_approx_hull_2d_covers_maxima;
+    Alcotest.test_case "approx hull regret bound" `Quick
+      test_approx_hull_2d_regret_bound;
+    Alcotest.test_case "approx hull nd" `Quick test_approx_hull_nd;
+    Alcotest.test_case "approx hull strip coverage" `Quick
+      test_approx_hull_strip_coverage;
+    Alcotest.test_case "topk layers partition" `Quick test_topk_layers_partition;
+    Alcotest.test_case "topk query" `Quick test_topk_query;
+    Alcotest.test_case "topk exhaustion" `Quick test_topk_exhaustion;
+    Alcotest.test_case "topk invalid" `Quick test_topk_invalid;
+  ]

@@ -1,0 +1,133 @@
+(* Regression tests that pin the reproduction findings of DESIGN.md §5:
+   the concrete instances on which the paper's §3 claims fail.  These
+   must keep failing in the published algorithm's favor — i.e. keep
+   witnessing the bugs — so the findings remain demonstrable. *)
+
+open Rrms_core
+
+(* The anti-correlated instance (30 tuples, seed chain below) on which
+   Property 1 (edge-weight monotonicity in the gap width) breaks:
+   w(t₁,t₁₀) > w(t₁,t₁₁) on its 13-tuple skyline. *)
+let property1_instance () =
+  let rng = Rrms_rng.Rng.create 83 in
+  let points = ref [||] in
+  for _ = 1 to 9 do
+    let d = Rrms_dataset.Synthetic.anticorrelated rng ~n:30 ~m:2 in
+    points := Rrms_dataset.Dataset.rows d;
+    (* Mirror the original experiment's RNG consumption. *)
+    ignore (Rrms_rng.Rng.int rng 2)
+  done;
+  !points
+
+let test_property1_violation_witness () =
+  let points = property1_instance () in
+  let ctx = Rrms2d.make_ctx points in
+  Alcotest.(check int) "13-tuple skyline" 13 (Rrms2d.skyline_size ctx);
+  let w_10 = Rrms2d.edge_weight ctx 1 10 in
+  let w_11 = Rrms2d.edge_weight ctx 1 11 in
+  (* The published weights themselves decrease when the gap grows. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "Property 1 violated: w(1,10)=%.6f > w(1,11)=%.6f" w_10 w_11)
+    true
+    (w_10 > w_11 +. 1e-6);
+  (* And the corrected weights agree here (both gaps have their tie
+     angle inside the hull range), so the violation is intrinsic, not a
+     zero-case artifact. *)
+  Alcotest.(check (float 1e-9)) "exact = published on gap (1,10)" w_10
+    (Rrms2d.edge_weight_exact ctx 1 10);
+  Alcotest.(check (float 1e-9)) "exact = published on gap (1,11)" w_11
+    (Rrms2d.edge_weight_exact ctx 1 11)
+
+let test_published_suboptimal_on_witness () =
+  let points = property1_instance () in
+  let published = Rrms2d.solve points ~r:2 in
+  let exact = Rrms2d.solve_exact points ~r:2 in
+  let brute = Rrms2d.solve_brute_force points ~r:2 in
+  Alcotest.(check (float 1e-9)) "exact variant is optimal" brute.Rrms2d.regret
+    exact.Rrms2d.regret;
+  Alcotest.(check bool)
+    (Printf.sprintf "published (%.6f) misses the optimum (%.6f)"
+       published.Rrms2d.regret brute.Rrms2d.regret)
+    true
+    (published.Rrms2d.regret > brute.Rrms2d.regret +. 1e-4)
+
+(* The literal 7-point instance on which Algorithm 1's zero case is
+   wrong: gap (2,5) of the skyline contains the hull vertex at position
+   4, but the tie angle of (t₂,t₅) falls in hull-vertex 1's range, so
+   the published weight is 0 while the true pair regret is positive. *)
+let zero_case_points =
+  [|
+    [| 0.4548; 0.5449 |];
+    [| 0.5668; 0.5160 |];
+    [| 0.6142; 0.4509 |];
+    [| 0.6903; 0.2464 |];
+    [| 0.9577; 0.0897 |];
+    [| 0.9606; 0.0777 |];
+    [| 0.2; 0.2 |];
+  |]
+
+let test_zero_case_witness () =
+  let ctx = Rrms2d.make_ctx zero_case_points in
+  Alcotest.(check int) "six skyline tuples" 6 (Rrms2d.skyline_size ctx);
+  let published = Rrms2d.edge_weight ctx 2 5 in
+  let exact = Rrms2d.edge_weight_exact ctx 2 5 in
+  Alcotest.(check (float 0.)) "Algorithm 1 returns 0" 0. published;
+  Alcotest.(check bool)
+    (Printf.sprintf "true pair regret is positive (%.6f)" exact)
+    true (exact > 1e-3);
+  (* Ground truth by numeric sweep: keep {t2, t5} against the gap. *)
+  let sky = Rrms2d.skyline_order ctx in
+  let selected = [| sky.(0); sky.(1); sky.(2); sky.(5) |] in
+  let true_regret = Regret.exact_2d ~selected zero_case_points in
+  Alcotest.(check bool)
+    (Printf.sprintf "the set regret %.6f is positive too" true_regret)
+    true (true_regret > 1e-3);
+  (* The exact pair weight upper-bounds the true set regret. *)
+  Alcotest.(check bool) "pair weight >= set regret" true
+    (exact >= true_regret -. 1e-9)
+
+let test_corrected_weight_is_clamped_tie_angle () =
+  (* The corrected rule's supremum sits at the hull-range boundary when
+     the tie angle falls outside it: verify against a fine sweep. *)
+  let ctx = Rrms2d.make_ctx zero_case_points in
+  let exact = Rrms2d.edge_weight_exact ctx 2 5 in
+  let sky = Rrms2d.skyline_order ctx in
+  let p i = zero_case_points.(sky.(i)) in
+  let sweep = ref 0. in
+  let steps = 100_000 in
+  for q = 0 to steps do
+    let phi = Float.pi /. 2. *. float_of_int q /. float_of_int steps in
+    let w = Rrms_geom.Polar.weight_of_angle_2d phi in
+    (* Database max among skyline; alternatives {t2, t5}. *)
+    let best = ref neg_infinity and arg = ref 0 in
+    for pos = 0 to 5 do
+      let v = Rrms_geom.Vec.dot w (p pos) in
+      if v > !best then begin
+        best := v;
+        arg := pos
+      end
+    done;
+    if !arg > 2 && !arg < 5 then begin
+      let alt =
+        Float.max (Rrms_geom.Vec.dot w (p 2)) (Rrms_geom.Vec.dot w (p 5))
+      in
+      let reg = (!best -. alt) /. !best in
+      if reg > !sweep then sweep := reg
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "corrected weight %.6f matches sweep %.6f" exact !sweep)
+    true
+    (Float.abs (exact -. !sweep) < 1e-4)
+
+let suite =
+  [
+    Alcotest.test_case "Property 1 violation witness" `Quick
+      test_property1_violation_witness;
+    Alcotest.test_case "published suboptimal on witness" `Quick
+      test_published_suboptimal_on_witness;
+    Alcotest.test_case "Algorithm 1 zero-case witness" `Quick
+      test_zero_case_witness;
+    Alcotest.test_case "corrected weight = swept supremum" `Slow
+      test_corrected_weight_is_clamped_tie_angle;
+  ]

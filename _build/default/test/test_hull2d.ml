@@ -1,0 +1,148 @@
+(* Tests for the 2D maxima hull and its sorted angle list. *)
+
+open Rrms_geom
+
+let feq ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let test_single_point () =
+  let h = Hull2d.build [| [| 1.; 2. |] |] in
+  Alcotest.(check int) "size" 1 (Hull2d.size h);
+  Alcotest.(check int) "vertex" 0 (Hull2d.vertex h 0);
+  Alcotest.(check (array (float 0.))) "no breakpoints" [||] (Hull2d.breakpoints h);
+  Alcotest.(check int) "max at any angle" 0 (Hull2d.max_index_at h 0.7)
+
+let test_square_corners () =
+  (* Unit square corners: only (0,1), (1,1), (1,0) can win; (1,1)
+     dominates everything so the maxima hull is just (1,1). *)
+  let pts = [| [| 0.; 0. |]; [| 0.; 1. |]; [| 1.; 0. |]; [| 1.; 1. |] |] in
+  let h = Hull2d.build pts in
+  Alcotest.(check int) "only the dominating corner" 1 (Hull2d.size h);
+  Alcotest.(check int) "it is (1,1)" 3 (Hull2d.vertex h 0)
+
+let test_three_point_chain () =
+  (* (0,2), (1.5,1.5), (2,0): all three on the hull. *)
+  let pts = [| [| 0.; 2. |]; [| 1.5; 1.5 |]; [| 2.; 0. |] |] in
+  let h = Hull2d.build pts in
+  Alcotest.(check int) "three vertices" 3 (Hull2d.size h);
+  Alcotest.(check (array int)) "chain order" [| 0; 1; 2 |] (Hull2d.vertices h);
+  let breaks = Hull2d.breakpoints h in
+  Alcotest.(check int) "two breakpoints" 2 (Array.length breaks);
+  Alcotest.(check bool) "breaks sorted" true (breaks.(0) <= breaks.(1))
+
+let test_interior_point_excluded () =
+  (* The midpoint of the segment is on the boundary but not a vertex. *)
+  let pts = [| [| 0.; 2. |]; [| 1.; 1. |]; [| 2.; 0. |] |] in
+  let h = Hull2d.build pts in
+  Alcotest.(check (array int))
+    "collinear middle point dropped" [| 0; 2 |] (Hull2d.vertices h)
+
+let test_dominated_point_excluded () =
+  let pts = [| [| 0.; 2. |]; [| 0.5; 0.5 |]; [| 2.; 0. |] |] in
+  let h = Hull2d.build pts in
+  Alcotest.(check (array int))
+    "dominated point dropped" [| 0; 2 |] (Hull2d.vertices h)
+
+let test_duplicate_points () =
+  let pts = [| [| 1.; 1. |]; [| 1.; 1. |]; [| 0.; 2. |] |] in
+  let h = Hull2d.build pts in
+  Alcotest.(check int) "duplicates collapse" 2 (Hull2d.size h)
+
+let test_max_index_at_boundaries () =
+  let pts = [| [| 0.; 2. |]; [| 1.5; 1.5 |]; [| 2.; 0. |] |] in
+  let h = Hull2d.build pts in
+  Alcotest.(check int) "φ=0 picks top-left" 0 (Hull2d.max_index_at h 0.);
+  Alcotest.(check int)
+    "φ=π/2 picks bottom-right" 2
+    (Hull2d.max_index_at h (Float.pi /. 2.))
+
+let test_empty_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Hull2d.build: empty input")
+    (fun () -> ignore (Hull2d.build [||]));
+  Alcotest.check_raises "bad dim"
+    (Invalid_argument "Hull2d.build: dimension <> 2") (fun () ->
+      ignore (Hull2d.build [| [| 1.; 2.; 3. |] |]))
+
+(* Reference implementation: the hull vertex maximal at angle φ must be
+   the true maximum over all points. *)
+let test_max_at_angle_matches_brute_force () =
+  let rng = Rrms_rng.Rng.create 31 in
+  for _ = 1 to 50 do
+    let n = 3 + Rrms_rng.Rng.int rng 60 in
+    let pts =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 10.; Rrms_rng.Rng.float rng 10. |])
+    in
+    let h = Hull2d.build pts in
+    for _ = 1 to 30 do
+      let phi = Rrms_rng.Rng.uniform rng 0. (Float.pi /. 2.) in
+      let w = Polar.weight_of_angle_2d phi in
+      let best = Vec.max_score w pts in
+      let hull_best = Vec.dot w (Hull2d.max_point_at h phi) in
+      feq ~eps:1e-9 "hull vertex achieves global max" best hull_best
+    done
+  done
+
+(* Property: breakpoints are non-decreasing and hull coordinates are
+   monotone (x increasing, y decreasing). *)
+let test_monotonicity_random () =
+  let rng = Rrms_rng.Rng.create 32 in
+  for _ = 1 to 100 do
+    let n = 1 + Rrms_rng.Rng.int rng 100 in
+    let pts =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let h = Hull2d.build pts in
+    let c = Hull2d.size h in
+    for k = 0 to c - 2 do
+      let p = Hull2d.vertex_point h k and q = Hull2d.vertex_point h (k + 1) in
+      Alcotest.(check bool) "x strictly increasing" true (p.(0) < q.(0));
+      Alcotest.(check bool) "y strictly decreasing" true (p.(1) > q.(1))
+    done;
+    let breaks = Hull2d.breakpoints h in
+    for k = 0 to Array.length breaks - 2 do
+      Alcotest.(check bool) "breaks sorted" true (breaks.(k) <= breaks.(k + 1))
+    done
+  done
+
+(* Property: every hull vertex is the strict maximum of the midpoint
+   angle of its interval (hull minimality). *)
+let test_each_vertex_wins_somewhere () =
+  let rng = Rrms_rng.Rng.create 33 in
+  for _ = 1 to 50 do
+    let n = 2 + Rrms_rng.Rng.int rng 50 in
+    let pts =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 5.; Rrms_rng.Rng.float rng 5. |])
+    in
+    let h = Hull2d.build pts in
+    let c = Hull2d.size h in
+    let breaks = Hull2d.breakpoints h in
+    for k = 0 to c - 1 do
+      let lo = if k = 0 then 0. else breaks.(k - 1) in
+      let hi = if k = c - 1 then Float.pi /. 2. else breaks.(k) in
+      let mid = (lo +. hi) /. 2. in
+      Alcotest.(check int)
+        "vertex maximal at its interval midpoint" k (Hull2d.max_index_at h mid)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "single point" `Quick test_single_point;
+    Alcotest.test_case "square corners" `Quick test_square_corners;
+    Alcotest.test_case "three point chain" `Quick test_three_point_chain;
+    Alcotest.test_case "collinear excluded" `Quick test_interior_point_excluded;
+    Alcotest.test_case "dominated excluded" `Quick test_dominated_point_excluded;
+    Alcotest.test_case "duplicates" `Quick test_duplicate_points;
+    Alcotest.test_case "max at boundaries" `Quick test_max_index_at_boundaries;
+    Alcotest.test_case "invalid input" `Quick test_empty_invalid;
+    Alcotest.test_case "max at angle = brute force" `Quick
+      test_max_at_angle_matches_brute_force;
+    Alcotest.test_case "monotonicity" `Quick test_monotonicity_random;
+    Alcotest.test_case "each vertex wins" `Quick test_each_vertex_wins_somewhere;
+  ]

@@ -1,0 +1,121 @@
+(* Tests for the k-regret extension. *)
+
+open Rrms_core
+
+let feq ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let points =
+  [| [| 1.; 0. |]; [| 0.9; 0.1 |]; [| 0.5; 0.5 |]; [| 0.; 1. |] |]
+
+let test_kth_score () =
+  let w = [| 1.; 0. |] in
+  feq "1st" 1. (Kregret.kth_score ~k:1 w points);
+  feq "2nd" 0.9 (Kregret.kth_score ~k:2 w points);
+  feq "3rd" 0.5 (Kregret.kth_score ~k:3 w points);
+  feq "4th" 0. (Kregret.kth_score ~k:4 w points);
+  Alcotest.check_raises "k out of range"
+    (Invalid_argument "Kregret.kth_score: k out of range") (fun () ->
+      ignore (Kregret.kth_score ~k:5 w points))
+
+let test_kth_score_matches_sort () =
+  let rng = Rrms_rng.Rng.create 171 in
+  for _ = 1 to 50 do
+    let n = 5 + Rrms_rng.Rng.int rng 50 in
+    let pts =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let w = [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |] in
+    let scores = Array.map (fun p -> Rrms_geom.Vec.dot w p) pts in
+    Array.sort (fun a b -> Float.compare b a) scores;
+    let k = 1 + Rrms_rng.Rng.int rng n in
+    feq "kth = sorted" scores.(k - 1) (Kregret.kth_score ~k w pts)
+  done
+
+let test_for_function () =
+  (* Keep only (0.5, 0.5); under pure-x: k=1 target 1.0 → regret 0.5;
+     k=2 target 0.9 → regret 4/9; k=3 target 0.5 → regret 0. *)
+  let selected = [| 2 |] in
+  let w = [| 1.; 0. |] in
+  feq "k=1" 0.5 (Kregret.for_function ~k:1 ~points ~selected w);
+  feq ~eps:1e-12 "k=2" ((0.9 -. 0.5) /. 0.9)
+    (Kregret.for_function ~k:2 ~points ~selected w);
+  feq "k=3" 0. (Kregret.for_function ~k:3 ~points ~selected w)
+
+let test_k1_equals_regret () =
+  let rng = Rrms_rng.Rng.create 172 in
+  let funcs = Discretize.grid ~gamma:6 ~m:2 in
+  for _ = 1 to 20 do
+    let n = 5 + Rrms_rng.Rng.int rng 40 in
+    let pts =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let selected = [| Rrms_rng.Rng.int rng n |] in
+    feq "k=1 sampled = 1-regret sampled"
+      (Regret.sampled ~selected ~funcs pts)
+      (Kregret.sampled ~k:1 ~points:pts ~selected ~funcs)
+  done
+
+let test_monotone_in_k () =
+  (* A weaker target (larger k) can only shrink the regret. *)
+  let rng = Rrms_rng.Rng.create 173 in
+  let funcs = Discretize.grid ~gamma:6 ~m:2 in
+  for _ = 1 to 20 do
+    let n = 6 + Rrms_rng.Rng.int rng 40 in
+    let pts =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let selected = [| Rrms_rng.Rng.int rng n; Rrms_rng.Rng.int rng n |] in
+    let prev = ref infinity in
+    for k = 1 to 5 do
+      let v = Kregret.sampled ~k ~points:pts ~selected ~funcs in
+      Alcotest.(check bool)
+        (Printf.sprintf "non-increasing in k (k=%d)" k)
+        true
+        (v <= !prev +. 1e-12);
+      prev := v
+    done
+  done
+
+let test_layered_promise () =
+  (* Serving top-k from k layers must beat serving it from layer 1. *)
+  let rng = Rrms_rng.Rng.create 174 in
+  let pts =
+    Array.init 150 (fun _ ->
+        [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+  in
+  let funcs = Discretize.grid ~gamma:8 ~m:2 in
+  let select sub = (Rrms2d.solve_exact sub ~r:4).Rrms2d.selected in
+  let layers = Topk.build ~select ~probe_funcs:funcs ~k:3 pts in
+  let k = 3 in
+  let with_all_layers =
+    Kregret.layered_sampled ~points:pts ~layers:layers.Topk.layer_members
+      ~funcs ~k
+  in
+  let with_one_layer =
+    Kregret.layered_sampled ~points:pts
+      ~layers:[| layers.Topk.layer_members.(0) |]
+      ~funcs ~k
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 layers (%g) <= 1 layer (%g)" with_all_layers
+       with_one_layer)
+    true
+    (with_all_layers <= with_one_layer +. 1e-9);
+  Alcotest.(check bool) "bounded" true (with_all_layers <= 1.)
+
+let suite =
+  [
+    Alcotest.test_case "kth score" `Quick test_kth_score;
+    Alcotest.test_case "kth score = sort" `Quick test_kth_score_matches_sort;
+    Alcotest.test_case "for_function" `Quick test_for_function;
+    Alcotest.test_case "k=1 equals 1-regret" `Quick test_k1_equals_regret;
+    Alcotest.test_case "monotone in k" `Quick test_monotone_in_k;
+    Alcotest.test_case "layered promise" `Quick test_layered_promise;
+  ]

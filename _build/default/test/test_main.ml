@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "rrms"
+    [
+      ("rng", Test_rng.suite);
+      ("vec", Test_vec.suite);
+      ("polar", Test_polar.suite);
+      ("hull2d", Test_hull2d.suite);
+      ("simplex", Test_simplex.suite);
+      ("dataset", Test_dataset.suite);
+      ("synthetic", Test_synthetic.suite);
+      ("realistic", Test_realistic.suite);
+      ("skyline", Test_skyline.suite);
+      ("setcover", Test_setcover.suite);
+      ("regret", Test_regret.suite);
+      ("rrms2d", Test_rrms2d.suite);
+      ("findings", Test_findings.suite);
+      ("sweepline", Test_sweepline.suite);
+      ("discretize", Test_discretize.suite);
+      ("matrix-mrst", Test_matrix_mrst.suite);
+      ("hd", Test_hd.suite);
+      ("hd-budget", Test_hd.budget_suite);
+      ("greedy-seeds", Test_hd.seed_suite);
+      ("extras", Test_extras.suite);
+      ("onion", Test_onion.suite);
+      ("kregret", Test_kregret.suite);
+      ("eps-kernel", Test_eps_kernel.suite);
+      ("report", Test_report.suite);
+      ("cli", Test_cli.suite);
+      ("robustness", Test_robustness.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("dynamic2d", Test_dynamic2d.suite);
+      ("dynamic-hd", Test_dynamic_hd.suite);
+      ("examples", Test_examples.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,130 @@
+(* Tests for the discretized regret matrix and the MRST oracle. *)
+
+open Rrms_core
+
+let feq ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let points = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.6; 0.6 |] |]
+let funcs = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.70710678; 0.70710678 |] |]
+
+let test_build_basics () =
+  let m = Regret_matrix.build ~points ~funcs in
+  Alcotest.(check int) "rows" 3 (Regret_matrix.rows m);
+  Alcotest.(check int) "cols" 3 (Regret_matrix.cols m);
+  (* Winner of each column has zero regret. *)
+  feq "winner col 0" 0. (Regret_matrix.get m 0 0);
+  feq "winner col 1" 0. (Regret_matrix.get m 1 1);
+  feq "winner col 2" 0. (Regret_matrix.get m 2 2);
+  (* Cross entries: (0,1) scores 0 under pure-x after best 1. *)
+  feq "corner loses other axis" 1. (Regret_matrix.get m 1 0);
+  feq "middle under pure-x" 0.4 (Regret_matrix.get m 2 0);
+  (* Column best scores. *)
+  feq "best col 0" 1. (Regret_matrix.column_best_score m 0);
+  feq ~eps:1e-6 "best col 2" (1.2 *. 0.70710678) (Regret_matrix.column_best_score m 2)
+
+let test_distinct_values () =
+  let m = Regret_matrix.build ~points ~funcs in
+  let v = Regret_matrix.distinct_values m in
+  (* Sorted ascending, unique, contains 0 and 1. *)
+  Alcotest.(check bool) "contains 0" true (Array.exists (fun x -> x = 0.) v);
+  Alcotest.(check bool) "contains 1" true (Array.exists (fun x -> x = 1.) v);
+  for i = 0 to Array.length v - 2 do
+    Alcotest.(check bool) "strictly ascending" true (v.(i) < v.(i + 1))
+  done
+
+let test_regret_of_rows () =
+  let m = Regret_matrix.build ~points ~funcs in
+  (* Keeping everything: zero. *)
+  feq "all rows" 0. (Regret_matrix.regret_of_rows m [| 0; 1; 2 |]);
+  (* Keeping only the middle point: worst column is an axis. *)
+  feq "middle only" 0.4 (Regret_matrix.regret_of_rows m [| 2 |]);
+  (* Keeping the two corners: diagonal column suffers. *)
+  let expected = ((1.2 -. 1.) /. 1.2) in
+  feq ~eps:1e-6 "corners only" expected (Regret_matrix.regret_of_rows m [| 0; 1 |])
+
+let test_mrst_exact_minimal () =
+  let m = Regret_matrix.build ~points ~funcs in
+  (* eps = 0: need winners of all three columns = all three rows. *)
+  (match Mrst.solve ~solver:Mrst.Exact m ~eps:0. with
+  | Some rows -> Alcotest.(check int) "eps=0 needs 3 rows" 3 (Array.length rows)
+  | None -> Alcotest.fail "eps=0 should be satisfiable");
+  (* eps = 0.41: the middle point alone satisfies every column
+     (0.4, 0.4, 0). *)
+  match Mrst.solve ~solver:Mrst.Exact m ~eps:0.41 with
+  | Some rows ->
+      Alcotest.(check int) "one row suffices" 1 (Array.length rows);
+      Alcotest.(check int) "it is the middle point" 2 rows.(0)
+  | None -> Alcotest.fail "eps=0.41 should be satisfiable"
+
+let test_mrst_greedy_covers () =
+  let m = Regret_matrix.build ~points ~funcs in
+  match Mrst.solve ~solver:Mrst.Greedy m ~eps:0.2 with
+  | Some rows ->
+      feq "greedy cover satisfies threshold within eps" 0.
+        (Float.max 0. (Regret_matrix.regret_of_rows m rows -. 0.2))
+  | None -> Alcotest.fail "eps=0.2 should be satisfiable"
+
+let test_mrst_greedy_vs_exact_random () =
+  let rng = Rrms_rng.Rng.create 111 in
+  for _ = 1 to 20 do
+    let n = 3 + Rrms_rng.Rng.int rng 12 in
+    let pts =
+      Array.init n (fun _ ->
+          Array.init 3 (fun _ -> Rrms_rng.Rng.float rng 1.))
+    in
+    let fs = Discretize.grid ~gamma:2 ~m:3 in
+    let m = Regret_matrix.build ~points:pts ~funcs:fs in
+    let eps = Rrms_rng.Rng.float rng 0.5 in
+    match (Mrst.solve ~solver:Mrst.Exact m ~eps, Mrst.solve ~solver:Mrst.Greedy m ~eps) with
+    | None, None -> ()
+    | Some e, Some g ->
+        Alcotest.(check bool) "exact <= greedy size" true
+          (Array.length e <= Array.length g);
+        Alcotest.(check bool) "exact satisfies" true
+          (Regret_matrix.regret_of_rows m e <= eps +. 1e-12);
+        Alcotest.(check bool) "greedy satisfies" true
+          (Regret_matrix.regret_of_rows m g <= eps +. 1e-12)
+    | Some _, None | None, Some _ ->
+        Alcotest.fail "solvers disagree on satisfiability"
+  done
+
+let test_mrst_always_satisfiable_on_built_matrix () =
+  (* A matrix built over its own rows always contains each column's
+     winner (a zero cell), so MRST succeeds at any eps >= 0 — the
+     interesting question is only the cover's size. *)
+  let pts = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let fs = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let m = Regret_matrix.build ~points:pts ~funcs:fs in
+  (match Mrst.solve m ~eps:0.5 with
+  | Some rows -> Alcotest.(check int) "needs both corners" 2 (Array.length rows)
+  | None -> Alcotest.fail "two corners satisfy 0.5");
+  (* With a single row, that row is the winner of every column. *)
+  let m1 = Regret_matrix.build ~points:[| [| 1.; 0. |] |] ~funcs:fs in
+  match Mrst.solve m1 ~eps:0. with
+  | Some rows -> Alcotest.(check int) "single row covers" 1 (Array.length rows)
+  | None -> Alcotest.fail "single-row matrix is satisfiable at eps=0"
+
+let test_build_invalid () =
+  Alcotest.check_raises "no points"
+    (Invalid_argument "Regret_matrix.build: no points") (fun () ->
+      ignore (Regret_matrix.build ~points:[||] ~funcs));
+  Alcotest.check_raises "no funcs"
+    (Invalid_argument "Regret_matrix.build: no functions") (fun () ->
+      ignore (Regret_matrix.build ~points ~funcs:[||]))
+
+let suite =
+  [
+    Alcotest.test_case "build basics" `Quick test_build_basics;
+    Alcotest.test_case "distinct values" `Quick test_distinct_values;
+    Alcotest.test_case "regret of rows" `Quick test_regret_of_rows;
+    Alcotest.test_case "mrst exact minimal" `Quick test_mrst_exact_minimal;
+    Alcotest.test_case "mrst greedy covers" `Quick test_mrst_greedy_covers;
+    Alcotest.test_case "mrst greedy vs exact" `Quick test_mrst_greedy_vs_exact_random;
+    Alcotest.test_case "mrst satisfiable on built matrix" `Quick
+      test_mrst_always_satisfiable_on_built_matrix;
+    Alcotest.test_case "build invalid" `Quick test_build_invalid;
+  ]

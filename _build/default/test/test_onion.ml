@@ -1,0 +1,149 @@
+(* Tests for the ONION layered index: layer structure invariants and
+   exact top-k answers against brute force. *)
+
+open Rrms_core
+
+let random_points rng n =
+  Array.init n (fun _ ->
+      [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+
+let brute_topk points w k =
+  let order = Array.init (Array.length points) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c =
+        Float.compare
+          (Rrms_geom.Vec.dot w points.(b))
+          (Rrms_geom.Vec.dot w points.(a))
+      in
+      if c <> 0 then c else compare a b)
+    order;
+  Array.sub order 0 (min k (Array.length order))
+
+let test_build_partitions () =
+  let rng = Rrms_rng.Rng.create 161 in
+  let points = random_points rng 300 in
+  let onion = Onion.build points in
+  Alcotest.(check bool) "exhaustive" true (Onion.exhaustive onion);
+  (* Layers partition the input. *)
+  let seen = Array.make 300 false in
+  for l = 0 to Onion.depth onion - 1 do
+    Array.iter
+      (fun i ->
+        Alcotest.(check bool) "no tuple in two layers" false seen.(i);
+        seen.(i) <- true)
+      (Onion.layer onion l)
+  done;
+  Alcotest.(check bool) "every tuple in a layer" true (Array.for_all Fun.id seen);
+  Alcotest.(check int) "size_upto depth = n" 300
+    (Onion.size_upto onion (Onion.depth onion))
+
+let test_layer_envelopes_nested () =
+  (* For any weight, layer j's best score dominates layer j+1's. *)
+  let rng = Rrms_rng.Rng.create 162 in
+  let points = random_points rng 200 in
+  let onion = Onion.build points in
+  for _ = 1 to 50 do
+    let phi = Rrms_rng.Rng.uniform rng 0. (Float.pi /. 2.) in
+    let w = Rrms_geom.Polar.weight_of_angle_2d phi in
+    let best l =
+      Array.fold_left
+        (fun acc i -> Float.max acc (Rrms_geom.Vec.dot w points.(i)))
+        neg_infinity (Onion.layer onion l)
+    in
+    for l = 0 to Onion.depth onion - 2 do
+      Alcotest.(check bool) "nested envelopes" true (best l >= best (l + 1) -. 1e-12)
+    done
+  done
+
+let test_top1_exact () =
+  let rng = Rrms_rng.Rng.create 163 in
+  let points = random_points rng 400 in
+  let onion = Onion.build ~max_layers:1 points in
+  for _ = 1 to 200 do
+    let phi = Rrms_rng.Rng.uniform rng 0. (Float.pi /. 2.) in
+    let w = Rrms_geom.Polar.weight_of_angle_2d phi in
+    let got = Onion.top1 onion w in
+    let want = Rrms_geom.Vec.max_score w points in
+    Alcotest.(check (float 1e-9)) "top-1 score exact" want
+      (Rrms_geom.Vec.dot w points.(got))
+  done
+
+let test_topk_exact () =
+  let rng = Rrms_rng.Rng.create 164 in
+  for _ = 1 to 20 do
+    let n = 20 + Rrms_rng.Rng.int rng 200 in
+    let points = random_points rng n in
+    let onion = Onion.build points in
+    let k = 1 + Rrms_rng.Rng.int rng 5 in
+    let phi = Rrms_rng.Rng.uniform rng 0. (Float.pi /. 2.) in
+    let w = Rrms_geom.Polar.weight_of_angle_2d phi in
+    let got = Onion.topk onion w ~k in
+    let want = brute_topk points w k in
+    Alcotest.(check int) "k results" (Array.length want) (Array.length got);
+    (* Scores must match rank by rank (indices may differ on ties). *)
+    Array.iteri
+      (fun rank i ->
+        Alcotest.(check (float 1e-12))
+          (Printf.sprintf "rank %d score" rank)
+          (Rrms_geom.Vec.dot w points.(want.(rank)))
+          (Rrms_geom.Vec.dot w points.(i)))
+      got
+  done
+
+let test_topk_with_duplicates () =
+  let points =
+    [| [| 1.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 0.5; 0.5 |] |]
+  in
+  let onion = Onion.build points in
+  let got = Onion.topk onion [| 1.; 0.1 |] ~k:2 in
+  (* Both duplicates of (1,0) are the two best. *)
+  let sorted = Array.copy got in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "duplicates both returned" [| 0; 1 |] sorted
+
+let test_truncated_index_guard () =
+  let rng = Rrms_rng.Rng.create 165 in
+  let points = random_points rng 100 in
+  let onion = Onion.build ~max_layers:2 points in
+  if not (Onion.exhaustive onion) then
+    Alcotest.check_raises "too-deep query rejected"
+      (Invalid_argument "Onion.topk: truncated index too shallow for this k")
+      (fun () -> ignore (Onion.topk onion [| 1.; 1. |] ~k:3))
+
+let test_invalid_weights () =
+  let onion = Onion.build [| [| 1.; 1. |] |] in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Onion: weights must be non-negative and non-zero")
+    (fun () -> ignore (Onion.top1 onion [| -1.; 1. |]));
+  Alcotest.check_raises "bad dimension"
+    (Invalid_argument "Onion: weight vector not 2D") (fun () ->
+      ignore (Onion.top1 onion [| 1.; 1.; 1. |]))
+
+let test_size_tradeoff_vs_rrms () =
+  (* The motivating comparison: ONION layer 1 is exact but large; the
+     RRMS set is small with bounded regret. *)
+  let rng = Rrms_rng.Rng.create 166 in
+  let d = Rrms_dataset.Synthetic.skyline_only_2d rng ~target:400 in
+  let points = Rrms_dataset.Dataset.rows d in
+  let onion = Onion.build ~max_layers:1 points in
+  let hull_size = Onion.size_upto onion 1 in
+  let r = 8 in
+  let rrms = Rrms2d.solve_exact points ~r in
+  Alcotest.(check bool)
+    (Printf.sprintf "hull (%d) much larger than RRMS set (%d)" hull_size r)
+    true
+    (hull_size > 4 * r);
+  Alcotest.(check bool) "RRMS regret bounded" true (rrms.Rrms2d.regret < 0.2)
+
+let suite =
+  [
+    Alcotest.test_case "layers partition input" `Quick test_build_partitions;
+    Alcotest.test_case "nested envelopes" `Quick test_layer_envelopes_nested;
+    Alcotest.test_case "top-1 exact" `Quick test_top1_exact;
+    Alcotest.test_case "top-k exact" `Quick test_topk_exact;
+    Alcotest.test_case "top-k duplicates" `Quick test_topk_with_duplicates;
+    Alcotest.test_case "truncated guard" `Quick test_truncated_index_guard;
+    Alcotest.test_case "invalid weights" `Quick test_invalid_weights;
+    Alcotest.test_case "size tradeoff vs RRMS" `Quick test_size_tradeoff_vs_rrms;
+  ]

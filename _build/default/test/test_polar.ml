@@ -1,0 +1,159 @@
+(* Tests for the polar <-> Cartesian transform and 2D angle helpers. *)
+
+open Rrms_geom
+
+let feq ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let half_pi = Float.pi /. 2.
+
+let test_to_cartesian_2d () =
+  (* In 2D with one angle θ: v = (sin θ, cos θ). *)
+  let v = Polar.to_cartesian [| 0. |] in
+  feq "θ=0 → (0,1) x" 0. v.(0);
+  feq "θ=0 → (0,1) y" 1. v.(1);
+  let v = Polar.to_cartesian [| half_pi |] in
+  feq "θ=π/2 → (1,0) x" 1. v.(0);
+  feq "θ=π/2 → (1,0) y" 0. v.(1);
+  let v = Polar.to_cartesian [| Float.pi /. 4. |] in
+  feq "θ=π/4 x" (sqrt 0.5) v.(0);
+  feq "θ=π/4 y" (sqrt 0.5) v.(1)
+
+let test_to_cartesian_3d_paper_example () =
+  (* Paper §4.3 maps t'(1,0,1) to polar angles; its worked example writes
+     the axes in the opposite order from its own Algorithm 3 (a pure
+     relabeling).  Under Algorithm 3's recursion the direction of (1,0,1)
+     corresponds to angles (π/2, π/4). *)
+  let v = Polar.to_cartesian [| Float.pi /. 2.; Float.pi /. 4. |] in
+  let expect = Vec.normalize [| 1.; 0.; 1. |] in
+  Alcotest.(check bool)
+    "angles (π/2,π/4) → direction (1,0,1)" true
+    (Vec.equal ~eps:1e-9 v expect);
+  (* And the example's own order maps to (0,1,1). *)
+  let v = Polar.to_cartesian [| 0.; Float.pi /. 4. |] in
+  let expect = Vec.normalize [| 0.; 1.; 1. |] in
+  Alcotest.(check bool)
+    "angles (0,π/4) → direction (0,1,1)" true
+    (Vec.equal ~eps:1e-9 v expect)
+
+let test_to_cartesian_unit_and_nonneg () =
+  let rng = Rrms_rng.Rng.create 21 in
+  for _ = 1 to 500 do
+    let m = 2 + Rrms_rng.Rng.int rng 6 in
+    let angles =
+      Array.init (m - 1) (fun _ -> Rrms_rng.Rng.uniform rng 0. half_pi)
+    in
+    let v = Polar.to_cartesian angles in
+    feq "unit norm" 1. (Vec.norm v);
+    Array.iter
+      (fun x -> Alcotest.(check bool) "non-negative" true (x >= -1e-12))
+      v
+  done
+
+let test_roundtrip () =
+  let rng = Rrms_rng.Rng.create 22 in
+  for _ = 1 to 500 do
+    let m = 2 + Rrms_rng.Rng.int rng 6 in
+    let angles =
+      Array.init (m - 1) (fun _ -> Rrms_rng.Rng.uniform rng 0.01 (half_pi -. 0.01))
+    in
+    let v = Polar.to_cartesian angles in
+    let angles' = Polar.to_angles v in
+    Array.iteri (fun i a -> feq ~eps:1e-7 "roundtrip angle" a angles'.(i)) angles
+  done
+
+let test_to_angles_degenerate () =
+  (* A vector with a zero suffix radius: (0, 1, 0) in 3D. *)
+  let v = [| 0.; 1.; 0. |] in
+  let angles = Polar.to_angles v in
+  let v' = Polar.to_cartesian angles in
+  Alcotest.(check bool) "degenerate roundtrips" true (Vec.equal ~eps:1e-9 v v')
+
+let test_to_angles_invalid () =
+  Alcotest.check_raises "negative component"
+    (Invalid_argument "Polar.to_angles: negative component") (fun () ->
+      ignore (Polar.to_angles [| 1.; -1. |]));
+  Alcotest.check_raises "zero vector"
+    (Invalid_argument "Polar.to_angles: zero vector") (fun () ->
+      ignore (Polar.to_angles [| 0.; 0. |]))
+
+let test_angle_2d () =
+  feq "pure A2 is angle 0" 0. (Polar.angle_2d [| 0.; 1. |]);
+  feq "pure A1 is angle π/2" half_pi (Polar.angle_2d [| 1.; 0. |]);
+  feq "diagonal is π/4" (Float.pi /. 4.) (Polar.angle_2d [| 1.; 1. |])
+
+let test_weight_of_angle_2d () =
+  let w = Polar.weight_of_angle_2d (Float.pi /. 6.) in
+  feq "w1 = sin φ" 0.5 w.(0);
+  feq "w2 = cos φ" (sqrt 3. /. 2.) w.(1)
+
+let test_tie_angle_basic () =
+  (* Points (0,1) and (1,0): tie under the diagonal function φ=π/4. *)
+  match Polar.tie_angle_2d [| 0.; 1. |] [| 1.; 0. |] with
+  | Some phi -> feq "symmetric tie at π/4" (Float.pi /. 4.) phi
+  | None -> Alcotest.fail "expected a tie angle"
+
+let test_tie_angle_dominated () =
+  (* (2,2) dominates (1,1): no non-negative function ties them. *)
+  Alcotest.(check bool)
+    "dominated pair has no tie" true
+    (Polar.tie_angle_2d [| 1.; 1. |] [| 2.; 2. |] = None)
+
+let test_tie_angle_identical () =
+  Alcotest.(check bool)
+    "identical points" true
+    (Polar.tie_angle_2d [| 1.; 1. |] [| 1.; 1. |] = None)
+
+let test_tie_angle_axis_cases () =
+  (match Polar.tie_angle_2d [| 1.; 2. |] [| 1.; 5. |] with
+  | Some phi -> feq "equal A1 ties under pure A1" half_pi phi
+  | None -> Alcotest.fail "expected tie");
+  match Polar.tie_angle_2d [| 1.; 2. |] [| 5.; 2. |] with
+  | Some phi -> feq "equal A2 ties under pure A2" 0. phi
+  | None -> Alcotest.fail "expected tie"
+
+let test_tie_angle_scores_equal () =
+  (* The defining property: at the tie angle the scores coincide. *)
+  let rng = Rrms_rng.Rng.create 23 in
+  for _ = 1 to 500 do
+    let p = [| Rrms_rng.Rng.float rng 10.; Rrms_rng.Rng.float rng 10. |] in
+    let q = [| Rrms_rng.Rng.float rng 10.; Rrms_rng.Rng.float rng 10. |] in
+    match Polar.tie_angle_2d p q with
+    | None -> ()
+    | Some phi ->
+        let w = Polar.weight_of_angle_2d phi in
+        feq ~eps:1e-9 "scores tie" (Vec.dot w p) (Vec.dot w q);
+        Alcotest.(check bool) "angle in range" true (phi >= 0. && phi <= half_pi)
+  done
+
+let test_angular_distance () =
+  feq "orthogonal" half_pi (Polar.angular_distance [| 1.; 0. |] [| 0.; 1. |]);
+  (* acos is ill-conditioned near 1, so allow a looser tolerance. *)
+  feq ~eps:1e-7 "same direction" 0.
+    (Polar.angular_distance [| 1.; 1. |] [| 2.; 2. |]);
+  feq "45 degrees" (Float.pi /. 4.)
+    (Polar.angular_distance [| 1.; 0. |] [| 1.; 1. |])
+
+let suite =
+  [
+    Alcotest.test_case "to_cartesian 2D" `Quick test_to_cartesian_2d;
+    Alcotest.test_case "to_cartesian 3D (paper example)" `Quick
+      test_to_cartesian_3d_paper_example;
+    Alcotest.test_case "to_cartesian unit+nonneg" `Quick
+      test_to_cartesian_unit_and_nonneg;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "to_angles degenerate" `Quick test_to_angles_degenerate;
+    Alcotest.test_case "to_angles invalid" `Quick test_to_angles_invalid;
+    Alcotest.test_case "angle_2d" `Quick test_angle_2d;
+    Alcotest.test_case "weight_of_angle_2d" `Quick test_weight_of_angle_2d;
+    Alcotest.test_case "tie angle basic" `Quick test_tie_angle_basic;
+    Alcotest.test_case "tie angle dominated" `Quick test_tie_angle_dominated;
+    Alcotest.test_case "tie angle identical" `Quick test_tie_angle_identical;
+    Alcotest.test_case "tie angle axis cases" `Quick test_tie_angle_axis_cases;
+    Alcotest.test_case "tie angle scores equal" `Quick
+      test_tie_angle_scores_equal;
+    Alcotest.test_case "angular distance" `Quick test_angular_distance;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the simulated real-world datasets: schema, ranges, and the
+   correlation structure the substitutions promise to preserve. *)
+
+open Rrms_dataset
+
+let rng () = Rrms_rng.Rng.create 777
+
+let pearson d j k =
+  let n = Dataset.size d in
+  let nf = float_of_int n in
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    let x = Dataset.value d i j and y = Dataset.value d i k in
+    sx := !sx +. x;
+    sy := !sy +. y;
+    sxx := !sxx +. (x *. x);
+    syy := !syy +. (y *. y);
+    sxy := !sxy +. (x *. y)
+  done;
+  let cov = (!sxy /. nf) -. (!sx /. nf *. (!sy /. nf)) in
+  let vx = (!sxx /. nf) -. (!sx /. nf *. (!sx /. nf)) in
+  let vy = (!syy /. nf) -. (!sy /. nf *. (!sy /. nf)) in
+  cov /. sqrt (vx *. vy)
+
+let test_airline_schema () =
+  let d = Realistic.airline (rng ()) ~n:1000 in
+  Alcotest.(check int) "n" 1000 (Dataset.size d);
+  Alcotest.(check (array string))
+    "attributes"
+    [| "actual_elapsed_time"; "distance" |]
+    (Dataset.attributes d)
+
+let test_airline_correlation () =
+  (* Elapsed time is flipped to higher-is-better, so the dependence on
+     distance shows up as a strong negative correlation. *)
+  let d = Realistic.airline (rng ()) ~n:5000 in
+  let c = pearson d 0 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flipped elapsed vs distance strongly dependent (got %g)" c)
+    true (c < -0.9)
+
+let test_airline_skyline_band () =
+  (* The trade-off band has a non-trivial but sub-linear skyline. *)
+  let d = Realistic.airline (rng ()) ~n:5000 in
+  let s = Rrms_skyline.Skyline.size_of (Dataset.rows d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "skyline non-trivial and sub-linear (got %d)" s)
+    true
+    (s > 10 && s < 1000)
+
+let test_dot_schema () =
+  let d = Realistic.dot (rng ()) ~n:1000 in
+  Alcotest.(check int) "m = 7" 7 (Dataset.dim d);
+  Alcotest.(check (array string))
+    "DOT attribute order"
+    [|
+      "dep_delay"; "taxi_out"; "taxi_in"; "actual_elapsed_time"; "air_time";
+      "distance"; "arrival_delay";
+    |]
+    (Dataset.attributes d)
+
+let test_dot_delay_correlation () =
+  let d = Realistic.dot (rng ()) ~n:5000 in
+  (* Flipped delays remain positively correlated with each other. *)
+  let c = pearson d 0 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "dep/arr delay correlated (got %g)" c)
+    true (c > 0.5);
+  (* air_time tracks distance. *)
+  let c2 = pearson d 4 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "air_time/distance correlated (got %g)" c2)
+    true (c2 > 0.9)
+
+let test_nba_schema () =
+  let d = Realistic.nba (rng ()) ~n:500 in
+  Alcotest.(check int) "m = 17" 17 (Dataset.dim d);
+  let attrs = Dataset.attributes d in
+  Alcotest.(check string) "first attr is pts" "pts" attrs.(0);
+  Alcotest.(check string) "second attr is reb" "reb" attrs.(1)
+
+let test_nba_consistency () =
+  let d = Realistic.nba (rng ()) ~n:2000 in
+  let attrs = Dataset.attributes d in
+  let col name =
+    let found = ref (-1) in
+    Array.iteri (fun i a -> if a = name then found := i) attrs;
+    !found
+  in
+  let pts = col "pts" and minutes = col "minutes" and fga = col "fga" in
+  let reb = col "reb" and oreb = col "oreb" and dreb = col "dreb" in
+  (* Points track minutes and attempts. *)
+  let c = pearson d pts minutes in
+  Alcotest.(check bool)
+    (Printf.sprintf "pts/minutes correlated (got %g)" c)
+    true (c > 0.6);
+  let c2 = pearson d pts fga in
+  Alcotest.(check bool)
+    (Printf.sprintf "pts/fga correlated (got %g)" c2)
+    true (c2 > 0.8);
+  (* Rebounds add up (within rounding of the three counts). *)
+  for i = 0 to Dataset.size d - 1 do
+    let total = Dataset.value d i reb
+    and o = Dataset.value d i oreb
+    and de = Dataset.value d i dreb in
+    Alcotest.(check bool) "reb ≈ oreb + dreb" true (Float.abs (total -. (o +. de)) <= 1.5)
+  done
+
+let test_all_non_negative () =
+  let check d =
+    Array.iter
+      (fun r ->
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool) "non-negative" true (v >= 0. && Float.is_finite v))
+          r)
+      (Dataset.rows d)
+  in
+  let r = rng () in
+  check (Realistic.airline r ~n:500);
+  check (Realistic.dot r ~n:500);
+  check (Realistic.nba r ~n:500)
+
+let test_determinism () =
+  let d1 = Realistic.nba (Rrms_rng.Rng.create 5) ~n:50 in
+  let d2 = Realistic.nba (Rrms_rng.Rng.create 5) ~n:50 in
+  for i = 0 to 49 do
+    Alcotest.(check (array (float 0.)))
+      "same seed same rows" (Dataset.row d1 i) (Dataset.row d2 i)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "airline schema" `Quick test_airline_schema;
+    Alcotest.test_case "airline correlation" `Slow test_airline_correlation;
+    Alcotest.test_case "airline skyline band" `Slow test_airline_skyline_band;
+    Alcotest.test_case "dot schema" `Quick test_dot_schema;
+    Alcotest.test_case "dot delay correlation" `Slow test_dot_delay_correlation;
+    Alcotest.test_case "nba schema" `Quick test_nba_schema;
+    Alcotest.test_case "nba consistency" `Slow test_nba_consistency;
+    Alcotest.test_case "non-negative values" `Quick test_all_non_negative;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

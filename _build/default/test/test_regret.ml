@@ -1,0 +1,170 @@
+(* Tests for regret-ratio evaluation: closed-form cases, agreement
+   between the 2D-envelope and LP evaluators, and the LP hull test. *)
+
+open Rrms_core
+
+let feq ?(eps = 1e-6) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let test_for_function () =
+  let points = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.5; 0.5 |] |] in
+  (* Keep only (0.5, 0.5); for pure-x the best is 1, kept gives 0.5. *)
+  feq "regret 0.5" 0.5
+    (Regret.for_function ~points ~selected:[| 2 |] [| 1.; 0. |]);
+  (* Keeping the best for the function gives zero regret. *)
+  feq "zero regret" 0.
+    (Regret.for_function ~points ~selected:[| 0 |] [| 1.; 0. |]);
+  (* Keeping everything gives zero regret. *)
+  feq "full set" 0.
+    (Regret.for_function ~points ~selected:[| 0; 1; 2 |] [| 0.3; 0.7 |])
+
+let test_for_function_empty () =
+  Alcotest.check_raises "empty selection"
+    (Invalid_argument "Regret.for_function: empty selection") (fun () ->
+      ignore (Regret.for_function ~points:[| [| 1. |] |] ~selected:[||] [| 1. |]))
+
+let test_point_regret_lp_simple () =
+  (* Set = {(0,1)}, p = (1,0): at w = (1,0), regret = (1-0)/1 = 1. *)
+  feq "orthogonal corner" 1.
+    (Regret.point_regret_lp ~set:[| [| 0.; 1. |] |] [| 1.; 0. |]);
+  (* p dominated by the set: regret 0. *)
+  feq "dominated point" 0.
+    (Regret.point_regret_lp ~set:[| [| 2.; 2. |] |] [| 1.; 1. |]);
+  (* p in the set: regret 0. *)
+  feq "self in set" 0.
+    (Regret.point_regret_lp ~set:[| [| 1.; 1. |] |] [| 1.; 1. |])
+
+let test_point_regret_lp_known_value () =
+  (* Set = {(1,0),(0,1)}, p = (0.8, 0.8).  By symmetry the worst w is
+     the diagonal: regret = (1.6 - 1)/1.6 = 0.375 (the denominator is
+     w·p, the score of the lost point). *)
+  feq "symmetric midpoint" 0.375
+    (Regret.point_regret_lp ~set:[| [| 1.; 0. |]; [| 0.; 1. |] |] [| 0.8; 0.8 |])
+
+let test_exact_2d_simple () =
+  let points = [| [| 0.; 1. |]; [| 0.7; 0.7 |]; [| 1.; 0. |] |] in
+  (* Keep the two corners; drop the middle.  Worst function is the
+     contour through the corners, w = (1,1)/√2: regret = (1.4-1)/1.4. *)
+  feq "drop middle" ((1.4 -. 1.) /. 1.4)
+    (Regret.exact_2d ~selected:[| 0; 2 |] points);
+  feq "keep all" 0. (Regret.exact_2d ~selected:[| 0; 1; 2 |] points)
+
+let test_exact_2d_vs_lp () =
+  let rng = Rrms_rng.Rng.create 71 in
+  for _ = 1 to 30 do
+    let n = 5 + Rrms_rng.Rng.int rng 40 in
+    let points =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let k = 1 + Rrms_rng.Rng.int rng 4 in
+    let selected =
+      Array.init k (fun _ -> Rrms_rng.Rng.int rng n)
+    in
+    let e2d = Regret.exact_2d ~selected points in
+    let elp = Regret.exact_lp ~selected points in
+    feq ~eps:1e-5
+      (Printf.sprintf "envelope vs LP evaluator (n=%d k=%d)" n k)
+      e2d elp
+  done
+
+let test_sampled_lower_bound () =
+  let rng = Rrms_rng.Rng.create 72 in
+  let funcs = Discretize.grid ~gamma:8 ~m:2 in
+  for _ = 1 to 20 do
+    let n = 5 + Rrms_rng.Rng.int rng 30 in
+    let points =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let selected = [| Rrms_rng.Rng.int rng n |] in
+    let sampled = Regret.sampled ~selected ~funcs points in
+    let exact = Regret.exact_2d ~selected points in
+    Alcotest.(check bool)
+      (Printf.sprintf "sampled (%g) <= exact (%g)" sampled exact)
+      true
+      (sampled <= exact +. 1e-9)
+  done
+
+let test_extreme_points_square () =
+  (* Square corners plus center: 4 extreme, 1 not. *)
+  let points =
+    [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |]; [| 0.5; 0.5 |] |]
+  in
+  Alcotest.(check bool) "corner extreme" true (Regret.is_extreme_point points 0);
+  Alcotest.(check bool) "center not extreme" false
+    (Regret.is_extreme_point points 4);
+  Alcotest.(check int) "hull size 4" 4 (Regret.convex_hull_size points)
+
+let test_extreme_points_collinear () =
+  let points = [| [| 0.; 0. |]; [| 0.5; 0.5 |]; [| 1.; 1. |] |] in
+  Alcotest.(check bool) "midpoint of a segment not extreme" false
+    (Regret.is_extreme_point points 1);
+  Alcotest.(check int) "segment hull = endpoints" 2
+    (Regret.convex_hull_size points)
+
+let test_extreme_matches_hull2d_maxima () =
+  (* In 2D the LP-extreme points restricted to the skyline must contain
+     the maxima hull vertices. *)
+  let rng = Rrms_rng.Rng.create 73 in
+  let points =
+    Array.init 40 (fun _ ->
+        [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+  in
+  let hull = Rrms_geom.Hull2d.build points in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "maxima hull vertex is LP-extreme" true
+        (Regret.is_extreme_point points v))
+    (Rrms_geom.Hull2d.vertices hull)
+
+let test_maxima_count_sampled () =
+  let points = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.9; 0.9 |]; [| 0.1; 0.1 |] |] in
+  let funcs = Discretize.grid ~gamma:16 ~m:2 in
+  let c = Regret.maxima_count_sampled ~points ~funcs in
+  Alcotest.(check int) "three winners" 3 c
+
+let test_profile_2d () =
+  let rng = Rrms_rng.Rng.create 74 in
+  for _ = 1 to 15 do
+    let n = 5 + Rrms_rng.Rng.int rng 40 in
+    let points =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let selected = [| Rrms_rng.Rng.int rng n |] in
+    let profile = Regret.profile_2d ~steps:50 ~selected points in
+    (* Angles sorted and within [0, π/2]. *)
+    Array.iteri
+      (fun i (phi, reg) ->
+        Alcotest.(check bool) "angle in range" true
+          (phi >= 0. && phi <= (Float.pi /. 2.) +. 1e-12);
+        Alcotest.(check bool) "regret in [0,1]" true (reg >= 0. && reg <= 1.);
+        if i > 0 then
+          Alcotest.(check bool) "angles sorted" true (phi >= fst profile.(i - 1)))
+      profile;
+    (* The profile's max equals the exact regret: the breakpoints are
+       among the samples, and the supremum sits at a breakpoint. *)
+    let profile_max = Array.fold_left (fun acc (_, r) -> Float.max acc r) 0. profile in
+    feq ~eps:1e-9 "profile max = exact" (Regret.exact_2d ~selected points) profile_max
+  done
+
+let suite =
+  [
+    Alcotest.test_case "for_function" `Quick test_for_function;
+    Alcotest.test_case "for_function empty" `Quick test_for_function_empty;
+    Alcotest.test_case "point LP simple" `Quick test_point_regret_lp_simple;
+    Alcotest.test_case "point LP known value" `Quick test_point_regret_lp_known_value;
+    Alcotest.test_case "exact 2D simple" `Quick test_exact_2d_simple;
+    Alcotest.test_case "exact 2D = exact LP" `Slow test_exact_2d_vs_lp;
+    Alcotest.test_case "sampled lower-bounds exact" `Quick test_sampled_lower_bound;
+    Alcotest.test_case "extreme points: square" `Quick test_extreme_points_square;
+    Alcotest.test_case "extreme points: collinear" `Quick test_extreme_points_collinear;
+    Alcotest.test_case "extreme contains maxima hull" `Quick
+      test_extreme_matches_hull2d_maxima;
+    Alcotest.test_case "maxima count sampled" `Quick test_maxima_count_sampled;
+    Alcotest.test_case "profile 2D" `Quick test_profile_2d;
+  ]

@@ -1,0 +1,153 @@
+(* Tests for bench-row parsing and ASCII chart rendering. *)
+
+open Rrms_report
+
+let row_line = "[fig8] n=20000 series=2DRRMS/anti time=0.1234 regret=0.0456"
+
+let test_parse_basic () =
+  match Bench_rows.parse_line row_line with
+  | None -> Alcotest.fail "expected a row"
+  | Some r ->
+      Alcotest.(check string) "fig" "fig8" r.Bench_rows.fig;
+      Alcotest.(check string) "x_name" "n" r.Bench_rows.x_name;
+      Alcotest.(check string) "x" "20000" r.Bench_rows.x;
+      Alcotest.(check string) "series" "2DRRMS/anti" r.Bench_rows.series;
+      Alcotest.(check (option (float 1e-12))) "time" (Some 0.1234) r.Bench_rows.time;
+      Alcotest.(check (option (float 1e-12))) "regret" (Some 0.0456)
+        r.Bench_rows.regret;
+      Alcotest.(check bool) "count absent" true (r.Bench_rows.count = None);
+      Alcotest.(check bool) "not skipped" true (r.Bench_rows.skipped = None)
+
+let test_parse_count_and_skipped () =
+  (match Bench_rows.parse_line "[fig16] n=1000 series=skyline/corr time=0.0003 count=4" with
+  | Some r -> Alcotest.(check (option int)) "count" (Some 4) r.Bench_rows.count
+  | None -> Alcotest.fail "expected a row");
+  match Bench_rows.parse_line "[fig8] n=50000 series=SweepingLine/corr skipped=quadratic-cap" with
+  | Some r ->
+      Alcotest.(check (option string)) "skipped" (Some "quadratic-cap")
+        r.Bench_rows.skipped;
+      Alcotest.(check bool) "no time" true (r.Bench_rows.time = None)
+  | None -> Alcotest.fail "expected a row"
+
+let test_parse_rejects_noise () =
+  Alcotest.(check bool) "header rejected" true
+    (Bench_rows.parse_line "== fig8: 2D, time vs n ==" = None);
+  Alcotest.(check bool) "blank rejected" true (Bench_rows.parse_line "" = None);
+  Alcotest.(check bool) "prose rejected" true
+    (Bench_rows.parse_line "total bench time: 192.9s" = None);
+  Alcotest.(check bool) "micro rows have no x=: rejected" true
+    (Bench_rows.parse_line "[micro] monotonic-clock rrms/vec-dot-8d = 10.6 ns/run"
+    = None)
+
+let test_parse_categorical_x () =
+  match Bench_rows.parse_line "[ahull] data=corr series=true-hull time=0.01 count=1" with
+  | Some r ->
+      Alcotest.(check string) "x_name" "data" r.Bench_rows.x_name;
+      Alcotest.(check string) "x" "corr" r.Bench_rows.x;
+      Alcotest.(check bool) "x not numeric" true (Bench_rows.x_as_float r = None)
+  | None -> Alcotest.fail "expected a row"
+
+let sample_rows =
+  Bench_rows.parse_lines
+    [
+      "[fig8] n=5000 series=A time=0.1";
+      "noise";
+      "[fig8] n=20000 series=A time=0.4";
+      "[fig8] n=5000 series=B time=1.0";
+      "[fig9] r=3 series=A time=0.2";
+    ]
+
+let test_grouping () =
+  Alcotest.(check (list string)) "figures in order" [ "fig8"; "fig9" ]
+    (Bench_rows.figures sample_rows);
+  Alcotest.(check (list string)) "series of fig8" [ "A"; "B" ]
+    (Bench_rows.series_of ~fig:"fig8" sample_rows);
+  Alcotest.(check int) "parsed row count" 4 (List.length sample_rows)
+
+let test_chart_renders_markers () =
+  let chart =
+    Ascii_chart.render ~width:32 ~height:8 ~title:"t"
+      [
+        { Ascii_chart.label = "first"; points = [ (0., 0.); (1., 1.) ] };
+        { Ascii_chart.label = "second"; points = [ (0.5, 0.5) ] };
+      ]
+  in
+  Alcotest.(check bool) "contains title" true
+    (String.length chart > 0
+    && Astring_contains.contains chart "== t ==");
+  Alcotest.(check bool) "legend first" true
+    (Astring_contains.contains chart "a = first");
+  Alcotest.(check bool) "legend second" true
+    (Astring_contains.contains chart "b = second");
+  Alcotest.(check bool) "marker a plotted" true
+    (Astring_contains.contains chart "a");
+  Alcotest.(check bool) "marker b plotted" true
+    (Astring_contains.contains chart "b")
+
+let test_chart_empty () =
+  let chart = Ascii_chart.render ~title:"empty" [] in
+  Alcotest.(check bool) "reports no data" true
+    (Astring_contains.contains chart "no plottable data")
+
+let test_chart_log_drops_nonpositive () =
+  let chart =
+    Ascii_chart.render ~log_y:true ~title:"log"
+      [ { Ascii_chart.label = "s"; points = [ (1., 0.); (2., -1.) ] } ]
+  in
+  Alcotest.(check bool) "all points dropped -> no data" true
+    (Astring_contains.contains chart "no plottable data")
+
+let test_chart_single_point () =
+  (* Degenerate extents must not divide by zero. *)
+  let chart =
+    Ascii_chart.render ~title:"one"
+      [ { Ascii_chart.label = "s"; points = [ (3., 7.) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (String.length chart > 0)
+
+(* Round-trip: format a random row like the bench does, parse it back. *)
+let prop_row_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* fig = oneofl [ "fig8"; "fig13"; "onion" ] in
+      let* xn = oneofl [ "n"; "r"; "gamma" ] in
+      let* x = int_range 1 1_000_000 in
+      let* series = oneofl [ "HDRRMS"; "GREEDY/anti"; "2DRRMS-exact" ] in
+      let* t = float_range 0.0001 100. in
+      let* reg = float_range 0. 1. in
+      return (fig, xn, x, series, t, reg))
+  in
+  QCheck.Test.make ~count:100 ~name:"bench row formatting round-trips"
+    (QCheck.make gen)
+    (fun (fig, xn, x, series, t, reg) ->
+      let line =
+        Printf.sprintf "[%s] %s=%d series=%s time=%.4f regret=%.4f" fig xn x
+          series t reg
+      in
+      match Bench_rows.parse_line line with
+      | None -> false
+      | Some r ->
+          r.Bench_rows.fig = fig
+          && r.Bench_rows.x_name = xn
+          && r.Bench_rows.x = string_of_int x
+          && r.Bench_rows.series = series
+          && (match r.Bench_rows.time with
+             | Some v -> Float.abs (v -. t) < 1e-3
+             | None -> false)
+          && (match r.Bench_rows.regret with
+             | Some v -> Float.abs (v -. reg) < 1e-3
+             | None -> false))
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse count/skipped" `Quick test_parse_count_and_skipped;
+    Alcotest.test_case "parse rejects noise" `Quick test_parse_rejects_noise;
+    Alcotest.test_case "parse categorical x" `Quick test_parse_categorical_x;
+    Alcotest.test_case "grouping" `Quick test_grouping;
+    Alcotest.test_case "chart markers" `Quick test_chart_renders_markers;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+    Alcotest.test_case "chart log drops" `Quick test_chart_log_drops_nonpositive;
+    Alcotest.test_case "chart single point" `Quick test_chart_single_point;
+    QCheck_alcotest.to_alcotest prop_row_roundtrip;
+  ]

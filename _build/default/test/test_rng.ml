@@ -1,0 +1,188 @@
+(* Tests for the splitmix64 RNG substrate. *)
+
+let test_determinism () =
+  let a = Rrms_rng.Rng.create 42 and b = Rrms_rng.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Rrms_rng.Rng.bits64 a) (Rrms_rng.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rrms_rng.Rng.create 1 and b = Rrms_rng.Rng.create 2 in
+  Alcotest.(check bool)
+    "different seeds diverge" true
+    (Rrms_rng.Rng.bits64 a <> Rrms_rng.Rng.bits64 b)
+
+let test_copy_independent () =
+  let a = Rrms_rng.Rng.create 7 in
+  ignore (Rrms_rng.Rng.bits64 a);
+  let b = Rrms_rng.Rng.copy a in
+  let xa = Rrms_rng.Rng.bits64 a in
+  let xb = Rrms_rng.Rng.bits64 b in
+  Alcotest.(check int64) "copy resumes at same point" xa xb;
+  ignore (Rrms_rng.Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let xa' = Rrms_rng.Rng.bits64 a and xb' = Rrms_rng.Rng.bits64 b in
+  Alcotest.(check bool) "streams advance independently" true (xa' <> xb' || xa' = xb')
+
+let test_int_range () =
+  let t = Rrms_rng.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rrms_rng.Rng.int t 17 in
+    Alcotest.(check bool) "int in [0,bound)" true (v >= 0 && v < 17)
+  done
+
+let test_int_invalid () =
+  let t = Rrms_rng.Rng.create 3 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rrms_rng.Rng.int t 0))
+
+let test_int_covers_all_values () =
+  let t = Rrms_rng.Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Rrms_rng.Rng.int t 5) <- true
+  done;
+  Array.iteri
+    (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d hit" i) true s)
+    seen
+
+let test_float_range () =
+  let t = Rrms_rng.Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rrms_rng.Rng.float t 2.5 in
+    Alcotest.(check bool) "float in [0,bound)" true (v >= 0. && v < 2.5)
+  done
+
+let test_uniform_range () =
+  let t = Rrms_rng.Rng.create 6 in
+  for _ = 1 to 10_000 do
+    let v = Rrms_rng.Rng.uniform t (-3.) 4. in
+    Alcotest.(check bool) "uniform in [lo,hi)" true (v >= -3. && v < 4.)
+  done
+
+let test_uniform_mean () =
+  let t = Rrms_rng.Rng.create 8 in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rrms_rng.Rng.uniform t 0. 1.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform mean ~0.5 (got %g)" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.01)
+
+let test_normal_moments () =
+  let t = Rrms_rng.Rng.create 9 in
+  let n = 200_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let x = Rrms_rng.Rng.normal t in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool)
+    (Printf.sprintf "normal mean ~0 (got %g)" mean)
+    true
+    (Float.abs mean < 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "normal var ~1 (got %g)" var)
+    true
+    (Float.abs (var -. 1.) < 0.03)
+
+let test_gaussian_shift () =
+  let t = Rrms_rng.Rng.create 10 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rrms_rng.Rng.gaussian t ~mean:5. ~stddev:2.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "gaussian mean ~5" true (Float.abs (mean -. 5.) < 0.1)
+
+let test_exponential_mean () =
+  let t = Rrms_rng.Rng.create 12 in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let x = Rrms_rng.Rng.exponential t ~rate:2. in
+    Alcotest.(check bool) "exponential non-negative" true (x >= 0.);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean ~0.5 (got %g)" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let test_exponential_invalid () =
+  let t = Rrms_rng.Rng.create 1 in
+  Alcotest.check_raises "rate 0 rejected"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Rrms_rng.Rng.exponential t ~rate:0.))
+
+let test_zipf_range_and_skew () =
+  let t = Rrms_rng.Rng.create 13 in
+  let n = 50_000 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to n do
+    let k = Rrms_rng.Rng.zipf t ~s:1.2 ~n:10 in
+    Alcotest.(check bool) "zipf in [1,n]" true (k >= 1 && k <= 10);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "zipf is skewed: rank 1 most frequent" true
+    (counts.(1) > counts.(2) && counts.(2) > counts.(5))
+
+let test_zipf_n1 () =
+  let t = Rrms_rng.Rng.create 13 in
+  Alcotest.(check int) "zipf n=1 always 1" 1 (Rrms_rng.Rng.zipf t ~s:1.0 ~n:1)
+
+let test_shuffle_permutation () =
+  let t = Rrms_rng.Rng.create 14 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rrms_rng.Rng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int))
+    "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_choose () =
+  let t = Rrms_rng.Rng.create 15 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rrms_rng.Rng.choose t arr in
+    Alcotest.(check bool) "choose from array" true (Array.mem v arr)
+  done
+
+let test_split_diverges () =
+  let parent = Rrms_rng.Rng.create 99 in
+  let child = Rrms_rng.Rng.split parent in
+  Alcotest.(check bool) "split streams differ" true
+    (Rrms_rng.Rng.bits64 parent <> Rrms_rng.Rng.bits64 child)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "uniform mean" `Slow test_uniform_mean;
+    Alcotest.test_case "normal moments" `Slow test_normal_moments;
+    Alcotest.test_case "gaussian shift" `Slow test_gaussian_shift;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "exponential invalid" `Quick test_exponential_invalid;
+    Alcotest.test_case "zipf range and skew" `Slow test_zipf_range_and_skew;
+    Alcotest.test_case "zipf n=1" `Quick test_zipf_n1;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+  ]

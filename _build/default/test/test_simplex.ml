@@ -1,0 +1,259 @@
+(* Tests for the two-phase simplex solver. *)
+
+open Rrms_lp
+
+let feq ?(eps = 1e-6) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let get_optimal = function
+  | Simplex.Optimal { objective; solution } -> (objective, solution)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected Infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected Unbounded"
+
+let test_basic_le () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 — classic example,
+     optimum 36 at (2, 6). *)
+  let status =
+    Simplex.maximize ~c:[| 3.; 5. |]
+      [
+        Simplex.constraint_ [| 1.; 0. |] Le 4.;
+        Simplex.constraint_ [| 0.; 2. |] Le 12.;
+        Simplex.constraint_ [| 3.; 2. |] Le 18.;
+      ]
+  in
+  let obj, x = get_optimal status in
+  feq "objective" 36. obj;
+  feq "x" 2. x.(0);
+  feq "y" 6. x.(1)
+
+let test_equality_constraint () =
+  (* max x + y st x + y = 5, x <= 3 → obj 5. *)
+  let status =
+    Simplex.maximize ~c:[| 1.; 1. |]
+      [
+        Simplex.constraint_ [| 1.; 1. |] Eq 5.;
+        Simplex.constraint_ [| 1.; 0. |] Le 3.;
+      ]
+  in
+  let obj, x = get_optimal status in
+  feq "objective" 5. obj;
+  feq "sum" 5. (x.(0) +. x.(1))
+
+let test_ge_constraint () =
+  (* min x + y st x + 2y >= 4, 3x + y >= 6 → optimum at intersection
+     (8/5, 6/5), obj 14/5. *)
+  let status =
+    Simplex.minimize ~c:[| 1.; 1. |]
+      [
+        Simplex.constraint_ [| 1.; 2. |] Ge 4.;
+        Simplex.constraint_ [| 3.; 1. |] Ge 6.;
+      ]
+  in
+  let obj, x = get_optimal status in
+  feq "objective" 2.8 obj;
+  feq "x" 1.6 x.(0);
+  feq "y" 1.2 x.(1)
+
+let test_infeasible () =
+  let status =
+    Simplex.maximize ~c:[| 1. |]
+      [
+        Simplex.constraint_ [| 1. |] Ge 5.;
+        Simplex.constraint_ [| 1. |] Le 3.;
+      ]
+  in
+  Alcotest.(check bool) "infeasible detected" true (status = Simplex.Infeasible)
+
+let test_unbounded () =
+  let status =
+    Simplex.maximize ~c:[| 1.; 0. |] [ Simplex.constraint_ [| 0.; 1. |] Le 1. ]
+  in
+  Alcotest.(check bool) "unbounded detected" true (status = Simplex.Unbounded)
+
+let test_negative_rhs () =
+  (* max -x st -x >= -3 (i.e. x <= 3) and x >= 1 → obj -1. *)
+  let status =
+    Simplex.maximize ~c:[| -1. |]
+      [
+        Simplex.constraint_ [| -1. |] Ge (-3.);
+        Simplex.constraint_ [| 1. |] Ge 1.;
+      ]
+  in
+  let obj, x = get_optimal status in
+  feq "objective" (-1.) obj;
+  feq "x" 1. x.(0)
+
+let test_degenerate () =
+  (* A degenerate vertex: three constraints through one point. Bland's
+     rule must terminate. *)
+  let status =
+    Simplex.maximize ~c:[| 1.; 1. |]
+      [
+        Simplex.constraint_ [| 1.; 0. |] Le 1.;
+        Simplex.constraint_ [| 0.; 1. |] Le 1.;
+        Simplex.constraint_ [| 1.; 1. |] Le 2.;
+      ]
+  in
+  let obj, _ = get_optimal status in
+  feq "objective" 2. obj
+
+let test_zero_objective_feasibility () =
+  Alcotest.(check bool)
+    "feasible system" true
+    (Simplex.feasible 2
+       [
+         Simplex.constraint_ [| 1.; 1. |] Eq 1.;
+         Simplex.constraint_ [| 1.; 0. |] Le 0.7;
+       ]);
+  Alcotest.(check bool)
+    "infeasible system" false
+    (Simplex.feasible 2
+       [
+         Simplex.constraint_ [| 1.; 1. |] Eq 1.;
+         Simplex.constraint_ [| 1.; 0. |] Ge 2.;
+       ])
+
+let test_redundant_equality () =
+  (* Redundant constraints must not break phase-1 artificial purge. *)
+  let status =
+    Simplex.maximize ~c:[| 1.; 2. |]
+      [
+        Simplex.constraint_ [| 1.; 1. |] Eq 4.;
+        Simplex.constraint_ [| 2.; 2. |] Eq 8.;
+        Simplex.constraint_ [| 1.; 0. |] Le 3.;
+      ]
+  in
+  let obj, x = get_optimal status in
+  feq "objective" 8. obj;
+  feq "x" 0. x.(0);
+  feq "y" 4. x.(1)
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Simplex: constraint dimension mismatch") (fun () ->
+      ignore
+        (Simplex.maximize ~c:[| 1.; 1. |] [ Simplex.constraint_ [| 1. |] Le 1. ]))
+
+let test_no_constraints_bounded () =
+  (* max -x - y with no constraints → optimum 0 at origin. *)
+  let status = Simplex.maximize ~c:[| -1.; -1. |] [] in
+  let obj, _ = get_optimal status in
+  feq "objective" 0. obj
+
+(* Brute-force cross-check on random 2-variable LPs: enumerate all
+   candidate vertices (constraint intersections and axis intercepts) and
+   compare the best feasible vertex value to the simplex optimum. *)
+let brute_force_2var c rows =
+  let feasible_point (x, y) =
+    x >= -1e-9 && y >= -1e-9
+    && List.for_all
+         (fun (a, rel, b) ->
+           let v = (a.(0) *. x) +. (a.(1) *. y) in
+           match rel with
+           | Simplex.Le -> v <= b +. 1e-7
+           | Simplex.Ge -> v >= b -. 1e-7
+           | Simplex.Eq -> Float.abs (v -. b) <= 1e-7)
+         rows
+  in
+  (* Lines: the constraints plus the two axes. *)
+  let lines =
+    ([| 1.; 0. |], 0.) :: ([| 0.; 1. |], 0.)
+    :: List.map (fun (a, _, b) -> (a, b)) rows
+  in
+  let candidates = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | (a1, b1) :: rest ->
+        List.iter
+          (fun (a2, b2) ->
+            let det = (a1.(0) *. a2.(1)) -. (a1.(1) *. a2.(0)) in
+            if Float.abs det > 1e-9 then begin
+              let x = ((b1 *. a2.(1)) -. (b2 *. a1.(1))) /. det in
+              let y = ((a1.(0) *. b2) -. (a2.(0) *. b1)) /. det in
+              candidates := (x, y) :: !candidates
+            end)
+          rest;
+        pairs rest
+  in
+  pairs lines;
+  let best = ref None in
+  List.iter
+    (fun (x, y) ->
+      if feasible_point (x, y) then begin
+        let v = (c.(0) *. x) +. (c.(1) *. y) in
+        match !best with
+        | Some b when b >= v -> ()
+        | _ -> best := Some v
+      end)
+    !candidates;
+  !best
+
+let test_random_lps_vs_brute_force () =
+  let rng = Rrms_rng.Rng.create 41 in
+  let mismatches = ref 0 in
+  for _ = 1 to 300 do
+    let c =
+      [| Rrms_rng.Rng.uniform rng (-5.) 5.; Rrms_rng.Rng.uniform rng (-5.) 5. |]
+    in
+    let nrows = 1 + Rrms_rng.Rng.int rng 4 in
+    let rows =
+      List.init nrows (fun _ ->
+          let a =
+            [|
+              Rrms_rng.Rng.uniform rng (-3.) 3.;
+              Rrms_rng.Rng.uniform rng (-3.) 3.;
+            |]
+          in
+          let rel = if Rrms_rng.Rng.bool rng then Simplex.Le else Simplex.Ge in
+          (a, rel, Rrms_rng.Rng.uniform rng (-4.) 8.))
+    in
+    let constraints =
+      List.map (fun (a, rel, b) -> Simplex.constraint_ a rel b) rows
+    in
+    match Simplex.maximize ~c constraints with
+    | Simplex.Optimal { objective; solution } -> (
+        (* Solution must satisfy every constraint. *)
+        Alcotest.(check bool) "x >= 0" true (solution.(0) >= -1e-7);
+        Alcotest.(check bool) "y >= 0" true (solution.(1) >= -1e-7);
+        List.iter
+          (fun (a, rel, b) ->
+            let v = (a.(0) *. solution.(0)) +. (a.(1) *. solution.(1)) in
+            let ok =
+              match rel with
+              | Simplex.Le -> v <= b +. 1e-6
+              | Simplex.Ge -> v >= b -. 1e-6
+              | Simplex.Eq -> Float.abs (v -. b) <= 1e-6
+            in
+            Alcotest.(check bool) "solution satisfies constraints" true ok)
+          rows;
+        match brute_force_2var c rows with
+        | Some best -> feq ~eps:1e-4 "matches brute force" best objective
+        | None -> incr mismatches)
+    | Simplex.Infeasible ->
+        (* Brute force must also find nothing. *)
+        if brute_force_2var c rows <> None then incr mismatches
+    | Simplex.Unbounded -> ()
+    (* Unboundedness is hard to confirm by vertex enumeration; the
+       bounded cases above give the coverage we need. *)
+  done;
+  Alcotest.(check int) "no disagreements with brute force" 0 !mismatches
+
+let suite =
+  [
+    Alcotest.test_case "basic le" `Quick test_basic_le;
+    Alcotest.test_case "equality" `Quick test_equality_constraint;
+    Alcotest.test_case "ge / minimize" `Quick test_ge_constraint;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+    Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+    Alcotest.test_case "feasibility" `Quick test_zero_objective_feasibility;
+    Alcotest.test_case "redundant equality" `Quick test_redundant_equality;
+    Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+    Alcotest.test_case "no constraints" `Quick test_no_constraints_bounded;
+    Alcotest.test_case "random vs brute force" `Quick
+      test_random_lps_vs_brute_force;
+  ]

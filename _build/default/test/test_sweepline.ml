@@ -1,0 +1,107 @@
+(* Tests for the Sweeping-Line baseline: the dual-arrangement winner
+   intervals, and agreement with the independent 2D-RRMS implementation. *)
+
+open Rrms_core
+
+let feq ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let test_winner_intervals_simple () =
+  let points = [| [| 0.; 1. |]; [| 0.7; 0.7 |]; [| 1.; 0. |] |] in
+  let w = Sweepline.winner_intervals points in
+  Alcotest.(check int) "three winners" 3 (Array.length w);
+  let i0, lo0, _ = w.(0) in
+  Alcotest.(check int) "top-left first" 0 i0;
+  feq "first interval starts at 0" 0. lo0;
+  let i2, _, hi2 = w.(Array.length w - 1) in
+  Alcotest.(check int) "bottom-right last" 2 i2;
+  feq "last interval ends at π/2" (Float.pi /. 2.) hi2
+
+let test_winner_intervals_tile () =
+  let rng = Rrms_rng.Rng.create 91 in
+  for _ = 1 to 30 do
+    let n = 1 + Rrms_rng.Rng.int rng 80 in
+    let points =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let w = Sweepline.winner_intervals points in
+    Alcotest.(check bool) "at least one winner" true (Array.length w >= 1);
+    (* Consecutive intervals must abut: hi of one = lo of next. *)
+    for k = 0 to Array.length w - 2 do
+      let _, _, hi = w.(k) and _, lo, _ = w.(k + 1) in
+      feq ~eps:1e-9 "intervals abut" hi lo
+    done;
+    let _, lo0, _ = w.(0) in
+    feq "starts at 0" 0. lo0;
+    let _, _, hiN = w.(Array.length w - 1) in
+    feq "ends at π/2" (Float.pi /. 2.) hiN
+  done
+
+let test_winners_match_hull2d () =
+  let rng = Rrms_rng.Rng.create 92 in
+  for _ = 1 to 30 do
+    let n = 1 + Rrms_rng.Rng.int rng 60 in
+    let points =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let w = Sweepline.winner_intervals points in
+    let hull = Rrms_geom.Hull2d.build points in
+    let winners = Array.map (fun (i, _, _) -> i) w in
+    Array.sort compare winners;
+    let hull_vertices = Rrms_geom.Hull2d.vertices hull in
+    Array.sort compare hull_vertices;
+    Alcotest.(check (array int))
+      "winners = maxima hull vertices" hull_vertices winners
+  done
+
+let test_winner_with_duplicates () =
+  let points = [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  let w = Sweepline.winner_intervals points in
+  Alcotest.(check int) "one winner among duplicates" 1 (Array.length w)
+
+let test_solve_matches_rrms2d () =
+  let rng = Rrms_rng.Rng.create 93 in
+  for trial = 1 to 30 do
+    let n = 3 + Rrms_rng.Rng.int rng 40 in
+    let points =
+      Array.init n (fun _ ->
+          [| Rrms_rng.Rng.float rng 1.; Rrms_rng.Rng.float rng 1. |])
+    in
+    let r = 1 + Rrms_rng.Rng.int rng 4 in
+    let sl = Sweepline.solve points ~r in
+    let dp = Rrms2d.solve_exact points ~r in
+    feq ~eps:1e-9
+      (Printf.sprintf "trial %d: sweepline = exact 2D-RRMS (n=%d r=%d)" trial n r)
+      dp.Rrms2d.regret sl.Sweepline.regret;
+    Alcotest.(check bool) "within budget" true (Array.length sl.Sweepline.selected <= r)
+  done
+
+let test_solve_matches_on_realistic () =
+  let rng = Rrms_rng.Rng.create 94 in
+  let d = Rrms_dataset.Realistic.airline rng ~n:300 in
+  let points = Rrms_dataset.Dataset.rows (Rrms_dataset.Dataset.normalize d) in
+  let sl = Sweepline.solve points ~r:4 in
+  let dp = Rrms2d.solve_exact points ~r:4 in
+  feq ~eps:1e-9 "airline-sim agreement" dp.Rrms2d.regret sl.Sweepline.regret
+
+let test_invalid () =
+  Alcotest.check_raises "r = 0" (Invalid_argument "Sweepline.solve: r must be >= 1")
+    (fun () -> ignore (Sweepline.solve [| [| 1.; 1. |] |] ~r:0));
+  Alcotest.check_raises "empty" (Invalid_argument "Sweepline.solve: empty input")
+    (fun () -> ignore (Sweepline.solve [||] ~r:1))
+
+let suite =
+  [
+    Alcotest.test_case "winner intervals simple" `Quick test_winner_intervals_simple;
+    Alcotest.test_case "winner intervals tile" `Quick test_winner_intervals_tile;
+    Alcotest.test_case "winners = hull vertices" `Quick test_winners_match_hull2d;
+    Alcotest.test_case "duplicates" `Quick test_winner_with_duplicates;
+    Alcotest.test_case "solve = exact 2D-RRMS" `Slow test_solve_matches_rrms2d;
+    Alcotest.test_case "solve on realistic data" `Quick test_solve_matches_on_realistic;
+    Alcotest.test_case "invalid args" `Quick test_invalid;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for the synthetic generators: ranges, determinism, and the
+   correlation structure that the skyline-size experiments rely on. *)
+
+open Rrms_dataset
+
+let rng () = Rrms_rng.Rng.create 12345
+
+let in_unit d =
+  let ok = ref true in
+  Array.iter
+    (fun r -> Array.iter (fun v -> if v < 0. || v > 1. then ok := false) r)
+    (Dataset.rows d);
+  !ok
+
+let test_shapes () =
+  let r = rng () in
+  let d = Synthetic.independent r ~n:500 ~m:4 in
+  Alcotest.(check int) "n" 500 (Dataset.size d);
+  Alcotest.(check int) "m" 4 (Dataset.dim d);
+  Alcotest.(check bool) "independent in unit cube" true (in_unit d);
+  let d = Synthetic.correlated r ~n:300 ~m:3 in
+  Alcotest.(check bool) "correlated in unit cube" true (in_unit d);
+  let d = Synthetic.anticorrelated r ~n:300 ~m:3 in
+  Alcotest.(check bool) "anticorrelated in unit cube" true (in_unit d)
+
+let test_determinism () =
+  let d1 = Synthetic.independent (rng ()) ~n:50 ~m:3 in
+  let d2 = Synthetic.independent (rng ()) ~n:50 ~m:3 in
+  for i = 0 to 49 do
+    Alcotest.(check (array (float 0.)))
+      "same seed, same data" (Dataset.row d1 i) (Dataset.row d2 i)
+  done
+
+(* Pearson correlation between the first two attributes. *)
+let pearson d =
+  let n = Dataset.size d in
+  let nf = float_of_int n in
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    let x = Dataset.value d i 0 and y = Dataset.value d i 1 in
+    sx := !sx +. x;
+    sy := !sy +. y;
+    sxx := !sxx +. (x *. x);
+    syy := !syy +. (y *. y);
+    sxy := !sxy +. (x *. y)
+  done;
+  let cov = (!sxy /. nf) -. (!sx /. nf *. (!sy /. nf)) in
+  let vx = (!sxx /. nf) -. (!sx /. nf *. (!sx /. nf)) in
+  let vy = (!syy /. nf) -. (!sy /. nf *. (!sy /. nf)) in
+  cov /. sqrt (vx *. vy)
+
+let test_correlation_signs () =
+  let r = rng () in
+  let c = pearson (Synthetic.correlated r ~n:5000 ~m:2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "correlated: strong positive (got %g)" c)
+    true (c > 0.8);
+  let i = pearson (Synthetic.independent r ~n:5000 ~m:2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "independent: near zero (got %g)" i)
+    true
+    (Float.abs i < 0.1);
+  let a = pearson (Synthetic.anticorrelated r ~n:5000 ~m:2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "anticorrelated: negative (got %g)" a)
+    true (a < -0.3)
+
+(* The key property the experiments depend on:
+   skyline(corr) << skyline(indep) << skyline(anti). *)
+let test_skyline_size_ordering () =
+  let r = rng () in
+  let n = 2000 and m = 4 in
+  let size kind =
+    Rrms_skyline.Skyline.size_of
+      (Dataset.rows (Synthetic.of_correlation kind r ~n ~m))
+  in
+  let c = size `Correlated and i = size `Independent and a = size `Anticorrelated in
+  Alcotest.(check bool)
+    (Printf.sprintf "corr(%d) < indep(%d) < anti(%d)" c i a)
+    true
+    (c < i && i < a)
+
+let test_skyline_only () =
+  let d = Synthetic.skyline_only_2d (rng ()) ~target:300 in
+  Alcotest.(check int) "exact target size" 300 (Dataset.size d);
+  let rows = Dataset.rows d in
+  Alcotest.(check int)
+    "every tuple on the skyline" 300
+    (Rrms_skyline.Skyline.size_of rows);
+  (* Curvature check: the convex hull should be a proper subset. *)
+  let hull = Rrms_geom.Hull2d.build rows in
+  Alcotest.(check bool)
+    "hull smaller than skyline" true
+    (Rrms_geom.Hull2d.size hull <= 300)
+
+let test_quarter_disk () =
+  let d = Synthetic.in_quarter_disk (rng ()) ~n:1000 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "inside disk" true ((r.(0) *. r.(0)) +. (r.(1) *. r.(1)) <= 1.);
+      Alcotest.(check bool) "positive quadrant" true (r.(0) >= 0. && r.(1) >= 0.))
+    (Dataset.rows d)
+
+let test_in_polygon () =
+  let vertices = [| (0., 0.); (4., 0.); (4., 3.); (0., 3.) |] in
+  let d = Synthetic.in_polygon (rng ()) ~vertices ~n:1000 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "inside rectangle" true
+        (r.(0) >= 0. && r.(0) <= 4. && r.(1) >= 0. && r.(1) <= 3.))
+    (Dataset.rows d);
+  Alcotest.check_raises "too few vertices"
+    (Invalid_argument "Synthetic.in_polygon: need >= 3 vertices") (fun () ->
+      ignore (Synthetic.in_polygon (rng ()) ~vertices:[| (0., 0.); (1., 1.) |] ~n:1))
+
+let test_polygon_hull_smaller_than_disk () =
+  (* §1: a k-gon gives O(k log n) hull points, a disk O(n^1/3); for equal
+     n the polygon's maxima hull should be markedly smaller. *)
+  let r = rng () in
+  let n = 20_000 in
+  let square =
+    Synthetic.in_polygon r
+      ~vertices:[| (0., 0.); (1., 0.); (1., 1.); (0., 1.) |]
+      ~n
+  in
+  let disk = Synthetic.in_quarter_disk r ~n in
+  let hull d = Rrms_geom.Hull2d.size (Rrms_geom.Hull2d.build (Dataset.rows d)) in
+  let hs = hull square and hd = hull disk in
+  Alcotest.(check bool)
+    (Printf.sprintf "square hull (%d) < disk hull (%d)" hs hd)
+    true (hs < hd)
+
+let test_greedy_pathological () =
+  let d = Synthetic.greedy_pathological ~epsilon:0.2 ~extra:20 (rng ()) in
+  Alcotest.(check int) "4 fixed + 20 filler" 24 (Dataset.size d);
+  Alcotest.(check (array (float 0.))) "unit e1" [| 1.; 0.; 0. |] (Dataset.row d 0);
+  Alcotest.(check (array (float 1e-12))) "corner" [| 0.8; 0.8; 0.8 |] (Dataset.row d 3);
+  (* Filler strictly inside [0, 1-ε)³. *)
+  for i = 4 to 23 do
+    Array.iter
+      (fun v -> Alcotest.(check bool) "filler below corner" true (v < 0.8))
+      (Dataset.row d i)
+  done;
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Synthetic.greedy_pathological: epsilon must be in (0, 0.5)")
+    (fun () -> ignore (Synthetic.greedy_pathological ~epsilon:0.7 ~extra:0 (rng ())))
+
+let suite =
+  [
+    Alcotest.test_case "shapes and ranges" `Quick test_shapes;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "correlation signs" `Slow test_correlation_signs;
+    Alcotest.test_case "skyline size ordering" `Slow test_skyline_size_ordering;
+    Alcotest.test_case "skyline-only data" `Quick test_skyline_only;
+    Alcotest.test_case "quarter disk" `Quick test_quarter_disk;
+    Alcotest.test_case "in polygon" `Quick test_in_polygon;
+    Alcotest.test_case "polygon vs disk hull size" `Slow
+      test_polygon_hull_smaller_than_disk;
+    Alcotest.test_case "greedy pathological gadget" `Quick
+      test_greedy_pathological;
+  ]

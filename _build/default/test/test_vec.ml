@@ -1,0 +1,133 @@
+(* Tests for dense vector operations. *)
+
+open Rrms_geom
+
+let feq ?(eps = 1e-12) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+let test_dot () =
+  feq "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  feq "dot orthogonal" 0. (Vec.dot [| 1.; 0. |] [| 0.; 1. |]);
+  feq "dot empty" 0. (Vec.dot [||] [||])
+
+let test_dot_mismatch () =
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch") (fun () ->
+      ignore (Vec.dot [| 1. |] [| 1.; 2. |]))
+
+let test_norm () =
+  feq "norm 3-4-5" 5. (Vec.norm [| 3.; 4. |]);
+  feq "norm2" 25. (Vec.norm2 [| 3.; 4. |]);
+  feq "norm zero" 0. (Vec.norm [| 0.; 0.; 0. |])
+
+let test_normalize () =
+  let v = Vec.normalize [| 3.; 4. |] in
+  feq "normalized x" 0.6 v.(0);
+  feq "normalized y" 0.8 v.(1);
+  Alcotest.check_raises "zero vector"
+    (Invalid_argument "Vec.normalize: zero vector") (fun () ->
+      ignore (Vec.normalize [| 0.; 0. |]))
+
+let test_add_sub_scale () =
+  Alcotest.(check bool)
+    "add" true
+    (Vec.equal (Vec.add [| 1.; 2. |] [| 3.; 4. |]) [| 4.; 6. |]);
+  Alcotest.(check bool)
+    "sub" true
+    (Vec.equal (Vec.sub [| 1.; 2. |] [| 3.; 4. |]) [| -2.; -2. |]);
+  Alcotest.(check bool)
+    "scale" true
+    (Vec.equal (Vec.scale 2. [| 1.; -2. |]) [| 2.; -4. |])
+
+let test_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy 2. [| 3.; 4. |] y;
+  Alcotest.(check bool) "axpy" true (Vec.equal y [| 7.; 9. |])
+
+let test_equal_eps () =
+  Alcotest.(check bool)
+    "within eps" true
+    (Vec.equal ~eps:1e-6 [| 1. |] [| 1. +. 1e-9 |]);
+  Alcotest.(check bool)
+    "outside eps" false
+    (Vec.equal ~eps:1e-12 [| 1. |] [| 1. +. 1e-6 |]);
+  Alcotest.(check bool) "length mismatch" false (Vec.equal [| 1. |] [| 1.; 2. |])
+
+let test_max_score () =
+  let points = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.6; 0.6 |] |] in
+  Alcotest.(check int)
+    "pure x picks (1,0)" 0
+    (Vec.max_score_index [| 1.; 0. |] points);
+  Alcotest.(check int)
+    "pure y picks (0,1)" 1
+    (Vec.max_score_index [| 0.; 1. |] points);
+  Alcotest.(check int)
+    "diagonal picks (0.6,0.6)" 2
+    (Vec.max_score_index [| 1.; 1. |] points);
+  feq "max_score value" 1.2 (Vec.max_score [| 1.; 1. |] points)
+
+let test_max_score_tie_break () =
+  let points = [| [| 1.; 0. |]; [| 1.; 0. |] |] in
+  Alcotest.(check int)
+    "tie goes to smaller index" 0
+    (Vec.max_score_index [| 1.; 1. |] points)
+
+let test_max_score_empty () =
+  Alcotest.check_raises "empty points"
+    (Invalid_argument "Vec.max_score_index: empty array") (fun () ->
+      ignore (Vec.max_score_index [| 1. |] [||]))
+
+(* Property: dot is bilinear and symmetric. *)
+let prop_dot_symmetric =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      pair
+        (array_size (return n) (float_range (-10.) 10.))
+        (array_size (return n) (float_range (-10.) 10.)))
+  in
+  QCheck.Test.make ~count:200 ~name:"dot symmetric"
+    (QCheck.make gen)
+    (fun (a, b) -> Float.abs (Vec.dot a b -. Vec.dot b a) < 1e-9)
+
+let prop_triangle_inequality =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      pair
+        (array_size (return n) (float_range (-10.) 10.))
+        (array_size (return n) (float_range (-10.) 10.)))
+  in
+  QCheck.Test.make ~count:200 ~name:"triangle inequality"
+    (QCheck.make gen)
+    (fun (a, b) -> Vec.norm (Vec.add a b) <= Vec.norm a +. Vec.norm b +. 1e-9)
+
+let prop_normalize_unit =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      array_size (return n) (float_range 0.1 10.))
+  in
+  QCheck.Test.make ~count:200 ~name:"normalize gives unit norm"
+    (QCheck.make gen)
+    (fun a -> Float.abs (Vec.norm (Vec.normalize a) -. 1.) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "dot" `Quick test_dot;
+    Alcotest.test_case "dot mismatch" `Quick test_dot_mismatch;
+    Alcotest.test_case "norm" `Quick test_norm;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "add/sub/scale" `Quick test_add_sub_scale;
+    Alcotest.test_case "axpy" `Quick test_axpy;
+    Alcotest.test_case "equal eps" `Quick test_equal_eps;
+    Alcotest.test_case "max score" `Quick test_max_score;
+    Alcotest.test_case "max score tie" `Quick test_max_score_tie_break;
+    Alcotest.test_case "max score empty" `Quick test_max_score_empty;
+    QCheck_alcotest.to_alcotest prop_dot_symmetric;
+    QCheck_alcotest.to_alcotest prop_triangle_inequality;
+    QCheck_alcotest.to_alcotest prop_normalize_unit;
+  ]
