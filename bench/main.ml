@@ -34,9 +34,15 @@ let groups : (string list * string * (Bench_util.scale -> unit)) list =
     ([ "onion" ], "ONION index vs RRMS trade-off", Fig_onion.run);
     ([ "gadget" ], "§4.1 GREEDY pathological example", Fig_misc.gadget);
     ([ "ahull" ], "§6.3 approximate hull sizes", Fig_misc.ahull);
+    ( [ "parallel" ],
+      "domain-pool scaling (writes BENCH_parallel.json)",
+      Fig_parallel.run );
   ]
 
 let () =
+  (* RRMS_DOMAINS sets the default pool size for every kernel that is
+     not timed at an explicit domain count. *)
+  Rrms_parallel.Pool.configure_from_env ();
   let scale = ref Bench_util.Small in
   let only : string list ref = ref [] in
   let micro = ref false in

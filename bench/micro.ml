@@ -26,7 +26,7 @@ let kernels () =
   let funcs = Rrms_core.Discretize.grid ~gamma:4 ~m:4 in
   let sky4 = Rrms_skyline.Skyline.sfs pts4d in
   let sky4_pts = Array.map (fun i -> pts4d.(i)) sky4 in
-  let matrix = Rrms_core.Regret_matrix.build ~points:sky4_pts ~funcs in
+  let matrix = Rrms_core.Regret_matrix.build ~funcs sky4_pts in
   let cover_sets =
     Array.init 40 (fun _ ->
         let b = Rrms_setcover.Bitset.create 125 in
@@ -61,7 +61,7 @@ let kernels () =
       (Staged.stage (fun () -> Rrms_core.Discretize.grid ~gamma:4 ~m:4));
     Test.make ~name:"regret-matrix-build"
       (Staged.stage (fun () ->
-           Rrms_core.Regret_matrix.build ~points:sky4_pts ~funcs));
+           Rrms_core.Regret_matrix.build ~funcs sky4_pts));
     Test.make ~name:"mrst-greedy"
       (Staged.stage (fun () -> Rrms_core.Mrst.solve matrix ~eps:0.1));
     Test.make ~name:"setcover-greedy"

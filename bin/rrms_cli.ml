@@ -20,6 +20,21 @@ let verbose_arg =
   let doc = "Enable verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+(* Parallelism: the RRMS_DOMAINS environment variable sets the default
+   worker-domain count for every parallel kernel (skyline, regret
+   matrix, MRST probes); --domains overrides it per invocation.  All
+   kernels return bit-identical results for every domain count. *)
+let domains_arg =
+  let doc =
+    "Worker domains for the parallel kernels (default: \
+     $(b,RRMS_DOMAINS) or 1 = serial)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+
+let setup_domains = function
+  | Some d when d >= 1 -> Rrms_parallel.Pool.set_default_size d
+  | Some _ | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
@@ -125,8 +140,9 @@ let skyline_cmd =
   let print_arg =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the skyline row indices.")
   in
-  let run verbose input normalize algo print =
+  let run verbose domains input normalize algo print =
     setup_logs verbose;
+    setup_domains domains;
     let d = load input normalize in
     let rows = Rrms_dataset.Dataset.rows d in
     let result =
@@ -150,7 +166,9 @@ let skyline_cmd =
   Cmd.v
     (Cmd.info "skyline" ~doc)
     Term.(
-      ret (const run $ verbose_arg $ input_arg $ normalize_arg $ algo_arg $ print_arg))
+      ret
+        (const run $ verbose_arg $ domains_arg $ input_arg $ normalize_arg
+       $ algo_arg $ print_arg))
 
 (* ------------------------------------------------------------------ *)
 (* hull                                                                *)
@@ -246,8 +264,10 @@ let solve_cmd =
             "greedy seeding: first-attribute (published) | best-singleton | \
              all-seeds.")
   in
-  let run verbose input normalize project algo r gamma budget solver seed =
+  let run verbose domains input normalize project algo r gamma budget solver
+      seed =
     setup_logs verbose;
+    setup_domains domains;
     let d = load ?project input normalize in
     let rows = Rrms_dataset.Dataset.rows d in
     let budget =
@@ -311,8 +331,9 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       ret
-        (const run $ verbose_arg $ input_arg $ normalize_arg $ project_arg
-       $ algo_arg $ r_arg $ gamma_arg $ budget_arg $ solver_arg $ seed_arg))
+        (const run $ verbose_arg $ domains_arg $ input_arg $ normalize_arg
+       $ project_arg $ algo_arg $ r_arg $ gamma_arg $ budget_arg $ solver_arg
+       $ seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -470,4 +491,6 @@ let main_cmd =
       profile_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  Rrms_parallel.Pool.configure_from_env ();
+  exit (Cmd.eval main_cmd)

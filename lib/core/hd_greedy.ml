@@ -1,38 +1,41 @@
 type result = { selected : int array; discretized_regret : float }
 
-let solve ?(gamma = 4) ?funcs points ~r =
+let solve ?(gamma = 4) ?funcs ?domains points ~r =
   if r < 1 then invalid_arg "Hd_greedy.solve: r must be >= 1";
   if Array.length points = 0 then invalid_arg "Hd_greedy.solve: empty input";
   let m = Array.length points.(0) in
   let funcs =
     match funcs with Some f -> f | None -> Discretize.grid ~gamma ~m
   in
-  let sky = Rrms_skyline.Skyline.sfs points in
+  let sky = Rrms_skyline.Skyline.sfs ?domains points in
   let sky_points = Array.map (fun i -> points.(i)) sky in
-  let matrix = Regret_matrix.build ~points:sky_points ~funcs in
+  let matrix = Regret_matrix.build ?domains ~funcs sky_points in
   let s = Array.length sky and k = Array.length funcs in
   let current = Array.make k infinity in
   let chosen = Array.make s false in
   let selected = ref [] in
   let steps = min r s in
+  (* Argmin with strict < and left preference is insensitive to the
+     chunked reduction order, so the parallel scan picks exactly the
+     row the serial loop would. *)
+  let better (v1, i1) (v2, i2) = if v2 < v1 then (v2, i2) else (v1, i1) in
   for _ = 1 to steps do
     (* Pick the row minimizing the resulting max over columns of the
        min of current coverage and the row's cells. *)
-    let best_row = ref (-1) and best_val = ref infinity in
-    for i = 0 to s - 1 do
-      if not chosen.(i) then begin
-        let worst = ref 0. in
-        for f = 0 to k - 1 do
-          let v = Float.min current.(f) (Regret_matrix.get matrix i f) in
-          if v > !worst then worst := v
-        done;
-        if !worst < !best_val then begin
-          best_val := !worst;
-          best_row := i
-        end
-      end
-    done;
-    let i = !best_row in
+    let _, best_row =
+      Rrms_parallel.reduce ?domains ~min_chunk:32 ~neutral:(infinity, -1)
+        ~combine:better s (fun i ->
+          if chosen.(i) then (infinity, -1)
+          else begin
+            let worst = ref 0. in
+            for f = 0 to k - 1 do
+              let v = Float.min current.(f) (Regret_matrix.get matrix i f) in
+              if v > !worst then worst := v
+            done;
+            (!worst, i)
+          end)
+    in
+    let i = best_row in
     chosen.(i) <- true;
     selected := i :: !selected;
     for f = 0 to k - 1 do

@@ -16,9 +16,13 @@ type result = {
 val solve :
   ?gamma:int ->
   ?funcs:Rrms_geom.Vec.t array ->
+  ?domains:int ->
   Rrms_geom.Vec.t array ->
   r:int ->
   result
 (** [solve points ~r] with the γ-grid discretization (default
-    [gamma = 4]) or an explicit function sample [funcs].
+    [gamma = 4]) or an explicit function sample [funcs].  The skyline
+    pass, the matrix build and each greedy argmin sweep run on
+    [domains] worker domains (default
+    {!Rrms_parallel.Pool.default_size}) with bit-identical results.
     @raise Invalid_argument if [r < 1] or the input is empty. *)

@@ -10,15 +10,28 @@ type budget = Strict | Inflated
 (* Algorithm 4: binary search over the sorted distinct cell values; each
    probe asks MRST whether some row set of size <= max_size satisfies
    the threshold (max_size = r for the §6.1 rule; r·H(|F|) for §4.4.3's
-   alternative). *)
-let solve_on_matrix ?solver ?max_size matrix ~r =
+   alternative).  Probes go through Mrst.Incremental, so each one costs
+   O(cells crossing the threshold) instead of an O(s·|F|) matrix rescan,
+   and a cache keyed by the threshold's index in the sorted value array
+   makes repeated thresholds free. *)
+let solve_on_matrix ?solver ?domains ?max_size matrix ~r =
   let max_size = match max_size with Some s -> s | None -> r in
   let values = Regret_matrix.distinct_values matrix in
+  let inc = Mrst.Incremental.create ?domains matrix in
+  let cache : (int, int array option) Hashtbl.t = Hashtbl.create 16 in
+  let probe mid =
+    match Hashtbl.find_opt cache mid with
+    | Some answer -> answer
+    | None ->
+        let answer = Mrst.Incremental.solve ?solver ?domains inc ~eps:values.(mid) in
+        Hashtbl.add cache mid answer;
+        answer
+  in
   let best = ref None in
   let low = ref 0 and high = ref (Array.length values - 1) in
   while !low <= !high do
     let mid = (!low + !high) / 2 in
-    (match Mrst.solve ?solver matrix ~eps:values.(mid) with
+    (match probe mid with
     | Some rows when Array.length rows <= max_size ->
         best := Some (rows, values.(mid));
         high := mid - 1
@@ -26,7 +39,7 @@ let solve_on_matrix ?solver ?max_size matrix ~r =
   done;
   !best
 
-let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs points ~r =
+let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains points ~r =
   if r < 1 then invalid_arg "Hd_rrms.solve: r must be >= 1";
   if Array.length points = 0 then invalid_arg "Hd_rrms.solve: empty input";
   let m = Array.length points.(0) in
@@ -34,9 +47,9 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs points ~r =
     match funcs with Some f -> f | None -> Discretize.grid ~gamma ~m
   in
   (* Theorem 1: the optimal set lives on the skyline. *)
-  let sky = Rrms_skyline.Skyline.sfs points in
+  let sky = Rrms_skyline.Skyline.sfs ?domains points in
   let sky_points = Array.map (fun i -> points.(i)) sky in
-  let matrix = Regret_matrix.build ~points:sky_points ~funcs in
+  let matrix = Regret_matrix.build ?domains ~funcs sky_points in
   let max_size =
     match budget with
     | Strict -> r
@@ -46,7 +59,7 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs points ~r =
         let h = log (float_of_int (Array.length funcs)) +. 1. in
         max r (int_of_float (ceil (float_of_int r *. h)))
   in
-  match solve_on_matrix ?solver ~max_size matrix ~r with
+  match solve_on_matrix ?solver ?domains ~max_size matrix ~r with
   | Some (rows, eps_min) ->
       let selected = Array.map (fun i -> sky.(i)) rows in
       {

@@ -45,6 +45,7 @@ val solve :
   ?solver:Mrst.solver ->
   ?budget:budget ->
   ?funcs:Rrms_geom.Vec.t array ->
+  ?domains:int ->
   Rrms_geom.Vec.t array ->
   r:int ->
   result
@@ -53,11 +54,15 @@ val solve :
     (default [Greedy]) and acceptance [budget] (default [Strict]).  [funcs] overrides the discretized function set
     entirely (for the §5.2 alternative discretizations; Theorem 4's
     [guarantee] field is then computed from [gamma] anyway and should be
-    ignored by the caller).
+    ignored by the caller).  [domains] spreads the skyline pass, the
+    matrix build and every MRST probe over a worker-domain pool
+    (default {!Rrms_parallel.Pool.default_size}); the result is
+    bit-identical for every domain count.
     @raise Invalid_argument if [r < 1] or the input is empty. *)
 
 val solve_on_matrix :
   ?solver:Mrst.solver ->
+  ?domains:int ->
   ?max_size:int ->
   Regret_matrix.t ->
   r:int ->
@@ -65,4 +70,6 @@ val solve_on_matrix :
 (** The core binary search of Algorithm 4, exposed for tests: returns
     (row set, ε_min) over an arbitrary matrix, accepting covers of size
     at most [max_size] (default [r]); [None] if nothing satisfies even
-    the largest cell value. *)
+    the largest cell value.  Probes run through {!Mrst.Incremental}
+    (prefix-sliced bitsets plus a per-threshold probe cache) and return
+    exactly what from-scratch {!Mrst.solve} probes would. *)

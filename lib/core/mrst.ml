@@ -2,18 +2,17 @@ open Rrms_setcover
 
 type solver = Exact | Greedy
 
-let solve ?(solver = Greedy) matrix ~eps =
-  let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
-  (* Threshold every row into the bitset of columns it satisfies, and
-     collapse duplicate rows (Algorithm 5's dedup step), remembering one
-     representative row per distinct bitset. *)
+(* Dedup thresholded row bitsets in row order (Algorithm 5's dedup
+   step), keep one representative row per distinct non-empty bitset, and
+   hand the distinct sets to the cover solver.  The iteration order is
+   fixed, so the answer does not depend on how the bitsets were
+   produced (from-scratch scan or incremental prefix slicing). *)
+let cover_of_bitsets ?(solver = Greedy) ~universe bitsets =
+  let n = Array.length bitsets in
   let seen : (Bitset.t, int) Hashtbl.t = Hashtbl.create 64 in
   let distinct = ref [] in
   for i = 0 to n - 1 do
-    let b = Bitset.create k in
-    for f = 0 to k - 1 do
-      if Regret_matrix.get matrix i f <= eps then Bitset.set b f
-    done;
+    let b = bitsets.(i) in
     if (not (Bitset.is_empty b)) && not (Hashtbl.mem seen b) then begin
       Hashtbl.add seen b i;
       distinct := (i, b) :: !distinct
@@ -21,10 +20,82 @@ let solve ?(solver = Greedy) matrix ~eps =
   done;
   let pairs = Array.of_list (List.rev !distinct) in
   let sets = Array.map snd pairs in
-  let instance = Setcover.make_instance ~universe:k sets in
+  let instance = Setcover.make_instance ~universe sets in
   let cover =
     match solver with
     | Greedy -> Setcover.greedy instance
     | Exact -> Setcover.exact instance
   in
   Option.map (Array.map (fun si -> fst pairs.(si))) cover
+
+let solve ?solver ?domains matrix ~eps =
+  let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
+  (* Threshold every row into the bitset of columns it satisfies; rows
+     are independent, so the scan fans out across the domain pool. *)
+  let bitsets = Array.make n (Bitset.create 0) in
+  Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
+      let b = Bitset.create k in
+      for f = 0 to k - 1 do
+        if Regret_matrix.get matrix i f <= eps then Bitset.set b f
+      done;
+      bitsets.(i) <- b);
+  cover_of_bitsets ?solver ~universe:k bitsets
+
+module Incremental = struct
+  type t = {
+    universe : int;
+    order : int array array; (* per row: columns sorted by cell value *)
+    sorted : float array array; (* the cell values in that order *)
+    bits : Bitset.t array; (* current thresholded bitset per row *)
+    pos : int array; (* per row: #leading sorted columns currently set *)
+  }
+
+  let create ?domains matrix =
+    let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
+    let order = Array.make n [||] and sorted = Array.make n [||] in
+    Rrms_parallel.parallel_for ?domains ~min_chunk:8 n (fun i ->
+        (* Copy the row once so the sort comparator touches a flat local
+           array instead of re-reading the matrix on every comparison. *)
+        let vals = Array.init k (fun f -> Regret_matrix.get matrix i f) in
+        let ord = Array.init k Fun.id in
+        Array.sort
+          (fun a b ->
+            let c = Float.compare vals.(a) vals.(b) in
+            if c <> 0 then c else Stdlib.compare a b)
+          ord;
+        order.(i) <- ord;
+        sorted.(i) <- Array.map (fun f -> vals.(f)) ord);
+    {
+      universe = k;
+      order;
+      sorted;
+      bits = Array.init n (fun _ -> Bitset.create k);
+      pos = Array.make n 0;
+    }
+
+  let rows t = Array.length t.bits
+
+  (* Move every row's prefix pointer to the new threshold: set bits
+     while the next sorted value fits, clear while the last one no
+     longer does.  Each probe costs O(#cells crossing the threshold)
+     instead of a full O(s·|F|) rescan. *)
+  let advance ?domains t ~eps =
+    let n = rows t in
+    Rrms_parallel.parallel_for ?domains ~min_chunk:64 n (fun i ->
+        let ord = t.order.(i) and vals = t.sorted.(i) and b = t.bits.(i) in
+        let k = Array.length vals in
+        let p = ref t.pos.(i) in
+        while !p < k && vals.(!p) <= eps do
+          Bitset.set b ord.(!p);
+          incr p
+        done;
+        while !p > 0 && vals.(!p - 1) > eps do
+          decr p;
+          Bitset.clear b ord.(!p)
+        done;
+        t.pos.(i) <- !p)
+
+  let solve ?solver ?domains t ~eps =
+    advance ?domains t ~eps;
+    cover_of_bitsets ?solver ~universe:t.universe t.bits
+end

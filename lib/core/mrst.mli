@@ -9,8 +9,43 @@
 
 type solver = Exact | Greedy
 
-val solve : ?solver:solver -> Regret_matrix.t -> eps:float -> int array option
+val solve :
+  ?solver:solver -> ?domains:int -> Regret_matrix.t -> eps:float -> int array option
 (** [solve matrix ~eps] returns row indices covering every column within
     [eps], of minimum (Exact) or near-minimum (Greedy, the default)
     cardinality; [None] when some column cannot be satisfied by any
-    single row. *)
+    single row.  The per-row thresholding scan fans out over [domains]
+    worker domains (default {!Rrms_parallel.Pool.default_size}); the
+    answer is identical for every domain count. *)
+
+(** Incremental probing for Algorithm 4's binary search.
+
+    [solve] rebuilds every row bitset from scratch in O(s·|F|) per
+    probe.  The binary search, however, only ever moves the threshold —
+    so [create] sorts each row's columns by cell value once, and each
+    probe then derives the new bitsets by sliding a per-row prefix
+    pointer, touching only the cells whose membership actually changed.
+    A full search costs O(s·|F|·log|F|) setup plus O(changed cells) per
+    probe, instead of O(s·|F|) per probe.
+
+    For every ε, [Incremental.solve t ~eps] returns exactly what
+    [solve matrix ~eps] returns — the probe sequence may move the
+    threshold in either direction. *)
+module Incremental : sig
+  type t
+
+  val create : ?domains:int -> Regret_matrix.t -> t
+  (** Sort every row's columns by cell value (parallel over rows,
+      deterministic: ties break on column index) and start with the
+      empty prefix, i.e. a threshold below every cell. *)
+
+  val rows : t -> int
+
+  val advance : ?domains:int -> t -> eps:float -> unit
+  (** Slide every row's prefix pointer to the new threshold without
+      solving; exposed for tests and custom probe loops. *)
+
+  val solve : ?solver:solver -> ?domains:int -> t -> eps:float -> int array option
+  (** [solve t ~eps] = [Mrst.solve matrix ~eps] for the matrix [t] was
+      created from, at incremental cost. *)
+end

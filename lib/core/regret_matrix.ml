@@ -5,21 +5,26 @@ type t = {
   best : float array; (* per-column best database score *)
 }
 
-let build ~points ~funcs =
+let build ?domains ~funcs points =
   let n = Array.length points and k = Array.length funcs in
   if n = 0 then invalid_arg "Regret_matrix.build: no points";
   if k = 0 then invalid_arg "Regret_matrix.build: no functions";
+  (* Each column's best scan is an independent O(n·m) dot-product sweep
+     and each row's cell fill writes only its own row, so both loops
+     parallelise with bit-identical results. *)
   let best = Array.make k 0. in
-  for f = 0 to k - 1 do
-    best.(f) <- Vec.max_score funcs.(f) points
-  done;
-  let cells =
-    Array.init n (fun i ->
-        Array.init k (fun f ->
-            if best.(f) <= 0. then 0.
-            else
-              Float.max 0. ((best.(f) -. Vec.dot funcs.(f) points.(i)) /. best.(f))))
-  in
+  Rrms_parallel.parallel_for ?domains ~min_chunk:8 k (fun f ->
+      best.(f) <- Vec.max_score funcs.(f) points);
+  let cells = Array.make n [||] in
+  Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
+      let row = Array.make k 0. in
+      let p = points.(i) in
+      for f = 0 to k - 1 do
+        if best.(f) > 0. then
+          row.(f) <-
+            Float.max 0. ((best.(f) -. Vec.dot funcs.(f) p) /. best.(f))
+      done;
+      cells.(i) <- row);
   { cells; best }
 
 let rows t = Array.length t.cells
@@ -28,22 +33,22 @@ let get t i f = t.cells.(i).(f)
 let column_best_score t f = t.best.(f)
 
 let distinct_values t =
-  let all = Array.concat (Array.to_list t.cells) in
+  let n = rows t and k = cols t in
+  let all = Array.make (n * k) 0. in
+  Array.iteri
+    (fun i row -> Array.blit row 0 all (i * k) k)
+    t.cells;
   Array.sort Float.compare all;
-  let count = ref 0 in
-  Array.iteri
-    (fun i v -> if i = 0 || v <> all.(i - 1) then incr count)
-    all;
-  let out = Array.make !count 0. in
-  let j = ref 0 in
-  Array.iteri
-    (fun i v ->
-      if i = 0 || v <> all.(i - 1) then begin
-        out.(!j) <- v;
-        incr j
-      end)
-    all;
-  out
+  (* Dedup in place in one scan: [j] entries are emitted, and the next
+     candidate only needs comparing against the last emitted value. *)
+  let j = ref 1 in
+  for i = 1 to Array.length all - 1 do
+    if all.(i) <> all.(!j - 1) then begin
+      all.(!j) <- all.(i);
+      incr j
+    end
+  done;
+  Array.sub all 0 !j
 
 let regret_of_rows t rs =
   if Array.length rs = 0 then

@@ -8,11 +8,16 @@
 type t
 
 val build :
-  points:Rrms_geom.Vec.t array -> funcs:Rrms_geom.Vec.t array -> t
-(** [build ~points ~funcs] computes the full matrix in O(|points|·|F|·m).
-    Rows are exactly the given points (pre-filter to the skyline for the
-    paper's setting).  Columns whose best database score is not positive
-    yield all-zero regret.
+  ?domains:int ->
+  funcs:Rrms_geom.Vec.t array ->
+  Rrms_geom.Vec.t array ->
+  t
+(** [build ~funcs points] computes the full matrix in O(|points|·|F|·m),
+    spread over [domains] worker domains (default:
+    {!Rrms_parallel.Pool.default_size}; the result is bit-identical for
+    every domain count).  Rows are exactly the given points (pre-filter
+    to the skyline for the paper's setting).  Columns whose best
+    database score is not positive yield all-zero regret.
     @raise Invalid_argument if either array is empty. *)
 
 val rows : t -> int
@@ -27,7 +32,8 @@ val column_best_score : t -> int -> float
 val distinct_values : t -> float array
 (** All distinct cell values, sorted ascending — the binary-search
     domain of Algorithm 4.  Includes at least [0.] when the matrix has a
-    zero cell. *)
+    zero cell.  One flatten + one sort + one dedup scan, so
+    duplicate-heavy matrices pay O(s·|F|·log(s·|F|)) once. *)
 
 val regret_of_rows : t -> int array -> float
 (** [regret_of_rows t rs] = the discretized maximum regret of keeping

@@ -1,0 +1,187 @@
+(* A fixed-size domain pool.  Workers block on a condition variable
+   guarding a FIFO of thunks; a batch submission enqueues one thunk per
+   chunk and the submitting domain then helps drain the queue before
+   waiting on a countdown latch, so a pool of size [s] really applies
+   [s]-way parallelism with only [s - 1] spawned domains. *)
+
+module Pool = struct
+  type t = {
+    size : int;
+    jobs : (unit -> unit) Queue.t;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  let rec worker pool =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.jobs do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    let job = Queue.pop pool.jobs in
+    Mutex.unlock pool.mutex;
+    job ();
+    worker pool
+
+  let create size =
+    if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+    let pool =
+      {
+        size;
+        jobs = Queue.create ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        workers = [];
+      }
+    in
+    if size > 1 then
+      pool.workers <-
+        List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool
+
+  let size t = t.size
+
+  (* Pools are cached per size and never torn down: idle workers cost
+     one blocked thread each, and the MRST binary search re-enters the
+     pool on every probe. *)
+  let table : (int, t) Hashtbl.t = Hashtbl.create 4
+  let table_mutex = Mutex.create ()
+
+  let get size =
+    if size < 1 then invalid_arg "Pool.get: size must be >= 1";
+    Mutex.lock table_mutex;
+    let pool =
+      match Hashtbl.find_opt table size with
+      | Some p -> p
+      | None ->
+          let p = create size in
+          Hashtbl.add table size p;
+          p
+    in
+    Mutex.unlock table_mutex;
+    pool
+
+  let default = Atomic.make 1
+  let default_size () = Atomic.get default
+  let set_default_size n = Atomic.set default (max 1 n)
+
+  let configure_from_env () =
+    match Sys.getenv_opt "RRMS_DOMAINS" with
+    | None -> ()
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> set_default_size n
+        | Some _ | None -> ())
+
+  (* Countdown latch for one batch of chunks. *)
+  type batch = {
+    b_mutex : Mutex.t;
+    finished : Condition.t;
+    mutable pending : int;
+    mutable failure : exn option;
+  }
+
+  let run_batch pool (tasks : (unit -> unit) array) =
+    let nt = Array.length tasks in
+    if nt = 0 then ()
+    else if pool.size = 1 || nt = 1 then Array.iter (fun f -> f ()) tasks
+    else begin
+      let b =
+        {
+          b_mutex = Mutex.create ();
+          finished = Condition.create ();
+          pending = nt;
+          failure = None;
+        }
+      in
+      let wrap task () =
+        (try task ()
+         with e ->
+           Mutex.lock b.b_mutex;
+           if b.failure = None then b.failure <- Some e;
+           Mutex.unlock b.b_mutex);
+        Mutex.lock b.b_mutex;
+        b.pending <- b.pending - 1;
+        if b.pending = 0 then Condition.broadcast b.finished;
+        Mutex.unlock b.b_mutex
+      in
+      Mutex.lock pool.mutex;
+      Array.iter (fun t -> Queue.push (wrap t) pool.jobs) tasks;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      (* Help: run queued chunks on this domain until the queue drains. *)
+      let rec help () =
+        Mutex.lock pool.mutex;
+        if Queue.is_empty pool.jobs then Mutex.unlock pool.mutex
+        else begin
+          let job = Queue.pop pool.jobs in
+          Mutex.unlock pool.mutex;
+          job ();
+          help ()
+        end
+      in
+      help ();
+      Mutex.lock b.b_mutex;
+      while b.pending > 0 do
+        Condition.wait b.finished b.b_mutex
+      done;
+      Mutex.unlock b.b_mutex;
+      match b.failure with Some e -> raise e | None -> ()
+    end
+end
+
+let resolve = function Some d -> Pool.get d | None -> Pool.get (Pool.default_size ())
+
+let parallel_for ?domains ?(min_chunk = 64) n f =
+  if min_chunk < 1 then invalid_arg "parallel_for: min_chunk must be >= 1";
+  if n > 0 then begin
+    let pool = resolve domains in
+    if Pool.size pool = 1 || n < 2 * min_chunk then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let nchunks =
+        min ((n + min_chunk - 1) / min_chunk) (4 * Pool.size pool)
+      in
+      let chunk = (n + nchunks - 1) / nchunks in
+      let tasks =
+        Array.init nchunks (fun c ->
+            let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+            fun () ->
+              for i = lo to hi - 1 do
+                f i
+              done)
+      in
+      Pool.run_batch pool tasks
+    end
+  end
+
+let map_array ?domains ?min_chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    parallel_for ?domains ?min_chunk (n - 1) (fun i ->
+        out.(i + 1) <- f a.(i + 1));
+    out
+  end
+
+let reduce ?domains ?(min_chunk = 64) ~neutral ~combine n f =
+  if min_chunk < 1 then invalid_arg "reduce: min_chunk must be >= 1";
+  if n <= 0 then neutral
+  else begin
+    (* The chunk layout depends only on [n] and [min_chunk] — never on
+       the pool size — so the association of [combine] is fixed and the
+       result is bit-identical for every domain count. *)
+    let nchunks = (n + min_chunk - 1) / min_chunk in
+    let partials = Array.make nchunks neutral in
+    parallel_for ?domains ~min_chunk:1 nchunks (fun c ->
+        let lo = c * min_chunk and hi = min n ((c + 1) * min_chunk) in
+        let acc = ref neutral in
+        for i = lo to hi - 1 do
+          acc := combine !acc (f i)
+        done;
+        partials.(c) <- !acc);
+    Array.fold_left combine neutral partials
+  end

@@ -1,0 +1,72 @@
+(** Domain-pool parallelism for the RRMS hot paths.
+
+    OCaml 5 exposes true shared-memory parallelism through [Domain], but
+    spawning a domain costs ~1 ms — far too much to pay inside a binary
+    search that probes the MRST oracle dozens of times.  This module
+    keeps a small set of long-lived worker pools (one per requested
+    size, created lazily and cached for the process lifetime) and
+    schedules chunked loops onto them.
+
+    Determinism contract: every combinator here produces results that
+    are {e bit-identical} for every pool size, including the serial
+    fallback.  [parallel_for] and [map_array] only ever write disjoint
+    indices, and [reduce] derives its chunk layout from the iteration
+    count alone (never from the pool size), combining partial results in
+    ascending chunk order — so even non-associative floating-point
+    combines see the same association for 1 domain and for 8.
+
+    Bodies passed to these combinators must be thread-safe: they run
+    concurrently on several domains and must not mutate shared state
+    except through their own disjoint indices. *)
+
+module Pool : sig
+  type t
+
+  val get : int -> t
+  (** [get size] returns the cached pool with [size]-way parallelism
+      ([size - 1] worker domains plus the calling domain).  Pools are
+      created on first use and kept alive for the process; repeated
+      calls with the same size return the same pool.
+      @raise Invalid_argument if [size < 1]. *)
+
+  val size : t -> int
+
+  val default_size : unit -> int
+  (** The process-wide default parallelism used when a combinator is
+      called without [?domains].  Starts at [1] (serial) — libraries
+      never go parallel behind the caller's back. *)
+
+  val set_default_size : int -> unit
+  (** Override the default parallelism (clamped to [>= 1]). *)
+
+  val configure_from_env : unit -> unit
+  (** Read the [RRMS_DOMAINS] environment variable and, when it holds a
+      positive integer, make it the default size.  Called by the CLI and
+      the bench harness at startup; malformed or absent values leave the
+      default untouched. *)
+end
+
+val parallel_for : ?domains:int -> ?min_chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f i] for every [i] in [0 .. n-1], split
+    into contiguous chunks across the pool.  Falls back to a plain
+    serial loop when the pool size is 1 or [n < 2 * min_chunk]
+    (default [min_chunk = 64]).  [f] must only write state owned by
+    index [i]. *)
+
+val map_array : ?domains:int -> ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] = [Array.map f a], parallelised over chunks.  [f] is
+    applied exactly once per element, in unspecified order. *)
+
+val reduce :
+  ?domains:int ->
+  ?min_chunk:int ->
+  neutral:'b ->
+  combine:('b -> 'b -> 'b) ->
+  int ->
+  (int -> 'b) ->
+  'b
+(** [reduce ~neutral ~combine n f] folds [combine] over
+    [f 0 .. f (n-1)]: each fixed-size chunk is folded left-to-right
+    starting from [neutral], and the per-chunk partials are then folded
+    left-to-right in chunk order.  The chunk layout depends only on [n]
+    and [min_chunk], so the result is identical for every pool size. *)

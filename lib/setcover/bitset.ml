@@ -45,6 +45,14 @@ let union_into s ~into =
   check_widths s into "Bitset.union_into";
   Array.iteri (fun i w -> into.words.(i) <- into.words.(i) lor w) s.words
 
+let inter_count a b =
+  check_widths a b "Bitset.inter_count";
+  let acc = ref 0 in
+  Array.iteri
+    (fun i w -> acc := !acc + popcount (w land b.words.(i)))
+    a.words;
+  !acc
+
 let diff_count s ~minus =
   check_widths s minus "Bitset.diff_count";
   let acc = ref 0 in

@@ -24,6 +24,9 @@ val count : t -> int
 val union_into : t -> into:t -> unit
 (** [union_into s ~into] sets [into <- into ∪ s]. *)
 
+val inter_count : t -> t -> int
+(** [inter_count a b] = |a ∩ b|, one popcount per word, no allocation. *)
+
 val diff_count : t -> minus:t -> int
 (** [diff_count s ~minus] = |s \ minus| without allocating. *)
 

@@ -23,8 +23,15 @@ let bnl points =
 
 (* Sort-Filter-Skyline: after sorting by attribute sum (descending), a
    tuple can only be dominated by tuples that precede it, so every kept
-   tuple is final. *)
-let sfs points =
+   tuple is final.
+
+   The dominance filter is parallelised in blocks: every candidate of a
+   block is checked against the already-final survivors concurrently
+   (the bulk of the O(n·s) work), then a short serial pass resolves
+   dominance within the block in sorted order.  A tuple is kept iff it
+   is undominated by every tuple preceding it, exactly as in the serial
+   scan, so the output is identical for every domain count. *)
+let sfs ?domains points =
   let n = Array.length points in
   let sum p = Array.fold_left ( +. ) 0. p in
   let idx = Array.init n (fun i -> i) in
@@ -34,21 +41,44 @@ let sfs points =
       let c = Float.compare sums.(j) sums.(i) in
       if c <> 0 then c else Stdlib.compare i j)
     idx;
-  let kept = ref [] in
-  Array.iter
-    (fun i ->
-      let p = points.(i) in
-      let dominated =
-        List.exists
-          (fun j ->
-            match Dominance.compare points.(j) p with
-            | `Left | `Equal -> true
-            | `Right | `Incomparable -> false)
-          !kept
-      in
-      if not dominated then kept := i :: !kept)
-    idx;
-  Array.of_list (List.rev !kept)
+  let kept = Array.make n 0 in
+  let nkept = ref 0 in
+  let dominates_candidate j p =
+    match Dominance.compare points.(j) p with
+    | `Left | `Equal -> true
+    | `Right | `Incomparable -> false
+  in
+  let block = 256 in
+  let dominated = Array.make (min block n) false in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + block) in
+    let len = hi - !lo in
+    let final = !nkept in
+    let base = !lo in
+    Rrms_parallel.parallel_for ?domains ~min_chunk:8 len (fun c ->
+        let p = points.(idx.(base + c)) in
+        let rec scan j =
+          j < final
+          && (dominates_candidate kept.(j) p || scan (j + 1))
+        in
+        dominated.(c) <- scan 0);
+    for c = 0 to len - 1 do
+      if not dominated.(c) then begin
+        let i = idx.(base + c) in
+        let p = points.(i) in
+        let rec scan j =
+          j < !nkept && (dominates_candidate kept.(j) p || scan (j + 1))
+        in
+        if not (scan final) then begin
+          kept.(!nkept) <- i;
+          incr nkept
+        end
+      end
+    done;
+    lo := hi
+  done;
+  Array.sub kept 0 !nkept
 
 let two_d points =
   Array.iter

@@ -21,8 +21,11 @@
 val bnl : Rrms_geom.Vec.t array -> int array
 (** Block-Nested-Loop skyline. *)
 
-val sfs : Rrms_geom.Vec.t array -> int array
-(** Sort-Filter-Skyline. *)
+val sfs : ?domains:int -> Rrms_geom.Vec.t array -> int array
+(** Sort-Filter-Skyline.  The dominance filter fans its
+    candidate-vs-survivor checks out over [domains] worker domains
+    (default {!Rrms_parallel.Pool.default_size}); the returned indices
+    are identical for every domain count. *)
 
 val divide_and_conquer : Rrms_geom.Vec.t array -> int array
 (** Divide-and-conquer skyline [Börzsönyi et al., §5]: split on the

@@ -41,7 +41,7 @@ let test_hd_rrms_exact_solver_opt_on_grid () =
     let funcs = Discretize.grid ~gamma:2 ~m:3 in
     let sky = Rrms_skyline.Skyline.sfs pts in
     let sky_pts = Array.map (fun i -> pts.(i)) sky in
-    let matrix = Regret_matrix.build ~points:sky_pts ~funcs in
+    let matrix = Regret_matrix.build ~funcs sky_pts in
     match Hd_rrms.solve_on_matrix ~solver:Mrst.Exact matrix ~r with
     | None -> Alcotest.fail "must find a solution"
     | Some (_, eps_min) ->
@@ -274,7 +274,7 @@ let test_inflated_reaches_grid_optimum () =
     let funcs = Discretize.grid ~gamma:2 ~m:3 in
     let sky = Rrms_skyline.Skyline.sfs pts in
     let sky_pts = Array.map (fun i -> pts.(i)) sky in
-    let matrix = Regret_matrix.build ~points:sky_pts ~funcs in
+    let matrix = Regret_matrix.build ~funcs sky_pts in
     let s = Array.length sky in
     let grid_opt = ref infinity in
     for a = 0 to s - 1 do

@@ -1,4 +1,7 @@
 let () =
+  (* RRMS_DOMAINS ∈ {1, 4, …} must leave every result unchanged; CI runs
+     the whole suite under both. *)
+  Rrms_parallel.Pool.configure_from_env ();
   Alcotest.run "rrms"
     [
       ("rng", Test_rng.suite);
@@ -32,4 +35,5 @@ let () =
       ("dynamic-hd", Test_dynamic_hd.suite);
       ("examples", Test_examples.suite);
       ("properties", Test_properties.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -12,7 +12,7 @@ let points = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.6; 0.6 |] |]
 let funcs = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.70710678; 0.70710678 |] |]
 
 let test_build_basics () =
-  let m = Regret_matrix.build ~points ~funcs in
+  let m = Regret_matrix.build ~funcs points in
   Alcotest.(check int) "rows" 3 (Regret_matrix.rows m);
   Alcotest.(check int) "cols" 3 (Regret_matrix.cols m);
   (* Winner of each column has zero regret. *)
@@ -27,7 +27,7 @@ let test_build_basics () =
   feq ~eps:1e-6 "best col 2" (1.2 *. 0.70710678) (Regret_matrix.column_best_score m 2)
 
 let test_distinct_values () =
-  let m = Regret_matrix.build ~points ~funcs in
+  let m = Regret_matrix.build ~funcs points in
   let v = Regret_matrix.distinct_values m in
   (* Sorted ascending, unique, contains 0 and 1. *)
   Alcotest.(check bool) "contains 0" true (Array.exists (fun x -> x = 0.) v);
@@ -37,7 +37,7 @@ let test_distinct_values () =
   done
 
 let test_regret_of_rows () =
-  let m = Regret_matrix.build ~points ~funcs in
+  let m = Regret_matrix.build ~funcs points in
   (* Keeping everything: zero. *)
   feq "all rows" 0. (Regret_matrix.regret_of_rows m [| 0; 1; 2 |]);
   (* Keeping only the middle point: worst column is an axis. *)
@@ -47,7 +47,7 @@ let test_regret_of_rows () =
   feq ~eps:1e-6 "corners only" expected (Regret_matrix.regret_of_rows m [| 0; 1 |])
 
 let test_mrst_exact_minimal () =
-  let m = Regret_matrix.build ~points ~funcs in
+  let m = Regret_matrix.build ~funcs points in
   (* eps = 0: need winners of all three columns = all three rows. *)
   (match Mrst.solve ~solver:Mrst.Exact m ~eps:0. with
   | Some rows -> Alcotest.(check int) "eps=0 needs 3 rows" 3 (Array.length rows)
@@ -61,7 +61,7 @@ let test_mrst_exact_minimal () =
   | None -> Alcotest.fail "eps=0.41 should be satisfiable"
 
 let test_mrst_greedy_covers () =
-  let m = Regret_matrix.build ~points ~funcs in
+  let m = Regret_matrix.build ~funcs points in
   match Mrst.solve ~solver:Mrst.Greedy m ~eps:0.2 with
   | Some rows ->
       feq "greedy cover satisfies threshold within eps" 0.
@@ -77,7 +77,7 @@ let test_mrst_greedy_vs_exact_random () =
           Array.init 3 (fun _ -> Rrms_rng.Rng.float rng 1.))
     in
     let fs = Discretize.grid ~gamma:2 ~m:3 in
-    let m = Regret_matrix.build ~points:pts ~funcs:fs in
+    let m = Regret_matrix.build ~funcs:fs pts in
     let eps = Rrms_rng.Rng.float rng 0.5 in
     match (Mrst.solve ~solver:Mrst.Exact m ~eps, Mrst.solve ~solver:Mrst.Greedy m ~eps) with
     | None, None -> ()
@@ -98,12 +98,12 @@ let test_mrst_always_satisfiable_on_built_matrix () =
      interesting question is only the cover's size. *)
   let pts = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
   let fs = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
-  let m = Regret_matrix.build ~points:pts ~funcs:fs in
+  let m = Regret_matrix.build ~funcs:fs pts in
   (match Mrst.solve m ~eps:0.5 with
   | Some rows -> Alcotest.(check int) "needs both corners" 2 (Array.length rows)
   | None -> Alcotest.fail "two corners satisfy 0.5");
   (* With a single row, that row is the winner of every column. *)
-  let m1 = Regret_matrix.build ~points:[| [| 1.; 0. |] |] ~funcs:fs in
+  let m1 = Regret_matrix.build ~funcs:fs [| [| 1.; 0. |] |] in
   match Mrst.solve m1 ~eps:0. with
   | Some rows -> Alcotest.(check int) "single row covers" 1 (Array.length rows)
   | None -> Alcotest.fail "single-row matrix is satisfiable at eps=0"
@@ -111,10 +111,10 @@ let test_mrst_always_satisfiable_on_built_matrix () =
 let test_build_invalid () =
   Alcotest.check_raises "no points"
     (Invalid_argument "Regret_matrix.build: no points") (fun () ->
-      ignore (Regret_matrix.build ~points:[||] ~funcs));
+      ignore (Regret_matrix.build ~funcs [||]));
   Alcotest.check_raises "no funcs"
     (Invalid_argument "Regret_matrix.build: no functions") (fun () ->
-      ignore (Regret_matrix.build ~points ~funcs:[||]))
+      ignore (Regret_matrix.build ~funcs:[||] points))
 
 let suite =
   [

@@ -1,0 +1,292 @@
+(* Determinism of the domain-pool kernels and correctness of the
+   incremental MRST probe path.
+
+   The contract under test: every parallel kernel returns bit-identical
+   results with [domains = 1] (serial fallback) and [domains = 4]
+   (three spawned workers plus the caller), and
+   [Mrst.Incremental.solve] matches from-scratch [Mrst.solve] at every
+   threshold, however the probe sequence moves. *)
+
+open Rrms_core
+
+let random_points rng ~n ~m =
+  Array.init n (fun _ -> Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.))
+
+let anti_points rng ~n ~m =
+  Rrms_dataset.Dataset.rows
+    (Rrms_dataset.Dataset.normalize
+       (Rrms_dataset.Synthetic.anticorrelated rng ~n ~m))
+
+(* --- pool combinators ------------------------------------------------ *)
+
+let test_parallel_for_covers () =
+  List.iter
+    (fun domains ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Rrms_parallel.parallel_for ~domains ~min_chunk:16 n (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "every index ran exactly once (domains=%d)" domains)
+        true
+        (Array.for_all (fun h -> h = 1) hits))
+    [ 1; 2; 4 ]
+
+let test_map_array_matches_serial () =
+  let a = Array.init 777 (fun i -> i) in
+  let expected = Array.map (fun x -> (x * 7919) mod 1013) a in
+  List.iter
+    (fun domains ->
+      let got =
+        Rrms_parallel.map_array ~domains ~min_chunk:16
+          (fun x -> (x * 7919) mod 1013)
+          a
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map_array (domains=%d)" domains)
+        expected got)
+    [ 1; 4 ]
+
+let test_reduce_deterministic_floats () =
+  (* Float addition is not associative, so identical results across
+     domain counts prove the chunk layout is pool-size independent. *)
+  let n = 5000 in
+  let f i = 1. /. float_of_int (i + 1) in
+  let run domains =
+    Rrms_parallel.reduce ~domains ~min_chunk:64 ~neutral:0.
+      ~combine:( +. ) n f
+  in
+  let serial = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "reduce bit-identical (domains=%d)" domains)
+        serial (run domains))
+    [ 2; 4 ]
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "exception crosses the pool boundary"
+    (Invalid_argument "boom") (fun () ->
+      Rrms_parallel.parallel_for ~domains:4 ~min_chunk:1 64 (fun i ->
+          if i = 63 then invalid_arg "boom"))
+
+(* --- kernel determinism: serial vs 4 domains ------------------------- *)
+
+let test_sfs_deterministic () =
+  let rng = Rrms_rng.Rng.create 2024 in
+  List.iter
+    (fun (n, m) ->
+      let pts = anti_points rng ~n ~m in
+      let serial = Rrms_skyline.Skyline.sfs ~domains:1 pts in
+      let parallel = Rrms_skyline.Skyline.sfs ~domains:4 pts in
+      Alcotest.(check (array int))
+        (Printf.sprintf "sfs identical (n=%d m=%d)" n m)
+        serial parallel)
+    [ (300, 3); (1500, 4); (997, 5) ]
+
+let test_matrix_build_deterministic () =
+  let rng = Rrms_rng.Rng.create 7 in
+  let pts = random_points rng ~n:400 ~m:4 in
+  let funcs = Discretize.grid ~gamma:3 ~m:4 in
+  let m1 = Regret_matrix.build ~domains:1 ~funcs pts in
+  let m4 = Regret_matrix.build ~domains:4 ~funcs pts in
+  Alcotest.(check int) "rows" (Regret_matrix.rows m1) (Regret_matrix.rows m4);
+  Alcotest.(check int) "cols" (Regret_matrix.cols m1) (Regret_matrix.cols m4);
+  let identical = ref true in
+  for i = 0 to Regret_matrix.rows m1 - 1 do
+    for f = 0 to Regret_matrix.cols m1 - 1 do
+      if Regret_matrix.get m1 i f <> Regret_matrix.get m4 i f then
+        identical := false
+    done
+  done;
+  Alcotest.(check bool) "every cell bit-identical" true !identical;
+  Alcotest.(check (array (float 0.)))
+    "distinct values identical"
+    (Regret_matrix.distinct_values m1)
+    (Regret_matrix.distinct_values m4)
+
+let test_hd_rrms_deterministic () =
+  let rng = Rrms_rng.Rng.create 99 in
+  let pts = anti_points rng ~n:1200 ~m:4 in
+  let r1 = Hd_rrms.solve ~gamma:3 ~domains:1 pts ~r:4 in
+  let r4 = Hd_rrms.solve ~gamma:3 ~domains:4 pts ~r:4 in
+  Alcotest.(check (array int))
+    "selected identical" r1.Hd_rrms.selected r4.Hd_rrms.selected;
+  Alcotest.(check (float 0.)) "eps_min identical" r1.Hd_rrms.eps_min
+    r4.Hd_rrms.eps_min;
+  Alcotest.(check (float 0.))
+    "discretized regret identical" r1.Hd_rrms.discretized_regret
+    r4.Hd_rrms.discretized_regret
+
+let test_hd_greedy_deterministic () =
+  let rng = Rrms_rng.Rng.create 123 in
+  let pts = anti_points rng ~n:900 ~m:4 in
+  let r1 = Hd_greedy.solve ~gamma:3 ~domains:1 pts ~r:5 in
+  let r4 = Hd_greedy.solve ~gamma:3 ~domains:4 pts ~r:5 in
+  Alcotest.(check (array int))
+    "selected identical" r1.Hd_greedy.selected r4.Hd_greedy.selected;
+  Alcotest.(check (float 0.))
+    "regret identical" r1.Hd_greedy.discretized_regret
+    r4.Hd_greedy.discretized_regret
+
+let test_mrst_solve_deterministic () =
+  let rng = Rrms_rng.Rng.create 5 in
+  let pts = random_points rng ~n:200 ~m:3 in
+  let funcs = Discretize.grid ~gamma:4 ~m:3 in
+  let m = Regret_matrix.build ~funcs pts in
+  List.iter
+    (fun eps ->
+      let opt_rows = Alcotest.(option (array int)) in
+      Alcotest.check opt_rows
+        (Printf.sprintf "Mrst.solve identical (eps=%g)" eps)
+        (Mrst.solve ~domains:1 m ~eps)
+        (Mrst.solve ~domains:4 m ~eps))
+    [ 0.; 0.05; 0.2; 0.5; 1. ]
+
+(* --- incremental MRST vs from-scratch -------------------------------- *)
+
+(* Probe a zig-zag threshold sequence so the incremental prefix pointers
+   both advance and retreat, including repeats and off-grid values. *)
+let probe_sequence values rng =
+  let nv = Array.length values in
+  let probes = ref [] in
+  for _ = 1 to 40 do
+    let v = values.(Rrms_rng.Rng.int rng nv) in
+    let jitter =
+      match Rrms_rng.Rng.int rng 3 with
+      | 0 -> v
+      | 1 -> v +. 1e-9
+      | _ -> Float.max 0. (v -. 1e-9)
+    in
+    probes := jitter :: !probes
+  done;
+  (* Make sure the extremes and an exact repeat are present. *)
+  values.(0) :: values.(nv - 1) :: values.(nv - 1) :: !probes
+
+let test_incremental_matches_scratch () =
+  let rng = Rrms_rng.Rng.create 31337 in
+  for trial = 1 to 8 do
+    let n = 20 + Rrms_rng.Rng.int rng 80 in
+    let m = 2 + Rrms_rng.Rng.int rng 2 in
+    let pts = random_points rng ~n ~m in
+    let funcs = Discretize.grid ~gamma:(2 + Rrms_rng.Rng.int rng 2) ~m in
+    let matrix = Regret_matrix.build ~funcs pts in
+    let inc = Mrst.Incremental.create matrix in
+    let values = Regret_matrix.distinct_values matrix in
+    List.iter
+      (fun eps ->
+        let scratch = Mrst.solve matrix ~eps in
+        let incremental = Mrst.Incremental.solve inc ~eps in
+        Alcotest.check
+          Alcotest.(option (array int))
+          (Printf.sprintf "trial %d eps=%g incremental = scratch" trial eps)
+          scratch incremental)
+      (probe_sequence values rng)
+  done
+
+let test_incremental_parallel_deterministic () =
+  let rng = Rrms_rng.Rng.create 8080 in
+  let pts = random_points rng ~n:150 ~m:3 in
+  let funcs = Discretize.grid ~gamma:3 ~m:3 in
+  let matrix = Regret_matrix.build ~funcs pts in
+  let inc1 = Mrst.Incremental.create ~domains:1 matrix in
+  let inc4 = Mrst.Incremental.create ~domains:4 matrix in
+  let values = Regret_matrix.distinct_values matrix in
+  Array.iter
+    (fun eps ->
+      Alcotest.check
+        Alcotest.(option (array int))
+        (Printf.sprintf "incremental domains 1 vs 4 (eps=%g)" eps)
+        (Mrst.Incremental.solve ~domains:1 inc1 ~eps)
+        (Mrst.Incremental.solve ~domains:4 inc4 ~eps))
+    values
+
+let test_solve_on_matrix_uses_incremental () =
+  (* The binary search must agree with a hand-rolled search that only
+     uses from-scratch probes — on matrices small enough to enumerate. *)
+  let rng = Rrms_rng.Rng.create 4242 in
+  for _ = 1 to 6 do
+    let n = 10 + Rrms_rng.Rng.int rng 40 in
+    let pts = random_points rng ~n ~m:3 in
+    let funcs = Discretize.grid ~gamma:2 ~m:3 in
+    let matrix = Regret_matrix.build ~funcs pts in
+    let r = 1 + Rrms_rng.Rng.int rng 3 in
+    let values = Regret_matrix.distinct_values matrix in
+    let scratch_best = ref None in
+    let low = ref 0 and high = ref (Array.length values - 1) in
+    while !low <= !high do
+      let mid = (!low + !high) / 2 in
+      (match Mrst.solve matrix ~eps:values.(mid) with
+      | Some rows when Array.length rows <= r ->
+          scratch_best := Some (rows, values.(mid));
+          high := mid - 1
+      | Some _ | None -> low := mid + 1)
+    done;
+    let incremental = Hd_rrms.solve_on_matrix matrix ~r in
+    Alcotest.check
+      Alcotest.(option (pair (array int) (float 0.)))
+      "binary search: incremental probes = from-scratch probes"
+      !scratch_best incremental
+  done
+
+(* --- satellite regressions ------------------------------------------- *)
+
+let test_bitset_inter_count () =
+  let open Rrms_setcover in
+  let a = Bitset.of_list 200 [ 0; 1; 62; 63; 64; 126; 199 ] in
+  let b = Bitset.of_list 200 [ 1; 63; 100; 126; 198 ] in
+  Alcotest.(check int) "inter_count" 3 (Bitset.inter_count a b);
+  Alcotest.(check int) "inter_count symmetric" 3 (Bitset.inter_count b a);
+  Alcotest.(check int)
+    "inter + diff = count" (Bitset.count a)
+    (Bitset.inter_count a b + Bitset.diff_count a ~minus:b);
+  Alcotest.(check int) "empty inter" 0
+    (Bitset.inter_count (Bitset.create 200) b)
+
+let test_distinct_values_duplicates () =
+  (* A duplicate-heavy matrix: every point tied, so one distinct value
+     per column pattern — the single-pass dedup must collapse them. *)
+  let pts = Array.make 50 [| 0.5; 0.5 |] in
+  let funcs = Discretize.grid ~gamma:3 ~m:2 in
+  let matrix = Regret_matrix.build ~funcs pts in
+  let v = Regret_matrix.distinct_values matrix in
+  Alcotest.(check bool) "non-empty" true (Array.length v > 0);
+  for i = 0 to Array.length v - 2 do
+    Alcotest.(check bool) "strictly ascending" true (v.(i) < v.(i + 1))
+  done;
+  (* All rows are identical, so the distinct set is one value per
+     column at most. *)
+  Alcotest.(check bool)
+    "collapsed duplicates" true
+    (Array.length v <= Regret_matrix.cols matrix)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers every index" `Quick
+      test_parallel_for_covers;
+    Alcotest.test_case "map_array matches serial" `Quick
+      test_map_array_matches_serial;
+    Alcotest.test_case "reduce is pool-size independent" `Quick
+      test_reduce_deterministic_floats;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "sfs: domains 1 = domains 4" `Quick
+      test_sfs_deterministic;
+    Alcotest.test_case "matrix build: domains 1 = domains 4" `Quick
+      test_matrix_build_deterministic;
+    Alcotest.test_case "hd-rrms: domains 1 = domains 4" `Quick
+      test_hd_rrms_deterministic;
+    Alcotest.test_case "hd-greedy: domains 1 = domains 4" `Quick
+      test_hd_greedy_deterministic;
+    Alcotest.test_case "mrst solve: domains 1 = domains 4" `Quick
+      test_mrst_solve_deterministic;
+    Alcotest.test_case "incremental probes = from-scratch (property)" `Quick
+      test_incremental_matches_scratch;
+    Alcotest.test_case "incremental: domains 1 = domains 4" `Quick
+      test_incremental_parallel_deterministic;
+    Alcotest.test_case "solve_on_matrix = scratch binary search" `Quick
+      test_solve_on_matrix_uses_incremental;
+    Alcotest.test_case "bitset inter_count" `Quick test_bitset_inter_count;
+    Alcotest.test_case "distinct_values on duplicate-heavy matrix" `Quick
+      test_distinct_values_duplicates;
+  ]

@@ -160,7 +160,7 @@ let prop_discretized_regret_lower_bounds_exact =
     (arbitrary_points ~min_n:3 ~max_n:40 3)
     (fun pts ->
       let funcs = Discretize.grid ~gamma:3 ~m:3 in
-      let matrix = Regret_matrix.build ~points:pts ~funcs in
+      let matrix = Regret_matrix.build ~funcs pts in
       let selected = [| 0; Array.length pts - 1 |] in
       Regret_matrix.regret_of_rows matrix selected
       <= Regret.exact_lp ~selected pts +. 1e-9)
