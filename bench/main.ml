@@ -37,12 +37,16 @@ let groups : (string list * string * (Bench_util.scale -> unit)) list =
     ( [ "parallel" ],
       "domain-pool scaling (writes BENCH_parallel.json)",
       Fig_parallel.run );
+    ( [ "robustness" ],
+      "anytime degradation under budgets (writes BENCH_robustness.json)",
+      Fig_robustness.run );
   ]
 
 let () =
   (* RRMS_DOMAINS sets the default pool size for every kernel that is
      not timed at an explicit domain count. *)
   Rrms_parallel.Pool.configure_from_env ();
+  Rrms_parallel.Fault.configure_from_env ();
   let scale = ref Bench_util.Small in
   let only : string list ref = ref [] in
   let micro = ref false in

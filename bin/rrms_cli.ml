@@ -10,6 +10,17 @@
      eval       evaluate the exact regret ratio of a given tuple subset *)
 
 open Cmdliner
+module Guard = Rrms_guard.Guard
+
+(* Degraded-but-certified results exit 3; structured errors exit with
+   their sysexits-style class code (65/69/70/75 — see
+   docs/ROBUSTNESS.md).  Both are distinct from cmdliner's 124 usage
+   errors, so scripts can tell "worse answer" from "no answer". *)
+let exit_degraded = 3
+
+let guard_error e =
+  Printf.eprintf "rrms: error: %s\n%!" (Guard.Error.to_string e);
+  exit (Guard.Error.exit_code e)
 
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
@@ -117,8 +128,54 @@ let project_arg =
           "Keep only the first M attributes (the HD grid needs \
            (gamma+1)^(m-1) directions, so project wide tables first).")
 
-let load ?project path normalize =
-  let d = Rrms_dataset.Dataset.of_csv path in
+let lenient_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:
+          "Drop malformed / non-finite CSV rows with a warning instead of \
+           rejecting the file (default: strict, exit 65 on the first bad \
+           row).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget.  On expiry the solver returns its best \
+           certified answer so far (exit 3, with a $(b,degraded:) report \
+           line) rather than failing.")
+
+let max_cells_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cells" ] ~docv:"N"
+        ~doc:
+          "Cap on regret-matrix cells s·(γ+1)^(m-1); the HD solvers \
+           auto-shrink γ to fit (exit 3 when they had to; exit 69 when \
+           even γ = 1 does not fit).")
+
+let load ?project ?(lenient = false) path normalize =
+  let mode =
+    if lenient then Rrms_dataset.Dataset.Lenient else Rrms_dataset.Dataset.Strict
+  in
+  let d, warnings = Rrms_dataset.Dataset.of_csv_report ~mode path in
+  List.iteri
+    (fun i (w : Rrms_dataset.Dataset.load_warning) ->
+      if i < 10 then
+        Logs.warn (fun f ->
+            f "%s:%d: dropped row (%s%s)" path w.line w.reason
+              (match w.column with
+              | Some c -> Printf.sprintf ", column %s" c
+              | None -> "")))
+    warnings;
+  (match warnings with
+  | [] -> ()
+  | ws ->
+      Logs.warn (fun f -> f "%s: dropped %d malformed row(s)" path
+            (List.length ws)));
   let d =
     match project with
     | Some m when m < Rrms_dataset.Dataset.dim d ->
@@ -264,67 +321,127 @@ let solve_cmd =
             "greedy seeding: first-attribute (published) | best-singleton | \
              all-seeds.")
   in
-  let run verbose domains input normalize project algo r gamma budget solver
-      seed =
+  let run verbose domains input normalize lenient project algo r gamma budget
+      solver seed timeout max_cells =
     setup_logs verbose;
     setup_domains domains;
-    let d = load ?project input normalize in
-    let rows = Rrms_dataset.Dataset.rows d in
-    let budget =
-      match budget with
-      | "strict" -> Ok Rrms_core.Hd_rrms.Strict
-      | "inflated" -> Ok Rrms_core.Hd_rrms.Inflated
-      | other -> Error (Printf.sprintf "unknown budget %S" other)
-    in
-    let solver =
-      match solver with
-      | "greedy" -> Ok Rrms_core.Mrst.Greedy
-      | "exact" -> Ok Rrms_core.Mrst.Exact
-      | other -> Error (Printf.sprintf "unknown cover solver %S" other)
-    in
-    let seed =
-      match seed with
-      | "first-attribute" -> Ok Rrms_core.Greedy.First_attribute
-      | "best-singleton" -> Ok Rrms_core.Greedy.Best_singleton
-      | "all-seeds" -> Ok Rrms_core.Greedy.All_seeds
-      | other -> Error (Printf.sprintf "unknown greedy seed %S" other)
-    in
-    let t0 = Unix.gettimeofday () in
-    let result =
-      try
-        match (algo, budget, solver, seed) with
-      | _, Error msg, _, _ | _, _, Error msg, _ | _, _, _, Error msg ->
-          Error msg
-      | "2d", _, _, _ ->
-          Ok (Rrms_core.Rrms2d.solve rows ~r).Rrms_core.Rrms2d.selected
-      | "2d-exact", _, _, _ ->
-          Ok (Rrms_core.Rrms2d.solve_exact rows ~r).Rrms_core.Rrms2d.selected
-      | "sweepline", _, _, _ ->
-          Ok (Rrms_core.Sweepline.solve rows ~r).Rrms_core.Sweepline.selected
-      | "hd-rrms", Ok budget, Ok solver, _ ->
-          Ok
-            (Rrms_core.Hd_rrms.solve ~gamma ~budget ~solver rows ~r)
-              .Rrms_core.Hd_rrms.selected
-      | "hd-greedy", _, _, _ ->
-          Ok
-            (Rrms_core.Hd_greedy.solve ~gamma rows ~r)
-              .Rrms_core.Hd_greedy.selected
-      | "greedy", _, _, Ok seed ->
-          Ok (Rrms_core.Greedy.solve ~seed rows ~r).Rrms_core.Greedy.selected
-      | "cube", _, _, _ ->
-          Ok (Rrms_core.Cube.solve rows ~r).Rrms_core.Cube.selected
-      | other, _, _, _ -> Error (Printf.sprintf "unknown algorithm %S" other)
-      with Invalid_argument msg -> Error msg
-    in
-    match result with
-    | Error msg -> `Error (false, msg)
-    | Ok selected ->
-        let elapsed = Unix.gettimeofday () -. t0 in
-        let regret = exact_regret d selected in
-        Printf.printf "algo=%s r=%d selected=%d regret=%.6f time=%.3fs\n" algo r
-          (Array.length selected) regret elapsed;
-        print_selection d selected;
-        `Ok ()
+    try
+      let d = load ?project ~lenient input normalize in
+      let rows = Rrms_dataset.Dataset.rows d in
+      let guard =
+        match (timeout, max_cells) with
+        | None, None -> Guard.Budget.unlimited
+        | _ -> Guard.Budget.create ?timeout ?max_cells ()
+      in
+      let budget =
+        match budget with
+        | "strict" -> Ok Rrms_core.Hd_rrms.Strict
+        | "inflated" -> Ok Rrms_core.Hd_rrms.Inflated
+        | other -> Error (Printf.sprintf "unknown budget %S" other)
+      in
+      let solver =
+        match solver with
+        | "greedy" -> Ok Rrms_core.Mrst.Greedy
+        | "exact" -> Ok Rrms_core.Mrst.Exact
+        | other -> Error (Printf.sprintf "unknown cover solver %S" other)
+      in
+      let seed =
+        match seed with
+        | "first-attribute" -> Ok Rrms_core.Greedy.First_attribute
+        | "best-singleton" -> Ok Rrms_core.Greedy.Best_singleton
+        | "all-seeds" -> Ok Rrms_core.Greedy.All_seeds
+        | other -> Error (Printf.sprintf "unknown greedy seed %S" other)
+      in
+      let t0 = Unix.gettimeofday () in
+      (* Each branch reports (selection, quality, certified bound).  The
+         2D / cube algorithms predate the guard and always run exact. *)
+      let result =
+        try
+          match (algo, budget, solver, seed) with
+          | _, Error msg, _, _ | _, _, Error msg, _ | _, _, _, Error msg ->
+              Error msg
+          | "2d", _, _, _ ->
+              Ok
+                ( (Rrms_core.Rrms2d.solve rows ~r).Rrms_core.Rrms2d.selected,
+                  Guard.Exact,
+                  None )
+          | "2d-exact", _, _, _ ->
+              Ok
+                ( (Rrms_core.Rrms2d.solve_exact rows ~r)
+                    .Rrms_core.Rrms2d.selected,
+                  Guard.Exact,
+                  None )
+          | "sweepline", _, _, _ ->
+              Ok
+                ( (Rrms_core.Sweepline.solve rows ~r)
+                    .Rrms_core.Sweepline.selected,
+                  Guard.Exact,
+                  None )
+          | "hd-rrms", Ok budget, Ok solver, _ ->
+              let res =
+                Rrms_core.Hd_rrms.solve ~gamma ~budget ~solver ~guard rows ~r
+              in
+              Ok
+                ( res.Rrms_core.Hd_rrms.selected,
+                  res.Rrms_core.Hd_rrms.quality,
+                  Some res.Rrms_core.Hd_rrms.guarantee )
+          | "hd-greedy", _, _, _ ->
+              let res = Rrms_core.Hd_greedy.solve ~gamma ~guard rows ~r in
+              let m = Rrms_dataset.Dataset.dim d in
+              Ok
+                ( res.Rrms_core.Hd_greedy.selected,
+                  res.Rrms_core.Hd_greedy.quality,
+                  Some
+                    (Rrms_core.Discretize.theorem4_bound
+                       ~gamma:res.Rrms_core.Hd_greedy.gamma_used ~m
+                       ~eps:res.Rrms_core.Hd_greedy.discretized_regret) )
+          | "greedy", _, _, Ok seed ->
+              let res = Rrms_core.Greedy.solve ~seed ~guard rows ~r in
+              Ok
+                ( res.Rrms_core.Greedy.selected,
+                  res.Rrms_core.Greedy.quality,
+                  Some res.Rrms_core.Greedy.regret_lp )
+          | "cube", _, _, _ ->
+              Ok
+                ( (Rrms_core.Cube.solve rows ~r).Rrms_core.Cube.selected,
+                  Guard.Exact,
+                  None )
+          | other, _, _, _ ->
+              Error (Printf.sprintf "unknown algorithm %S" other)
+        with Invalid_argument msg -> Error msg
+      in
+      match result with
+      | Error msg -> `Error (false, msg)
+      | Ok (selected, quality, bound) ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          (* A deadline / probe stop means the budget is spent: re-running
+             the exact LP evaluation could take arbitrarily longer than
+             the user allowed, so report the solver's certified bound
+             instead. *)
+          let deadline_hit =
+            match quality with
+            | Guard.Exact -> false
+            | Guard.Degraded reasons ->
+                List.exists
+                  (function
+                    | Guard.Deadline _ | Guard.Probe_cap _ -> true
+                    | Guard.Cell_cap _ | Guard.Numerical_skips _ -> false)
+                  reasons
+          in
+          let regret_field =
+            match (deadline_hit, bound) with
+            | true, Some b -> Printf.sprintf "regret_bound=%.6f" b
+            | true, None -> "regret_bound=nan"
+            | false, _ ->
+                Printf.sprintf "regret=%.6f" (exact_regret d selected)
+          in
+          Printf.printf "algo=%s r=%d selected=%d %s time=%.3fs\n" algo r
+            (Array.length selected) regret_field elapsed;
+          if not (Guard.is_exact quality) then
+            Printf.printf "degraded: %s\n" (Guard.describe quality);
+          print_selection d selected;
+          if Guard.is_exact quality then `Ok () else exit exit_degraded
+    with Guard.Error.Guard_error e -> guard_error e
   in
   let doc = "Find a regret-ratio minimizing set." in
   Cmd.v
@@ -332,8 +449,8 @@ let solve_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ domains_arg $ input_arg $ normalize_arg
-       $ project_arg $ algo_arg $ r_arg $ gamma_arg $ budget_arg $ solver_arg
-       $ seed_arg))
+       $ lenient_arg $ project_arg $ algo_arg $ r_arg $ gamma_arg $ budget_arg
+       $ solver_arg $ seed_arg $ timeout_arg $ max_cells_arg))
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -346,28 +463,67 @@ let eval_cmd =
       & info [ "rows" ] ~docv:"I,J,..."
           ~doc:"Comma-separated row indices of the compact set.")
   in
-  let run verbose input normalize indices =
+  let run verbose input normalize lenient indices timeout =
     setup_logs verbose;
-    let d = load input normalize in
-    let parse s =
-      try Ok (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
-      with Failure _ -> Error "rows must be a comma-separated list of integers"
-    in
-    match parse indices with
-    | Error msg -> `Error (false, msg)
-    | Ok selected ->
-        let n = Rrms_dataset.Dataset.size d in
-        if Array.exists (fun i -> i < 0 || i >= n) selected then
-          `Error (false, "row index out of range")
-        else begin
-          Printf.printf "regret=%.6f\n" (exact_regret d selected);
-          `Ok ()
-        end
+    try
+      let d = load ~lenient input normalize in
+      let parse s =
+        try
+          Ok (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+        with Failure _ -> Error "rows must be a comma-separated list of integers"
+      in
+      match parse indices with
+      | Error msg -> `Error (false, msg)
+      | Ok selected ->
+          let n = Rrms_dataset.Dataset.size d in
+          if Array.exists (fun i -> i < 0 || i >= n) selected then
+            `Error (false, "row index out of range")
+          else if Rrms_dataset.Dataset.dim d = 2 || timeout = None then begin
+            Printf.printf "regret=%.6f\n" (exact_regret d selected);
+            `Ok ()
+          end
+          else begin
+            (* Budgeted LP sweep: on expiry the max over the evaluated
+               prefix is a certified lower bound on the true regret. *)
+            let guard = Guard.Budget.create ?timeout () in
+            let rows = Rrms_dataset.Dataset.rows d in
+            let report = Rrms_core.Regret.exact_lp_guarded ~guard ~selected rows in
+            let partial =
+              report.Rrms_core.Regret.timed_out
+              || report.Rrms_core.Regret.skipped_numerical > 0
+            in
+            Printf.printf "%s=%.6f evaluated=%d/%d\n"
+              (if report.Rrms_core.Regret.timed_out then "regret_lower_bound"
+               else "regret")
+              report.Rrms_core.Regret.regret
+              report.Rrms_core.Regret.evaluated report.Rrms_core.Regret.total;
+            if partial then begin
+              let reasons =
+                (if report.Rrms_core.Regret.timed_out then
+                   match Guard.Budget.deadline_expired guard with
+                   | Some r -> [ r ]
+                   | None -> []
+                 else [])
+                @
+                match report.Rrms_core.Regret.skipped_numerical with
+                | 0 -> []
+                | k -> [ Guard.Numerical_skips k ]
+              in
+              Printf.printf "degraded: %s\n"
+                (Guard.describe (Guard.Degraded reasons));
+              exit exit_degraded
+            end
+            else `Ok ()
+          end
+    with Guard.Error.Guard_error e -> guard_error e
   in
   let doc = "Evaluate the exact maximum regret ratio of a tuple subset." in
   Cmd.v
     (Cmd.info "eval" ~doc)
-    Term.(ret (const run $ verbose_arg $ input_arg $ normalize_arg $ indices_arg))
+    Term.(
+      ret
+        (const run $ verbose_arg $ input_arg $ normalize_arg $ lenient_arg
+       $ indices_arg $ timeout_arg))
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -493,4 +649,12 @@ let main_cmd =
 
 let () =
   Rrms_parallel.Pool.configure_from_env ();
-  exit (Cmd.eval main_cmd)
+  Rrms_parallel.Fault.configure_from_env ();
+  (* [~catch:false] so structured errors keep their class exit code in
+     every subcommand, not just the ones that wrap their run. *)
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception Guard.Error.Guard_error e -> guard_error e
+  | exception exn ->
+      Printf.eprintf "rrms: internal error: %s\n%!" (Printexc.to_string exn);
+      exit Cmd.Exit.internal_error

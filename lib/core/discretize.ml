@@ -6,24 +6,52 @@ let alpha ~gamma = half_pi /. float_of_int gamma
 
 let max_grid_size = 2_000_000
 
+(* (gamma+1)^(m-1), saturating at [cap + 1] so callers can compare
+   against a cap without integer overflow. *)
+let grid_size_capped ~cap ~gamma ~m =
+  let base = gamma + 1 in
+  let rec power acc i =
+    if acc > cap then cap + 1
+    else if i = 0 then acc
+    else power (acc * base) (i - 1)
+  in
+  power 1 (m - 1)
+
+let grid_size ~gamma ~m =
+  if gamma < 1 then
+    Rrms_guard.Guard.Error.invalid_input "Discretize.grid: gamma must be >= 1";
+  if m < 2 then
+    Rrms_guard.Guard.Error.invalid_input "Discretize.grid: m must be >= 2";
+  let total = grid_size_capped ~cap:max_grid_size ~gamma ~m in
+  if total > max_grid_size then
+    Rrms_guard.Guard.Error.resource_limit
+      ~what:
+        "Discretize.grid: (gamma+1)^(m-1) directions (project to fewer \
+         attributes or use Discretize.random)"
+      ~requested:total ~limit:max_grid_size;
+  total
+
+let matrix_cells ~rows ~gamma ~m =
+  if rows < 1 then rows
+  else begin
+    let cap = (max_int / 2 / rows) + 1 in
+    let dirs = grid_size_capped ~cap ~gamma ~m in
+    rows * dirs (* saturation keeps this below max_int *)
+  end
+
+let fit_gamma ~rows ~max_cells ~gamma ~m =
+  (* Largest gamma' in [1, gamma] whose regret matrix fits the cap. *)
+  let rec down g =
+    if g < 1 then None
+    else if matrix_cells ~rows ~gamma:g ~m <= max_cells then Some g
+    else down (g - 1)
+  in
+  down gamma
+
 let grid ~gamma ~m =
-  if gamma < 1 then invalid_arg "Discretize.grid: gamma must be >= 1";
-  if m < 2 then invalid_arg "Discretize.grid: m must be >= 2";
+  let total = grid_size ~gamma ~m in
   let a = alpha ~gamma in
   let k = m - 1 in
-  let total =
-    let rec power acc i =
-      if acc > max_grid_size then
-        invalid_arg
-          (Printf.sprintf
-             "Discretize.grid: (gamma+1)^(m-1) exceeds %d directions; project \
-              to fewer attributes or use Discretize.random"
-             max_grid_size)
-      else if i = 0 then acc
-      else power (acc * (gamma + 1)) (i - 1)
-    in
-    power 1 k
-  in
   (* Odometer enumeration of all (γ+1)^(m-1) angle index tuples. *)
   let digits = Array.make k 0 in
   let angles = Array.make k 0. in

@@ -13,7 +13,27 @@
 val grid : gamma:int -> m:int -> Rrms_geom.Vec.t array
 (** Algorithm 3: all [(γ+1)^(m-1)] unit directions whose polar angles
     are multiples of [α = π/(2γ)].  Directions are non-negative unit
-    vectors.  @raise Invalid_argument if [gamma < 1] or [m < 2]. *)
+    vectors.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if
+    [gamma < 1] or [m < 2], and [Resource_limit] when the grid would
+    exceed the 2M-direction hard cap. *)
+
+val grid_size : gamma:int -> m:int -> int
+(** [(γ+1)^(m-1)], the number of directions {!grid} would produce, with
+    the same validation and hard cap (raised as structured errors) but
+    without materializing anything. *)
+
+val matrix_cells : rows:int -> gamma:int -> m:int -> int
+(** [rows · (γ+1)^(m-1)] — the regret-matrix size a solve would
+    allocate — computed with saturating arithmetic (never overflows,
+    never raises; a saturated value still compares correctly against
+    any cap below [max_int / 2]). *)
+
+val fit_gamma : rows:int -> max_cells:int -> gamma:int -> m:int -> int option
+(** [fit_gamma ~rows ~max_cells ~gamma ~m] is the largest [γ' ≤ gamma]
+    (at least 1) whose regret matrix fits the cell cap, or [None] when
+    even [γ' = 1] does not — the auto-shrink rule of the budgeted HD
+    solvers. *)
 
 val random : Rrms_rng.Rng.t -> count:int -> m:int -> Rrms_geom.Vec.t array
 (** [count] directions with each polar angle drawn uniformly from

@@ -1,44 +1,88 @@
+module Guard = Rrms_guard.Guard
+
 type seed = First_attribute | Best_singleton | All_seeds
 
-type result = { selected : int array; regret_lp : float }
+type result = {
+  selected : int array;
+  regret_lp : float;
+  skipped_lps : int;
+  quality : Guard.quality;
+}
 
-(* One greedy run from a fixed seed tuple. *)
-let run_from ?eps ~candidates ~points ~r seed_idx =
+(* One greedy run from a fixed seed tuple.  [skips] counts candidate
+   LPs abandoned on a structured Numerical error (unbounded or
+   degenerate-stalled simplex); such candidates are simply not eligible
+   this step — the selection stays well-defined, just blind to them.
+   [stopped] latches the first budget stop across all runs. *)
+let run_from ?eps ~guard ~skips ~stopped ~candidates ~points ~r seed_idx =
   let n = Array.length points in
   let chosen = Hashtbl.create 16 in
   Hashtbl.replace chosen seed_idx ();
   let selected = ref [ seed_idx ] in
   let steps = min r n - 1 in
-  for _ = 1 to steps do
-    let set = Array.of_list (List.map (fun i -> points.(i)) !selected) in
-    let best = ref (-1) and best_regret = ref neg_infinity in
-    Array.iter
-      (fun i ->
-        if not (Hashtbl.mem chosen i) then begin
-          let reg = Regret.point_regret_lp ?eps ~set points.(i) in
-          if reg > !best_regret then begin
-            best_regret := reg;
-            best := i
-          end
-        end)
-      candidates;
-    if !best >= 0 then begin
-      Hashtbl.replace chosen !best ();
-      selected := !best :: !selected
-    end
-  done;
+  (try
+     for _ = 1 to steps do
+       (match Guard.Budget.stop_reason guard with
+       | Some reason ->
+           if !stopped = None then stopped := Some reason;
+           raise Exit
+       | None -> ());
+       Guard.Budget.note_probe guard;
+       let set = Array.of_list (List.map (fun i -> points.(i)) !selected) in
+       let best = ref (-1) and best_regret = ref neg_infinity in
+       Array.iter
+         (fun i ->
+           if not (Hashtbl.mem chosen i) then begin
+             match Regret.point_regret_lp_checked ?eps ~set points.(i) with
+             | Ok reg ->
+                 if reg > !best_regret then begin
+                   best_regret := reg;
+                   best := i
+                 end
+             | Error _ -> incr skips
+           end)
+         candidates;
+       if !best >= 0 then begin
+         Hashtbl.replace chosen !best ();
+         selected := !best :: !selected
+       end
+     done
+   with Exit -> ());
   Array.of_list (List.rev !selected)
 
-let solve ?eps ?(restrict_to_skyline = false) ?(seed = First_attribute) points
-    ~r =
-  if r < 1 then invalid_arg "Greedy.solve: r must be >= 1";
+let solve ?eps ?(restrict_to_skyline = false) ?(seed = First_attribute)
+    ?(guard = Guard.Budget.unlimited) points ~r =
+  if r < 1 then Guard.Error.invalid_input "Greedy.solve: r must be >= 1";
   let n = Array.length points in
-  if n = 0 then invalid_arg "Greedy.solve: empty input";
+  if n = 0 then Guard.Error.invalid_input "Greedy.solve: empty input";
   let sky = lazy (Rrms_skyline.Skyline.sfs points) in
   let candidates =
     if restrict_to_skyline then Lazy.force sky else Array.init n Fun.id
   in
-  let evaluate selected = Regret.exact_lp ?eps ~selected points in
+  let skips = ref 0 in
+  let stopped = ref None in
+  let run_from = run_from ?eps ~guard ~skips ~stopped ~candidates ~points ~r in
+  (* The final certification sweep shares the same budget; LPs it skips
+     or leaves unevaluated are folded into the degradation report. *)
+  let evaluate selected =
+    let report = Regret.exact_lp_guarded ?eps ~guard ~selected points in
+    skips := !skips + report.Regret.skipped_numerical;
+    if report.Regret.timed_out && !stopped = None then
+      stopped := Guard.Budget.deadline_expired guard;
+    report.Regret.regret
+  in
+  let finish selected regret_lp =
+    let reasons =
+      (match !stopped with Some s -> [ s ] | None -> [])
+      @ (if !skips > 0 then [ Guard.Numerical_skips !skips ] else [])
+    in
+    {
+      selected;
+      regret_lp;
+      skipped_lps = !skips;
+      quality = (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
+    }
+  in
   match seed with
   | First_attribute ->
       (* The published algorithm seeds with the maximum of the first
@@ -47,35 +91,52 @@ let solve ?eps ?(restrict_to_skyline = false) ?(seed = First_attribute) points
       for i = 1 to n - 1 do
         if points.(i).(0) > points.(!first).(0) then first := i
       done;
-      let selected = run_from ?eps ~candidates ~points ~r !first in
-      { selected; regret_lp = evaluate selected }
+      let selected = run_from !first in
+      finish selected (evaluate selected)
   | Best_singleton ->
       (* Seed with the skyline tuple that is the best one-tuple answer:
          one exact regret evaluation per skyline tuple. *)
       let sky = Lazy.force sky in
       let best = ref sky.(0) and best_regret = ref infinity in
-      Array.iter
-        (fun i ->
-          let e = evaluate [| i |] in
-          if e < !best_regret then begin
-            best_regret := e;
-            best := i
-          end)
-        sky;
-      let selected = run_from ?eps ~candidates ~points ~r !best in
-      { selected; regret_lp = evaluate selected }
+      (try
+         Array.iter
+           (fun i ->
+             (match Guard.Budget.deadline_expired guard with
+             | Some reason ->
+                 if !stopped = None then stopped := Some reason;
+                 raise Exit
+             | None -> ());
+             let e = evaluate [| i |] in
+             if e < !best_regret then begin
+               best_regret := e;
+               best := i
+             end)
+           sky
+       with Exit -> ());
+      let selected = run_from !best in
+      finish selected (evaluate selected)
   | All_seeds ->
-      (* §6.2: rerun from every skyline seed; keep the best final set. *)
+      (* §6.2: rerun from every skyline seed; keep the best final set.
+         A deadline stop keeps whatever seeds finished — the first seed
+         always runs, so there is always a result to return. *)
       let sky = Lazy.force sky in
       let best = ref None in
-      Array.iter
-        (fun s ->
-          let selected = run_from ?eps ~candidates ~points ~r s in
-          let e = evaluate selected in
-          match !best with
-          | Some (be, _) when be <= e -> ()
-          | _ -> best := Some (e, selected))
-        sky;
+      (try
+         Array.iteri
+           (fun pos s ->
+             (if pos > 0 then
+                match Guard.Budget.deadline_expired guard with
+                | Some reason ->
+                    if !stopped = None then stopped := Some reason;
+                    raise Exit
+                | None -> ());
+             let selected = run_from s in
+             let e = evaluate selected in
+             match !best with
+             | Some (be, _) when be <= e -> ()
+             | _ -> best := Some (e, selected))
+           sky
+       with Exit -> ());
       (match !best with
-      | Some (regret_lp, selected) -> { selected; regret_lp }
+      | Some (regret_lp, selected) -> finish selected regret_lp
       | None -> assert false (* the skyline is never empty *))

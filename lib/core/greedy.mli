@@ -25,16 +25,27 @@ type seed =
           and keep the best outcome — multiplies the cost by s *)
 
 type result = {
-  selected : int array;  (** indices into the input; exactly [min r n] *)
+  selected : int array;
+      (** indices into the input; exactly [min r n] on an [Exact] run,
+          possibly fewer (but ≥ 1) under a budget stop *)
   regret_lp : float;
       (** exact maximum regret ratio of the selection
-          ({!Regret.exact_lp}) *)
+          ({!Regret.exact_lp}); a lower bound when the final sweep
+          itself was cut short ([quality] says so) *)
+  skipped_lps : int;
+      (** candidate/evaluation LPs abandoned on a structured
+          [Numerical] simplex error (unbounded or degenerate-stalled)
+          instead of crashing the run *)
+  quality : Rrms_guard.Guard.quality;
+      (** [Exact], or [Degraded] with the deadline stop and/or
+          [Numerical_skips] count *)
 }
 
 val solve :
   ?eps:float ->
   ?restrict_to_skyline:bool ->
   ?seed:seed ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
   Rrms_geom.Vec.t array ->
   r:int ->
   result
@@ -43,4 +54,12 @@ val solve :
     matching the published algorithm) evaluates candidate LPs only on
     skyline tuples — an easy speedup that does not change the selection
     except through tie-breaking, provided for the ablation benches.
-    @raise Invalid_argument if [r < 1] or the input is empty. *)
+
+    The [guard] is checked between augmentation steps (each counts one
+    probe), between seeds under [All_seeds] / [Best_singleton], and
+    inside the final exact-regret sweep
+    ({!Regret.exact_lp_guarded}).  The seed tuple is always selected,
+    so the result is never empty; a budget stop truncates the
+    selection and is reported through [quality].
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if
+    [r < 1] or the input is empty. *)

@@ -1,49 +1,105 @@
-type result = { selected : int array; discretized_regret : float }
+module Guard = Rrms_guard.Guard
 
-let solve ?(gamma = 4) ?funcs ?domains points ~r =
-  if r < 1 then invalid_arg "Hd_greedy.solve: r must be >= 1";
-  if Array.length points = 0 then invalid_arg "Hd_greedy.solve: empty input";
+type result = {
+  selected : int array;
+  discretized_regret : float;
+  gamma_used : int;
+  quality : Guard.quality;
+}
+
+let shrink_gamma ~guard ~rows ~gamma ~m =
+  match Guard.Budget.max_cells guard with
+  | None -> (gamma, None)
+  | Some cap -> (
+      match Discretize.fit_gamma ~rows ~max_cells:cap ~gamma ~m with
+      | Some g when g = gamma -> (gamma, None)
+      | Some g ->
+          let requested = Discretize.matrix_cells ~rows ~gamma ~m in
+          ( g,
+            Some
+              (Guard.Cell_cap
+                 { requested; cap; gamma_from = gamma; gamma_to = g }) )
+      | None ->
+          Guard.Error.resource_limit
+            ~what:"regret matrix cells (even at gamma = 1)"
+            ~requested:(Discretize.matrix_cells ~rows ~gamma:1 ~m)
+            ~limit:cap)
+
+let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
+    points ~r =
+  if r < 1 then Guard.Error.invalid_input "Hd_greedy.solve: r must be >= 1";
+  if Array.length points = 0 then
+    Guard.Error.invalid_input "Hd_greedy.solve: empty input";
   let m = Array.length points.(0) in
-  let funcs =
-    match funcs with Some f -> f | None -> Discretize.grid ~gamma ~m
-  in
   let sky = Rrms_skyline.Skyline.sfs ?domains points in
+  let s = Array.length sky in
+  let gamma_used, funcs, shrink_reason =
+    match funcs with
+    | Some f ->
+        Guard.Budget.check_cells guard ~what:"regret matrix cells"
+          (s * Array.length f);
+        (gamma, f, None)
+    | None ->
+        let g, reason = shrink_gamma ~guard ~rows:s ~gamma ~m in
+        (g, Discretize.grid ~gamma:g ~m, reason)
+  in
   let sky_points = Array.map (fun i -> points.(i)) sky in
-  let matrix = Regret_matrix.build ?domains ~funcs sky_points in
-  let s = Array.length sky and k = Array.length funcs in
+  let matrix = Regret_matrix.build ?domains ~guard ~funcs sky_points in
+  let k = Array.length funcs in
   let current = Array.make k infinity in
   let chosen = Array.make s false in
   let selected = ref [] in
+  let stopped = ref None in
   let steps = min r s in
   (* Argmin with strict < and left preference is insensitive to the
      chunked reduction order, so the parallel scan picks exactly the
      row the serial loop would. *)
   let better (v1, i1) (v2, i2) = if v2 < v1 then (v2, i2) else (v1, i1) in
-  for _ = 1 to steps do
-    (* Pick the row minimizing the resulting max over columns of the
-       min of current coverage and the row's cells. *)
-    let _, best_row =
-      Rrms_parallel.reduce ?domains ~min_chunk:32 ~neutral:(infinity, -1)
-        ~combine:better s (fun i ->
-          if chosen.(i) then (infinity, -1)
-          else begin
-            let worst = ref 0. in
-            for f = 0 to k - 1 do
-              let v = Float.min current.(f) (Regret_matrix.get matrix i f) in
-              if v > !worst then worst := v
-            done;
-            (!worst, i)
-          end)
-    in
-    let i = best_row in
-    chosen.(i) <- true;
-    selected := i :: !selected;
-    for f = 0 to k - 1 do
-      current.(f) <- Float.min current.(f) (Regret_matrix.get matrix i f)
-    done
-  done;
+  (try
+     for step = 1 to steps do
+       (* Step 1 runs unconditionally so the result is never empty;
+          later steps are budget-checked, and stopping between steps
+          leaves a smaller set whose regret is still exactly what
+          [regret_of_rows] reports — the anytime property is free. *)
+       if step > 1 then begin
+         match Guard.Budget.stop_reason guard with
+         | Some reason ->
+             stopped := Some reason;
+             raise Exit
+         | None -> ()
+       end;
+       Guard.Budget.note_probe guard;
+       (* Pick the row minimizing the resulting max over columns of the
+          min of current coverage and the row's cells. *)
+       let _, best_row =
+         Rrms_parallel.reduce ?domains ~min_chunk:32 ~neutral:(infinity, -1)
+           ~combine:better s (fun i ->
+             if chosen.(i) then (infinity, -1)
+             else begin
+               let worst = ref 0. in
+               for f = 0 to k - 1 do
+                 let v = Float.min current.(f) (Regret_matrix.get matrix i f) in
+                 if v > !worst then worst := v
+               done;
+               (!worst, i)
+             end)
+       in
+       let i = best_row in
+       chosen.(i) <- true;
+       selected := i :: !selected;
+       for f = 0 to k - 1 do
+         current.(f) <- Float.min current.(f) (Regret_matrix.get matrix i f)
+       done
+     done
+   with Exit -> ());
   let rows = Array.of_list (List.rev !selected) in
+  let reasons =
+    (match shrink_reason with Some c -> [ c ] | None -> [])
+    @ (match !stopped with Some s -> [ s ] | None -> [])
+  in
   {
     selected = Array.map (fun i -> sky.(i)) rows;
     discretized_regret = Regret_matrix.regret_of_rows matrix rows;
+    gamma_used;
+    quality = (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
   }

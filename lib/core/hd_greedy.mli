@@ -7,16 +7,23 @@
     the largest reduction of the current max-column regret.  O(r·s·|F|). *)
 
 type result = {
-  selected : int array;  (** indices into the input points; exactly
-                             [min r s] of them *)
+  selected : int array;
+      (** indices into the input points; exactly [min r s] of them on
+          an [Exact] run, possibly fewer (but ≥ 1) under a budget stop *)
   discretized_regret : float;
       (** [max_f min_{t∈selected} M[t,f]] at termination *)
+  gamma_used : int;
+      (** the grid resolution actually used — smaller than requested
+          when a cell cap forced a shrink *)
+  quality : Rrms_guard.Guard.quality;
+      (** [Exact], or [Degraded] with the budget interventions *)
 }
 
 val solve :
   ?gamma:int ->
   ?funcs:Rrms_geom.Vec.t array ->
   ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
   Rrms_geom.Vec.t array ->
   r:int ->
   result
@@ -25,4 +32,13 @@ val solve :
     pass, the matrix build and each greedy argmin sweep run on
     [domains] worker domains (default
     {!Rrms_parallel.Pool.default_size}) with bit-identical results.
-    @raise Invalid_argument if [r < 1] or the input is empty. *)
+
+    The [guard] is checked between greedy steps (each step counts as
+    one probe): the first step always runs, so the result is never
+    empty, and a budget stop simply truncates the selection — the
+    reported [discretized_regret] is exact for the truncated set.
+    When [guard] carries a cell cap and [funcs] is not given, [gamma]
+    auto-shrinks just as in {!Hd_rrms.solve}.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if
+    [r < 1] or the input is empty, [Resource_limit] if no γ' ≥ 1 fits
+    the cell cap. *)

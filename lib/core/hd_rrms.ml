@@ -1,11 +1,21 @@
+module Guard = Rrms_guard.Guard
+
 type result = {
   selected : int array;
   eps_min : float;
   guarantee : float;
   discretized_regret : float;
+  gamma_used : int;
+  quality : Guard.quality;
 }
 
 type budget = Strict | Inflated
+
+type search = {
+  found : (int array * float) option;
+  probes : int;
+  stopped : Guard.reason option;
+}
 
 (* Algorithm 4: binary search over the sorted distinct cell values; each
    probe asks MRST whether some row set of size <= max_size satisfies
@@ -13,8 +23,13 @@ type budget = Strict | Inflated
    alternative).  Probes go through Mrst.Incremental, so each one costs
    O(cells crossing the threshold) instead of an O(s·|F|) matrix rescan,
    and a cache keyed by the threshold's index in the sorted value array
-   makes repeated thresholds free. *)
-let solve_on_matrix ?solver ?domains ?max_size matrix ~r =
+   makes repeated thresholds free.
+
+   The guard is consulted at probe boundaries only, so a degraded
+   search is deterministic for a fixed probe count: the probe sequence
+   depends only on the matrix, never on the pool size or timing. *)
+let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
+    ?max_size matrix ~r =
   let max_size = match max_size with Some s -> s | None -> r in
   let values = Regret_matrix.distinct_values matrix in
   let inc = Mrst.Incremental.create ?domains matrix in
@@ -28,28 +43,91 @@ let solve_on_matrix ?solver ?domains ?max_size matrix ~r =
         answer
   in
   let best = ref None in
+  let stopped = ref None in
+  let probes = ref 0 in
   let low = ref 0 and high = ref (Array.length values - 1) in
-  while !low <= !high do
-    let mid = (!low + !high) / 2 in
-    (match probe mid with
-    | Some rows when Array.length rows <= max_size ->
-        best := Some (rows, values.(mid));
-        high := mid - 1
-    | Some _ | None -> low := mid + 1)
-  done;
-  !best
+  (try
+     while !low <= !high do
+       (match Guard.Budget.stop_reason guard with
+       | Some reason ->
+           stopped := Some reason;
+           raise Exit
+       | None -> ());
+       Guard.Budget.note_probe guard;
+       incr probes;
+       let mid = (!low + !high) / 2 in
+       (match probe mid with
+       | Some rows when Array.length rows <= max_size ->
+           best := Some (rows, values.(mid));
+           high := mid - 1
+       | Some _ | None -> low := mid + 1)
+     done
+   with Exit -> ());
+  (* Anytime fallback: if the budget stopped the search before any
+     acceptance, one probe at the largest distinct value always
+     succeeds (every row satisfies every column there, so the cover is
+     a single row) and its certificate is still exact for that
+     threshold.  One bounded extra probe buys a non-empty, certified,
+     deterministic degraded answer. *)
+  (match (!best, !stopped) with
+  | None, Some _ ->
+      let top = Array.length values - 1 in
+      if top >= 0 then begin
+        match probe top with
+        | Some rows when Array.length rows <= max_size ->
+            best := Some (rows, values.(top))
+        | Some _ | None -> ()
+      end
+  | _ -> ());
+  { found = !best; probes = !probes; stopped = !stopped }
 
-let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains points ~r =
-  if r < 1 then invalid_arg "Hd_rrms.solve: r must be >= 1";
-  if Array.length points = 0 then invalid_arg "Hd_rrms.solve: empty input";
+let solve_on_matrix ?solver ?domains ?max_size matrix ~r =
+  (search_on_matrix ?solver ?domains ?max_size matrix ~r).found
+
+(* Pick the discretization that fits the guard's cell cap: the largest
+   gamma' <= gamma with s·(gamma'+1)^(m-1) cells under the cap.  Raises
+   Resource_limit when even gamma' = 1 does not fit. *)
+let shrink_gamma ~guard ~rows ~gamma ~m =
+  match Guard.Budget.max_cells guard with
+  | None -> (gamma, None)
+  | Some cap -> (
+      match Discretize.fit_gamma ~rows ~max_cells:cap ~gamma ~m with
+      | Some g when g = gamma -> (gamma, None)
+      | Some g ->
+          let requested = Discretize.matrix_cells ~rows ~gamma ~m in
+          ( g,
+            Some
+              (Guard.Cell_cap
+                 { requested; cap; gamma_from = gamma; gamma_to = g }) )
+      | None ->
+          Guard.Error.resource_limit
+            ~what:"regret matrix cells (even at gamma = 1)"
+            ~requested:(Discretize.matrix_cells ~rows ~gamma:1 ~m)
+            ~limit:cap)
+
+let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
+    ?(guard = Guard.Budget.unlimited) points ~r =
+  if r < 1 then Guard.Error.invalid_input "Hd_rrms.solve: r must be >= 1";
+  if Array.length points = 0 then
+    Guard.Error.invalid_input "Hd_rrms.solve: empty input";
   let m = Array.length points.(0) in
-  let funcs =
-    match funcs with Some f -> f | None -> Discretize.grid ~gamma ~m
-  in
   (* Theorem 1: the optimal set lives on the skyline. *)
   let sky = Rrms_skyline.Skyline.sfs ?domains points in
+  let s = Array.length sky in
+  let gamma_used, funcs, shrink_reason =
+    match funcs with
+    | Some f ->
+        (* Explicit function set: the cell cap is a hard check — there
+           is no gamma to shrink. *)
+        Guard.Budget.check_cells guard ~what:"regret matrix cells"
+          (s * Array.length f);
+        (gamma, f, None)
+    | None ->
+        let g, reason = shrink_gamma ~guard ~rows:s ~gamma ~m in
+        (g, Discretize.grid ~gamma:g ~m, reason)
+  in
   let sky_points = Array.map (fun i -> points.(i)) sky in
-  let matrix = Regret_matrix.build ?domains ~funcs sky_points in
+  let matrix = Regret_matrix.build ?domains ~guard ~funcs sky_points in
   let max_size =
     match budget with
     | Strict -> r
@@ -59,17 +137,33 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains points ~r =
         let h = log (float_of_int (Array.length funcs)) +. 1. in
         max r (int_of_float (ceil (float_of_int r *. h)))
   in
-  match solve_on_matrix ?solver ?domains ~max_size matrix ~r with
+  let search = search_on_matrix ?solver ?domains ~guard ~max_size matrix ~r in
+  match search.found with
   | Some (rows, eps_min) ->
       let selected = Array.map (fun i -> sky.(i)) rows in
+      let discretized_regret = Regret_matrix.regret_of_rows matrix rows in
+      let reasons =
+        (match shrink_reason with Some c -> [ c ] | None -> [])
+        @ (match search.stopped with Some s -> [ s ] | None -> [])
+      in
       {
         selected;
         eps_min;
-        guarantee = Discretize.theorem4_bound ~gamma ~m ~eps:eps_min;
-        discretized_regret = Regret_matrix.regret_of_rows matrix rows;
+        (* Theorem 4 lifts the set's achieved grid regret, which is
+           never above the accepted threshold — so certifying from
+           [discretized_regret] is both valid and the tighter bound,
+           including for budget-degraded answers. *)
+        guarantee =
+          Discretize.theorem4_bound ~gamma:gamma_used ~m
+            ~eps:discretized_regret;
+        discretized_regret;
+        gamma_used;
+        quality =
+          (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
       }
   | None ->
       (* Unreachable for a well-formed matrix: at the largest distinct
          value every row satisfies every column, so any single row is a
-         cover of size 1 <= r. *)
+         cover of size 1 <= r — and the degraded fallback probes exactly
+         that threshold. *)
       assert false

@@ -22,7 +22,20 @@
       [r·(ln|F| + 1)].  Whenever a size-[r] cover exists the greedy one
       passes, so [eps_min] is at most the grid optimum for [r] and
       Theorem 4's bound holds against it — at the cost of returning up
-      to [r·(ln|F| + 1)] tuples. *)
+      to [r·(ln|F| + 1)] tuples.
+
+    {2 Budgets and anytime degradation}
+
+    [solve] and the matrix search accept a {!Rrms_guard.Guard.Budget.t}.
+    The budget is consulted only at probe boundaries, so a degraded run
+    is deterministic for a fixed probe cap and bit-identical across
+    domain counts.  When the budget stops the binary search early, the
+    solver still returns a certified answer: either the best threshold
+    accepted so far, or — if none was accepted yet — a one-probe
+    fallback at the largest distinct cell value, where a single-row
+    cover always exists.  Either way Theorem 4's bound is computed from
+    the returned set's {e achieved} discretized regret, so the
+    [guarantee] field stays valid (just looser) under degradation. *)
 
 type budget = Strict | Inflated
 
@@ -30,14 +43,22 @@ type result = {
   selected : int array;
       (** chosen tuples (indices into the input points); at most [r]
           under the [Strict] budget, up to [r·(ln|F|+1)] under
-          [Inflated] *)
+          [Inflated]; never empty *)
   eps_min : float;
       (** the smallest accepted discretized regret (ε_min of §4.4.1) *)
   guarantee : float;
-      (** Theorem 4's bound [c·ε_min + (1 − c)] on the true regret *)
+      (** Theorem 4's bound [c·ε + (1 − c)] on the true regret, with
+          [ε = discretized_regret] — valid even when [quality] is
+          [Degraded] *)
   discretized_regret : float;
       (** [max_f min_{t∈selected} M[t,f]] of the returned set — equals
           [eps_min] up to set-cover slack *)
+  gamma_used : int;
+      (** the grid resolution actually used — smaller than the
+          requested [gamma] when a cell cap forced a shrink *)
+  quality : Rrms_guard.Guard.quality;
+      (** [Exact] when the full binary search ran at the requested γ;
+          [Degraded reasons] records every budget intervention *)
 }
 
 val solve :
@@ -46,19 +67,57 @@ val solve :
   ?budget:budget ->
   ?funcs:Rrms_geom.Vec.t array ->
   ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
   Rrms_geom.Vec.t array ->
   r:int ->
   result
 (** [solve points ~r] runs HD-RRMS with [gamma] grid partitions per
     angle (default 4, the paper's default), the given MRST [solver]
-    (default [Greedy]) and acceptance [budget] (default [Strict]).  [funcs] overrides the discretized function set
-    entirely (for the §5.2 alternative discretizations; Theorem 4's
-    [guarantee] field is then computed from [gamma] anyway and should be
-    ignored by the caller).  [domains] spreads the skyline pass, the
-    matrix build and every MRST probe over a worker-domain pool
-    (default {!Rrms_parallel.Pool.default_size}); the result is
-    bit-identical for every domain count.
-    @raise Invalid_argument if [r < 1] or the input is empty. *)
+    (default [Greedy]) and acceptance [budget] (default [Strict]).
+    [funcs] overrides the discretized function set entirely (for the
+    §5.2 alternative discretizations; Theorem 4's [guarantee] field is
+    then computed from [gamma] anyway and should be ignored by the
+    caller).  [domains] spreads the skyline pass, the matrix build and
+    every MRST probe over a worker-domain pool (default
+    {!Rrms_parallel.Pool.default_size}); the result is bit-identical
+    for every domain count.
+
+    When [guard] carries a cell cap and [funcs] is not given, [gamma]
+    auto-shrinks to the largest γ' whose matrix fits the cap (recorded
+    as a [Cell_cap] degradation reason); an explicit [funcs] makes the
+    cap a hard check instead.  A deadline or probe cap stops the binary
+    search at a probe boundary and the best-so-far (or the certified
+    fallback) is returned with [quality = Degraded].
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if
+    [r < 1] or the input is empty, [Resource_limit] if no γ' ≥ 1 fits
+    the cell cap. *)
+
+type search = {
+  found : (int array * float) option;
+      (** (row set, ε) for the best accepted threshold; [None] only if
+          nothing satisfies even the largest cell value *)
+  probes : int;  (** MRST probes actually executed by the search loop *)
+  stopped : Rrms_guard.Guard.reason option;
+      (** [Some _] iff the budget cut the binary search short *)
+}
+
+val search_on_matrix :
+  ?solver:Mrst.solver ->
+  ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  ?max_size:int ->
+  Regret_matrix.t ->
+  r:int ->
+  search
+(** The core binary search of Algorithm 4 over an arbitrary matrix,
+    accepting covers of size at most [max_size] (default [r]).  Probes
+    run through {!Mrst.Incremental} (prefix-sliced bitsets plus a
+    per-threshold probe cache) and return exactly what from-scratch
+    {!Mrst.solve} probes would.  The [guard] is checked before every
+    probe; on stop, if no threshold was accepted yet, one fallback
+    probe at the largest distinct value recovers a certified
+    single-row answer (so [found = None] with a stopped budget implies
+    an empty or degenerate matrix). *)
 
 val solve_on_matrix :
   ?solver:Mrst.solver ->
@@ -67,9 +126,5 @@ val solve_on_matrix :
   Regret_matrix.t ->
   r:int ->
   (int array * float) option
-(** The core binary search of Algorithm 4, exposed for tests: returns
-    (row set, ε_min) over an arbitrary matrix, accepting covers of size
-    at most [max_size] (default [r]); [None] if nothing satisfies even
-    the largest cell value.  Probes run through {!Mrst.Incremental}
-    (prefix-sliced bitsets plus a per-threshold probe cache) and return
-    exactly what from-scratch {!Mrst.solve} probes would. *)
+(** [search_on_matrix] without a budget, returning just [found] —
+    the pre-guard interface, kept for tests and benchmarks. *)

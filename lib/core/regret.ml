@@ -19,9 +19,9 @@ let for_function ~points ~selected w =
    scale-invariant in w so normalizing w·p = 1 loses nothing.  An
    infeasible system means even x = 0 is unreachable, i.e. the set beats
    p everywhere: regret 0. *)
-let point_regret_lp ?eps ~set p =
+let point_regret_lp_checked ?eps ~set p =
   if Array.length set = 0 then
-    invalid_arg "Regret.point_regret_lp: empty set";
+    Rrms_guard.Guard.Error.invalid_input "Regret.point_regret_lp: empty set";
   let m = Array.length p in
   (* Variables: w_0 .. w_{m-1}, x. *)
   let nvars = m + 1 in
@@ -46,18 +46,68 @@ let point_regret_lp ?eps ~set p =
   in
   match Rrms_lp.Simplex.maximize ?eps ~c:objective (normalization :: gap_rows) with
   | Rrms_lp.Simplex.Optimal { objective = v; _ } ->
-      Float.min 1. (Float.max 0. v)
-  | Rrms_lp.Simplex.Infeasible -> 0.
+      Ok (Float.min 1. (Float.max 0. v))
+  | Rrms_lp.Simplex.Infeasible -> Ok 0.
   | Rrms_lp.Simplex.Unbounded ->
-      (* x <= w·p - w·q <= w·p = 1, so the LP is never unbounded. *)
-      assert false
+      (* x <= w·p - w·q <= w·p = 1, so a true unbounded verdict is
+         impossible — only numerical collapse produces one. *)
+      Error "point-regret LP reported unbounded (x is bounded by 1)"
+  | Rrms_lp.Simplex.Degenerate { pivots } ->
+      Error
+        (Printf.sprintf "point-regret LP stalled after %d degenerate pivots"
+           pivots)
 
-let exact_lp ?eps ~selected points =
+let point_regret_lp ?eps ~set p =
+  match point_regret_lp_checked ?eps ~set p with
+  | Ok v -> v
+  | Error what -> Rrms_guard.Guard.Error.numerical what
+
+type eval_report = {
+  regret : float;
+  evaluated : int;
+  total : int;
+  skipped_numerical : int;
+  timed_out : bool;
+}
+
+let exact_lp_guarded ?eps ?(guard = Rrms_guard.Guard.Budget.unlimited)
+    ~selected points =
   if Array.length selected = 0 then
-    invalid_arg "Regret.exact_lp: empty selection";
+    Rrms_guard.Guard.Error.invalid_input "Regret.exact_lp: empty selection";
   let set = Array.map (fun i -> points.(i)) selected in
   (* The maximizer of the per-point regret is a skyline point: a
      dominated point scores below its dominator for every function. *)
+  let sky = Rrms_skyline.Skyline.sfs points in
+  let total = Array.length sky in
+  let regret = ref 0. in
+  let evaluated = ref 0 and skipped = ref 0 in
+  let timed_out = ref false in
+  (try
+     Array.iter
+       (fun i ->
+         (match Rrms_guard.Guard.Budget.deadline_expired guard with
+         | Some _ ->
+             timed_out := true;
+             raise Exit
+         | None -> ());
+         (match point_regret_lp_checked ?eps ~set points.(i) with
+         | Ok v -> if v > !regret then regret := v
+         | Error _ -> incr skipped);
+         incr evaluated)
+       sky
+   with Exit -> ());
+  {
+    regret = !regret;
+    evaluated = !evaluated;
+    total;
+    skipped_numerical = !skipped;
+    timed_out = !timed_out;
+  }
+
+let exact_lp ?eps ~selected points =
+  if Array.length selected = 0 then
+    Rrms_guard.Guard.Error.invalid_input "Regret.exact_lp: empty selection";
+  let set = Array.map (fun i -> points.(i)) selected in
   let sky = Rrms_skyline.Skyline.sfs points in
   Array.fold_left
     (fun acc i -> Float.max acc (point_regret_lp ?eps ~set points.(i)))

@@ -28,13 +28,54 @@ val point_regret_lp :
     clamped to [\[0, 1\]] — the worst-case regret a user whose favourite
     is [p] suffers when restricted to [set] (the LP of Nanongkai et al.
     used by GREEDY).  [0.] when [p] is dominated by [set] for every
-    function.  @raise Invalid_argument if [set] is empty. *)
+    function.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if [set]
+    is empty, or [Numerical] when the LP is numerically degenerate
+    (use {!point_regret_lp_checked} to handle that without an
+    exception). *)
+
+val point_regret_lp_checked :
+  ?eps:float ->
+  set:Rrms_geom.Vec.t array ->
+  Rrms_geom.Vec.t ->
+  (float, string) result
+(** Like {!point_regret_lp}, but a numerically degenerate or
+    spuriously-unbounded LP comes back as [Error description] instead
+    of an exception — GREEDY uses this to {e skip} pathological
+    candidates rather than abort the whole solve. *)
 
 val exact_lp :
   ?eps:float -> selected:int array -> Rrms_geom.Vec.t array -> float
 (** [exact_lp ~selected points] is [E(selected)] computed exactly: the
     maximum of {!point_regret_lp} over the skyline points of [points].
-    O(s) small LPs. *)
+    O(s) small LPs.
+    @raise Rrms_guard.Guard.Error.Guard_error [Numerical] if any
+    per-point LP is degenerate (see {!exact_lp_guarded} for the
+    skip-and-report alternative). *)
+
+type eval_report = {
+  regret : float;
+      (** max over the evaluated points — the exact regret when
+          [evaluated = total] and [skipped_numerical = 0], otherwise a
+          lower bound *)
+  evaluated : int;  (** skyline points processed before any deadline *)
+  total : int;  (** skyline points in scope *)
+  skipped_numerical : int;  (** LPs skipped as degenerate/unbounded *)
+  timed_out : bool;  (** the budget's deadline expired mid-scan *)
+}
+
+val exact_lp_guarded :
+  ?eps:float ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  selected:int array ->
+  Rrms_geom.Vec.t array ->
+  eval_report
+(** Deadline-aware, skip-tolerant version of {!exact_lp}: checks the
+    budget's wall clock before each per-point LP and stops (reporting
+    [timed_out]) instead of raising; numerically degenerate LPs are
+    skipped and counted.  The scan order is the skyline order, so a
+    partial result is deterministic for a fixed number of evaluated
+    points. *)
 
 val exact_2d : selected:int array -> Rrms_geom.Vec.t array -> float
 (** [exact_2d ~selected points] is [E(selected)] for 2D data, exactly, via the maxima-hull envelopes of

@@ -5,10 +5,16 @@ type t = {
   best : float array; (* per-column best database score *)
 }
 
-let build ?domains ~funcs points =
+let build ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) ~funcs points =
   let n = Array.length points and k = Array.length funcs in
-  if n = 0 then invalid_arg "Regret_matrix.build: no points";
-  if k = 0 then invalid_arg "Regret_matrix.build: no functions";
+  if n = 0 then
+    Rrms_guard.Guard.Error.invalid_input "Regret_matrix.build: no points";
+  if k = 0 then
+    Rrms_guard.Guard.Error.invalid_input "Regret_matrix.build: no functions";
+  (* Refuse to allocate past the budget's cell cap: the HD solvers
+     shrink gamma to fit beforehand, so tripping this means a direct
+     caller asked for more than the guard allows. *)
+  Rrms_guard.Guard.Budget.check_cells guard ~what:"regret matrix cells" (n * k);
   (* Each column's best scan is an independent O(n·m) dot-product sweep
      and each row's cell fill writes only its own row, so both loops
      parallelise with bit-identical results. *)
@@ -52,7 +58,8 @@ let distinct_values t =
 
 let regret_of_rows t rs =
   if Array.length rs = 0 then
-    invalid_arg "Regret_matrix.regret_of_rows: empty row set";
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.regret_of_rows: empty row set";
   let k = cols t in
   let worst = ref 0. in
   for f = 0 to k - 1 do

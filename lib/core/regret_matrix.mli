@@ -9,6 +9,7 @@ type t
 
 val build :
   ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
   funcs:Rrms_geom.Vec.t array ->
   Rrms_geom.Vec.t array ->
   t
@@ -17,8 +18,12 @@ val build :
     {!Rrms_parallel.Pool.default_size}; the result is bit-identical for
     every domain count).  Rows are exactly the given points (pre-filter
     to the skyline for the paper's setting).  Columns whose best
-    database score is not positive yield all-zero regret.
-    @raise Invalid_argument if either array is empty. *)
+    database score is not positive yield all-zero regret.  When [guard]
+    carries a cell cap, the [rows × cols] estimate is checked {e
+    before} allocating.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if either
+    array is empty, [Resource_limit] if the matrix would exceed the
+    guard's cell cap. *)
 
 val rows : t -> int
 val cols : t -> int

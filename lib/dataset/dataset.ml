@@ -4,21 +4,28 @@ type t = {
   data : Rrms_geom.Vec.t array;
 }
 
+let bad_value v =
+  if Float.is_nan v then Some "NaN"
+  else if not (Float.is_finite v) then Some "non-finite"
+  else if v < 0. then Some "negative"
+  else None
+
 let create ?(name = "dataset") ~attributes data =
   let m = Array.length attributes in
-  if m = 0 then invalid_arg "Dataset.create: no attributes";
+  if m = 0 then Rrms_guard.Guard.Error.invalid_input "Dataset.create: no attributes";
   Array.iteri
     (fun i row ->
       if Array.length row <> m then
-        invalid_arg
+        Rrms_guard.Guard.Error.invalid_input
           (Printf.sprintf "Dataset.create: row %d has %d values, expected %d" i
              (Array.length row) m);
-      Array.iter
-        (fun v ->
-          if not (Float.is_finite v) || v < 0. then
-            invalid_arg
-              (Printf.sprintf
-                 "Dataset.create: row %d has a negative or non-finite value" i))
+      Array.iteri
+        (fun j v ->
+          match bad_value v with
+          | Some what ->
+              Rrms_guard.Guard.Error.invalid_input ~column:attributes.(j)
+                (Printf.sprintf "Dataset.create: row %d has a %s value" i what)
+          | None -> ())
         row)
     data;
   { name; attributes; data }
@@ -79,7 +86,41 @@ let to_csv t path =
           output_char oc '\n')
         t.data)
 
-let of_csv ?name:(nm = "") path =
+type load_mode = Strict | Lenient
+
+type load_warning = { line : int; column : string option; reason : string }
+
+(* Parse one data line into a validated row, or explain what is wrong
+   with it.  The column in the report is the attribute name when the
+   offending cell is identifiable. *)
+let parse_line ~attributes ~m line =
+  let cells = String.split_on_char ',' line in
+  if List.length cells <> m then
+    Error
+      ( None,
+        Printf.sprintf "has %d cells, expected %d" (List.length cells) m )
+  else begin
+    let row = Array.make m 0. in
+    let bad = ref None in
+    List.iteri
+      (fun j c ->
+        if !bad = None then
+          match float_of_string_opt (String.trim c) with
+          | None ->
+              bad :=
+                Some
+                  ( Some attributes.(j),
+                    Printf.sprintf "not a number: %s" (String.trim c) )
+          | Some v -> (
+              match bad_value v with
+              | Some what ->
+                  bad := Some (Some attributes.(j), what ^ " value")
+              | None -> row.(j) <- v))
+      cells;
+    match !bad with None -> Ok row | Some e -> Error e
+  end
+
+let of_csv_report ?name:(nm = "") ?(mode = Strict) path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -87,13 +128,16 @@ let of_csv ?name:(nm = "") path =
       let header =
         match In_channel.input_line ic with
         | Some line -> line
-        | None -> failwith "Dataset.of_csv: empty file"
+        | None ->
+            Rrms_guard.Guard.Error.invalid_input ~line:1
+              "Dataset.of_csv: empty file"
       in
       let attributes =
         Array.of_list (String.split_on_char ',' (String.trim header))
       in
       let m = Array.length attributes in
       let rows = ref [] in
+      let warnings = ref [] in
       let lineno = ref 1 in
       let rec read () =
         match In_channel.input_line ic with
@@ -102,31 +146,25 @@ let of_csv ?name:(nm = "") path =
             incr lineno;
             let line = String.trim line in
             if line <> "" then begin
-              let cells = String.split_on_char ',' line in
-              if List.length cells <> m then
-                failwith
-                  (Printf.sprintf "Dataset.of_csv: line %d has %d cells, expected %d"
-                     !lineno (List.length cells) m);
-              let row =
-                Array.of_list
-                  (List.map
-                     (fun c ->
-                       match float_of_string_opt (String.trim c) with
-                       | Some v -> v
-                       | None ->
-                           failwith
-                             (Printf.sprintf
-                                "Dataset.of_csv: line %d: not a number: %s"
-                                !lineno c))
-                     cells)
-              in
-              rows := row :: !rows
+              match parse_line ~attributes ~m line with
+              | Ok row -> rows := row :: !rows
+              | Error (column, reason) -> (
+                  match mode with
+                  | Strict ->
+                      Rrms_guard.Guard.Error.invalid_input ~line:!lineno
+                        ?column
+                        (Printf.sprintf "Dataset.of_csv: %s" reason)
+                  | Lenient ->
+                      warnings := { line = !lineno; column; reason } :: !warnings)
             end;
             read ()
       in
       read ();
       let nm = if nm = "" then Filename.remove_extension (Filename.basename path) else nm in
-      create ~name:nm ~attributes (Array.of_list (List.rev !rows)))
+      ( create ~name:nm ~attributes (Array.of_list (List.rev !rows)),
+        List.rev !warnings ))
+
+let of_csv ?name path = fst (of_csv_report ?name ~mode:Strict path)
 
 let pp ppf t =
   Format.fprintf ppf "%s: %d tuples x %d attributes" t.name (size t) (dim t)

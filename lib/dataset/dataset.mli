@@ -12,7 +12,9 @@ val create : ?name:string -> attributes:string array -> Rrms_geom.Vec.t array ->
 (** [create ~attributes rows] builds a dataset.  Every row must have
     length [Array.length attributes] and only finite, non-negative
     values.
-    @raise Invalid_argument otherwise, or if there are no attributes. *)
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] (with the
+    offending row and attribute) otherwise, or if there are no
+    attributes. *)
 
 val name : t -> string
 val attributes : t -> string array
@@ -55,9 +57,32 @@ val to_csv : t -> string -> unit
 (** [to_csv d path] writes a header line with attribute names and one
     comma-separated line per tuple. *)
 
+type load_mode =
+  | Strict  (** reject the file on the first malformed row *)
+  | Lenient  (** drop malformed rows and report them as warnings *)
+
+type load_warning = {
+  line : int;  (** 1-based line number in the file *)
+  column : string option;  (** offending attribute, when identifiable *)
+  reason : string;
+}
+
+val of_csv_report :
+  ?name:string -> ?mode:load_mode -> string -> t * load_warning list
+(** [of_csv_report path] reads a CSV file (header required).  A row is
+    malformed when its cell count differs from the header's, a cell is
+    not a number, or a value is NaN, ±inf or negative.  Under [Strict]
+    (the default) the first malformed row raises
+    [Guard_error (Invalid_input _)] carrying its line number and
+    attribute; under [Lenient] malformed rows are dropped and returned
+    as warnings in file order (the warning list is empty under
+    [Strict]).
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on an
+    empty file, or on any malformed row in [Strict] mode. *)
+
 val of_csv : ?name:string -> string -> t
-(** [of_csv path] reads a file written by {!to_csv} (header required).
-    @raise Failure on malformed input. *)
+(** [of_csv path] is [of_csv_report ~mode:Strict path] without the
+    (necessarily empty) warning list. *)
 
 val pp : Format.formatter -> t -> unit
 (** Short human-readable summary: name, [n], [m]. *)

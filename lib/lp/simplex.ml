@@ -6,6 +6,7 @@ type status =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Degenerate of { pivots : int }
 
 let constraint_ coeffs relation rhs = { coeffs; relation; rhs }
 
@@ -46,9 +47,16 @@ let pivot t ~row ~col =
 
 (* One simplex phase with Bland's rule.  [allowed j] restricts the
    entering columns (used to exclude artificials in phase 2).  Returns
-   [`Optimal] or [`Unbounded]. *)
-let run_phase ~eps ~allowed t =
+   [`Optimal], [`Unbounded], or — when the pivot budget runs out —
+   [`Stalled].  Bland's rule precludes cycling in exact arithmetic, but
+   the eps-tolerant ratio test can revisit bases on degenerate
+   instances, so the cap turns a potential hang into a reportable
+   numerical condition. *)
+let run_phase ~eps ~max_pivots ~allowed t =
+  let pivots = ref 0 in
   let rec loop () =
+    if !pivots > max_pivots then `Stalled !pivots
+    else begin
     (* Bland: entering variable = smallest allowed index with negative
        reduced cost. *)
     let entering = ref (-1) in
@@ -83,8 +91,10 @@ let run_phase ~eps ~allowed t =
       if !best_row < 0 then `Unbounded
       else begin
         pivot t ~row:!best_row ~col;
+        incr pivots;
         loop ()
       end
+    end
     end
   in
   loop ()
@@ -183,12 +193,19 @@ let extract_solution t nvars =
   done;
   x
 
-let maximize ?(eps = 1e-9) ~c constraints =
+let maximize ?(eps = 1e-9) ?max_pivots ~c constraints =
   let nvars = Array.length c in
   let t = build_tableau constraints nvars in
+  let max_pivots =
+    (* Bland terminates in exact arithmetic; this generous default only
+       trips on floating-point degeneracy loops. *)
+    match max_pivots with
+    | Some p -> p
+    | None -> 1_000 + (200 * (t.nrows + t.ncols))
+  in
   let has_artificials = t.ncols > t.art_start in
-  let feasible_start =
-    if not has_artificials then true
+  let phase1 =
+    if not has_artificials then `Feasible
     else begin
       (* Phase 1: maximize -(sum of artificials). *)
       let c1 = Array.make t.ncols 0. in
@@ -196,42 +213,56 @@ let maximize ?(eps = 1e-9) ~c constraints =
         c1.(j) <- -1.
       done;
       set_objective t c1;
-      (match run_phase ~eps ~allowed:(fun _ -> true) t with
-      | `Optimal -> ()
-      | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *));
-      (* obj rhs now holds -z = sum of artificials at optimum. *)
-      let infeasibility = -.t.obj.(t.ncols) in
-      if Float.abs infeasibility > eps *. 100. then false
-      else begin
-        purge_artificials ~eps t;
-        true
-      end
+      match run_phase ~eps ~max_pivots ~allowed:(fun _ -> true) t with
+      | `Unbounded ->
+          (* The phase-1 objective is bounded by 0, so an "unbounded"
+             verdict here is a numerical breakdown, not a certificate. *)
+          `Degenerate max_pivots
+      | `Stalled p -> `Degenerate p
+      | `Optimal ->
+          (* obj rhs now holds -z = sum of artificials at optimum. *)
+          let infeasibility = -.t.obj.(t.ncols) in
+          if Float.abs infeasibility > eps *. 100. then `Infeasible
+          else begin
+            purge_artificials ~eps t;
+            `Feasible
+          end
     end
   in
-  if not feasible_start then Infeasible
-  else begin
-    let c2 = Array.make t.ncols 0. in
-    Array.blit c 0 c2 0 nvars;
-    set_objective t c2;
-    let allowed j = j < t.art_start in
-    match run_phase ~eps ~allowed t with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-        let solution = extract_solution t nvars in
-        let objective =
-          Array.fold_left ( +. ) 0. (Array.mapi (fun j x -> c.(j) *. x) solution)
-        in
-        Optimal { objective; solution }
-  end
+  match phase1 with
+  | `Infeasible -> Infeasible
+  | `Degenerate pivots -> Degenerate { pivots }
+  | `Feasible -> (
+      let c2 = Array.make t.ncols 0. in
+      Array.blit c 0 c2 0 nvars;
+      set_objective t c2;
+      let allowed j = j < t.art_start in
+      match run_phase ~eps ~max_pivots ~allowed t with
+      | `Unbounded -> Unbounded
+      | `Stalled pivots -> Degenerate { pivots }
+      | `Optimal ->
+          let solution = extract_solution t nvars in
+          let objective =
+            Array.fold_left ( +. ) 0.
+              (Array.mapi (fun j x -> c.(j) *. x) solution)
+          in
+          Optimal { objective; solution })
 
-let minimize ?eps ~c constraints =
-  match maximize ?eps ~c:(Array.map (fun x -> -.x) c) constraints with
+let minimize ?eps ?max_pivots ~c constraints =
+  match maximize ?eps ?max_pivots ~c:(Array.map (fun x -> -.x) c) constraints with
   | Optimal { objective; solution } ->
       Optimal { objective = -.objective; solution }
-  | (Infeasible | Unbounded) as s -> s
+  | (Infeasible | Unbounded | Degenerate _) as s -> s
 
-let feasible ?eps nvars constraints =
-  match maximize ?eps ~c:(Array.make nvars 0.) constraints with
+let feasible ?eps ?max_pivots nvars constraints =
+  match maximize ?eps ?max_pivots ~c:(Array.make nvars 0.) constraints with
   | Optimal _ -> true
   | Infeasible -> false
-  | Unbounded -> assert false (* zero objective is never unbounded *)
+  | Unbounded ->
+      (* A zero objective is never unbounded; numerically impossible,
+         but fail open rather than abort. *)
+      true
+  | Degenerate _ ->
+      (* Phase 1 stalled: feasibility unknown.  Fail open — callers use
+         this as a pruning test, never as a correctness certificate. *)
+      true

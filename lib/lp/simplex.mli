@@ -25,20 +25,34 @@ type status =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Degenerate of { pivots : int }
+      (** the pivot budget ran out (floating-point degeneracy loop) or
+          a phase reported a numerically impossible verdict — the
+          instance is numerically pathological and the result is
+          unknown.  Never raised as an exception: callers decide how to
+          degrade (see {!Rrms_core.Regret.point_regret_lp_checked}). *)
 
 val constraint_ : float array -> relation -> float -> constraint_
 (** Convenience constructor. *)
 
-val maximize : ?eps:float -> c:float array -> constraint_ list -> status
+val maximize :
+  ?eps:float -> ?max_pivots:int -> c:float array -> constraint_ list -> status
 (** [maximize ~c constraints] solves the LP above.  All variables are
     non-negative; model a free variable as a difference of two
     non-negative ones if needed.  [eps] (default [1e-9]) is the pivot /
-    optimality tolerance.
+    optimality tolerance.  [max_pivots] (default
+    [1000 + 200·(rows + cols)]) bounds the pivots of each phase: Bland's
+    rule cannot cycle in exact arithmetic, but the eps-tolerant ratio
+    test can on degenerate instances, and exceeding the budget returns
+    {!Degenerate} instead of looping forever.
     @raise Invalid_argument on dimension mismatches. *)
 
-val minimize : ?eps:float -> c:float array -> constraint_ list -> status
+val minimize :
+  ?eps:float -> ?max_pivots:int -> c:float array -> constraint_ list -> status
 (** [minimize ~c] is [maximize ~c:(-c)] with the objective negated back. *)
 
-val feasible : ?eps:float -> int -> constraint_ list -> bool
+val feasible : ?eps:float -> ?max_pivots:int -> int -> constraint_ list -> bool
 (** [feasible nvars constraints] is [true] iff the system has a
-    non-negative solution (phase 1 only). *)
+    non-negative solution (phase 1 only).  Fails {e open}: a
+    {!Degenerate} phase 1 reports [true], so use this as a pruning
+    test, not a certificate. *)

@@ -4,6 +4,65 @@
    waiting on a countdown latch, so a pool of size [s] really applies
    [s]-way parallelism with only [s - 1] spawned domains. *)
 
+module Fault = struct
+  type mode = Raise | Stall of float
+
+  exception Injected of int
+
+  (* Worker identity: 0 is the submitting/main domain (it helps drain
+     batches and runs the serial fallback), spawned workers are
+     1 .. size-1 within their pool.  Stored domain-locally so the hook
+     knows who is executing a chunk regardless of which pool queue it
+     came from. *)
+  let worker_id : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+  let self () = Domain.DLS.get worker_id
+
+  type spec = { worker : int; mode : mode }
+
+  let current : spec option Atomic.t = Atomic.make None
+  let set ~worker mode = Atomic.set current (Some { worker; mode })
+  let clear () = Atomic.set current None
+  let active () = Atomic.get current <> None
+
+  (* "raise@W" or "stall@W:SECONDS", e.g. RRMS_FAULT=stall@1:0.001. *)
+  let parse s =
+    match String.split_on_char '@' (String.trim s) with
+    | [ "raise"; w ] ->
+        Option.map (fun w -> { worker = w; mode = Raise }) (int_of_string_opt w)
+    | [ "stall"; rest ] -> (
+        match String.split_on_char ':' rest with
+        | [ w; secs ] -> (
+            match (int_of_string_opt w, float_of_string_opt secs) with
+            | Some w, Some t when t >= 0. -> Some { worker = w; mode = Stall t }
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
+  let configure_from_env () =
+    match Sys.getenv_opt "RRMS_FAULT" with
+    | None -> ()
+    | Some s -> (
+        match parse s with
+        | Some { worker; mode } -> set ~worker mode
+        | None -> ())
+
+  (* Called on the executing domain at every chunk boundary. *)
+  let hook () =
+    match Atomic.get current with
+    | None -> ()
+    | Some { worker; mode } ->
+        if self () = worker then begin
+          match mode with
+          | Raise -> raise (Injected worker)
+          | Stall t -> if t > 0. then Unix.sleepf t
+        end
+
+  let () =
+    Printexc.register_printer (function
+      | Injected w -> Some (Printf.sprintf "Rrms_parallel.Fault.Injected(worker %d)" w)
+      | _ -> None)
+end
+
 module Pool = struct
   type t = {
     size : int;
@@ -36,7 +95,10 @@ module Pool = struct
     in
     if size > 1 then
       pool.workers <-
-        List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+        List.init (size - 1) (fun i ->
+            Domain.spawn (fun () ->
+                Domain.DLS.set Fault.worker_id (i + 1);
+                worker pool));
     pool
 
   let size t = t.size
@@ -84,7 +146,12 @@ module Pool = struct
   let run_batch pool (tasks : (unit -> unit) array) =
     let nt = Array.length tasks in
     if nt = 0 then ()
-    else if pool.size = 1 || nt = 1 then Array.iter (fun f -> f ()) tasks
+    else if pool.size = 1 || nt = 1 then
+      Array.iter
+        (fun f ->
+          Fault.hook ();
+          f ())
+        tasks
     else begin
       let b =
         {
@@ -95,7 +162,9 @@ module Pool = struct
         }
       in
       let wrap task () =
-        (try task ()
+        (try
+           Fault.hook ();
+           task ()
          with e ->
            Mutex.lock b.b_mutex;
            if b.failure = None then b.failure <- Some e;
@@ -136,10 +205,14 @@ let parallel_for ?domains ?(min_chunk = 64) n f =
   if min_chunk < 1 then invalid_arg "parallel_for: min_chunk must be >= 1";
   if n > 0 then begin
     let pool = resolve domains in
-    if Pool.size pool = 1 || n < 2 * min_chunk then
+    if Pool.size pool = 1 || n < 2 * min_chunk then begin
+      (* Serial fallback = one chunk executed by the calling domain, so
+         the fault hook still sees a chunk boundary. *)
+      Fault.hook ();
       for i = 0 to n - 1 do
         f i
       done
+    end
     else begin
       let nchunks =
         min ((n + min_chunk - 1) / min_chunk) (4 * Pool.size pool)

@@ -19,6 +19,43 @@
     concurrently on several domains and must not mutate shared state
     except through their own disjoint indices. *)
 
+module Fault : sig
+  (** Fault injection for resilience testing.  A configured fault makes
+      one chosen worker raise or stall at every chunk boundary it
+      reaches, which is how the tests prove the pool propagates worker
+      exceptions, never deadlocks, and stays healthy for later batches.
+
+      Worker identities are stable: [0] is the submitting (main)
+      domain — it runs the serial fallback and helps drain batches —
+      and spawned workers of a pool of size [s] are [1 .. s-1].  A
+      fault aimed at a worker id the current pool does not have is a
+      no-op, so e.g. [stall@1] degrades a 4-domain run and leaves a
+      serial run untouched. *)
+
+  type mode =
+    | Raise  (** raise {!Injected} at each chunk boundary *)
+    | Stall of float  (** sleep this many seconds at each chunk boundary *)
+
+  exception Injected of int
+  (** Raised by a [Raise]-faulted worker; the payload is the worker id.
+      Batch submission rethrows the {e first} failure on the caller. *)
+
+  val set : worker:int -> mode -> unit
+  (** Arm the fault (process-wide, atomic). *)
+
+  val clear : unit -> unit
+  val active : unit -> bool
+
+  val self : unit -> int
+  (** The executing domain's worker id (0 outside spawned workers). *)
+
+  val configure_from_env : unit -> unit
+  (** Parse [RRMS_FAULT] — [raise@W] or [stall@W:SECONDS] (e.g.
+      [stall@1:0.001]) — and arm it.  Malformed or absent values leave
+      injection disabled.  Called by the CLI, the test runner and the
+      bench harness at startup. *)
+end
+
 module Pool : sig
   type t
 

@@ -132,6 +132,76 @@ let test_error_reporting () =
       | Unix.WEXITED 0 -> Alcotest.fail "bad algo should fail"
       | _ -> ())
 
+let check_exit msg expected status =
+  match status with
+  | Unix.WEXITED c when c = expected -> ()
+  | Unix.WEXITED c ->
+      Alcotest.fail (Printf.sprintf "%s: exit code %d, expected %d" msg c expected)
+  | _ -> Alcotest.fail (msg ^ ": killed/stopped")
+
+let test_guard_exit_codes () =
+  with_temp_csv (fun csv ->
+      let status, _ =
+        run_capture
+          (Printf.sprintf
+             "%s generate --kind anticorrelated -n 2000 -m 3 --seed 21 -o %s"
+             cli csv)
+      in
+      check_exit_ok "generate" status;
+      (* Deadline expiry: degraded success, exit 3, with the report line
+         and a non-empty selection. *)
+      let status, out =
+        run_capture
+          (Printf.sprintf
+             "%s solve -i %s --algo hd-rrms -r 4 --gamma 5 --timeout 0" cli csv)
+      in
+      check_exit "timeout solve" 3 status;
+      Alcotest.(check bool) "degraded line" true
+        (Astring_contains.contains out "degraded:");
+      Alcotest.(check bool) "bound reported" true
+        (Astring_contains.contains out "regret_bound=");
+      Alcotest.(check bool) "non-empty selection" true
+        (Astring_contains.contains out "selected=1"
+        || Astring_contains.contains out "selected=2"
+        || Astring_contains.contains out "selected=3"
+        || Astring_contains.contains out "selected=4");
+      (* Cell-cap shrink: still exit 3, γ recorded in the report. *)
+      let status, out =
+        run_capture
+          (Printf.sprintf
+             "%s solve -i %s --algo hd-rrms -r 4 --gamma 8 --max-cells 3000"
+             cli csv)
+      in
+      check_exit "cell-cap solve" 3 status;
+      Alcotest.(check bool) "cell-cap reason" true
+        (Astring_contains.contains out "cell-cap");
+      (* Impossible cap: structured Resource_limit, exit 69. *)
+      let status, _ =
+        run_capture
+          (Printf.sprintf "%s solve -i %s --algo hd-rrms -r 4 --max-cells 10"
+             cli csv)
+      in
+      check_exit "impossible cap" 69 status)
+
+let test_strict_lenient_cli () =
+  with_temp_csv (fun csv ->
+      let oc = open_out csv in
+      output_string oc "x,y\n1,2\n3,nan\n5,6\n";
+      close_out oc;
+      (* Strict (default): Invalid_input, exit 65. *)
+      let status, _ =
+        run_capture (Printf.sprintf "%s solve -i %s --algo 2d -r 2" cli csv)
+      in
+      check_exit "strict bad row" 65 status;
+      (* Lenient: the bad row is dropped and the solve succeeds. *)
+      let status, out =
+        run_capture
+          (Printf.sprintf "%s solve -i %s --lenient --algo 2d -r 2" cli csv)
+      in
+      check_exit_ok "lenient solve" status;
+      Alcotest.(check bool) "solved on surviving rows" true
+        (Astring_contains.contains out "algo=2d"))
+
 let suite =
   [
     Alcotest.test_case "generate + skyline" `Quick test_generate_and_skyline;
@@ -140,4 +210,6 @@ let suite =
     Alcotest.test_case "solve/eval roundtrip" `Quick test_solve_and_eval_roundtrip;
     Alcotest.test_case "topk" `Quick test_topk_cli;
     Alcotest.test_case "error reporting" `Quick test_error_reporting;
+    Alcotest.test_case "guard exit codes" `Quick test_guard_exit_codes;
+    Alcotest.test_case "strict/lenient loading" `Quick test_strict_lenient_cli;
   ]

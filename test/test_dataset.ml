@@ -15,23 +15,24 @@ let test_accessors () =
   Alcotest.(check (float 0.)) "value" 4. (Dataset.value d 1 1);
   Alcotest.(check (array (float 0.))) "row" [| 5.; 0. |] (Dataset.row d 2)
 
-let test_create_validation () =
-  Alcotest.check_raises "no attributes"
-    (Invalid_argument "Dataset.create: no attributes") (fun () ->
-      ignore (Dataset.create ~attributes:[||] [||]));
-  (try
-     ignore
-       (Dataset.create ~attributes:[| "x" |] [| [| 1.; 2. |] |]);
-     Alcotest.fail "expected row-length failure"
-   with Invalid_argument _ -> ());
-  (try
-     ignore (Dataset.create ~attributes:[| "x" |] [| [| -1. |] |]);
-     Alcotest.fail "expected negative-value failure"
-   with Invalid_argument _ -> ());
+let expect_invalid_input what f =
   try
-    ignore (Dataset.create ~attributes:[| "x" |] [| [| Float.nan |] |]);
-    Alcotest.fail "expected nan failure"
-  with Invalid_argument _ -> ()
+    ignore (f ());
+    Alcotest.fail (Printf.sprintf "expected %s failure" what)
+  with
+  | Rrms_guard.Guard.Error.Guard_error
+      (Rrms_guard.Guard.Error.Invalid_input _) ->
+      ()
+
+let test_create_validation () =
+  expect_invalid_input "no-attributes" (fun () ->
+      Dataset.create ~attributes:[||] [||]);
+  expect_invalid_input "row-length" (fun () ->
+      Dataset.create ~attributes:[| "x" |] [| [| 1.; 2. |] |]);
+  expect_invalid_input "negative-value" (fun () ->
+      Dataset.create ~attributes:[| "x" |] [| [| -1. |] |]);
+  expect_invalid_input "nan" (fun () ->
+      Dataset.create ~attributes:[| "x" |] [| [| Float.nan |] |])
 
 let test_project () =
   let d = mk () in
@@ -88,10 +89,7 @@ let test_csv_malformed () =
       let oc = open_out path in
       output_string oc "x,y\n1.0\n";
       close_out oc;
-      try
-        ignore (Dataset.of_csv path);
-        Alcotest.fail "expected malformed-csv failure"
-      with Failure _ -> ())
+      expect_invalid_input "malformed-csv" (fun () -> Dataset.of_csv path))
 
 let suite =
   [

@@ -1,0 +1,368 @@
+(* Tests for the guard subsystem: structured errors, strict/lenient CSV
+   validation, budget expiry with anytime degradation, γ auto-shrink,
+   and fault injection into the domain pool. *)
+
+open Rrms_guard
+open Rrms_dataset
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let with_temp_csv contents f =
+  let path = Filename.temp_file "rrms_guard" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path contents;
+      f path)
+
+(* ------------------------- structured errors ---------------------- *)
+
+let test_error_exit_codes () =
+  let open Guard.Error in
+  Alcotest.(check int) "invalid input = 65" 65
+    (exit_code (Invalid_input { what = "x"; line = None; column = None }));
+  Alcotest.(check int) "timeout = 75" 75
+    (exit_code (Timeout { elapsed = 1.; limit = 0.5 }));
+  Alcotest.(check int) "resource limit = 69" 69
+    (exit_code (Resource_limit { what = "cells"; requested = 9; limit = 3 }));
+  Alcotest.(check int) "numerical = 70" 70
+    (exit_code (Numerical { what = "unbounded" }))
+
+let test_budget_basics () =
+  let b = Guard.Budget.create ~max_probes:2 () in
+  Alcotest.(check bool) "fresh: no stop" true (Guard.Budget.stop_reason b = None);
+  Guard.Budget.note_probe b;
+  Alcotest.(check bool) "1 probe: no stop" true
+    (Guard.Budget.stop_reason b = None);
+  Guard.Budget.note_probe b;
+  (match Guard.Budget.stop_reason b with
+  | Some (Guard.Probe_cap { probes = 2; limit = 2 }) -> ()
+  | _ -> Alcotest.fail "expected Probe_cap {2;2}");
+  let c = Guard.Budget.create ~max_cells:100 () in
+  Guard.Budget.check_cells c ~what:"cells" 100;
+  (try
+     Guard.Budget.check_cells c ~what:"cells" 101;
+     Alcotest.fail "expected Resource_limit"
+   with Guard.Error.Guard_error (Guard.Error.Resource_limit _) -> ());
+  Alcotest.(check bool) "unlimited" true
+    (Guard.Budget.is_unlimited Guard.Budget.unlimited)
+
+(* --------------------- strict / lenient loading ------------------- *)
+
+(* header + good, NaN, short-arity, junk, negative, good. *)
+let mixed_csv = "x,y\n1,2\n3,nan\n4\nfoo,1\n-1,2\n5,6\n"
+
+let test_strict_rejects_with_location () =
+  with_temp_csv mixed_csv (fun path ->
+      try
+        ignore (Dataset.of_csv path);
+        Alcotest.fail "expected Invalid_input"
+      with
+      | Guard.Error.Guard_error
+          (Guard.Error.Invalid_input { line; column; _ }) ->
+          Alcotest.(check (option int)) "line of first bad row" (Some 3) line;
+          Alcotest.(check (option string)) "offending column" (Some "y") column)
+
+let test_lenient_drops_and_reports () =
+  with_temp_csv mixed_csv (fun path ->
+      let d, warnings = Dataset.of_csv_report ~mode:Dataset.Lenient path in
+      Alcotest.(check int) "good rows kept" 2 (Dataset.size d);
+      Alcotest.(check (array (float 0.))) "first row" [| 1.; 2. |]
+        (Dataset.row d 0);
+      Alcotest.(check (array (float 0.))) "last row" [| 5.; 6. |]
+        (Dataset.row d 1);
+      Alcotest.(check (list int)) "warning lines" [ 3; 4; 5; 6 ]
+        (List.map (fun (w : Dataset.load_warning) -> w.line) warnings))
+
+let test_strict_empty_file () =
+  with_temp_csv "" (fun path ->
+      try
+        ignore (Dataset.of_csv path);
+        Alcotest.fail "expected Invalid_input on empty file"
+      with
+      | Guard.Error.Guard_error (Guard.Error.Invalid_input { line; _ }) ->
+          Alcotest.(check (option int)) "line 1" (Some 1) line)
+
+(* ----------------------- simplex degeneracy ----------------------- *)
+
+let test_simplex_pivot_cap () =
+  let open Rrms_lp in
+  (* The classic max 3x+5y LP needs several pivots; a cap of 1 must
+     surface as the Degenerate status rather than a wrong answer. *)
+  let constraints =
+    [
+      Simplex.constraint_ [| 1.; 0. |] Simplex.Le 4.;
+      Simplex.constraint_ [| 0.; 2. |] Simplex.Le 12.;
+      Simplex.constraint_ [| 3.; 2. |] Simplex.Le 18.;
+    ]
+  in
+  (match Simplex.maximize ~max_pivots:1 ~c:[| 3.; 5. |] constraints with
+  | Simplex.Degenerate { pivots } ->
+      Alcotest.(check bool) "pivot count reported" true (pivots >= 1)
+  | _ -> Alcotest.fail "expected Degenerate under a 1-pivot cap");
+  (* Without the cap the same instance solves normally. *)
+  match Simplex.maximize ~c:[| 3.; 5. |] constraints with
+  | Simplex.Optimal { objective; _ } ->
+      Alcotest.(check (float 1e-6)) "optimum" 36. objective
+  | _ -> Alcotest.fail "expected Optimal without a cap"
+
+(* --------------------- budget expiry determinism ------------------ *)
+
+let anticorrelated n m seed =
+  let rng = Rrms_rng.Rng.create seed in
+  Dataset.rows (Synthetic.anticorrelated rng ~n ~m)
+
+let check_same_result what (a : Rrms_core.Hd_rrms.result)
+    (b : Rrms_core.Hd_rrms.result) =
+  Alcotest.(check (array int))
+    (what ^ ": same selection")
+    a.Rrms_core.Hd_rrms.selected b.Rrms_core.Hd_rrms.selected;
+  Alcotest.(check (float 0.))
+    (what ^ ": same eps_min")
+    a.Rrms_core.Hd_rrms.eps_min b.Rrms_core.Hd_rrms.eps_min;
+  Alcotest.(check (float 0.))
+    (what ^ ": same discretized regret")
+    a.Rrms_core.Hd_rrms.discretized_regret
+    b.Rrms_core.Hd_rrms.discretized_regret
+
+let test_probe_cap_deterministic () =
+  let points = anticorrelated 400 3 7 in
+  let solve domains =
+    let guard = Guard.Budget.create ~max_probes:2 () in
+    Rrms_core.Hd_rrms.solve ~gamma:4 ~domains ~guard points ~r:3
+  in
+  let a = solve 1 and b = solve 1 and c = solve 4 in
+  check_same_result "run vs rerun" a b;
+  check_same_result "domains 1 vs 4" a c;
+  (match a.Rrms_core.Hd_rrms.quality with
+  | Guard.Degraded reasons
+    when List.exists
+           (function Guard.Probe_cap _ -> true | _ -> false)
+           reasons ->
+      ()
+  | q -> Alcotest.fail ("expected Probe_cap degradation, got " ^ Guard.describe q));
+  (* A 2-probe prefix of the binary search can't have converged on this
+     matrix, so the degraded answer must differ from the exact one in
+     eps — the cap really did bite. *)
+  let exact = Rrms_core.Hd_rrms.solve ~gamma:4 ~domains:1 points ~r:3 in
+  Alcotest.(check bool) "exact run is exact" true
+    (Guard.is_exact exact.Rrms_core.Hd_rrms.quality)
+
+let test_timeout_fallback_certified () =
+  let points = anticorrelated 400 3 11 in
+  let solve domains =
+    (* timeout 0: expired before the first probe — the deterministic
+       certified-fallback path. *)
+    let guard = Guard.Budget.create ~timeout:0. () in
+    Rrms_core.Hd_rrms.solve ~gamma:4 ~domains ~guard points ~r:3
+  in
+  let a = solve 1 and b = solve 1 and c = solve 4 in
+  check_same_result "run vs rerun" a b;
+  check_same_result "domains 1 vs 4" a c;
+  Alcotest.(check bool) "non-empty selection" true
+    (Array.length a.Rrms_core.Hd_rrms.selected > 0);
+  (match a.Rrms_core.Hd_rrms.quality with
+  | Guard.Degraded reasons
+    when List.exists (function Guard.Deadline _ -> true | _ -> false) reasons
+    ->
+      ()
+  | q ->
+      Alcotest.fail ("expected Deadline degradation, got " ^ Guard.describe q));
+  (* The anytime guarantee: the certified bound must dominate the true
+     regret of the returned set (independent exact LP evaluation). *)
+  let true_regret =
+    Rrms_core.Regret.exact_lp ~selected:a.Rrms_core.Hd_rrms.selected points
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "true regret %g <= certified bound %g" true_regret
+       a.Rrms_core.Hd_rrms.guarantee)
+    true
+    (true_regret <= a.Rrms_core.Hd_rrms.guarantee +. 1e-9)
+
+let test_hd_greedy_budget_truncates () =
+  let points = anticorrelated 300 3 13 in
+  let run domains =
+    let guard = Guard.Budget.create ~max_probes:2 () in
+    Rrms_core.Hd_greedy.solve ~gamma:4 ~domains ~guard points ~r:5
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check (array int)) "domains 1 vs 4" a.Rrms_core.Hd_greedy.selected
+    b.Rrms_core.Hd_greedy.selected;
+  Alcotest.(check int) "truncated to the probe cap" 2
+    (Array.length a.Rrms_core.Hd_greedy.selected);
+  Alcotest.(check bool) "degraded" false
+    (Guard.is_exact a.Rrms_core.Hd_greedy.quality)
+
+let test_greedy_budget_truncates () =
+  let points = anticorrelated 60 3 17 in
+  let guard = Guard.Budget.create ~max_probes:1 () in
+  let res = Rrms_core.Greedy.solve ~guard points ~r:4 in
+  (* Seed + one augmentation step = 2 tuples. *)
+  Alcotest.(check int) "seed + capped steps" 2
+    (Array.length res.Rrms_core.Greedy.selected);
+  Alcotest.(check bool) "degraded" false
+    (Guard.is_exact res.Rrms_core.Greedy.quality)
+
+(* -------------------------- γ auto-shrink ------------------------- *)
+
+let test_gamma_autoshrink_largest_fit () =
+  let points = anticorrelated 300 4 19 in
+  let sky = Rrms_skyline.Skyline.sfs points in
+  let s = Array.length sky in
+  let cap = s * 64 in
+  (* between (γ=3+1)^3=64 and (γ=4+1)^3=125 cells per row *)
+  let guard = Guard.Budget.create ~max_cells:cap () in
+  let res = Rrms_core.Hd_rrms.solve ~gamma:8 ~guard points ~r:4 in
+  let g = res.Rrms_core.Hd_rrms.gamma_used in
+  Alcotest.(check int) "largest fitting gamma" 3 g;
+  Alcotest.(check bool) "fits the cap" true
+    (Rrms_core.Discretize.matrix_cells ~rows:s ~gamma:g ~m:4 <= cap);
+  Alcotest.(check bool) "gamma+1 would not fit" true
+    (Rrms_core.Discretize.matrix_cells ~rows:s ~gamma:(g + 1) ~m:4 > cap);
+  (match res.Rrms_core.Hd_rrms.quality with
+  | Guard.Degraded reasons
+    when List.exists
+           (function
+             | Guard.Cell_cap { gamma_from = 8; gamma_to; _ } -> gamma_to = g
+             | _ -> false)
+           reasons ->
+      ()
+  | q -> Alcotest.fail ("expected Cell_cap degradation, got " ^ Guard.describe q));
+  (* The shrunk run still certifies: bound >= true regret. *)
+  let true_regret =
+    Rrms_core.Regret.exact_lp ~selected:res.Rrms_core.Hd_rrms.selected points
+  in
+  Alcotest.(check bool) "bound dominates true regret" true
+    (true_regret <= res.Rrms_core.Hd_rrms.guarantee +. 1e-9)
+
+let test_gamma_autoshrink_impossible () =
+  let points = anticorrelated 300 4 23 in
+  let guard = Guard.Budget.create ~max_cells:10 () in
+  try
+    ignore (Rrms_core.Hd_rrms.solve ~guard points ~r:4);
+    Alcotest.fail "expected Resource_limit"
+  with Guard.Error.Guard_error (Guard.Error.Resource_limit _) -> ()
+
+(* -------------------------- fault injection ----------------------- *)
+
+let pool_sizes = [ 1; 2; 4 ]
+
+(* Each index sleeps a little, so with >= 2 domains the spawned worker
+   is certain to pick up at least one chunk while the main domain is
+   busy — the raise fault then fires on the worker, not the caller. *)
+let slow_parallel_sum domains =
+  let n = 32 in
+  let acc = Array.make n 0 in
+  Rrms_parallel.parallel_for ~domains ~min_chunk:1 n (fun i ->
+      Unix.sleepf 0.004;
+      acc.(i) <- i);
+  Array.fold_left ( + ) 0 acc
+
+let test_fault_raise_propagates () =
+  Fun.protect
+    ~finally:(fun () -> Rrms_parallel.Fault.clear ())
+    (fun () ->
+      List.iter
+        (fun domains ->
+          Rrms_parallel.Fault.set ~worker:1 Rrms_parallel.Fault.Raise;
+          if domains = 1 then
+            (* Worker 1 does not exist in a serial run: the fault is a
+               no-op and the loop completes. *)
+            Alcotest.(check int) "serial unaffected" (31 * 32 / 2)
+              (slow_parallel_sum domains)
+          else begin
+            match slow_parallel_sum domains with
+            | _ -> Alcotest.failf "expected Injected at %d domains" domains
+            | exception Rrms_parallel.Fault.Injected 1 -> ()
+          end;
+          (* The pool must stay healthy for the next batch. *)
+          Rrms_parallel.Fault.clear ();
+          Alcotest.(check int)
+            (Printf.sprintf "pool healthy after fault (%d domains)" domains)
+            (31 * 32 / 2) (slow_parallel_sum domains))
+        pool_sizes)
+
+let test_fault_raise_on_main () =
+  Fun.protect
+    ~finally:(fun () -> Rrms_parallel.Fault.clear ())
+    (fun () ->
+      (* Worker 0 is the calling domain: the serial fallback must also
+         hit the hook. *)
+      Rrms_parallel.Fault.set ~worker:0 Rrms_parallel.Fault.Raise;
+      match Rrms_parallel.parallel_for ~domains:1 4 (fun _ -> ()) with
+      | () -> Alcotest.fail "expected Injected on the serial path"
+      | exception Rrms_parallel.Fault.Injected 0 -> ())
+
+let test_fault_stall_correct_results () =
+  Fun.protect
+    ~finally:(fun () -> Rrms_parallel.Fault.clear ())
+    (fun () ->
+      let reference = slow_parallel_sum 1 in
+      List.iter
+        (fun domains ->
+          Rrms_parallel.Fault.set ~worker:1
+            (Rrms_parallel.Fault.Stall 0.002);
+          Alcotest.(check int)
+            (Printf.sprintf "stall leaves results intact (%d domains)" domains)
+            reference (slow_parallel_sum domains);
+          (* And a full solver run under stall stays bit-identical. *)
+          let points = anticorrelated 200 3 29 in
+          let faulted =
+            Rrms_core.Hd_rrms.solve ~gamma:3 ~domains points ~r:3
+          in
+          Rrms_parallel.Fault.clear ();
+          let clean = Rrms_core.Hd_rrms.solve ~gamma:3 ~domains points ~r:3 in
+          check_same_result
+            (Printf.sprintf "stalled vs clean (%d domains)" domains)
+            faulted clean)
+        pool_sizes)
+
+let test_fault_env_parsing () =
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "RRMS_FAULT" "";
+      Rrms_parallel.Fault.clear ())
+    (fun () ->
+      Rrms_parallel.Fault.clear ();
+      Unix.putenv "RRMS_FAULT" "stall@1:0.001";
+      Rrms_parallel.Fault.configure_from_env ();
+      Alcotest.(check bool) "stall spec armed" true
+        (Rrms_parallel.Fault.active ());
+      Rrms_parallel.Fault.clear ();
+      Unix.putenv "RRMS_FAULT" "not-a-spec";
+      Rrms_parallel.Fault.configure_from_env ();
+      Alcotest.(check bool) "malformed spec ignored" false
+        (Rrms_parallel.Fault.active ()))
+
+let suite =
+  [
+    Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
+    Alcotest.test_case "budget basics" `Quick test_budget_basics;
+    Alcotest.test_case "strict CSV: line+column" `Quick
+      test_strict_rejects_with_location;
+    Alcotest.test_case "lenient CSV: drop+report" `Quick
+      test_lenient_drops_and_reports;
+    Alcotest.test_case "strict CSV: empty file" `Quick test_strict_empty_file;
+    Alcotest.test_case "simplex pivot cap" `Quick test_simplex_pivot_cap;
+    Alcotest.test_case "probe cap deterministic" `Quick
+      test_probe_cap_deterministic;
+    Alcotest.test_case "timeout fallback certified" `Quick
+      test_timeout_fallback_certified;
+    Alcotest.test_case "hd-greedy budget truncates" `Quick
+      test_hd_greedy_budget_truncates;
+    Alcotest.test_case "greedy budget truncates" `Quick
+      test_greedy_budget_truncates;
+    Alcotest.test_case "gamma auto-shrink largest fit" `Quick
+      test_gamma_autoshrink_largest_fit;
+    Alcotest.test_case "gamma auto-shrink impossible" `Quick
+      test_gamma_autoshrink_impossible;
+    Alcotest.test_case "fault: raise propagates" `Slow
+      test_fault_raise_propagates;
+    Alcotest.test_case "fault: raise on main" `Quick test_fault_raise_on_main;
+    Alcotest.test_case "fault: stall keeps results" `Slow
+      test_fault_stall_correct_results;
+    Alcotest.test_case "fault: env parsing" `Quick test_fault_env_parsing;
+  ]

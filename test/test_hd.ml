@@ -204,16 +204,22 @@ let test_greedy_skyline_restriction () =
     true
     (Float.abs (sky.Greedy.regret_lp -. full.Greedy.regret_lp) <= 0.2)
 
+let expect_invalid_input what f =
+  try
+    ignore (f ());
+    Alcotest.fail (Printf.sprintf "expected %s failure" what)
+  with
+  | Rrms_guard.Guard.Error.Guard_error
+      (Rrms_guard.Guard.Error.Invalid_input _) ->
+      ()
+
 let test_invalid_args () =
-  Alcotest.check_raises "hd_rrms r=0"
-    (Invalid_argument "Hd_rrms.solve: r must be >= 1") (fun () ->
-      ignore (Hd_rrms.solve [| [| 1.; 1. |] |] ~r:0));
-  Alcotest.check_raises "hd_greedy empty"
-    (Invalid_argument "Hd_greedy.solve: empty input") (fun () ->
-      ignore (Hd_greedy.solve [||] ~r:1));
-  Alcotest.check_raises "greedy r=0"
-    (Invalid_argument "Greedy.solve: r must be >= 1") (fun () ->
-      ignore (Greedy.solve [| [| 1. |] |] ~r:0))
+  expect_invalid_input "hd_rrms r=0" (fun () ->
+      Hd_rrms.solve [| [| 1.; 1. |] |] ~r:0);
+  expect_invalid_input "hd_greedy empty" (fun () ->
+      Hd_greedy.solve [||] ~r:1);
+  expect_invalid_input "greedy r=0" (fun () ->
+      Greedy.solve [| [| 1. |] |] ~r:0)
 
 let suite =
   [

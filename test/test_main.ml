@@ -1,7 +1,10 @@
 let () =
   (* RRMS_DOMAINS ∈ {1, 4, …} must leave every result unchanged; CI runs
-     the whole suite under both. *)
+     the whole suite under both.  RRMS_FAULT (e.g. stall@1:0.001) arms
+     pool fault injection for the entire run — CI uses the stall
+     variant, under which every test must still pass. *)
   Rrms_parallel.Pool.configure_from_env ();
+  Rrms_parallel.Fault.configure_from_env ();
   Alcotest.run "rrms"
     [
       ("rng", Test_rng.suite);
@@ -36,4 +39,5 @@ let () =
       ("examples", Test_examples.suite);
       ("properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);
+      ("guard", Test_guard.suite);
     ]

@@ -37,8 +37,8 @@ let prop_csv_roundtrip =
                (List.init (Dataset.size d) Fun.id)))
 
 let test_csv_fuzz_no_crash () =
-  (* Random junk must produce Failure (not a crash or a bogus accept of
-     non-numeric rows). *)
+  (* Random junk must produce a structured Invalid_input (not a crash
+     or a bogus accept of non-numeric rows). *)
   let rng = Rrms_rng.Rng.create 191 in
   let junk_line () =
     String.init
@@ -61,8 +61,9 @@ let test_csv_fuzz_no_crash () =
         close_out oc;
         match Dataset.of_csv path with
         | _ -> () (* junk may coincidentally parse; that's fine *)
-        | exception Failure _ -> ()
-        | exception Invalid_argument _ -> ())
+        | exception Rrms_guard.Guard.Error.Guard_error
+            (Rrms_guard.Guard.Error.Invalid_input _) ->
+            ())
   done
 
 (* --------------------- 3-variable LP cross-check ------------------ *)
@@ -166,6 +167,7 @@ let test_simplex_3var_vs_brute_force () =
     | Rrms_lp.Simplex.Infeasible ->
         if brute_force_3var c rows <> None then incr disagreements
     | Rrms_lp.Simplex.Unbounded -> ()
+    | Rrms_lp.Simplex.Degenerate _ -> ()
   done;
   Alcotest.(check int) "no disagreements with 3-var brute force" 0 !disagreements
 
