@@ -40,6 +40,9 @@ let groups : (string list * string * (Bench_util.scale -> unit)) list =
     ( [ "robustness" ],
       "anytime degradation under budgets (writes BENCH_robustness.json)",
       Fig_robustness.run );
+    ( [ "obs" ],
+      "observability overhead by level (writes BENCH_obs.json)",
+      Fig_obs.run );
   ]
 
 let () =
@@ -47,6 +50,7 @@ let () =
      not timed at an explicit domain count. *)
   Rrms_parallel.Pool.configure_from_env ();
   Rrms_parallel.Fault.configure_from_env ();
+  Rrms_obs.Obs.configure_from_env ();
   let scale = ref Bench_util.Small in
   let only : string list ref = ref [] in
   let micro = ref false in

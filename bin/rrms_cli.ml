@@ -46,6 +46,40 @@ let setup_domains = function
   | Some d when d >= 1 -> Rrms_parallel.Pool.set_default_size d
   | Some _ | None -> ()
 
+(* Observability: --metrics prints a Prometheus-style report to stderr
+   at exit, --trace FILE writes the JSON-lines span trace.  Both leave
+   stdout byte-identical to an uninstrumented run, so output diffs
+   across traced/untraced invocations stay empty (CI relies on this). *)
+module Obs = Rrms_obs.Obs
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print a Prometheus-style metrics report to stderr at exit \
+           (solver output on stdout is unchanged).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and write a JSON-lines trace to $(docv) at exit \
+           (implies full observability).")
+
+let setup_obs metrics trace =
+  (match trace with
+  | Some path ->
+      Obs.set_level Obs.Full;
+      at_exit (fun () -> Obs.write_trace path)
+  | None -> ());
+  if metrics then begin
+    if Obs.level () = Obs.Disabled then Obs.set_level Obs.Counters;
+    at_exit (fun () -> prerr_string (Obs.prometheus ()))
+  end
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
@@ -197,9 +231,10 @@ let skyline_cmd =
   let print_arg =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the skyline row indices.")
   in
-  let run verbose domains input normalize algo print =
+  let run verbose domains metrics trace input normalize algo print =
     setup_logs verbose;
     setup_domains domains;
+    setup_obs metrics trace;
     let d = load input normalize in
     let rows = Rrms_dataset.Dataset.rows d in
     let result =
@@ -224,8 +259,8 @@ let skyline_cmd =
     (Cmd.info "skyline" ~doc)
     Term.(
       ret
-        (const run $ verbose_arg $ domains_arg $ input_arg $ normalize_arg
-       $ algo_arg $ print_arg))
+        (const run $ verbose_arg $ domains_arg $ metrics_arg $ trace_arg
+       $ input_arg $ normalize_arg $ algo_arg $ print_arg))
 
 (* ------------------------------------------------------------------ *)
 (* hull                                                                *)
@@ -239,8 +274,9 @@ let hull_cmd =
             "Use the LP extreme-point test (any dimension; O(n) LPs) instead \
              of the 2D maxima hull.")
   in
-  let run verbose input normalize lp =
+  let run verbose metrics trace input normalize lp =
     setup_logs verbose;
+    setup_obs metrics trace;
     let d = load input normalize in
     let rows = Rrms_dataset.Dataset.rows d in
     if lp then begin
@@ -260,7 +296,10 @@ let hull_cmd =
   let doc = "Compute the convex (maxima) hull size of a dataset." in
   Cmd.v
     (Cmd.info "hull" ~doc)
-    Term.(ret (const run $ verbose_arg $ input_arg $ normalize_arg $ lp_arg))
+    Term.(
+      ret
+        (const run $ verbose_arg $ metrics_arg $ trace_arg $ input_arg
+       $ normalize_arg $ lp_arg))
 
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
@@ -321,10 +360,11 @@ let solve_cmd =
             "greedy seeding: first-attribute (published) | best-singleton | \
              all-seeds.")
   in
-  let run verbose domains input normalize lenient project algo r gamma budget
-      solver seed timeout max_cells =
+  let run verbose domains metrics trace input normalize lenient project algo r
+      gamma budget solver seed timeout max_cells =
     setup_logs verbose;
     setup_domains domains;
+    setup_obs metrics trace;
     try
       let d = load ?project ~lenient input normalize in
       let rows = Rrms_dataset.Dataset.rows d in
@@ -448,9 +488,10 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       ret
-        (const run $ verbose_arg $ domains_arg $ input_arg $ normalize_arg
-       $ lenient_arg $ project_arg $ algo_arg $ r_arg $ gamma_arg $ budget_arg
-       $ solver_arg $ seed_arg $ timeout_arg $ max_cells_arg))
+        (const run $ verbose_arg $ domains_arg $ metrics_arg $ trace_arg
+       $ input_arg $ normalize_arg $ lenient_arg $ project_arg $ algo_arg
+       $ r_arg $ gamma_arg $ budget_arg $ solver_arg $ seed_arg $ timeout_arg
+       $ max_cells_arg))
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -463,8 +504,9 @@ let eval_cmd =
       & info [ "rows" ] ~docv:"I,J,..."
           ~doc:"Comma-separated row indices of the compact set.")
   in
-  let run verbose input normalize lenient indices timeout =
+  let run verbose metrics trace input normalize lenient indices timeout =
     setup_logs verbose;
+    setup_obs metrics trace;
     try
       let d = load ~lenient input normalize in
       let parse s =
@@ -522,8 +564,8 @@ let eval_cmd =
     (Cmd.info "eval" ~doc)
     Term.(
       ret
-        (const run $ verbose_arg $ input_arg $ normalize_arg $ lenient_arg
-       $ indices_arg $ timeout_arg))
+        (const run $ verbose_arg $ metrics_arg $ trace_arg $ input_arg
+       $ normalize_arg $ lenient_arg $ indices_arg $ timeout_arg))
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -650,6 +692,7 @@ let main_cmd =
 let () =
   Rrms_parallel.Pool.configure_from_env ();
   Rrms_parallel.Fault.configure_from_env ();
+  Obs.configure_from_env ();
   (* [~catch:false] so structured errors keep their class exit code in
      every subcommand, not just the ones that wrap their run. *)
   match Cmd.eval ~catch:false main_cmd with

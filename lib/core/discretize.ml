@@ -1,4 +1,16 @@
 open Rrms_geom
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let grid_builds =
+    Obs.Counter.make ~help:"discretization grids materialized"
+      "rrms_grid_builds_total"
+
+  (* Paper quantity (gamma+1)^(m-1): directions in the last grid. *)
+  let grid_directions =
+    Obs.Gauge.make ~help:"directions in the last materialized grid"
+      "rrms_grid_directions"
+end
 
 let half_pi = Float.pi /. 2.
 
@@ -50,6 +62,8 @@ let fit_gamma ~rows ~max_cells ~gamma ~m =
 
 let grid ~gamma ~m =
   let total = grid_size ~gamma ~m in
+  Obs.Counter.incr Metrics.grid_builds;
+  Obs.Gauge.set_int Metrics.grid_directions total;
   let a = alpha ~gamma in
   let k = m - 1 in
   (* Odometer enumeration of all (γ+1)^(m-1) angle index tuples. *)

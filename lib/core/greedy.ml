@@ -1,4 +1,23 @@
 module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let solves =
+    Obs.Counter.make ~help:"GREEDY (LP-based) solves" "rrms_greedy_solves_total"
+
+  let runs =
+    Obs.Counter.make ~help:"greedy runs (one per seed tried)"
+      "rrms_greedy_runs_total"
+
+  let steps =
+    Obs.Counter.make ~help:"greedy selection steps across all runs"
+      "rrms_greedy_steps_total"
+
+  let lp_skips =
+    Obs.Counter.make
+      ~help:"candidate LPs skipped on structured numerical errors"
+      "rrms_greedy_lp_skips_total"
+end
 
 type seed = First_attribute | Best_singleton | All_seeds
 
@@ -15,6 +34,7 @@ type result = {
    this step — the selection stays well-defined, just blind to them.
    [stopped] latches the first budget stop across all runs. *)
 let run_from ?eps ~guard ~skips ~stopped ~candidates ~points ~r seed_idx =
+  Obs.Counter.incr Metrics.runs;
   let n = Array.length points in
   let chosen = Hashtbl.create 16 in
   Hashtbl.replace chosen seed_idx ();
@@ -28,6 +48,7 @@ let run_from ?eps ~guard ~skips ~stopped ~candidates ~points ~r seed_idx =
            raise Exit
        | None -> ());
        Guard.Budget.note_probe guard;
+       Obs.Counter.incr Metrics.steps;
        let set = Array.of_list (List.map (fun i -> points.(i)) !selected) in
        let best = ref (-1) and best_regret = ref neg_infinity in
        Array.iter
@@ -39,7 +60,9 @@ let run_from ?eps ~guard ~skips ~stopped ~candidates ~points ~r seed_idx =
                    best_regret := reg;
                    best := i
                  end
-             | Error _ -> incr skips
+             | Error _ ->
+                 incr skips;
+                 Obs.Counter.incr Metrics.lp_skips
            end)
          candidates;
        if !best >= 0 then begin
@@ -55,6 +78,8 @@ let solve ?eps ?(restrict_to_skyline = false) ?(seed = First_attribute)
   if r < 1 then Guard.Error.invalid_input "Greedy.solve: r must be >= 1";
   let n = Array.length points in
   if n = 0 then Guard.Error.invalid_input "Greedy.solve: empty input";
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "greedy.solve" @@ fun () ->
   let sky = lazy (Rrms_skyline.Skyline.sfs points) in
   let candidates =
     if restrict_to_skyline then Lazy.force sky else Array.init n Fun.id

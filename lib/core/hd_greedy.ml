@@ -1,4 +1,15 @@
 module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let solves =
+    Obs.Counter.make ~help:"HD-GREEDY solves" "rrms_hd_greedy_solves_total"
+
+  (* One step = one full argmin sweep over the skyline rows. *)
+  let steps =
+    Obs.Counter.make ~help:"greedy selection steps taken by HD-GREEDY"
+      "rrms_hd_greedy_steps_total"
+end
 
 type result = {
   selected : int array;
@@ -30,6 +41,8 @@ let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
   if r < 1 then Guard.Error.invalid_input "Hd_greedy.solve: r must be >= 1";
   if Array.length points = 0 then
     Guard.Error.invalid_input "Hd_greedy.solve: empty input";
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "hd_greedy.solve" (fun () ->
   let m = Array.length points.(0) in
   let sky = Rrms_skyline.Skyline.sfs ?domains points in
   let s = Array.length sky in
@@ -69,6 +82,7 @@ let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
          | None -> ()
        end;
        Guard.Budget.note_probe guard;
+       Obs.Counter.incr Metrics.steps;
        (* Pick the row minimizing the resulting max over columns of the
           min of current coverage and the row's cells. *)
        let _, best_row =
@@ -102,4 +116,4 @@ let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
     discretized_regret = Regret_matrix.regret_of_rows matrix rows;
     gamma_used;
     quality = (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
-  }
+  })

@@ -1,4 +1,29 @@
 module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let solves =
+    Obs.Counter.make ~help:"HD-RRMS solves" "rrms_hd_rrms_solves_total"
+
+  (* Algorithm 4 probe accounting: each binary-search step either hits
+     the threshold-index cache or pays one (incremental) MRST solve. *)
+  let probes =
+    Obs.Counter.make ~help:"binary-search probes issued by HD-RRMS"
+      "rrms_hd_rrms_probes_total"
+
+  let cache_hits =
+    Obs.Counter.make ~help:"probes answered from the threshold-index cache"
+      "rrms_hd_rrms_probe_cache_hits_total"
+
+  let cache_misses =
+    Obs.Counter.make ~help:"probes that required an MRST solve"
+      "rrms_hd_rrms_probe_cache_misses_total"
+
+  (* Paper quantity gamma: discretization actually used (post-shrink). *)
+  let gamma_used =
+    Obs.Gauge.make ~help:"gamma used by the last HD-RRMS solve"
+      "rrms_hd_rrms_gamma_used"
+end
 
 type result = {
   selected : int array;
@@ -36,8 +61,11 @@ let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
   let cache : (int, int array option) Hashtbl.t = Hashtbl.create 16 in
   let probe mid =
     match Hashtbl.find_opt cache mid with
-    | Some answer -> answer
+    | Some answer ->
+        Obs.Counter.incr Metrics.cache_hits;
+        answer
     | None ->
+        Obs.Counter.incr Metrics.cache_misses;
         let answer = Mrst.Incremental.solve ?solver ?domains inc ~eps:values.(mid) in
         Hashtbl.add cache mid answer;
         answer
@@ -55,6 +83,7 @@ let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
        | None -> ());
        Guard.Budget.note_probe guard;
        incr probes;
+       Obs.Counter.incr Metrics.probes;
        let mid = (!low + !high) / 2 in
        (match probe mid with
        | Some rows when Array.length rows <= max_size ->
@@ -110,9 +139,13 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
   if r < 1 then Guard.Error.invalid_input "Hd_rrms.solve: r must be >= 1";
   if Array.length points = 0 then
     Guard.Error.invalid_input "Hd_rrms.solve: empty input";
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "hd_rrms.solve" (fun () ->
   let m = Array.length points.(0) in
   (* Theorem 1: the optimal set lives on the skyline. *)
-  let sky = Rrms_skyline.Skyline.sfs ?domains points in
+  let sky = Obs.Span.with_ "hd_rrms.skyline" (fun () ->
+      Rrms_skyline.Skyline.sfs ?domains points)
+  in
   let s = Array.length sky in
   let gamma_used, funcs, shrink_reason =
     match funcs with
@@ -126,8 +159,12 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
         let g, reason = shrink_gamma ~guard ~rows:s ~gamma ~m in
         (g, Discretize.grid ~gamma:g ~m, reason)
   in
+  Obs.Gauge.set_int Metrics.gamma_used gamma_used;
   let sky_points = Array.map (fun i -> points.(i)) sky in
-  let matrix = Regret_matrix.build ?domains ~guard ~funcs sky_points in
+  let matrix =
+    Obs.Span.with_ "hd_rrms.matrix" (fun () ->
+        Regret_matrix.build ?domains ~guard ~funcs sky_points)
+  in
   let max_size =
     match budget with
     | Strict -> r
@@ -137,7 +174,10 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
         let h = log (float_of_int (Array.length funcs)) +. 1. in
         max r (int_of_float (ceil (float_of_int r *. h)))
   in
-  let search = search_on_matrix ?solver ?domains ~guard ~max_size matrix ~r in
+  let search =
+    Obs.Span.with_ "hd_rrms.search" (fun () ->
+        search_on_matrix ?solver ?domains ~guard ~max_size matrix ~r)
+  in
   match search.found with
   | Some (rows, eps_min) ->
       let selected = Array.map (fun i -> sky.(i)) rows in
@@ -166,4 +206,4 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
          value every row satisfies every column, so any single row is a
          cover of size 1 <= r — and the degraded fallback probes exactly
          that threshold. *)
-      assert false
+      assert false)

@@ -1,4 +1,25 @@
 open Rrms_setcover
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  (* Fresh probes rebuild every row bitset; incremental probes slide
+     the per-row prefix pointers.  Together with the hd_rrms probe
+     cache hit/miss counters these expose exactly where Algorithm 4's
+     O(log (distinct values)) probes spend their work. *)
+  let fresh_solves =
+    Obs.Counter.make ~help:"from-scratch MRST probes (full O(s*|F|) rescan)"
+      "rrms_mrst_fresh_solves_total"
+
+  let incremental_solves =
+    Obs.Counter.make ~help:"incremental MRST probes (prefix-slid bitsets)"
+      "rrms_mrst_incremental_solves_total"
+
+  let cells_crossed =
+    Obs.Counter.make
+      ~help:"matrix cells whose threshold membership changed across all \
+             incremental probes"
+      "rrms_mrst_cells_crossed_total"
+end
 
 type solver = Exact | Greedy
 
@@ -29,6 +50,7 @@ let cover_of_bitsets ?(solver = Greedy) ~universe bitsets =
   Option.map (Array.map (fun si -> fst pairs.(si))) cover
 
 let solve ?solver ?domains matrix ~eps =
+  Obs.Counter.incr Metrics.fresh_solves;
   let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
   (* Threshold every row into the bitset of columns it satisfies; rows
      are independent, so the scan fans out across the domain pool. *)
@@ -84,7 +106,8 @@ module Incremental = struct
     Rrms_parallel.parallel_for ?domains ~min_chunk:64 n (fun i ->
         let ord = t.order.(i) and vals = t.sorted.(i) and b = t.bits.(i) in
         let k = Array.length vals in
-        let p = ref t.pos.(i) in
+        let p0 = t.pos.(i) in
+        let p = ref p0 in
         while !p < k && vals.(!p) <= eps do
           Bitset.set b ord.(!p);
           incr p
@@ -93,9 +116,13 @@ module Incremental = struct
           decr p;
           Bitset.clear b ord.(!p)
         done;
-        t.pos.(i) <- !p)
+        t.pos.(i) <- !p;
+        (* One add per row, not per cell: the counter total is the sum
+           of per-row pointer moves, identical for every chunking. *)
+        Obs.Counter.add Metrics.cells_crossed (abs (!p - p0)))
 
   let solve ?solver ?domains t ~eps =
+    Obs.Counter.incr Metrics.incremental_solves;
     advance ?domains t ~eps;
     cover_of_bitsets ?solver ~universe:t.universe t.bits
 end

@@ -1,4 +1,11 @@
 open Rrms_geom
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let lp_evals =
+    Obs.Counter.make ~help:"point-regret LPs formulated and solved"
+      "rrms_regret_lp_evals_total"
+end
 
 let for_function ~points ~selected w =
   if Array.length selected = 0 then
@@ -22,6 +29,7 @@ let for_function ~points ~selected w =
 let point_regret_lp_checked ?eps ~set p =
   if Array.length set = 0 then
     Rrms_guard.Guard.Error.invalid_input "Regret.point_regret_lp: empty set";
+  Obs.Counter.incr Metrics.lp_evals;
   let m = Array.length p in
   (* Variables: w_0 .. w_{m-1}, x. *)
   let nvars = m + 1 in

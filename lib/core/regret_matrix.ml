@@ -1,4 +1,20 @@
 open Rrms_geom
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let builds =
+    Obs.Counter.make ~help:"regret matrices built" "rrms_matrix_builds_total"
+
+  (* Paper quantity s·(γ+1)^(m-1): total cells materialized. *)
+  let cells =
+    Obs.Counter.make ~help:"regret-matrix cells materialized (rows x cols)"
+      "rrms_matrix_cells_total"
+
+  let distinct =
+    Obs.Gauge.make
+      ~help:"distinct cell values of the last distinct_values scan"
+      "rrms_matrix_distinct_values"
+end
 
 type t = {
   cells : float array array; (* rows x cols *)
@@ -11,6 +27,8 @@ let build ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) ~funcs points =
     Rrms_guard.Guard.Error.invalid_input "Regret_matrix.build: no points";
   if k = 0 then
     Rrms_guard.Guard.Error.invalid_input "Regret_matrix.build: no functions";
+  Obs.Counter.incr Metrics.builds;
+  Obs.Counter.add Metrics.cells (n * k);
   (* Refuse to allocate past the budget's cell cap: the HD solvers
      shrink gamma to fit beforehand, so tripping this means a direct
      caller asked for more than the guard allows. *)
@@ -18,20 +36,21 @@ let build ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) ~funcs points =
   (* Each column's best scan is an independent O(n·m) dot-product sweep
      and each row's cell fill writes only its own row, so both loops
      parallelise with bit-identical results. *)
-  let best = Array.make k 0. in
-  Rrms_parallel.parallel_for ?domains ~min_chunk:8 k (fun f ->
-      best.(f) <- Vec.max_score funcs.(f) points);
-  let cells = Array.make n [||] in
-  Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
-      let row = Array.make k 0. in
-      let p = points.(i) in
-      for f = 0 to k - 1 do
-        if best.(f) > 0. then
-          row.(f) <-
-            Float.max 0. ((best.(f) -. Vec.dot funcs.(f) p) /. best.(f))
-      done;
-      cells.(i) <- row);
-  { cells; best }
+  Obs.Span.with_ "regret_matrix.build" (fun () ->
+      let best = Array.make k 0. in
+      Rrms_parallel.parallel_for ?domains ~min_chunk:8 k (fun f ->
+          best.(f) <- Vec.max_score funcs.(f) points);
+      let cells = Array.make n [||] in
+      Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
+          let row = Array.make k 0. in
+          let p = points.(i) in
+          for f = 0 to k - 1 do
+            if best.(f) > 0. then
+              row.(f) <-
+                Float.max 0. ((best.(f) -. Vec.dot funcs.(f) p) /. best.(f))
+          done;
+          cells.(i) <- row);
+      { cells; best })
 
 let rows t = Array.length t.cells
 let cols t = Array.length t.best
@@ -54,6 +73,7 @@ let distinct_values t =
       incr j
     end
   done;
+  Obs.Gauge.set_int Metrics.distinct !j;
   Array.sub all 0 !j
 
 let regret_of_rows t rs =

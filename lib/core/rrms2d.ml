@@ -1,4 +1,25 @@
 open Rrms_geom
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let solves =
+    Obs.Counter.make ~help:"2D-RRMS DP solves (published + exact variants)"
+      "rrms_2d_solves_total"
+
+  let edge_weight_evals =
+    Obs.Counter.make ~help:"edge-weight evaluations by the 2D DP"
+      "rrms_2d_edge_weight_evals_total"
+
+  (* Paper quantity s for the 2D pipeline. *)
+  let skyline_size =
+    Obs.Gauge.make ~help:"skyline size s of the last 2D context"
+      "rrms_2d_skyline_size"
+
+  (* Paper quantity c: maxima-hull (convex chain) size. *)
+  let hull_size =
+    Obs.Gauge.make ~help:"maxima-hull size c of the last 2D context"
+      "rrms_2d_hull_size"
+end
 
 type ctx = {
   points : Vec.t array; (* original input *)
@@ -17,6 +38,8 @@ let make_ctx points =
   let sky = Rrms_skyline.Skyline.two_d points in
   let sky_points = Array.map (fun i -> points.(i)) sky in
   let hull = Hull2d.build sky_points in
+  Obs.Gauge.set_int Metrics.skyline_size (Array.length sky);
+  Obs.Gauge.set_int Metrics.hull_size (Hull2d.size hull);
   { points; sky; sky_points; hull; hull_breaks = Hull2d.breakpoints hull }
 
 let skyline_order ctx = Array.copy ctx.sky
@@ -53,6 +76,7 @@ let boundary_weight ctx i j =
    is not inside the gap. *)
 let edge_weight ctx i j =
   ignore (check_positions ctx i j);
+  Obs.Counter.incr Metrics.edge_weight_evals;
   match boundary_weight ctx i j with
   | Some w -> w
   | None -> (
@@ -86,6 +110,7 @@ let edge_weight ctx i j =
    to floating-point ties. *)
 let edge_weight_exact ctx i j =
   ignore (check_positions ctx i j);
+  Obs.Counter.incr Metrics.edge_weight_evals;
   match boundary_weight ctx i j with
   | Some w -> w
   | None ->
@@ -207,6 +232,8 @@ let choose_full_scan ~weight ~s dp_prev i =
 
 let solve ?ctx points ~r =
   if r < 1 then invalid_arg "Rrms2d.solve: r must be >= 1";
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "rrms2d.solve" @@ fun () ->
   let ctx = match ctx with Some c -> c | None -> make_ctx points in
   let s = Array.length ctx.sky in
   let weight = edge_weight ctx in
@@ -214,6 +241,8 @@ let solve ?ctx points ~r =
 
 let solve_exact ?ctx points ~r =
   if r < 1 then invalid_arg "Rrms2d.solve_exact: r must be >= 1";
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "rrms2d.solve_exact" @@ fun () ->
   let ctx = match ctx with Some c -> c | None -> make_ctx points in
   let s = Array.length ctx.sky in
   let weight = edge_weight_exact ctx in

@@ -1,4 +1,20 @@
 open Rrms_geom
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let solves =
+    Obs.Counter.make ~help:"sweeping-line baseline solves"
+      "rrms_sweepline_solves_total"
+
+  (* The baseline's defining Θ(n²) cost: dual-intersection pair tests. *)
+  let pair_comparisons =
+    Obs.Counter.make ~help:"dual-intersection pair comparisons"
+      "rrms_sweepline_pair_comparisons_total"
+
+  let winners =
+    Obs.Gauge.make ~help:"winner intervals of the last sweep"
+      "rrms_sweepline_winners"
+end
 
 let half_pi = Float.pi /. 2.
 
@@ -8,6 +24,7 @@ let half_pi = Float.pi /. 2.
    dual intersection atan2(|dy|, |dx|). *)
 let winner_intervals points =
   let n = Array.length points in
+  Obs.Counter.add Metrics.pair_comparisons (n * (n - 1));
   let result = ref [] in
   for i = 0 to n - 1 do
     let p = points.(i) in
@@ -41,6 +58,7 @@ let winner_intervals points =
   done;
   let arr = Array.of_list !result in
   Array.sort (fun (_, lo1, _) (_, lo2, _) -> Float.compare lo1 lo2) arr;
+  Obs.Gauge.set_int Metrics.winners (Array.length arr);
   arr
 
 type result = { selected : int array; dp_value : float; regret : float }
@@ -84,6 +102,8 @@ let solve points ~r =
     (fun p ->
       if Array.length p <> 2 then invalid_arg "Sweepline.solve: dimension <> 2")
     points;
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "sweepline.solve" @@ fun () ->
   (* The O(n²) dual-arrangement pass over all tuples. *)
   let winners = winner_intervals points in
   let sky = skyline_order points in

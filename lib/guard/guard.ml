@@ -1,3 +1,23 @@
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let probes =
+    Obs.Counter.make
+      ~help:"budgeted probe boundaries crossed (MRST probes, greedy steps)"
+      "rrms_guard_probes_total"
+
+  (* Deadline stops depend on wall-clock time, so stop counts are not
+     reproducible across runs. *)
+  let stops =
+    Obs.Counter.make ~deterministic:false
+      ~help:"budget stop decisions (deadline or probe cap)"
+      "rrms_guard_stops_total"
+
+  let errors =
+    Obs.Counter.make ~deterministic:false
+      ~help:"structured guard errors raised" "rrms_guard_errors_total"
+end
+
 module Error = struct
   type t =
     | Invalid_input of {
@@ -34,15 +54,19 @@ module Error = struct
     | Resource_limit _ -> 69 (* EX_UNAVAILABLE *)
     | Numerical _ -> 70 (* EX_SOFTWARE *)
 
-  let invalid_input ?line ?column what =
-    raise (Guard_error (Invalid_input { what; line; column }))
+  let raise_error e =
+    Obs.Counter.incr Metrics.errors;
+    raise (Guard_error e)
 
-  let timeout ~elapsed ~limit = raise (Guard_error (Timeout { elapsed; limit }))
+  let invalid_input ?line ?column what =
+    raise_error (Invalid_input { what; line; column })
+
+  let timeout ~elapsed ~limit = raise_error (Timeout { elapsed; limit })
 
   let resource_limit ~what ~requested ~limit =
-    raise (Guard_error (Resource_limit { what; requested; limit }))
+    raise_error (Resource_limit { what; requested; limit })
 
-  let numerical what = raise (Guard_error (Numerical { what }))
+  let numerical what = raise_error (Numerical { what })
 
   let () =
     Printexc.register_printer (function
@@ -123,17 +147,24 @@ module Budget = struct
         let e = Unix.gettimeofday () -. t.started in
         if e >= limit then Some (Deadline { elapsed = e; limit }) else None
 
-  let note_probe t = incr t.probes
+  let note_probe t =
+    Obs.Counter.incr Metrics.probes;
+    incr t.probes
+
   let probes_used t = !(t.probes)
 
   let stop_reason t =
-    match deadline_expired t with
-    | Some _ as r -> r
-    | None -> (
-        match t.max_probes with
-        | Some limit when !(t.probes) >= limit ->
-            Some (Probe_cap { probes = !(t.probes); limit })
-        | Some _ | None -> None)
+    let r =
+      match deadline_expired t with
+      | Some _ as r -> r
+      | None -> (
+          match t.max_probes with
+          | Some limit when !(t.probes) >= limit ->
+              Some (Probe_cap { probes = !(t.probes); limit })
+          | Some _ | None -> None)
+    in
+    if r <> None then Obs.Counter.incr Metrics.stops;
+    r
 
   let check_cells t ~what cells =
     match t.max_cells with

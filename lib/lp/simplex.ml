@@ -1,3 +1,30 @@
+module Obs = Rrms_obs.Obs
+
+(* LP counters are deterministic: the caller's LP sequence is fixed by
+   the workload and every pivot choice is Bland's rule on the same
+   floats, independent of domain count (LPs never run inside the
+   pool). *)
+module Metrics = struct
+  let solves =
+    Obs.Counter.make ~help:"simplex solves (maximize/minimize/feasible)"
+      "rrms_lp_solves_total"
+
+  let pivots =
+    Obs.Counter.make ~help:"simplex pivots across both phases"
+      "rrms_lp_pivots_total"
+
+  let infeasible =
+    Obs.Counter.make ~help:"LPs reported infeasible" "rrms_lp_infeasible_total"
+
+  let unbounded =
+    Obs.Counter.make ~help:"LPs reported unbounded" "rrms_lp_unbounded_total"
+
+  let degenerate =
+    Obs.Counter.make
+      ~help:"LPs stalled at the degenerate-pivot cap and skipped"
+      "rrms_lp_degenerate_total"
+end
+
 type relation = Le | Ge | Eq
 
 type constraint_ = { coeffs : float array; relation : relation; rhs : float }
@@ -92,6 +119,7 @@ let run_phase ~eps ~max_pivots ~allowed t =
       else begin
         pivot t ~row:!best_row ~col;
         incr pivots;
+        Obs.Counter.incr Metrics.pivots;
         loop ()
       end
     end
@@ -194,6 +222,7 @@ let extract_solution t nvars =
   x
 
 let maximize ?(eps = 1e-9) ?max_pivots ~c constraints =
+  Obs.Counter.incr Metrics.solves;
   let nvars = Array.length c in
   let t = build_tableau constraints nvars in
   let max_pivots =
@@ -229,24 +258,32 @@ let maximize ?(eps = 1e-9) ?max_pivots ~c constraints =
           end
     end
   in
-  match phase1 with
-  | `Infeasible -> Infeasible
-  | `Degenerate pivots -> Degenerate { pivots }
-  | `Feasible -> (
-      let c2 = Array.make t.ncols 0. in
-      Array.blit c 0 c2 0 nvars;
-      set_objective t c2;
-      let allowed j = j < t.art_start in
-      match run_phase ~eps ~max_pivots ~allowed t with
-      | `Unbounded -> Unbounded
-      | `Stalled pivots -> Degenerate { pivots }
-      | `Optimal ->
-          let solution = extract_solution t nvars in
-          let objective =
-            Array.fold_left ( +. ) 0.
-              (Array.mapi (fun j x -> c.(j) *. x) solution)
-          in
-          Optimal { objective; solution })
+  let result =
+    match phase1 with
+    | `Infeasible -> Infeasible
+    | `Degenerate pivots -> Degenerate { pivots }
+    | `Feasible -> (
+        let c2 = Array.make t.ncols 0. in
+        Array.blit c 0 c2 0 nvars;
+        set_objective t c2;
+        let allowed j = j < t.art_start in
+        match run_phase ~eps ~max_pivots ~allowed t with
+        | `Unbounded -> Unbounded
+        | `Stalled pivots -> Degenerate { pivots }
+        | `Optimal ->
+            let solution = extract_solution t nvars in
+            let objective =
+              Array.fold_left ( +. ) 0.
+                (Array.mapi (fun j x -> c.(j) *. x) solution)
+            in
+            Optimal { objective; solution })
+  in
+  (match result with
+  | Infeasible -> Obs.Counter.incr Metrics.infeasible
+  | Unbounded -> Obs.Counter.incr Metrics.unbounded
+  | Degenerate _ -> Obs.Counter.incr Metrics.degenerate
+  | Optimal _ -> ());
+  result
 
 let minimize ?eps ?max_pivots ~c constraints =
   match maximize ?eps ?max_pivots ~c:(Array.map (fun x -> -.x) c) constraints with

@@ -1,0 +1,481 @@
+(* rrms.obs — zero-dependency metrics and tracing.
+
+   Everything in this module is built around one invariant: recording
+   must never change what a solver computes.  Instruments only ever
+   *read* solver state and *write* obs state, and the disabled fast
+   path is a single atomic load plus a branch, so leaving the
+   instrumentation compiled into every hot path costs nothing
+   measurable (bench/fig_obs.ml keeps that honest).
+
+   Thread model: counters are per-metric atomics (sums are commutative,
+   so totals are identical for every domain count); histogram timers
+   and the trace buffer take a mutex, but are only touched from
+   orchestration code or at per-chunk granularity, never per element.
+
+   A metric is [deterministic] when its final value depends only on the
+   input workload — not on wall-clock time, the domain count, or the
+   chunk layout.  test/test_obs.ml asserts exactly the deterministic
+   subset is reproducible across RRMS_DOMAINS=1/2/4. *)
+
+type level = Disabled | Counters | Full
+
+let level_cell = Atomic.make 0 (* 0 = Disabled, 1 = Counters, 2 = Full *)
+
+let int_of_level = function Disabled -> 0 | Counters -> 1 | Full -> 2
+let level_of_int = function 0 -> Disabled | 1 -> Counters | _ -> Full
+
+let level () = level_of_int (Atomic.get level_cell)
+let set_level l = Atomic.set level_cell (int_of_level l)
+let enabled () = Atomic.get level_cell > 0
+let spans_enabled () = Atomic.get level_cell > 1
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type kind = Kcounter | Kfloat_counter | Kgauge | Ktimer
+
+type meta = {
+  name : string; (* full name, including any {label="v"} suffix *)
+  help : string;
+  kind : kind;
+  deterministic : bool;
+}
+
+type cell =
+  | Int_cell of int Atomic.t
+  | Float_cell of float Atomic.t
+  | Timer_cell of timer_state
+
+and timer_state = {
+  t_mutex : Mutex.t;
+  mutable t_count : int;
+  mutable t_sum : float;
+  mutable t_max : float;
+  t_buckets : int array; (* one slot per [bucket_bounds] entry + +Inf *)
+}
+
+(* Log-spaced bounds from 10 µs to 10 s; the last implicit bucket is
+   +Inf, so every observation lands somewhere. *)
+let bucket_bounds =
+  [| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10. |]
+
+type metric = { meta : meta; cell : cell }
+
+let registry : metric list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let register meta cell =
+  let m = { meta; cell } in
+  Mutex.lock registry_mutex;
+  registry := m :: !registry;
+  Mutex.unlock registry_mutex;
+  m
+
+let metrics_sorted () =
+  Mutex.lock registry_mutex;
+  let all = !registry in
+  Mutex.unlock registry_mutex;
+  List.sort (fun a b -> compare a.meta.name b.meta.name) all
+
+let float_add cell x =
+  let rec go () =
+    let old = Atomic.get cell in
+    if not (Atomic.compare_and_set cell old (old +. x)) then go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
+
+module Counter = struct
+  type t = { c : int Atomic.t; _m : metric }
+
+  let make ?(deterministic = true) ?(help = "") name =
+    let c = Atomic.make 0 in
+    let m =
+      register
+        { name; help; kind = Kcounter; deterministic }
+        (Int_cell c)
+    in
+    { c; _m = m }
+
+  let incr t = if Atomic.get level_cell > 0 then ignore (Atomic.fetch_and_add t.c 1)
+  let add t n = if Atomic.get level_cell > 0 && n <> 0 then ignore (Atomic.fetch_and_add t.c n)
+  let value t = Atomic.get t.c
+end
+
+module Floatc = struct
+  type t = { c : float Atomic.t; _m : metric }
+
+  let make ?(deterministic = false) ?(help = "") name =
+    let c = Atomic.make 0. in
+    let m =
+      register
+        { name; help; kind = Kfloat_counter; deterministic }
+        (Float_cell c)
+    in
+    { c; _m = m }
+
+  let add t x = if Atomic.get level_cell > 0 && x <> 0. then float_add t.c x
+  let value t = Atomic.get t.c
+end
+
+module Gauge = struct
+  type t = { c : float Atomic.t; _m : metric }
+
+  let make ?(deterministic = true) ?(help = "") name =
+    let c = Atomic.make 0. in
+    let m = register { name; help; kind = Kgauge; deterministic } (Float_cell c) in
+    { c; _m = m }
+
+  let set t x = if Atomic.get level_cell > 0 then Atomic.set t.c x
+  let set_int t n = set t (float_of_int n)
+  let value t = Atomic.get t.c
+end
+
+module Timer = struct
+  type t = { s : timer_state; _m : metric }
+
+  let make ?(deterministic = false) ?(help = "") name =
+    let s =
+      {
+        t_mutex = Mutex.create ();
+        t_count = 0;
+        t_sum = 0.;
+        t_max = 0.;
+        t_buckets = Array.make (Array.length bucket_bounds + 1) 0;
+      }
+    in
+    let m = register { name; help; kind = Ktimer; deterministic } (Timer_cell s) in
+    { s; _m = m }
+
+  let observe t dur =
+    if Atomic.get level_cell > 0 then begin
+      let s = t.s in
+      Mutex.lock s.t_mutex;
+      s.t_count <- s.t_count + 1;
+      s.t_sum <- s.t_sum +. dur;
+      if dur > s.t_max then s.t_max <- dur;
+      let nb = Array.length bucket_bounds in
+      let slot = ref nb in
+      (try
+         for i = 0 to nb - 1 do
+           if dur <= bucket_bounds.(i) then begin
+             slot := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      s.t_buckets.(!slot) <- s.t_buckets.(!slot) + 1;
+      Mutex.unlock s.t_mutex
+    end
+
+  let time t f =
+    if Atomic.get level_cell = 0 then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      Fun.protect ~finally:(fun () -> observe t (Unix.gettimeofday () -. t0)) f
+    end
+
+  let count t = t.s.t_count
+  let sum t = t.s.t_sum
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans and trace                                                     *)
+
+module Trace = struct
+  type event = {
+    name : string;
+    domain : int;
+    depth : int;
+    start : float; (* seconds since process start of the span's entry *)
+    dur : float;
+    attrs : (string * string) list;
+  }
+
+  let origin = Unix.gettimeofday ()
+  let buffer : event list ref = ref []
+  let buffer_size = ref 0
+  let buffer_mutex = Mutex.create ()
+  let dropped = ref 0
+  let max_events = 200_000
+
+  let record ev =
+    Mutex.lock buffer_mutex;
+    if !buffer_size >= max_events then incr dropped
+    else begin
+      buffer := ev :: !buffer;
+      incr buffer_size
+    end;
+    Mutex.unlock buffer_mutex
+
+  let events () =
+    Mutex.lock buffer_mutex;
+    let evs = List.rev !buffer in
+    Mutex.unlock buffer_mutex;
+    evs
+
+  let count () =
+    Mutex.lock buffer_mutex;
+    let n = !buffer_size in
+    Mutex.unlock buffer_mutex;
+    n
+
+  let clear () =
+    Mutex.lock buffer_mutex;
+    buffer := [];
+    buffer_size := 0;
+    dropped := 0;
+    Mutex.unlock buffer_mutex
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let event_to_json ev =
+    let attrs =
+      match ev.attrs with
+      | [] -> ""
+      | kvs ->
+          let fields =
+            List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              kvs
+          in
+          Printf.sprintf ",\"attrs\":{%s}" (String.concat "," fields)
+    in
+    Printf.sprintf
+      "{\"type\":\"span\",\"name\":\"%s\",\"domain\":%d,\"depth\":%d,\
+       \"start\":%.6f,\"dur\":%.6f%s}"
+      (json_escape ev.name) ev.domain ev.depth ev.start ev.dur attrs
+end
+
+module Span = struct
+  (* Per-domain nesting depth; worker domains get their own stack, so a
+     span opened inside a pool chunk nests under nothing foreign. *)
+  let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+  (* Aggregate duration stats per span name, for the summary table and
+     the Prometheus histogram sink. *)
+  let timers : (string, Timer.t) Hashtbl.t = Hashtbl.create 16
+  let timers_mutex = Mutex.create ()
+
+  let timer_for name =
+    Mutex.lock timers_mutex;
+    let t =
+      match Hashtbl.find_opt timers name with
+      | Some t -> t
+      | None ->
+          let t =
+            Timer.make ~help:"span duration"
+              (Printf.sprintf "rrms_span_seconds{span=\"%s\"}" name)
+          in
+          Hashtbl.add timers name t;
+          t
+    in
+    Mutex.unlock timers_mutex;
+    t
+
+  let with_ ?(attrs = []) name f =
+    if Atomic.get level_cell < 2 then f ()
+    else begin
+      let depth = Domain.DLS.get depth_key in
+      let d = !depth in
+      depth := d + 1;
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dur = Unix.gettimeofday () -. t0 in
+          depth := d;
+          Timer.observe (timer_for name) dur;
+          Trace.record
+            {
+              Trace.name;
+              domain = (Domain.self () :> int);
+              depth = d;
+              start = t0 -. Trace.origin;
+              dur;
+              attrs;
+            })
+        f
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reset and snapshots                                                 *)
+
+let reset () =
+  List.iter
+    (fun m ->
+      match m.cell with
+      | Int_cell c -> Atomic.set c 0
+      | Float_cell c -> Atomic.set c 0.
+      | Timer_cell s ->
+          Mutex.lock s.t_mutex;
+          s.t_count <- 0;
+          s.t_sum <- 0.;
+          s.t_max <- 0.;
+          Array.fill s.t_buckets 0 (Array.length s.t_buckets) 0;
+          Mutex.unlock s.t_mutex)
+    (metrics_sorted ());
+  Trace.clear ()
+
+let metric_value m =
+  match m.cell with
+  | Int_cell c -> float_of_int (Atomic.get c)
+  | Float_cell c -> Atomic.get c
+  | Timer_cell s -> s.t_sum
+
+let snapshot () =
+  List.map (fun m -> (m.meta.name, metric_value m)) (metrics_sorted ())
+
+let deterministic_snapshot () =
+  List.filter_map
+    (fun m ->
+      if m.meta.deterministic then Some (m.meta.name, metric_value m) else None)
+    (metrics_sorted ())
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+let summary () =
+  let buf = Buffer.create 1024 in
+  let nonzero = List.filter (fun m -> metric_value m <> 0.) (metrics_sorted ()) in
+  let width =
+    List.fold_left (fun acc m -> max acc (String.length m.meta.name)) 20 nonzero
+  in
+  Buffer.add_string buf "observability summary\n";
+  List.iter
+    (fun m ->
+      match m.cell with
+      | Int_cell c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %d\n" width m.meta.name (Atomic.get c))
+      | Float_cell c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %g\n" width m.meta.name (Atomic.get c))
+      | Timer_cell s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s count=%d sum=%.6fs max=%.6fs\n" width
+               m.meta.name s.t_count s.t_sum s.t_max))
+    nonzero;
+  if nonzero = [] then Buffer.add_string buf "  (no metrics recorded)\n";
+  Buffer.contents buf
+
+(* Prometheus text exposition: HELP/TYPE use the base name (label
+   suffixes stripped); histogram timers emit _bucket/_sum/_count. *)
+let prometheus () =
+  let base name =
+    match String.index_opt name '{' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let labels name =
+    match String.index_opt name '{' with
+    | Some i -> String.sub name i (String.length name - i)
+    | None -> ""
+  in
+  let buf = Buffer.create 2048 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let b = base m.meta.name in
+      let l = labels m.meta.name in
+      if not (Hashtbl.mem seen_header b) then begin
+        Hashtbl.add seen_header b ();
+        if m.meta.help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" b m.meta.help);
+        let ty =
+          match m.meta.kind with
+          | Kcounter | Kfloat_counter -> "counter"
+          | Kgauge -> "gauge"
+          | Ktimer -> "histogram"
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" b ty)
+      end;
+      match m.cell with
+      | Int_cell c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" m.meta.name (Atomic.get c))
+      | Float_cell c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %.9g\n" m.meta.name (Atomic.get c))
+      | Timer_cell s ->
+          let strip_braces l =
+            (* "{span=\"x\"}" -> "span=\"x\"," for merging with le *)
+            if l = "" then ""
+            else String.sub l 1 (String.length l - 2) ^ ","
+          in
+          let inner = strip_braces l in
+          let acc = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              acc := !acc + s.t_buckets.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{%sle=\"%g\"} %d\n" b inner bound !acc))
+            bucket_bounds;
+          let total = !acc + s.t_buckets.(Array.length bucket_bounds) in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{%sle=\"+Inf\"} %d\n" b inner total);
+          Buffer.add_string buf (Printf.sprintf "%s_sum%s %.9f\n" b l s.t_sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" b l s.t_count))
+    (metrics_sorted ());
+  Buffer.contents buf
+
+let write_trace path =
+  let oc = open_out path in
+  List.iter
+    (fun ev ->
+      output_string oc (Trace.event_to_json ev);
+      output_char oc '\n')
+    (Trace.events ());
+  (* Final metrics snapshot so a trace file is self-contained. *)
+  List.iter
+    (fun m ->
+      let kind =
+        match m.meta.kind with
+        | Kcounter -> "counter"
+        | Kfloat_counter -> "float_counter"
+        | Kgauge -> "gauge"
+        | Ktimer -> "timer"
+      in
+      Printf.fprintf oc
+        "{\"type\":\"metric\",\"name\":\"%s\",\"kind\":\"%s\",\
+         \"deterministic\":%b,\"value\":%.9g}\n"
+        (Trace.json_escape m.meta.name)
+        kind m.meta.deterministic (metric_value m))
+    (metrics_sorted ());
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Environment configuration                                           *)
+
+(* RRMS_OBS = 0|off | 1|counters | 2|full|on   selects the level;
+   RRMS_TRACE = FILE  enables Full and writes the JSONL trace at exit. *)
+let configure_from_env () =
+  (match Sys.getenv_opt "RRMS_OBS" with
+  | None -> ()
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "off" | "" -> set_level Disabled
+      | "1" | "counters" -> set_level Counters
+      | "2" | "full" | "on" -> set_level Full
+      | _ -> ()));
+  match Sys.getenv_opt "RRMS_TRACE" with
+  | None | Some "" -> ()
+  | Some path ->
+      set_level Full;
+      at_exit (fun () -> try write_trace path with Sys_error _ -> ())

@@ -1,0 +1,122 @@
+(** rrms.obs — zero-dependency metrics and tracing for the RRMS stack.
+
+    The subsystem is off by default; a disabled instrument costs one
+    atomic load and a branch, so the hot paths keep their recording
+    calls compiled in unconditionally.  Recording never feeds back into
+    solver state: results are bit-identical with observability on or
+    off, at every domain count (test/test_obs.ml asserts this).
+
+    Levels: {!Disabled} records nothing; {!Counters} records counters,
+    gauges, float counters and timers; {!Full} additionally records
+    nestable spans into the trace buffer.
+
+    See docs/OBSERVABILITY.md for the metric catalogue (each metric is
+    mapped to the paper quantity it measures) and the trace schema. *)
+
+type level = Disabled | Counters | Full
+
+val level : unit -> level
+val set_level : level -> unit
+
+val enabled : unit -> bool
+(** [enabled ()] is true at {!Counters} or {!Full}. *)
+
+val spans_enabled : unit -> bool
+(** [spans_enabled ()] is true at {!Full} only. *)
+
+val configure_from_env : unit -> unit
+(** [RRMS_OBS] = [0]/[off], [1]/[counters], [2]/[full]/[on] selects the
+    level; [RRMS_TRACE=FILE] forces {!Full} and registers an [at_exit]
+    hook writing the JSON-lines trace to [FILE]. *)
+
+(** Monotonic integer counters.  [deterministic] (default [true])
+    declares that the final value depends only on the workload — not on
+    wall-clock time, domain count, or chunk layout; the differential
+    test harness compares exactly the deterministic subset across
+    domain counts. *)
+module Counter : sig
+  type t
+
+  val make : ?deterministic:bool -> ?help:string -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+(** Monotonic float counters (e.g. busy seconds); [deterministic]
+    defaults to [false]. *)
+module Floatc : sig
+  type t
+
+  val make : ?deterministic:bool -> ?help:string -> string -> t
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+(** Last-write-wins gauges for sizes and parameters (skyline size, hull
+    size, grid cells, γ). *)
+module Gauge : sig
+  type t
+
+  val make : ?deterministic:bool -> ?help:string -> string -> t
+  val set : t -> float -> unit
+  val set_int : t -> int -> unit
+  val value : t -> float
+end
+
+(** Histogram timers: log-spaced duration buckets plus count/sum/max. *)
+module Timer : sig
+  type t
+
+  val make : ?deterministic:bool -> ?help:string -> string -> t
+  val observe : t -> float -> unit
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, observing its wall-clock duration when enabled. *)
+
+  val count : t -> int
+  val sum : t -> float
+end
+
+(** Nestable spans.  Recorded only at {!Full}; each span lands in the
+    trace buffer with its per-domain nesting depth and feeds an
+    aggregated [rrms_span_seconds{span="name"}] histogram. *)
+module Span : sig
+  val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+end
+
+val reset : unit -> unit
+(** Zero every registered metric and clear the trace buffer. *)
+
+val snapshot : unit -> (string * float) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val deterministic_snapshot : unit -> (string * float) list
+(** The subset of {!snapshot} declared deterministic. *)
+
+val summary : unit -> string
+(** Human-readable table of every non-zero metric. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition of the whole registry. *)
+
+val write_trace : string -> unit
+(** Write the trace buffer as JSON-lines ([{"type":"span",...}] events
+    followed by a [{"type":"metric",...}] snapshot of the registry). *)
+
+(** Raw access to the span trace buffer, for tests and custom sinks. *)
+module Trace : sig
+  type event = {
+    name : string;
+    domain : int;
+    depth : int;
+    start : float; (* seconds since process start *)
+    dur : float;
+    attrs : (string * string) list;
+  }
+
+  val events : unit -> event list
+  val count : unit -> int
+  val clear : unit -> unit
+  val event_to_json : event -> string
+end

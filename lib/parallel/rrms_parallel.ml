@@ -4,6 +4,38 @@
    waiting on a countdown latch, so a pool of size [s] really applies
    [s]-way parallelism with only [s - 1] spawned domains. *)
 
+module Obs = Rrms_obs.Obs
+
+(* Pool shape metrics are declared non-deterministic: the chunk layout
+   (and hence every count below) legitimately depends on the pool size,
+   unlike the algorithmic counters in lib/core. *)
+module Metrics = struct
+  let batches =
+    Obs.Counter.make ~deterministic:false
+      ~help:"parallel batches submitted to the domain pool"
+      "rrms_pool_batches_total"
+
+  let chunks =
+    Obs.Counter.make ~deterministic:false
+      ~help:"chunks executed across all batches" "rrms_pool_chunks_total"
+
+  let serial =
+    Obs.Counter.make ~deterministic:false
+      ~help:"parallel_for calls taking the serial fallback"
+      "rrms_pool_serial_loops_total"
+
+  (* Per-worker busy time, indexed by the pool-local worker id (0 is
+     the submitting/main domain); ids past the table fold into the last
+     slot so a huge pool cannot overflow it. *)
+  let max_workers = 16
+
+  let busy =
+    Array.init max_workers (fun w ->
+        Obs.Floatc.make
+          ~help:"wall-clock seconds spent executing chunks, per worker"
+          (Printf.sprintf "rrms_pool_busy_seconds_total{worker=\"%d\"}" w))
+end
+
 module Fault = struct
   type mode = Raise | Stall of float
 
@@ -143,14 +175,30 @@ module Pool = struct
     mutable failure : exn option;
   }
 
+  (* Execute one chunk, attributing its wall-clock time to the worker
+     actually running it (the submitting domain helps drain, so worker
+     0 accrues busy time too). *)
+  let timed_exec task =
+    if Obs.enabled () then begin
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let w = min (Fault.self ()) (Metrics.max_workers - 1) in
+          Obs.Floatc.add Metrics.busy.(w) (Unix.gettimeofday () -. t0))
+        task
+    end
+    else task ()
+
   let run_batch pool (tasks : (unit -> unit) array) =
     let nt = Array.length tasks in
+    Obs.Counter.incr Metrics.batches;
+    Obs.Counter.add Metrics.chunks nt;
     if nt = 0 then ()
     else if pool.size = 1 || nt = 1 then
       Array.iter
         (fun f ->
           Fault.hook ();
-          f ())
+          timed_exec f)
         tasks
     else begin
       let b =
@@ -164,7 +212,7 @@ module Pool = struct
       let wrap task () =
         (try
            Fault.hook ();
-           task ()
+           timed_exec task
          with e ->
            Mutex.lock b.b_mutex;
            if b.failure = None then b.failure <- Some e;
@@ -208,10 +256,12 @@ let parallel_for ?domains ?(min_chunk = 64) n f =
     if Pool.size pool = 1 || n < 2 * min_chunk then begin
       (* Serial fallback = one chunk executed by the calling domain, so
          the fault hook still sees a chunk boundary. *)
+      Obs.Counter.incr Metrics.serial;
       Fault.hook ();
-      for i = 0 to n - 1 do
-        f i
-      done
+      Pool.timed_exec (fun () ->
+          for i = 0 to n - 1 do
+            f i
+          done)
     end
     else begin
       let nchunks =

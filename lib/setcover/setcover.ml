@@ -1,3 +1,21 @@
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let greedy_calls =
+    Obs.Counter.make ~help:"greedy set-cover invocations"
+      "rrms_setcover_greedy_calls_total"
+
+  let greedy_iterations =
+    Obs.Counter.make
+      ~help:"greedy set-cover selection rounds (Chvatal iterations)"
+      "rrms_setcover_greedy_iterations_total"
+
+  let exact_branches =
+    Obs.Counter.make
+      ~help:"branch-and-bound nodes explored by the exact cover solver"
+      "rrms_setcover_exact_branches_total"
+end
+
 type instance = { universe : int; sets : Bitset.t array }
 
 let make_instance ~universe sets =
@@ -16,6 +34,7 @@ let union_all t =
 let coverable t = Bitset.count (union_all t) = t.universe
 
 let greedy t =
+  Obs.Counter.incr Metrics.greedy_calls;
   let covered = Bitset.create t.universe in
   let chosen = ref [] in
   let remaining = ref t.universe in
@@ -26,6 +45,7 @@ let greedy t =
      popcount (gain = |s| − |s ∩ covered|) instead of a per-bit loop. *)
   let counts = Array.map Bitset.count t.sets in
   while !remaining > 0 && !progress do
+    Obs.Counter.incr Metrics.greedy_iterations;
     let best = ref (-1) and best_gain = ref 0 in
     Array.iteri
       (fun i s ->
@@ -75,6 +95,7 @@ let exact ?(max_sets = max_int) t =
       else Some i
     in
     let rec branch covered chosen depth =
+      Obs.Counter.incr Metrics.exact_branches;
       match first_uncovered covered 0 with
       | None -> if depth < best_size () then best := Some chosen
       | Some item ->

@@ -31,8 +31,26 @@ let bnl points =
    dominance within the block in sorted order.  A tuple is kept iff it
    is undominated by every tuple preceding it, exactly as in the serial
    scan, so the output is identical for every domain count. *)
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let runs =
+    Obs.Counter.make ~help:"SFS skyline computations" "rrms_skyline_runs_total"
+
+  let input_points =
+    Obs.Counter.make ~help:"tuples fed to SFS skyline computations"
+      "rrms_skyline_input_points_total"
+
+  (* Paper quantity s: the skyline size of the most recent computation. *)
+  let size =
+    Obs.Gauge.make ~help:"skyline size s of the last SFS run"
+      "rrms_skyline_size"
+end
+
 let sfs ?domains points =
   let n = Array.length points in
+  Obs.Counter.incr Metrics.runs;
+  Obs.Counter.add Metrics.input_points n;
   let sum p = Array.fold_left ( +. ) 0. p in
   let idx = Array.init n (fun i -> i) in
   let sums = Array.map sum points in
@@ -78,6 +96,7 @@ let sfs ?domains points =
     done;
     lo := hi
   done;
+  Obs.Gauge.set_int Metrics.size !nkept;
   Array.sub kept 0 !nkept
 
 let two_d points =

@@ -5,6 +5,9 @@ let () =
      variant, under which every test must still pass. *)
   Rrms_parallel.Pool.configure_from_env ();
   Rrms_parallel.Fault.configure_from_env ();
+  (* RRMS_OBS=full must also leave every result unchanged; CI runs the
+     suite with observability fully on. *)
+  Rrms_obs.Obs.configure_from_env ();
   Alcotest.run "rrms"
     [
       ("rng", Test_rng.suite);
@@ -40,4 +43,6 @@ let () =
       ("properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);
       ("guard", Test_guard.suite);
+      ("obs", Test_obs.suite);
+      ("oracle", Test_oracle.suite);
     ]

@@ -108,6 +108,65 @@ let test_mrst_always_satisfiable_on_built_matrix () =
   | Some rows -> Alcotest.(check int) "single row covers" 1 (Array.length rows)
   | None -> Alcotest.fail "single-row matrix is satisfiable at eps=0"
 
+(* Regression: an incremental probe after any threshold change — up,
+   down, repeated, or to an exact cell value — must equal Mrst.solve
+   from scratch at the same threshold.  (The prefix pointers slide both
+   ways; a stale bit after a downward move once produced covers smaller
+   than the from-scratch answer.) *)
+let test_incremental_matches_scratch_after_threshold_changes () =
+  let rng = Rrms_rng.Rng.create 2024 in
+  for _ = 1 to 10 do
+    let n = 4 + Rrms_rng.Rng.int rng 16 in
+    let pts =
+      Array.init n (fun _ -> Array.init 3 (fun _ -> Rrms_rng.Rng.float rng 1.))
+    in
+    let fs = Discretize.grid ~gamma:3 ~m:3 in
+    let m = Regret_matrix.build ~funcs:fs pts in
+    let inc = Mrst.Incremental.create m in
+    let values = Regret_matrix.distinct_values m in
+    let nv = Array.length values in
+    (* A deliberately oscillating probe schedule: up to the top, down to
+       the bottom, then binary-search-like jumps, plus exact cell values
+       (threshold equality is the edgiest comparison in [advance]). *)
+    let schedule =
+      [
+        values.(nv - 1);
+        values.(0);
+        values.(nv / 2);
+        values.(nv / 4);
+        values.((3 * nv) / 4);
+        values.(nv / 2);
+        0.05;
+        0.9;
+        0.05;
+        values.(0);
+      ]
+    in
+    List.iter
+      (fun eps ->
+        let fresh = Mrst.solve ~solver:Mrst.Exact m ~eps in
+        let incr = Mrst.Incremental.solve ~solver:Mrst.Exact inc ~eps in
+        match (fresh, incr) with
+        | None, None -> ()
+        | Some f, Some i ->
+            (* Exact covers of the same instance: identical size, and
+               both must satisfy the threshold. *)
+            Alcotest.(check int)
+              (Printf.sprintf "cover size equal at eps=%g" eps)
+              (Array.length f) (Array.length i);
+            Alcotest.(check bool)
+              (Printf.sprintf "incremental cover satisfies eps=%g" eps)
+              true
+              (Regret_matrix.regret_of_rows m i <= eps +. 1e-12)
+        | Some _, None | None, Some _ ->
+            Alcotest.fail
+              (Printf.sprintf
+                 "incremental and from-scratch disagree on satisfiability \
+                  at eps=%g"
+                 eps))
+      schedule
+  done
+
 let expect_invalid_input what f =
   try
     ignore (f ());
@@ -133,5 +192,7 @@ let suite =
     Alcotest.test_case "mrst greedy vs exact" `Quick test_mrst_greedy_vs_exact_random;
     Alcotest.test_case "mrst satisfiable on built matrix" `Quick
       test_mrst_always_satisfiable_on_built_matrix;
+    Alcotest.test_case "incremental = from-scratch after threshold changes"
+      `Quick test_incremental_matches_scratch_after_threshold_changes;
     Alcotest.test_case "build invalid" `Quick test_build_invalid;
   ]

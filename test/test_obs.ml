@@ -1,0 +1,252 @@
+(* Observability invariants (the tentpole's correctness contract):
+
+   1. a Disabled registry records nothing — counters, gauges, timers and
+      the trace buffer all stay empty through a real solve;
+   2. the deterministic metric subset is identical across domain counts
+      1 / 2 / 4 for the same workload;
+   3. span (name, depth) sequences are identical across domain counts;
+   4. solver outputs are bit-identical (Int64.bits_of_float) with
+      observability Disabled vs Full. *)
+
+open Rrms_core
+module Obs = Rrms_obs.Obs
+
+(* Every obs test mutates the global level; run the body with a chosen
+   level and always restore Disabled + a clean registry afterwards so
+   the rest of the suite is unaffected. *)
+let with_level level f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Disabled;
+      Obs.reset ())
+    (fun () ->
+      Obs.set_level level;
+      Obs.reset ();
+      f ())
+
+let dataset seed ~n ~m =
+  let rng = Rrms_rng.Rng.create seed in
+  Array.init n (fun _ -> Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.))
+
+(* A workload touching every instrumented layer: skyline, grid, matrix,
+   MRST (incremental + fresh), set cover, LP, guard probes. *)
+let workload ?domains () =
+  let points = dataset 7 ~n:300 ~m:3 in
+  let hd = Hd_rrms.solve ~gamma:3 ?domains points ~r:4 in
+  let hg = Hd_greedy.solve ~gamma:3 ?domains points ~r:4 in
+  let g = Greedy.solve points ~r:3 in
+  (hd, hg, g)
+
+(* ------------------------------------------------------------------ *)
+
+let test_counter_primitives () =
+  with_level Obs.Counters (fun () ->
+      let c = Obs.Counter.make "rrms_test_counter_total" in
+      Obs.Counter.incr c;
+      Obs.Counter.add c 41;
+      Alcotest.(check int) "counter accumulates" 42 (Obs.Counter.value c);
+      let g = Obs.Gauge.make "rrms_test_gauge" in
+      Obs.Gauge.set_int g 7;
+      Obs.Gauge.set g 3.5;
+      Alcotest.(check (float 0.)) "gauge last-write-wins" 3.5 (Obs.Gauge.value g);
+      let f = Obs.Floatc.make "rrms_test_float_total" in
+      Obs.Floatc.add f 0.25;
+      Obs.Floatc.add f 0.25;
+      Alcotest.(check (float 1e-12)) "float counter sums" 0.5 (Obs.Floatc.value f);
+      let t = Obs.Timer.make "rrms_test_seconds" in
+      Obs.Timer.observe t 0.003;
+      let v = Obs.Timer.time t (fun () -> 42) in
+      Alcotest.(check int) "Timer.time returns the value" 42 v;
+      Alcotest.(check int) "timer observed both" 2 (Obs.Timer.count t);
+      Obs.reset ();
+      Alcotest.(check int) "reset zeroes counters" 0 (Obs.Counter.value c);
+      Alcotest.(check int) "reset zeroes timers" 0 (Obs.Timer.count t))
+
+let test_disabled_records_nothing () =
+  with_level Obs.Disabled (fun () ->
+      let c = Obs.Counter.make "rrms_test_disabled_total" in
+      Obs.Counter.incr c;
+      Obs.Counter.add c 10;
+      Alcotest.(check int) "disabled counter stays 0" 0 (Obs.Counter.value c);
+      ignore (workload ());
+      List.iter
+        (fun (name, v) ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "disabled metric %s stays 0" name)
+            0. v)
+        (Obs.snapshot ());
+      Alcotest.(check int) "disabled trace stays empty" 0 (Obs.Trace.count ()))
+
+let test_deterministic_across_domains () =
+  let snapshot_at domains =
+    with_level Obs.Counters (fun () ->
+        ignore (workload ~domains ());
+        Obs.deterministic_snapshot ())
+  in
+  let base = snapshot_at 1 in
+  Alcotest.(check bool)
+    "deterministic snapshot is non-trivial" true
+    (List.exists (fun (_, v) -> v > 0.) base);
+  List.iter
+    (fun domains ->
+      let other = snapshot_at domains in
+      Alcotest.(check int)
+        "same metric count" (List.length base) (List.length other);
+      List.iter2
+        (fun (n1, v1) (n2, v2) ->
+          Alcotest.(check string) "same metric name" n1 n2;
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s identical at %d domains" n1 domains)
+            v1 v2)
+        base other)
+    [ 2; 4 ]
+
+let test_spans_deterministic_across_domains () =
+  let spans_at domains =
+    with_level Obs.Full (fun () ->
+        ignore (workload ~domains ());
+        List.map
+          (fun (e : Obs.Trace.event) -> (e.name, e.depth))
+          (Obs.Trace.events ()))
+  in
+  let base = spans_at 1 in
+  Alcotest.(check bool) "spans recorded" true (base <> []);
+  List.iter
+    (fun domains ->
+      let other = spans_at domains in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "span (name, depth) sequence identical at %d domains"
+           domains)
+        base other)
+    [ 2; 4 ]
+
+(* Bit-identity: run each solver with obs Disabled, then again at Full
+   with tracing live, and compare every output float bit for bit. *)
+let test_results_bit_identical () =
+  let bits = Int64.bits_of_float in
+  let run () =
+    let points = dataset 11 ~n:250 ~m:2 in
+    let r2 = Rrms2d.solve_exact points ~r:3 in
+    let sw = Sweepline.solve points ~r:3 in
+    let hd_pts = dataset 13 ~n:250 ~m:3 in
+    let hd = Hd_rrms.solve ~gamma:3 hd_pts ~r:4 in
+    let hg = Hd_greedy.solve ~gamma:3 hd_pts ~r:4 in
+    let g = Greedy.solve hd_pts ~r:3 in
+    ( (r2.Rrms2d.selected, bits r2.Rrms2d.dp_value, bits r2.Rrms2d.regret),
+      (sw.Sweepline.selected, bits sw.Sweepline.dp_value, bits sw.Sweepline.regret),
+      ( hd.Hd_rrms.selected,
+        bits hd.Hd_rrms.eps_min,
+        bits hd.Hd_rrms.guarantee,
+        bits hd.Hd_rrms.discretized_regret ),
+      (hg.Hd_greedy.selected, bits hg.Hd_greedy.discretized_regret),
+      (g.Greedy.selected, bits g.Greedy.regret_lp) )
+  in
+  let off = with_level Obs.Disabled run in
+  let on = with_level Obs.Full run in
+  let (r2o, swo, hdo, hgo, go) = off and (r2n, swn, hdn, hgn, gn) = on in
+  let check_sel msg a b = Alcotest.(check (array int)) msg a b in
+  let check_bits msg a b = Alcotest.(check int64) msg a b in
+  let (s1, d1, e1) = r2o and (s2, d2, e2) = r2n in
+  check_sel "2d selected" s1 s2;
+  check_bits "2d dp bits" d1 d2;
+  check_bits "2d regret bits" e1 e2;
+  let (s1, d1, e1) = swo and (s2, d2, e2) = swn in
+  check_sel "sweepline selected" s1 s2;
+  check_bits "sweepline dp bits" d1 d2;
+  check_bits "sweepline regret bits" e1 e2;
+  let (s1, a1, b1, c1) = hdo and (s2, a2, b2, c2) = hdn in
+  check_sel "hd-rrms selected" s1 s2;
+  check_bits "hd-rrms eps bits" a1 a2;
+  check_bits "hd-rrms guarantee bits" b1 b2;
+  check_bits "hd-rrms grid-regret bits" c1 c2;
+  let (s1, a1) = hgo and (s2, a2) = hgn in
+  check_sel "hd-greedy selected" s1 s2;
+  check_bits "hd-greedy grid-regret bits" a1 a2;
+  let (s1, a1) = go and (s2, a2) = gn in
+  check_sel "greedy selected" s1 s2;
+  check_bits "greedy regret bits" a1 a2
+
+let test_sinks () =
+  with_level Obs.Full (fun () ->
+      ignore (workload ());
+      let prom = Obs.prometheus () in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "prometheus exposes %s" name)
+            true (contains prom name))
+        [
+          "rrms_skyline_size";
+          "rrms_matrix_cells_total";
+          "rrms_mrst_incremental_solves_total";
+          "rrms_hd_rrms_probes_total";
+          "rrms_lp_pivots_total";
+          "rrms_setcover_greedy_iterations_total";
+          "rrms_span_seconds_bucket";
+          "# TYPE rrms_span_seconds histogram";
+        ];
+      let sum = Obs.summary () in
+      Alcotest.(check bool) "summary mentions probes" true
+        (contains sum "rrms_hd_rrms_probes_total");
+      let path = Filename.temp_file "rrms_obs" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Obs.write_trace path;
+          let ic = open_in path in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          let lines = List.rev !lines in
+          Alcotest.(check bool) "trace file non-empty" true (lines <> []);
+          List.iter
+            (fun l ->
+              Alcotest.(check bool) "every trace line is a JSON object" true
+                (String.length l > 2 && l.[0] = '{'
+                && l.[String.length l - 1] = '}'))
+            lines;
+          Alcotest.(check bool) "trace has span events" true
+            (List.exists (fun l -> contains l "\"type\":\"span\"") lines);
+          Alcotest.(check bool) "trace ends with a metric snapshot" true
+            (List.exists (fun l -> contains l "\"type\":\"metric\"") lines)))
+
+let test_probe_cache_counters () =
+  (* Two probes at the same threshold index: the second must be a cache
+     hit, with exactly one MRST solve issued. *)
+  with_level Obs.Counters (fun () ->
+      let points = dataset 17 ~n:120 ~m:3 in
+      ignore (Hd_rrms.solve ~gamma:3 points ~r:3);
+      let misses =
+        List.assoc "rrms_hd_rrms_probe_cache_misses_total"
+          (Obs.deterministic_snapshot ())
+      in
+      let incremental =
+        List.assoc "rrms_mrst_incremental_solves_total"
+          (Obs.deterministic_snapshot ())
+      in
+      Alcotest.(check (float 0.))
+        "every cache miss is one incremental MRST solve" misses incremental)
+
+let suite =
+  [
+    Alcotest.test_case "instrument primitives" `Quick test_counter_primitives;
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "deterministic across domains" `Quick
+      test_deterministic_across_domains;
+    Alcotest.test_case "spans deterministic across domains" `Quick
+      test_spans_deterministic_across_domains;
+    Alcotest.test_case "results bit-identical on/off" `Quick
+      test_results_bit_identical;
+    Alcotest.test_case "sinks (prometheus, summary, trace)" `Quick test_sinks;
+    Alcotest.test_case "probe cache counters consistent" `Quick
+      test_probe_cache_counters;
+  ]
