@@ -43,6 +43,9 @@ let groups : (string list * string * (Bench_util.scale -> unit)) list =
     ( [ "obs" ],
       "observability overhead by level (writes BENCH_obs.json)",
       Fig_obs.run );
+    ( [ "serve" ],
+      "serving-layer artifact reuse (writes BENCH_serve.json)",
+      Fig_serve.run );
   ]
 
 let () =

@@ -1,0 +1,148 @@
+(* rrms-serve: the long-lived RRMS query service (docs/SERVING.md).
+
+   One process, one artifact store: datasets, skylines, hulls, direction
+   grids and regret matrices are computed once and shared by every
+   session; Exact answers land in a result cache keyed by
+   (dataset, algo, r, γ).  Three modes:
+
+     --socket PATH    daemon on a Unix-domain socket, one thread per
+                      connection (the service mode)
+     --stdio          one session over stdin/stdout (scripting, tests)
+     --connect PATH   thin client: relay stdin lines to a running
+                      daemon and print its responses (CI smoke jobs
+                      need no netcat) *)
+
+open Cmdliner
+module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+module Store = Rrms_serve.Store
+module Server = Rrms_serve.Server
+
+let guard_error e =
+  Printf.eprintf "rrms-serve: error: %s\n%!" (Guard.Error.to_string e);
+  exit (Guard.Error.exit_code e)
+
+let client path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "rrms-serve: cannot connect to %s: %s\n%!" path
+        (Unix.error_message err);
+      exit 69);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | exception End_of_file ->
+            Printf.eprintf "rrms-serve: server closed the connection\n%!";
+            exit 1
+        | response ->
+            print_endline response;
+            loop ())
+  in
+  loop ();
+  close_out_noerr oc
+
+let run stdio connect socket domains max_inflight max_queue obs =
+  Rrms_parallel.Pool.configure_from_env ();
+  Rrms_parallel.Fault.configure_from_env ();
+  (* A resident service records by default: RRMS_OBS / RRMS_TRACE win
+     when set, then --obs, then Counters. *)
+  (match (Sys.getenv_opt "RRMS_OBS", Sys.getenv_opt "RRMS_TRACE") with
+  | None, None -> (
+      Obs.set_level
+        (match obs with
+        | "off" -> Obs.Disabled
+        | "full" -> Obs.Full
+        | _ -> Obs.Counters))
+  | _ -> Obs.configure_from_env ());
+  (match domains with
+  | Some d when d >= 1 -> Rrms_parallel.Pool.set_default_size d
+  | Some _ | None -> ());
+  try
+    match (connect, stdio, socket) with
+    | Some path, _, _ -> `Ok (client path)
+    | None, true, _ ->
+        let store = Store.create ~max_inflight ~max_queue () in
+        ignore (Server.serve_stdio store);
+        `Ok ()
+    | None, false, Some path ->
+        let store = Store.create ~max_inflight ~max_queue () in
+        let srv = Server.start store ~socket:path in
+        Printf.eprintf "rrms-serve: listening on %s\n%!" path;
+        Server.wait srv;
+        `Ok ()
+    | None, false, None ->
+        `Error (true, "one of --socket PATH, --stdio or --connect PATH is required")
+  with Guard.Error.Guard_error e -> guard_error e
+
+let cmd =
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ] ~doc:"Serve one session over stdin/stdout.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:"Act as a client of the daemon at $(docv), relaying stdin.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on the Unix-domain socket $(docv).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for the parallel kernels (default: \
+             $(b,RRMS_DOMAINS) or 1).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Concurrent solves admitted before queueing.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Solves queued beyond the in-flight cap before requests are \
+             shed with an $(i,overloaded) error.")
+  in
+  let obs =
+    Arg.(
+      value
+      & opt (enum [ ("off", "off"); ("counters", "counters"); ("full", "full") ])
+          "counters"
+      & info [ "obs" ] ~docv:"LEVEL"
+          ~doc:
+            "Observability level when $(b,RRMS_OBS) is unset (off | \
+             counters | full).")
+  in
+  let doc = "long-lived RRMS query service over line-delimited JSON" in
+  Cmd.v
+    (Cmd.info "rrms-serve" ~doc)
+    Term.(
+      ret
+        (const run $ stdio $ connect $ socket $ domains $ max_inflight
+       $ max_queue $ obs))
+
+let () = exit (Cmd.eval cmd)

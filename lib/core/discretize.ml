@@ -89,6 +89,67 @@ let grid ~gamma ~m =
       done;
       Polar.to_cartesian angles)
 
+(* A γ'-grid is a sub-grid of a γ-grid when γ' | γ: angle j·π/(2γ')
+   equals (j·c)·π/(2γ) for c = γ/γ' in the reals.  Floating point only
+   honours that identity for some ratios (powers of two always do), so
+   the index mapping is accepted only after verifying that every
+   sub-grid angle is {e bit-identical} to the big grid's — which makes
+   reuse of a cached regret matrix exact, never approximate. *)
+let subgrid_indices ~gamma_sub ~gamma ~m =
+  if gamma_sub < 1 || gamma < 1 then
+    Rrms_guard.Guard.Error.invalid_input
+      "Discretize.subgrid_indices: gamma must be >= 1";
+  if m < 2 then
+    Rrms_guard.Guard.Error.invalid_input
+      "Discretize.subgrid_indices: m must be >= 2";
+  if gamma mod gamma_sub <> 0 || gamma_sub > gamma then None
+  else begin
+    let c = gamma / gamma_sub in
+    let a_sub = alpha ~gamma:gamma_sub and a_big = alpha ~gamma in
+    let angles_match =
+      let ok = ref true in
+      for d = 0 to gamma_sub do
+        if
+          float_of_int d *. a_sub
+          <> float_of_int (d * c) *. a_big
+        then ok := false
+      done;
+      !ok
+    in
+    if not angles_match then None
+    else begin
+      let total = grid_size ~gamma:gamma_sub ~m in
+      let k = m - 1 in
+      let big_base = gamma + 1 in
+      (* Odometer over the sub-grid digits, mirroring [grid]'s
+         enumeration order (digit 0 fastest), mapping each digit tuple
+         (d_0..d_{k-1}) to Σ (d_j·c)·(γ+1)^j in the big grid. *)
+      let digits = Array.make k 0 in
+      Some
+        (Array.init total (fun idx ->
+             if idx > 0 then begin
+               let j = ref 0 in
+               let carry = ref true in
+               while !carry && !j < k do
+                 if digits.(!j) < gamma_sub then begin
+                   digits.(!j) <- digits.(!j) + 1;
+                   carry := false
+                 end
+                 else begin
+                   digits.(!j) <- 0;
+                   incr j
+                 end
+               done
+             end;
+             let index = ref 0 and stride = ref 1 in
+             for j = 0 to k - 1 do
+               index := !index + (digits.(j) * c * !stride);
+               stride := !stride * big_base
+             done;
+             !index))
+    end
+  end
+
 let random rng ~count ~m =
   if m < 2 then invalid_arg "Discretize.random: m must be >= 2";
   Array.init count (fun _ ->

@@ -35,6 +35,19 @@ val fit_gamma : rows:int -> max_cells:int -> gamma:int -> m:int -> int option
     even [γ' = 1] does not — the auto-shrink rule of the budgeted HD
     solvers. *)
 
+val subgrid_indices : gamma_sub:int -> gamma:int -> m:int -> int array option
+(** [subgrid_indices ~gamma_sub ~gamma ~m] maps the γ'-grid into the
+    γ-grid when the former is an exact sub-grid of the latter: entry
+    [i] is the index in [grid ~gamma ~m] of direction [i] of
+    [grid ~gamma:gamma_sub ~m].  Returns [None] unless [gamma_sub]
+    divides [gamma] {e and} every shared angle is bit-identical in
+    floating point (always true when [gamma / gamma_sub] is a power of
+    two) — so reusing the corresponding columns of a cached regret
+    matrix is exact, never approximate.  This is how the query server
+    serves a γ' query from a γ matrix without rebuilding anything.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if either
+    gamma is < 1 or [m < 2]. *)
+
 val random : Rrms_rng.Rng.t -> count:int -> m:int -> Rrms_geom.Vec.t array
 (** [count] directions with each polar angle drawn uniformly from
     \[0, π/2\] (§5.2's "uniformly at random" alternative). *)

@@ -36,29 +36,22 @@ let shrink_gamma ~guard ~rows ~gamma ~m =
             ~requested:(Discretize.matrix_cells ~rows ~gamma:1 ~m)
             ~limit:cap)
 
-let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
-    points ~r =
-  if r < 1 then Guard.Error.invalid_input "Hd_greedy.solve: r must be >= 1";
-  if Array.length points = 0 then
-    Guard.Error.invalid_input "Hd_greedy.solve: empty input";
-  Obs.Counter.incr Metrics.solves;
-  Obs.Span.with_ "hd_greedy.solve" (fun () ->
-  let m = Array.length points.(0) in
-  let sky = Rrms_skyline.Skyline.sfs ?domains points in
-  let s = Array.length sky in
-  let gamma_used, funcs, shrink_reason =
-    match funcs with
-    | Some f ->
-        Guard.Budget.check_cells guard ~what:"regret matrix cells"
-          (s * Array.length f);
-        (gamma, f, None)
-    | None ->
-        let g, reason = shrink_gamma ~guard ~rows:s ~gamma ~m in
-        (g, Discretize.grid ~gamma:g ~m, reason)
-  in
-  let sky_points = Array.map (fun i -> points.(i)) sky in
-  let matrix = Regret_matrix.build ?domains ~guard ~funcs sky_points in
-  let k = Array.length funcs in
+(* The greedy loop itself, on a precomputed matrix + skyline map — the
+   shared back half of [solve] and the resident query server's warm
+   path, so both produce bit-identical selections. *)
+let solve_prepared ?domains ?(guard = Guard.Budget.unlimited) ~skyline
+    ~gamma_used matrix ~r =
+  if r < 1 then
+    Guard.Error.invalid_input "Hd_greedy.solve_prepared: r must be >= 1";
+  if Array.length skyline <> Regret_matrix.rows matrix then
+    Guard.Error.invalid_input
+      (Printf.sprintf
+         "Hd_greedy.solve_prepared: skyline has %d entries, matrix has %d \
+          rows"
+         (Array.length skyline) (Regret_matrix.rows matrix));
+  let sky = skyline in
+  let s = Regret_matrix.rows matrix in
+  let k = Regret_matrix.cols matrix in
   let current = Array.make k infinity in
   let chosen = Array.make s false in
   let selected = ref [] in
@@ -107,13 +100,46 @@ let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
      done
    with Exit -> ());
   let rows = Array.of_list (List.rev !selected) in
-  let reasons =
-    (match shrink_reason with Some c -> [ c ] | None -> [])
-    @ (match !stopped with Some s -> [ s ] | None -> [])
-  in
+  let reasons = match !stopped with Some s -> [ s ] | None -> [] in
   {
     selected = Array.map (fun i -> sky.(i)) rows;
     discretized_regret = Regret_matrix.regret_of_rows matrix rows;
     gamma_used;
     quality = (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
-  })
+  }
+
+let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)
+    points ~r =
+  if r < 1 then Guard.Error.invalid_input "Hd_greedy.solve: r must be >= 1";
+  if Array.length points = 0 then
+    Guard.Error.invalid_input "Hd_greedy.solve: empty input";
+  Obs.Counter.incr Metrics.solves;
+  Obs.Span.with_ "hd_greedy.solve" (fun () ->
+  let m = Array.length points.(0) in
+  let sky = Rrms_skyline.Skyline.sfs ?domains points in
+  let s = Array.length sky in
+  let gamma_used, funcs, shrink_reason =
+    match funcs with
+    | Some f ->
+        Guard.Budget.check_cells guard ~what:"regret matrix cells"
+          (s * Array.length f);
+        (gamma, f, None)
+    | None ->
+        let g, reason = shrink_gamma ~guard ~rows:s ~gamma ~m in
+        (g, Discretize.grid ~gamma:g ~m, reason)
+  in
+  let sky_points = Array.map (fun i -> points.(i)) sky in
+  let matrix = Regret_matrix.build ?domains ~guard ~funcs sky_points in
+  let res =
+    solve_prepared ?domains ~guard ~skyline:sky ~gamma_used matrix ~r
+  in
+  match shrink_reason with
+  | None -> res
+  | Some c ->
+      {
+        res with
+        quality =
+          (match res.quality with
+          | Guard.Exact -> Guard.Degraded [ c ]
+          | Guard.Degraded rs -> Guard.Degraded (c :: rs));
+      })

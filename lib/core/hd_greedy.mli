@@ -19,6 +19,24 @@ type result = {
       (** [Exact], or [Degraded] with the budget interventions *)
 }
 
+val solve_prepared :
+  ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  skyline:int array ->
+  gamma_used:int ->
+  Regret_matrix.t ->
+  r:int ->
+  result
+(** The greedy loop on precomputed artifacts: [matrix]'s row [i] is
+    tuple [skyline.(i)] of the original database; [gamma_used] is only
+    echoed into the result.  {!solve} is [skyline → grid → matrix →
+    solve_prepared], so a warm answer on cached artifacts (the query
+    server's path) is bit-identical to a cold [solve].  No cell-cap
+    shrinking happens here; deadline / probe budgets bound the greedy
+    steps exactly as in {!solve}.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if
+    [r < 1] or [skyline] and [matrix] disagree on the row count. *)
+
 val solve :
   ?gamma:int ->
   ?funcs:Rrms_geom.Vec.t array ->

@@ -134,6 +134,63 @@ let shrink_gamma ~guard ~rows ~gamma ~m =
             ~requested:(Discretize.matrix_cells ~rows ~gamma:1 ~m)
             ~limit:cap)
 
+(* The back half of Algorithm 4, starting from precomputed artifacts: a
+   regret matrix over the skyline rows plus the skyline index map.  Both
+   [solve] and the resident query server (lib/serve) end up here, so a
+   server answer on cached artifacts is bit-identical to a cold
+   [solve] by construction. *)
+let solve_prepared ?solver ?(budget = Strict) ?domains
+    ?(guard = Guard.Budget.unlimited) ~skyline ~gamma_used ~m matrix ~r =
+  if r < 1 then
+    Guard.Error.invalid_input "Hd_rrms.solve_prepared: r must be >= 1";
+  if Array.length skyline <> Regret_matrix.rows matrix then
+    Guard.Error.invalid_input
+      (Printf.sprintf
+         "Hd_rrms.solve_prepared: skyline has %d entries, matrix has %d rows"
+         (Array.length skyline) (Regret_matrix.rows matrix));
+  Obs.Gauge.set_int Metrics.gamma_used gamma_used;
+  let max_size =
+    match budget with
+    | Strict -> r
+    | Inflated ->
+        (* Chvátal: greedy cover <= H(|F|)·opt <= (ln|F| + 1)·opt, so a
+           size-r optimal cover always passes this acceptance bound. *)
+        let h = log (float_of_int (Regret_matrix.cols matrix)) +. 1. in
+        max r (int_of_float (ceil (float_of_int r *. h)))
+  in
+  let search =
+    Obs.Span.with_ "hd_rrms.search" (fun () ->
+        search_on_matrix ?solver ?domains ~guard ~max_size matrix ~r)
+  in
+  match search.found with
+  | Some (rows, eps_min) ->
+      let selected = Array.map (fun i -> skyline.(i)) rows in
+      let discretized_regret = Regret_matrix.regret_of_rows matrix rows in
+      let reasons =
+        match search.stopped with Some s -> [ s ] | None -> []
+      in
+      {
+        selected;
+        eps_min;
+        (* Theorem 4 lifts the set's achieved grid regret, which is
+           never above the accepted threshold — so certifying from
+           [discretized_regret] is both valid and the tighter bound,
+           including for budget-degraded answers. *)
+        guarantee =
+          Discretize.theorem4_bound ~gamma:gamma_used ~m
+            ~eps:discretized_regret;
+        discretized_regret;
+        gamma_used;
+        quality =
+          (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
+      }
+  | None ->
+      (* Unreachable for a well-formed matrix: at the largest distinct
+         value every row satisfies every column, so any single row is a
+         cover of size 1 <= r — and the degraded fallback probes exactly
+         that threshold. *)
+      assert false
+
 let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
     ?(guard = Guard.Budget.unlimited) points ~r =
   if r < 1 then Guard.Error.invalid_input "Hd_rrms.solve: r must be >= 1";
@@ -159,51 +216,22 @@ let solve ?(gamma = 4) ?solver ?(budget = Strict) ?funcs ?domains
         let g, reason = shrink_gamma ~guard ~rows:s ~gamma ~m in
         (g, Discretize.grid ~gamma:g ~m, reason)
   in
-  Obs.Gauge.set_int Metrics.gamma_used gamma_used;
   let sky_points = Array.map (fun i -> points.(i)) sky in
   let matrix =
     Obs.Span.with_ "hd_rrms.matrix" (fun () ->
         Regret_matrix.build ?domains ~guard ~funcs sky_points)
   in
-  let max_size =
-    match budget with
-    | Strict -> r
-    | Inflated ->
-        (* Chvátal: greedy cover <= H(|F|)·opt <= (ln|F| + 1)·opt, so a
-           size-r optimal cover always passes this acceptance bound. *)
-        let h = log (float_of_int (Array.length funcs)) +. 1. in
-        max r (int_of_float (ceil (float_of_int r *. h)))
+  let res =
+    solve_prepared ?solver ~budget ?domains ~guard ~skyline:sky ~gamma_used
+      ~m matrix ~r
   in
-  let search =
-    Obs.Span.with_ "hd_rrms.search" (fun () ->
-        search_on_matrix ?solver ?domains ~guard ~max_size matrix ~r)
-  in
-  match search.found with
-  | Some (rows, eps_min) ->
-      let selected = Array.map (fun i -> sky.(i)) rows in
-      let discretized_regret = Regret_matrix.regret_of_rows matrix rows in
-      let reasons =
-        (match shrink_reason with Some c -> [ c ] | None -> [])
-        @ (match search.stopped with Some s -> [ s ] | None -> [])
-      in
+  match shrink_reason with
+  | None -> res
+  | Some c ->
       {
-        selected;
-        eps_min;
-        (* Theorem 4 lifts the set's achieved grid regret, which is
-           never above the accepted threshold — so certifying from
-           [discretized_regret] is both valid and the tighter bound,
-           including for budget-degraded answers. *)
-        guarantee =
-          Discretize.theorem4_bound ~gamma:gamma_used ~m
-            ~eps:discretized_regret;
-        discretized_regret;
-        gamma_used;
+        res with
         quality =
-          (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
-      }
-  | None ->
-      (* Unreachable for a well-formed matrix: at the largest distinct
-         value every row satisfies every column, so any single row is a
-         cover of size 1 <= r — and the degraded fallback probes exactly
-         that threshold. *)
-      assert false)
+          (match res.quality with
+          | Guard.Exact -> Guard.Degraded [ c ]
+          | Guard.Degraded rs -> Guard.Degraded (c :: rs));
+      })

@@ -128,3 +128,28 @@ val solve_on_matrix :
   (int array * float) option
 (** [search_on_matrix] without a budget, returning just [found] —
     the pre-guard interface, kept for tests and benchmarks. *)
+
+val solve_prepared :
+  ?solver:Mrst.solver ->
+  ?budget:budget ->
+  ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  skyline:int array ->
+  gamma_used:int ->
+  m:int ->
+  Regret_matrix.t ->
+  r:int ->
+  result
+(** The back half of {!solve}, starting from precomputed artifacts:
+    [matrix] is the regret matrix whose row [i] is the tuple
+    [skyline.(i)] of the original database, [gamma_used] the grid
+    resolution the matrix was built at, and [m] the dimensionality
+    (both feed Theorem 4's [guarantee]).  [selected] is reported in
+    original-database indices via [skyline].  {!solve} itself is
+    [skyline → grid → matrix → solve_prepared], so an answer computed
+    on cached artifacts — the resident query server's warm path — is
+    bit-identical to a cold [solve].  No cell-cap shrinking happens
+    here (the matrix is already built); deadline / probe budgets apply
+    to the binary search exactly as in {!solve}.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if
+    [r < 1] or [skyline] and [matrix] disagree on the row count. *)

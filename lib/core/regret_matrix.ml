@@ -52,6 +52,20 @@ let build ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) ~funcs points =
           cells.(i) <- row);
       { cells; best })
 
+let select_cols t cols =
+  let k = Array.length t.best in
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= k then
+        invalid_arg "Regret_matrix.select_cols: column index out of range")
+    cols;
+  if Array.length cols = 0 then
+    Rrms_guard.Guard.Error.invalid_input "Regret_matrix.select_cols: no columns";
+  {
+    cells = Array.map (fun row -> Array.map (fun f -> row.(f)) cols) t.cells;
+    best = Array.map (fun f -> t.best.(f)) cols;
+  }
+
 let rows t = Array.length t.cells
 let cols t = Array.length t.best
 let get t i f = t.cells.(i).(f)

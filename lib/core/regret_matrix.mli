@@ -25,6 +25,16 @@ val build :
     array is empty, [Resource_limit] if the matrix would exceed the
     guard's cell cap. *)
 
+val select_cols : t -> int array -> t
+(** [select_cols t cols] is the sub-matrix of the given function
+    columns, in the given order — cells and per-column best scores are
+    copied verbatim, so solving on the sub-matrix is bit-identical to
+    solving on a matrix built from the corresponding function subset.
+    Pairs with {!Discretize.subgrid_indices} to serve a γ'-grid query
+    from a cached γ-grid matrix.
+    @raise Invalid_argument on a bad column index,
+    [Guard_error Invalid_input] when [cols] is empty. *)
+
 val rows : t -> int
 val cols : t -> int
 

@@ -120,6 +120,36 @@ let parse_line ~attributes ~m line =
     match !bad with None -> Ok row | Some e -> Error e
   end
 
+(* Header validation runs before any data row is read, so a bad header
+   fails fast instead of after scanning (and possibly rejecting) the
+   whole file: names must be non-empty and unique, and a header whose
+   every cell parses as a number is almost certainly a headerless data
+   file — rejecting it beats silently treating row 1 as column names. *)
+let validate_header attributes =
+  let m = Array.length attributes in
+  if m = 0 || (m = 1 && attributes.(0) = "") then
+    Rrms_guard.Guard.Error.invalid_input ~line:1
+      "Dataset.of_csv: empty header line";
+  let seen = Hashtbl.create m in
+  Array.iteri
+    (fun j a ->
+      if a = "" then
+        Rrms_guard.Guard.Error.invalid_input ~line:1
+          ~column:(string_of_int (j + 1))
+          "Dataset.of_csv: empty attribute name in header";
+      match Hashtbl.find_opt seen a with
+      | Some j' ->
+          Rrms_guard.Guard.Error.invalid_input ~line:1 ~column:a
+            (Printf.sprintf
+               "Dataset.of_csv: duplicate attribute name (columns %d and %d)"
+               (j' + 1) (j + 1))
+      | None -> Hashtbl.add seen a j)
+    attributes;
+  if Array.for_all (fun a -> float_of_string_opt a <> None) attributes then
+    Rrms_guard.Guard.Error.invalid_input ~line:1
+      "Dataset.of_csv: header looks like a data row (every cell is a \
+       number) — is the header line missing?"
+
 let of_csv_report ?name:(nm = "") ?(mode = Strict) path =
   let ic = open_in path in
   Fun.protect
@@ -133,8 +163,11 @@ let of_csv_report ?name:(nm = "") ?(mode = Strict) path =
               "Dataset.of_csv: empty file"
       in
       let attributes =
-        Array.of_list (String.split_on_char ',' (String.trim header))
+        Array.of_list
+          (List.map String.trim
+             (String.split_on_char ',' (String.trim header)))
       in
+      validate_header attributes;
       let m = Array.length attributes in
       let rows = ref [] in
       let warnings = ref [] in
@@ -160,6 +193,18 @@ let of_csv_report ?name:(nm = "") ?(mode = Strict) path =
             read ()
       in
       read ();
+      (* A dataset with no tuples is useless to every consumer (the
+         solvers all reject empty input) — report it as Invalid_input
+         here, where the line number and the dropped-row count are
+         known, instead of handing back a 0-tuple dataset. *)
+      if !rows = [] then
+        Rrms_guard.Guard.Error.invalid_input ~line:!lineno
+          (match !warnings with
+          | [] -> "Dataset.of_csv: no data rows after the header"
+          | ws ->
+              Printf.sprintf
+                "Dataset.of_csv: no valid data rows (all %d dropped)"
+                (List.length ws));
       let nm = if nm = "" then Filename.remove_extension (Filename.basename path) else nm in
       ( create ~name:nm ~attributes (Array.of_list (List.rev !rows)),
         List.rev !warnings ))

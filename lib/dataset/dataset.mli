@@ -69,16 +69,21 @@ type load_warning = {
 
 val of_csv_report :
   ?name:string -> ?mode:load_mode -> string -> t * load_warning list
-(** [of_csv_report path] reads a CSV file (header required).  A row is
-    malformed when its cell count differs from the header's, a cell is
-    not a number, or a value is NaN, ±inf or negative.  Under [Strict]
-    (the default) the first malformed row raises
+(** [of_csv_report path] reads a CSV file (header required).  The
+    header is validated {e before} any data row is read — attribute
+    names must be non-empty and unique, and a header whose every cell
+    parses as a number is rejected as a missing-header file — so a bad
+    header fails fast instead of after scanning the whole file.  A row
+    is malformed when its cell count differs from the header's, a cell
+    is not a number, or a value is NaN, ±inf or negative.  Under
+    [Strict] (the default) the first malformed row raises
     [Guard_error (Invalid_input _)] carrying its line number and
     attribute; under [Lenient] malformed rows are dropped and returned
     as warnings in file order (the warning list is empty under
     [Strict]).
     @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on an
-    empty file, or on any malformed row in [Strict] mode. *)
+    empty file, a bad header, any malformed row in [Strict] mode, or
+    when no data row survives (a 0-tuple dataset is never returned). *)
 
 val of_csv : ?name:string -> string -> t
 (** [of_csv path] is [of_csv_report ~mode:Strict path] without the

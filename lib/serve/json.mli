@@ -1,0 +1,52 @@
+(** Minimal JSON for the wire protocol of [rrms.serve].
+
+    The serving layer is zero-new-dependency by design (ROADMAP:
+    nothing beyond the toolchain), so this is a small, complete
+    JSON implementation: a recursive-descent parser for one request
+    line and a deterministic printer for the response line.
+
+    Determinism matters more than prettiness here: the result cache
+    stores {!t} values and the protocol tests assert that a cache hit
+    serializes {e bit-identically} to the cold solve that populated it.
+    The printer therefore emits object fields in construction order,
+    escapes strings canonically, and prints floats with ["%.17g"]
+    (round-trip exact) — integral values within [2^53] are printed
+    without a decimal point so counters read naturally. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Trailing garbage after the document, and
+    any syntax error, yield [Error message]; the parser accepts the
+    full JSON grammar (nesting, escapes, [\uXXXX], exponents) but — by
+    design for a line-delimited protocol — no literal newlines inside
+    strings (they cannot appear in one line anyway). *)
+
+val to_string : t -> string
+(** Deterministic single-line serialization (see preamble).  Non-finite
+    numbers (which valid requests cannot produce, but a defensive
+    printer must handle) are emitted as [null]. *)
+
+(** {2 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on absent field or non-object. *)
+
+val str : t -> string option
+val num : t -> float option
+
+val int_ : t -> int option
+(** [Num v] when [v] is integral and fits an [int]. *)
+
+val bool_ : t -> bool option
+
+(** {2 Constructors} *)
+
+val int : int -> t
+val float : float -> t

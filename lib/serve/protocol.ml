@@ -1,0 +1,196 @@
+module Guard = Rrms_guard.Guard
+
+type algo = A2d | A2d_exact | Sweepline | Hd_rrms | Hd_greedy | Greedy | Cube
+
+let algo_of_string = function
+  | "2d" -> Some A2d
+  | "2d-exact" -> Some A2d_exact
+  | "sweepline" -> Some Sweepline
+  | "hd-rrms" -> Some Hd_rrms
+  | "hd-greedy" -> Some Hd_greedy
+  | "greedy" -> Some Greedy
+  | "cube" -> Some Cube
+  | _ -> None
+
+let algo_to_string = function
+  | A2d -> "2d"
+  | A2d_exact -> "2d-exact"
+  | Sweepline -> "sweepline"
+  | Hd_rrms -> "hd-rrms"
+  | Hd_greedy -> "hd-greedy"
+  | Greedy -> "greedy"
+  | Cube -> "cube"
+
+type query = {
+  dataset : string;
+  algo : algo;
+  r : int;
+  gamma : int;
+  timeout : float option;
+  max_cells : int option;
+  max_probes : int option;
+  use_cache : bool;
+}
+
+type request =
+  | Load of {
+      path : string;
+      name : string option;
+      normalize : bool;
+      lenient : bool;
+    }
+  | Query of query
+  | Stats
+  | Evict of { dataset : string }
+  | Ping
+  | Shutdown
+
+let error_code_of_guard : Guard.Error.t -> string = function
+  | Guard.Error.Invalid_input _ -> "invalid_input"
+  | Guard.Error.Timeout _ -> "timeout"
+  | Guard.Error.Resource_limit _ -> "resource_limit"
+  | Guard.Error.Numerical _ -> "numerical"
+
+type parsed = { id : Json.t; req : (request, string * string) result }
+
+(* Field readers over the request object; every shape problem becomes a
+   [bad_request] with the offending field named, never an exception. *)
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Bad_request msg)) fmt
+
+let req_string obj field =
+  match Json.member field obj with
+  | Some (Json.Str s) when s <> "" -> s
+  | Some _ -> bad "field %S must be a non-empty string" field
+  | None -> bad "missing required field %S" field
+
+let opt_string obj field =
+  match Json.member field obj with
+  | None | Some Json.Null -> None
+  | Some (Json.Str s) -> Some s
+  | Some _ -> bad "field %S must be a string" field
+
+let opt_bool obj field ~default =
+  match Json.member field obj with
+  | None | Some Json.Null -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad "field %S must be a boolean" field
+
+let req_int obj field =
+  match Json.member field obj with
+  | Some j -> (
+      match Json.int_ j with
+      | Some i -> i
+      | None -> bad "field %S must be an integer" field)
+  | None -> bad "missing required field %S" field
+
+let opt_int obj field =
+  match Json.member field obj with
+  | None | Some Json.Null -> None
+  | Some j -> (
+      match Json.int_ j with
+      | Some i -> Some i
+      | None -> bad "field %S must be an integer" field)
+
+let opt_number obj field =
+  match Json.member field obj with
+  | None | Some Json.Null -> None
+  | Some (Json.Num v) when Float.is_finite v -> Some v
+  | Some _ -> bad "field %S must be a finite number" field
+
+let parse_query obj =
+  let dataset = req_string obj "dataset" in
+  let algo =
+    let s = req_string obj "algo" in
+    match algo_of_string s with
+    | Some a -> a
+    | None ->
+        bad
+          "unknown algo %S (expected 2d | 2d-exact | sweepline | hd-rrms | \
+           hd-greedy | greedy | cube)"
+          s
+  in
+  let r = req_int obj "r" in
+  if r < 1 then bad "field \"r\" must be >= 1";
+  let gamma = match opt_int obj "gamma" with None -> 4 | Some g -> g in
+  if gamma < 1 then bad "field \"gamma\" must be >= 1";
+  let timeout = opt_number obj "timeout" in
+  (match timeout with
+  | Some t when t <= 0. -> bad "field \"timeout\" must be > 0"
+  | _ -> ());
+  let check_pos field v =
+    match v with
+    | Some c when c < 1 -> bad "field %S must be >= 1" field
+    | _ -> v
+  in
+  let max_cells = check_pos "max_cells" (opt_int obj "max_cells") in
+  let max_probes = check_pos "max_probes" (opt_int obj "max_probes") in
+  let use_cache = opt_bool obj "cache" ~default:true in
+  Query { dataset; algo; r; gamma; timeout; max_cells; max_probes; use_cache }
+
+let parse_body obj =
+  match Json.member "req" obj with
+  | None -> bad "missing required field \"req\""
+  | Some (Json.Str kind) -> (
+      match kind with
+      | "load" ->
+          Load
+            {
+              path = req_string obj "path";
+              name = opt_string obj "name";
+              normalize = opt_bool obj "normalize" ~default:false;
+              lenient = opt_bool obj "lenient" ~default:false;
+            }
+      | "query" -> parse_query obj
+      | "stats" -> Stats
+      | "evict" -> Evict { dataset = req_string obj "dataset" }
+      | "ping" -> Ping
+      | "shutdown" -> Shutdown
+      | k ->
+          bad
+            "unknown request kind %S (expected load | query | stats | evict \
+             | ping | shutdown)"
+            k)
+  | Some _ -> bad "field \"req\" must be a string"
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> { id = Json.Null; req = Error ("parse", msg) }
+  | Ok (Json.Obj _ as obj) -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" obj) in
+      match parse_body obj with
+      | req -> { id; req = Ok req }
+      | exception Bad_request msg -> { id; req = Error ("bad_request", msg) })
+  | Ok _ ->
+      { id = Json.Null; req = Error ("bad_request", "request must be an object") }
+
+let cache_key q =
+  (* Budgets and cache flags never select the answer; γ only matters to
+     the grid-discretized algorithms. *)
+  let base = Printf.sprintf "algo=%s;r=%d" (algo_to_string q.algo) q.r in
+  match q.algo with
+  | Hd_rrms | Hd_greedy -> Printf.sprintf "%s;gamma=%d" base q.gamma
+  | A2d | A2d_exact | Sweepline | Greedy | Cube -> base
+
+let ok_response ~id ~cached ~elapsed_ms result =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool true);
+         ("cached", Json.Bool cached);
+         ("elapsed_ms", Json.float elapsed_ms);
+         ("result", result);
+       ])
+
+let error_response ~id ~code ~message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj [ ("code", Json.Str code); ("message", Json.Str message) ]
+         );
+       ])

@@ -1,0 +1,87 @@
+(** Wire protocol of the RRMS query service (docs/SERVING.md).
+
+    Line-delimited JSON: one request object per line, one response
+    object per line, in order.  Every request may carry an ["id"]
+    member (any JSON value) which is echoed verbatim in the response —
+    the standard correlation idiom, so a client may pipeline.
+
+    Requests are [{"req": <kind>, ...}] with kinds [load], [query],
+    [stats], [evict], [ping], [shutdown].  Responses are either
+
+    {v {"id":…,"ok":true,"cached":…,"elapsed_ms":…,"result":{…}} v}
+
+    or [{"id":…,"ok":false,"error":{"code":…,"message":…}}].  The
+    [result] member is the deterministic part: for a given loaded
+    dataset and query parameters it is byte-identical whether it came
+    from a solver run or the result cache (test/test_serve.ml asserts
+    this); [cached] and [elapsed_ms] are the per-call metadata. *)
+
+type algo =
+  | A2d  (** the published 2D DP, ["2d"] *)
+  | A2d_exact  (** corrected exact 2D variant, ["2d-exact"] *)
+  | Sweepline  (** quadratic exact 2D baseline, ["sweepline"] *)
+  | Hd_rrms  (** Algorithm 4, ["hd-rrms"] *)
+  | Hd_greedy  (** matrix-greedy ablation, ["hd-greedy"] *)
+  | Greedy  (** LP-based VLDB'10 baseline, ["greedy"] *)
+  | Cube  (** discretization baseline, ["cube"] *)
+
+val algo_of_string : string -> algo option
+val algo_to_string : algo -> string
+
+type query = {
+  dataset : string;  (** store key or dataset name (see {!Store}) *)
+  algo : algo;
+  r : int;
+  gamma : int;  (** grid resolution; meaningful for the HD algorithms *)
+  timeout : float option;  (** per-request wall-clock budget, seconds *)
+  max_cells : int option;  (** per-request regret-matrix cell cap *)
+  max_probes : int option;  (** per-request probe/iteration cap *)
+  use_cache : bool;  (** [false] forces a fresh solve (cache bypass) *)
+}
+
+type request =
+  | Load of {
+      path : string;
+      name : string option;  (** alias for later [query] requests *)
+      normalize : bool;
+      lenient : bool;  (** CSV {!Rrms_dataset.Dataset.load_mode} *)
+    }
+  | Query of query
+  | Stats
+  | Evict of { dataset : string }
+  | Ping
+  | Shutdown
+
+(** Stable error codes of the protocol (docs/SERVING.md lists them):
+    [parse], [bad_request], [invalid_input], [timeout],
+    [resource_limit], [numerical], [unknown_dataset], [overloaded],
+    [internal]. *)
+
+val error_code_of_guard : Rrms_guard.Guard.Error.t -> string
+(** The four structured {!Rrms_guard.Guard.Error.t} classes map to
+    [invalid_input] / [timeout] / [resource_limit] / [numerical] —
+    the same partition as the CLI exit codes. *)
+
+type parsed = {
+  id : Json.t;  (** the request's ["id"], [Null] when absent *)
+  req : (request, string * string) result;
+      (** parsed request, or [(code, message)] — [parse] for malformed
+          JSON, [bad_request] for a well-formed object that is not a
+          valid request *)
+}
+
+val parse_request : string -> parsed
+(** Total: never raises.  The [id] is recovered even from requests
+    whose body is invalid, so the error response still correlates. *)
+
+val cache_key : query -> string
+(** Canonical result-cache key.  Only the parameters that select the
+    answer participate — [algo], [r], and [gamma] for the grid-based
+    algorithms — never budgets or cache flags, so a budgeted request
+    can be answered from a cache entry computed without budgets. *)
+
+val ok_response :
+  id:Json.t -> cached:bool -> elapsed_ms:float -> Json.t -> string
+(** Serialize a success line; the last argument is [result]. *)
+
+val error_response : id:Json.t -> code:string -> message:string -> string

@@ -1,0 +1,230 @@
+module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let requests =
+    Obs.Counter.make ~help:"requests handled by the serving layer"
+      "rrms_serve_requests_total"
+
+  let errors =
+    Obs.Counter.make ~help:"requests answered with an error response"
+      "rrms_serve_errors_total"
+
+  let sessions =
+    Obs.Counter.make ~deterministic:false
+      ~help:"client sessions accepted (socket transport)"
+      "rrms_serve_sessions_total"
+
+  let open_sessions =
+    Obs.Gauge.make ~deterministic:false ~help:"sessions currently connected"
+      "rrms_serve_open_sessions"
+
+  let request_seconds =
+    Obs.Timer.make ~help:"request handling latency" "rrms_serve_request_seconds"
+end
+
+(* Remove the first occurrence only: a session that loaded the same
+   content twice holds two references and must drop both at teardown. *)
+let rec remove_one key = function
+  | [] -> []
+  | k :: rest when k = key -> rest
+  | k :: rest -> k :: remove_one key rest
+
+(* One request line → one response.  [session] collects the dataset
+   references this connection holds, for teardown.  Total: every
+   exception — structured guard errors, solver [Invalid_argument]s,
+   injected worker faults — becomes an error response. *)
+let dispatch store session line =
+  let t0 = Unix.gettimeofday () in
+  let { Protocol.id; req } = Protocol.parse_request line in
+  Obs.Counter.incr Metrics.requests;
+  let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  let ok ?(cached = false) result =
+    `Reply (Protocol.ok_response ~id ~cached ~elapsed_ms:(elapsed_ms ()) result)
+  in
+  let error code message =
+    Obs.Counter.incr Metrics.errors;
+    `Reply (Protocol.error_response ~id ~code ~message)
+  in
+  let safe f =
+    try f () with
+    | Guard.Error.Guard_error err ->
+        error (Protocol.error_code_of_guard err) (Guard.Error.to_string err)
+    | Invalid_argument msg | Failure msg -> error "invalid_input" msg
+    | Rrms_parallel.Fault.Injected w ->
+        error "internal" (Printf.sprintf "injected fault in worker %d" w)
+    | Stdlib.Exit | Sys.Break -> error "internal" "interrupted"
+    | exn -> error "internal" (Printexc.to_string exn)
+  in
+  let reply =
+    match req with
+    | Error (code, message) -> error code message
+    | Ok (Protocol.Load { path; name; normalize; lenient }) ->
+        safe (fun () ->
+            let l = Store.load store ?name ~normalize ~lenient path in
+            session := l.Store.key :: !session;
+            ok
+              (Json.Obj
+                 [
+                   ("key", Json.Str l.Store.key);
+                   ("name", Json.Str l.Store.dataset_name);
+                   ("n", Json.int l.Store.n);
+                   ("m", Json.int l.Store.m);
+                   ("refs", Json.int l.Store.refs);
+                   ("already_loaded", Json.Bool l.Store.already_loaded);
+                   ("warnings", Json.int l.Store.warnings);
+                 ]))
+    | Ok (Protocol.Query q) ->
+        safe (fun () ->
+            match Store.query store q with
+            | Ok { Store.result; cached } -> ok ~cached result
+            | Error `Unknown_dataset ->
+                error "unknown_dataset"
+                  (Printf.sprintf
+                     "no loaded dataset %S (load it first, then query by key \
+                      or name)"
+                     q.Protocol.dataset)
+            | Error `Overloaded ->
+                error "overloaded"
+                  "admission queue is full; the request was shed — retry later")
+    | Ok (Protocol.Evict { dataset }) ->
+        safe (fun () ->
+            match Store.release store dataset with
+            | Store.Not_loaded ->
+                error "unknown_dataset"
+                  (Printf.sprintf "no loaded dataset %S" dataset)
+            | Store.Released { key; remaining; freed } ->
+                session := remove_one key !session;
+                ok
+                  (Json.Obj
+                     [
+                       ("key", Json.Str key);
+                       ("remaining_refs", Json.int remaining);
+                       ("freed", Json.Bool freed);
+                     ]))
+    | Ok Protocol.Stats -> safe (fun () -> ok (Store.stats store))
+    | Ok Protocol.Ping -> ok (Json.Obj [ ("pong", Json.Bool true) ])
+    | Ok Protocol.Shutdown ->
+        `Shutdown
+          (Protocol.ok_response ~id ~cached:false ~elapsed_ms:(elapsed_ms ())
+             (Json.Obj [ ("stopping", Json.Bool true) ]))
+  in
+  Obs.Timer.observe Metrics.request_seconds (Unix.gettimeofday () -. t0);
+  reply
+
+let handle_line store line = dispatch store (ref []) line
+
+let run_session store ic oc =
+  let session = ref [] in
+  let finish outcome =
+    Store.session_release_all store !session;
+    outcome
+  in
+  let send s =
+    try
+      output_string oc s;
+      output_char oc '\n';
+      flush oc;
+      true
+    with Sys_error _ -> false
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> finish `Eof
+    | exception Sys_error _ -> finish `Eof
+    | line ->
+        if String.trim line = "" then loop ()
+        else (
+          match dispatch store session line with
+          | `Reply r -> if send r then loop () else finish `Eof
+          | `Shutdown r ->
+              ignore (send r);
+              finish `Shutdown)
+  in
+  loop ()
+
+let serve_stdio store = run_session store stdin stdout
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain-socket daemon                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string;
+  listener : Unix.file_descr;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+}
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try Unix.close t.listener with Unix.Unix_error _ -> ()
+
+(* A pre-existing socket file is either a live server (connect
+   succeeds → refuse to double-bind) or a leftover from a crashed one
+   (connection refused → unlink and take over). *)
+let probe_stale path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then
+      Guard.Error.invalid_input
+        (Printf.sprintf "socket %s is already being served" path);
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
+let start store ~socket:path =
+  if Sys.os_type = "Unix" then
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  probe_stale path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listener (Unix.ADDR_UNIX path);
+     Unix.listen listener 64
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let t = { path; listener; stopping = Atomic.make false; accept_thread = None } in
+  let session fd =
+    Obs.Counter.incr Metrics.sessions;
+    Obs.Gauge.set Metrics.open_sessions
+      (Obs.Gauge.value Metrics.open_sessions +. 1.);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let outcome = try run_session store ic oc with _ -> `Eof in
+    (* ic and oc share [fd]; one close releases it. *)
+    close_out_noerr oc;
+    Obs.Gauge.set Metrics.open_sessions
+      (Obs.Gauge.value Metrics.open_sessions -. 1.);
+    match outcome with `Shutdown -> stop t | `Eof -> ()
+  in
+  (* Poll-accept so [stop] (from another thread, possibly a session
+     answering [shutdown]) reliably unblocks the loop on every OS. *)
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.select [ listener ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ -> (
+          match Unix.accept listener with
+          | fd, _ ->
+              ignore (Thread.create session fd);
+              accept_loop ()
+          | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+              accept_loop ()
+          | exception Unix.Unix_error (_, _, _) ->
+              if not (Atomic.get t.stopping) then accept_loop ())
+      | exception Unix.Unix_error (_, _, _) ->
+          if not (Atomic.get t.stopping) then accept_loop ()
+    end
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  try Sys.remove t.path with Sys_error _ -> ()

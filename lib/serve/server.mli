@@ -1,0 +1,54 @@
+(** Session and transport layer of the query service.
+
+    A {e session} is one client connection speaking the line-delimited
+    JSON protocol of {!Protocol}: requests are answered in order, one
+    response line per request line, and every dataset reference the
+    session took with [load] is dropped when it ends (so a crashed
+    client never leaks store entries).  Request handling is total — a
+    malformed line, an unknown request or a solver failure becomes an
+    error {e response}, never a dropped connection; even an injected
+    worker fault ({!Rrms_parallel.Fault}) surfaces as an [internal]
+    error and leaves the session (and the server) healthy.
+
+    Two transports share the session code:
+
+    - {!serve_stdio}: one session over stdin/stdout — the test- and
+      script-friendly mode ([rrms_serve --stdio]).
+    - {!start}/{!wait}: a Unix-domain-socket daemon with one systhread
+      per connection; sessions share the one {!Store.t}, which is what
+      makes concurrent artifact sharing (and the admission gate) real. *)
+
+val handle_line :
+  Store.t -> string -> [ `Reply of string | `Shutdown of string ]
+(** Handle one request line against the store (stateless with respect
+    to the session; reference bookkeeping is the session loop's job).
+    [`Shutdown line] is the positive response to a [shutdown] request —
+    the caller sends it, then stops.  Never raises. *)
+
+val run_session :
+  Store.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Pump one session: read lines until EOF or [shutdown], answering
+    each (blank lines are skipped).  Responses are flushed per line.
+    Session [load] references are released on the way out. *)
+
+val serve_stdio : Store.t -> [ `Eof | `Shutdown ]
+(** [run_session] over stdin/stdout. *)
+
+type t
+
+val start : Store.t -> socket:string -> t
+(** Bind a Unix-domain listener at [socket] and accept in a background
+    thread, one thread per connection.  A pre-existing socket file is
+    probed: live (something accepts) → [Invalid_input]; stale → removed
+    and rebound.  [SIGPIPE] is ignored process-wide (an abruptly closed
+    client must not kill the daemon).
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when the
+    path is already served, [Unix.Unix_error] on bind failures. *)
+
+val stop : t -> unit
+(** Ask the daemon to stop: close the listener (idempotent).  In-flight
+    sessions are not interrupted. *)
+
+val wait : t -> unit
+(** Block until the accept loop exits — a [shutdown] request or {!stop}
+    — then remove the socket file. *)

@@ -1,0 +1,623 @@
+module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+module Dataset = Rrms_dataset.Dataset
+module Skyline = Rrms_skyline.Skyline
+module Discretize = Rrms_core.Discretize
+module Regret_matrix = Rrms_core.Regret_matrix
+module Hd_rrms = Rrms_core.Hd_rrms
+module Hd_greedy = Rrms_core.Hd_greedy
+module Rrms2d = Rrms_core.Rrms2d
+module Sweepline = Rrms_core.Sweepline
+module Greedy = Rrms_core.Greedy
+module Cube = Rrms_core.Cube
+
+module Metrics = struct
+  let c ?(deterministic = true) name help =
+    Obs.Counter.make ~deterministic ~help name
+
+  let datasets_loaded =
+    c "rrms_serve_datasets_loaded_total" "datasets materialized in the store"
+
+  let dataset_hits =
+    c "rrms_serve_dataset_hits_total"
+      "loads answered by an existing store entry (content-hash match)"
+
+  let evictions = c "rrms_serve_evictions_total" "store entries freed"
+
+  let skyline_hits = c "rrms_serve_skyline_hits_total" "skyline artifact hits"
+
+  let skyline_misses =
+    c "rrms_serve_skyline_misses_total" "skyline artifacts computed"
+
+  let hull_hits = c "rrms_serve_hull_hits_total" "2D hull context hits"
+  let hull_misses = c "rrms_serve_hull_misses_total" "2D hull contexts built"
+  let grid_hits = c "rrms_serve_grid_hits_total" "direction-grid hits"
+  let grid_misses = c "rrms_serve_grid_misses_total" "direction grids built"
+  let matrix_hits = c "rrms_serve_matrix_hits_total" "regret-matrix hits"
+
+  let matrix_misses =
+    c "rrms_serve_matrix_misses_total" "regret matrices built from scratch"
+
+  let matrix_derived =
+    c "rrms_serve_matrix_derived_total"
+      "regret matrices derived from a cached finer grid (column selection)"
+
+  let result_hits = c "rrms_serve_result_hits_total" "result-cache hits"
+
+  let result_misses =
+    c "rrms_serve_result_misses_total" "result-cache misses (solver ran)"
+
+  (* Shedding depends on timing and concurrency, never on the workload
+     alone, so everything admission-related is non-deterministic. *)
+  let overloaded =
+    c ~deterministic:false "rrms_serve_overloaded_total"
+      "queries shed because the admission queue was full"
+
+  let inflight =
+    Obs.Gauge.make ~deterministic:false
+      ~help:"solves currently holding an admission slot" "rrms_serve_inflight"
+
+  let queue_depth =
+    Obs.Gauge.make ~deterministic:false
+      ~help:"solves waiting for an admission slot" "rrms_serve_queue_depth"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Content hashing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a, 64-bit: cheap, dependency-free and stable across runs —
+   exactly what a content-addressed cache key needs (it is not
+   collision-resistant against adversaries; the store serves trusted
+   local clients).  Hashed: m, n, attribute names, then the raw IEEE
+   bits of every cell, so any observable dataset difference — including
+   a normalize or lenient-drop difference — changes the key. *)
+let fnv_prime = 0x100000001b3L
+
+let hash_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let hash_int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := hash_byte !h (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done;
+  !h
+
+let hash_string h s =
+  let h = String.fold_left (fun h c -> hash_byte h (Char.code c)) h s in
+  hash_byte h 0xff
+
+let hash_dataset d =
+  let h = ref 0xcbf29ce484222325L in
+  h := hash_int64 !h (Int64.of_int (Dataset.dim d));
+  h := hash_int64 !h (Int64.of_int (Dataset.size d));
+  Array.iter (fun a -> h := hash_string !h a) (Dataset.attributes d);
+  for i = 0 to Dataset.size d - 1 do
+    for j = 0 to Dataset.dim d - 1 do
+      h := hash_int64 !h (Int64.bits_of_float (Dataset.value d i j))
+    done
+  done;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* State                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  key : string;
+  dataset : Dataset.t;
+  rows : Rrms_geom.Vec.t array;  (* materialized once; treated immutable *)
+  e_lock : Mutex.t;  (* guards every mutable field below *)
+  mutable skyline : int array option;
+  mutable hull : Rrms2d.ctx option;
+  mutable matrices : (int * Regret_matrix.t) list;  (* keyed by γ *)
+  results : (string, Json.t) Hashtbl.t;  (* Protocol.cache_key → result *)
+  mutable refs : int;
+}
+
+type t = {
+  domains : int;
+  max_inflight : int;
+  max_queue : int;
+  lock : Mutex.t;  (* guards entries, aliases and the admission state *)
+  cond : Condition.t;
+  entries : (string, entry) Hashtbl.t;  (* content hash → entry *)
+  aliases : (string, string) Hashtbl.t;  (* dataset name → content hash *)
+  g_lock : Mutex.t;  (* guards grids *)
+  grids : (int * int, Rrms_geom.Vec.t array) Hashtbl.t;  (* (m, γ) → grid *)
+  mutable inflight : int;
+  mutable queued : int;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ?domains ?(max_inflight = 4) ?(max_queue = 16) () =
+  if max_inflight < 1 then
+    Guard.Error.invalid_input "Store.create: max_inflight must be >= 1";
+  if max_queue < 0 then
+    Guard.Error.invalid_input "Store.create: max_queue must be >= 0";
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> Guard.Error.invalid_input "Store.create: domains must be >= 1"
+    | None -> Rrms_parallel.Pool.default_size ()
+  in
+  {
+    domains;
+    max_inflight;
+    max_queue;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    entries = Hashtbl.create 16;
+    aliases = Hashtbl.create 16;
+    g_lock = Mutex.create ();
+    grids = Hashtbl.create 16;
+    inflight = 0;
+    queued = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Load / release                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type loaded = {
+  key : string;
+  dataset_name : string;
+  n : int;
+  m : int;
+  refs : int;
+  already_loaded : bool;
+  warnings : int;
+}
+
+let load t ?name ?(normalize = false) ?(lenient = false) path =
+  let mode = if lenient then Dataset.Lenient else Dataset.Strict in
+  let d, warns = Dataset.of_csv_report ?name ~mode path in
+  let d = if normalize then Dataset.normalize d else d in
+  let key = hash_dataset d in
+  let warnings = List.length warns in
+  with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | Some e ->
+          e.refs <- e.refs + 1;
+          Obs.Counter.incr Metrics.dataset_hits;
+          (* The alias follows the newest load even on a hit, so two
+             names for identical content both resolve. *)
+          Hashtbl.replace t.aliases (Dataset.name d) key;
+          {
+            key;
+            dataset_name = Dataset.name e.dataset;
+            n = Dataset.size e.dataset;
+            m = Dataset.dim e.dataset;
+            refs = e.refs;
+            already_loaded = true;
+            warnings;
+          }
+      | None ->
+          let e =
+            {
+              key;
+              dataset = d;
+              rows = Dataset.rows d;
+              e_lock = Mutex.create ();
+              skyline = None;
+              hull = None;
+              matrices = [];
+              results = Hashtbl.create 16;
+              refs = 1;
+            }
+          in
+          Hashtbl.replace t.entries key e;
+          Hashtbl.replace t.aliases (Dataset.name d) key;
+          Obs.Counter.incr Metrics.datasets_loaded;
+          {
+            key;
+            dataset_name = Dataset.name d;
+            n = Dataset.size d;
+            m = Dataset.dim d;
+            refs = 1;
+            already_loaded = false;
+            warnings;
+          })
+
+(* Resolve a key-or-alias under [t.lock]. *)
+let find_locked t handle =
+  match Hashtbl.find_opt t.entries handle with
+  | Some e -> Some e
+  | None -> (
+      match Hashtbl.find_opt t.aliases handle with
+      | Some key -> Hashtbl.find_opt t.entries key
+      | None -> None)
+
+type release =
+  | Not_loaded
+  | Released of { key : string; remaining : int; freed : bool }
+
+let release t handle =
+  with_lock t.lock (fun () ->
+      match find_locked t handle with
+      | None -> Not_loaded
+      | Some e ->
+          e.refs <- e.refs - 1;
+          if e.refs <= 0 then begin
+            Hashtbl.remove t.entries e.key;
+            let dead =
+              Hashtbl.fold
+                (fun a k acc -> if k = e.key then a :: acc else acc)
+                t.aliases []
+            in
+            List.iter (Hashtbl.remove t.aliases) dead;
+            Obs.Counter.incr Metrics.evictions;
+            Released { key = e.key; remaining = 0; freed = true }
+          end
+          else Released { key = e.key; remaining = e.refs; freed = false })
+
+let session_release_all t keys = List.iter (fun k -> ignore (release t k)) keys
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_admission t f =
+  let admitted =
+    with_lock t.lock (fun () ->
+        if t.inflight < t.max_inflight then begin
+          t.inflight <- t.inflight + 1;
+          Obs.Gauge.set_int Metrics.inflight t.inflight;
+          true
+        end
+        else if t.queued >= t.max_queue then false
+        else begin
+          t.queued <- t.queued + 1;
+          Obs.Gauge.set_int Metrics.queue_depth t.queued;
+          while t.inflight >= t.max_inflight do
+            Condition.wait t.cond t.lock
+          done;
+          t.queued <- t.queued - 1;
+          Obs.Gauge.set_int Metrics.queue_depth t.queued;
+          t.inflight <- t.inflight + 1;
+          Obs.Gauge.set_int Metrics.inflight t.inflight;
+          true
+        end)
+  in
+  if not admitted then begin
+    Obs.Counter.incr Metrics.overloaded;
+    Error `Overloaded
+  end
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        with_lock t.lock (fun () ->
+            t.inflight <- t.inflight - 1;
+            Obs.Gauge.set_int Metrics.inflight t.inflight;
+            (* One slot freed can admit one waiter, but broadcast keeps
+               the gate correct if max_inflight ever changes shape. *)
+            Condition.broadcast t.cond))
+      (fun () -> Ok (f ()))
+
+let admission_state t = with_lock t.lock (fun () -> (t.inflight, t.queued))
+
+(* ------------------------------------------------------------------ *)
+(* Artifacts                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Lock order everywhere: [t.lock] strictly before [e.e_lock]; [g_lock]
+   only ever innermost.  Artifact builds run under the entry lock, so
+   concurrent sessions querying the same dataset serialize the build
+   and every one of them reuses the single copy — the whole point. *)
+
+let skyline_locked t e =
+  match e.skyline with
+  | Some sky ->
+      Obs.Counter.incr Metrics.skyline_hits;
+      sky
+  | None ->
+      Obs.Counter.incr Metrics.skyline_misses;
+      let sky = Skyline.sfs ~domains:t.domains e.rows in
+      e.skyline <- Some sky;
+      sky
+
+let hull_locked e =
+  match e.hull with
+  | Some ctx ->
+      Obs.Counter.incr Metrics.hull_hits;
+      ctx
+  | None ->
+      Obs.Counter.incr Metrics.hull_misses;
+      let ctx = Rrms2d.make_ctx e.rows in
+      e.hull <- Some ctx;
+      ctx
+
+let grid_of t ~m ~gamma =
+  with_lock t.g_lock (fun () ->
+      match Hashtbl.find_opt t.grids (m, gamma) with
+      | Some g ->
+          Obs.Counter.incr Metrics.grid_hits;
+          g
+      | None ->
+          Obs.Counter.incr Metrics.grid_misses;
+          let g = Discretize.grid ~gamma ~m in
+          Hashtbl.replace t.grids (m, gamma) g;
+          g)
+
+(* The γ-matrix for [e], in preference order: cached at γ → derived by
+   column selection from a cached γ' > γ whose shared angles are
+   bit-identical (Discretize.subgrid_indices) → built from scratch. *)
+let matrix_locked t e ~sky ~m ~gamma ~guard =
+  match List.assoc_opt gamma e.matrices with
+  | Some mat ->
+      Obs.Counter.incr Metrics.matrix_hits;
+      mat
+  | None -> (
+      let derived =
+        List.fold_left
+          (fun acc (g, mat) ->
+            match acc with
+            | Some _ -> acc
+            | None when g > gamma -> (
+                match Discretize.subgrid_indices ~gamma_sub:gamma ~gamma:g ~m with
+                | Some idx -> Some (Regret_matrix.select_cols mat idx)
+                | None -> None)
+            | None -> None)
+          None e.matrices
+      in
+      match derived with
+      | Some mat ->
+          Obs.Counter.incr Metrics.matrix_derived;
+          e.matrices <- (gamma, mat) :: e.matrices;
+          mat
+      | None ->
+          Obs.Counter.incr Metrics.matrix_misses;
+          let funcs = grid_of t ~m ~gamma in
+          let sky_points = Array.map (fun i -> e.rows.(i)) sky in
+          let mat =
+            Regret_matrix.build ~domains:t.domains ~guard ~funcs sky_points
+          in
+          e.matrices <- (gamma, mat) :: e.matrices;
+          mat)
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let budget_of (q : Protocol.query) =
+  match (q.timeout, q.max_cells, q.max_probes) with
+  | None, None, None -> Guard.Budget.unlimited
+  | timeout, max_cells, max_probes ->
+      Guard.Budget.create ?timeout ?max_cells ?max_probes ()
+
+let ints arr = Json.Arr (Array.to_list (Array.map Json.int arr))
+
+let quality_fields q =
+  [
+    ("quality", Json.Str (Guard.describe q));
+    ("degraded", Json.Bool (not (Guard.is_exact q)));
+  ]
+
+(* Mirror of the solvers' own cell-cap auto-shrink (Hd_rrms.shrink_gamma),
+   run before the matrix artifact is chosen so a capped query fetches /
+   builds the matrix it would have built cold. *)
+let shrink_gamma ~max_cells ~rows ~gamma ~m =
+  match max_cells with
+  | None -> (gamma, None)
+  | Some cap -> (
+      match Discretize.fit_gamma ~rows ~max_cells:cap ~gamma ~m with
+      | Some g when g = gamma -> (gamma, None)
+      | Some g ->
+          let requested = Discretize.matrix_cells ~rows ~gamma ~m in
+          ( g,
+            Some
+              (Guard.Cell_cap
+                 { requested; cap; gamma_from = gamma; gamma_to = g }) )
+      | None ->
+          Guard.Error.resource_limit
+            ~what:"regret matrix cells (even at gamma = 1)"
+            ~requested:(Discretize.matrix_cells ~rows ~gamma:1 ~m)
+            ~limit:cap)
+
+let merge_shrink quality = function
+  | None -> quality
+  | Some c -> (
+      match quality with
+      | Guard.Exact -> Guard.Degraded [ c ]
+      | Guard.Degraded rs -> Guard.Degraded (c :: rs))
+
+let solve_query t e (q : Protocol.query) =
+  let guard = budget_of q in
+  let m = Dataset.dim e.dataset in
+  match q.algo with
+  | Protocol.Hd_rrms ->
+      let sky, matrix, gamma_used, shrink =
+        with_lock e.e_lock (fun () ->
+            let sky = skyline_locked t e in
+            let gamma_used, shrink =
+              shrink_gamma ~max_cells:q.max_cells ~rows:(Array.length sky)
+                ~gamma:q.gamma ~m
+            in
+            let matrix = matrix_locked t e ~sky ~m ~gamma:gamma_used ~guard in
+            (sky, matrix, gamma_used, shrink))
+      in
+      let res =
+        Hd_rrms.solve_prepared ~domains:t.domains ~guard ~skyline:sky
+          ~gamma_used ~m matrix ~r:q.r
+      in
+      let quality = merge_shrink res.Hd_rrms.quality shrink in
+      ( Json.Obj
+          ([
+             ("algo", Json.Str "hd-rrms");
+             ("selected", ints res.Hd_rrms.selected);
+             ("size", Json.int (Array.length res.Hd_rrms.selected));
+             ("eps_min", Json.float res.Hd_rrms.eps_min);
+             ("discretized_regret", Json.float res.Hd_rrms.discretized_regret);
+             ("guarantee", Json.float res.Hd_rrms.guarantee);
+             ("gamma_used", Json.int res.Hd_rrms.gamma_used);
+           ]
+          @ quality_fields quality),
+        Guard.is_exact quality )
+  | Protocol.Hd_greedy ->
+      let sky, matrix, gamma_used, shrink =
+        with_lock e.e_lock (fun () ->
+            let sky = skyline_locked t e in
+            let gamma_used, shrink =
+              shrink_gamma ~max_cells:q.max_cells ~rows:(Array.length sky)
+                ~gamma:q.gamma ~m
+            in
+            let matrix = matrix_locked t e ~sky ~m ~gamma:gamma_used ~guard in
+            (sky, matrix, gamma_used, shrink))
+      in
+      let res =
+        Hd_greedy.solve_prepared ~domains:t.domains ~guard ~skyline:sky
+          ~gamma_used matrix ~r:q.r
+      in
+      let quality = merge_shrink res.Hd_greedy.quality shrink in
+      ( Json.Obj
+          ([
+             ("algo", Json.Str "hd-greedy");
+             ("selected", ints res.Hd_greedy.selected);
+             ("size", Json.int (Array.length res.Hd_greedy.selected));
+             ( "discretized_regret",
+               Json.float res.Hd_greedy.discretized_regret );
+             ("gamma_used", Json.int res.Hd_greedy.gamma_used);
+           ]
+          @ quality_fields quality),
+        Guard.is_exact quality )
+  | Protocol.A2d | Protocol.A2d_exact ->
+      let ctx = with_lock e.e_lock (fun () -> hull_locked e) in
+      let res =
+        match q.algo with
+        | Protocol.A2d -> Rrms2d.solve ~ctx e.rows ~r:q.r
+        | _ -> Rrms2d.solve_exact ~ctx e.rows ~r:q.r
+      in
+      ( Json.Obj
+          [
+            ( "algo",
+              Json.Str (if q.algo = Protocol.A2d then "2d" else "2d-exact") );
+            ("selected", ints res.Rrms2d.selected);
+            ("size", Json.int (Array.length res.Rrms2d.selected));
+            ("dp_value", Json.float res.Rrms2d.dp_value);
+            ("regret", Json.float res.Rrms2d.regret);
+          ],
+        true )
+  | Protocol.Sweepline ->
+      let res = Sweepline.solve e.rows ~r:q.r in
+      ( Json.Obj
+          [
+            ("algo", Json.Str "sweepline");
+            ("selected", ints res.Sweepline.selected);
+            ("size", Json.int (Array.length res.Sweepline.selected));
+            ("dp_value", Json.float res.Sweepline.dp_value);
+            ("regret", Json.float res.Sweepline.regret);
+          ],
+        true )
+  | Protocol.Greedy ->
+      let res = Greedy.solve ~guard e.rows ~r:q.r in
+      ( Json.Obj
+          ([
+             ("algo", Json.Str "greedy");
+             ("selected", ints res.Greedy.selected);
+             ("size", Json.int (Array.length res.Greedy.selected));
+             ("regret_lp", Json.float res.Greedy.regret_lp);
+             ("skipped_lps", Json.int res.Greedy.skipped_lps);
+           ]
+          @ quality_fields res.Greedy.quality),
+        Guard.is_exact res.Greedy.quality )
+  | Protocol.Cube ->
+      let res = Cube.solve e.rows ~r:q.r in
+      ( Json.Obj
+          [
+            ("algo", Json.Str "cube");
+            ("selected", ints res.Cube.selected);
+            ("size", Json.int (Array.length res.Cube.selected));
+            ("t_parameter", Json.int res.Cube.t_parameter);
+          ],
+        true )
+
+type outcome = { result : Json.t; cached : bool }
+
+let query t (q : Protocol.query) =
+  match with_lock t.lock (fun () -> find_locked t q.dataset) with
+  | None -> Error `Unknown_dataset
+  | Some e -> (
+      let ckey = Protocol.cache_key q in
+      let hit =
+        if q.use_cache then
+          with_lock e.e_lock (fun () -> Hashtbl.find_opt e.results ckey)
+        else None
+      in
+      match hit with
+      | Some result ->
+          Obs.Counter.incr Metrics.result_hits;
+          Ok { result; cached = true }
+      | None -> (
+          if q.use_cache then Obs.Counter.incr Metrics.result_misses;
+          match with_admission t (fun () -> solve_query t e q) with
+          | Error `Overloaded -> Error `Overloaded
+          | Ok (result, cacheable) ->
+              (* Only Exact answers are cached: a budget-degraded result
+                 depends on its budget, so serving it to a later (maybe
+                 unbudgeted) request would break the bit-identity
+                 contract. *)
+              if cacheable then
+                with_lock e.e_lock (fun () ->
+                    if not (Hashtbl.mem e.results ckey) then
+                      Hashtbl.add e.results ckey result);
+              Ok { result; cached = false }))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let level_string = function
+  | Obs.Disabled -> "disabled"
+  | Obs.Counters -> "counters"
+  | Obs.Full -> "full"
+
+let stats t =
+  let datasets, inflight, queued =
+    with_lock t.lock (fun () ->
+        let ds =
+          Hashtbl.fold
+            (fun key e acc ->
+              let fields =
+                with_lock e.e_lock (fun () ->
+                    [
+                      ("key", Json.Str key);
+                      ("name", Json.Str (Dataset.name e.dataset));
+                      ("n", Json.int (Dataset.size e.dataset));
+                      ("m", Json.int (Dataset.dim e.dataset));
+                      ("refs", Json.int e.refs);
+                      ("skyline_cached", Json.Bool (e.skyline <> None));
+                      ("hull_cached", Json.Bool (e.hull <> None));
+                      ( "matrices",
+                        Json.Arr
+                          (List.map
+                             (fun (g, _) -> Json.int g)
+                             (List.sort compare e.matrices)) );
+                      ("results_cached", Json.int (Hashtbl.length e.results));
+                    ])
+              in
+              (key, Json.Obj fields) :: acc)
+            t.entries []
+        in
+        let ds = List.sort (fun (a, _) (b, _) -> compare a b) ds in
+        (List.map snd ds, t.inflight, t.queued))
+  in
+  let metrics =
+    List.map (fun (name, v) -> (name, Json.float v)) (Obs.snapshot ())
+  in
+  Json.Obj
+    [
+      ("datasets", Json.Arr datasets);
+      ( "admission",
+        Json.Obj
+          [
+            ("max_inflight", Json.int t.max_inflight);
+            ("max_queue", Json.int t.max_queue);
+            ("inflight", Json.int inflight);
+            ("queued", Json.int queued);
+          ] );
+      ("obs_level", Json.Str (level_string (Obs.level ())));
+      ("metrics", Json.Obj metrics);
+    ]

@@ -1,0 +1,137 @@
+(** The artifact store and plan/result cache of the query service.
+
+    The store owns every expensive intermediate of the RRMS pipeline and
+    shares it across concurrent sessions:
+
+    - {e datasets}, keyed by a 64-bit FNV-1a content hash of the loaded
+      (post-transform) tuples — two sessions loading the same file, or
+      two files with identical content, share one entry.  Entries are
+      refcounted: each successful [load] takes a reference, [release]
+      (the [evict] request, and session teardown) drops one, and the
+      entry with all its artifacts is freed when the count reaches zero.
+    - {e per-dataset artifacts}, computed once on first use and reused
+      by every later query: the skyline index set, the 2D maxima-hull
+      context, and regret matrices keyed by the γ they were built at.
+      A γ'-query is served from a cached γ-matrix without rebuilding
+      whenever γ' is an exact floating-point sub-grid of γ
+      ({!Rrms_core.Discretize.subgrid_indices} +
+      {!Rrms_core.Regret_matrix.select_cols}) — counted as a derived
+      matrix, not a miss.
+    - {e direction grids}, keyed [(m, γ)] store-wide (they are
+      dataset-independent).
+    - {e results}: the serialized deterministic part of every [Exact]
+      answer, keyed by {!Protocol.cache_key}.  Degraded (budget-stopped)
+      answers are never cached, so a cache hit is always bit-identical
+      to an unbudgeted cold solve.  [use_cache = false] bypasses the
+      read but still populates the cache.
+
+    Admission control: at most [max_inflight] solves run concurrently;
+    up to [max_queue] more wait on a condition variable; beyond that
+    {!query} answers [`Overloaded] immediately (graceful shedding, the
+    guard-subsystem philosophy at the service boundary).  Cache hits
+    and the cheap requests bypass admission entirely.
+
+    Every cache consults an {!Rrms_obs.Obs} counter pair
+    ([rrms_serve_<kind>_{hits,misses}_total]); [stats] snapshots the
+    whole registry.  All entry points are thread-safe. *)
+
+type t
+
+(** The serving-layer instruments, exposed so tests (and embedders) can
+    assert the no-recompute contract directly: a warm query must leave
+    every [*_misses] counter untouched.  All are registered in the
+    global {!Rrms_obs.Obs} registry and appear in [stats]. *)
+module Metrics : sig
+  val datasets_loaded : Rrms_obs.Obs.Counter.t
+  val dataset_hits : Rrms_obs.Obs.Counter.t
+  val evictions : Rrms_obs.Obs.Counter.t
+  val skyline_hits : Rrms_obs.Obs.Counter.t
+  val skyline_misses : Rrms_obs.Obs.Counter.t
+  val hull_hits : Rrms_obs.Obs.Counter.t
+  val hull_misses : Rrms_obs.Obs.Counter.t
+  val grid_hits : Rrms_obs.Obs.Counter.t
+  val grid_misses : Rrms_obs.Obs.Counter.t
+  val matrix_hits : Rrms_obs.Obs.Counter.t
+  val matrix_misses : Rrms_obs.Obs.Counter.t
+
+  val matrix_derived : Rrms_obs.Obs.Counter.t
+  (** γ'-matrices obtained by column-selecting a cached γ-matrix. *)
+
+  val result_hits : Rrms_obs.Obs.Counter.t
+  val result_misses : Rrms_obs.Obs.Counter.t
+  val overloaded : Rrms_obs.Obs.Counter.t
+end
+
+val create :
+  ?domains:int ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  unit ->
+  t
+(** [create ()] makes an empty store.  [domains] is the worker-domain
+    count handed to every solver and artifact build (default: the
+    {!Rrms_parallel.Pool.default_size} at call time, so [RRMS_DOMAINS]
+    applies).  [max_inflight] defaults to [4]; [max_queue] to [16]. *)
+
+type loaded = {
+  key : string;  (** 16-hex-digit content hash — the canonical handle *)
+  dataset_name : string;
+  n : int;
+  m : int;
+  refs : int;  (** reference count after this load *)
+  already_loaded : bool;  (** true on an artifact-store hit *)
+  warnings : int;  (** dropped rows under lenient CSV loading *)
+}
+
+val load :
+  t ->
+  ?name:string ->
+  ?normalize:bool ->
+  ?lenient:bool ->
+  string ->
+  loaded
+(** [load t path] reads a CSV, applies the transforms, hashes the
+    content and either joins the existing entry (incrementing its
+    refcount) or creates one.  [name] (default: the dataset's own name)
+    is registered as an alias usable wherever a key is expected; a
+    rebound alias points to the newest load.
+    @raise Rrms_guard.Guard.Error.Guard_error as
+    {!Rrms_dataset.Dataset.of_csv_report}. *)
+
+type release =
+  | Not_loaded
+  | Released of { key : string; remaining : int; freed : bool }
+
+val release : t -> string -> release
+(** Drop one reference (by key or alias); frees the entry and all its
+    artifacts when the count reaches zero.  [key] is the resolved
+    content hash (the handle may have been an alias). *)
+
+type outcome = {
+  result : Json.t;  (** the deterministic [result] member *)
+  cached : bool;  (** answered from the result cache *)
+}
+
+val query :
+  t -> Protocol.query -> (outcome, [ `Overloaded | `Unknown_dataset ]) result
+(** Answer one query: result cache → admission → artifacts → solver.
+    @raise Rrms_guard.Guard.Error.Guard_error for solver-level failures
+    (bad [r], budget expiry with no degraded answer, …);
+    [Invalid_argument] raised by the 2D solvers on non-2D data is
+    translated to a structured [Invalid_input] here. *)
+
+val stats : t -> Json.t
+(** Live snapshot: per-dataset artifact inventory, admission state, and
+    the full {!Rrms_obs.Obs.snapshot}. *)
+
+val session_release_all : t -> string list -> unit
+(** Teardown helper: drop one reference per listed key (a session's
+    loads), ignoring already-freed entries. *)
+
+val with_admission : t -> (unit -> 'a) -> ('a, [ `Overloaded ]) result
+(** The raw admission gate (exposed for the burst tests): run the thunk
+    in an in-flight slot, waiting in the bounded queue when saturated,
+    shedding with [`Overloaded] when the queue is full too. *)
+
+val admission_state : t -> int * int
+(** [(inflight, queued)] right now. *)

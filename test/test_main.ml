@@ -45,4 +45,5 @@ let () =
       ("guard", Test_guard.suite);
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
+      ("serve", Test_serve.suite);
     ]
