@@ -27,6 +27,8 @@ let write_json path ~n ~m ~gamma ~r ~repeats samples =
     "  \"n\": %d,\n  \"m\": %d,\n  \"gamma\": %d,\n  \"r\": %d,\n\
     \  \"repeats\": %d,\n"
     n m gamma r repeats;
+  Printf.fprintf oc "  \"cpu_cores_available\": %d,\n"
+    (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"samples\": [\n";
   List.iteri
     (fun i (label, seconds, ratio) ->

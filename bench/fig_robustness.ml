@@ -34,6 +34,8 @@ let write_json path ~n ~m ~gamma ~r samples =
   Printf.fprintf oc "  \"dataset\": \"anticorrelated\",\n";
   Printf.fprintf oc "  \"n\": %d,\n  \"m\": %d,\n  \"gamma\": %d,\n  \"r\": %d,\n"
     n m gamma r;
+  Printf.fprintf oc "  \"cpu_cores_available\": %d,\n"
+    (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"samples\": [\n";
   List.iteri
     (fun i s ->

@@ -76,6 +76,8 @@ let write_json path ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows ~r_rows =
     "  \"n\": %d,\n  \"m\": %d,\n  \"gamma\": %d,\n  \"r\": %d,\n\
     \  \"repeats\": %d,\n"
     n m gamma r repeats;
+  Printf.fprintf oc "  \"cpu_cores_available\": %d,\n"
+    (Domain.recommended_domain_count ());
   let section name rows fmt =
     Printf.fprintf oc "  \"%s\": [\n" name;
     List.iteri

@@ -17,12 +17,14 @@ module Guard = Rrms_guard.Guard
 module Obs = Rrms_obs.Obs
 module Store = Rrms_serve.Store
 module Server = Rrms_serve.Server
+module Telemetry = Rrms_serve.Telemetry
+module Json = Rrms_serve.Json
 
 let guard_error e =
   Printf.eprintf "rrms-serve: error: %s\n%!" (Guard.Error.to_string e);
   exit (Guard.Error.exit_code e)
 
-let client path =
+let connect_to path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (match Unix.connect fd (Unix.ADDR_UNIX path) with
   | () -> ()
@@ -30,6 +32,110 @@ let client path =
       Printf.eprintf "rrms-serve: cannot connect to %s: %s\n%!" path
         (Unix.error_message err);
       exit 69);
+  fd
+
+(* ------------------------------------------------------------------ *)
+(* --top: live stats table                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One persistent connection; each tick sends a [stats] request and
+   renders the per-(algo, cache, status) latency table plus a service
+   summary line from the metric snapshot. *)
+let top path ~interval ~iterations =
+  let fd = connect_to path in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let sstr j k = match Json.member k j with Some v -> Json.str v | None -> None in
+  let snum j k = match Json.member k j with Some v -> Json.num v | None -> None in
+  let fnum j k = Option.value ~default:0. (snum j k) in
+  let metric result name =
+    match Json.member "metrics" result with
+    | Some ms -> fnum ms name
+    | None -> 0.
+  in
+  let render result =
+    let buf = Buffer.create 2048 in
+    let hits = metric result "rrms_serve_result_hits_total" in
+    let misses = metric result "rrms_serve_result_misses_total" in
+    let probed = hits +. misses in
+    let hit_rate = if probed > 0. then 100. *. hits /. probed else 0. in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "rrms-top — %s\nrequests %.0f   errors %.0f   result hit-rate %.1f%% \
+          (%.0f/%.0f)   inflight %.0f   queued %.0f   overloaded %.0f\n\n"
+         path
+         (metric result "rrms_serve_requests_total")
+         (metric result "rrms_serve_errors_total")
+         hit_rate hits probed
+         (metric result "rrms_serve_inflight")
+         (metric result "rrms_serve_queue_depth")
+         (metric result "rrms_serve_overloaded_total"));
+    Buffer.add_string buf
+      (Printf.sprintf "%-12s %-8s %-9s %8s %10s %10s %10s %10s\n" "ALGO"
+         "CACHE" "STATUS" "COUNT" "P50(ms)" "P95(ms)" "P99(ms)" "MAX(ms)");
+    let rows =
+      match Json.member "latency" result with
+      | Some lat -> (
+          match Json.member "histograms" lat with
+          | Some (Json.Arr rows) -> rows
+          | _ -> [])
+      | None -> []
+    in
+    if rows = [] then Buffer.add_string buf "  (no queries observed yet)\n"
+    else
+      List.iter
+        (fun row ->
+          let s k = Option.value ~default:"?" (sstr row k) in
+          Buffer.add_string buf
+            (Printf.sprintf "%-12s %-8s %-9s %8.0f %10.3f %10.3f %10.3f %10.3f\n"
+               (s "algo") (s "cache") (s "status") (fnum row "count")
+               (fnum row "p50_ms") (fnum row "p95_ms") (fnum row "p99_ms")
+               (fnum row "max_ms")))
+        rows;
+    (match Json.member "latency" result with
+    | Some lat ->
+        let slow = fnum lat "slow_queries" in
+        let lines = fnum lat "access_log_lines" in
+        if slow > 0. || lines > 0. then
+          Buffer.add_string buf
+            (Printf.sprintf "\naccess-log lines %.0f   slow queries %.0f\n"
+               lines slow)
+    | None -> ());
+    Buffer.contents buf
+  in
+  let rec loop n =
+    output_string oc "{\"id\": 0, \"req\": \"stats\"}\n";
+    flush oc;
+    (match input_line ic with
+    | exception End_of_file ->
+        Printf.eprintf "rrms-serve: server closed the connection\n%!";
+        exit 1
+    | line -> (
+        match Json.parse line with
+        | Error e ->
+            Printf.eprintf "rrms-serve: bad stats response: %s\n%!" e;
+            exit 1
+        | Ok j -> (
+            match Json.member "result" j with
+            | Some result ->
+                (* Clear screen + home when on a tty; plain append
+                   otherwise so output stays greppable in pipes. *)
+                if Unix.isatty Unix.stdout then print_string "\027[2J\027[H";
+                print_string (render result);
+                flush stdout
+            | None ->
+                Printf.eprintf "rrms-serve: stats request failed: %s\n%!" line;
+                exit 1)));
+    if iterations = 0 || n + 1 < iterations then begin
+      Unix.sleepf interval;
+      loop (n + 1)
+    end
+  in
+  loop 0;
+  close_out_noerr oc
+
+let client path =
+  let fd = connect_to path in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
@@ -51,7 +157,8 @@ let client path =
   loop ();
   close_out_noerr oc
 
-let run stdio connect socket domains max_inflight max_queue obs =
+let run stdio connect top_path socket domains max_inflight max_queue obs
+    access_log slow_ms interval iterations =
   Rrms_parallel.Pool.configure_from_env ();
   Rrms_parallel.Fault.configure_from_env ();
   (* A resident service records by default: RRMS_OBS / RRMS_TRACE win
@@ -67,21 +174,33 @@ let run stdio connect socket domains max_inflight max_queue obs =
   (match domains with
   | Some d when d >= 1 -> Rrms_parallel.Pool.set_default_size d
   | Some _ | None -> ());
+  let telemetry () =
+    match (access_log, slow_ms) with
+    | None, None -> Telemetry.default
+    | _ ->
+        let t = Telemetry.create ?access_log ?slow_ms () in
+        at_exit (fun () -> Telemetry.close t);
+        t
+  in
   try
-    match (connect, stdio, socket) with
-    | Some path, _, _ -> `Ok (client path)
-    | None, true, _ ->
+    match (connect, top_path, stdio, socket) with
+    | Some path, _, _, _ -> `Ok (client path)
+    | None, Some path, _, _ -> `Ok (top path ~interval ~iterations)
+    | None, None, true, _ ->
         let store = Store.create ~max_inflight ~max_queue () in
-        ignore (Server.serve_stdio store);
+        ignore (Server.serve_stdio ~telemetry:(telemetry ()) store);
         `Ok ()
-    | None, false, Some path ->
+    | None, None, false, Some path ->
         let store = Store.create ~max_inflight ~max_queue () in
-        let srv = Server.start store ~socket:path in
+        let srv = Server.start ~telemetry:(telemetry ()) store ~socket:path in
         Printf.eprintf "rrms-serve: listening on %s\n%!" path;
         Server.wait srv;
         `Ok ()
-    | None, false, None ->
-        `Error (true, "one of --socket PATH, --stdio or --connect PATH is required")
+    | None, None, false, None ->
+        `Error
+          ( true,
+            "one of --socket PATH, --stdio, --connect PATH or --top PATH is \
+             required" )
   with Guard.Error.Guard_error e -> guard_error e
 
 let cmd =
@@ -137,12 +256,54 @@ let cmd =
             "Observability level when $(b,RRMS_OBS) is unset (off | \
              counters | full).")
   in
+  let top_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "top" ] ~docv:"PATH"
+          ~doc:
+            "Poll the daemon at $(docv) with $(i,stats) requests and render \
+             a live per-(algo, cache, status) latency/hit-rate table.")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per query request to $(docv): request id, \
+             algo, r, gamma, dataset hash, cache outcome, queue wait, solve \
+             time, probes/cells.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"N"
+          ~doc:
+            "Dump the full per-request span trace of any query taking at \
+             least $(docv) ms (to the access log when set, stderr \
+             otherwise).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Polling interval for $(b,--top).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop $(b,--top) after $(docv) polls (0 = run until killed).")
+  in
   let doc = "long-lived RRMS query service over line-delimited JSON" in
   Cmd.v
     (Cmd.info "rrms-serve" ~doc)
     Term.(
       ret
-        (const run $ stdio $ connect $ socket $ domains $ max_inflight
-       $ max_queue $ obs))
+        (const run $ stdio $ connect $ top_path $ socket $ domains
+       $ max_inflight $ max_queue $ obs $ access_log $ slow_ms $ interval
+       $ iterations))
 
 let () = exit (Cmd.eval cmd)

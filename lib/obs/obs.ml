@@ -15,7 +15,15 @@
    A metric is [deterministic] when its final value depends only on the
    input workload — not on wall-clock time, the domain count, or the
    chunk layout.  test/test_obs.ml asserts exactly the deterministic
-   subset is reproducible across RRMS_DOMAINS=1/2/4. *)
+   subset is reproducible across RRMS_DOMAINS=1/2/4.
+
+   Request scoping ([Ctx]): a serving layer can bind an explicit
+   context to the calling thread; while bound, every counter and float
+   counter tees its delta into the context as well as the global
+   registry, and spans carry the context's request/session ids.  The
+   global registry stays the single source of truth — a context is an
+   additional, request-local view, and with no context bound anywhere
+   the overhead is one atomic load per recording. *)
 
 type level = Disabled | Counters | Full
 
@@ -85,10 +93,245 @@ let float_add cell x =
   go ()
 
 (* ------------------------------------------------------------------ *)
+(* Trace buffer                                                        *)
+
+module Trace = struct
+  type event = {
+    name : string;
+    domain : int;
+    depth : int;
+    start : float; (* seconds since process start of the span's entry *)
+    dur : float;
+    attrs : (string * string) list;
+  }
+
+  let origin = Unix.gettimeofday ()
+  let buffer : event list ref = ref []
+  let buffer_size = ref 0
+  let buffer_mutex = Mutex.create ()
+  let default_max_events = 200_000
+  let max_events_cell = ref default_max_events
+
+  (* Discards past the cap are not silent: they land in a registered
+     counter (summary sink) and in the trace footer. *)
+  let dropped_cell = Atomic.make 0
+
+  let () =
+    ignore
+      (register
+         {
+           name = "rrms_trace_dropped_total";
+           help = "span events discarded at the trace-buffer cap";
+           kind = Kcounter;
+           deterministic = false;
+         }
+         (Int_cell dropped_cell))
+
+  let set_max_events n =
+    Mutex.lock buffer_mutex;
+    max_events_cell := max 0 n;
+    Mutex.unlock buffer_mutex
+
+  let record ev =
+    Mutex.lock buffer_mutex;
+    if !buffer_size >= !max_events_cell then Atomic.incr dropped_cell
+    else begin
+      buffer := ev :: !buffer;
+      incr buffer_size
+    end;
+    Mutex.unlock buffer_mutex
+
+  let events () =
+    Mutex.lock buffer_mutex;
+    let evs = List.rev !buffer in
+    Mutex.unlock buffer_mutex;
+    evs
+
+  let count () =
+    Mutex.lock buffer_mutex;
+    let n = !buffer_size in
+    Mutex.unlock buffer_mutex;
+    n
+
+  let dropped () = Atomic.get dropped_cell
+
+  let clear () =
+    Mutex.lock buffer_mutex;
+    buffer := [];
+    buffer_size := 0;
+    Atomic.set dropped_cell 0;
+    Mutex.unlock buffer_mutex
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let event_to_json ev =
+    let attrs =
+      match ev.attrs with
+      | [] -> ""
+      | kvs ->
+          let fields =
+            List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              kvs
+          in
+          Printf.sprintf ",\"attrs\":{%s}" (String.concat "," fields)
+    in
+    Printf.sprintf
+      "{\"type\":\"span\",\"name\":\"%s\",\"domain\":%d,\"depth\":%d,\
+       \"start\":%.6f,\"dur\":%.6f%s}"
+      (json_escape ev.name) ev.domain ev.depth ev.start ev.dur attrs
+end
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped contexts                                             *)
+
+module Ctx = struct
+  type t = {
+    request_id : string;
+    session_id : string;
+    capture_spans : bool;
+    c_mutex : Mutex.t;
+    vals : (string, float ref) Hashtbl.t;
+    mutable c_spans : Trace.event list; (* newest first *)
+    mutable c_span_count : int;
+    mutable c_span_dropped : int;
+  }
+
+  let max_spans = 10_000
+
+  let create ?(request_id = "") ?(session_id = "") ?(capture_spans = false) ()
+      =
+    {
+      request_id;
+      session_id;
+      capture_spans;
+      c_mutex = Mutex.create ();
+      vals = Hashtbl.create 16;
+      c_spans = [];
+      c_span_count = 0;
+      c_span_dropped = 0;
+    }
+
+  let request_id t = t.request_id
+  let session_id t = t.session_id
+
+  (* Ambient binding, keyed by (domain, systhread).  Domain.DLS would
+     be wrong here: server sessions are systhreads multiplexed on
+     domain 0 and must not see each other's binding.  [active] keeps
+     the no-context fast path at one atomic load. *)
+  let active = Atomic.make 0
+  let slots : (int * int, t) Hashtbl.t = Hashtbl.create 32
+  let slots_mutex = Mutex.create ()
+  let self_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+  let current () =
+    if Atomic.get active = 0 then None
+    else begin
+      let k = self_key () in
+      Mutex.lock slots_mutex;
+      let c = Hashtbl.find_opt slots k in
+      Mutex.unlock slots_mutex;
+      c
+    end
+
+  let with_ctx c f =
+    let k = self_key () in
+    Mutex.lock slots_mutex;
+    let prev = Hashtbl.find_opt slots k in
+    Hashtbl.replace slots k c;
+    if prev = None then Atomic.incr active;
+    Mutex.unlock slots_mutex;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock slots_mutex;
+        (match prev with
+        | Some p -> Hashtbl.replace slots k p
+        | None ->
+            Hashtbl.remove slots k;
+            Atomic.decr active);
+        Mutex.unlock slots_mutex)
+      f
+
+  let scoped copt f = match copt with None -> f () | Some c -> with_ctx c f
+
+  let add c name x =
+    if x <> 0. then begin
+      Mutex.lock c.c_mutex;
+      (match Hashtbl.find_opt c.vals name with
+      | Some r -> r := !r +. x
+      | None -> Hashtbl.add c.vals name (ref x));
+      Mutex.unlock c.c_mutex
+    end
+
+  (* The tee called from Counter/Floatc hot paths (already level
+     gated); [current] early-exits on the [active] atomic. *)
+  let record name x =
+    match current () with None -> () | Some c -> add c name x
+
+  let value c name =
+    Mutex.lock c.c_mutex;
+    let v =
+      match Hashtbl.find_opt c.vals name with Some r -> !r | None -> 0.
+    in
+    Mutex.unlock c.c_mutex;
+    v
+
+  let counters c =
+    Mutex.lock c.c_mutex;
+    let kvs = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.vals [] in
+    Mutex.unlock c.c_mutex;
+    List.sort compare kvs
+
+  let deterministic_counters c =
+    let det = Hashtbl.create 16 in
+    List.iter
+      (fun m ->
+        if m.meta.deterministic then Hashtbl.replace det m.meta.name ())
+      (metrics_sorted ());
+    List.filter (fun (k, _) -> Hashtbl.mem det k) (counters c)
+
+  let record_span c ev =
+    Mutex.lock c.c_mutex;
+    if c.c_span_count >= max_spans then
+      c.c_span_dropped <- c.c_span_dropped + 1
+    else begin
+      c.c_spans <- ev :: c.c_spans;
+      c.c_span_count <- c.c_span_count + 1
+    end;
+    Mutex.unlock c.c_mutex
+
+  let spans c =
+    Mutex.lock c.c_mutex;
+    let evs = List.rev c.c_spans in
+    Mutex.unlock c.c_mutex;
+    evs
+
+  let spans_dropped c =
+    Mutex.lock c.c_mutex;
+    let n = c.c_span_dropped in
+    Mutex.unlock c.c_mutex;
+    n
+end
+
+(* ------------------------------------------------------------------ *)
 (* Instruments                                                         *)
 
 module Counter = struct
-  type t = { c : int Atomic.t; _m : metric }
+  type t = { c : int Atomic.t; m : metric }
 
   let make ?(deterministic = true) ?(help = "") name =
     let c = Atomic.make 0 in
@@ -97,15 +340,25 @@ module Counter = struct
         { name; help; kind = Kcounter; deterministic }
         (Int_cell c)
     in
-    { c; _m = m }
+    { c; m }
 
-  let incr t = if Atomic.get level_cell > 0 then ignore (Atomic.fetch_and_add t.c 1)
-  let add t n = if Atomic.get level_cell > 0 && n <> 0 then ignore (Atomic.fetch_and_add t.c n)
+  let incr t =
+    if Atomic.get level_cell > 0 then begin
+      ignore (Atomic.fetch_and_add t.c 1);
+      Ctx.record t.m.meta.name 1.
+    end
+
+  let add t n =
+    if Atomic.get level_cell > 0 && n <> 0 then begin
+      ignore (Atomic.fetch_and_add t.c n);
+      Ctx.record t.m.meta.name (float_of_int n)
+    end
+
   let value t = Atomic.get t.c
 end
 
 module Floatc = struct
-  type t = { c : float Atomic.t; _m : metric }
+  type t = { c : float Atomic.t; m : metric }
 
   let make ?(deterministic = false) ?(help = "") name =
     let c = Atomic.make 0. in
@@ -114,9 +367,14 @@ module Floatc = struct
         { name; help; kind = Kfloat_counter; deterministic }
         (Float_cell c)
     in
-    { c; _m = m }
+    { c; m }
 
-  let add t x = if Atomic.get level_cell > 0 && x <> 0. then float_add t.c x
+  let add t x =
+    if Atomic.get level_cell > 0 && x <> 0. then begin
+      float_add t.c x;
+      Ctx.record t.m.meta.name x
+    end
+
   let value t = Atomic.get t.c
 end
 
@@ -182,86 +440,121 @@ module Timer = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Spans and trace                                                     *)
+(* Standalone latency histograms                                       *)
 
-module Trace = struct
-  type event = {
-    name : string;
-    domain : int;
-    depth : int;
-    start : float; (* seconds since process start of the span's entry *)
-    dur : float;
-    attrs : (string * string) list;
+(* Unlike [Timer], a [Hist] is not registered: the serving layer owns a
+   keyed family of them — (algo, cache outcome, status) — and folds
+   them into its own [stats] response.  Everything about the estimator
+   is deterministic given the multiset of observations: fixed bucket
+   boundaries, rank-based quantiles answered as bucket upper bounds,
+   and a merge that adds bucket counts (exactly associative; the float
+   [sum] is added pairwise, so it is associative whenever the inputs
+   are, e.g. dyadic test values). *)
+module Hist = struct
+  (* Five buckets per decade from 1 µs to 1000 s, plus implicit +Inf. *)
+  let bounds =
+    Array.init 46 (fun i -> 10. ** ((float_of_int i /. 5.) -. 6.))
+
+  type t = {
+    h_mutex : Mutex.t;
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_max : float;
+    h_buckets : int array; (* one slot per [bounds] entry + +Inf *)
   }
 
-  let origin = Unix.gettimeofday ()
-  let buffer : event list ref = ref []
-  let buffer_size = ref 0
-  let buffer_mutex = Mutex.create ()
-  let dropped = ref 0
-  let max_events = 200_000
+  let create () =
+    {
+      h_mutex = Mutex.create ();
+      h_count = 0;
+      h_sum = 0.;
+      h_max = 0.;
+      h_buckets = Array.make (Array.length bounds + 1) 0;
+    }
 
-  let record ev =
-    Mutex.lock buffer_mutex;
-    if !buffer_size >= max_events then incr dropped
+  (* Smallest i with dur <= bounds.(i); the overflow slot otherwise. *)
+  let slot_of dur =
+    let nb = Array.length bounds in
+    if dur <= bounds.(0) then 0
+    else if dur > bounds.(nb - 1) then nb
     else begin
-      buffer := ev :: !buffer;
-      incr buffer_size
-    end;
-    Mutex.unlock buffer_mutex
+      let lo = ref 0 and hi = ref (nb - 1) in
+      (* invariant: bounds.(lo) < dur <= bounds.(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if dur <= bounds.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
 
-  let events () =
-    Mutex.lock buffer_mutex;
-    let evs = List.rev !buffer in
-    Mutex.unlock buffer_mutex;
-    evs
+  let observe t dur =
+    Mutex.lock t.h_mutex;
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum +. dur;
+    if dur > t.h_max then t.h_max <- dur;
+    let s = slot_of dur in
+    t.h_buckets.(s) <- t.h_buckets.(s) + 1;
+    Mutex.unlock t.h_mutex
 
-  let count () =
-    Mutex.lock buffer_mutex;
-    let n = !buffer_size in
-    Mutex.unlock buffer_mutex;
-    n
+  let with_lock t f =
+    Mutex.lock t.h_mutex;
+    let v = f () in
+    Mutex.unlock t.h_mutex;
+    v
 
-  let clear () =
-    Mutex.lock buffer_mutex;
-    buffer := [];
-    buffer_size := 0;
-    dropped := 0;
-    Mutex.unlock buffer_mutex
+  let count t = with_lock t (fun () -> t.h_count)
+  let sum t = with_lock t (fun () -> t.h_sum)
+  let max_value t = with_lock t (fun () -> t.h_max)
+  let buckets t = with_lock t (fun () -> Array.copy t.h_buckets)
 
-  let json_escape s =
-    let buf = Buffer.create (String.length s + 2) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-
-  let event_to_json ev =
-    let attrs =
-      match ev.attrs with
-      | [] -> ""
-      | kvs ->
-          let fields =
-            List.map
-              (fun (k, v) ->
-                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
-              kvs
-          in
-          Printf.sprintf ",\"attrs\":{%s}" (String.concat "," fields)
+  let merge a b =
+    let t = create () in
+    let absorb src =
+      Mutex.lock src.h_mutex;
+      t.h_count <- t.h_count + src.h_count;
+      t.h_sum <- t.h_sum +. src.h_sum;
+      if src.h_max > t.h_max then t.h_max <- src.h_max;
+      Array.iteri
+        (fun i v -> t.h_buckets.(i) <- t.h_buckets.(i) + v)
+        src.h_buckets;
+      Mutex.unlock src.h_mutex
     in
-    Printf.sprintf
-      "{\"type\":\"span\",\"name\":\"%s\",\"domain\":%d,\"depth\":%d,\
-       \"start\":%.6f,\"dur\":%.6f%s}"
-      (json_escape ev.name) ev.domain ev.depth ev.start ev.dur attrs
+    absorb a;
+    absorb b;
+    t
+
+  (* Rank-based: the answer for quantile q over n observations is the
+     upper bound of the bucket holding the ceil(q·n)-th smallest one
+     (clamped by the observed max; the +Inf bucket answers the max).
+     Deterministic in the observation multiset — observation order and
+     merge shape cannot change it. *)
+  let quantile t q =
+    Mutex.lock t.h_mutex;
+    let n = t.h_count in
+    let hmax = t.h_max in
+    let bks = Array.copy t.h_buckets in
+    Mutex.unlock t.h_mutex;
+    if n = 0 then 0.
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+      let acc = ref 0 in
+      let ans = ref hmax in
+      (try
+         for i = 0 to Array.length bounds - 1 do
+           acc := !acc + bks.(i);
+           if !acc >= rank then begin
+             ans := min bounds.(i) hmax;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !ans
+    end
 end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
 
 module Span = struct
   (* Per-domain nesting depth; worker domains get their own stack, so a
@@ -289,28 +582,59 @@ module Span = struct
     Mutex.unlock timers_mutex;
     t
 
+  (* A span records when level = Full (global trace), and also when the
+     bound context asked for its own capture — that path works at
+     Counters, so a server can keep slow-query traces without paying
+     for a global Full buffer.  Context ids ride along as attrs. *)
   let with_ ?(attrs = []) name f =
-    if Atomic.get level_cell < 2 then f ()
+    let lvl = Atomic.get level_cell in
+    if lvl = 0 then f ()
     else begin
-      let depth = Domain.DLS.get depth_key in
-      let d = !depth in
-      depth := d + 1;
-      let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () ->
-          let dur = Unix.gettimeofday () -. t0 in
-          depth := d;
-          Timer.observe (timer_for name) dur;
-          Trace.record
-            {
-              Trace.name;
-              domain = (Domain.self () :> int);
-              depth = d;
-              start = t0 -. Trace.origin;
-              dur;
-              attrs;
-            })
-        f
+      let ctx = Ctx.current () in
+      let capture =
+        match ctx with Some c -> c.Ctx.capture_spans | None -> false
+      in
+      if lvl < 2 && not capture then f ()
+      else begin
+        let depth = Domain.DLS.get depth_key in
+        let d = !depth in
+        depth := d + 1;
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () ->
+            let dur = Unix.gettimeofday () -. t0 in
+            depth := d;
+            Timer.observe (timer_for name) dur;
+            let attrs =
+              match ctx with
+              | Some c
+                when c.Ctx.request_id <> "" || c.Ctx.session_id <> "" ->
+                  attrs
+                  @ (if c.Ctx.request_id <> "" then
+                       [ ("request_id", c.Ctx.request_id) ]
+                     else [])
+                  @
+                  if c.Ctx.session_id <> "" then
+                    [ ("session_id", c.Ctx.session_id) ]
+                  else []
+              | _ -> attrs
+            in
+            let ev =
+              {
+                Trace.name;
+                domain = (Domain.self () :> int);
+                depth = d;
+                start = t0 -. Trace.origin;
+                dur;
+                attrs;
+              }
+            in
+            if lvl > 1 then Trace.record ev;
+            match ctx with
+            | Some c when c.Ctx.capture_spans -> Ctx.record_span c ev
+            | _ -> ())
+          f
+      end
     end
 end
 
@@ -442,6 +766,9 @@ let write_trace path =
       output_string oc (Trace.event_to_json ev);
       output_char oc '\n')
     (Trace.events ());
+  Printf.fprintf oc
+    "{\"type\":\"trace_footer\",\"events\":%d,\"dropped\":%d}\n" (Trace.count ())
+    (Trace.dropped ());
   (* Final metrics snapshot so a trace file is self-contained. *)
   List.iter
     (fun m ->

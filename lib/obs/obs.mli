@@ -117,6 +117,110 @@ module Trace : sig
 
   val events : unit -> event list
   val count : unit -> int
+
+  val dropped : unit -> int
+  (** Span events discarded because the buffer was at its cap since the
+      last {!clear}.  Also registered as [rrms_trace_dropped_total] and
+      written into the [trace_footer] line of {!write_trace}. *)
+
+  val default_max_events : int
+
+  val set_max_events : int -> unit
+  (** Resize the buffer cap (tests shrink it to exercise the drop
+      path); existing buffered events are kept even if over the new
+      cap. *)
+
   val clear : unit -> unit
   val event_to_json : event -> string
+end
+
+(** Request-scoped recording contexts.
+
+    A context is an additional, request-local view of the same
+    instruments: while bound to the calling thread (and to any
+    {!Rrms_parallel} worker executing on its behalf), every
+    {!Counter.incr}/{!Counter.add}/{!Floatc.add} tees its delta into
+    the context, and every {!Span.with_} tags its event with the
+    context's [request_id]/[session_id].  The global registry is
+    unaffected; with no context bound anywhere the extra cost is one
+    atomic load per recording, and at {!Disabled} nothing records at
+    all — solver outputs stay bit-identical either way.
+
+    Bindings are keyed by (domain, systhread), so concurrent server
+    sessions on one domain keep disjoint scopes. *)
+module Ctx : sig
+  type t
+
+  val create :
+    ?request_id:string ->
+    ?session_id:string ->
+    ?capture_spans:bool ->
+    unit ->
+    t
+  (** [capture_spans] (default [false]) additionally records every span
+      executed under the context into the context itself — this works
+      at {!Counters} (not just {!Full}), which is what lets a server
+      keep slow-query traces without a global trace buffer. *)
+
+  val request_id : t -> string
+  val session_id : t -> string
+
+  val with_ctx : t -> (unit -> 'a) -> 'a
+  (** Bind the context to the calling thread for the thunk's duration
+      (re-entrant: an inner binding shadows and restores). *)
+
+  val scoped : t option -> (unit -> 'a) -> 'a
+  (** [scoped (current ()) f] is how a worker adopts its submitter's
+      context; [scoped None f] is just [f ()]. *)
+
+  val current : unit -> t option
+
+  val add : t -> string -> float -> unit
+  (** Record directly into a context (rarely needed — the instrument
+      tee does this for you). *)
+
+  val value : t -> string -> float
+  (** Accumulated delta for one metric name; [0.] if never recorded. *)
+
+  val counters : t -> (string * float) list
+  (** Every metric recorded in this context, sorted by name. *)
+
+  val deterministic_counters : t -> (string * float) list
+  (** The subset of {!counters} whose registered metric is
+      deterministic — identical across domain counts for a fixed
+      workload. *)
+
+  val spans : t -> Trace.event list
+  (** Spans captured under [capture_spans], in completion order. *)
+
+  val spans_dropped : t -> int
+end
+
+(** Standalone log-bucketed latency histograms with deterministic
+    quantile estimation.  Not registered in the global registry: the
+    serving layer owns a keyed family of these — (algo, cache outcome,
+    status) — and folds them into its [stats] response.  Bucket
+    boundaries are fixed (five per decade, 1 µs … 1000 s), quantiles
+    are rank-based bucket upper bounds clamped by the observed max, and
+    {!merge} adds bucket counts, so estimates depend only on the
+    multiset of observations — never on arrival order or merge shape. *)
+module Hist : sig
+  type t
+
+  val bounds : float array
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val max_value : t -> float
+
+  val buckets : t -> int array
+  (** Copy of the bucket counts; last slot is the +Inf overflow. *)
+
+  val merge : t -> t -> t
+  (** Pure: builds a new histogram; bucket counts and counts add
+      exactly (associative), [sum] adds in float. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for q in [0,1]; [0.] on an empty histogram. *)
 end

@@ -209,10 +209,18 @@ module Pool = struct
           failure = None;
         }
       in
+      (* Chunks may execute on worker domains, which have no ambient
+         request scope of their own: capture the submitter's context
+         here and install it around every chunk, so per-request
+         attribution survives the pool boundary.  (The serial path and
+         the helping submitter run on the submitting thread, where the
+         context is already bound — re-binding is a no-op.) *)
+      let ctx = Obs.Ctx.current () in
       let wrap task () =
         (try
-           Fault.hook ();
-           timed_exec task
+           Obs.Ctx.scoped ctx (fun () ->
+               Fault.hook ();
+               timed_exec task)
          with e ->
            Mutex.lock b.b_mutex;
            if b.failure = None then b.failure <- Some e;

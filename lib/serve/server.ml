@@ -30,11 +30,19 @@ let rec remove_one key = function
   | k :: rest when k = key -> rest
   | k :: rest -> k :: remove_one key rest
 
+(* Session identities are process-global ("s1", "s2", …); request ids
+   append a per-session sequence number ("s2-r7").  Both ride on every
+   span executed on the request's behalf — including pool-worker spans
+   — and key the access log, which is what makes concurrent sessions'
+   telemetry separable again. *)
+let session_seq = Atomic.make 0
+let new_session_id () = Printf.sprintf "s%d" (1 + Atomic.fetch_and_add session_seq 1)
+
 (* One request line → one response.  [session] collects the dataset
    references this connection holds, for teardown.  Total: every
    exception — structured guard errors, solver [Invalid_argument]s,
    injected worker faults — becomes an error response. *)
-let dispatch store session line =
+let dispatch ~telemetry ~session_id ~reqno store session line =
   let t0 = Unix.gettimeofday () in
   let { Protocol.id; req } = Protocol.parse_request line in
   Obs.Counter.incr Metrics.requests;
@@ -42,8 +50,10 @@ let dispatch store session line =
   let ok ?(cached = false) result =
     `Reply (Protocol.ok_response ~id ~cached ~elapsed_ms:(elapsed_ms ()) result)
   in
+  let error_code = ref None in
   let error code message =
     Obs.Counter.incr Metrics.errors;
+    error_code := Some code;
     `Reply (Protocol.error_response ~id ~code ~message)
   in
   let safe f =
@@ -75,18 +85,72 @@ let dispatch store session line =
                    ("warnings", Json.int l.Store.warnings);
                  ]))
     | Ok (Protocol.Query q) ->
-        safe (fun () ->
-            match Store.query store q with
-            | Ok { Store.result; cached } -> ok ~cached result
-            | Error `Unknown_dataset ->
-                error "unknown_dataset"
-                  (Printf.sprintf
-                     "no loaded dataset %S (load it first, then query by key \
-                      or name)"
-                     q.Protocol.dataset)
-            | Error `Overloaded ->
-                error "overloaded"
-                  "admission queue is full; the request was shed — retry later")
+        (* The whole query — result-cache probe, admission wait, solver,
+           pool chunks — runs under one request context; every counter
+           delta and span lands there as well as in the global
+           registry, giving the access log its per-request cost
+           attribution. *)
+        incr reqno;
+        let request_id = Printf.sprintf "%s-r%d" session_id !reqno in
+        let ctx =
+          Obs.Ctx.create ~request_id ~session_id
+            ~capture_spans:(Telemetry.capture_spans telemetry)
+            ()
+        in
+        let cache_outcome = ref "miss" in
+        let degraded = ref false in
+        let reply =
+          Obs.Ctx.with_ctx ctx (fun () ->
+              safe (fun () ->
+                  match Store.query store q with
+                  | Ok { Store.result; cached } ->
+                      (if cached then cache_outcome := "hit"
+                       else if
+                         Obs.Ctx.value ctx "rrms_serve_matrix_derived_total"
+                         > 0.
+                       then cache_outcome := "derived");
+                      (match Json.member "degraded" result with
+                      | Some (Json.Bool true) -> degraded := true
+                      | _ -> ());
+                      ok ~cached result
+                  | Error `Unknown_dataset ->
+                      error "unknown_dataset"
+                        (Printf.sprintf
+                           "no loaded dataset %S (load it first, then query \
+                            by key or name)"
+                           q.Protocol.dataset)
+                  | Error `Overloaded ->
+                      error "overloaded"
+                        "admission queue is full; the request was shed — \
+                         retry later"))
+        in
+        let status =
+          match !error_code with
+          | Some _ -> "error"
+          | None -> if !degraded then "degraded" else "ok"
+        in
+        Telemetry.record telemetry
+          {
+            Telemetry.request_id;
+            session_id;
+            algo = Protocol.algo_to_string q.Protocol.algo;
+            dataset =
+              (match Store.resolve store q.Protocol.dataset with
+              | Some key -> key
+              | None -> q.Protocol.dataset);
+            r = q.Protocol.r;
+            gamma = q.Protocol.gamma;
+            cache = !cache_outcome;
+            status;
+            error_code = !error_code;
+            queue_wait_ms =
+              1000. *. Obs.Ctx.value ctx "rrms_serve_queue_wait_seconds_total";
+            elapsed_ms = elapsed_ms ();
+            probes = Obs.Ctx.value ctx "rrms_hd_rrms_probes_total";
+            cells = Obs.Ctx.value ctx "rrms_matrix_cells_total";
+          }
+          ~spans:(Obs.Ctx.spans ctx);
+        reply
     | Ok (Protocol.Evict { dataset }) ->
         safe (fun () ->
             match Store.release store dataset with
@@ -102,7 +166,14 @@ let dispatch store session line =
                        ("remaining_refs", Json.int remaining);
                        ("freed", Json.Bool freed);
                      ]))
-    | Ok Protocol.Stats -> safe (fun () -> ok (Store.stats store))
+    | Ok Protocol.Stats ->
+        safe (fun () ->
+            match Store.stats store with
+            | Json.Obj fields ->
+                ok
+                  (Json.Obj
+                     (fields @ [ ("latency", Telemetry.to_json telemetry) ]))
+            | j -> ok j)
     | Ok Protocol.Ping -> ok (Json.Obj [ ("pong", Json.Bool true) ])
     | Ok Protocol.Shutdown ->
         `Shutdown
@@ -112,10 +183,14 @@ let dispatch store session line =
   Obs.Timer.observe Metrics.request_seconds (Unix.gettimeofday () -. t0);
   reply
 
-let handle_line store line = dispatch store (ref []) line
+let handle_line ?(telemetry = Telemetry.default) store line =
+  dispatch ~telemetry ~session_id:(new_session_id ()) ~reqno:(ref 0) store
+    (ref []) line
 
-let run_session store ic oc =
+let run_session ?(telemetry = Telemetry.default) store ic oc =
   let session = ref [] in
+  let session_id = new_session_id () in
+  let reqno = ref 0 in
   let finish outcome =
     Store.session_release_all store !session;
     outcome
@@ -135,7 +210,7 @@ let run_session store ic oc =
     | line ->
         if String.trim line = "" then loop ()
         else (
-          match dispatch store session line with
+          match dispatch ~telemetry ~session_id ~reqno store session line with
           | `Reply r -> if send r then loop () else finish `Eof
           | `Shutdown r ->
               ignore (send r);
@@ -143,7 +218,7 @@ let run_session store ic oc =
   in
   loop ()
 
-let serve_stdio store = run_session store stdin stdout
+let serve_stdio ?telemetry store = run_session ?telemetry store stdin stdout
 
 (* ------------------------------------------------------------------ *)
 (* Unix-domain-socket daemon                                          *)
@@ -178,7 +253,7 @@ let probe_stale path =
     try Sys.remove path with Sys_error _ -> ()
   end
 
-let start store ~socket:path =
+let start ?telemetry store ~socket:path =
   if Sys.os_type = "Unix" then
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   probe_stale path;
@@ -196,7 +271,7 @@ let start store ~socket:path =
       (Obs.Gauge.value Metrics.open_sessions +. 1.);
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    let outcome = try run_session store ic oc with _ -> `Eof in
+    let outcome = try run_session ?telemetry store ic oc with _ -> `Eof in
     (* ic and oc share [fd]; one close releases it. *)
     close_out_noerr oc;
     Obs.Gauge.set Metrics.open_sessions

@@ -19,24 +19,37 @@
       makes concurrent artifact sharing (and the admission gate) real. *)
 
 val handle_line :
-  Store.t -> string -> [ `Reply of string | `Shutdown of string ]
+  ?telemetry:Telemetry.t ->
+  Store.t ->
+  string ->
+  [ `Reply of string | `Shutdown of string ]
 (** Handle one request line against the store (stateless with respect
     to the session; reference bookkeeping is the session loop's job).
     [`Shutdown line] is the positive response to a [shutdown] request —
-    the caller sends it, then stops.  Never raises. *)
+    the caller sends it, then stops.  Never raises.
+
+    Every query request runs under a fresh {!Rrms_obs.Obs.Ctx} tagged
+    with process-unique session/request ids ([s3-r7]); its latency,
+    cache outcome and per-request counters land in [telemetry]
+    (default {!Telemetry.default}), and the [stats] request folds that
+    instance's histograms into its response as a ["latency"] member. *)
 
 val run_session :
-  Store.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+  ?telemetry:Telemetry.t ->
+  Store.t ->
+  in_channel ->
+  out_channel ->
+  [ `Eof | `Shutdown ]
 (** Pump one session: read lines until EOF or [shutdown], answering
     each (blank lines are skipped).  Responses are flushed per line.
     Session [load] references are released on the way out. *)
 
-val serve_stdio : Store.t -> [ `Eof | `Shutdown ]
+val serve_stdio : ?telemetry:Telemetry.t -> Store.t -> [ `Eof | `Shutdown ]
 (** [run_session] over stdin/stdout. *)
 
 type t
 
-val start : Store.t -> socket:string -> t
+val start : ?telemetry:Telemetry.t -> Store.t -> socket:string -> t
 (** Bind a Unix-domain listener at [socket] and accept in a background
     thread, one thread per connection.  A pre-existing socket file is
     probed: live (something accepts) → [Invalid_input]; stale → removed

@@ -53,6 +53,11 @@ module Metrics = struct
     c ~deterministic:false "rrms_serve_overloaded_total"
       "queries shed because the admission queue was full"
 
+  let queue_wait =
+    Obs.Floatc.make
+      ~help:"seconds requests spent waiting for an admission slot"
+      "rrms_serve_queue_wait_seconds_total"
+
   let inflight =
     Obs.Gauge.make ~deterministic:false
       ~help:"solves currently holding an admission slot" "rrms_serve_inflight"
@@ -256,6 +261,10 @@ let release t handle =
 
 let session_release_all t keys = List.iter (fun k -> ignore (release t k)) keys
 
+let resolve t handle =
+  with_lock t.lock (fun () ->
+      Option.map (fun (e : entry) -> e.key) (find_locked t handle))
+
 (* ------------------------------------------------------------------ *)
 (* Admission                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -272,9 +281,14 @@ let with_admission t f =
         else begin
           t.queued <- t.queued + 1;
           Obs.Gauge.set_int Metrics.queue_depth t.queued;
+          (* The wait lands in a float counter, which tees into any
+             bound request context — that is where the access log's
+             queue_wait_ms comes from. *)
+          let w0 = Unix.gettimeofday () in
           while t.inflight >= t.max_inflight do
             Condition.wait t.cond t.lock
           done;
+          Obs.Floatc.add Metrics.queue_wait (Unix.gettimeofday () -. w0);
           t.queued <- t.queued - 1;
           Obs.Gauge.set_int Metrics.queue_depth t.queued;
           t.inflight <- t.inflight + 1;

@@ -60,6 +60,11 @@ module Metrics : sig
   val result_hits : Rrms_obs.Obs.Counter.t
   val result_misses : Rrms_obs.Obs.Counter.t
   val overloaded : Rrms_obs.Obs.Counter.t
+
+  val queue_wait : Rrms_obs.Obs.Floatc.t
+  (** Seconds spent waiting in the admission queue.  A float counter,
+      so the per-request share tees into a bound {!Rrms_obs.Obs.Ctx}
+      — the access log reads it from there. *)
 end
 
 val create :
@@ -127,6 +132,10 @@ val stats : t -> Json.t
 val session_release_all : t -> string list -> unit
 (** Teardown helper: drop one reference per listed key (a session's
     loads), ignoring already-freed entries. *)
+
+val resolve : t -> string -> string option
+(** Content hash behind a key-or-alias handle, if loaded — the access
+    log records this so its lines are join-able with [stats]. *)
 
 val with_admission : t -> (unit -> 'a) -> ('a, [ `Overloaded ]) result
 (** The raw admission gate (exposed for the burst tests): run the thunk

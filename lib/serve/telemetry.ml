@@ -1,0 +1,190 @@
+(* Request-level telemetry for the serving layer: keyed latency
+   histograms, the JSONL access log, and slow-query capture.
+
+   One [t] aggregates across every session of a server.  The histogram
+   family is keyed by (algo, cache outcome, status) — the three axes
+   that explain a latency: which solver ran, whether it ran at all
+   (hit/derived/miss), and whether it finished exact, degraded or
+   failed.  Quantiles come from {!Rrms_obs.Obs.Hist}, so they are
+   deterministic in the multiset of observations.
+
+   The access log is newline-delimited JSON, one ["access"] record per
+   query request, written and flushed as the response goes out; when
+   [slow_ms] is set, a request at or over the threshold additionally
+   writes a ["slow_query"] record carrying its full span trace (the
+   per-request capture works at the Counters level — no global Full
+   trace buffer needed). *)
+
+module Obs = Rrms_obs.Obs
+
+type key = { k_algo : string; k_cache : string; k_status : string }
+
+type t = {
+  mutex : Mutex.t; (* guards hists, the channel, and the line counters *)
+  hists : (key, Obs.Hist.t) Hashtbl.t;
+  access : out_channel option;
+  access_path : string option;
+  slow_ms : float option;
+  mutable access_lines : int;
+  mutable slow_queries : int;
+}
+
+let create ?access_log ?slow_ms () =
+  {
+    mutex = Mutex.create ();
+    hists = Hashtbl.create 16;
+    access = Option.map open_out access_log;
+    access_path = access_log;
+    slow_ms;
+    access_lines = 0;
+    slow_queries = 0;
+  }
+
+(* The shared instance behind every [?telemetry] default: a server that
+   never configured telemetry still accumulates latency histograms, so
+   [stats] always has quantiles to report. *)
+let default = create ()
+
+let capture_spans t = t.slow_ms <> None
+let close t = match t.access with Some oc -> close_out_noerr oc | None -> ()
+
+let reset t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.hists;
+  t.access_lines <- 0;
+  t.slow_queries <- 0;
+  Mutex.unlock t.mutex
+
+type request = {
+  request_id : string;
+  session_id : string;
+  algo : string;
+  dataset : string;  (** resolved content hash when loaded, else the handle *)
+  r : int;
+  gamma : int;
+  cache : string;  (** ["hit"] | ["derived"] | ["miss"] *)
+  status : string;  (** ["ok"] | ["degraded"] | ["error"] *)
+  error_code : string option;
+  queue_wait_ms : float;
+  elapsed_ms : float;
+  probes : float;
+  cells : float;
+}
+
+let hist_for t k =
+  match Hashtbl.find_opt t.hists k with
+  | Some h -> h
+  | None ->
+      let h = Obs.Hist.create () in
+      Hashtbl.add t.hists k h;
+      h
+
+let span_json (ev : Obs.Trace.event) =
+  Json.Obj
+    [
+      ("name", Json.Str ev.Obs.Trace.name);
+      ("domain", Json.int ev.Obs.Trace.domain);
+      ("depth", Json.int ev.Obs.Trace.depth);
+      ("start", Json.float ev.Obs.Trace.start);
+      ("dur", Json.float ev.Obs.Trace.dur);
+      ( "attrs",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ev.Obs.Trace.attrs)
+      );
+    ]
+
+let request_fields r =
+  [
+    ("request_id", Json.Str r.request_id);
+    ("session_id", Json.Str r.session_id);
+    ("algo", Json.Str r.algo);
+    ("dataset", Json.Str r.dataset);
+    ("r", Json.int r.r);
+    ("gamma", Json.int r.gamma);
+    ("cache", Json.Str r.cache);
+    ("status", Json.Str r.status);
+  ]
+  @ (match r.error_code with
+    | Some c -> [ ("error_code", Json.Str c) ]
+    | None -> [])
+  @ [
+      ("queue_wait_ms", Json.float r.queue_wait_ms);
+      ("elapsed_ms", Json.float r.elapsed_ms);
+      ("probes", Json.float r.probes);
+      ("cells", Json.float r.cells);
+    ]
+
+let access_line r =
+  Json.to_string (Json.Obj (("type", Json.Str "access") :: request_fields r))
+
+let slow_line r spans =
+  Json.to_string
+    (Json.Obj
+       ((("type", Json.Str "slow_query") :: request_fields r)
+       @ [ ("spans", Json.Arr (List.map span_json spans)) ]))
+
+let record t (r : request) ~spans =
+  let k = { k_algo = r.algo; k_cache = r.cache; k_status = r.status } in
+  Mutex.lock t.mutex;
+  let h = hist_for t k in
+  Obs.Hist.observe h (r.elapsed_ms /. 1000.);
+  (match t.access with
+  | Some oc ->
+      output_string oc (access_line r);
+      output_char oc '\n';
+      flush oc;
+      t.access_lines <- t.access_lines + 1
+  | None -> ());
+  (match t.slow_ms with
+  | Some threshold when r.elapsed_ms >= threshold ->
+      t.slow_queries <- t.slow_queries + 1;
+      let line = slow_line r spans in
+      (match t.access with
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+      | None -> prerr_endline line)
+  | Some _ | None -> ());
+  Mutex.unlock t.mutex
+
+let quantile_ms h q = 1000. *. Obs.Hist.quantile h q
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let entries =
+    Hashtbl.fold
+      (fun k h acc ->
+        ( k,
+          Json.Obj
+            [
+              ("algo", Json.Str k.k_algo);
+              ("cache", Json.Str k.k_cache);
+              ("status", Json.Str k.k_status);
+              ("count", Json.int (Obs.Hist.count h));
+              ("p50_ms", Json.float (quantile_ms h 0.5));
+              ("p95_ms", Json.float (quantile_ms h 0.95));
+              ("p99_ms", Json.float (quantile_ms h 0.99));
+              ("max_ms", Json.float (1000. *. Obs.Hist.max_value h));
+              ("sum_ms", Json.float (1000. *. Obs.Hist.sum h));
+            ] )
+        :: acc)
+      t.hists []
+  in
+  let access_lines = t.access_lines and slow_queries = t.slow_queries in
+  Mutex.unlock t.mutex;
+  let entries =
+    List.sort
+      (fun ((a : key), _) (b, _) ->
+        compare (a.k_algo, a.k_cache, a.k_status) (b.k_algo, b.k_cache, b.k_status))
+      entries
+  in
+  Json.Obj
+    ([
+       ("histograms", Json.Arr (List.map snd entries));
+       ("access_log_lines", Json.int access_lines);
+       ("slow_queries", Json.int slow_queries);
+     ]
+    @
+    match t.access_path with
+    | Some p -> [ ("access_log", Json.Str p) ]
+    | None -> [])

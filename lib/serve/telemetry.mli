@@ -1,0 +1,65 @@
+(** Request-level telemetry for the serving layer.
+
+    One value aggregates, across every session of a server:
+
+    - a family of {!Rrms_obs.Obs.Hist} latency histograms keyed by
+      (algo, cache outcome, status), folded into the [stats] response
+      as deterministic p50/p95/p99 quantiles;
+    - an optional JSONL {e access log}: one ["access"] record per query
+      request (ids, parameters, cache outcome, queue wait, solve time,
+      and the probe/cell counts read from the request's
+      {!Rrms_obs.Obs.Ctx});
+    - optional {e slow-query capture}: with [slow_ms] set, a request at
+      or over the threshold writes a ["slow_query"] record carrying its
+      full span trace (captured per-request, so the Counters level
+      suffices — no global Full buffer required).
+
+    All entry points are thread-safe. *)
+
+type t
+
+val create : ?access_log:string -> ?slow_ms:float -> unit -> t
+(** [access_log] opens (truncating) the JSONL sink; [slow_ms] enables
+    slow-query capture at the given threshold in milliseconds (records
+    go to the access log when configured, stderr otherwise). *)
+
+val default : t
+(** Shared instance used when a server is not handed one explicitly —
+    histograms keep accumulating so [stats] always has latency data.
+    Has no access log and no slow-query threshold. *)
+
+val capture_spans : t -> bool
+(** Whether per-request span capture is wanted (i.e. [slow_ms] set) —
+    the server passes this into {!Rrms_obs.Obs.Ctx.create}. *)
+
+val close : t -> unit
+(** Close the access-log channel, if any. *)
+
+val reset : t -> unit
+(** Drop every histogram and zero the line counters (tests). *)
+
+(** Everything the server knows about one finished query request. *)
+type request = {
+  request_id : string;
+  session_id : string;
+  algo : string;
+  dataset : string;  (** resolved content hash when loaded, else the handle *)
+  r : int;
+  gamma : int;
+  cache : string;  (** ["hit"] | ["derived"] | ["miss"] *)
+  status : string;  (** ["ok"] | ["degraded"] | ["error"] *)
+  error_code : string option;
+  queue_wait_ms : float;
+  elapsed_ms : float;
+  probes : float;
+  cells : float;
+}
+
+val record : t -> request -> spans:Rrms_obs.Obs.Trace.event list -> unit
+(** Observe the request in its histogram, append the access-log line,
+    and emit a slow-query record when the threshold says so. *)
+
+val to_json : t -> Json.t
+(** [{"histograms": [{algo, cache, status, count, p50_ms, p95_ms,
+    p99_ms, max_ms, sum_ms}], "access_log_lines": n, "slow_queries":
+    n, "access_log"?: path}] — histogram entries sorted by key. *)

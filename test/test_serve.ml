@@ -475,6 +475,309 @@ let test_session_eof_releases_refs () =
       Unix.close to_session_r)
 
 (* ------------------------------------------------------------------ *)
+(* Request-scoped telemetry                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Serve.Telemetry
+
+let with_telemetry ?slow_ms f =
+  let path = Filename.temp_file "rrms_access" ".jsonl" in
+  let telemetry = Telemetry.create ~access_log:path ?slow_ms () in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.close telemetry;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f telemetry path)
+
+let read_jsonl path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev_map
+    (fun l ->
+      match Json.parse l with
+      | Ok j -> j
+      | Error e -> Alcotest.fail (Printf.sprintf "bad log line %s: %s" l e))
+    !lines
+  |> List.rev
+
+let log_type j =
+  match Json.member "type" j with Some (Json.Str s) -> s | _ -> "?"
+
+let str_member name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail (Printf.sprintf "missing string member %S" name)
+
+(* Two sessions run concurrently against one store; the access log must
+   attribute every line — and every span inside every slow-query line —
+   to the session and request that produced it. *)
+let test_request_scoped_attribution () =
+  with_counters (fun () ->
+      with_csv ~seed:23 (fun csv ->
+          with_telemetry ~slow_ms:0. (fun telemetry path ->
+              let store = Store.create ~max_inflight:8 () in
+              let queries_per_session = 3 in
+              let run_one tag =
+                let to_r, to_w = Unix.pipe () in
+                let from_r, from_w = Unix.pipe () in
+                let th =
+                  Thread.create
+                    (fun () ->
+                      let ic = Unix.in_channel_of_descr to_r in
+                      let oc = Unix.out_channel_of_descr from_w in
+                      ignore (Server.run_session ~telemetry store ic oc);
+                      close_out_noerr oc)
+                    ()
+                in
+                let out = Unix.out_channel_of_descr to_w in
+                let inp = Unix.in_channel_of_descr from_r in
+                output_string out
+                  (Printf.sprintf
+                     "{\"req\":\"load\",\"path\":%S,\"name\":%S}\n" csv tag);
+                List.iter
+                  (fun r ->
+                    output_string out
+                      (Printf.sprintf
+                         "{\"req\":\"query\",\"dataset\":%S,\"algo\":\"hd-rrms\",\"r\":%d}\n"
+                         tag r))
+                  [ 3; 3; 4 ];
+                flush out;
+                (* Drain every reply, then EOF the session. *)
+                for _ = 0 to queries_per_session do
+                  ignore (input_line inp)
+                done;
+                close_out out;
+                Thread.join th;
+                close_in_noerr inp;
+                Unix.close to_r
+              in
+              let threads =
+                List.map
+                  (fun tag -> Thread.create (fun () -> run_one tag) ())
+                  [ "alpha"; "beta" ]
+              in
+              List.iter Thread.join threads;
+              let lines = read_jsonl path in
+              let access = List.filter (fun j -> log_type j = "access") lines in
+              let slow = List.filter (fun j -> log_type j = "slow_query") lines in
+              Alcotest.(check int) "one access line per query"
+                (2 * queries_per_session)
+                (List.length access);
+              Alcotest.(check int) "slow_ms 0 captures every query"
+                (2 * queries_per_session)
+                (List.length slow);
+              (* Session and request attribution. *)
+              let sessions =
+                List.sort_uniq compare
+                  (List.map (fun j -> str_member "session_id" j) access)
+              in
+              Alcotest.(check int) "two distinct sessions" 2
+                (List.length sessions);
+              let request_ids = List.map (fun j -> str_member "request_id" j) access in
+              Alcotest.(check int) "request ids globally unique"
+                (List.length request_ids)
+                (List.length (List.sort_uniq compare request_ids));
+              List.iter
+                (fun j ->
+                  let sid = str_member "session_id" j in
+                  let rid = str_member "request_id" j in
+                  let prefix = sid ^ "-r" in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "request %s belongs to session %s" rid sid)
+                    true
+                    (String.length rid > String.length prefix
+                    && String.sub rid 0 (String.length prefix) = prefix))
+                access;
+              (* Every span inside a slow-query record is tagged with that
+                 record's own request — concurrency must not cross wires. *)
+              let tagged_spans = ref 0 in
+              List.iter
+                (fun j ->
+                  let rid = str_member "request_id" j in
+                  let sid = str_member "session_id" j in
+                  match Json.member "spans" j with
+                  | Some (Json.Arr spans) ->
+                      List.iter
+                        (fun sp ->
+                          incr tagged_spans;
+                          match Json.member "attrs" sp with
+                          | Some attrs ->
+                              Alcotest.(check string)
+                                "span tagged with its own request" rid
+                                (str_member "request_id" attrs);
+                              Alcotest.(check string)
+                                "span tagged with its own session" sid
+                                (str_member "session_id" attrs)
+                          | None -> Alcotest.fail "span without attrs")
+                        spans
+                  | _ -> Alcotest.fail "slow_query without spans")
+                slow;
+              Alcotest.(check bool) "cold queries produced spans" true
+                (!tagged_spans > 0))))
+
+(* The stats response's latency section must reconcile with the access
+   log and with the store's own cache counters. *)
+let test_stats_reconciles () =
+  with_counters (fun () ->
+      with_csv ~seed:29 (fun csv ->
+          with_telemetry (fun telemetry path ->
+              let store = Store.create () in
+              let send line =
+                match Server.handle_line ~telemetry store line with
+                | `Reply r -> r
+                | `Shutdown _ -> Alcotest.fail "unexpected shutdown"
+              in
+              ignore
+                (send
+                   (Printf.sprintf
+                      "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv));
+              let q gamma =
+                Printf.sprintf
+                  "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":4,\"gamma\":%d}"
+                  gamma
+              in
+              ignore (send (q 4)) (* miss *);
+              ignore (send (q 4)) (* hit *);
+              ignore (send (q 2)) (* derived from the gamma=4 matrix *);
+              let reply = send "{\"id\":9,\"req\":\"stats\"}" in
+              let stats =
+                match Json.parse reply with
+                | Ok j -> j
+                | Error e -> Alcotest.fail ("stats unparseable: " ^ e)
+              in
+              let result =
+                match Json.member "result" stats with
+                | Some r -> r
+                | None -> Alcotest.fail "stats without result"
+              in
+              let latency =
+                match Json.member "latency" result with
+                | Some l -> l
+                | None -> Alcotest.fail "stats without latency"
+              in
+              let hists =
+                match Json.member "histograms" latency with
+                | Some (Json.Arr hs) -> hs
+                | _ -> Alcotest.fail "latency without histograms"
+              in
+              let count_of h =
+                match Json.member "count" h with
+                | Some (Json.Num n) -> int_of_float n
+                | _ -> Alcotest.fail "histogram without count"
+              in
+              let total = List.fold_left (fun a h -> a + count_of h) 0 hists in
+              Alcotest.(check int) "histogram counts cover every query" 3 total;
+              let by_cache c =
+                List.filter (fun h -> str_member "cache" h = c) hists
+              in
+              List.iter
+                (fun c ->
+                  match by_cache c with
+                  | [ h ] ->
+                      Alcotest.(check int) (c ^ " counted once") 1 (count_of h);
+                      Alcotest.(check string) (c ^ " algo") "hd-rrms"
+                        (str_member "algo" h);
+                      Alcotest.(check string) (c ^ " status") "ok"
+                        (str_member "status" h);
+                      List.iter
+                        (fun f ->
+                          match Json.member f h with
+                          | Some (Json.Num v) ->
+                              Alcotest.(check bool) (c ^ " " ^ f ^ " finite")
+                                true
+                                (Float.is_finite v && v >= 0.)
+                          | _ -> Alcotest.fail ("histogram missing " ^ f))
+                        [ "p50_ms"; "p95_ms"; "p99_ms"; "max_ms"; "sum_ms" ]
+                  | hs ->
+                      Alcotest.fail
+                        (Printf.sprintf "%d histograms for cache=%s"
+                           (List.length hs) c))
+                [ "hit"; "derived"; "miss" ];
+              (* Quantile ordering within each key. *)
+              List.iter
+                (fun h ->
+                  let f name =
+                    match Json.member name h with
+                    | Some (Json.Num v) -> v
+                    | _ -> 0.
+                  in
+                  Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+                    (f "p50_ms" <= f "p95_ms"
+                    && f "p95_ms" <= f "p99_ms"
+                    && f "p99_ms" <= f "max_ms"))
+                hists;
+              (match Json.member "access_log_lines" latency with
+              | Some (Json.Num n) ->
+                  Alcotest.(check int) "access_log_lines matches queries" 3
+                    (int_of_float n)
+              | _ -> Alcotest.fail "latency without access_log_lines");
+              (match Json.member "access_log" latency with
+              | Some (Json.Str p) ->
+                  Alcotest.(check string) "access_log path reported" path p
+              | _ -> Alcotest.fail "latency without access_log path");
+              (* The file agrees with the counters it reports. *)
+              let access =
+                List.filter
+                  (fun j -> log_type j = "access")
+                  (read_jsonl path)
+              in
+              Alcotest.(check int) "file has the three access lines" 3
+                (List.length access);
+              let hits =
+                List.length
+                  (List.filter (fun j -> str_member "cache" j = "hit") access)
+              in
+              Alcotest.(check int) "one hit in the log" 1 hits;
+              Alcotest.(check int)
+                "store's hit counter agrees with the histogram" hits
+                (counter Serve.Store.Metrics.result_hits))))
+
+(* Telemetry (contexts, histograms, access logging) must not perturb
+   the answer: bit-identical results with it on and off, at every
+   domain count. *)
+let test_bit_identical_with_telemetry () =
+  with_csv ~seed:31 (fun csv ->
+      let answer ~domains ~telemetry_on =
+        let store = Store.create ~domains () in
+        let l = Store.load store csv in
+        let line =
+          Printf.sprintf
+            "{\"req\":\"query\",\"dataset\":%S,\"algo\":\"hd-rrms\",\"r\":4}"
+            l.Store.key
+        in
+        let reply =
+          if telemetry_on then
+            with_counters (fun () ->
+                with_telemetry ~slow_ms:0. (fun telemetry _ ->
+                    match Server.handle_line ~telemetry store line with
+                    | `Reply r -> r
+                    | `Shutdown _ -> Alcotest.fail "unexpected shutdown"))
+          else
+            match Server.handle_line store line with
+            | `Reply r -> r
+            | `Shutdown _ -> Alcotest.fail "unexpected shutdown"
+        in
+        match Json.parse reply with
+        | Ok j -> (
+            match Json.member "result" j with
+            | Some r -> Json.to_string r
+            | None -> Alcotest.fail ("no result in " ^ reply))
+        | Error e -> Alcotest.fail ("unparseable reply: " ^ e)
+      in
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "bit-identical at %d domains" domains)
+            (answer ~domains ~telemetry_on:false)
+            (answer ~domains ~telemetry_on:true))
+        [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
 (* The binary, over --stdio                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -581,5 +884,11 @@ let suite =
       test_fault_injection_recovery;
     Alcotest.test_case "session EOF releases refs" `Quick
       test_session_eof_releases_refs;
+    Alcotest.test_case "request-scoped attribution" `Quick
+      test_request_scoped_attribution;
+    Alcotest.test_case "stats reconciles with access log" `Quick
+      test_stats_reconciles;
+    Alcotest.test_case "bit-identical with telemetry on/off" `Quick
+      test_bit_identical_with_telemetry;
     Alcotest.test_case "stdio end to end" `Quick test_stdio_end_to_end;
   ]
