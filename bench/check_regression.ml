@@ -12,20 +12,28 @@
    - higher-is-better: "speedup", "speedup_vs_1" — a regression when
      the fresh value falls below the baseline by more than the
      tolerance;
-   - lower-is-better: "ratio_vs_disabled", "ratio_vs_exact" — the
-     mirror image;
-   - informational: raw wall-clock ("*seconds*") and quality detail
-     fields — printed, never failed on, because absolute times do not
-     transfer between machines.
+   - lower-is-better: "ratio_vs_disabled", "ratio_vs_exact", and the
+     kernel perf gates ("matrix_build_seconds",
+     "mrst_binary_search_seconds", "hd_rrms_solve_seconds") — a
+     regression when the fresh value exceeds the baseline by more than
+     the tolerance;
+   - informational: raw per-sample wall-clock ("*seconds*" outside the
+     gates object) and quality detail fields — printed, never failed
+     on, because absolute times do not transfer between machines.
 
-   "speedup_vs_1" additionally depends on how many cores the machine
-   has, so it is skipped (not failed) whenever the two files disagree
-   on "cpu_cores_available" — or the baseline predates the field.
+   "speedup_vs_1" and the gate seconds additionally depend on the
+   machine (core count / absolute speed), so they are skipped (not
+   failed) whenever the two files disagree on "cpu_cores_available" —
+   or the baseline predates the field.  "answer_digest" is an identity
+   field: it must match everywhere, on any hardware.
 
    --tolerant is the shared-CI-runner mode: higher-is-better metrics
    only fail below 10% of the baseline, lower-is-better above
    1.25x + 0.05 — loose enough for noisy neighbours, tight enough to
-   catch a reuse path that stopped reusing.
+   catch a reuse path that stopped reusing.  The kernel perf gates are
+   exempt from the loosening: on matching hardware they always use the
+   strict tolerance (they exist to catch the optimized kernels
+   regressing, and on mismatched hardware they are skipped anyway).
 
    Exit codes: 0 ok, 1 regression, 2 structural mismatch / bad input. *)
 
@@ -36,13 +44,28 @@ type rule = Higher_better | Lower_better | Identity | Info
 let rule_of_key key =
   match key with
   | "speedup" | "speedup_vs_1" -> Higher_better
-  | "ratio_vs_disabled" | "ratio_vs_exact" -> Lower_better
+  | "ratio_vs_disabled" | "ratio_vs_exact" | "matrix_build_seconds"
+  | "mrst_binary_search_seconds" | "hd_rrms_solve_seconds" ->
+      Lower_better
   | "benchmark" | "dataset" | "n" | "m" | "gamma" | "r" | "repeats"
-  | "kernel" | "algo" | "level" | "domains" | "budget_kind" | "budget" ->
+  | "kernel" | "algo" | "level" | "domains" | "budget_kind" | "budget"
+  | "answer_digest" ->
       Identity
   | _ -> Info
 
-let core_sensitive = function "speedup_vs_1" -> true | _ -> false
+let core_sensitive = function
+  | "speedup_vs_1" | "matrix_build_seconds" | "mrst_binary_search_seconds"
+  | "hd_rrms_solve_seconds" ->
+      true
+  | _ -> false
+
+(* The kernel perf gates never get the --tolerant loosening: on matching
+   hardware a kernel regression is a kernel regression. *)
+let strict_always = function
+  | "matrix_build_seconds" | "mrst_binary_search_seconds"
+  | "hd_rrms_solve_seconds" ->
+      true
+  | _ -> false
 
 type totals = {
   mutable checked : int;
@@ -99,7 +122,8 @@ let check_metric ~cores_match path key baseline fresh =
   | Lower_better ->
       totals.checked <- totals.checked + 1;
       let ceiling =
-        if !tolerant then (baseline *. 1.25) +. 0.05
+        if !tolerant && not (strict_always key) then
+          (baseline *. 1.25) +. 0.05
         else (baseline *. (1. +. !tolerance)) +. 1e-9
       in
       if fresh > ceiling then begin

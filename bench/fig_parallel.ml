@@ -33,7 +33,7 @@ let json_escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_json path ~n ~m ~gamma ~r samples =
+let write_json path ~n ~m ~gamma ~r ~digest samples =
   let oc = open_out path in
   let base kernel =
     List.find_opt (fun s -> s.kernel = kernel && s.domains = 1) samples
@@ -45,6 +45,23 @@ let write_json path ~n ~m ~gamma ~r samples =
     n m gamma r;
   Printf.fprintf oc "  \"cpu_cores_available\": %d,\n"
     (Domain.recommended_domain_count ());
+  (* Hard perf gates: single-domain wall-clock of the three optimized
+     kernels (lower-better, only compared on matching core counts) plus
+     a machine-independent digest of the answers (identity — any layout
+     or batching change that alters a result fails the gate even on
+     noisy shared runners). *)
+  let gate kernel =
+    match base kernel with Some s -> s.seconds | None -> nan
+  in
+  Printf.fprintf oc "  \"gates\": {\n";
+  Printf.fprintf oc "    \"matrix_build_seconds\": %.6f,\n"
+    (gate "matrix-build");
+  Printf.fprintf oc "    \"mrst_binary_search_seconds\": %.6f,\n"
+    (gate "mrst-binary-search");
+  Printf.fprintf oc "    \"hd_rrms_solve_seconds\": %.6f,\n"
+    (gate "hd-rrms-solve");
+  Printf.fprintf oc "    \"answer_digest\": \"%s\"\n" (json_escape digest);
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"samples\": [\n";
   List.iteri
     (fun i s ->
@@ -82,6 +99,7 @@ let run scale =
   let sky_points = Array.map (fun i -> points.(i)) sky1 in
   let matrix1 = Rrms_core.Regret_matrix.build ~domains:1 ~funcs sky_points in
   let search1 = Rrms_core.Hd_rrms.solve_on_matrix ~domains:1 matrix1 ~r in
+  let solve1 = ref None in
   List.iter
     (fun domains ->
       let sky, t_sky =
@@ -101,7 +119,9 @@ let run scale =
       let solve, t_solve =
         time (fun () -> Rrms_core.Hd_rrms.solve ~gamma ~domains points ~r)
       in
-      ignore solve;
+      (match !solve1 with
+      | None -> solve1 := Some solve
+      | Some s1 -> assert (solve = s1));
       record "hd-rrms-solve" domains t_solve)
     domain_counts;
   (* From-scratch probe cost at 1 domain, for the incremental-vs-rescan
@@ -121,4 +141,98 @@ let run scale =
         done)
   in
   record "mrst-binary-search-scratch" 1 t_scratch;
-  write_json "BENCH_parallel.json" ~n ~m ~gamma ~r (List.rev !samples)
+  (* Per-probe incremental replay (prefix-slid bitsets, one advance per
+     probe, per-threshold cache — the pre-batching search loop) against
+     the batched descent timed above.  Must land on the same answer. *)
+  let incr = Rrms_core.Mrst.Incremental.create ~domains:1 matrix1 in
+  let perprobe_best = ref None in
+  let _, t_perprobe =
+    time (fun () ->
+        let cache : (float, int array option) Hashtbl.t = Hashtbl.create 64 in
+        let low = ref 0 and high = ref (Array.length values - 1) in
+        while !low <= !high do
+          let mid = (!low + !high) / 2 in
+          let eps = values.(mid) in
+          let ans =
+            match Hashtbl.find_opt cache eps with
+            | Some a -> a
+            | None ->
+                let a =
+                  Rrms_core.Mrst.Incremental.solve ~domains:1 incr ~eps
+                in
+                Hashtbl.add cache eps a;
+                a
+          in
+          match ans with
+          | Some rows when Array.length rows <= r ->
+              perprobe_best := Some (rows, eps);
+              high := mid - 1
+          | Some _ | None -> low := mid + 1
+        done)
+  in
+  assert (!perprobe_best = search1);
+  record "mrst-binary-search-perprobe" 1 t_perprobe;
+  (* Flat-vs-boxed memory layout on the HD-GREEDY argmin sweep (the
+     hot [row_worst_against] scan): the same loop over a boxed
+     row-of-arrays copy of the matrix, summation order identical, so
+     the accumulators must agree bit-for-bit. *)
+  let s = Rrms_core.Regret_matrix.rows matrix1 in
+  let k = Rrms_core.Regret_matrix.cols matrix1 in
+  let current = Array.make k infinity in
+  Rrms_core.Regret_matrix.row_update_mins matrix1 0 current;
+  let sweep_repeats = 40 in
+  let acc_flat, t_flat =
+    time (fun () ->
+        let acc = ref 0. in
+        for _ = 1 to sweep_repeats do
+          for i = 0 to s - 1 do
+            acc :=
+              !acc +. Rrms_core.Regret_matrix.row_worst_against matrix1 i current
+          done
+        done;
+        !acc)
+  in
+  record "greedy-sweep-flat" 1 t_flat;
+  let boxed =
+    Array.init s (fun i ->
+        Array.init k (fun f -> Rrms_core.Regret_matrix.get matrix1 i f))
+  in
+  let acc_boxed, t_boxed =
+    time (fun () ->
+        let acc = ref 0. in
+        for _ = 1 to sweep_repeats do
+          for i = 0 to s - 1 do
+            let rowv = boxed.(i) in
+            let worst = ref neg_infinity in
+            for f = 0 to k - 1 do
+              let v = Float.min current.(f) (Array.unsafe_get rowv f) in
+              if v > !worst then worst := v
+            done;
+            acc := !acc +. !worst
+          done
+        done;
+        !acc)
+  in
+  assert (acc_flat = acc_boxed);
+  record "greedy-sweep-boxed" 1 t_boxed;
+  (* Machine-independent answer digest for the identity gate. *)
+  let digest =
+    let b = Buffer.create 256 in
+    (match search1 with
+    | None -> Buffer.add_string b "search:none"
+    | Some (rows, eps) ->
+        Buffer.add_string b "search:";
+        Array.iter (fun i -> Buffer.add_string b (Printf.sprintf "%d," i)) rows;
+        Buffer.add_string b (Printf.sprintf "eps=%.17g" eps));
+    (match !solve1 with
+    | None -> ()
+    | Some (sv : Rrms_core.Hd_rrms.result) ->
+        Buffer.add_string b
+          (Printf.sprintf ";solve:eps=%.17g,regret=%.17g,gamma=%d,sel="
+             sv.eps_min sv.discretized_regret sv.gamma_used);
+        Array.iter
+          (fun i -> Buffer.add_string b (Printf.sprintf "%d," i))
+          sv.selected);
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
+  write_json "BENCH_parallel.json" ~n ~m ~gamma ~r ~digest (List.rev !samples)

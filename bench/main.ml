@@ -58,6 +58,7 @@ let () =
   let only : string list ref = ref [] in
   let micro = ref false in
   let list_only = ref false in
+  let pool_stats = ref false in
   let args =
     [
       ( "--scale",
@@ -73,6 +74,10 @@ let () =
         Arg.String (fun s -> only := String.split_on_char ',' s),
         "fig8,fig13,...  run only the listed figure ids" );
       ("--micro", Arg.Set micro, " also run the Bechamel kernel suite");
+      ( "--pool-stats",
+        Arg.Set pool_stats,
+        " dump the domain-pool scheduling counters (rrms_pool_*) after \
+         the run" );
       ("--list", Arg.Set list_only, " list figure ids and exit");
     ]
   in
@@ -91,7 +96,22 @@ let () =
     | [] -> true
     | sel -> List.exists (fun id -> List.mem id sel) ids
   in
+  (* --pool-stats needs the counters live before any kernel runs; never
+     downgrade a level the environment already raised (RRMS_OBS=full). *)
+  if !pool_stats && Rrms_obs.Obs.level () = Rrms_obs.Obs.Disabled then
+    Rrms_obs.Obs.set_level Rrms_obs.Obs.Counters;
   let t0 = Unix.gettimeofday () in
   List.iter (fun (ids, _, run) -> if wanted ids then run !scale) groups;
   if !micro then Micro.run ();
+  if !pool_stats then begin
+    (* How the adaptive pool actually scheduled the run: items executed
+       in parallel vs kept serial by the cost model, batches, chunk
+       sizing, and injected faults. *)
+    Printf.printf "\n== pool stats ==\n";
+    List.iter
+      (fun (name, v) ->
+        if String.starts_with ~prefix:"rrms_pool_" name then
+          Printf.printf "%-42s %g\n" name v)
+      (Rrms_obs.Obs.snapshot ())
+  end;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

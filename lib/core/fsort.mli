@@ -1,0 +1,21 @@
+(** Closure-free sorting kernels for the matrix/MRST hot paths.
+
+    Both sorts produce output bit-identical to their
+    [Array.sort Float.compare]-based equivalents; they only change how
+    fast the order is reached.  The one ambiguity [Float.compare]
+    leaves open — it calls [-0.] and [+0.] equal, so an unstable sort
+    may arrange a mixed zero run either way — is resolved
+    deterministically here: [sort] always places [-0.] before [+0.]. *)
+
+val sort : float array -> unit
+(** In-place ascending sort in [Float.compare] order.  When every value
+    lies in [0, 2) — always true for regret ratios — an LSD radix sort
+    on the IEEE-754 bit patterns runs in O(n); any other input (NaN,
+    negatives, values ≥ 2) falls back to [Array.sort Float.compare]. *)
+
+val sort_pairs : float array -> int array -> unit
+(** [sort_pairs vals idx] sorts both arrays in tandem, ascending by
+    [(Float.compare vals.(i), idx.(i))] lexicographically.  The order is
+    strict and total whenever the indices are distinct, so the result is
+    the unique sorted permutation regardless of algorithm.
+    @raise Invalid_argument when the arrays differ in length. *)

@@ -77,26 +77,18 @@ let solve_prepared ?domains ?(guard = Guard.Budget.unlimited) ~skyline
        Guard.Budget.note_probe guard;
        Obs.Counter.incr Metrics.steps;
        (* Pick the row minimizing the resulting max over columns of the
-          min of current coverage and the row's cells. *)
+          min of current coverage and the row's cells — one contiguous
+          row scan per candidate on the flat matrix. *)
        let _, best_row =
          Rrms_parallel.reduce ?domains ~min_chunk:32 ~neutral:(infinity, -1)
            ~combine:better s (fun i ->
              if chosen.(i) then (infinity, -1)
-             else begin
-               let worst = ref 0. in
-               for f = 0 to k - 1 do
-                 let v = Float.min current.(f) (Regret_matrix.get matrix i f) in
-                 if v > !worst then worst := v
-               done;
-               (!worst, i)
-             end)
+             else (Regret_matrix.row_worst_against matrix i current, i))
        in
        let i = best_row in
        chosen.(i) <- true;
        selected := i :: !selected;
-       for f = 0 to k - 1 do
-         current.(f) <- Float.min current.(f) (Regret_matrix.get matrix i f)
-       done
+       Regret_matrix.row_update_mins matrix i current
      done
    with Exit -> ());
   let rows = Array.of_list (List.rev !selected) in

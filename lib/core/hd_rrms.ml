@@ -45,20 +45,29 @@ type search = {
 (* Algorithm 4: binary search over the sorted distinct cell values; each
    probe asks MRST whether some row set of size <= max_size satisfies
    the threshold (max_size = r for the §6.1 rule; r·H(|F|) for §4.4.3's
-   alternative).  Probes go through Mrst.Incremental, so each one costs
-   O(cells crossing the threshold) instead of an O(s·|F|) matrix rescan,
-   and a cache keyed by the threshold's index in the sorted value array
-   makes repeated thresholds free.
+   alternative).  Probes go through Mrst.Incremental, and threshold work
+   is batched: the midpoints the next [batch_depth] search steps can
+   visit are known ahead of time (they form the implicit search tree on
+   [low, high]), so one [advance_many] pass resolves the whole
+   candidate schedule per row and each probe then slides bitsets to a
+   precomputed position without re-comparing cell values.  The visited
+   probe sequence, the per-threshold answers, and the cache behaviour
+   are exactly those of the plain adaptive binary search.
 
    The guard is consulted at probe boundaries only, so a degraded
    search is deterministic for a fixed probe count: the probe sequence
    depends only on the matrix, never on the pool size or timing. *)
+let batch_depth = 4
+
 let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
     ?max_size matrix ~r =
   let max_size = match max_size with Some s -> s | None -> r in
   let values = Regret_matrix.distinct_values matrix in
   let inc = Mrst.Incremental.create ?domains matrix in
   let cache : (int, int array option) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-row prefix positions for the current batch's candidate
+     midpoints, keyed by value index; rebuilt once per batch. *)
+  let positions : (int, int array) Hashtbl.t = Hashtbl.create 16 in
   let probe mid =
     match Hashtbl.find_opt cache mid with
     | Some answer ->
@@ -66,9 +75,40 @@ let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
         answer
     | None ->
         Obs.Counter.incr Metrics.cache_misses;
-        let answer = Mrst.Incremental.solve ?solver ?domains inc ~eps:values.(mid) in
+        let answer =
+          match Hashtbl.find_opt positions mid with
+          | Some pos -> Mrst.Incremental.solve_at ?solver ?domains inc ~pos
+          | None ->
+              (* Off-schedule threshold (the degraded fallback's top
+                 probe): pay the value-comparing slide. *)
+              Mrst.Incremental.solve ?solver ?domains inc ~eps:values.(mid)
+        in
         Hashtbl.add cache mid answer;
         answer
+  in
+  let prepare_batch lo hi =
+    Hashtbl.reset positions;
+    let mids = ref [] in
+    (* Both branches of every step, [batch_depth] levels deep: each
+       interval's midpoint is distinct, and every midpoint the adaptive
+       walk can reach within the batch is among them. *)
+    let rec collect lo hi d =
+      if d > 0 && lo <= hi then begin
+        let mid = (lo + hi) / 2 in
+        if not (Hashtbl.mem cache mid) then mids := mid :: !mids;
+        collect lo (mid - 1) (d - 1);
+        collect (mid + 1) hi (d - 1)
+      end
+    in
+    collect lo hi batch_depth;
+    match !mids with
+    | [] -> ()
+    | l ->
+        let mids = Array.of_list l in
+        Array.sort Stdlib.compare mids;
+        let schedule = Array.map (fun m -> values.(m)) mids in
+        let pos = Mrst.Incremental.advance_many ?domains inc ~eps:schedule in
+        Array.iteri (fun j m -> Hashtbl.add positions m pos.(j)) mids
   in
   let best = ref None in
   let stopped = ref None in
@@ -81,15 +121,25 @@ let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
            stopped := Some reason;
            raise Exit
        | None -> ());
-       Guard.Budget.note_probe guard;
-       incr probes;
-       Obs.Counter.incr Metrics.probes;
-       let mid = (!low + !high) / 2 in
-       (match probe mid with
-       | Some rows when Array.length rows <= max_size ->
-           best := Some (rows, values.(mid));
-           high := mid - 1
-       | Some _ | None -> low := mid + 1)
+       prepare_batch !low !high;
+       let steps = ref 0 in
+       while !low <= !high && !steps < batch_depth do
+         (match Guard.Budget.stop_reason guard with
+         | Some reason ->
+             stopped := Some reason;
+             raise Exit
+         | None -> ());
+         Guard.Budget.note_probe guard;
+         incr probes;
+         incr steps;
+         Obs.Counter.incr Metrics.probes;
+         let mid = (!low + !high) / 2 in
+         match probe mid with
+         | Some rows when Array.length rows <= max_size ->
+             best := Some (rows, values.(mid));
+             high := mid - 1
+         | Some _ | None -> low := mid + 1
+       done
      done
    with Exit -> ());
   (* Anytime fallback: if the budget stopped the search before any

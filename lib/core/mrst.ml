@@ -53,12 +53,18 @@ let solve ?solver ?domains matrix ~eps =
   Obs.Counter.incr Metrics.fresh_solves;
   let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
   (* Threshold every row into the bitset of columns it satisfies; rows
-     are independent, so the scan fans out across the domain pool. *)
+     are independent, so the scan fans out across the domain pool.  The
+     row is blitted into a per-worker scratch buffer once, so the
+     threshold loop reads contiguous floats even on a column view. *)
   let bitsets = Array.make n (Bitset.create 0) in
-  Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
+  Rrms_parallel.parallel_for_with ?domains ~min_chunk:16
+    ~scratch:(fun () -> Array.make k 0.)
+    n
+    (fun row i ->
+      Regret_matrix.blit_row matrix i row;
       let b = Bitset.create k in
       for f = 0 to k - 1 do
-        if Regret_matrix.get matrix i f <= eps then Bitset.set b f
+        if Array.unsafe_get row f <= eps then Bitset.set b f
       done;
       bitsets.(i) <- b);
   cover_of_bitsets ?solver ~universe:k bitsets
@@ -76,17 +82,16 @@ module Incremental = struct
     let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
     let order = Array.make n [||] and sorted = Array.make n [||] in
     Rrms_parallel.parallel_for ?domains ~min_chunk:8 n (fun i ->
-        (* Copy the row once so the sort comparator touches a flat local
-           array instead of re-reading the matrix on every comparison. *)
-        let vals = Array.init k (fun f -> Regret_matrix.get matrix i f) in
+        (* Copy the row once (one contiguous blit on a flat matrix) and
+           tandem-sort values with their column indices — same
+           (value, column) order as a comparator sort, without the
+           per-comparison closure call. *)
+        let vals = Array.make k 0. in
+        Regret_matrix.blit_row matrix i vals;
         let ord = Array.init k Fun.id in
-        Array.sort
-          (fun a b ->
-            let c = Float.compare vals.(a) vals.(b) in
-            if c <> 0 then c else Stdlib.compare a b)
-          ord;
+        Fsort.sort_pairs vals ord;
         order.(i) <- ord;
-        sorted.(i) <- Array.map (fun f -> vals.(f)) ord);
+        sorted.(i) <- vals);
     {
       universe = k;
       order;
@@ -97,26 +102,49 @@ module Incremental = struct
 
   let rows t = Array.length t.bits
 
-  (* Move every row's prefix pointer to the new threshold: set bits
-     while the next sorted value fits, clear while the last one no
-     longer does.  Each probe costs O(#cells crossing the threshold)
-     instead of a full O(s·|F|) rescan. *)
+  (* Slide row [i]'s bitset from its current prefix to [target] sorted
+     columns.  The all-columns and no-columns targets collapse to
+     word-level prefix fills/clears (the prefix basis is sorted order,
+     but "every column" and "no column" are basis-independent); anything
+     else flips exactly the bits whose membership changed. *)
+  let slide_row_bits t i target =
+    let ord = t.order.(i) and b = t.bits.(i) in
+    let k = Array.length ord in
+    let p0 = t.pos.(i) in
+    if target > p0 then begin
+      if target = k then Bitset.set_range_prefix b k
+      else
+        for q = p0 to target - 1 do
+          Bitset.set b ord.(q)
+        done
+    end
+    else if target < p0 then begin
+      if target = 0 then Bitset.clear_range_prefix b k
+      else
+        for q = p0 - 1 downto target do
+          Bitset.clear b ord.(q)
+        done
+    end;
+    t.pos.(i) <- target
+
+  (* Move every row's prefix pointer to the new threshold: advance while
+     the next sorted value fits, retreat while the last one no longer
+     does.  Each probe costs O(#cells crossing the threshold) instead of
+     a full O(s·|F|) rescan. *)
   let advance ?domains t ~eps =
     let n = rows t in
     Rrms_parallel.parallel_for ?domains ~min_chunk:64 n (fun i ->
-        let ord = t.order.(i) and vals = t.sorted.(i) and b = t.bits.(i) in
+        let vals = t.sorted.(i) in
         let k = Array.length vals in
         let p0 = t.pos.(i) in
         let p = ref p0 in
-        while !p < k && vals.(!p) <= eps do
-          Bitset.set b ord.(!p);
+        while !p < k && Array.unsafe_get vals !p <= eps do
           incr p
         done;
-        while !p > 0 && vals.(!p - 1) > eps do
-          decr p;
-          Bitset.clear b ord.(!p)
+        while !p > 0 && Array.unsafe_get vals (!p - 1) > eps do
+          decr p
         done;
-        t.pos.(i) <- !p;
+        slide_row_bits t i !p;
         (* One add per row, not per cell: the counter total is the sum
            of per-row pointer moves, identical for every chunking. *)
         Obs.Counter.add Metrics.cells_crossed (abs (!p - p0)))
@@ -124,5 +152,66 @@ module Incremental = struct
   let solve ?solver ?domains t ~eps =
     Obs.Counter.incr Metrics.incremental_solves;
     advance ?domains t ~eps;
+    cover_of_bitsets ?solver ~universe:t.universe t.bits
+
+  (* Batched probing: resolve a whole ascending threshold schedule with
+     one pass over each row's sorted values.  Positions are pure
+     functions of (row values, threshold) — identical to what a
+     sequence of [advance] calls would compute — and the bits are slid
+     once, directly to the last (largest) threshold. *)
+  let advance_many ?domains t ~eps =
+    let j_count = Array.length eps in
+    if j_count = 0 then
+      invalid_arg "Mrst.Incremental.advance_many: empty schedule";
+    for j = 1 to j_count - 1 do
+      if Float.compare eps.(j - 1) eps.(j) > 0 then
+        invalid_arg "Mrst.Incremental.advance_many: schedule not ascending"
+    done;
+    let n = rows t in
+    let res = Array.init j_count (fun _ -> Array.make n 0) in
+    Rrms_parallel.parallel_for ?domains ~min_chunk:64 n (fun i ->
+        let vals = t.sorted.(i) in
+        let k = Array.length vals in
+        let p0 = t.pos.(i) in
+        let p = ref p0 in
+        let crossed = ref 0 in
+        (* First threshold: the pointer may move either way from the
+           current state; every later one only advances. *)
+        let e0 = eps.(0) in
+        while !p < k && Array.unsafe_get vals !p <= e0 do
+          incr p
+        done;
+        while !p > 0 && Array.unsafe_get vals (!p - 1) > e0 do
+          decr p
+        done;
+        crossed := abs (!p - p0);
+        (Array.unsafe_get res 0).(i) <- !p;
+        for j = 1 to j_count - 1 do
+          let e = Array.unsafe_get eps j in
+          let before = !p in
+          while !p < k && Array.unsafe_get vals !p <= e do
+            incr p
+          done;
+          crossed := !crossed + (!p - before);
+          (Array.unsafe_get res j).(i) <- !p
+        done;
+        slide_row_bits t i !p;
+        (* Same total as an ascending sequence of [advance] calls:
+           |first move| plus the forward deltas. *)
+        Obs.Counter.add Metrics.cells_crossed !crossed);
+    res
+
+  let solve_at ?solver ?domains t ~pos =
+    if Array.length pos <> rows t then
+      invalid_arg "Mrst.Incremental.solve_at: position array length mismatch";
+    Obs.Counter.incr Metrics.incremental_solves;
+    let n = rows t in
+    Rrms_parallel.parallel_for ?domains ~min_chunk:64 n (fun i ->
+        let target = pos.(i) in
+        if target < 0 || target > Array.length t.order.(i) then
+          invalid_arg "Mrst.Incremental.solve_at: position out of range";
+        let p0 = t.pos.(i) in
+        slide_row_bits t i target;
+        Obs.Counter.add Metrics.cells_crossed (abs (target - p0)));
     cover_of_bitsets ?solver ~universe:t.universe t.bits
 end

@@ -16,10 +16,97 @@ module Metrics = struct
       "rrms_matrix_distinct_values"
 end
 
+(* One flat row-major buffer instead of [float array array]: a cell read
+   is one bounds check and one load, rows are contiguous for streaming
+   scans, and a column-subset "matrix" is just the same buffer seen
+   through a [colmap] — no copy.  [stride] is the physical row width of
+   [data]; [colmap] maps a logical column to its physical offset within
+   a row ([colmap] = identity and [stride] = cols for built or
+   materialized matrices, flagged by [contiguous] so hot loops can take
+   the blit/stride-1 path).  Matrices are immutable after construction,
+   so the sorted distinct-cell array is computed once and cached;
+   [Atomic] gives the cache a publication barrier — matrices are shared
+   across serve sessions running on different domains. *)
 type t = {
-  cells : float array array; (* rows x cols *)
-  best : float array; (* per-column best database score *)
+  data : float array;
+  stride : int;
+  nrows : int;
+  colmap : int array;
+  contiguous : bool;
+  best : float array; (* per logical column: best database score *)
+  distinct : float array option Atomic.t;
 }
+
+let rows t = t.nrows
+let cols t = Array.length t.best
+
+(* [colmap.(f)] performs the logical-column bounds check; the flat index
+   of any in-range row then lies inside [data] by construction, and an
+   out-of-range row lands outside [0, nrows·stride) because a physical
+   column never exceeds [stride - 1]. *)
+let get t i f = t.data.((i * t.stride) + t.colmap.(f))
+let column_best_score t f = t.best.(f)
+let is_view t = not t.contiguous
+
+let check_row t i =
+  if i < 0 || i >= t.nrows then invalid_arg "index out of bounds"
+
+let blit_row t i dst =
+  check_row t i;
+  let k = cols t in
+  if Array.length dst < k then
+    invalid_arg "Regret_matrix.blit_row: destination too short";
+  let off = i * t.stride in
+  if t.contiguous then Array.blit t.data off dst 0 k
+  else
+    for f = 0 to k - 1 do
+      Array.unsafe_set dst f
+        (Array.unsafe_get t.data (off + Array.unsafe_get t.colmap f))
+    done
+
+let row_update_mins t i mins =
+  check_row t i;
+  let k = cols t in
+  if Array.length mins < k then
+    invalid_arg "Regret_matrix.row_update_mins: mins too short";
+  let off = i * t.stride in
+  if t.contiguous then
+    for f = 0 to k - 1 do
+      let v = Array.unsafe_get t.data (off + f) in
+      if v < Array.unsafe_get mins f then Array.unsafe_set mins f v
+    done
+  else
+    for f = 0 to k - 1 do
+      let v = Array.unsafe_get t.data (off + Array.unsafe_get t.colmap f) in
+      if v < Array.unsafe_get mins f then Array.unsafe_set mins f v
+    done
+
+let row_worst_against t i current =
+  check_row t i;
+  let k = cols t in
+  if Array.length current < k then
+    invalid_arg "Regret_matrix.row_worst_against: current too short";
+  let off = i * t.stride in
+  let worst = ref neg_infinity in
+  if t.contiguous then
+    for f = 0 to k - 1 do
+      let v =
+        Float.min
+          (Array.unsafe_get current f)
+          (Array.unsafe_get t.data (off + f))
+      in
+      if v > !worst then worst := v
+    done
+  else
+    for f = 0 to k - 1 do
+      let v =
+        Float.min
+          (Array.unsafe_get current f)
+          (Array.unsafe_get t.data (off + Array.unsafe_get t.colmap f))
+      in
+      if v > !worst then worst := v
+    done;
+  !worst
 
 let build ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) ~funcs points =
   let n = Array.length points and k = Array.length funcs in
@@ -34,50 +121,105 @@ let build ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) ~funcs points =
      caller asked for more than the guard allows. *)
   Rrms_guard.Guard.Budget.check_cells guard ~what:"regret matrix cells" (n * k);
   (* Each column's best scan is an independent O(n·m) dot-product sweep
-     and each row's cell fill writes only its own row, so both loops
-     parallelise with bit-identical results. *)
+     and each row fill writes only its own [k]-cell slice of the flat
+     buffer, so both loops parallelise with bit-identical results. *)
   Obs.Span.with_ "regret_matrix.build" (fun () ->
       let best = Array.make k 0. in
       Rrms_parallel.parallel_for ?domains ~min_chunk:8 k (fun f ->
           best.(f) <- Vec.max_score funcs.(f) points);
-      let cells = Array.make n [||] in
+      let data = Array.make (n * k) 0. in
       Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
-          let row = Array.make k 0. in
+          let off = i * k in
           let p = points.(i) in
           for f = 0 to k - 1 do
-            if best.(f) > 0. then
-              row.(f) <-
-                Float.max 0. ((best.(f) -. Vec.dot funcs.(f) p) /. best.(f))
-          done;
-          cells.(i) <- row);
-      { cells; best })
+            let b = Array.unsafe_get best f in
+            if b > 0. then
+              Array.unsafe_set data (off + f)
+                (Float.max 0. ((b -. Vec.dot funcs.(f) p) /. b))
+          done);
+      {
+        data;
+        stride = k;
+        nrows = n;
+        colmap = Array.init k (fun f -> f);
+        contiguous = true;
+        best;
+        distinct = Atomic.make None;
+      })
 
 let select_cols t cols =
   let k = Array.length t.best in
   Array.iter
     (fun f ->
       if f < 0 || f >= k then
-        invalid_arg "Regret_matrix.select_cols: column index out of range")
+        Rrms_guard.Guard.Error.invalid_input
+          "Regret_matrix.select_cols: column index out of range")
     cols;
   if Array.length cols = 0 then
     Rrms_guard.Guard.Error.invalid_input "Regret_matrix.select_cols: no columns";
+  (* A view: the flat buffer is shared and only the logical→physical
+     column map changes (composed through the parent's, so a view of a
+     view stays one indirection deep). *)
+  let colmap = Array.map (fun f -> t.colmap.(f)) cols in
+  let contiguous =
+    t.nrows * Array.length cols = Array.length t.data
+    && Array.length cols = t.stride
+    && (let id = ref true in
+        Array.iteri (fun i pc -> if pc <> i then id := false) colmap;
+        !id)
+  in
   {
-    cells = Array.map (fun row -> Array.map (fun f -> row.(f)) cols) t.cells;
+    data = t.data;
+    stride = t.stride;
+    nrows = t.nrows;
+    colmap;
+    contiguous;
     best = Array.map (fun f -> t.best.(f)) cols;
+    distinct = Atomic.make None;
   }
 
-let rows t = Array.length t.cells
-let cols t = Array.length t.best
-let get t i f = t.cells.(i).(f)
-let column_best_score t f = t.best.(f)
+let materialize t =
+  if t.contiguous then t
+  else begin
+    let k = cols t in
+    let data = Array.make (t.nrows * k) 0. in
+    for i = 0 to t.nrows - 1 do
+      let src = i * t.stride and dst = i * k in
+      for f = 0 to k - 1 do
+        Array.unsafe_set data (dst + f)
+          (Array.unsafe_get t.data (src + Array.unsafe_get t.colmap f))
+      done
+    done;
+    {
+      data;
+      stride = k;
+      nrows = t.nrows;
+      colmap = Array.init k (fun f -> f);
+      contiguous = true;
+      best = Array.copy t.best;
+      (* Cell values are unchanged by the gather, so an already-computed
+         distinct cache carries over. *)
+      distinct = Atomic.make (Atomic.get t.distinct);
+    }
+  end
 
-let distinct_values t =
+let compute_distinct t =
   let n = rows t and k = cols t in
-  let all = Array.make (n * k) 0. in
-  Array.iteri
-    (fun i row -> Array.blit row 0 all (i * k) k)
-    t.cells;
-  Array.sort Float.compare all;
+  let all =
+    if t.contiguous then Array.copy t.data
+    else begin
+      let all = Array.make (n * k) 0. in
+      for i = 0 to n - 1 do
+        let src = i * t.stride and dst = i * k in
+        for f = 0 to k - 1 do
+          Array.unsafe_set all (dst + f)
+            (Array.unsafe_get t.data (src + Array.unsafe_get t.colmap f))
+        done
+      done;
+      all
+    end
+  in
+  Fsort.sort all;
   (* Dedup in place in one scan: [j] entries are emitted, and the next
      candidate only needs comparing against the last emitted value. *)
   let j = ref 1 in
@@ -87,22 +229,34 @@ let distinct_values t =
       incr j
     end
   done;
-  Obs.Gauge.set_int Metrics.distinct !j;
   Array.sub all 0 !j
+
+let distinct_values t =
+  let d =
+    match Atomic.get t.distinct with
+    | Some d -> d
+    | None ->
+        let d = compute_distinct t in
+        (* A concurrent loser computed the identical array; either
+           result is correct, so last-write-wins is fine. *)
+        Atomic.set t.distinct (Some d);
+        d
+  in
+  Obs.Gauge.set_int Metrics.distinct (Array.length d);
+  d
 
 let regret_of_rows t rs =
   if Array.length rs = 0 then
     Rrms_guard.Guard.Error.invalid_input
       "Regret_matrix.regret_of_rows: empty row set";
   let k = cols t in
+  (* Stream row-by-row over the flat buffer (one pass per selected row)
+     rather than column-by-column: same per-column minima, same result,
+     contiguous reads. *)
+  let mins = Array.make k infinity in
+  Array.iter (fun i -> row_update_mins t i mins) rs;
   let worst = ref 0. in
   for f = 0 to k - 1 do
-    let best = ref infinity in
-    Array.iter
-      (fun i ->
-        let v = t.cells.(i).(f) in
-        if v < !best then best := v)
-      rs;
-    if !best > !worst then worst := !best
+    if Array.unsafe_get mins f > !worst then worst := Array.unsafe_get mins f
   done;
   !worst

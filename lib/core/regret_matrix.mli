@@ -3,7 +3,11 @@
     Rows are candidate tuples (the skyline suffices, by Theorem 1),
     columns are the discretized ranking functions; cell [(i, f)] is the
     regret ratio a user of function [f] suffers if tuple [i] alone is
-    kept.  HD-RRMS and HD-GREEDY both operate on this matrix. *)
+    kept.  HD-RRMS and HD-GREEDY both operate on this matrix.
+
+    The storage is a single flat row-major unboxed float buffer; column
+    subsets ({!select_cols}) are zero-copy views onto the same buffer.
+    Matrices are immutable after {!build}. *)
 
 type t
 
@@ -27,30 +31,67 @@ val build :
 
 val select_cols : t -> int array -> t
 (** [select_cols t cols] is the sub-matrix of the given function
-    columns, in the given order — cells and per-column best scores are
-    copied verbatim, so solving on the sub-matrix is bit-identical to
-    solving on a matrix built from the corresponding function subset.
-    Pairs with {!Discretize.subgrid_indices} to serve a γ'-grid query
-    from a cached γ-grid matrix.
-    @raise Invalid_argument on a bad column index,
-    [Guard_error Invalid_input] when [cols] is empty. *)
+    columns, in the given order — a zero-copy {e view} sharing the
+    parent's flat buffer through a column map (a view of a view composes
+    the maps, staying one indirection deep).  Cell values and per-column
+    best scores are the parent's verbatim, so solving on the sub-matrix
+    is bit-identical to solving on a matrix built from the corresponding
+    function subset.  Pairs with {!Discretize.subgrid_indices} to serve
+    a γ'-grid query from a cached γ-grid matrix; use {!materialize}
+    when the result is kept long-term (e.g. stored as an artifact).
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on a bad
+    column index or when [cols] is empty. *)
+
+val materialize : t -> t
+(** [materialize t] is [t] with its cells gathered into a fresh
+    contiguous buffer (a no-op, returning [t] itself, when [t] is
+    already contiguous).  Use after {!select_cols} when the view will
+    outlive the parent matrix or be scanned many times: a materialized
+    matrix drops the parent buffer reference and reads stride-1. *)
+
+val is_view : t -> bool
+(** [is_view t] is [true] iff [t] reads through a non-trivial column
+    map, i.e. {!materialize} would gather. *)
 
 val rows : t -> int
 val cols : t -> int
 
 val get : t -> int -> int -> float
-(** [get t i f] = M\[i, f\]. *)
+(** [get t i f] = M\[i, f\].
+    @raise Invalid_argument when [i] or [f] is out of range. *)
 
 val column_best_score : t -> int -> float
 (** The database-wide best score of column [f]'s function. *)
 
+val blit_row : t -> int -> float array -> unit
+(** [blit_row t i dst] copies row [i]'s [cols t] cells into
+    [dst.(0 .. cols t - 1)] — a single [Array.blit] on contiguous
+    matrices, a gather on views.
+    @raise Invalid_argument if [i] is out of range or [dst] is shorter
+    than [cols t]. *)
+
+val row_update_mins : t -> int -> float array -> unit
+(** [row_update_mins t i mins] folds row [i] into the per-column running
+    minima: [mins.(f) <- min mins.(f) M[i,f]] for every column, using
+    the same [<] comparison as {!regret_of_rows}. *)
+
+val row_worst_against : t -> int -> float array -> float
+(** [row_worst_against t i current] =
+    [max_f (Float.min current.(f) M[i,f])]: the maximum regret of a set
+    whose per-column minima are [current] after adding row [i].  The
+    inner HD-GREEDY sweep, one contiguous row scan per candidate. *)
+
 val distinct_values : t -> float array
 (** All distinct cell values, sorted ascending — the binary-search
     domain of Algorithm 4.  Includes at least [0.] when the matrix has a
-    zero cell.  One flatten + one sort + one dedup scan, so
-    duplicate-heavy matrices pay O(s·|F|·log(s·|F|)) once. *)
+    zero cell.  Computed once per matrix (one flatten + one sort + one
+    dedup scan) and cached — matrices are immutable, so the cache never
+    invalidates and repeated solver calls on a stored artifact pay
+    nothing.  The returned array is the cache itself: treat it as
+    read-only. *)
 
 val regret_of_rows : t -> int array -> float
 (** [regret_of_rows t rs] = the discretized maximum regret of keeping
     the row subset [rs]: [max_f min_{i∈rs} M[i,f]].
-    @raise Invalid_argument if [rs] is empty. *)
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] if [rs]
+    is empty, [Invalid_argument] on an out-of-range row index. *)

@@ -76,19 +76,52 @@ module Pool : sig
   val set_default_size : int -> unit
   (** Override the default parallelism (clamped to [>= 1]). *)
 
+  val parallel_cap : unit -> int
+  (** The effective parallelism ceiling.  A loop on a pool of size [s]
+      uses [min s (parallel_cap ())] participants — requesting 8
+      domains on a 1-core container runs serially instead of thrashing.
+      Defaults to [Domain.recommended_domain_count ()].  Results are
+      unaffected (the determinism contract holds at every width); an
+      armed {!Fault} bypasses the cap so injection tests always reach
+      their spawned workers. *)
+
+  val set_parallel_cap : int -> unit
+  (** Override the cap ([0] restores the automatic hardware value).
+      Tests use this to exercise real multi-domain execution on
+      single-core machines. *)
+
   val configure_from_env : unit -> unit
-  (** Read the [RRMS_DOMAINS] environment variable and, when it holds a
-      positive integer, make it the default size.  Called by the CLI and
-      the bench harness at startup; malformed or absent values leave the
-      default untouched. *)
+  (** Read [RRMS_DOMAINS] (positive integer: the default size) and
+      [RRMS_POOL_CAP] (non-negative integer: the parallelism cap, [0] =
+      automatic).  Called by the CLI and the bench harness at startup;
+      malformed or absent values leave the settings untouched. *)
 end
 
 val parallel_for : ?domains:int -> ?min_chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f i] for every [i] in [0 .. n-1], split
-    into contiguous chunks across the pool.  Falls back to a plain
-    serial loop when the pool size is 1 or [n < 2 * min_chunk]
-    (default [min_chunk = 64]).  [f] must only write state owned by
-    index [i]. *)
+    into contiguous chunks across the pool.  Stays on the calling
+    domain when the effective width is 1, when [n < 2 * min_chunk]
+    (default [min_chunk = 64]), or when a timed pilot chunk estimates
+    the remaining work below the parallelism break-even threshold;
+    otherwise chunk sizes adapt to the measured per-item cost.  [f]
+    must only write state owned by index [i] — which is also why the
+    adaptive chunk layout cannot affect results. *)
+
+val parallel_for_with :
+  ?domains:int ->
+  ?min_chunk:int ->
+  scratch:(unit -> 'a) ->
+  int ->
+  ('a -> int -> unit) ->
+  unit
+(** [parallel_for_with ~scratch n body] is {!parallel_for} with a
+    per-participant scratch value: each executing domain calls
+    [scratch ()] once per batch and passes the result to every [body]
+    invocation it runs — reusable row buffers instead of a fresh
+    allocation per chunk.  [body] must treat the scratch value as
+    domain-local and still write only index-[i]-owned shared state;
+    results must not depend on how iterations share a scratch value
+    (write-before-read per iteration keeps the determinism contract). *)
 
 val map_array : ?domains:int -> ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array f a] = [Array.map f a], parallelised over chunks.  [f] is

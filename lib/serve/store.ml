@@ -372,7 +372,14 @@ let matrix_locked t e ~sky ~m ~gamma ~guard =
             | Some _ -> acc
             | None when g > gamma -> (
                 match Discretize.subgrid_indices ~gamma_sub:gamma ~gamma:g ~m with
-                | Some idx -> Some (Regret_matrix.select_cols mat idx)
+                | Some idx ->
+                    (* The derived matrix is stored as an artifact and
+                       scanned by every query at this γ: materialize the
+                       column view so those scans read stride-1 and the
+                       entry does not pin the wider γ' buffer. *)
+                    Some
+                      (Regret_matrix.materialize
+                         (Regret_matrix.select_cols mat idx))
                 | None -> None)
             | None -> None)
           None e.matrices

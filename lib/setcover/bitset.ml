@@ -89,11 +89,35 @@ let elements t =
   iter (fun i -> acc := i :: !acc) t;
   List.rev !acc
 
+(* A full word has all 63 logical bits set; as a native int that is
+   every bit of the representation, i.e. -1 — the same value per-bit
+   [set] produces, so word-level and bit-level fills compare equal. *)
+let full_word = -1
+
+let check_prefix t n name =
+  if n < 0 || n > t.width then invalid_arg (name ^ ": prefix out of range")
+
+let set_range_prefix t n =
+  check_prefix t n "Bitset.set_range_prefix";
+  let fw = n / bits_per_word and r = n mod bits_per_word in
+  for w = 0 to fw - 1 do
+    t.words.(w) <- full_word
+  done;
+  (* (1 lsl r) - 1 sets bits [0, r); the r = 62 case wraps through
+     min_int to max_int, which is exactly bits 0..61. *)
+  if r > 0 then t.words.(fw) <- t.words.(fw) lor ((1 lsl r) - 1)
+
+let clear_range_prefix t n =
+  check_prefix t n "Bitset.clear_range_prefix";
+  let fw = n / bits_per_word and r = n mod bits_per_word in
+  for w = 0 to fw - 1 do
+    t.words.(w) <- 0
+  done;
+  if r > 0 then t.words.(fw) <- t.words.(fw) land lnot ((1 lsl r) - 1)
+
 let full width =
   let t = create width in
-  for i = 0 to width - 1 do
-    set t i
-  done;
+  set_range_prefix t width;
   t
 
 let of_list width elems =

@@ -45,6 +45,16 @@ val iter : (int -> unit) -> t -> unit
 
 val elements : t -> int list
 
+val set_range_prefix : t -> int -> unit
+(** [set_range_prefix t n] sets bits [0, n) whole words at a time (other
+    bits are left untouched).  The MRST prefix slide uses it when a
+    threshold admits a row's every column.
+    @raise Invalid_argument unless [0 <= n <= width t]. *)
+
+val clear_range_prefix : t -> int -> unit
+(** [clear_range_prefix t n] clears bits [0, n) whole words at a time.
+    @raise Invalid_argument unless [0 <= n <= width t]. *)
+
 val full : int -> t
 (** [full width]: all bits set. *)
 

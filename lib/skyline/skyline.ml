@@ -51,6 +51,12 @@ let sfs ?domains points =
   let n = Array.length points in
   Obs.Counter.incr Metrics.runs;
   Obs.Counter.add Metrics.input_points n;
+  let m = if n > 0 then Array.length points.(0) else 0 in
+  Array.iter
+    (fun p ->
+      if Array.length p <> m then
+        invalid_arg "Dominance.compare: dimension mismatch")
+    points;
   let sum p = Array.fold_left ( +. ) 0. p in
   let idx = Array.init n (fun i -> i) in
   let sums = Array.map sum points in
@@ -61,10 +67,26 @@ let sfs ?domains points =
     idx;
   let kept = Array.make n 0 in
   let nkept = ref 0 in
-  let dominates_candidate j p =
-    match Dominance.compare points.(j) p with
-    | `Left | `Equal -> true
-    | `Right | `Incomparable -> false
+  (* Survivor attributes live in one flat row-major buffer (survivor
+     [j] at [j*m, (j+1)*m)), so the hot scan walks contiguous floats
+     instead of chasing a point pointer per survivor.  "Survivor [j]
+     dominates-or-duplicates candidate [p]" is
+     [Dominance.compare s p ∈ {`Left, `Equal}], i.e. no attribute where
+     [p] beats [s] — the one-sided covers test below. *)
+  let svals = Array.make (max 1 (n * m)) 0. in
+  let covers j (p : float array) =
+    let base = j * m in
+    let rec go d =
+      d >= m
+      || (Array.unsafe_get svals (base + d) >= Array.unsafe_get p d
+         && go (d + 1))
+    in
+    go 0
+  in
+  let keep i =
+    Array.blit points.(i) 0 svals (!nkept * m) m;
+    kept.(!nkept) <- i;
+    incr nkept
   in
   let block = 256 in
   let dominated = Array.make (min block n) false in
@@ -76,22 +98,14 @@ let sfs ?domains points =
     let base = !lo in
     Rrms_parallel.parallel_for ?domains ~min_chunk:8 len (fun c ->
         let p = points.(idx.(base + c)) in
-        let rec scan j =
-          j < final
-          && (dominates_candidate kept.(j) p || scan (j + 1))
-        in
+        let rec scan j = j < final && (covers j p || scan (j + 1)) in
         dominated.(c) <- scan 0);
     for c = 0 to len - 1 do
       if not dominated.(c) then begin
         let i = idx.(base + c) in
         let p = points.(i) in
-        let rec scan j =
-          j < !nkept && (dominates_candidate kept.(j) p || scan (j + 1))
-        in
-        if not (scan final) then begin
-          kept.(!nkept) <- i;
-          incr nkept
-        end
+        let rec scan j = j < !nkept && (covers j p || scan (j + 1)) in
+        if not (scan final) then keep i
       end
     done;
     lo := hi

@@ -4,6 +4,12 @@ let () =
      pool fault injection for the entire run — CI uses the stall
      variant, under which every test must still pass. *)
   Rrms_parallel.Pool.configure_from_env ();
+  (* The determinism suites compare real multi-domain runs against
+     serial ones; lift the hardware parallelism cap so requesting 4
+     domains actually crosses domains even on a 1-core CI box.
+     (RRMS_POOL_CAP, read above, still wins when set.) *)
+  if Sys.getenv_opt "RRMS_POOL_CAP" = None then
+    Rrms_parallel.Pool.set_parallel_cap 16;
   Rrms_parallel.Fault.configure_from_env ();
   (* RRMS_OBS=full must also leave every result unchanged; CI runs the
      suite with observability fully on. *)

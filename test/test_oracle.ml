@@ -182,6 +182,41 @@ let test_hd_grid_regret_agrees () =
       sampled res.Hd_rrms.discretized_regret
   done
 
+(* ------------------------------------------------------------------ *)
+(* Every algorithm the query service exposes (Protocol.algo) must be
+   bit-identical however wide the default domain pool is — the flat
+   matrix layout, the batched binary search and the adaptive chunking
+   must never leak into a result.                                      *)
+
+let test_served_algos_domain_invariant () =
+  let pts2 = dataset 7700 ~n:400 ~m:2 in
+  let ptsh = dataset 7701 ~n:500 ~m:3 in
+  let r = 4 and gamma = 3 in
+  let run () =
+    ( Rrms2d.solve pts2 ~r,
+      Rrms2d.solve_exact pts2 ~r,
+      Sweepline.solve pts2 ~r,
+      Hd_rrms.solve ~gamma ptsh ~r,
+      Hd_greedy.solve ~gamma ptsh ~r,
+      Greedy.solve ptsh ~r,
+      Cube.solve ptsh ~r )
+  in
+  let saved = Rrms_parallel.Pool.default_size () in
+  Fun.protect
+    ~finally:(fun () -> Rrms_parallel.Pool.set_default_size saved)
+    (fun () ->
+      Rrms_parallel.Pool.set_default_size 1;
+      let reference = run () in
+      List.iter
+        (fun d ->
+          Rrms_parallel.Pool.set_default_size d;
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "all seven served algos bit-identical at %d domains" d)
+            true
+            (run () = reference))
+        [ 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "2d differential (50 instances)" `Quick
@@ -193,4 +228,6 @@ let suite =
       test_hd_greedy_certified;
     Alcotest.test_case "hd grid regret agrees with independent eval" `Quick
       test_hd_grid_regret_agrees;
+    Alcotest.test_case "served algos: domains 1 = 2 = 4" `Quick
+      test_served_algos_domain_invariant;
   ]

@@ -229,6 +229,254 @@ let test_solve_on_matrix_uses_incremental () =
       !scratch_best incremental
   done
 
+(* --- flat layout vs boxed reference ---------------------------------- *)
+
+(* Every accessor of the flat row-major matrix must agree bit-for-bit
+   with the obvious boxed (row-of-arrays) implementation, on the full
+   matrix, on a permuted column view, and on the view's materialized
+   copy. *)
+let test_flat_matrix_matches_boxed () =
+  let rng = Rrms_rng.Rng.create 606 in
+  let pts = random_points rng ~n:120 ~m:3 in
+  let funcs = Discretize.grid ~gamma:3 ~m:3 in
+  let matrix = Regret_matrix.build ~funcs pts in
+  let s = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
+  let boxed =
+    Array.init s (fun i ->
+        Array.init k (fun f -> Regret_matrix.get matrix i f))
+  in
+  (* blit_row = the boxed row, bit-for-bit. *)
+  let row = Array.make k nan in
+  let blit_ok = ref true in
+  for i = 0 to s - 1 do
+    Regret_matrix.blit_row matrix i row;
+    if row <> boxed.(i) then blit_ok := false
+  done;
+  Alcotest.(check bool) "blit_row = boxed rows" true !blit_ok;
+  (* regret_of_rows = boxed column-mins then max. *)
+  let some_rows = [| 0; 2; 5; s - 1 |] in
+  let mins = Array.make k infinity in
+  Array.iter
+    (fun i ->
+      for f = 0 to k - 1 do
+        if boxed.(i).(f) < mins.(f) then mins.(f) <- boxed.(i).(f)
+      done)
+    some_rows;
+  let expected = Array.fold_left Float.max neg_infinity mins in
+  Alcotest.(check (float 0.))
+    "regret_of_rows = boxed reference" expected
+    (Regret_matrix.regret_of_rows matrix some_rows);
+  (* row_worst_against / row_update_mins = their boxed references. *)
+  let current = Array.copy mins in
+  let worst_ok = ref true in
+  for i = 0 to s - 1 do
+    let w = ref neg_infinity in
+    for f = 0 to k - 1 do
+      let v = Float.min current.(f) boxed.(i).(f) in
+      if v > !w then w := v
+    done;
+    if Regret_matrix.row_worst_against matrix i current <> !w then
+      worst_ok := false
+  done;
+  Alcotest.(check bool) "row_worst_against = boxed reference" true !worst_ok;
+  let updated = Array.copy current in
+  Regret_matrix.row_update_mins matrix 3 updated;
+  let expected_mins =
+    Array.init k (fun f ->
+        if boxed.(3).(f) < current.(f) then boxed.(3).(f) else current.(f))
+  in
+  Alcotest.(check (array (float 0.)))
+    "row_update_mins = boxed reference" expected_mins updated;
+  (* A permuted column-subset view, and its materialized copy. *)
+  let cols = [| k - 1; 0; k / 2 |] in
+  let view = Regret_matrix.select_cols matrix cols in
+  Alcotest.(check bool) "select_cols is a view" true
+    (Regret_matrix.is_view view);
+  let mat = Regret_matrix.materialize view in
+  Alcotest.(check bool) "materialize is not a view" false
+    (Regret_matrix.is_view mat);
+  let view_ok = ref true in
+  for i = 0 to s - 1 do
+    Array.iteri
+      (fun f' f ->
+        if
+          Regret_matrix.get view i f' <> boxed.(i).(f)
+          || Regret_matrix.get mat i f' <> boxed.(i).(f)
+        then view_ok := false)
+      cols
+  done;
+  Alcotest.(check bool) "view and materialized cells = boxed subset" true
+    !view_ok;
+  (* distinct_values = sort + dedup of every cell, and the result is
+     cached (same physical array on the second call). *)
+  let all = Array.concat (Array.to_list boxed) in
+  Array.sort Float.compare all;
+  let dedup = ref [] in
+  Array.iter
+    (fun v ->
+      match !dedup with
+      | w :: _ when Float.compare w v = 0 -> ()
+      | _ -> dedup := v :: !dedup)
+    all;
+  let expected_distinct = Array.of_list (List.rev !dedup) in
+  Alcotest.(check (array (float 0.)))
+    "distinct_values = sorted dedup of boxed cells" expected_distinct
+    (Regret_matrix.distinct_values matrix);
+  Alcotest.(check bool) "distinct_values cached" true
+    (Regret_matrix.distinct_values matrix
+    == Regret_matrix.distinct_values matrix)
+
+let test_select_cols_guard_errors () =
+  let rng = Rrms_rng.Rng.create 607 in
+  let pts = random_points rng ~n:30 ~m:3 in
+  let funcs = Discretize.grid ~gamma:2 ~m:3 in
+  let matrix = Regret_matrix.build ~funcs pts in
+  let expect_invalid label f =
+    match f () with
+    | exception Rrms_guard.Guard.Error.Guard_error
+        (Rrms_guard.Guard.Error.Invalid_input _) ->
+        ()
+    | _ -> Alcotest.failf "%s: expected Guard_error Invalid_input" label
+  in
+  expect_invalid "empty column set" (fun () ->
+      Regret_matrix.select_cols matrix [||]);
+  expect_invalid "column out of range" (fun () ->
+      Regret_matrix.select_cols matrix [| Regret_matrix.cols matrix |]);
+  expect_invalid "negative column" (fun () ->
+      Regret_matrix.select_cols matrix [| -1 |])
+
+(* --- Fsort vs Array.sort Float.compare -------------------------------- *)
+
+let bits x = Int64.bits_of_float x
+
+let test_fsort_matches_reference () =
+  let rng = Rrms_rng.Rng.create 51 in
+  (* [Float.compare] calls -0. and +0. equal, so [Array.sort] (unstable)
+     leaves signed zeros in unspecified order; any valid output agrees
+     with the reference under [Float.compare] elementwise and preserves
+     the input bit patterns as a multiset. *)
+  let check_one label a =
+    let b = Array.copy a in
+    let in_bits = Array.map bits a in
+    Fsort.sort a;
+    Array.sort Float.compare b;
+    Alcotest.(check bool)
+      (label ^ ": Float.compare order")
+      true
+      (Array.for_all2 (fun x y -> Float.compare x y = 0) a b);
+    let out_bits = Array.map bits a in
+    Array.sort Int64.compare in_bits;
+    Array.sort Int64.compare out_bits;
+    Alcotest.(check bool)
+      (label ^ ": permutation of the input bits")
+      true (in_bits = out_bits)
+  in
+  check_one "empty" [||];
+  check_one "singleton" [| 0.7 |];
+  check_one "signed zeros interleaved" [| 0.; -0.; 1.; -0.; 0.; -0. |];
+  check_one "fallback: negatives and >= 2" [| 3.; -1.; 0.5; 2.; 1.9999 |];
+  check_one "fallback: infinities and nan" [| infinity; 0.1; nan; 0. |];
+  for trial = 1 to 20 do
+    let n = 1 + Rrms_rng.Rng.int rng 400 in
+    let a =
+      Array.init n (fun _ ->
+          (* In-range values with heavy duplication and some zeros. *)
+          match Rrms_rng.Rng.int rng 10 with
+          | 0 -> 0.
+          | 1 -> -0.
+          | 2 -> float_of_int (Rrms_rng.Rng.int rng 4) /. 2.
+          | _ -> Rrms_rng.Rng.float rng 2.)
+    in
+    check_one (Printf.sprintf "random trial %d" trial) a
+  done
+
+let test_fsort_pairs_matches_reference () =
+  let rng = Rrms_rng.Rng.create 52 in
+  for trial = 1 to 20 do
+    let n = 1 + Rrms_rng.Rng.int rng 300 in
+    (* Duplicate-heavy values so the index tie-break is exercised. *)
+    let vals =
+      Array.init n (fun _ -> float_of_int (Rrms_rng.Rng.int rng 8) /. 4.)
+    in
+    let idx = Array.init n Fun.id in
+    let pairs = Array.init n (fun q -> (vals.(q), idx.(q))) in
+    Array.sort
+      (fun (v1, i1) (v2, i2) ->
+        let c = Float.compare v1 v2 in
+        if c <> 0 then c else compare i1 i2)
+      pairs;
+    Fsort.sort_pairs vals idx;
+    Alcotest.(check bool)
+      (Printf.sprintf "sort_pairs trial %d" trial)
+      true
+      (Array.for_all2
+         (fun (v, i) q -> bits vals.(q) = bits v && idx.(q) = i)
+         pairs
+         (Array.init n Fun.id))
+  done
+
+(* --- batched threshold schedules -------------------------------------- *)
+
+(* advance_many must resolve an ascending schedule to exactly the
+   positions a sequence of single advances would reach, from any
+   starting state, and solve_at at those positions must return exactly
+   what per-threshold solves (and from-scratch solves) return. *)
+let test_advance_many_matches_advance_sequence () =
+  let rng = Rrms_rng.Rng.create 90210 in
+  for trial = 1 to 8 do
+    let n = 15 + Rrms_rng.Rng.int rng 60 in
+    let m = 2 + Rrms_rng.Rng.int rng 2 in
+    let pts = random_points rng ~n ~m in
+    let funcs = Discretize.grid ~gamma:(2 + Rrms_rng.Rng.int rng 2) ~m in
+    let matrix = Regret_matrix.build ~funcs pts in
+    let values = Regret_matrix.distinct_values matrix in
+    let nv = Array.length values in
+    let batched = Mrst.Incremental.create matrix in
+    let stepped = Mrst.Incremental.create matrix in
+    (* Random shared starting state: the first schedule entry must move
+       pointers in both directions. *)
+    let start = values.(Rrms_rng.Rng.int rng nv) in
+    Mrst.Incremental.advance batched ~eps:start;
+    Mrst.Incremental.advance stepped ~eps:start;
+    let len = 1 + Rrms_rng.Rng.int rng 6 in
+    let schedule =
+      Array.init len (fun _ ->
+          let v = values.(Rrms_rng.Rng.int rng nv) in
+          match Rrms_rng.Rng.int rng 3 with
+          | 0 -> v +. 1e-9
+          | 1 -> Float.max 0. (v -. 1e-9)
+          | _ -> v)
+    in
+    Array.sort Float.compare schedule;
+    let res = Mrst.Incremental.advance_many batched ~eps:schedule in
+    Array.iteri
+      (fun j eps ->
+        let from_batch = Mrst.Incremental.solve_at batched ~pos:res.(j) in
+        let from_steps = Mrst.Incremental.solve stepped ~eps in
+        let scratch = Mrst.solve matrix ~eps in
+        let check msg = Alcotest.check Alcotest.(option (array int)) msg in
+        check
+          (Printf.sprintf "trial %d step %d: batched = stepped" trial j)
+          from_steps from_batch;
+        check
+          (Printf.sprintf "trial %d step %d: batched = scratch" trial j)
+          scratch from_batch)
+      schedule
+  done;
+  let matrix =
+    Regret_matrix.build
+      ~funcs:(Discretize.grid ~gamma:2 ~m:2)
+      (random_points rng ~n:10 ~m:2)
+  in
+  let inc = Mrst.Incremental.create matrix in
+  Alcotest.check_raises "empty schedule rejected"
+    (Invalid_argument "Mrst.Incremental.advance_many: empty schedule")
+    (fun () -> ignore (Mrst.Incremental.advance_many inc ~eps:[||]));
+  Alcotest.check_raises "descending schedule rejected"
+    (Invalid_argument "Mrst.Incremental.advance_many: schedule not ascending")
+    (fun () ->
+      ignore (Mrst.Incremental.advance_many inc ~eps:[| 0.5; 0.2 |]))
+
 (* --- satellite regressions ------------------------------------------- *)
 
 let test_bitset_inter_count () =
@@ -289,4 +537,14 @@ let suite =
     Alcotest.test_case "bitset inter_count" `Quick test_bitset_inter_count;
     Alcotest.test_case "distinct_values on duplicate-heavy matrix" `Quick
       test_distinct_values_duplicates;
+    Alcotest.test_case "flat matrix = boxed reference" `Quick
+      test_flat_matrix_matches_boxed;
+    Alcotest.test_case "select_cols guard errors" `Quick
+      test_select_cols_guard_errors;
+    Alcotest.test_case "fsort = Array.sort Float.compare" `Quick
+      test_fsort_matches_reference;
+    Alcotest.test_case "fsort pairs = comparator sort" `Quick
+      test_fsort_pairs_matches_reference;
+    Alcotest.test_case "advance_many = sequence of advances" `Quick
+      test_advance_many_matches_advance_sequence;
   ]
