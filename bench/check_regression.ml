@@ -43,13 +43,13 @@ type rule = Higher_better | Lower_better | Identity | Info
 
 let rule_of_key key =
   match key with
-  | "speedup" | "speedup_vs_1" -> Higher_better
+  | "speedup" | "speedup_vs_1" | "rehydrate_speedup" -> Higher_better
   | "ratio_vs_disabled" | "ratio_vs_exact" | "matrix_build_seconds"
   | "mrst_binary_search_seconds" | "hd_rrms_solve_seconds" ->
       Lower_better
   | "benchmark" | "dataset" | "n" | "m" | "gamma" | "r" | "repeats"
   | "kernel" | "algo" | "level" | "domains" | "budget_kind" | "budget"
-  | "answer_digest" ->
+  | "answer_digest" | "corrupt_blobs" ->
       Identity
   | _ -> Info
 

@@ -9,15 +9,20 @@
    - γ-subgrid derivation — a γ′-query served by column-selecting the
      cached γ-matrix vs a fresh store solving cold at γ′ (grid + matrix
      build included);
-   - an r-sweep of result-cache speedups at fixed γ.
+   - an r-sweep of result-cache speedups at fixed γ;
+   - restart recovery — a fresh store over a --state-dir populated by a
+     previous store (the moral equivalent of a restarted daemon) vs the
+     cold solve that populated it, with the rehydrated answer's digest
+     recorded as an identity gate.
 
-   Both reuse paths are bit-exact, which the run asserts by comparing
+   All reuse paths are bit-exact, which the run asserts by comparing
    serialized results before recording any timing. *)
 
 open Bench_util
 module Store = Rrms_serve.Store
 module Protocol = Rrms_serve.Protocol
 module Json = Rrms_serve.Json
+module Persist = Rrms_serve.Persist
 
 let config = function
   | Small -> (5_000, 3, 8, 5, 5) (* n, m, gamma, r, repeats *)
@@ -40,6 +45,8 @@ let run_query store query =
   | Ok o -> o
   | Error `Overloaded -> failwith "fig_serve: overloaded"
   | Error `Unknown_dataset -> failwith "fig_serve: unknown dataset"
+  | Error `Deadline_exceeded -> failwith "fig_serve: deadline exceeded"
+  | Error `Draining -> failwith "fig_serve: draining"
 
 (* Write a deterministic synthetic dataset to a temp CSV the store can
    load; returns the path. *)
@@ -67,7 +74,15 @@ let min_time ~repeats ~iters f =
   done;
   !best
 
-let write_json path ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows ~r_rows =
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json path ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows ~r_rows
+    ~recovery =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"benchmark\": \"fig_serve\",\n";
@@ -104,7 +119,14 @@ let write_json path ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows ~r_rows =
         "{\"r\": %d, \"cold_seconds\": %.9f, \"warm_seconds\": %.9f, \
          \"speedup\": %.1f}"
         rv cold warm (cold /. warm));
-  Printf.fprintf oc "\n}\n";
+  Printf.fprintf oc ",\n";
+  let cold_s, rehydrated_s, digest, corrupt = recovery in
+  Printf.fprintf oc
+    "  \"restart_recovery\": {\"cold_seconds\": %.9f, \
+     \"rehydrated_seconds\": %.9f, \"rehydrate_speedup\": %.1f, \
+     \"answer_digest\": \"%s\", \"corrupt_blobs\": %d}\n"
+    cold_s rehydrated_s (cold_s /. rehydrated_s) (json_escape digest) corrupt;
+  Printf.fprintf oc "}\n";
   close_out oc
 
 let run scale =
@@ -211,7 +233,47 @@ let run scale =
         (rv, cold, warm))
       [ 2; 3; 4; 5; 6 ]
   in
+  (* Restart recovery: store A solves cold and writes through to a
+     state dir; a fresh store B over the same dir — empty memory, the
+     restarted-daemon case — must answer the same query warm from the
+     result blob alone.  Single shots: only the first warm query is a
+     rehydration (after it the answer lives in B's memory again). *)
+  let state_dir = Filename.temp_file "fig_serve_state" "" in
+  Sys.remove state_dir;
+  let recovery =
+    let store_a = Store.create ~persist:(Persist.open_dir state_dir) () in
+    ignore (Store.load store_a ~name:"bench" hd_csv);
+    let cold_out = ref None in
+    let cold_s =
+      let o, s = time (fun () -> run_query store_a (q ~gamma ~r "bench")) in
+      cold_out := Some o;
+      s
+    in
+    let persist_b = Persist.open_dir state_dir in
+    let scan = Persist.last_scan persist_b in
+    let store_b = Store.create ~persist:persist_b () in
+    ignore (Store.load store_b ~name:"bench" hd_csv);
+    let warm_out = ref None in
+    let rehydrated_s =
+      let o, s = time (fun () -> run_query store_b (q ~gamma ~r "bench")) in
+      warm_out := Some o;
+      s
+    in
+    let co = Option.get !cold_out and wo = Option.get !warm_out in
+    assert ((not co.Store.cached) && wo.Store.cached);
+    let cold_str = Json.to_string co.Store.result in
+    assert (cold_str = Json.to_string wo.Store.result);
+    row fig ~x:"restart" ~x_name:"phase" ~series:"cold" ~time:cold_s ();
+    row fig ~x:"restart" ~x_name:"phase" ~series:"rehydrated"
+      ~time:rehydrated_s ();
+    let digest = Digest.to_hex (Digest.string cold_str) in
+    (cold_s, rehydrated_s, digest, scan.Persist.corrupt)
+  in
   write_json "BENCH_serve.json" ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows
-    ~r_rows;
+    ~r_rows ~recovery;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat state_dir f) with Sys_error _ -> ())
+    (Sys.readdir state_dir);
+  (try Unix.rmdir state_dir with Unix.Unix_error _ -> ());
   Sys.remove hd_csv;
   Sys.remove csv_2d

@@ -17,6 +17,7 @@ module Guard = Rrms_guard.Guard
 module Obs = Rrms_obs.Obs
 module Store = Rrms_serve.Store
 module Server = Rrms_serve.Server
+module Persist = Rrms_serve.Persist
 module Telemetry = Rrms_serve.Telemetry
 module Json = Rrms_serve.Json
 
@@ -134,33 +135,199 @@ let top path ~interval ~iterations =
   loop 0;
   close_out_noerr oc
 
-let client path =
-  let fd = connect_to path in
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let rec loop () =
+(* ------------------------------------------------------------------ *)
+(* --connect: thin client with idempotent ids and retry               *)
+(* ------------------------------------------------------------------ *)
+
+(* Queries and loads are idempotent on the server (content-addressed
+   store, deterministic solvers, result cache), so a request that died
+   with its connection — or was shed with [overloaded] / refused with
+   [draining] — can be resent verbatim under the same id.  The client
+   stamps an id of its own ("c<pid>-<seq>") on any request line that
+   lacks one, so every retry is attributable in the access log. *)
+
+let retryable_code response =
+  match Json.parse response with
+  | Ok j when Json.member "ok" j = Some (Json.Bool false) -> (
+      match Json.member "error" j with
+      | Some e -> (
+          match Option.bind (Json.member "code" e) Json.str with
+          | Some ("overloaded" | "draining") -> true
+          | _ -> false)
+      | None -> false)
+  | _ -> false
+
+let stamp_id ~seq line =
+  match Json.parse line with
+  | Ok (Json.Obj fields) when not (List.mem_assoc "id" fields) ->
+      let id = Printf.sprintf "c%d-%d" (Unix.getpid ()) seq in
+      Json.to_string (Json.Obj (("id", Json.Str id) :: fields))
+  | _ -> line
+
+let try_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Some (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let client path ~retries ~retry_backoff_ms =
+  Random.self_init ();
+  (* Jittered exponential backoff: base · 2^attempt · U[0.75, 1.25). *)
+  let backoff attempt =
+    let base = retry_backoff_ms /. 1000. in
+    let d = base *. (2. ** float_of_int attempt) in
+    Unix.sleepf (d *. (0.75 +. (Random.float 0.5)))
+  in
+  let conn = ref None in
+  let connect_or_retry () =
+    match !conn with
+    | Some c -> Some c
+    | None ->
+        let rec go attempt =
+          match try_connect path with
+          | Some c ->
+              conn := Some c;
+              Some c
+          | None when attempt < retries ->
+              backoff attempt;
+              go (attempt + 1)
+          | None -> None
+        in
+        go 0
+  in
+  let drop_conn () =
+    (match !conn with
+    | Some (fd, _, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    conn := None
+  in
+  let rec exchange line attempt =
+    match connect_or_retry () with
+    | None ->
+        Printf.eprintf "rrms-serve: cannot connect to %s\n%!" path;
+        exit 69
+    | Some (_, ic, oc) -> (
+        let sent =
+          try
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            true
+          with Sys_error _ -> false
+        in
+        let response =
+          if not sent then None
+          else match input_line ic with
+            | r -> Some r
+            | exception (End_of_file | Sys_error _) -> None
+        in
+        match response with
+        | None ->
+            (* The connection died with the request in flight: the
+               request is idempotent, so reconnect and resend it under
+               the same id. *)
+            drop_conn ();
+            if attempt < retries then begin
+              backoff attempt;
+              exchange line (attempt + 1)
+            end
+            else begin
+              Printf.eprintf "rrms-serve: server closed the connection\n%!";
+              exit 1
+            end
+        | Some r when retryable_code r && attempt < retries ->
+            backoff attempt;
+            exchange line (attempt + 1)
+        | Some r -> print_endline r)
+  in
+  let rec loop seq =
     match input_line stdin with
     | exception End_of_file -> ()
-    | line when String.trim line = "" -> loop ()
-    | line -> (
-        output_string oc line;
-        output_char oc '\n';
-        flush oc;
-        match input_line ic with
-        | exception End_of_file ->
-            Printf.eprintf "rrms-serve: server closed the connection\n%!";
-            exit 1
-        | response ->
-            print_endline response;
-            loop ())
+    | line when String.trim line = "" -> loop seq
+    | line ->
+        exchange (stamp_id ~seq line) 0;
+        loop (seq + 1)
   in
-  loop ();
-  close_out_noerr oc
+  loop 1;
+  drop_conn ()
+
+(* ------------------------------------------------------------------ *)
+(* Supervision                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* --supervise: fork the serving process and restart it after abnormal
+   exit with capped, jittered exponential backoff.  A child that exits
+   0 (clean drain) ends supervision; SIGTERM/SIGINT to the supervisor
+   are forwarded to the child so the whole tree drains gracefully.  The
+   incarnation number rides into each child as RRMS_SERVE_RESTARTS and
+   surfaces in the stats response. *)
+let supervise run_child =
+  Random.self_init ();
+  let stop_requested = ref false in
+  let child = ref None in
+  let forward signal =
+    match !child with
+    | Some pid -> ( try Unix.kill pid signal with Unix.Unix_error _ -> ())
+    | None -> ()
+  in
+  let on_stop signal _ =
+    stop_requested := true;
+    forward signal
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (on_stop Sys.sigterm));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (on_stop Sys.sigint));
+  let rec waitpid pid =
+    match Unix.waitpid [] pid with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid pid
+  in
+  let status_string = function
+    | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+    | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+  in
+  let rec loop ~restarts ~backoff =
+    if !stop_requested then exit 0;
+    Unix.putenv "RRMS_SERVE_RESTARTS" (string_of_int restarts);
+    let started = Unix.gettimeofday () in
+    match Unix.fork () with
+    | 0 -> run_child () (* serves, then exits; never returns here *)
+    | pid -> (
+        child := Some pid;
+        Printf.eprintf "rrms-serve: supervising pid=%d (restarts=%d)\n%!" pid
+          restarts;
+        let _, status = waitpid pid in
+        child := None;
+        let uptime = Unix.gettimeofday () -. started in
+        match status with
+        | Unix.WEXITED 0 -> exit 0
+        | status when !stop_requested ->
+            Printf.eprintf "rrms-serve: child %s during shutdown\n%!"
+              (status_string status);
+            exit 0
+        | status ->
+            (* A healthy stretch of uptime resets the backoff — only a
+               crash loop escalates it. *)
+            let backoff =
+              if uptime > 5. then 0.1 else Float.min 30. (backoff *. 2.)
+            in
+            let delay = backoff *. (0.75 +. Random.float 0.5) in
+            Printf.eprintf
+              "rrms-serve: child %s after %.1fs; restarting in %.2fs\n%!"
+              (status_string status) uptime delay;
+            Unix.sleepf delay;
+            loop ~restarts:(restarts + 1) ~backoff)
+  in
+  loop ~restarts:0 ~backoff:0.05
 
 let run stdio connect top_path socket domains max_inflight max_queue obs
-    access_log slow_ms interval iterations =
+    access_log slow_ms interval iterations state_dir supervise_flag grace
+    retries retry_backoff_ms =
   Rrms_parallel.Pool.configure_from_env ();
   Rrms_parallel.Fault.configure_from_env ();
+  Persist.Fault.configure_from_env ();
   (* A resident service records by default: RRMS_OBS / RRMS_TRACE win
      when set, then --obs, then Counters. *)
   (match (Sys.getenv_opt "RRMS_OBS", Sys.getenv_opt "RRMS_TRACE") with
@@ -182,25 +349,44 @@ let run stdio connect top_path socket domains max_inflight max_queue obs
         at_exit (fun () -> Telemetry.close t);
         t
   in
+  let persist () = Option.map Persist.open_dir state_dir in
+  let serve_socket path () =
+    let store = Store.create ~max_inflight ~max_queue ?persist:(persist ()) () in
+    let srv = Server.start ~telemetry:(telemetry ()) store ~socket:path in
+    (* SIGTERM/SIGINT → graceful drain.  The handler only spawns the
+       drain thread (handlers must not block); the main thread's
+       [Server.wait] returns once the accept loop stops, and the
+       process exits 0 through the normal path — at_exit flushes the
+       access log. *)
+    let draining = Atomic.make false in
+    let on_signal _ =
+      if not (Atomic.exchange draining true) then
+        ignore (Thread.create (fun () -> Server.drain ~grace srv store) ())
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Printf.eprintf "rrms-serve: listening on %s\n%!" path;
+    Server.wait srv
+  in
   try
     match (connect, top_path, stdio, socket) with
-    | Some path, _, _, _ -> `Ok (client path)
+    | Some path, _, _, _ -> `Ok (client path ~retries ~retry_backoff_ms)
     | None, Some path, _, _ -> `Ok (top path ~interval ~iterations)
     | None, None, true, _ ->
-        let store = Store.create ~max_inflight ~max_queue () in
+        let store = Store.create ~max_inflight ~max_queue ?persist:(persist ()) () in
         ignore (Server.serve_stdio ~telemetry:(telemetry ()) store);
         `Ok ()
     | None, None, false, Some path ->
-        let store = Store.create ~max_inflight ~max_queue () in
-        let srv = Server.start ~telemetry:(telemetry ()) store ~socket:path in
-        Printf.eprintf "rrms-serve: listening on %s\n%!" path;
-        Server.wait srv;
-        `Ok ()
+        if supervise_flag then `Ok (supervise (fun () -> serve_socket path (); exit 0))
+        else `Ok (serve_socket path ())
     | None, None, false, None ->
-        `Error
-          ( true,
-            "one of --socket PATH, --stdio, --connect PATH or --top PATH is \
-             required" )
+        if supervise_flag then
+          `Error (true, "--supervise requires --socket PATH")
+        else
+          `Error
+            ( true,
+              "one of --socket PATH, --stdio, --connect PATH or --top PATH \
+               is required" )
   with Guard.Error.Guard_error e -> guard_error e
 
 let cmd =
@@ -297,6 +483,51 @@ let cmd =
       & info [ "iterations" ] ~docv:"N"
           ~doc:"Stop $(b,--top) after $(docv) polls (0 = run until killed).")
   in
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable artifact cache: spill skylines, direction grids, \
+             regret matrices and Exact results to content-addressed blobs \
+             under $(docv) (created if absent), and rehydrate them on \
+             demand after a restart.  Torn or corrupt blobs are detected \
+             by checksum, discarded and counted, never served.")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Fork the serving process and restart it after abnormal exit \
+             with capped exponential backoff (socket mode only).  A clean \
+             exit — graceful drain — ends supervision; SIGTERM/SIGINT are \
+             forwarded to the child.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 5.
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Drain grace period on SIGTERM/SIGINT: how long to let \
+             in-flight solves settle before sessions are cut off.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "$(b,--connect) only: resend a request (same id) up to $(docv) \
+             times after a lost connection or an $(i,overloaded) / \
+             $(i,draining) refusal, with jittered exponential backoff.")
+  in
+  let retry_backoff_ms =
+    Arg.(
+      value & opt float 50.
+      & info [ "retry-backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff for $(b,--connect) retries.")
+  in
   let doc = "long-lived RRMS query service over line-delimited JSON" in
   Cmd.v
     (Cmd.info "rrms-serve" ~doc)
@@ -304,6 +535,7 @@ let cmd =
       ret
         (const run $ stdio $ connect $ top_path $ socket $ domains
        $ max_inflight $ max_queue $ obs $ access_log $ slow_ms $ interval
-       $ iterations))
+       $ iterations $ state_dir $ supervise $ grace $ retries
+       $ retry_backoff_ms))
 
 let () = exit (Cmd.eval cmd)

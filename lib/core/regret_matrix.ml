@@ -203,6 +203,31 @@ let materialize t =
     }
   end
 
+let export t =
+  let m = materialize t in
+  (Array.copy m.best, Array.copy m.data)
+
+let import ~rows ~best ~cells =
+  let k = Array.length best in
+  if rows < 1 || k < 1 then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.import: empty matrix";
+  if Array.length cells <> rows * k then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.import: cells length does not match rows x cols";
+  {
+    data = cells;
+    stride = k;
+    nrows = rows;
+    colmap = Array.init k (fun f -> f);
+    contiguous = true;
+    best;
+    (* The distinct cache is recomputed on demand; it is a pure
+       function of the (bit-identical) cells, so rehydrated matrices
+       solve identically to the originals. *)
+    distinct = Atomic.make None;
+  }
+
 let compute_distinct t =
   let n = rows t and k = cols t in
   let all =

@@ -81,6 +81,21 @@ val row_worst_against : t -> int -> float array -> float
     whose per-column minima are [current] after adding row [i].  The
     inner HD-GREEDY sweep, one contiguous row scan per candidate. *)
 
+val export : t -> float array * float array
+(** [export t] is [(best, cells)]: the per-column best scores and the
+    row-major cells of the materialized matrix — everything a durable
+    artifact store needs to reconstruct [t] byte-for-byte with
+    {!import}.  Both arrays are fresh copies. *)
+
+val import : rows:int -> best:float array -> cells:float array -> t
+(** [import ~rows ~best ~cells] rebuilds a contiguous matrix from an
+    {!export}.  The cells array is adopted (not copied); the distinct
+    cache starts empty and is recomputed deterministically from the
+    cells, so a rehydrated matrix is observationally identical to the
+    one exported.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when the
+    dimensions are empty or [cells] is not [rows × length best]. *)
+
 val distinct_values : t -> float array
 (** All distinct cell values, sorted ascending — the binary-search
     domain of Algorithm 4.  Includes at least [0.] when the matrix has a

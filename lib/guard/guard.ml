@@ -140,6 +140,11 @@ module Budget = struct
   let timeout t = t.timeout
   let max_cells t = t.max_cells
 
+  let remaining t =
+    Option.map
+      (fun limit -> limit -. (Unix.gettimeofday () -. t.started))
+      t.timeout
+
   let deadline_expired t =
     match t.timeout with
     | None -> None

@@ -111,6 +111,12 @@ module Budget : sig
   val deadline_expired : t -> reason option
   (** [Some (Deadline …)] once the wall clock has passed the timeout. *)
 
+  val remaining : t -> float option
+  (** Wall-clock seconds left before the deadline ([None] without one;
+      negative once expired).  Lets a service propagate one end-to-end
+      deadline across queueing and solve stages instead of granting
+      each stage a fresh clock. *)
+
   val note_probe : t -> unit
   (** Count one probe / iteration against [max_probes]. *)
 

@@ -122,7 +122,17 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                   | Error `Overloaded ->
                       error "overloaded"
                         "admission queue is full; the request was shed — \
-                         retry later"))
+                         retry later"
+                  | Error `Deadline_exceeded ->
+                      error "deadline_exceeded"
+                        "the request's deadline expired before the solver \
+                         started (admission queue wait counts against the \
+                         timeout) — raise the timeout or retry when the \
+                         server is less loaded"
+                  | Error `Draining ->
+                      error "draining"
+                        "the server is draining for shutdown and admits no \
+                         new solves — retry against the restarted instance"))
         in
         let status =
           match !error_code with
@@ -168,11 +178,24 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                      ]))
     | Ok Protocol.Stats ->
         safe (fun () ->
+            (* Restart count travels via the environment: the supervisor
+               parent sets RRMS_SERVE_RESTARTS before each fork, so the
+               serving child can report its own incarnation number. *)
+            let restarts =
+              match Sys.getenv_opt "RRMS_SERVE_RESTARTS" with
+              | Some s -> Option.value ~default:0 (int_of_string_opt s)
+              | None -> 0
+            in
             match Store.stats store with
             | Json.Obj fields ->
                 ok
                   (Json.Obj
-                     (fields @ [ ("latency", Telemetry.to_json telemetry) ]))
+                     (fields
+                     @ [
+                         ("latency", Telemetry.to_json telemetry);
+                         ( "supervisor",
+                           Json.Obj [ ("restarts", Json.int restarts) ] );
+                       ]))
             | j -> ok j)
     | Ok Protocol.Ping -> ok (Json.Obj [ ("pong", Json.Bool true) ])
     | Ok Protocol.Shutdown ->
@@ -229,6 +252,11 @@ type t = {
   listener : Unix.file_descr;
   stopping : bool Atomic.t;
   mutable accept_thread : Thread.t option;
+  (* Connected session sockets, so a drain can EOF them after their
+     in-flight work settles — that is what unblocks each session
+     thread's [input_line] and runs its reference teardown. *)
+  sessions_lock : Mutex.t;
+  mutable session_fds : Unix.file_descr list;
 }
 
 let stop t =
@@ -264,8 +292,22 @@ let start ?telemetry store ~socket:path =
    with e ->
      (try Unix.close listener with Unix.Unix_error _ -> ());
      raise e);
-  let t = { path; listener; stopping = Atomic.make false; accept_thread = None } in
+  let t =
+    {
+      path;
+      listener;
+      stopping = Atomic.make false;
+      accept_thread = None;
+      sessions_lock = Mutex.create ();
+      session_fds = [];
+    }
+  in
+  let with_sessions f =
+    Mutex.lock t.sessions_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.sessions_lock) f
+  in
   let session fd =
+    with_sessions (fun () -> t.session_fds <- fd :: t.session_fds);
     Obs.Counter.incr Metrics.sessions;
     Obs.Gauge.set Metrics.open_sessions
       (Obs.Gauge.value Metrics.open_sessions +. 1.);
@@ -274,6 +316,8 @@ let start ?telemetry store ~socket:path =
     let outcome = try run_session ?telemetry store ic oc with _ -> `Eof in
     (* ic and oc share [fd]; one close releases it. *)
     close_out_noerr oc;
+    with_sessions (fun () ->
+        t.session_fds <- List.filter (fun fd' -> fd' != fd) t.session_fds);
     Obs.Gauge.set Metrics.open_sessions
       (Obs.Gauge.value Metrics.open_sessions -. 1.);
     match outcome with `Shutdown -> stop t | `Eof -> ()
@@ -303,3 +347,37 @@ let start ?telemetry store ~socket:path =
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
   try Sys.remove t.path with Sys_error _ -> ()
+
+(* Graceful drain: refuse new solves, stop accepting connections, let
+   the in-flight requests settle inside their own budgets, then EOF the
+   connected sessions so each one runs its normal teardown (releasing
+   its dataset references) and the process can exit cleanly.  Sessions
+   that never go idle are cut off when [grace] runs out — their solves
+   were already running under cooperative budgets, and the refusal path
+   answered everything newly arrived. *)
+let drain ?(grace = 5.) t store =
+  Store.set_draining store;
+  stop t;
+  let deadline = Unix.gettimeofday () +. grace in
+  let rec settle () =
+    let inflight, queued = Store.admission_state store in
+    if (inflight > 0 || queued > 0) && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.02;
+      settle ()
+    end
+  in
+  settle ();
+  (* One beat for the just-finished solves' responses to flush before
+     the read side of every session is shut. *)
+  Thread.delay 0.05;
+  let fds =
+    Mutex.lock t.sessions_lock;
+    let fds = t.session_fds in
+    Mutex.unlock t.sessions_lock;
+    fds
+  in
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    fds

@@ -65,3 +65,12 @@ val stop : t -> unit
 val wait : t -> unit
 (** Block until the accept loop exits — a [shutdown] request or {!stop}
     — then remove the socket file. *)
+
+val drain : ?grace:float -> t -> Store.t -> unit
+(** Graceful shutdown, the SIGTERM path: put the store in drain mode
+    (new solves answer [draining]; cached answers and cheap requests
+    keep working), close the listener, wait up to [grace] seconds
+    (default 5) for in-flight and queued solves to settle, then shut
+    the read side of every connected session so each session thread
+    sees EOF and runs its normal teardown.  After [drain] returns,
+    {!wait} completes promptly and the process can exit 0. *)

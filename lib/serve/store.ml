@@ -58,6 +58,15 @@ module Metrics = struct
       ~help:"seconds requests spent waiting for an admission slot"
       "rrms_serve_queue_wait_seconds_total"
 
+  let deadline_exceeded =
+    c ~deterministic:false "rrms_serve_deadline_exceeded_total"
+      "queries whose end-to-end deadline (including admission queue \
+       wait) expired before the solver started"
+
+  let drained =
+    c ~deterministic:false "rrms_serve_drained_total"
+      "queries refused because the store was draining for shutdown"
+
   let inflight =
     Obs.Gauge.make ~deterministic:false
       ~help:"solves currently holding an admission slot" "rrms_serve_inflight"
@@ -124,6 +133,8 @@ type t = {
   domains : int;
   max_inflight : int;
   max_queue : int;
+  persist : Persist.t option;  (* durable artifact spill, when --state-dir *)
+  draining : bool Atomic.t;  (* set during graceful shutdown *)
   lock : Mutex.t;  (* guards entries, aliases and the admission state *)
   cond : Condition.t;
   entries : (string, entry) Hashtbl.t;  (* content hash → entry *)
@@ -138,7 +149,7 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let create ?domains ?(max_inflight = 4) ?(max_queue = 16) () =
+let create ?domains ?(max_inflight = 4) ?(max_queue = 16) ?persist () =
   if max_inflight < 1 then
     Guard.Error.invalid_input "Store.create: max_inflight must be >= 1";
   if max_queue < 0 then
@@ -153,6 +164,8 @@ let create ?domains ?(max_inflight = 4) ?(max_queue = 16) () =
     domains;
     max_inflight;
     max_queue;
+    persist;
+    draining = Atomic.make false;
     lock = Mutex.create ();
     cond = Condition.create ();
     entries = Hashtbl.create 16;
@@ -183,7 +196,8 @@ let load t ?name ?(normalize = false) ?(lenient = false) path =
   let d = if normalize then Dataset.normalize d else d in
   let key = hash_dataset d in
   let warnings = List.length warns in
-  with_lock t.lock (fun () ->
+  let r =
+    with_lock t.lock (fun () ->
       match Hashtbl.find_opt t.entries key with
       | Some e ->
           e.refs <- e.refs + 1;
@@ -226,6 +240,13 @@ let load t ?name ?(normalize = false) ?(lenient = false) path =
             already_loaded = false;
             warnings;
           })
+  in
+  (* Spill the dataset outside the store lock: the blob is provenance
+     for the artifacts keyed by this hash, and the write must not stall
+     other sessions. *)
+  if not r.already_loaded then
+    Option.iter (fun p -> Persist.save_dataset p ~key d) t.persist;
+  r
 
 (* Resolve a key-or-alias under [t.lock]. *)
 let find_locked t handle =
@@ -327,11 +348,27 @@ let skyline_locked t e =
   | Some sky ->
       Obs.Counter.incr Metrics.skyline_hits;
       sky
-  | None ->
-      Obs.Counter.incr Metrics.skyline_misses;
-      let sky = Skyline.sfs ~domains:t.domains e.rows in
-      e.skyline <- Some sky;
-      sky
+  | None -> (
+      (* Disk before recompute: a restarted daemon finds the previous
+         process's skyline under the same content hash.  Rehydration is
+         neither a (memory) hit nor a miss — it lands in
+         rrms_serve_persist_rehydrated_total instead, keeping the
+         no-recompute counter contract intact for memory-only stores. *)
+      let rehydrated =
+        match t.persist with
+        | Some p -> Persist.load_skyline p ~key:e.key
+        | None -> None
+      in
+      match rehydrated with
+      | Some sky ->
+          e.skyline <- Some sky;
+          sky
+      | None ->
+          Obs.Counter.incr Metrics.skyline_misses;
+          let sky = Skyline.sfs ~domains:t.domains e.rows in
+          e.skyline <- Some sky;
+          Option.iter (fun p -> Persist.save_skyline p ~key:e.key sky) t.persist;
+          sky)
 
 let hull_locked e =
   match e.hull with
@@ -351,8 +388,20 @@ let grid_of t ~m ~gamma =
           Obs.Counter.incr Metrics.grid_hits;
           g
       | None ->
-          Obs.Counter.incr Metrics.grid_misses;
-          let g = Discretize.grid ~gamma ~m in
+          let g =
+            let rehydrated =
+              match t.persist with
+              | Some p -> Persist.load_grid p ~m ~gamma
+              | None -> None
+            in
+            match rehydrated with
+            | Some g -> g
+            | None ->
+                Obs.Counter.incr Metrics.grid_misses;
+                let g = Discretize.grid ~gamma ~m in
+                Option.iter (fun p -> Persist.save_grid p ~m ~gamma g) t.persist;
+                g
+          in
           Hashtbl.replace t.grids (m, gamma) g;
           g)
 
@@ -388,16 +437,35 @@ let matrix_locked t e ~sky ~m ~gamma ~guard =
       | Some mat ->
           Obs.Counter.incr Metrics.matrix_derived;
           e.matrices <- (gamma, mat) :: e.matrices;
+          (* The derived matrix is a first-class artifact at this γ:
+             spilled so a restart rehydrates it directly, without
+             needing the wider parent it was cut from. *)
+          Option.iter
+            (fun p -> Persist.save_matrix p ~key:e.key ~gamma mat)
+            t.persist;
           mat
-      | None ->
-          Obs.Counter.incr Metrics.matrix_misses;
-          let funcs = grid_of t ~m ~gamma in
-          let sky_points = Array.map (fun i -> e.rows.(i)) sky in
-          let mat =
-            Regret_matrix.build ~domains:t.domains ~guard ~funcs sky_points
+      | None -> (
+          let rehydrated =
+            match t.persist with
+            | Some p -> Persist.load_matrix p ~key:e.key ~gamma
+            | None -> None
           in
-          e.matrices <- (gamma, mat) :: e.matrices;
-          mat)
+          match rehydrated with
+          | Some mat ->
+              e.matrices <- (gamma, mat) :: e.matrices;
+              mat
+          | None ->
+              Obs.Counter.incr Metrics.matrix_misses;
+              let funcs = grid_of t ~m ~gamma in
+              let sky_points = Array.map (fun i -> e.rows.(i)) sky in
+              let mat =
+                Regret_matrix.build ~domains:t.domains ~guard ~funcs sky_points
+              in
+              e.matrices <- (gamma, mat) :: e.matrices;
+              Option.iter
+                (fun p -> Persist.save_matrix p ~key:e.key ~gamma mat)
+                t.persist;
+              mat))
 
 (* ------------------------------------------------------------------ *)
 (* Query                                                              *)
@@ -445,8 +513,7 @@ let merge_shrink quality = function
       | Guard.Exact -> Guard.Degraded [ c ]
       | Guard.Degraded rs -> Guard.Degraded (c :: rs))
 
-let solve_query t e (q : Protocol.query) =
-  let guard = budget_of q in
+let solve_query t e ~guard (q : Protocol.query) =
   let m = Dataset.dim e.dataset in
   match q.algo with
   | Protocol.Hd_rrms ->
@@ -557,10 +624,18 @@ let solve_query t e (q : Protocol.query) =
 
 type outcome = { result : Json.t; cached : bool }
 
+let set_draining t = Atomic.set t.draining true
+let draining t = Atomic.get t.draining
+
 let query t (q : Protocol.query) =
   match with_lock t.lock (fun () -> find_locked t q.dataset) with
   | None -> Error `Unknown_dataset
   | Some e -> (
+      (* The request's one end-to-end budget, stamped before the cache
+         probe and the admission wait: the protocol [timeout] is a
+         deadline covering queueing, not a solver allowance granted
+         afresh once a slot frees up. *)
+      let guard = budget_of q in
       let ckey = Protocol.cache_key q in
       let hit =
         if q.use_cache then
@@ -572,19 +647,61 @@ let query t (q : Protocol.query) =
           Obs.Counter.incr Metrics.result_hits;
           Ok { result; cached = true }
       | None -> (
-          if q.use_cache then Obs.Counter.incr Metrics.result_misses;
-          match with_admission t (fun () -> solve_query t e q) with
-          | Error `Overloaded -> Error `Overloaded
-          | Ok (result, cacheable) ->
-              (* Only Exact answers are cached: a budget-degraded result
-                 depends on its budget, so serving it to a later (maybe
-                 unbudgeted) request would break the bit-identity
-                 contract. *)
-              if cacheable then
-                with_lock e.e_lock (fun () ->
-                    if not (Hashtbl.mem e.results ckey) then
-                      Hashtbl.add e.results ckey result);
-              Ok { result; cached = false }))
+          (* Memory miss: the previous process may have left this exact
+             answer on disk.  A rehydrated result joins the memory cache
+             and answers as a hit — bit-identical, because only Exact
+             answers are ever persisted. *)
+          let rehydrated =
+            if q.use_cache then
+              match t.persist with
+              | Some p -> Persist.load_result p ~key:e.key ~cache_key:ckey
+              | None -> None
+            else None
+          in
+          match rehydrated with
+          | Some result ->
+              Obs.Counter.incr Metrics.result_hits;
+              with_lock e.e_lock (fun () ->
+                  if not (Hashtbl.mem e.results ckey) then
+                    Hashtbl.add e.results ckey result);
+              Ok { result; cached = true }
+          | None ->
+              if q.use_cache then Obs.Counter.incr Metrics.result_misses;
+              if draining t then begin
+                Obs.Counter.incr Metrics.drained;
+                Error `Draining
+              end
+              else (
+                match
+                  with_admission t (fun () ->
+                      (* The queue wait counted against the deadline:
+                         a request that spent its whole budget waiting
+                         is refused here, before any solver work. *)
+                      match Guard.Budget.deadline_expired guard with
+                      | Some _ -> `Deadline
+                      | None -> `Solved (solve_query t e ~guard q))
+                with
+                | Error `Overloaded -> Error `Overloaded
+                | Ok `Deadline ->
+                    Obs.Counter.incr Metrics.deadline_exceeded;
+                    Error `Deadline_exceeded
+                | Ok (`Solved (result, cacheable)) ->
+                    (* Only Exact answers are cached: a budget-degraded
+                       result depends on its budget, so serving it to a
+                       later (maybe unbudgeted) request would break the
+                       bit-identity contract.  The same rule governs the
+                       disk spill. *)
+                    if cacheable then begin
+                      with_lock e.e_lock (fun () ->
+                          if not (Hashtbl.mem e.results ckey) then
+                            Hashtbl.add e.results ckey result);
+                      Option.iter
+                        (fun p ->
+                          Persist.save_result p ~key:e.key ~cache_key:ckey
+                            result)
+                        t.persist
+                    end;
+                    Ok { result; cached = false })))
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
@@ -628,6 +745,19 @@ let stats t =
   let metrics =
     List.map (fun (name, v) -> (name, Json.float v)) (Obs.snapshot ())
   in
+  let persist =
+    match t.persist with
+    | None -> Json.Null
+    | Some p ->
+        let s = Persist.last_scan p in
+        Json.Obj
+          [
+            ("state_dir", Json.Str (Persist.root p));
+            ("scan_valid", Json.int s.Persist.valid);
+            ("scan_corrupt", Json.int s.Persist.corrupt);
+            ("scan_partial", Json.int s.Persist.partial);
+          ]
+  in
   Json.Obj
     [
       ("datasets", Json.Arr datasets);
@@ -639,6 +769,8 @@ let stats t =
             ("inflight", Json.int inflight);
             ("queued", Json.int queued);
           ] );
+      ("persist", persist);
+      ("draining", Json.Bool (draining t));
       ("obs_level", Json.Str (level_string (Obs.level ())));
       ("metrics", Json.Obj metrics);
     ]

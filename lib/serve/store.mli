@@ -61,6 +61,13 @@ module Metrics : sig
   val result_misses : Rrms_obs.Obs.Counter.t
   val overloaded : Rrms_obs.Obs.Counter.t
 
+  val deadline_exceeded : Rrms_obs.Obs.Counter.t
+  (** Queries whose end-to-end deadline — queue wait included — expired
+      before the solver started. *)
+
+  val drained : Rrms_obs.Obs.Counter.t
+  (** Queries refused because the store was draining for shutdown. *)
+
   val queue_wait : Rrms_obs.Obs.Floatc.t
   (** Seconds spent waiting in the admission queue.  A float counter,
       so the per-request share tees into a bound {!Rrms_obs.Obs.Ctx}
@@ -71,12 +78,17 @@ val create :
   ?domains:int ->
   ?max_inflight:int ->
   ?max_queue:int ->
+  ?persist:Persist.t ->
   unit ->
   t
 (** [create ()] makes an empty store.  [domains] is the worker-domain
     count handed to every solver and artifact build (default: the
     {!Rrms_parallel.Pool.default_size} at call time, so [RRMS_DOMAINS]
-    applies).  [max_inflight] defaults to [4]; [max_queue] to [16]. *)
+    applies).  [max_inflight] defaults to [4]; [max_queue] to [16].
+    [persist] attaches a durable artifact cache ({!Persist.open_dir}):
+    skylines, grids, regret matrices and Exact results are written
+    through to it and rehydrated on demand, so a store created over the
+    same directory answers warm — bit-identically — after a restart. *)
 
 type loaded = {
   key : string;  (** 16-hex-digit content hash — the canonical handle *)
@@ -118,12 +130,29 @@ type outcome = {
 }
 
 val query :
-  t -> Protocol.query -> (outcome, [ `Overloaded | `Unknown_dataset ]) result
-(** Answer one query: result cache → admission → artifacts → solver.
+  t ->
+  Protocol.query ->
+  ( outcome,
+    [ `Overloaded | `Unknown_dataset | `Deadline_exceeded | `Draining ] )
+  result
+(** Answer one query: result cache → persisted result → admission →
+    artifacts → solver.  The protocol [timeout] is an end-to-end
+    deadline stamped on entry: a request that exhausts it waiting for
+    an admission slot is refused with [`Deadline_exceeded] before any
+    solver work (the solver's own expiry inside the slot still raises
+    the structured [Timeout] as before).  [`Draining] is the refusal
+    during graceful shutdown — cache hits are still served.
     @raise Rrms_guard.Guard.Error.Guard_error for solver-level failures
     (bad [r], budget expiry with no degraded answer, …);
     [Invalid_argument] raised by the 2D solvers on non-2D data is
     translated to a structured [Invalid_input] here. *)
+
+val set_draining : t -> unit
+(** Enter drain mode: every subsequent solve is refused with
+    [`Draining]; in-flight solves, cached answers and the cheap
+    requests (load/stats/ping) continue.  Irreversible. *)
+
+val draining : t -> bool
 
 val stats : t -> Json.t
 (** Live snapshot: per-dataset artifact inventory, admission state, and

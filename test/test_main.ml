@@ -52,4 +52,5 @@ let () =
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("serve", Test_serve.suite);
+      ("persist", Test_persist.suite);
     ]

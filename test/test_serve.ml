@@ -67,6 +67,8 @@ let result_string store q =
   | Ok { Store.result; cached } -> (Json.to_string result, cached)
   | Error `Unknown_dataset -> Alcotest.fail "unexpected unknown_dataset"
   | Error `Overloaded -> Alcotest.fail "unexpected overloaded"
+  | Error `Deadline_exceeded -> Alcotest.fail "unexpected deadline_exceeded"
+  | Error `Draining -> Alcotest.fail "unexpected draining"
 
 let counter = Obs.Counter.value
 
