@@ -49,7 +49,7 @@ let rule_of_key key =
       Lower_better
   | "benchmark" | "dataset" | "n" | "m" | "gamma" | "r" | "repeats"
   | "kernel" | "algo" | "level" | "domains" | "budget_kind" | "budget"
-  | "answer_digest" | "corrupt_blobs" ->
+  | "answer_digest" | "corrupt_blobs" | "shards" ->
       Identity
   | _ -> Info
 

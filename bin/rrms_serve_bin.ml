@@ -10,13 +10,19 @@
      --stdio          one session over stdin/stdout (scripting, tests)
      --connect PATH   thin client: relay stdin lines to a running
                       daemon and print its responses (CI smoke jobs
-                      need no netcat) *)
+                      need no netcat)
+
+   With --router and N --shard-socket PATHs, the socket/stdio session is
+   a fan-out router instead: HD solves send skyline requests to the
+   worker daemons (each holding its round-robin slice), merge, and
+   answer from merged artifacts — byte-identical to a single process. *)
 
 open Cmdliner
 module Guard = Rrms_guard.Guard
 module Obs = Rrms_obs.Obs
 module Store = Rrms_serve.Store
 module Server = Rrms_serve.Server
+module Shard = Rrms_serve.Shard
 module Persist = Rrms_serve.Persist
 module Telemetry = Rrms_serve.Telemetry
 module Json = Rrms_serve.Json
@@ -322,9 +328,9 @@ let supervise run_child =
   in
   loop ~restarts:0 ~backoff:0.05
 
-let run stdio connect top_path socket domains max_inflight max_queue obs
-    access_log slow_ms interval iterations state_dir supervise_flag grace
-    retries retry_backoff_ms =
+let run stdio connect top_path socket router shard_sockets domains
+    max_inflight max_queue obs access_log slow_ms interval iterations
+    state_dir supervise_flag grace retries retry_backoff_ms =
   Rrms_parallel.Pool.configure_from_env ();
   Rrms_parallel.Fault.configure_from_env ();
   Persist.Fault.configure_from_env ();
@@ -350,9 +356,27 @@ let run stdio connect top_path socket domains max_inflight max_queue obs
         t
   in
   let persist () = Option.map Persist.open_dir state_dir in
+  (* The session handler and the store behind it (for drain): a plain
+     store-backed server, or the shard router fanning out to the worker
+     daemons named by --shard-socket. *)
+  let make_handler () =
+    if router then begin
+      let rt =
+        Shard.Router.create ~telemetry:(telemetry ()) ~max_inflight ~max_queue
+          ?persist:(persist ()) ~workers:shard_sockets ()
+      in
+      at_exit (fun () -> Shard.Router.close rt);
+      (Shard.Router.handler rt, Shard.Router.store rt)
+    end
+    else
+      let store =
+        Store.create ~max_inflight ~max_queue ?persist:(persist ()) ()
+      in
+      (Server.store_handler ~telemetry:(telemetry ()) store, store)
+  in
   let serve_socket path () =
-    let store = Store.create ~max_inflight ~max_queue ?persist:(persist ()) () in
-    let srv = Server.start ~telemetry:(telemetry ()) store ~socket:path in
+    let handler, store = make_handler () in
+    let srv = Server.start_handler handler ~socket:path in
     (* SIGTERM/SIGINT → graceful drain.  The handler only spawns the
        drain thread (handlers must not block); the main thread's
        [Server.wait] returns once the accept loop stops, and the
@@ -369,24 +393,30 @@ let run stdio connect top_path socket domains max_inflight max_queue obs
     Server.wait srv
   in
   try
-    match (connect, top_path, stdio, socket) with
-    | Some path, _, _, _ -> `Ok (client path ~retries ~retry_backoff_ms)
-    | None, Some path, _, _ -> `Ok (top path ~interval ~iterations)
-    | None, None, true, _ ->
-        let store = Store.create ~max_inflight ~max_queue ?persist:(persist ()) () in
-        ignore (Server.serve_stdio ~telemetry:(telemetry ()) store);
-        `Ok ()
-    | None, None, false, Some path ->
-        if supervise_flag then `Ok (supervise (fun () -> serve_socket path (); exit 0))
-        else `Ok (serve_socket path ())
-    | None, None, false, None ->
-        if supervise_flag then
-          `Error (true, "--supervise requires --socket PATH")
-        else
-          `Error
-            ( true,
-              "one of --socket PATH, --stdio, --connect PATH or --top PATH \
-               is required" )
+    if router && shard_sockets = [] then
+      `Error (true, "--router requires at least one --shard-socket PATH")
+    else if (not router) && shard_sockets <> [] then
+      `Error (true, "--shard-socket requires --router")
+    else
+      match (connect, top_path, stdio, socket) with
+      | Some path, _, _, _ -> `Ok (client path ~retries ~retry_backoff_ms)
+      | None, Some path, _, _ -> `Ok (top path ~interval ~iterations)
+      | None, None, true, _ ->
+          let handler, _store = make_handler () in
+          ignore (Server.run_handler_session handler stdin stdout);
+          `Ok ()
+      | None, None, false, Some path ->
+          if supervise_flag then
+            `Ok (supervise (fun () -> serve_socket path (); exit 0))
+          else `Ok (serve_socket path ())
+      | None, None, false, None ->
+          if supervise_flag then
+            `Error (true, "--supervise requires --socket PATH")
+          else
+            `Error
+              ( true,
+                "one of --socket PATH, --stdio, --connect PATH or --top PATH \
+                 is required" )
   with Guard.Error.Guard_error e -> guard_error e
 
 let cmd =
@@ -408,6 +438,27 @@ let cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:"Listen on the Unix-domain socket $(docv).")
+  in
+  let router =
+    Arg.(
+      value & flag
+      & info [ "router" ]
+          ~doc:
+            "Serve as a shard router: fan HD solves out as $(i,skyline) \
+             requests to the worker daemons given by $(b,--shard-socket), \
+             merge their answers, and solve over the merged artifacts — \
+             byte-identical to a single-process server.  Combines with \
+             $(b,--socket) or $(b,--stdio).")
+  in
+  let shard_sockets =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard-socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix socket of one shard worker (repeatable; order defines the \
+             shard index).  Worker $(i,s) of $(i,N) is sent $(i,load) \
+             requests with shard_index=$(i,s), shard_count=$(i,N), so it \
+             holds the matching round-robin slice.")
   in
   let domains =
     Arg.(
@@ -533,9 +584,9 @@ let cmd =
     (Cmd.info "rrms-serve" ~doc)
     Term.(
       ret
-        (const run $ stdio $ connect $ top_path $ socket $ domains
-       $ max_inflight $ max_queue $ obs $ access_log $ slow_ms $ interval
-       $ iterations $ state_dir $ supervise $ grace $ retries
-       $ retry_backoff_ms))
+        (const run $ stdio $ connect $ top_path $ socket $ router
+       $ shard_sockets $ domains $ max_inflight $ max_queue $ obs
+       $ access_log $ slow_ms $ interval $ iterations $ state_dir
+       $ supervise $ grace $ retries $ retry_backoff_ms))
 
 let () = exit (Cmd.eval cmd)

@@ -38,8 +38,11 @@ type request =
       name : string option;
       normalize : bool;
       lenient : bool;
+      shard : (int * int) option;
     }
   | Query of query
+  | Batch of { dataset : string; items : (query, string * string) result array }
+  | Skyline of { dataset : string; timeout : float option }
   | Stats
   | Evict of { dataset : string }
   | Ping
@@ -50,6 +53,21 @@ let error_code_of_guard : Guard.Error.t -> string = function
   | Guard.Error.Timeout _ -> "timeout"
   | Guard.Error.Resource_limit _ -> "resource_limit"
   | Guard.Error.Numerical _ -> "numerical"
+
+exception Shard_failure of string
+
+(* The one exception→wire-error mapping, shared by the store server, the
+   batch per-item path and the shard router so a given failure reports
+   the same code everywhere.  [None] means "not a request-level error":
+   the caller decides between 500-style internal and re-raise. *)
+let error_of_exn = function
+  | Guard.Error.Guard_error err ->
+      Some (error_code_of_guard err, Guard.Error.to_string err)
+  | Invalid_argument msg | Failure msg -> Some ("invalid_input", msg)
+  | Shard_failure msg -> Some ("shard_failure", msg)
+  | Rrms_parallel.Fault.Injected w ->
+      Some ("internal", Printf.sprintf "injected fault in worker %d" w)
+  | _ -> None
 
 type parsed = { id : Json.t; req : (request, string * string) result }
 
@@ -129,28 +147,97 @@ let parse_query obj =
   let use_cache = opt_bool obj "cache" ~default:true in
   Query { dataset; algo; r; gamma; timeout; max_cells; max_probes; use_cache }
 
+let max_batch_items = 1024
+
+(* Parse one batch item: the batch-level dataset is authoritative, so an
+   item either omits "dataset" or repeats it verbatim.  Item-shape
+   problems become per-item errors, not a batch-level failure — the
+   other items still run. *)
+let parse_batch_item ~dataset i obj =
+  match
+    (match Json.member "dataset" obj with
+    | Some (Json.Str d) when d <> dataset ->
+        bad "item dataset %S must match the batch dataset" d
+    | _ -> ());
+    let obj =
+      match obj with
+      | Json.Obj fields when not (List.mem_assoc "dataset" fields) ->
+          Json.Obj (("dataset", Json.Str dataset) :: fields)
+      | _ -> obj
+    in
+    parse_query obj
+  with
+  | Query q -> Ok q
+  | _ -> assert false (* parse_query only builds Query *)
+  | exception Bad_request msg ->
+      Error ("bad_request", Printf.sprintf "item %d: %s" i msg)
+
+let parse_batch obj =
+  let dataset = req_string obj "dataset" in
+  match Json.member "items" obj with
+  | Some (Json.Arr items) ->
+      if items = [] then bad "field \"items\" must not be empty";
+      if List.length items > max_batch_items then
+        bad "field \"items\" exceeds the %d-item batch limit" max_batch_items;
+      let items =
+        Array.of_list
+          (List.mapi
+             (fun i item ->
+               match item with
+               | Json.Obj _ -> parse_batch_item ~dataset i item
+               | _ ->
+                   Error
+                     ( "bad_request",
+                       Printf.sprintf "item %d: must be an object" i ))
+             items)
+      in
+      Batch { dataset; items }
+  | Some _ -> bad "field \"items\" must be an array"
+  | None -> bad "missing required field \"items\""
+
 let parse_body obj =
   match Json.member "req" obj with
   | None -> bad "missing required field \"req\""
   | Some (Json.Str kind) -> (
       match kind with
       | "load" ->
+          let shard =
+            match (opt_int obj "shard_index", opt_int obj "shard_count") with
+            | None, None -> None
+            | Some s, Some count ->
+                if count < 1 then bad "field \"shard_count\" must be >= 1";
+                if s < 0 || s >= count then
+                  bad "field \"shard_index\" must be in [0, shard_count)";
+                Some (s, count)
+            | _ ->
+                bad
+                  "fields \"shard_index\" and \"shard_count\" must be given \
+                   together"
+          in
           Load
             {
               path = req_string obj "path";
               name = opt_string obj "name";
               normalize = opt_bool obj "normalize" ~default:false;
               lenient = opt_bool obj "lenient" ~default:false;
+              shard;
             }
       | "query" -> parse_query obj
+      | "batch" -> parse_batch obj
+      | "skyline" ->
+          let timeout = opt_number obj "timeout" in
+          (match timeout with
+          | Some t when t <= 0. -> bad "field \"timeout\" must be > 0"
+          | _ -> ());
+          Skyline { dataset = req_string obj "dataset"; timeout }
       | "stats" -> Stats
       | "evict" -> Evict { dataset = req_string obj "dataset" }
       | "ping" -> Ping
       | "shutdown" -> Shutdown
       | k ->
           bad
-            "unknown request kind %S (expected load | query | stats | evict \
-             | ping | shutdown)"
+            "unknown request kind %S (expected load | query | batch | skyline \
+             | stats | evict | ping | shutdown)"
             k)
   | Some _ -> bad "field \"req\" must be a string"
 

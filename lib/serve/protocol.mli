@@ -6,7 +6,8 @@
     the standard correlation idiom, so a client may pipeline.
 
     Requests are [{"req": <kind>, ...}] with kinds [load], [query],
-    [stats], [evict], [ping], [shutdown].  Responses are either
+    [batch], [skyline], [stats], [evict], [ping], [shutdown].
+    Responses are either
 
     {v {"id":…,"ok":true,"cached":…,"elapsed_ms":…,"result":{…}} v}
 
@@ -45,22 +46,53 @@ type request =
       name : string option;  (** alias for later [query] requests *)
       normalize : bool;
       lenient : bool;  (** CSV {!Rrms_dataset.Dataset.load_mode} *)
+      shard : (int * int) option;
+          (** [(shard_index, shard_count)]: keep only the round-robin
+              partition member — what a shard worker loads (see
+              {!Store.load}) *)
     }
   | Query of query
+  | Batch of { dataset : string; items : (query, string * string) result array }
+      (** One dataset resolve amortized over many queries.  Items are
+          parsed independently: a malformed item becomes its per-item
+          [(code, message)] error and the rest still run.  Items
+          inherit the batch [dataset] (repeating it verbatim is
+          allowed; contradicting it is a per-item error).  At most
+          {!max_batch_items} items. *)
+  | Skyline of { dataset : string; timeout : float option }
+      (** The dataset's skyline indices — the per-shard half of the
+          router fan-out.  Shard-local indices when the dataset was
+          loaded with [shard]. *)
   | Stats
   | Evict of { dataset : string }
   | Ping
   | Shutdown
 
+val max_batch_items : int
+(** Hard cap on batch size (1024): a bound on per-request memory, not a
+    throughput knob. *)
+
 (** Stable error codes of the protocol (docs/SERVING.md lists them):
     [parse], [bad_request], [invalid_input], [timeout],
     [resource_limit], [numerical], [unknown_dataset], [overloaded],
-    [internal]. *)
+    [shard_failure], [internal]. *)
+
+exception Shard_failure of string
+(** A shard worker became unreachable or answered an error during a
+    router fan-out.  Raised by the shard layer, mapped by
+    {!error_of_exn} to the [shard_failure] wire code — always a
+    per-query (or per-batch-item) error, never a dropped session. *)
 
 val error_code_of_guard : Rrms_guard.Guard.Error.t -> string
 (** The four structured {!Rrms_guard.Guard.Error.t} classes map to
     [invalid_input] / [timeout] / [resource_limit] / [numerical] —
     the same partition as the CLI exit codes. *)
+
+val error_of_exn : exn -> (string * string) option
+(** The shared exception→[(code, message)] mapping used by the server,
+    the batch per-item path and the shard router, so a given failure
+    reports the same wire error everywhere.  [None] for exceptions that
+    are not request-level errors. *)
 
 type parsed = {
   id : Json.t;  (** the request's ["id"], [Null] when absent *)

@@ -21,6 +21,14 @@ module Metrics = struct
 
   let request_seconds =
     Obs.Timer.make ~help:"request handling latency" "rrms_serve_request_seconds"
+
+  let batch_requests =
+    Obs.Counter.make ~help:"batch requests handled"
+      "rrms_serve_batch_requests_total"
+
+  let batch_items =
+    Obs.Counter.make ~help:"individual items carried by batch requests"
+      "rrms_serve_batch_items_total"
 end
 
 (* Remove the first occurrence only: a session that loaded the same
@@ -37,6 +45,89 @@ let rec remove_one key = function
    telemetry separable again. *)
 let session_seq = Atomic.make 0
 let new_session_id () = Printf.sprintf "s%d" (1 + Atomic.fetch_and_add session_seq 1)
+
+let ints arr = Json.Arr (Array.to_list (Array.map Json.int arr))
+
+(* Run one query under its own request context and record its telemetry;
+   [run] produces the store outcome (a plain [Store.query], a pinned
+   batch item, or the router's merged fan-out).  Shared by the
+   single-query path, every batch item and the shard router, so all
+   three produce identical error codes and access-log records. *)
+let run_query ~telemetry ~session_id ~request_id ~dataset_key ~shards
+    ~elapsed_ms (q : Protocol.query) run =
+  let ctx =
+    Obs.Ctx.create ~request_id ~session_id
+      ~capture_spans:(Telemetry.capture_spans telemetry)
+      ()
+  in
+  let cache_outcome = ref "miss" in
+  let degraded = ref false in
+  let outcome =
+    Obs.Ctx.with_ctx ctx (fun () ->
+        match run () with
+        | Ok { Store.result; cached } ->
+            (if cached then cache_outcome := "hit"
+             else if Obs.Ctx.value ctx "rrms_serve_matrix_derived_total" > 0.
+             then cache_outcome := "derived");
+            (match Json.member "degraded" result with
+            | Some (Json.Bool true) -> degraded := true
+            | _ -> ());
+            Ok (result, cached)
+        | Error `Unknown_dataset ->
+            Error
+              ( "unknown_dataset",
+                Printf.sprintf
+                  "no loaded dataset %S (load it first, then query by key or \
+                   name)"
+                  q.Protocol.dataset )
+        | Error `Overloaded ->
+            Error
+              ( "overloaded",
+                "admission queue is full; the request was shed — retry later"
+              )
+        | Error `Deadline_exceeded ->
+            Error
+              ( "deadline_exceeded",
+                "the request's deadline expired before the solver started \
+                 (admission queue wait counts against the timeout) — raise \
+                 the timeout or retry when the server is less loaded" )
+        | Error `Draining ->
+            Error
+              ( "draining",
+                "the server is draining for shutdown and admits no new \
+                 solves — retry against the restarted instance" )
+        | exception (Stdlib.Exit | Sys.Break) -> Error ("internal", "interrupted")
+        | exception exn -> (
+            match Protocol.error_of_exn exn with
+            | Some e -> Error e
+            | None -> Error ("internal", Printexc.to_string exn)))
+  in
+  let status =
+    match outcome with
+    | Error _ -> "error"
+    | Ok _ -> if !degraded then "degraded" else "ok"
+  in
+  Telemetry.record telemetry
+    {
+      Telemetry.request_id;
+      session_id;
+      algo = Protocol.algo_to_string q.Protocol.algo;
+      dataset = dataset_key;
+      r = q.Protocol.r;
+      gamma = q.Protocol.gamma;
+      cache = !cache_outcome;
+      status;
+      error_code =
+        (match outcome with Error (code, _) -> Some code | Ok _ -> None);
+      queue_wait_ms =
+        1000. *. Obs.Ctx.value ctx "rrms_serve_queue_wait_seconds_total";
+      elapsed_ms = elapsed_ms ();
+      probes = Obs.Ctx.value ctx "rrms_hd_rrms_probes_total";
+      cells = Obs.Ctx.value ctx "rrms_matrix_cells_total";
+      shards;
+    }
+    ~spans:(Obs.Ctx.spans ctx);
+  outcome
 
 (* One request line → one response.  [session] collects the dataset
    references this connection holds, for teardown.  Total: every
@@ -58,20 +149,18 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
   in
   let safe f =
     try f () with
-    | Guard.Error.Guard_error err ->
-        error (Protocol.error_code_of_guard err) (Guard.Error.to_string err)
-    | Invalid_argument msg | Failure msg -> error "invalid_input" msg
-    | Rrms_parallel.Fault.Injected w ->
-        error "internal" (Printf.sprintf "injected fault in worker %d" w)
     | Stdlib.Exit | Sys.Break -> error "internal" "interrupted"
-    | exn -> error "internal" (Printexc.to_string exn)
+    | exn -> (
+        match Protocol.error_of_exn exn with
+        | Some (code, message) -> error code message
+        | None -> error "internal" (Printexc.to_string exn))
   in
   let reply =
     match req with
     | Error (code, message) -> error code message
-    | Ok (Protocol.Load { path; name; normalize; lenient }) ->
+    | Ok (Protocol.Load { path; name; normalize; lenient; shard }) ->
         safe (fun () ->
-            let l = Store.load store ?name ~normalize ~lenient path in
+            let l = Store.load store ?name ~normalize ~lenient ?shard path in
             session := l.Store.key :: !session;
             ok
               (Json.Obj
@@ -92,75 +181,132 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
            attribution. *)
         incr reqno;
         let request_id = Printf.sprintf "%s-r%d" session_id !reqno in
-        let ctx =
-          Obs.Ctx.create ~request_id ~session_id
-            ~capture_spans:(Telemetry.capture_spans telemetry)
-            ()
+        let dataset_key =
+          match Store.resolve store q.Protocol.dataset with
+          | Some key -> key
+          | None -> q.Protocol.dataset
         in
-        let cache_outcome = ref "miss" in
-        let degraded = ref false in
-        let reply =
-          Obs.Ctx.with_ctx ctx (fun () ->
-              safe (fun () ->
-                  match Store.query store q with
-                  | Ok { Store.result; cached } ->
-                      (if cached then cache_outcome := "hit"
-                       else if
-                         Obs.Ctx.value ctx "rrms_serve_matrix_derived_total"
-                         > 0.
-                       then cache_outcome := "derived");
-                      (match Json.member "degraded" result with
-                      | Some (Json.Bool true) -> degraded := true
-                      | _ -> ());
-                      ok ~cached result
-                  | Error `Unknown_dataset ->
-                      error "unknown_dataset"
-                        (Printf.sprintf
-                           "no loaded dataset %S (load it first, then query \
-                            by key or name)"
-                           q.Protocol.dataset)
-                  | Error `Overloaded ->
-                      error "overloaded"
-                        "admission queue is full; the request was shed — \
-                         retry later"
-                  | Error `Deadline_exceeded ->
-                      error "deadline_exceeded"
-                        "the request's deadline expired before the solver \
-                         started (admission queue wait counts against the \
-                         timeout) — raise the timeout or retry when the \
-                         server is less loaded"
-                  | Error `Draining ->
-                      error "draining"
-                        "the server is draining for shutdown and admits no \
-                         new solves — retry against the restarted instance"))
-        in
-        let status =
-          match !error_code with
-          | Some _ -> "error"
-          | None -> if !degraded then "degraded" else "ok"
-        in
-        Telemetry.record telemetry
-          {
-            Telemetry.request_id;
-            session_id;
-            algo = Protocol.algo_to_string q.Protocol.algo;
-            dataset =
-              (match Store.resolve store q.Protocol.dataset with
-              | Some key -> key
-              | None -> q.Protocol.dataset);
-            r = q.Protocol.r;
-            gamma = q.Protocol.gamma;
-            cache = !cache_outcome;
-            status;
-            error_code = !error_code;
-            queue_wait_ms =
-              1000. *. Obs.Ctx.value ctx "rrms_serve_queue_wait_seconds_total";
-            elapsed_ms = elapsed_ms ();
-            probes = Obs.Ctx.value ctx "rrms_hd_rrms_probes_total";
-            cells = Obs.Ctx.value ctx "rrms_matrix_cells_total";
-          }
-          ~spans:(Obs.Ctx.spans ctx);
-        reply
+        (match
+           run_query ~telemetry ~session_id ~request_id ~dataset_key
+             ~shards:0 ~elapsed_ms q (fun () -> Store.query store q)
+         with
+        | Ok (result, cached) -> ok ~cached result
+        | Error (code, message) -> error code message)
+    | Ok (Protocol.Batch { dataset; items }) ->
+        (* One resolve, many items: the dataset is pinned once and every
+           item runs against the pinned handle; items answer in order,
+           each with its own [ok]/[error] status, its own request
+           context ("s1-r2.0", "s1-r2.1", …) and its own access-log
+           line, so a failed item never hides or aborts the others. *)
+        incr reqno;
+        let base_id = Printf.sprintf "%s-r%d" session_id !reqno in
+        Obs.Counter.incr Metrics.batch_requests;
+        Obs.Counter.add Metrics.batch_items (Array.length items);
+        safe (fun () ->
+            match Store.pin store dataset with
+            | None ->
+                error "unknown_dataset"
+                  (Printf.sprintf
+                     "no loaded dataset %S (load it first, then query by key \
+                      or name)"
+                     dataset)
+            | Some h ->
+                Fun.protect
+                  ~finally:(fun () -> Store.unpin store h)
+                  (fun () ->
+                    let key = Store.pinned_key h in
+                    let item_error code message =
+                      Json.Obj
+                        [
+                          ("ok", Json.Bool false);
+                          ( "error",
+                            Json.Obj
+                              [
+                                ("code", Json.Str code);
+                                ("message", Json.Str message);
+                              ] );
+                        ]
+                    in
+                    let results =
+                      Array.to_list
+                        (Array.mapi
+                           (fun i item ->
+                             match item with
+                             | Error (code, message) -> item_error code message
+                             | Ok q -> (
+                                 let t0i = Unix.gettimeofday () in
+                                 let item_ms () =
+                                   (Unix.gettimeofday () -. t0i) *. 1000.
+                                 in
+                                 match
+                                   run_query ~telemetry ~session_id
+                                     ~request_id:
+                                       (Printf.sprintf "%s.%d" base_id i)
+                                     ~dataset_key:key ~shards:0
+                                     ~elapsed_ms:item_ms q (fun () ->
+                                       Store.query_pinned store h q)
+                                 with
+                                 | Ok (result, cached) ->
+                                     Json.Obj
+                                       [
+                                         ("ok", Json.Bool true);
+                                         ("cached", Json.Bool cached);
+                                         ("result", result);
+                                       ]
+                                 | Error (code, message) ->
+                                     item_error code message))
+                           items)
+                    in
+                    ok
+                      (Json.Obj
+                         [
+                           ("dataset", Json.Str key);
+                           ("count", Json.int (List.length results));
+                           ("results", Json.Arr results);
+                         ])))
+    | Ok (Protocol.Skyline { dataset; timeout }) ->
+        (* The per-shard half of the router fan-out: compute (or fetch)
+           the dataset's skyline artifact under admission, honouring the
+           forwarded remaining deadline. *)
+        safe (fun () ->
+            let budget =
+              match timeout with
+              | None -> Guard.Budget.unlimited
+              | Some t -> Guard.Budget.create ~timeout:t ()
+            in
+            match Store.pin store dataset with
+            | None ->
+                error "unknown_dataset"
+                  (Printf.sprintf "no loaded dataset %S" dataset)
+            | Some h ->
+                Fun.protect
+                  ~finally:(fun () -> Store.unpin store h)
+                  (fun () ->
+                    match
+                      Store.with_admission store (fun () ->
+                          match Guard.Budget.deadline_expired budget with
+                          | Some _ -> `Deadline
+                          | None -> `Sky (Store.skyline_of store h))
+                    with
+                    | Error `Overloaded ->
+                        error "overloaded"
+                          "admission queue is full; the request was shed — \
+                           retry later"
+                    | Ok `Deadline ->
+                        error "deadline_exceeded"
+                          "the request's deadline expired before the skyline \
+                           computation started"
+                    | Ok (`Sky sky) ->
+                        let n, m = Store.pinned_dims h in
+                        ok
+                          (Json.Obj
+                             [
+                               ("key", Json.Str (Store.pinned_key h));
+                               ("n", Json.int n);
+                               ("m", Json.int m);
+                               ("size", Json.int (Array.length sky));
+                               ("indices", ints sky);
+                             ])))
     | Ok (Protocol.Evict { dataset }) ->
         safe (fun () ->
             match Store.release store dataset with
@@ -210,17 +356,37 @@ let handle_line ?(telemetry = Telemetry.default) store line =
   dispatch ~telemetry ~session_id:(new_session_id ()) ~reqno:(ref 0) store
     (ref []) line
 
-let run_session ?(telemetry = Telemetry.default) store ic oc =
+(* A transport-agnostic session: the line pump and the socket daemon
+   below work for any per-connection handler, so the shard router (a
+   protocol speaker that is not a plain store) reuses them verbatim.
+   [handler] is invoked once per connection and returns that session's
+   line/close callbacks. *)
+type session_handler = {
+  on_line : string -> [ `Reply of string | `Shutdown of string ];
+  on_close : unit -> unit;
+}
+
+type handler = unit -> session_handler
+
+let store_handler ?(telemetry = Telemetry.default) store () =
   let session = ref [] in
   let session_id = new_session_id () in
   let reqno = ref 0 in
+  {
+    on_line =
+      (fun line -> dispatch ~telemetry ~session_id ~reqno store session line);
+    on_close = (fun () -> Store.session_release_all store !session);
+  }
+
+let run_handler_session (h : handler) ic oc =
+  let s = h () in
   let finish outcome =
-    Store.session_release_all store !session;
+    s.on_close ();
     outcome
   in
-  let send s =
+  let send str =
     try
-      output_string oc s;
+      output_string oc str;
       output_char oc '\n';
       flush oc;
       true
@@ -233,13 +399,16 @@ let run_session ?(telemetry = Telemetry.default) store ic oc =
     | line ->
         if String.trim line = "" then loop ()
         else (
-          match dispatch ~telemetry ~session_id ~reqno store session line with
+          match s.on_line line with
           | `Reply r -> if send r then loop () else finish `Eof
           | `Shutdown r ->
               ignore (send r);
               finish `Shutdown)
   in
   loop ()
+
+let run_session ?telemetry store ic oc =
+  run_handler_session (store_handler ?telemetry store) ic oc
 
 let serve_stdio ?telemetry store = run_session ?telemetry store stdin stdout
 
@@ -281,7 +450,7 @@ let probe_stale path =
     try Sys.remove path with Sys_error _ -> ()
   end
 
-let start ?telemetry store ~socket:path =
+let start_handler (h : handler) ~socket:path =
   if Sys.os_type = "Unix" then
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   probe_stale path;
@@ -313,7 +482,7 @@ let start ?telemetry store ~socket:path =
       (Obs.Gauge.value Metrics.open_sessions +. 1.);
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    let outcome = try run_session ?telemetry store ic oc with _ -> `Eof in
+    let outcome = try run_handler_session h ic oc with _ -> `Eof in
     (* ic and oc share [fd]; one close releases it. *)
     close_out_noerr oc;
     with_sessions (fun () ->
@@ -343,6 +512,9 @@ let start ?telemetry store ~socket:path =
   in
   t.accept_thread <- Some (Thread.create accept_loop ());
   t
+
+let start ?telemetry store ~socket =
+  start_handler (store_handler ?telemetry store) ~socket
 
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());

@@ -34,29 +34,77 @@ val handle_line :
     (default {!Telemetry.default}), and the [stats] request folds that
     instance's histograms into its response as a ["latency"] member. *)
 
+val run_query :
+  telemetry:Telemetry.t ->
+  session_id:string ->
+  request_id:string ->
+  dataset_key:string ->
+  shards:int ->
+  elapsed_ms:(unit -> float) ->
+  Protocol.query ->
+  (unit ->
+  ( Store.outcome,
+    [ `Overloaded | `Unknown_dataset | `Deadline_exceeded | `Draining ] )
+  result) ->
+  (Json.t * bool, string * string) result
+(** Run one query thunk under a fresh request context and record its
+    telemetry (access-log line, latency histogram, cache outcome,
+    per-request counters).  Returns the result and its cached flag, or
+    the wire [(code, message)] — exceptions included, via
+    {!Protocol.error_of_exn}.  Shared by the single-query path, every
+    batch item and the shard router, so all three report identically;
+    [shards] is the fan-out width recorded in the access log (0 =
+    unsharded). *)
+
+type session_handler = {
+  on_line : string -> [ `Reply of string | `Shutdown of string ];
+  on_close : unit -> unit;
+}
+(** One connection's callbacks: [on_line] answers a request line,
+    [on_close] runs teardown (reference release) when the session
+    ends. *)
+
+type handler = unit -> session_handler
+(** A per-connection session factory — what the transports below pump.
+    {!store_handler} is the standard store-backed one; the shard router
+    provides its own. *)
+
+val store_handler : ?telemetry:Telemetry.t -> Store.t -> handler
+(** The store-backed protocol handler used by {!run_session},
+    {!serve_stdio} and {!start}. *)
+
+val run_handler_session :
+  handler -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Pump one session for an arbitrary handler: read lines until EOF or
+    [shutdown], answering each (blank lines are skipped).  Responses
+    are flushed per line; [on_close] runs on the way out. *)
+
 val run_session :
   ?telemetry:Telemetry.t ->
   Store.t ->
   in_channel ->
   out_channel ->
   [ `Eof | `Shutdown ]
-(** Pump one session: read lines until EOF or [shutdown], answering
-    each (blank lines are skipped).  Responses are flushed per line.
-    Session [load] references are released on the way out. *)
+(** {!run_handler_session} over {!store_handler}: pump one store-backed
+    session.  Session [load] references are released on the way out. *)
 
 val serve_stdio : ?telemetry:Telemetry.t -> Store.t -> [ `Eof | `Shutdown ]
 (** [run_session] over stdin/stdout. *)
 
 type t
 
-val start : ?telemetry:Telemetry.t -> Store.t -> socket:string -> t
+val start_handler : handler -> socket:string -> t
 (** Bind a Unix-domain listener at [socket] and accept in a background
-    thread, one thread per connection.  A pre-existing socket file is
-    probed: live (something accepts) → [Invalid_input]; stale → removed
-    and rebound.  [SIGPIPE] is ignored process-wide (an abruptly closed
-    client must not kill the daemon).
+    thread, one thread per connection, each pumped through the given
+    handler.  A pre-existing socket file is probed: live (something
+    accepts) → [Invalid_input]; stale → removed and rebound.  [SIGPIPE]
+    is ignored process-wide (an abruptly closed client must not kill
+    the daemon).
     @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when the
     path is already served, [Unix.Unix_error] on bind failures. *)
+
+val start : ?telemetry:Telemetry.t -> Store.t -> socket:string -> t
+(** {!start_handler} over {!store_handler}. *)
 
 val stop : t -> unit
 (** Ask the daemon to stop: close the listener (idempotent).  In-flight

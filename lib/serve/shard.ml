@@ -1,0 +1,952 @@
+module Guard = Rrms_guard.Guard
+module Obs = Rrms_obs.Obs
+module Dataset = Rrms_dataset.Dataset
+module Skyline = Rrms_skyline.Skyline
+module Discretize = Rrms_core.Discretize
+module Regret_matrix = Rrms_core.Regret_matrix
+module Hd_rrms = Rrms_core.Hd_rrms
+module Hd_greedy = Rrms_core.Hd_greedy
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+module Metrics = struct
+  let c ?(deterministic = true) name help =
+    Obs.Counter.make ~deterministic ~help name
+
+  let fanouts =
+    c "rrms_shard_fanout_tasks_total"
+      "per-shard tasks dispatched by shard fan-outs"
+
+  let skyline_merges =
+    c "rrms_shard_skyline_merges_total"
+      "merged skylines assembled from per-shard skylines"
+
+  let matrix_merges =
+    c "rrms_shard_matrix_merges_total"
+      "merged regret matrices assembled from per-shard row blocks"
+
+  let certified =
+    c "rrms_shard_certified_queries_total"
+      "queries answered through the certified (lossless) merge path"
+
+  let union =
+    c "rrms_shard_union_queries_total"
+      "queries answered through the union (bounded-regret) merge path"
+
+  let gather =
+    c "rrms_shard_gather_queries_total"
+      "queries answered by the coordinator alone (non-decomposable algo)"
+
+  let worker_redials =
+    c ~deterministic:false "rrms_shard_worker_redials_total"
+      "router reconnections to a shard worker"
+
+  let worker_failures =
+    c ~deterministic:false "rrms_shard_worker_failures_total"
+      "router fan-out legs that failed after the redial retry"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Partition arithmetic                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Round-robin: shard [s] of [count] owns global rows ≡ s (mod count) in
+   ascending order, so shard-local row [l] is global row [s + l·count].
+   The same arithmetic lives in [Store.load ?shard] (the slice a worker
+   process takes); the decomposability tests assert they agree. *)
+let partition ~shards n =
+  if shards < 1 then
+    Guard.Error.invalid_input "Shard.partition: shards must be >= 1";
+  if n < 0 then Guard.Error.invalid_input "Shard.partition: negative size";
+  Array.init shards (fun s ->
+      let len = max 0 ((n - s + shards - 1) / shards) in
+      Array.init len (fun k -> s + (k * shards)))
+
+(* ------------------------------------------------------------------ *)
+(* In-process sharded store                                            *)
+(* ------------------------------------------------------------------ *)
+
+type part = {
+  members : int array array;
+      (* shard → its global row indices, ascending; [members.(s).(l)] is
+         the global index of sub-store row [l] *)
+  sub_keys : string option array;
+      (* per-shard sub-store content key; [None] for an empty slice
+         (n < shards) *)
+}
+
+type t = {
+  shards : int;
+  domains : int;
+  coordinator : Store.t;
+  stores : Store.t array;
+  (* Serializes dataset registration and teardown end-to-end, so the
+     coordinator entry and its N sub-store entries stay in lockstep
+     (exactly one sub reference per resident coordinator entry).  Held
+     across Store calls — safe because no store ever calls back into
+     the shard layer. *)
+  load_lock : Mutex.t;
+  (* Guards [parts] only; never held across a Store call. *)
+  p_lock : Mutex.t;
+  parts : (string, part) Hashtbl.t;
+}
+
+let create ?domains ?max_inflight ?max_queue ?persist ~shards () =
+  if shards < 1 then
+    Guard.Error.invalid_input "Shard.create: shards must be >= 1";
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> Guard.Error.invalid_input "Shard.create: domains must be >= 1"
+    | None -> Rrms_parallel.Pool.default_size ()
+  in
+  {
+    shards;
+    domains;
+    coordinator = Store.create ~domains ?max_inflight ?max_queue ?persist ();
+    (* Each sub-store gets its own admission slot: one in-flight artifact
+       build per shard, a small queue for the fan-out threads. *)
+    stores =
+      Array.init shards (fun _ ->
+          Store.create ~domains ~max_inflight:1 ~max_queue:32 ());
+    load_lock = Mutex.create ();
+    p_lock = Mutex.create ();
+    parts = Hashtbl.create 8;
+  }
+
+let store t = t.coordinator
+let shards t = t.shards
+
+let register t ~warnings d =
+  with_lock t.load_lock (fun () ->
+      let l = Store.add t.coordinator d in
+      let key = l.Store.key in
+      let known = with_lock t.p_lock (fun () -> Hashtbl.mem t.parts key) in
+      if not known then begin
+        let members = partition ~shards:t.shards (Dataset.size d) in
+        let sub_keys =
+          Array.mapi
+            (fun s idxs ->
+              if Array.length idxs = 0 then None
+              else
+                Some (Store.add t.stores.(s) (Dataset.select d idxs)).Store.key)
+            members
+        in
+        with_lock t.p_lock (fun () ->
+            Hashtbl.replace t.parts key { members; sub_keys })
+      end;
+      { l with Store.warnings })
+
+let load t ?name ?(normalize = false) ?(lenient = false) path =
+  let mode = if lenient then Dataset.Lenient else Dataset.Strict in
+  let d, warns = Dataset.of_csv_report ?name ~mode path in
+  let d = if normalize then Dataset.normalize d else d in
+  register t ~warnings:(List.length warns) d
+
+let add t d = register t ~warnings:0 d
+
+(* Drop the partition record and its sub-store references — called with
+   [load_lock] held, after the coordinator entry was freed. *)
+let drop_parts t key =
+  let part =
+    with_lock t.p_lock (fun () ->
+        match Hashtbl.find_opt t.parts key with
+        | Some p ->
+            Hashtbl.remove t.parts key;
+            Some p
+        | None -> None)
+  in
+  Option.iter
+    (fun p ->
+      Array.iteri
+        (fun s k ->
+          match k with
+          | Some k -> ignore (Store.release t.stores.(s) k : Store.release)
+          | None -> ())
+        p.sub_keys)
+    part
+
+let release t handle =
+  with_lock t.load_lock (fun () ->
+      match Store.release t.coordinator handle with
+      | Store.Not_loaded -> Store.Not_loaded
+      | Store.Released { key; remaining = _; freed } as res ->
+          if freed then drop_parts t key;
+          res)
+
+(* A pinned query can outlive the last [release]: the coordinator frees
+   the entry at unpin time, and this sweeps the partition record after
+   the fact. *)
+let cleanup_if_freed t key =
+  with_lock t.load_lock (fun () ->
+      if Store.resolve t.coordinator key = None then drop_parts t key)
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Sub_overloaded
+exception Deadline
+
+(* One systhread per shard; every task's exception is captured and
+   rethrown after the join (lowest shard first), so a failed leg never
+   leaks a running thread. *)
+let fan_out t f =
+  Obs.Counter.add Metrics.fanouts t.shards;
+  let out = Array.make t.shards None in
+  let threads =
+    Array.init t.shards (fun s ->
+        Thread.create
+          (fun () -> out.(s) <- Some (try Ok (f s) with exn -> Error exn))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> Error (Failure "Shard.fan_out: task produced no result"))
+    out
+
+let join results =
+  Array.iter (function Ok _ -> () | Error e -> raise e) results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let budget_of (q : Protocol.query) =
+  match (q.Protocol.timeout, q.Protocol.max_cells, q.Protocol.max_probes) with
+  | None, None, None -> Guard.Budget.unlimited
+  | timeout, max_cells, max_probes ->
+      Guard.Budget.create ?timeout ?max_cells ?max_probes ()
+
+(* Pass the deadline through honestly: the prep already spent part of
+   the budget, so the store-level solve gets only what remains. *)
+let remaining_query ~guard (q : Protocol.query) =
+  match q.Protocol.timeout with
+  | None -> q
+  | Some _ -> (
+      match Guard.Budget.remaining guard with
+      | Some rem when rem <= 0. -> raise Deadline
+      | Some rem -> { q with Protocol.timeout = Some rem }
+      | None -> q)
+
+(* ------------------------------------------------------------------ *)
+(* Certified merge                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-shard half of the fan-out: the sub-store's skyline artifact,
+   mapped back to global indices, under the sub-store's admission
+   slot. *)
+let sub_skyline t part s =
+  match part.sub_keys.(s) with
+  | None -> [||]
+  | Some key -> (
+      let st = t.stores.(s) in
+      match Store.pin st key with
+      | None -> Guard.Error.invalid_input "Shard: sub-store entry vanished"
+      | Some h ->
+          Fun.protect
+            ~finally:(fun () -> Store.unpin st h)
+            (fun () ->
+              match
+                Store.with_admission st (fun () -> Store.skyline_of st h)
+              with
+              | Error `Overloaded -> raise Sub_overloaded
+              | Ok local -> Array.map (fun l -> part.members.(s).(l)) local))
+
+(* Install the merged skyline and the merged γ-matrix into the
+   coordinator entry, so [Store.query_pinned] then takes its ordinary
+   artifact-hit path into [solve_prepared] — the same code path over
+   bit-identical inputs as the unsharded store, hence a byte-identical
+   answer (the Exact merge certificate). *)
+let prepare_certified t h part (q : Protocol.query) ~guard =
+  let _, m = Store.pinned_dims h in
+  let merged =
+    let sky_cached, _ = Store.artifacts_cached h ~gamma:q.Protocol.gamma in
+    if sky_cached then Store.skyline_of t.coordinator h
+    else begin
+      let parts_global = join (fan_out t (fun s -> sub_skyline t part s)) in
+      Obs.Counter.incr Metrics.skyline_merges;
+      let merged =
+        Skyline.merge_partitions ~domains:t.domains (Store.pinned_rows h)
+          parts_global
+      in
+      ignore (Store.preload_skyline t.coordinator h merged : bool);
+      merged
+    end
+  in
+  (match Guard.Budget.deadline_expired guard with
+  | Some _ -> raise Deadline
+  | None -> ());
+  let gamma_used = Store.effective_gamma ~rows:(Array.length merged) ~m q in
+  let _, mat_cached = Store.artifacts_cached h ~gamma:gamma_used in
+  if not mat_cached then begin
+    let rows = Store.pinned_rows h in
+    let funcs = Store.grid_of t.coordinator ~m ~gamma:gamma_used in
+    (* Merged-skyline rows grouped by owning shard (global ≡ s mod N):
+       each shard scores and fills exactly the rows it owns, in
+       ascending row order. *)
+    let rows_of = Array.make t.shards [] in
+    let nrows = Array.length merged in
+    for pos = nrows - 1 downto 0 do
+      let gi = merged.(pos) in
+      let s = gi mod t.shards in
+      rows_of.(s) <- (pos, gi) :: rows_of.(s)
+    done;
+    let bests =
+      join
+        (fan_out t (fun s ->
+             match rows_of.(s) with
+             | [] -> None
+             | l ->
+                 let pts =
+                   Array.of_list (List.map (fun (_, gi) -> rows.(gi)) l)
+                 in
+                 Some (Regret_matrix.best_scores ~domains:t.domains ~funcs pts)))
+    in
+    let best =
+      Regret_matrix.merge_best (List.filter_map Fun.id (Array.to_list bests))
+    in
+    let cells = Array.make (nrows * Array.length funcs) 0. in
+    ignore
+      (join
+         (fan_out t (fun s ->
+              List.iter
+                (fun (pos, gi) ->
+                  Regret_matrix.fill_row ~funcs ~best cells ~row:pos rows.(gi))
+                rows_of.(s))));
+    Obs.Counter.incr Metrics.matrix_merges;
+    ignore
+      (Store.preload_matrix t.coordinator h ~gamma:gamma_used
+         (Regret_matrix.import ~rows:nrows ~best ~cells)
+        : bool)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Union merge                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ints arr = Json.Arr (Array.to_list (Array.map Json.int arr))
+
+(* Union (Degraded) merge: every shard solves its own slice against the
+   shared global direction grid, and the union of the selections is
+   returned with a certified regret bound instead of bit-identity.
+
+   Soundness of the bound: for any scoring direction [w], the shard [j]
+   owning the globally best tuple for [w] sees that tuple as its local
+   best, so the union (⊇ S_j) has global regret at [w] bounded by shard
+   [j]'s own continuous regret — at most theorem4_bound(γ_j, m, ε_j).
+   Taking the max over shards therefore bounds every direction at
+   once. *)
+let union_solve t h part (q : Protocol.query) ~guard =
+  let _, m = Store.pinned_dims h in
+  let shard_result s =
+    match part.sub_keys.(s) with
+    | None -> None
+    | Some key -> (
+        let st = t.stores.(s) in
+        match Store.pin st key with
+        | None -> Guard.Error.invalid_input "Shard: sub-store entry vanished"
+        | Some hs ->
+            Fun.protect
+              ~finally:(fun () -> Store.unpin st hs)
+              (fun () ->
+                match
+                  Store.with_admission st (fun () ->
+                      let sky = Store.skyline_of st hs in
+                      let gamma_used =
+                        Store.effective_gamma ~rows:(Array.length sky) ~m q
+                      in
+                      let _, matrix =
+                        Store.matrix_of st hs ~gamma:gamma_used ~guard
+                      in
+                      let global =
+                        Array.map (fun l -> part.members.(s).(l)) sky
+                      in
+                      match q.Protocol.algo with
+                      | Protocol.Hd_rrms ->
+                          let res =
+                            Hd_rrms.solve_prepared ~domains:t.domains ~guard
+                              ~skyline:global ~gamma_used ~m matrix
+                              ~r:q.Protocol.r
+                          in
+                          ( res.Hd_rrms.selected,
+                            res.Hd_rrms.discretized_regret,
+                            gamma_used )
+                      | Protocol.Hd_greedy ->
+                          let res =
+                            Hd_greedy.solve_prepared ~domains:t.domains ~guard
+                              ~skyline:global ~gamma_used matrix
+                              ~r:q.Protocol.r
+                          in
+                          ( res.Hd_greedy.selected,
+                            res.Hd_greedy.discretized_regret,
+                            gamma_used )
+                      | _ -> assert false)
+                with
+                | Error `Overloaded -> raise Sub_overloaded
+                | Ok r -> Some (s, r)))
+  in
+  let per_shard =
+    List.filter_map Fun.id (Array.to_list (join (fan_out t shard_result)))
+  in
+  let selected =
+    Array.of_list
+      (List.sort_uniq Stdlib.compare
+         (List.concat_map
+            (fun (_, (sel, _, _)) -> Array.to_list sel)
+            per_shard))
+  in
+  let bound =
+    List.fold_left
+      (fun acc (_, (_, eps, g)) ->
+        Float.max acc (Discretize.theorem4_bound ~gamma:g ~m ~eps))
+      0. per_shard
+  in
+  let result =
+    Json.Obj
+      [
+        ("algo", Json.Str (Protocol.algo_to_string q.Protocol.algo));
+        ("merge", Json.Str "union");
+        ("selected", ints selected);
+        ("size", Json.int (Array.length selected));
+        ("regret_bound", Json.float bound);
+        ( "shards",
+          Json.Arr
+            (List.map
+               (fun (s, (sel, eps, g)) ->
+                 Json.Obj
+                   [
+                     ("shard", Json.int s);
+                     ("size", Json.int (Array.length sel));
+                     ("discretized_regret", Json.float eps);
+                     ("gamma_used", Json.int g);
+                   ])
+               per_shard) );
+        ("quality", Json.Str "degraded(shard-union-merge)");
+        ("degraded", Json.Bool true);
+      ]
+  in
+  (* Never cached: the union answer depends on the partition, so serving
+     it to a later unsharded request would break the bit-identity
+     contract of the result cache. *)
+  Ok { Store.result; cached = false }
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type merge = Certified | Union
+
+let query ?(merge = Certified) t (q : Protocol.query) =
+  match Store.pin t.coordinator q.Protocol.dataset with
+  | None -> Error `Unknown_dataset
+  | Some h ->
+      let key = Store.pinned_key h in
+      Fun.protect
+        ~finally:(fun () ->
+          Store.unpin t.coordinator h;
+          cleanup_if_freed t key)
+        (fun () ->
+          let part =
+            with_lock t.p_lock (fun () -> Hashtbl.find_opt t.parts key)
+          in
+          match (part, q.Protocol.algo, merge) with
+          | Some part, (Protocol.Hd_rrms | Protocol.Hd_greedy), Certified -> (
+              Obs.Counter.incr Metrics.certified;
+              let guard = budget_of q in
+              match prepare_certified t h part q ~guard with
+              | () ->
+                  Store.query_pinned t.coordinator h
+                    (remaining_query ~guard q)
+              | exception Deadline -> Error `Deadline_exceeded
+              | exception Sub_overloaded -> Error `Overloaded)
+          | Some part, (Protocol.Hd_rrms | Protocol.Hd_greedy), Union -> (
+              Obs.Counter.incr Metrics.union;
+              let guard = budget_of q in
+              match union_solve t h part q ~guard with
+              | r -> r
+              | exception Deadline -> Error `Deadline_exceeded
+              | exception Sub_overloaded -> Error `Overloaded)
+          | _ ->
+              (* Non-decomposable algorithms (and datasets that predate
+                 the partition table): the coordinator holds the full
+                 dataset, so the ordinary path is trivially Exact. *)
+              Obs.Counter.incr Metrics.gather;
+              Store.query_pinned t.coordinator h q)
+
+let stats t =
+  match Store.stats t.coordinator with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ( "shard",
+              Json.Obj
+                [
+                  ("shards", Json.int t.shards);
+                  ( "sub_stores",
+                    Json.Arr
+                      (Array.to_list
+                         (Array.map
+                            (fun st ->
+                              let inflight, queued = Store.admission_state st in
+                              Json.Obj
+                                [
+                                  ("inflight", Json.int inflight);
+                                  ("queued", Json.int queued);
+                                ])
+                            t.stores)) );
+                ] );
+          ])
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* Router: fan-out over worker processes                               *)
+(* ------------------------------------------------------------------ *)
+
+module Router = struct
+  exception Worker_down of string * string (* path, detail *)
+  exception Worker_error of string * string * string (* path, code, msg *)
+
+  type ds_info = { load_line : int -> string }
+
+  type worker = {
+    w_index : int;
+    w_path : string;
+    w_lock : Mutex.t;
+    mutable conn : (in_channel * out_channel) option;
+    (* Router dataset key → this worker's slice key, valid for the
+       current connection only: a redial clears it, and the next use
+       replays the load (which is how a restarted worker recovers). *)
+    mutable w_keys : (string * string) list;
+  }
+
+  type t = {
+    rt_store : Store.t;
+    telemetry : Telemetry.t;
+    domains : int option;
+    workers : worker array;
+    r_lock : Mutex.t;
+    datasets : (string, ds_info) Hashtbl.t;
+    sessions : int Atomic.t;
+  }
+
+  let create ?(telemetry = Telemetry.default) ?domains ?max_inflight ?max_queue
+      ?persist ~workers () =
+    if workers = [] then
+      Guard.Error.invalid_input "Shard.Router.create: no worker sockets";
+    {
+      rt_store = Store.create ?domains ?max_inflight ?max_queue ?persist ();
+      telemetry;
+      domains;
+      workers =
+        Array.of_list
+          (List.mapi
+             (fun i p ->
+               {
+                 w_index = i;
+                 w_path = p;
+                 w_lock = Mutex.create ();
+                 conn = None;
+                 w_keys = [];
+               })
+             workers);
+      r_lock = Mutex.create ();
+      datasets = Hashtbl.create 8;
+      sessions = Atomic.make 0;
+    }
+
+  let store rt = rt.rt_store
+  let width rt = Array.length rt.workers
+
+  (* -------------------------- worker RPC -------------------------- *)
+
+  let disconnect w =
+    (match w.conn with Some (_, oc) -> close_out_noerr oc | None -> ());
+    w.conn <- None;
+    w.w_keys <- []
+
+  let ensure_conn w =
+    if w.conn = None then begin
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX w.w_path) with
+      | () ->
+          w.conn <-
+            Some (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise (Worker_down (w.w_path, Unix.error_message e))
+    end
+
+  let send_recv w line =
+    match w.conn with
+    | None -> raise (Worker_down (w.w_path, "not connected"))
+    | Some (ic, oc) -> (
+        try
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          input_line ic
+        with End_of_file | Sys_error _ ->
+          disconnect w;
+          raise (Worker_down (w.w_path, "connection lost mid-request")))
+
+  let rpc_once w line =
+    let reply = send_recv w line in
+    match Json.parse reply with
+    | Error msg ->
+        disconnect w;
+        raise (Worker_down (w.w_path, "unparseable reply: " ^ msg))
+    | Ok j -> (
+        match Json.member "ok" j with
+        | Some (Json.Bool true) -> j
+        | _ ->
+            let get name =
+              match Option.bind (Json.member "error" j) (Json.member name) with
+              | Some (Json.Str s) -> s
+              | _ -> "internal"
+            in
+            raise (Worker_error (w.w_path, get "code", get "message")))
+
+  let reply_field j name = Option.bind (Json.member "result" j) (Json.member name)
+
+  (* The worker's key for [key]'s slice, loading it over this connection
+     on first use (and after every redial). *)
+  let worker_key rt w ~key =
+    match List.assoc_opt key w.w_keys with
+    | Some wk -> wk
+    | None -> (
+        let info =
+          match
+            with_lock rt.r_lock (fun () -> Hashtbl.find_opt rt.datasets key)
+          with
+          | Some i -> i
+          | None ->
+              raise
+                (Worker_down
+                   ( w.w_path,
+                     Printf.sprintf
+                       "dataset %s has no registered load parameters" key ))
+        in
+        let j = rpc_once w (info.load_line w.w_index) in
+        match reply_field j "key" with
+        | Some (Json.Str wk) ->
+            w.w_keys <- (key, wk) :: w.w_keys;
+            wk
+        | _ -> raise (Worker_down (w.w_path, "malformed load reply")))
+
+  let skyline_request ~dataset ~timeout =
+    Json.to_string
+      (Json.Obj
+         ([ ("req", Json.Str "skyline"); ("dataset", Json.Str dataset) ]
+         @ (match timeout with
+           | Some tm -> [ ("timeout", Json.float tm) ]
+           | None -> [])
+         @ [ ("id", Json.Str "router-skyline") ]))
+
+  (* One fan-out leg: the worker's shard-local skyline indices.  A
+     transport failure redials once (replaying the load), so a worker
+     restart between requests heals transparently; a second failure —
+     or a semantic error — surfaces to the caller. *)
+  let worker_skyline rt w ~key ~timeout =
+    with_lock w.w_lock (fun () ->
+        let attempt () =
+          ensure_conn w;
+          let wkey = worker_key rt w ~key in
+          let j = rpc_once w (skyline_request ~dataset:wkey ~timeout) in
+          match reply_field j "indices" with
+          | Some (Json.Arr l) ->
+              Array.of_list
+                (List.map
+                   (fun x ->
+                     match Json.int_ x with
+                     | Some i -> i
+                     | None ->
+                         raise
+                           (Worker_down (w.w_path, "malformed skyline reply")))
+                   l)
+          | _ -> raise (Worker_down (w.w_path, "malformed skyline reply"))
+        in
+        try attempt ()
+        with Worker_down _ ->
+          Obs.Counter.incr Metrics.worker_redials;
+          disconnect w;
+          attempt ())
+
+  (* ------------------------- fan-out merge ------------------------ *)
+
+  let fan_out_workers rt f =
+    let n = Array.length rt.workers in
+    let out = Array.make n None in
+    let threads =
+      Array.init n (fun s ->
+          Thread.create
+            (fun () -> out.(s) <- Some (try Ok (f s) with exn -> Error exn))
+            ())
+    in
+    Array.iter Thread.join threads;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> Error (Failure "Router fan-out task produced no result"))
+      out
+
+  (* Merge the workers' skylines into the router store's artifact; the
+     regret matrix is then built locally from the merged skyline by the
+     ordinary store path, so the answer is byte-identical to a
+     single-process solve (same artifacts, same [solve_prepared]). *)
+  let ensure_artifacts rt h (q : Protocol.query) ~guard =
+    let sky_cached, _ = Store.artifacts_cached h ~gamma:q.Protocol.gamma in
+    if not sky_cached then begin
+      (match Guard.Budget.deadline_expired guard with
+      | Some _ -> raise Deadline
+      | None -> ());
+      let key = Store.pinned_key h in
+      let timeout =
+        match q.Protocol.timeout with
+        | None -> None
+        | Some _ -> Guard.Budget.remaining guard
+      in
+      let n = Array.length rt.workers in
+      let results =
+        fan_out_workers rt (fun s ->
+            worker_skyline rt rt.workers.(s) ~key ~timeout)
+      in
+      Array.iter (function Ok _ -> () | Error e -> raise e) results;
+      let parts =
+        Array.mapi
+          (fun s r ->
+            match r with
+            | Ok local -> Array.map (fun l -> s + (l * n)) local
+            | Error _ -> assert false)
+          results
+      in
+      Obs.Counter.incr Metrics.skyline_merges;
+      let merged =
+        Skyline.merge_partitions ?domains:rt.domains (Store.pinned_rows h)
+          parts
+      in
+      ignore (Store.preload_skyline rt.rt_store h merged : bool)
+    end
+
+  (* One query against a pinned handle, fanning out for the HD
+     algorithms; worker failures become [shard_failure] responses
+     (never a dropped session), a worker-side deadline propagates as
+     [deadline_exceeded]. *)
+  let run_item rt h (q : Protocol.query) () =
+    match q.Protocol.algo with
+    | Protocol.Hd_rrms | Protocol.Hd_greedy -> (
+        let guard = budget_of q in
+        match ensure_artifacts rt h q ~guard with
+        | () -> Store.query_pinned rt.rt_store h (remaining_query ~guard q)
+        | exception Deadline -> Error `Deadline_exceeded
+        | exception Worker_error (_, "deadline_exceeded", _) ->
+            Error `Deadline_exceeded
+        | exception Worker_error (p, code, msg) ->
+            Obs.Counter.incr Metrics.worker_failures;
+            raise
+              (Protocol.Shard_failure
+                 (Printf.sprintf "worker %s answered %s: %s" p code msg))
+        | exception Worker_down (p, msg) ->
+            Obs.Counter.incr Metrics.worker_failures;
+            raise
+              (Protocol.Shard_failure
+                 (Printf.sprintf "worker %s unreachable: %s" p msg)))
+    | _ -> Store.query_pinned rt.rt_store h q
+
+  let register_dataset rt ~key ~path ~name ~normalize ~lenient =
+    let count = Array.length rt.workers in
+    let load_line s =
+      Json.to_string
+        (Json.Obj
+           ([ ("req", Json.Str "load"); ("path", Json.Str path) ]
+           @ (match name with
+             | Some nm -> [ ("name", Json.Str nm) ]
+             | None -> [])
+           @ [
+               ("normalize", Json.Bool normalize);
+               ("lenient", Json.Bool lenient);
+               ("shard_index", Json.int s);
+               ("shard_count", Json.int count);
+               ("id", Json.Str (Printf.sprintf "router-load-%d" s));
+             ]))
+    in
+    with_lock rt.r_lock (fun () ->
+        Hashtbl.replace rt.datasets key { load_line })
+
+  let item_error code message =
+    Json.Obj
+      [
+        ("ok", Json.Bool false);
+        ( "error",
+          Json.Obj [ ("code", Json.Str code); ("message", Json.Str message) ]
+        );
+      ]
+
+  (* The router's protocol handler: [load], [query] and [batch] get the
+     fan-out treatment; everything else — stats, skyline, evict, ping,
+     shutdown, malformed lines — delegates to an ordinary store-backed
+     session over the router's own (full-dataset) store, so reference
+     bookkeeping and teardown stay the server's. *)
+  let handler rt : Server.handler =
+   fun () ->
+    let inner = Server.store_handler ~telemetry:rt.telemetry rt.rt_store () in
+    let session_id =
+      Printf.sprintf "rs%d" (1 + Atomic.fetch_and_add rt.sessions 1)
+    in
+    let reqno = ref 0 in
+    let shards = Array.length rt.workers in
+    let on_line line =
+      let { Protocol.id; req } = Protocol.parse_request line in
+      let t0 = Unix.gettimeofday () in
+      let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+      let error code message =
+        `Reply (Protocol.error_response ~id ~code ~message)
+      in
+      match req with
+      | Ok (Protocol.Load { path; name; normalize; lenient; shard = _ }) -> (
+          (* The inner session loads the full dataset (and owns the
+             reference); the router records the load parameters so the
+             workers can be sent their slices on first fan-out. *)
+          match inner.Server.on_line line with
+          | `Reply r as reply ->
+              (match Json.parse r with
+              | Ok j when Json.member "ok" j = Some (Json.Bool true) -> (
+                  match reply_field j "key" with
+                  | Some (Json.Str key) ->
+                      register_dataset rt ~key ~path ~name ~normalize ~lenient
+                  | _ -> ())
+              | _ -> ());
+              reply
+          | x -> x)
+      | Ok (Protocol.Query q) -> (
+          incr reqno;
+          let request_id = Printf.sprintf "%s-r%d" session_id !reqno in
+          let dataset_key =
+            match Store.resolve rt.rt_store q.Protocol.dataset with
+            | Some key -> key
+            | None -> q.Protocol.dataset
+          in
+          match
+            Server.run_query ~telemetry:rt.telemetry ~session_id ~request_id
+              ~dataset_key ~shards ~elapsed_ms q (fun () ->
+                match Store.pin rt.rt_store q.Protocol.dataset with
+                | None -> Error `Unknown_dataset
+                | Some h ->
+                    Fun.protect
+                      ~finally:(fun () -> Store.unpin rt.rt_store h)
+                      (run_item rt h q))
+          with
+          | Ok (result, cached) ->
+              `Reply
+                (Protocol.ok_response ~id ~cached ~elapsed_ms:(elapsed_ms ())
+                   result)
+          | Error (code, message) -> error code message)
+      | Ok (Protocol.Batch { dataset; items }) -> (
+          incr reqno;
+          let base_id = Printf.sprintf "%s-r%d" session_id !reqno in
+          match Store.pin rt.rt_store dataset with
+          | None ->
+              error "unknown_dataset"
+                (Printf.sprintf
+                   "no loaded dataset %S (load it first, then query by key or \
+                    name)"
+                   dataset)
+          | Some h ->
+              Fun.protect
+                ~finally:(fun () -> Store.unpin rt.rt_store h)
+                (fun () ->
+                  let key = Store.pinned_key h in
+                  let results =
+                    Array.to_list
+                      (Array.mapi
+                         (fun i item ->
+                           match item with
+                           | Error (code, message) -> item_error code message
+                           | Ok q -> (
+                               let t0i = Unix.gettimeofday () in
+                               let item_ms () =
+                                 (Unix.gettimeofday () -. t0i) *. 1000.
+                               in
+                               match
+                                 Server.run_query ~telemetry:rt.telemetry
+                                   ~session_id
+                                   ~request_id:
+                                     (Printf.sprintf "%s.%d" base_id i)
+                                   ~dataset_key:key ~shards ~elapsed_ms:item_ms
+                                   q (run_item rt h q)
+                               with
+                               | Ok (result, cached) ->
+                                   Json.Obj
+                                     [
+                                       ("ok", Json.Bool true);
+                                       ("cached", Json.Bool cached);
+                                       ("result", result);
+                                     ]
+                               | Error (code, message) ->
+                                   item_error code message))
+                         items)
+                  in
+                  `Reply
+                    (Protocol.ok_response ~id ~cached:false
+                       ~elapsed_ms:(elapsed_ms ())
+                       (Json.Obj
+                          [
+                            ("dataset", Json.Str key);
+                            ("count", Json.int (List.length results));
+                            ("results", Json.Arr results);
+                          ]))))
+      | Ok Protocol.Stats -> (
+          match inner.Server.on_line line with
+          | `Reply r as reply -> (
+              match Json.parse r with
+              | Ok (Json.Obj top)
+                when List.assoc_opt "ok" top = Some (Json.Bool true) -> (
+                  match List.assoc_opt "result" top with
+                  | Some (Json.Obj fields) ->
+                      let router =
+                        Json.Obj
+                          [
+                            ( "workers",
+                              Json.Arr
+                                (Array.to_list
+                                   (Array.map
+                                      (fun w ->
+                                        Json.Obj
+                                          [
+                                            ("path", Json.Str w.w_path);
+                                            ( "connected",
+                                              Json.Bool
+                                                (with_lock w.w_lock (fun () ->
+                                                     match w.conn with
+                                                     | Some _ -> true
+                                                     | None -> false)) );
+                                          ])
+                                      rt.workers)) );
+                          ]
+                      in
+                      `Reply
+                        (Json.to_string
+                           (Json.Obj
+                              (List.map
+                                 (fun (k, v) ->
+                                   if k = "result" then
+                                     ( k,
+                                       Json.Obj
+                                         (fields @ [ ("router", router) ]) )
+                                   else (k, v))
+                                 top)))
+                  | _ -> reply)
+              | _ -> reply)
+          | x -> x)
+      | Ok (Protocol.Skyline _)
+      | Ok (Protocol.Evict _)
+      | Ok Protocol.Ping | Ok Protocol.Shutdown | Error _ ->
+          inner.Server.on_line line
+    in
+    { Server.on_line; on_close = (fun () -> inner.Server.on_close ()) }
+
+  let close rt =
+    Array.iter (fun w -> with_lock w.w_lock (fun () -> disconnect w)) rt.workers
+end

@@ -47,6 +47,14 @@ module Metrics = struct
   let result_misses =
     c "rrms_serve_result_misses_total" "result-cache misses (solver ran)"
 
+  (* One per [pin]: the query paths resolve-and-pin exactly once per
+     request, so a batch of k items over one dataset adds 1 here where k
+     single queries add k — the amortization the batch request exists
+     for, made assertable through stats. *)
+  let resolves =
+    c "rrms_serve_dataset_resolves_total"
+      "dataset entry resolutions performed by query paths"
+
   (* Shedding depends on timing and concurrency, never on the workload
      alone, so everything admission-related is non-deterministic. *)
   let overloaded =
@@ -121,11 +129,15 @@ type entry = {
   key : string;
   dataset : Dataset.t;
   rows : Rrms_geom.Vec.t array;  (* materialized once; treated immutable *)
-  e_lock : Mutex.t;  (* guards every mutable field below *)
+  e_lock : Mutex.t;  (* guards the artifact fields below *)
   mutable skyline : int array option;
   mutable hull : Rrms2d.ctx option;
   mutable matrices : (int * Regret_matrix.t) list;  (* keyed by γ *)
   results : (string, Json.t) Hashtbl.t;  (* Protocol.cache_key → result *)
+  (* NOT guarded by [e_lock]: [refs] is read and written only under
+     [t.lock], together with the entry tables it keeps consistent — a
+     refcount that reaches zero must atomically disappear from
+     [t.entries], which [e_lock] cannot arrange. *)
   mutable refs : int;
 }
 
@@ -190,12 +202,11 @@ type loaded = {
   warnings : int;
 }
 
-let load t ?name ?(normalize = false) ?(lenient = false) path =
-  let mode = if lenient then Dataset.Lenient else Dataset.Strict in
-  let d, warns = Dataset.of_csv_report ?name ~mode path in
-  let d = if normalize then Dataset.normalize d else d in
+(* Register an in-memory dataset: join the existing entry when the
+   content hash is already resident, create one otherwise.  [load] and
+   [add] are both thin wrappers over this. *)
+let register t ~warnings d =
   let key = hash_dataset d in
-  let warnings = List.length warns in
   let r =
     with_lock t.lock (fun () ->
       match Hashtbl.find_opt t.entries key with
@@ -245,8 +256,35 @@ let load t ?name ?(normalize = false) ?(lenient = false) path =
      for the artifacts keyed by this hash, and the write must not stall
      other sessions. *)
   if not r.already_loaded then
-    Option.iter (fun p -> Persist.save_dataset p ~key d) t.persist;
+    Option.iter (fun p -> Persist.save_dataset p ~key:r.key d) t.persist;
   r
+
+(* The rows of partition member [s] of a round-robin split into [count]
+   shards: global indices ≡ s (mod count), in ascending order, so a
+   shard-local row [l] maps back to global row [s + l·count].  The same
+   arithmetic lives in [Shard.partition]; a worker process loading with
+   [?shard] and an in-process shard slicing the parent dataset must
+   agree on it bit-for-bit. *)
+let shard_slice d = function
+  | None -> d
+  | Some (s, count) ->
+      if count < 1 || s < 0 || s >= count then
+        Guard.Error.invalid_input "Store.load: bad shard index";
+      let n = Dataset.size d in
+      let len = (n - s + count - 1) / count in
+      if len <= 0 then
+        Guard.Error.invalid_input
+          "Store.load: shard slice is empty (n <= shard index)";
+      Dataset.select d (Array.init len (fun k -> s + (k * count)))
+
+let load t ?name ?(normalize = false) ?(lenient = false) ?shard path =
+  let mode = if lenient then Dataset.Lenient else Dataset.Strict in
+  let d, warns = Dataset.of_csv_report ?name ~mode path in
+  let d = if normalize then Dataset.normalize d else d in
+  let d = shard_slice d shard in
+  register t ~warnings:(List.length warns) d
+
+let add t d = register t ~warnings:0 d
 
 (* Resolve a key-or-alias under [t.lock]. *)
 let find_locked t handle =
@@ -261,21 +299,33 @@ type release =
   | Not_loaded
   | Released of { key : string; remaining : int; freed : bool }
 
+(* Drop [e] from the tables, under [t.lock].  Callers have established
+   that [e.refs] reached zero and that [e] is still the resident entry
+   for its key — freeing by key alone would be wrong: the key could
+   since have been re-bound to a fresh entry of identical content, and
+   decrementing or removing {e that} entry is exactly the cross-shard
+   refcount race this store had. *)
+let free_locked t (e : entry) =
+  Hashtbl.remove t.entries e.key;
+  let dead =
+    Hashtbl.fold
+      (fun a k acc -> if k = e.key then a :: acc else acc)
+      t.aliases []
+  in
+  List.iter (Hashtbl.remove t.aliases) dead;
+  Obs.Counter.incr Metrics.evictions
+
 let release t handle =
   with_lock t.lock (fun () ->
       match find_locked t handle with
       | None -> Not_loaded
       | Some e ->
-          e.refs <- e.refs - 1;
-          if e.refs <= 0 then begin
-            Hashtbl.remove t.entries e.key;
-            let dead =
-              Hashtbl.fold
-                (fun a k acc -> if k = e.key then a :: acc else acc)
-                t.aliases []
-            in
-            List.iter (Hashtbl.remove t.aliases) dead;
-            Obs.Counter.incr Metrics.evictions;
+          (* max 0: resident entries always hold at least one reference,
+             but the clamp makes double-release idempotent instead of an
+             underflow that frees someone else's pin. *)
+          e.refs <- max 0 (e.refs - 1);
+          if e.refs = 0 then begin
+            free_locked t e;
             Released { key = e.key; remaining = 0; freed = true }
           end
           else Released { key = e.key; remaining = e.refs; freed = false })
@@ -285,6 +335,38 @@ let session_release_all t keys = List.iter (fun k -> ignore (release t k)) keys
 let resolve t handle =
   with_lock t.lock (fun () ->
       Option.map (fun (e : entry) -> e.key) (find_locked t handle))
+
+(* A pin is a temporary reference taken by a query path: resolve and
+   increment under one [t.lock] hold, so the entry cannot be freed
+   between the lookup and the bump.  The pre-pin code resolved the entry
+   and then used it unprotected — a concurrent release (another session,
+   another shard) could free it mid-solve, and with N sub-stores racing
+   their releases the refcount could underflow.  Everything that touches
+   an entry outside [t.lock] must hold a pin for the duration. *)
+type handle = entry
+
+let pin t name =
+  with_lock t.lock (fun () ->
+      match find_locked t name with
+      | None -> None
+      | Some e ->
+          e.refs <- e.refs + 1;
+          Obs.Counter.incr Metrics.resolves;
+          Some e)
+
+let unpin t (e : handle) =
+  with_lock t.lock (fun () ->
+      e.refs <- max 0 (e.refs - 1);
+      if e.refs = 0 then
+        (* Physical-equality check: free only if this exact entry is
+           still resident (see [free_locked]). *)
+        match Hashtbl.find_opt t.entries e.key with
+        | Some resident when resident == e -> free_locked t e
+        | _ -> ())
+
+let pinned_key (e : handle) = e.key
+let pinned_dims (e : handle) = (Dataset.size e.dataset, Dataset.dim e.dataset)
+let pinned_rows (e : handle) = e.rows
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                          *)
@@ -341,7 +423,20 @@ let admission_state t = with_lock t.lock (fun () -> (t.inflight, t.queued))
 (* Lock order everywhere: [t.lock] strictly before [e.e_lock]; [g_lock]
    only ever innermost.  Artifact builds run under the entry lock, so
    concurrent sessions querying the same dataset serialize the build
-   and every one of them reuses the single copy — the whole point. *)
+   and every one of them reuses the single copy — the whole point.
+
+   Two further rules added with the shard layer:
+
+   - [refs] belongs to [t.lock], not [e_lock] (see the entry type); any
+     use of an entry outside [t.lock] must hold a pin, and frees check
+     physical equality against the resident entry so a re-bound key is
+     never touched.
+   - a coordinator store never calls into a sub-store while holding any
+     of its own locks: the shard fan-out runs pinned but lock-free, so
+     coordinator and sub-store lock orders cannot interleave into a
+     cycle.  (Shard.t relies on this: its own lock is taken only around
+     its partition table, never across a Store call that could block on
+     admission.) *)
 
 let skyline_locked t e =
   match e.skyline with
@@ -468,6 +563,63 @@ let matrix_locked t e ~sky ~m ~gamma ~guard =
               mat))
 
 (* ------------------------------------------------------------------ *)
+(* Shard hooks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The shard layer computes merged artifacts itself (per-shard skylines
+   and matrix row blocks, merged by Skyline.merge_partitions /
+   Regret_matrix.merge_best) and installs them here, so the ordinary
+   [query] path then runs [solve_prepared] over them exactly as it would
+   over its own artifacts — the merged answer is byte-identical to the
+   unsharded one because it literally is the same code path on
+   bit-identical inputs. *)
+
+let skyline_of t (e : handle) = with_lock e.e_lock (fun () -> skyline_locked t e)
+
+let matrix_of t (e : handle) ~gamma ~guard =
+  let m = Dataset.dim e.dataset in
+  with_lock e.e_lock (fun () ->
+      let sky = skyline_locked t e in
+      (sky, matrix_locked t e ~sky ~m ~gamma ~guard))
+
+let artifacts_cached (e : handle) ~gamma =
+  with_lock e.e_lock (fun () ->
+      (e.skyline <> None, List.mem_assoc gamma e.matrices))
+
+let preload_skyline t (e : handle) sky =
+  let n = Array.length e.rows in
+  if Array.length sky = 0 then
+    Guard.Error.invalid_input "Store.preload_skyline: empty skyline";
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        Guard.Error.invalid_input "Store.preload_skyline: index out of range")
+    sky;
+  with_lock e.e_lock (fun () ->
+      match e.skyline with
+      | Some _ -> false
+      | None ->
+          e.skyline <- Some sky;
+          Option.iter (fun p -> Persist.save_skyline p ~key:e.key sky) t.persist;
+          true)
+
+let preload_matrix t (e : handle) ~gamma mat =
+  with_lock e.e_lock (fun () ->
+      (match e.skyline with
+      | Some sky when Regret_matrix.rows mat <> Array.length sky ->
+          Guard.Error.invalid_input
+            "Store.preload_matrix: row count does not match the skyline"
+      | _ -> ());
+      if List.mem_assoc gamma e.matrices then false
+      else begin
+        e.matrices <- (gamma, mat) :: e.matrices;
+        Option.iter
+          (fun p -> Persist.save_matrix p ~key:e.key ~gamma mat)
+          t.persist;
+        true
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Query                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,6 +657,12 @@ let shrink_gamma ~max_cells ~rows ~gamma ~m =
             ~what:"regret matrix cells (even at gamma = 1)"
             ~requested:(Discretize.matrix_cells ~rows ~gamma:1 ~m)
             ~limit:cap)
+
+(* The γ the HD path will actually use for [q] over a skyline of [rows]
+   tuples — exposed so the shard layer can build its merged matrix at
+   the same γ the coordinator's query path will then look up. *)
+let effective_gamma ~rows ~m (q : Protocol.query) =
+  fst (shrink_gamma ~max_cells:q.max_cells ~rows ~gamma:q.gamma ~m)
 
 let merge_shrink quality = function
   | None -> quality
@@ -627,10 +785,8 @@ type outcome = { result : Json.t; cached : bool }
 let set_draining t = Atomic.set t.draining true
 let draining t = Atomic.get t.draining
 
-let query t (q : Protocol.query) =
-  match with_lock t.lock (fun () -> find_locked t q.dataset) with
-  | None -> Error `Unknown_dataset
-  | Some e -> (
+let query_pinned t (e : handle) (q : Protocol.query) =
+  (
       (* The request's one end-to-end budget, stamped before the cache
          probe and the admission wait: the protocol [timeout] is a
          deadline covering queueing, not a solver allowance granted
@@ -702,6 +858,17 @@ let query t (q : Protocol.query) =
                         t.persist
                     end;
                     Ok { result; cached = false })))
+
+let query t (q : Protocol.query) =
+  match pin t q.dataset with
+  | None -> Error `Unknown_dataset
+  | Some e ->
+      (* The pin outlives the whole request — cache probe, admission
+         wait, solve — so a concurrent evict cannot free the entry (or
+         its artifacts) out from under the solver. *)
+      Fun.protect
+        ~finally:(fun () -> unpin t e)
+        (fun () -> query_pinned t e q)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)

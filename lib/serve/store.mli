@@ -72,6 +72,10 @@ module Metrics : sig
   (** Seconds spent waiting in the admission queue.  A float counter,
       so the per-request share tees into a bound {!Rrms_obs.Obs.Ctx}
       — the access log reads it from there. *)
+
+  val resolves : Rrms_obs.Obs.Counter.t
+  (** Dataset entry resolutions ({!pin}s) performed by query paths: a
+      batch of [k] items adds 1, [k] single queries add [k]. *)
 end
 
 val create :
@@ -105,15 +109,29 @@ val load :
   ?name:string ->
   ?normalize:bool ->
   ?lenient:bool ->
+  ?shard:int * int ->
   string ->
   loaded
 (** [load t path] reads a CSV, applies the transforms, hashes the
     content and either joins the existing entry (incrementing its
     refcount) or creates one.  [name] (default: the dataset's own name)
     is registered as an alias usable wherever a key is expected; a
-    rebound alias points to the newest load.
+    rebound alias points to the newest load.  [shard = (s, count)]
+    keeps only partition member [s] of the round-robin split into
+    [count] shards — global rows ≡ s (mod count), order preserved, the
+    slice a worker process owns in a sharded deployment (shard-local
+    row [l] is global row [s + l·count]).  The slice happens {e after}
+    the transforms and {e before} hashing, so every worker's content
+    key is its own.
     @raise Rrms_guard.Guard.Error.Guard_error as
-    {!Rrms_dataset.Dataset.of_csv_report}. *)
+    {!Rrms_dataset.Dataset.of_csv_report}, or [Invalid_input] on a bad
+    or empty shard slice. *)
+
+val add : t -> Rrms_dataset.Dataset.t -> loaded
+(** [add t d] registers an in-memory dataset exactly as {!load} would
+    after reading it from disk — same hashing, aliasing, refcounting and
+    persistence.  The in-process shard layer uses this to populate its
+    sub-stores without N re-reads of the CSV. *)
 
 type release =
   | Not_loaded
@@ -173,3 +191,106 @@ val with_admission : t -> (unit -> 'a) -> ('a, [ `Overloaded ]) result
 
 val admission_state : t -> int * int
 (** [(inflight, queued)] right now. *)
+
+(** {2 Pinned handles}
+
+    A pin is a temporary reference to a resolved entry, taken and
+    dropped under the store lock.  Query paths pin for their whole
+    duration, so a concurrent release/evict — from another session or
+    another shard — can never free an entry mid-solve; before pins
+    existed, exactly that race could underflow the refcount.  A pin also
+    amortizes resolution: the batch request pins once and runs every
+    item against the same handle. *)
+
+type handle
+(** A pinned store entry.  Must be balanced with {!unpin}. *)
+
+val pin : t -> string -> handle option
+(** [pin t name] resolves a key-or-alias and takes a reference, in one
+    atomic step; [None] when not loaded.  Counts in
+    [rrms_serve_dataset_resolves_total]. *)
+
+val unpin : t -> handle -> unit
+(** Drop a pin.  Frees the entry when it was the last reference and the
+    entry is still resident (a key re-bound to fresh identical content
+    since the pin is left untouched). *)
+
+val pinned_key : handle -> string
+(** The content hash of the pinned entry. *)
+
+val pinned_dims : handle -> int * int
+(** [(n, m)] of the pinned entry's dataset. *)
+
+val pinned_rows : handle -> Rrms_geom.Vec.t array
+(** The pinned entry's tuples (post-transform, in load order) — shared,
+    not copied: callers must not mutate.  The shard layer merges
+    per-shard skylines against these rows. *)
+
+val query_pinned :
+  t ->
+  handle ->
+  Protocol.query ->
+  ( outcome,
+    [ `Overloaded | `Unknown_dataset | `Deadline_exceeded | `Draining ] )
+  result
+(** {!query} against an already-pinned entry (the query's [dataset]
+    field is ignored).  Never answers [`Unknown_dataset]; the union
+    matches {!query} so callers can share error handling. *)
+
+(** {2 Shard hooks}
+
+    The shard layer computes merged artifacts out-of-store — per-shard
+    skylines merged by {!Rrms_skyline.Skyline.merge_partitions}, matrix
+    row blocks filled by {!Rrms_core.Regret_matrix.fill_row} against
+    {!Rrms_core.Regret_matrix.merge_best}-merged best scores — and
+    installs them here.  A subsequent {!query_pinned} then takes the
+    ordinary artifact-hit path into [solve_prepared], so the merged
+    answer is byte-identical to the unsharded one: same code path,
+    bit-identical inputs. *)
+
+val skyline_of : t -> handle -> int array
+(** The entry's skyline artifact, computing (and persisting) it on
+    first use — the per-shard half of the fan-out. *)
+
+val matrix_of :
+  t ->
+  handle ->
+  gamma:int ->
+  guard:Rrms_guard.Guard.Budget.t ->
+  int array * Rrms_core.Regret_matrix.t
+(** [(skyline, matrix-at-γ)] for the entry, through the full preference
+    chain (cached → derived by column selection → rehydrated → built).
+    The union merge path runs this against each sub-store so per-shard
+    matrices land in the per-shard artifact caches. *)
+
+val artifacts_cached : handle -> gamma:int -> bool * bool
+(** [(skyline_cached, matrix_cached_at_gamma)] — lets the shard layer
+    skip the fan-out when the coordinator already holds the merged
+    artifacts. *)
+
+val preload_skyline : t -> handle -> int array -> bool
+(** Install a merged skyline as the entry's artifact ([false] if one is
+    already present — first writer wins, later writers must have
+    produced the identical array by the merge contract).  Writes through
+    to persistence like a computed skyline.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on an
+    empty or out-of-range index set. *)
+
+val preload_matrix : t -> handle -> gamma:int -> Rrms_core.Regret_matrix.t -> bool
+(** Install a merged regret matrix as the entry's γ-artifact (same
+    first-writer-wins contract).
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when the
+    row count disagrees with an installed skyline. *)
+
+val grid_of : t -> m:int -> gamma:int -> Rrms_geom.Vec.t array
+(** The store-wide direction grid at [(m, γ)] (cached, persisted) — the
+    shard layer builds its row blocks against the same grid object the
+    coordinator's solve will use. *)
+
+val effective_gamma : rows:int -> m:int -> Protocol.query -> int
+(** The γ the HD query path will actually use for [q] over a skyline of
+    [rows] tuples — [q.gamma] unless the query's cell cap forces the
+    solvers' auto-shrink.  The shard layer must build its merged matrix
+    at this γ for {!query_pinned} to find it.
+    @raise Rrms_guard.Guard.Error.Guard_error [Resource_limit] when even
+    γ = 1 exceeds the cap. *)

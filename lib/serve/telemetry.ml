@@ -69,6 +69,7 @@ type request = {
   elapsed_ms : float;
   probes : float;
   cells : float;
+  shards : int;  (** fan-out width; [0] for an unsharded store *)
 }
 
 let hist_for t k =
@@ -106,6 +107,7 @@ let request_fields r =
   @ (match r.error_code with
     | Some c -> [ ("error_code", Json.Str c) ]
     | None -> [])
+  @ (if r.shards > 0 then [ ("shards", Json.int r.shards) ] else [])
   @ [
       ("queue_wait_ms", Json.float r.queue_wait_ms);
       ("elapsed_ms", Json.float r.elapsed_ms);

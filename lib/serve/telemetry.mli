@@ -53,6 +53,10 @@ type request = {
   elapsed_ms : float;
   probes : float;
   cells : float;
+  shards : int;
+      (** fan-out width of the answering path: [0] for an unsharded
+          store (the field is then omitted from access-log lines, so
+          pre-shard log consumers see unchanged records) *)
 }
 
 val record : t -> request -> spans:Rrms_obs.Obs.Trace.event list -> unit

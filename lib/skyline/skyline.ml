@@ -113,6 +113,29 @@ let sfs ?domains points =
   Obs.Gauge.set_int Metrics.size !nkept;
   Array.sub kept 0 !nkept
 
+(* skyline(D) = skyline(∪ᵢ skyline(Dᵢ)) for any partition {Dᵢ} of D: a
+   global skyline tuple is undominated within its own part, so it
+   survives the part's skyline, and conversely anything dominated
+   globally is filtered by the second pass.  Bit-identity with the
+   direct [sfs points] run needs two more facts, both arranged here:
+   the candidates are re-sorted ascending by global index, so SFS's
+   (sum desc, index asc) order over the candidates matches its order
+   over the full input; and SFS keeps the lowest-index copy of any
+   duplicated skyline value, which is its own part's representative and
+   therefore present in the union. *)
+let merge_partitions ?domains points parts =
+  let cand = Array.concat (Array.to_list parts) in
+  let n = Array.length points in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg "Skyline.merge_partitions: index out of range")
+    cand;
+  Array.sort Stdlib.compare cand;
+  let cpts = Array.map (fun gi -> points.(gi)) cand in
+  let local = sfs ?domains cpts in
+  Array.map (fun li -> cand.(li)) local
+
 let two_d points =
   Array.iter
     (fun p ->

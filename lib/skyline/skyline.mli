@@ -27,6 +27,21 @@ val sfs : ?domains:int -> Rrms_geom.Vec.t array -> int array
     (default {!Rrms_parallel.Pool.default_size}); the returned indices
     are identical for every domain count. *)
 
+val merge_partitions :
+  ?domains:int -> Rrms_geom.Vec.t array -> int array array -> int array
+(** [merge_partitions points parts] computes the skyline of [points]
+    from per-part candidate sets: [skyline(D) = skyline(∪ᵢ skyline(Dᵢ))]
+    for any partition [{Dᵢ}] of the index space.  Each element of
+    [parts] holds {e global} indices into [points]; the parts must
+    jointly contain every skyline representative of [points] — the
+    per-part {!sfs} skylines of a partition always do.  Under that
+    contract the result is {e bit-identical} (same indices, same order)
+    to [sfs points]: candidates are re-sorted by global index before the
+    merging SFS pass, so sort order and duplicate representatives match
+    the direct run.  This is the shard-merge primitive of the serving
+    layer.
+    @raise Invalid_argument on an out-of-range index. *)
+
 val divide_and_conquer : Rrms_geom.Vec.t array -> int array
 (** Divide-and-conquer skyline [Börzsönyi et al., §5]: split on the
     median of the first attribute, solve both halves recursively, then

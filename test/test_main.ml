@@ -52,5 +52,6 @@ let () =
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
       ("persist", Test_persist.suite);
     ]

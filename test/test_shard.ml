@@ -1,0 +1,854 @@
+(* The shard layer end to end: partition arithmetic (and its agreement
+   with Store.load ?shard), skyline decomposability over arbitrary
+   partitions, the certified merge path (bit-identical to the unsharded
+   store for every algorithm, shard count and domain count), the union
+   merge path (degraded, with a certified regret bound dominating the
+   true regret), the batch request (one dataset resolve amortized over
+   many queries), a pin/release hammer for the refcount race, and the
+   fan-out router over real worker sockets and scripted stub workers
+   (crash mid-request, deadline propagation). *)
+
+module Serve = Rrms_serve
+module Json = Serve.Json
+module Protocol = Serve.Protocol
+module Store = Serve.Store
+module Server = Serve.Server
+module Shard = Serve.Shard
+module Obs = Rrms_obs.Obs
+module Dataset = Rrms_dataset.Dataset
+module Skyline = Rrms_skyline.Skyline
+module Regret = Rrms_core.Regret
+module Guard = Rrms_guard.Guard
+
+let contains = Astring_contains.contains
+let counter = Obs.Counter.value
+let with_counters = Test_serve.with_counters
+let with_csv = Test_serve.with_csv
+let query = Test_serve.query
+
+let parse_json line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.fail (Printf.sprintf "unparseable %s: %s" line e)
+
+let int_array = function
+  | Some (Json.Arr l) ->
+      Array.of_list
+        (List.map
+           (fun j ->
+             match Json.int_ j with
+             | Some i -> i
+             | None -> Alcotest.fail "non-integer index")
+           l)
+  | _ -> Alcotest.fail "missing index array"
+
+(* ------------------------------------------------------------------ *)
+(* Partition arithmetic                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_roundrobin () =
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun n ->
+          let parts = Shard.partition ~shards n in
+          Alcotest.(check int) "one member per shard" shards (Array.length parts);
+          let seen = Array.make (max n 1) false in
+          Array.iteri
+            (fun s idxs ->
+              Array.iteri
+                (fun l g ->
+                  Alcotest.(check int) "round-robin arithmetic" (s + (l * shards))
+                    g;
+                  Alcotest.(check bool) "in range" true (g >= 0 && g < n);
+                  Alcotest.(check bool) "disjoint" false seen.(g);
+                  seen.(g) <- true)
+                idxs)
+            parts;
+          Alcotest.(check int) "covering" n
+            (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen))
+        [ 0; 1; 2; 7; 100 ])
+    [ 1; 2; 3; 8 ];
+  match Shard.partition ~shards:0 5 with
+  | exception Guard.Error.Guard_error (Guard.Error.Invalid_input _) -> ()
+  | _ -> Alcotest.fail "shards=0 must raise Invalid_input"
+
+(* A worker process loading with ?shard and the in-process partition
+   must own bit-identical slices — the certified merge depends on it. *)
+let test_store_slice_agreement () =
+  with_csv ~n:57 ~m:3 ~seed:5 (fun csv ->
+      let full = Dataset.rows (Dataset.of_csv csv) in
+      List.iter
+        (fun shards ->
+          let parts = Shard.partition ~shards (Array.length full) in
+          for s = 0 to shards - 1 do
+            let store = Store.create () in
+            let l = Store.load store ~shard:(s, shards) csv in
+            match Store.pin store l.Store.key with
+            | None -> Alcotest.fail "worker slice must pin"
+            | Some h ->
+                let rows = Store.pinned_rows h in
+                let expect = Array.map (fun g -> full.(g)) parts.(s) in
+                Alcotest.(check int) "slice length" (Array.length expect)
+                  (Array.length rows);
+                Array.iteri
+                  (fun i r ->
+                    Alcotest.(check bool) "slice rows agree bitwise" true
+                      (r = expect.(i)))
+                  rows;
+                Store.unpin store h
+          done)
+        [ 1; 2; 3; 8 ])
+
+(* ------------------------------------------------------------------ *)
+(* Skyline decomposability                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* skyline(D) = skyline(∪ skyline(Dᵢ)) for random data, both the
+   round-robin partition and a shuffled one, at N ∈ {1,2,3,8} — and the
+   merged result is bit-identical (same order) to the direct sfs run. *)
+let test_skyline_decomposability () =
+  let rng = Rrms_rng.Rng.create 77 in
+  List.iter
+    (fun m ->
+      let n = 180 in
+      let pts =
+        Array.init n (fun _ ->
+            Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.))
+      in
+      let whole = Skyline.sfs pts in
+      let check label members =
+        let parts =
+          Array.map
+            (fun idxs ->
+              if Array.length idxs = 0 then [||]
+              else
+                let sub = Array.map (fun g -> pts.(g)) idxs in
+                Array.map (fun l -> idxs.(l)) (Skyline.sfs sub))
+            members
+        in
+        Alcotest.(check (array int))
+          label whole
+          (Skyline.merge_partitions pts parts)
+      in
+      List.iter
+        (fun shards ->
+          check
+            (Printf.sprintf "round-robin m=%d N=%d" m shards)
+            (Shard.partition ~shards n);
+          let perm = Array.init n Fun.id in
+          for i = n - 1 downto 1 do
+            let j = Rrms_rng.Rng.int rng (i + 1) in
+            let t = perm.(i) in
+            perm.(i) <- perm.(j);
+            perm.(j) <- t
+          done;
+          let buckets = Array.make shards [] in
+          Array.iteri
+            (fun i g -> buckets.(i mod shards) <- g :: buckets.(i mod shards))
+            perm;
+          check
+            (Printf.sprintf "random partition m=%d N=%d" m shards)
+            (Array.map
+               (fun l -> Array.of_list (List.sort compare l))
+               buckets))
+        [ 1; 2; 3; 8 ])
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Certified merge: bit-identity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let all_algos =
+  [
+    Protocol.A2d;
+    Protocol.A2d_exact;
+    Protocol.Sweepline;
+    Protocol.Hd_rrms;
+    Protocol.Hd_greedy;
+    Protocol.Greedy;
+    Protocol.Cube;
+  ]
+
+(* Every served algorithm, at every shard count × domain count in the
+   acceptance grid, answers byte-identically to an unsharded store over
+   the same dataset; and the warm repeat is a cache hit with the same
+   bytes. *)
+let test_certified_bit_identity () =
+  with_csv ~n:220 ~m:2 ~seed:3 (fun csv ->
+      List.iter
+        (fun domains ->
+          let base = Store.create ~domains () in
+          let bl = Store.load base csv in
+          List.iter
+            (fun shards ->
+              let sh = Shard.create ~domains ~shards () in
+              let l = Shard.load sh csv in
+              Alcotest.(check string) "same content key" bl.Store.key
+                l.Store.key;
+              List.iter
+                (fun algo ->
+                  let q = query ~algo ~r:3 ~gamma:4 l.Store.key in
+                  let expect, _ = Test_serve.result_string base q in
+                  let label =
+                    Printf.sprintf "%s shards=%d domains=%d"
+                      (Protocol.algo_to_string algo)
+                      shards domains
+                  in
+                  match Shard.query sh q with
+                  | Ok { Store.result; cached } ->
+                      Alcotest.(check bool)
+                        ("cold not cached: " ^ label)
+                        false cached;
+                      Alcotest.(check string)
+                        ("bit-identical: " ^ label)
+                        expect (Json.to_string result);
+                      (match Shard.query sh q with
+                      | Ok { Store.result = r2; cached = c2 } ->
+                          Alcotest.(check bool)
+                            ("warm is a hit: " ^ label)
+                            true c2;
+                          Alcotest.(check string)
+                            ("warm bytes: " ^ label)
+                            expect (Json.to_string r2)
+                      | Error _ -> Alcotest.fail ("warm failed: " ^ label))
+                  | Error _ -> Alcotest.fail ("shard query failed: " ^ label))
+                all_algos)
+            [ 1; 2; 4 ])
+        [ 1; 2; 4 ])
+
+(* The HD algorithms again in higher dimension, across γ — the regret
+   matrix row blocks must merge bit-identically too — plus a cell-cap
+   query, whose auto-shrunk γ the shard layer must reproduce. *)
+let test_certified_bit_identity_hd () =
+  with_csv ~n:300 ~m:4 ~seed:9 (fun csv ->
+      let base = Store.create ~domains:2 () in
+      let bl = Store.load base csv in
+      List.iter
+        (fun shards ->
+          let sh = Shard.create ~domains:2 ~shards () in
+          ignore (Shard.load sh csv : Store.loaded);
+          let check q label =
+            let expect, _ = Test_serve.result_string base q in
+            match Shard.query sh q with
+            | Ok { Store.result; _ } ->
+                Alcotest.(check string)
+                  (Printf.sprintf "%s shards=%d" label shards)
+                  expect (Json.to_string result)
+            | Error _ -> Alcotest.fail (label ^ ": shard query failed")
+          in
+          List.iter
+            (fun algo ->
+              List.iter
+                (fun gamma ->
+                  check
+                    (query ~algo ~r:4 ~gamma bl.Store.key)
+                    (Printf.sprintf "m=4 %s gamma=%d"
+                       (Protocol.algo_to_string algo)
+                       gamma))
+                [ 3; 5 ])
+            [ Protocol.Hd_rrms; Protocol.Hd_greedy ];
+          check
+            (query ~algo:Protocol.Hd_rrms ~r:3 ~gamma:6 ~max_cells:400 ~cache:false
+               bl.Store.key)
+            "m=4 hd-rrms cell-capped")
+        [ 1; 2; 4 ])
+
+let test_shard_metrics_and_release () =
+  with_counters (fun () ->
+      with_csv ~n:120 ~m:3 (fun csv ->
+          let sh = Shard.create ~domains:1 ~shards:3 () in
+          let l = Shard.load sh csv in
+          let q = query ~algo:Protocol.Hd_rrms ~r:3 l.Store.key in
+          (match Shard.query sh q with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "cold shard query failed");
+          Alcotest.(check int) "certified path counted" 1
+            (counter Shard.Metrics.certified);
+          Alcotest.(check int) "one skyline merge" 1
+            (counter Shard.Metrics.skyline_merges);
+          Alcotest.(check int) "one matrix merge" 1
+            (counter Shard.Metrics.matrix_merges);
+          (* skyline + best-score + row-fill fan-outs, 3 tasks each *)
+          Alcotest.(check int) "fan-out tasks" 9
+            (counter Shard.Metrics.fanouts);
+          (match Shard.query sh q with
+          | Ok { Store.cached = true; _ } -> ()
+          | _ -> Alcotest.fail "warm shard query must hit the cache");
+          Alcotest.(check int) "warm query never fans out" 9
+            (counter Shard.Metrics.fanouts);
+          let s = Json.to_string (Shard.stats sh) in
+          Alcotest.(check bool) "stats reports the topology" true
+            (contains s "\"shards\":3");
+          Alcotest.(check bool) "stats reports sub-store admission" true
+            (contains s "\"sub_stores\"");
+          match Shard.release sh l.Store.key with
+          | Store.Released { freed = true; _ } -> (
+              match Shard.query sh q with
+              | Error `Unknown_dataset -> ()
+              | _ -> Alcotest.fail "freed dataset must be unknown")
+          | _ -> Alcotest.fail "release must free the only reference"))
+
+(* ------------------------------------------------------------------ *)
+(* Union merge: the certified bound                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_bound () =
+  with_csv ~n:200 ~m:3 ~seed:13 (fun csv ->
+      let rows = Dataset.rows (Dataset.of_csv csv) in
+      let sh = Shard.create ~domains:2 ~shards:3 () in
+      let l = Shard.load sh csv in
+      List.iter
+        (fun algo ->
+          let q = query ~algo ~r:3 ~gamma:6 l.Store.key in
+          match Shard.query ~merge:Shard.Union sh q with
+          | Error _ -> Alcotest.fail "union query failed"
+          | Ok { Store.result; cached } ->
+              Alcotest.(check bool) "union answers are never cached" false
+                cached;
+              let s = Json.to_string result in
+              Alcotest.(check bool) "flagged degraded" true
+                (contains s "\"degraded\":true");
+              Alcotest.(check bool) "tagged as union merge" true
+                (contains s "\"merge\":\"union\"");
+              let selected = int_array (Json.member "selected" result) in
+              Alcotest.(check bool) "selected non-empty" true
+                (Array.length selected > 0);
+              Alcotest.(check bool) "at most r·N tuples" true
+                (Array.length selected <= 3 * 3);
+              Array.iteri
+                (fun i g ->
+                  Alcotest.(check bool) "global index in range" true
+                    (g >= 0 && g < Array.length rows);
+                  if i > 0 then
+                    Alcotest.(check bool) "ascending, duplicate-free" true
+                      (selected.(i - 1) < g))
+                selected;
+              let bound =
+                match Json.member "regret_bound" result with
+                | Some (Json.Num v) -> v
+                | _ -> Alcotest.fail "regret_bound missing"
+              in
+              let true_regret = Regret.exact_lp ~selected rows in
+              Alcotest.(check bool)
+                (Printf.sprintf "bound %.6f dominates true regret %.6f" bound
+                   true_regret)
+                true
+                (bound +. 1e-9 >= true_regret);
+              (match Shard.query ~merge:Shard.Union sh q with
+              | Ok { Store.cached = false; _ } -> ()
+              | _ -> Alcotest.fail "repeated union answer must stay uncached");
+              (* ... and must not have polluted the exact-result cache *)
+              (match Shard.query sh q with
+              | Ok { Store.result = r; cached = false } ->
+                  Alcotest.(check bool) "certified after union is exact" false
+                    (contains (Json.to_string r) "\"merge\":\"union\"")
+              | _ -> Alcotest.fail "certified query after union failed"))
+        [ Protocol.Hd_rrms; Protocol.Hd_greedy ])
+
+(* ------------------------------------------------------------------ *)
+(* Sessions over pipes                                                *)
+(* ------------------------------------------------------------------ *)
+
+let open_session handler =
+  let to_r, to_w = Unix.pipe () in
+  let from_r, from_w = Unix.pipe () in
+  let th =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr to_r in
+        let oc = Unix.out_channel_of_descr from_w in
+        ignore (Server.run_handler_session handler ic oc : [ `Eof | `Shutdown ]);
+        close_out_noerr oc)
+      ()
+  in
+  let out = Unix.out_channel_of_descr to_w in
+  let inp = Unix.in_channel_of_descr from_r in
+  let rpc line =
+    output_string out line;
+    output_char out '\n';
+    flush out;
+    input_line inp
+  in
+  let close () =
+    close_out_noerr out;
+    Thread.join th;
+    close_in_noerr inp;
+    try Unix.close to_r with Unix.Unix_error _ -> ()
+  in
+  (rpc, close)
+
+let batch_items line =
+  let j = parse_json line in
+  Alcotest.(check bool) "batch reply ok" true (contains line "\"ok\":true");
+  match Option.bind (Json.member "result" j) (Json.member "results") with
+  | Some (Json.Arr items) -> Array.of_list items
+  | _ -> Alcotest.fail ("no results member in " ^ line)
+
+let item_result item =
+  match Json.member "result" item with
+  | Some r -> Json.to_string r
+  | None -> Alcotest.fail ("batch item without result: " ^ Json.to_string item)
+
+let item_code item =
+  match Option.bind (Json.member "error" item) (Json.member "code") with
+  | Some (Json.Str c) -> c
+  | _ -> "ok"
+
+(* ------------------------------------------------------------------ *)
+(* Batch protocol                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One resolve amortizes the whole batch; items answer in order,
+   byte-identically to single queries; a malformed item (or one that
+   contradicts the batch dataset) is a per-item error and the rest
+   still run. *)
+let test_batch_protocol () =
+  with_counters (fun () ->
+      with_csv ~n:150 ~m:3 (fun csv ->
+          let store = Store.create () in
+          let rpc, close = open_session (Server.store_handler store) in
+          Fun.protect ~finally:close (fun () ->
+              let load =
+                rpc
+                  (Printf.sprintf "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}"
+                     csv)
+              in
+              Alcotest.(check bool) "load ok" true (contains load "\"ok\":true");
+              let r0 = counter Store.Metrics.resolves in
+              let s1 =
+                rpc "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"cube\",\"r\":3}"
+              in
+              let s2 =
+                rpc
+                  "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3,\"gamma\":4}"
+              in
+              let s3 =
+                rpc
+                  "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":4,\"gamma\":4}"
+              in
+              Alcotest.(check int) "k singles resolve k times" 3
+                (counter Store.Metrics.resolves - r0);
+              let r1 = counter Store.Metrics.resolves in
+              let batch =
+                rpc
+                  (String.concat ""
+                     [
+                       "{\"id\":9,\"req\":\"batch\",\"dataset\":\"d\",\"items\":[";
+                       "{\"algo\":\"cube\",\"r\":3},";
+                       "{\"algo\":\"hd-rrms\",\"r\":3},";
+                       "{\"algo\":\"nope\",\"r\":1},";
+                       "{\"dataset\":\"other\",\"algo\":\"cube\",\"r\":3},";
+                       "{\"algo\":\"hd-rrms\",\"r\":4}";
+                       "]}";
+                     ])
+              in
+              Alcotest.(check int) "a batch resolves once" 1
+                (counter Store.Metrics.resolves - r1);
+              let items = batch_items batch in
+              Alcotest.(check int) "five items answered" 5 (Array.length items);
+              Alcotest.(check bool) "count echoed" true
+                (contains batch "\"count\":5");
+              let single line =
+                match Test_serve.member_string "result" line with
+                | Some s -> s
+                | None -> Alcotest.fail ("single reply without result: " ^ line)
+              in
+              Alcotest.(check string) "item 0 = single cube" (single s1)
+                (item_result items.(0));
+              Alcotest.(check string) "item 1 = single hd r=3" (single s2)
+                (item_result items.(1));
+              Alcotest.(check string) "item 4 = single hd r=4" (single s3)
+                (item_result items.(4));
+              Alcotest.(check bool) "warm items are cache hits" true
+                (contains (Json.to_string items.(1)) "\"cached\":true");
+              Alcotest.(check string) "item 2 is a per-item error"
+                "bad_request" (item_code items.(2));
+              Alcotest.(check bool) "error names the item" true
+                (contains (Json.to_string items.(2)) "item 2");
+              Alcotest.(check string) "contradicting dataset is per-item"
+                "bad_request" (item_code items.(3));
+              let ghost =
+                rpc
+                  "{\"req\":\"batch\",\"dataset\":\"ghost\",\"items\":[{\"algo\":\"cube\",\"r\":2}]}"
+              in
+              Alcotest.(check bool) "unknown dataset is batch-level" true
+                (contains ghost "\"code\":\"unknown_dataset\"");
+              let empty =
+                rpc "{\"req\":\"batch\",\"dataset\":\"d\",\"items\":[]}"
+              in
+              Alcotest.(check bool) "empty items rejected" true
+                (contains empty "\"code\":\"bad_request\""))))
+
+(* ------------------------------------------------------------------ *)
+(* Refcount hammer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two query threads race two add/release churn threads over one entry.
+   The pin discipline must keep the count ≥ 1 throughout (each churner
+   releases only what it added), never underflow, and leave exactly the
+   original reference at the end. *)
+let test_pin_release_hammer () =
+  with_csv ~n:40 ~m:2 (fun csv ->
+      let store = Store.create () in
+      let d = Dataset.of_csv ~name:"hammer" csv in
+      let l = Store.add store d in
+      let key = l.Store.key in
+      let bad = Atomic.make 0 in
+      let iters = 150 in
+      let query_thread () =
+        for _ = 1 to iters do
+          match Store.query store (query ~algo:Protocol.Cube ~r:2 key) with
+          | Ok _ -> ()
+          | Error _ -> Atomic.incr bad
+        done
+      in
+      let churn_thread () =
+        for _ = 1 to iters do
+          ignore (Store.add store d : Store.loaded);
+          Thread.yield ();
+          match Store.release store key with
+          | Store.Released { remaining; _ } when remaining >= 0 -> ()
+          | _ -> Atomic.incr bad
+        done
+      in
+      let ths =
+        [
+          Thread.create query_thread ();
+          Thread.create query_thread ();
+          Thread.create churn_thread ();
+          Thread.create churn_thread ();
+        ]
+      in
+      List.iter Thread.join ths;
+      Alcotest.(check int) "no underflow, no lost entry" 0 (Atomic.get bad);
+      (match Store.release store key with
+      | Store.Released { freed = true; remaining = 0; _ } -> ()
+      | _ -> Alcotest.fail "final release must free cleanly");
+      match Store.query store (query ~algo:Protocol.Cube ~r:2 key) with
+      | Error `Unknown_dataset -> ()
+      | _ -> Alcotest.fail "freed entry must be unknown")
+
+(* ------------------------------------------------------------------ *)
+(* Router end to end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket tag =
+  let path = Filename.temp_file ("rrms_" ^ tag) ".sock" in
+  Sys.remove path;
+  path
+
+(* Real topology: two worker daemons on Unix sockets, a router fanning
+   out over them.  The batch answers in order, amortizes the worker
+   fan-out (one skyline merge for the whole batch), and every item is
+   byte-identical to a single-process store. *)
+let test_router_batch_e2e () =
+  with_counters (fun () ->
+      with_csv ~n:160 ~m:3 ~seed:17 (fun csv ->
+          let sock_a = temp_socket "wa" and sock_b = temp_socket "wb" in
+          let wa = Server.start (Store.create ()) ~socket:sock_a in
+          let wb = Server.start (Store.create ()) ~socket:sock_b in
+          let rt = Shard.Router.create ~workers:[ sock_a; sock_b ] () in
+          Fun.protect
+            ~finally:(fun () ->
+              Shard.Router.close rt;
+              Server.stop wa;
+              Server.wait wa;
+              Server.stop wb;
+              Server.wait wb)
+            (fun () ->
+              let rpc, close = open_session (Shard.Router.handler rt) in
+              Fun.protect ~finally:close (fun () ->
+                  let load =
+                    rpc
+                      (Printf.sprintf
+                         "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv)
+                  in
+                  Alcotest.(check bool) "router load ok" true
+                    (contains load "\"ok\":true");
+                  let m0 = counter Shard.Metrics.skyline_merges in
+                  let batch =
+                    rpc
+                      (String.concat ""
+                         [
+                           "{\"req\":\"batch\",\"dataset\":\"d\",\"items\":[";
+                           "{\"algo\":\"hd-rrms\",\"r\":3},";
+                           "{\"algo\":\"hd-rrms\",\"r\":4},";
+                           "{\"algo\":\"cube\",\"r\":3},";
+                           "{\"algo\":\"hd-rrms\"}";
+                           "]}";
+                         ])
+                  in
+                  Alcotest.(check int)
+                    "one worker fan-out amortized over the batch" 1
+                    (counter Shard.Metrics.skyline_merges - m0);
+                  let items = batch_items batch in
+                  Alcotest.(check int) "four items answered" 4
+                    (Array.length items);
+                  Alcotest.(check string) "malformed item is per-item"
+                    "bad_request" (item_code items.(3));
+                  let base = Store.create () in
+                  ignore (Store.load base ~name:"d" csv : Store.loaded);
+                  let expect q' = fst (Test_serve.result_string base q') in
+                  Alcotest.(check string) "item 0 = single-process bytes"
+                    (expect (query ~algo:Protocol.Hd_rrms ~r:3 "d"))
+                    (item_result items.(0));
+                  Alcotest.(check string) "item 1 = single-process bytes"
+                    (expect (query ~algo:Protocol.Hd_rrms ~r:4 "d"))
+                    (item_result items.(1));
+                  Alcotest.(check string) "item 2 = single-process bytes"
+                    (expect (query ~algo:Protocol.Cube ~r:3 "d"))
+                    (item_result items.(2));
+                  (* single query through the router: now a cache hit,
+                     still the same bytes *)
+                  let q1 =
+                    rpc
+                      "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3,\"gamma\":4}"
+                  in
+                  Alcotest.(check bool) "warm router query hits" true
+                    (contains q1 "\"cached\":true");
+                  (match Test_serve.member_string "result" q1 with
+                  | Some r ->
+                      Alcotest.(check string) "warm router bytes"
+                        (expect (query ~algo:Protocol.Hd_rrms ~r:3 "d"))
+                        r
+                  | None -> Alcotest.fail "router query without result");
+                  let st = rpc "{\"req\":\"stats\"}" in
+                  Alcotest.(check bool) "stats lists the workers" true
+                    (contains st "\"router\"");
+                  Alcotest.(check bool) "workers are connected" true
+                    (contains st "\"connected\":true")));
+          Alcotest.(check bool) "worker sockets removed" false
+            (Sys.file_exists sock_a || Sys.file_exists sock_b)))
+
+(* A stub worker that accepts, reads one line and slams the connection
+   shut — the crash-mid-request shape.  Returns its kill switch. *)
+let crash_stub path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  let stop = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            let c, _ = Unix.accept fd in
+            if !stop then begin
+              Unix.close c;
+              raise Exit
+            end;
+            let ic = Unix.in_channel_of_descr c in
+            (try ignore (input_line ic : string)
+             with End_of_file | Sys_error _ -> ());
+            Unix.close c
+          done
+        with _ -> ())
+      ()
+  in
+  fun () ->
+    stop := true;
+    (try
+       let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect s (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+       Unix.close s
+     with Unix.Unix_error _ -> ());
+    Thread.join th;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if Sys.file_exists path then Sys.remove path
+
+(* One healthy worker, one that crashes mid-request: the fan-out leg
+   fails (after its one redial), the query answers shard_failure, the
+   session stays alive, and local algorithms are unaffected. *)
+let test_router_worker_crash () =
+  with_counters (fun () ->
+      with_csv ~n:120 ~m:3 ~seed:23 (fun csv ->
+          let sock_good = temp_socket "good" and sock_bad = temp_socket "bad" in
+          let wg = Server.start (Store.create ()) ~socket:sock_good in
+          let kill = crash_stub sock_bad in
+          let rt = Shard.Router.create ~workers:[ sock_good; sock_bad ] () in
+          Fun.protect
+            ~finally:(fun () ->
+              Shard.Router.close rt;
+              kill ();
+              Server.stop wg;
+              Server.wait wg)
+            (fun () ->
+              let rpc, close = open_session (Shard.Router.handler rt) in
+              Fun.protect ~finally:close (fun () ->
+                  let load =
+                    rpc
+                      (Printf.sprintf
+                         "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv)
+                  in
+                  Alcotest.(check bool) "load ok" true
+                    (contains load "\"ok\":true");
+                  let q1 =
+                    rpc
+                      "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3}"
+                  in
+                  Alcotest.(check bool) "crashed leg answers shard_failure"
+                    true
+                    (contains q1 "\"code\":\"shard_failure\"");
+                  Alcotest.(check bool) "failure counted" true
+                    (counter Shard.Metrics.worker_failures > 0);
+                  (* the session is not hung: per-item errors in a batch,
+                     local algorithms and ping all still answer *)
+                  let batch =
+                    rpc
+                      "{\"req\":\"batch\",\"dataset\":\"d\",\"items\":[{\"algo\":\"hd-rrms\",\"r\":3},{\"algo\":\"cube\",\"r\":3}]}"
+                  in
+                  let items = batch_items batch in
+                  Alcotest.(check string) "fanned item fails per-item"
+                    "shard_failure" (item_code items.(0));
+                  Alcotest.(check string) "local item still answers" "ok"
+                    (item_code items.(1));
+                  let ping = rpc "{\"req\":\"ping\"}" in
+                  Alcotest.(check bool) "session survives the crash" true
+                    (contains ping "\"ok\":true")))))
+
+(* A scripted stub worker: replies per line via [on_line]. *)
+let scripted_stub path on_line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  let stop = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            let c, _ = Unix.accept fd in
+            if !stop then begin
+              Unix.close c;
+              raise Exit
+            end;
+            let ic = Unix.in_channel_of_descr c in
+            let oc = Unix.out_channel_of_descr c in
+            (try
+               let rec pump () =
+                 let line = input_line ic in
+                 output_string oc (on_line line);
+                 output_char oc '\n';
+                 flush oc;
+                 pump ()
+               in
+               pump ()
+             with End_of_file | Sys_error _ -> ());
+            (try Unix.close c with Unix.Unix_error _ -> ())
+          done
+        with _ -> ())
+      ()
+  in
+  fun () ->
+    stop := true;
+    (try
+       let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect s (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+       Unix.close s
+     with Unix.Unix_error _ -> ());
+    Thread.join th;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if Sys.file_exists path then Sys.remove path
+
+(* The router must forward the *remaining* deadline to the workers, and
+   a worker-side expiry must come back as deadline_exceeded (not
+   shard_failure).  The stub records the forwarded skyline request so
+   the timeout can be asserted directly. *)
+let test_router_deadline_propagation () =
+  with_csv ~n:80 ~m:3 ~seed:29 (fun csv ->
+      let sock = temp_socket "ddl" in
+      let recorded = ref [] in
+      let rec_lock = Mutex.create () in
+      let on_line line =
+        if contains line "\"req\":\"load\"" then
+          "{\"id\":\"router-load-0\",\"ok\":true,\"result\":{\"key\":\"w0slice\"}}"
+        else begin
+          Mutex.lock rec_lock;
+          recorded := line :: !recorded;
+          Mutex.unlock rec_lock;
+          "{\"id\":\"router-skyline\",\"ok\":false,\"error\":{\"code\":\"deadline_exceeded\",\"message\":\"stub: worker deadline expired\"}}"
+        end
+      in
+      let kill = scripted_stub sock on_line in
+      let rt = Shard.Router.create ~workers:[ sock ] () in
+      Fun.protect
+        ~finally:(fun () ->
+          Shard.Router.close rt;
+          kill ())
+        (fun () ->
+          let rpc, close = open_session (Shard.Router.handler rt) in
+          Fun.protect ~finally:close (fun () ->
+              let load =
+                rpc
+                  (Printf.sprintf
+                     "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv)
+              in
+              Alcotest.(check bool) "load ok" true
+                (contains load "\"ok\":true");
+              let q =
+                rpc
+                  "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3,\"timeout\":7.5}"
+              in
+              Alcotest.(check bool) "worker expiry propagates as deadline"
+                true
+                (contains q "\"code\":\"deadline_exceeded\"");
+              let lines = Mutex.lock rec_lock;
+                          let l = !recorded in
+                          Mutex.unlock rec_lock;
+                          l
+              in
+              Alcotest.(check int) "exactly one fan-out request" 1
+                (List.length lines);
+              let fanned = parse_json (List.hd lines) in
+              (match Json.member "req" fanned with
+              | Some (Json.Str "skyline") -> ()
+              | _ -> Alcotest.fail "forwarded request must be a skyline");
+              (match Json.member "dataset" fanned with
+              | Some (Json.Str "w0slice") -> ()
+              | _ -> Alcotest.fail "fan-out must target the worker's key");
+              match Json.member "timeout" fanned with
+              | Some (Json.Num tm) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "forwarded deadline %.3f is the positive remainder of \
+                        7.5" tm)
+                    true
+                    (tm > 0. && tm <= 7.5)
+              | _ -> Alcotest.fail "forwarded request must carry a timeout")))
+
+(* The binary refuses inconsistent router flags. *)
+let test_router_flag_validation () =
+  let dev_null = " >/dev/null 2>&1" in
+  Alcotest.(check bool) "--router requires --shard-socket" true
+    (Sys.command (Test_serve.serve_exe ^ " --router --stdio" ^ dev_null) <> 0);
+  Alcotest.(check bool) "--shard-socket requires --router" true
+    (Sys.command
+       (Test_serve.serve_exe ^ " --shard-socket /tmp/rrms_none.sock --stdio"
+      ^ dev_null)
+    <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "partition round-robin" `Quick test_partition_roundrobin;
+    Alcotest.test_case "partition agrees with Store.load ?shard" `Quick
+      test_store_slice_agreement;
+    Alcotest.test_case "skyline decomposability" `Quick
+      test_skyline_decomposability;
+    Alcotest.test_case "certified merge bit-identity (all algos)" `Quick
+      test_certified_bit_identity;
+    Alcotest.test_case "certified merge bit-identity (HD, m=4)" `Quick
+      test_certified_bit_identity_hd;
+    Alcotest.test_case "shard metrics and release" `Quick
+      test_shard_metrics_and_release;
+    Alcotest.test_case "union merge bound dominates true regret" `Quick
+      test_union_bound;
+    Alcotest.test_case "batch protocol" `Quick test_batch_protocol;
+    Alcotest.test_case "pin/release hammer" `Quick test_pin_release_hammer;
+    Alcotest.test_case "router batch end to end" `Quick test_router_batch_e2e;
+    Alcotest.test_case "router worker crash" `Quick test_router_worker_crash;
+    Alcotest.test_case "router deadline propagation" `Quick
+      test_router_deadline_propagation;
+    Alcotest.test_case "router flag validation" `Quick
+      test_router_flag_validation;
+  ]
