@@ -17,7 +17,13 @@
    - restart recovery — a fresh store over a --state-dir populated by a
      previous store (the moral equivalent of a restarted daemon) vs the
      cold solve that populated it, with the rehydrated answer's digest
-     recorded as an identity gate.
+     recorded as an identity gate;
+   - dynamic maintenance — a warm store absorbs a batch of mixed
+     mutations through the incremental delta path (WAL journaling
+     included) and answers the standing query again, vs a fresh store
+     handed the post-mutation dataset that must build every artifact
+     from scratch; the write-ahead log the batches produced is then
+     replayed into a third store whose answer must match again.
 
    All reuse paths are bit-exact, which the run asserts by comparing
    serialized results before recording any timing. *)
@@ -28,6 +34,8 @@ module Shard = Rrms_serve.Shard
 module Protocol = Rrms_serve.Protocol
 module Json = Rrms_serve.Json
 module Persist = Rrms_serve.Persist
+module Mutate = Rrms_serve.Mutate
+module Delta = Rrms_core.Delta
 
 let config = function
   | Small -> (5_000, 3, 8, 5, 5) (* n, m, gamma, r, repeats *)
@@ -87,7 +95,7 @@ let json_escape s =
        (List.init (String.length s) (String.get s)))
 
 let write_json path ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows ~r_rows
-    ~shard_rows ~recovery =
+    ~shard_rows ~recovery ~dynamic =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"benchmark\": \"fig_serve\",\n";
@@ -136,8 +144,15 @@ let write_json path ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows ~r_rows
   Printf.fprintf oc
     "  \"restart_recovery\": {\"cold_seconds\": %.9f, \
      \"rehydrated_seconds\": %.9f, \"rehydrate_speedup\": %.1f, \
-     \"answer_digest\": \"%s\", \"corrupt_blobs\": %d}\n"
+     \"answer_digest\": \"%s\", \"corrupt_blobs\": %d},\n"
     cold_s rehydrated_s (cold_s /. rehydrated_s) (json_escape digest) corrupt;
+  let mut_ops, inc_s, reb_s, wal_records, wal_s, dyn_digest = dynamic in
+  Printf.fprintf oc
+    "  \"dynamic\": {\"mutation_ops\": %d, \"incremental_seconds\": %.9f, \
+     \"rebuild_seconds\": %.9f, \"speedup\": %.1f, \"wal_records\": %d, \
+     \"wal_replay_seconds\": %.9f, \"answer_digest\": \"%s\"}\n"
+    mut_ops inc_s reb_s (reb_s /. inc_s) wal_records wal_s
+    (json_escape dyn_digest);
   Printf.fprintf oc "}\n";
   close_out oc
 
@@ -319,8 +334,126 @@ let run scale =
     let digest = Digest.to_hex (Digest.string cold_str) in
     (cold_s, rehydrated_s, digest, scan.Persist.corrupt)
   in
+  (* Dynamic maintenance: a warm store absorbs batches of mixed
+     mutations through the incremental delta path and answers the
+     standing query again; a fresh store handed the post-mutation
+     dataset must rebuild skyline, grid and matrix from scratch to
+     produce the same bytes.  The first batches are fully random; the
+     timed batch is insert-below-skyline — the steady-state shape of
+     point mutations against a large table — so the maintenance pass
+     re-certifies the cached artifacts (merge path, matrices untouched,
+     result kept with a proof of exactness) instead of rebuilding them.
+     Both sides are in-memory stores: durability is priced separately,
+     by replaying the write-ahead log a persistent twin fed the same
+     batches into a cold store, whose answer must match again.  Three
+     answers, one digest, recorded as an identity gate. *)
+  let dynamic =
+    let n_dyn = 8 * n in
+    let dyn_csv = temp_csv ~n:n_dyn ~m in
+    let wal_dir = Filename.temp_file "fig_serve_wal" "" in
+    Sys.remove wal_dir;
+    let store_a = Store.create () in
+    ignore (Store.load store_a ~name:"dyn" dyn_csv);
+    ignore (run_query store_a (q ~gamma ~r "dyn"));
+    let rng = Rrms_rng.Rng.create (seed_of ("serve", "dyn", m)) in
+    let size = ref n_dyn in
+    let fresh_tuple () = Array.init m (fun _ -> Rrms_rng.Rng.float rng 1.) in
+    let mixed_batch ops =
+      List.init ops (fun _ ->
+          match Rrms_rng.Rng.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 ->
+              incr size;
+              Delta.Insert (fresh_tuple ())
+          | (5 | 6 | 7) when !size > 2 ->
+              let i = Rrms_rng.Rng.int rng !size in
+              decr size;
+              Delta.Delete i
+          | _ -> Delta.Upsert (Rrms_rng.Rng.int rng !size, fresh_tuple ()))
+    in
+    let dominated_batch ops =
+      List.init ops (fun _ ->
+          incr size;
+          Delta.Insert
+            (Array.init m (fun _ -> 0.05 *. Rrms_rng.Rng.float rng 1.)))
+    in
+    let batches = 4 and ops_per_batch = 8 in
+    let all_batches =
+      List.init (batches - 1) (fun _ -> mixed_batch ops_per_batch)
+      @ [ dominated_batch ops_per_batch ]
+    in
+    let must_mutate store ops =
+      match Store.mutate store ~dataset:"dyn" ops with
+      | Ok r -> r
+      | Error _ -> failwith "fig_serve: mutate failed"
+    in
+    let rec split_last = function
+      | [] -> failwith "fig_serve: no batches"
+      | [ last ] -> ([], last)
+      | b :: rest ->
+          let init, last = split_last rest in
+          (b :: init, last)
+    in
+    let warmup, last = split_last all_batches in
+    List.iter
+      (fun b ->
+        ignore (must_mutate store_a b);
+        ignore (run_query store_a (q ~gamma ~r "dyn")))
+      warmup;
+    let _, mutate_s = time (fun () -> must_mutate store_a last) in
+    let inc_o, query_s = time (fun () -> run_query store_a (q ~gamma ~r "dyn")) in
+    let incremental_s = mutate_s +. query_s in
+    let inc_str = Json.to_string inc_o.Store.result in
+    (* From-scratch rebuild over the exact post-mutation dataset (taken
+       from the store, not a CSV round-trip, so the bits agree). *)
+    let h =
+      match Store.pin store_a "dyn" with
+      | Some h -> h
+      | None -> failwith "fig_serve: mutated dataset vanished"
+    in
+    let d_final = Store.pinned_dataset h in
+    Store.unpin store_a h;
+    let rebuild_store = Store.create () in
+    (* The timed rebuild starts from the raw rows: registering the
+       dataset (hashing + transforms) is part of the from-scratch price
+       a daemon without the mutation path would pay per update. *)
+    let reb_o, rebuild_s =
+      time (fun () ->
+          let final = Store.add rebuild_store d_final in
+          run_query rebuild_store (q ~gamma ~r final.Store.key))
+    in
+    assert (inc_str = Json.to_string reb_o.Store.result);
+    (* Crash-recovery path: a persistent twin journals the same batches
+       to the WAL, which is then replayed into a cold store. *)
+    let store_w = Store.create ~persist:(Persist.open_dir wal_dir) () in
+    ignore (Store.load store_w ~name:"dyn" dyn_csv);
+    List.iter (fun b -> ignore (must_mutate store_w b)) all_batches;
+    let persist_b = Persist.open_dir wal_dir in
+    let store_b = Store.create ~persist:persist_b () in
+    ignore (Store.load store_b ~name:"dyn" dyn_csv);
+    let rep, wal_replay_s = time (fun () -> Mutate.replay store_b persist_b) in
+    assert (rep.Mutate.applied = batches && rep.Mutate.skipped = 0);
+    let replayed_o = run_query store_b (q ~gamma ~r "dyn") in
+    assert (inc_str = Json.to_string replayed_o.Store.result);
+    row fig ~x:"dynamic" ~x_name:"phase" ~series:"mutate" ~time:mutate_s ();
+    row fig ~x:"dynamic" ~x_name:"phase" ~series:"incremental"
+      ~time:incremental_s ();
+    row fig ~x:"dynamic" ~x_name:"phase" ~series:"rebuild" ~time:rebuild_s ();
+    row fig ~x:"dynamic" ~x_name:"phase" ~series:"wal-replay"
+      ~time:wal_replay_s ();
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat wal_dir f) with Sys_error _ -> ())
+      (Sys.readdir wal_dir);
+    (try Unix.rmdir wal_dir with Unix.Unix_error _ -> ());
+    Sys.remove dyn_csv;
+    ( batches * ops_per_batch,
+      incremental_s,
+      rebuild_s,
+      rep.Mutate.records,
+      wal_replay_s,
+      Digest.to_hex (Digest.string inc_str) )
+  in
   write_json "BENCH_serve.json" ~n ~m ~gamma ~r ~repeats ~cold_warm ~gamma_rows
-    ~r_rows ~shard_rows ~recovery;
+    ~r_rows ~shard_rows ~recovery ~dynamic;
   Array.iter
     (fun f -> try Sys.remove (Filename.concat state_dir f) with Sys_error _ -> ())
     (Sys.readdir state_dir);

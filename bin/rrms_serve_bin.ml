@@ -358,20 +358,34 @@ let run stdio connect top_path socket router shard_sockets domains
   let persist () = Option.map Persist.open_dir state_dir in
   (* The session handler and the store behind it (for drain): a plain
      store-backed server, or the shard router fanning out to the worker
-     daemons named by --shard-socket. *)
+     daemons named by --shard-socket.  Only the plain store owns
+     writable state: it opens the --state-dir and replays the mutation
+     write-ahead log before serving, so a restarted instance answers
+     from the exact dataset generation the crashed one had installed. *)
   let make_handler () =
     if router then begin
       let rt =
         Shard.Router.create ~telemetry:(telemetry ()) ~max_inflight ~max_queue
-          ?persist:(persist ()) ~workers:shard_sockets ()
+          ~workers:shard_sockets ()
       in
       at_exit (fun () -> Shard.Router.close rt);
       (Shard.Router.handler rt, Shard.Router.store rt)
     end
     else
-      let store =
-        Store.create ~max_inflight ~max_queue ?persist:(persist ()) ()
-      in
+      let p = persist () in
+      let store = Store.create ~max_inflight ~max_queue ?persist:p () in
+      Option.iter
+        (fun p ->
+          let { Rrms_serve.Mutate.records; applied; skipped } =
+            Rrms_serve.Mutate.replay store p
+          in
+          if records > 0 then
+            Printf.eprintf
+              "rrms-serve: replayed mutation log: %d records, %d applied, %d \
+               skipped\n\
+               %!"
+              records applied skipped)
+        p;
       (Server.store_handler ~telemetry:(telemetry ()) store, store)
   in
   let serve_socket path () =
@@ -397,6 +411,12 @@ let run stdio connect top_path socket router shard_sockets domains
       `Error (true, "--router requires at least one --shard-socket PATH")
     else if (not router) && shard_sockets <> [] then
       `Error (true, "--shard-socket requires --router")
+    else if router && state_dir <> None then
+      `Error
+        ( true,
+          "--router cannot take --state-dir: the router holds no writable \
+           state (mutations answer read_only); run --state-dir on the \
+           workers instead" )
     else
       match (connect, top_path, stdio, socket) with
       | Some path, _, _, _ -> `Ok (client path ~retries ~retry_backoff_ms)
@@ -543,8 +563,11 @@ let cmd =
             "Durable artifact cache: spill skylines, direction grids, \
              regret matrices and Exact results to content-addressed blobs \
              under $(docv) (created if absent), and rehydrate them on \
-             demand after a restart.  Torn or corrupt blobs are detected \
-             by checksum, discarded and counted, never served.")
+             demand after a restart.  Mutations are journaled to a \
+             checksummed write-ahead log in the same directory and \
+             replayed at startup.  Torn or corrupt blobs are detected by \
+             checksum, discarded and counted, never served.  Incompatible \
+             with $(b,--router).")
   in
   let supervise =
     Arg.(

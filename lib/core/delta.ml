@@ -1,0 +1,197 @@
+open Rrms_geom
+module Guard = Rrms_guard.Guard
+module Skyline = Rrms_skyline.Skyline
+module Obs = Rrms_obs.Obs
+
+module Metrics = struct
+  let applied =
+    Obs.Counter.make ~help:"dataset mutations applied" "rrms_delta_ops_total"
+
+  (* Skyline maintenance outcome per mutation batch: remaps and merges
+     are the incremental wins, rebuilds the fallback. *)
+  let sky_remap =
+    Obs.Counter.make ~help:"skyline updates resolved by pure index remap"
+      "rrms_delta_skyline_remaps_total"
+
+  let sky_merge =
+    Obs.Counter.make ~help:"skyline updates resolved by partition merge"
+      "rrms_delta_skyline_merges_total"
+
+  let sky_rebuild =
+    Obs.Counter.make ~help:"skyline updates requiring a full from-scratch pass"
+      "rrms_delta_skyline_rebuilds_total"
+end
+
+type mutation = Insert of Vec.t | Delete of int | Upsert of int * Vec.t
+
+type plan = {
+  rows : Vec.t array;
+  old_to_new : int array;
+  new_to_old : int array;
+  fresh : int array;
+}
+
+let check_value ~dim ~what p =
+  if Array.length p <> dim then
+    Guard.Error.invalid_input
+      (Printf.sprintf "%s: value has %d attributes, dataset has %d" what
+         (Array.length p) dim);
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) || v < 0. then
+        Guard.Error.invalid_input
+          (Printf.sprintf "%s: values must be finite and non-negative" what))
+    p
+
+(* Sequential left-to-right semantics over one growable buffer of
+   (value, origin) pairs: Insert appends a fresh value, Delete i removes
+   the i-th element of the *current* sequence, Upsert i replaces its
+   value in place — destroying the old identity, so artifacts treat it
+   as delete-at + insert-at.  [origin] is the base-row index a value was
+   carried from, or -1 once the value is fresh. *)
+let apply ?dim rows muts =
+  let n0 = Array.length rows in
+  let dim =
+    match dim with
+    | Some d -> d
+    | None ->
+        if n0 = 0 then
+          Guard.Error.invalid_input "Delta.apply: empty base needs ~dim"
+        else Array.length rows.(0)
+  in
+  (* Size the buffer for this batch, not for doubling-growth: at most
+     [inserts] values join the sequence, and over-allocating 2n on a
+     large table costs more than the batch itself. *)
+  let inserts =
+    List.fold_left
+      (fun acc op -> match op with Insert _ -> acc + 1 | _ -> acc)
+      0 muts
+  in
+  let cap = ref (Int.max 8 (n0 + inserts)) in
+  let vals = ref (Array.make !cap [||]) in
+  let orig = ref (Array.make !cap (-1)) in
+  Array.blit rows 0 !vals 0 n0;
+  for i = 0 to n0 - 1 do
+    !orig.(i) <- i
+  done;
+  let len = ref n0 in
+  let grow () =
+    if !len = !cap then begin
+      let cap' = !cap * 2 in
+      let vals' = Array.make cap' [||] and orig' = Array.make cap' (-1) in
+      Array.blit !vals 0 vals' 0 !len;
+      Array.blit !orig 0 orig' 0 !len;
+      cap := cap';
+      vals := vals';
+      orig := orig'
+    end
+  in
+  let check_index ~what i =
+    if i < 0 || i >= !len then
+      Guard.Error.invalid_input
+        (Printf.sprintf "%s: index %d out of range (current size %d)" what i
+           !len)
+  in
+  List.iter
+    (fun op ->
+      Obs.Counter.incr Metrics.applied;
+      match op with
+      | Insert p ->
+          check_value ~dim ~what:"Delta.apply insert" p;
+          grow ();
+          !vals.(!len) <- p;
+          !orig.(!len) <- -1;
+          incr len
+      | Delete i ->
+          check_index ~what:"Delta.apply delete" i;
+          Array.blit !vals (i + 1) !vals i (!len - i - 1);
+          Array.blit !orig (i + 1) !orig i (!len - i - 1);
+          decr len
+      | Upsert (i, p) ->
+          check_index ~what:"Delta.apply upsert" i;
+          check_value ~dim ~what:"Delta.apply upsert" p;
+          !vals.(i) <- p;
+          !orig.(i) <- -1)
+    muts;
+  let n = !len in
+  let rows' = Array.sub !vals 0 n in
+  let new_to_old = Array.sub !orig 0 n in
+  let old_to_new = Array.make n0 (-1) in
+  let fresh = ref [] in
+  for i = n - 1 downto 0 do
+    let o = new_to_old.(i) in
+    if o >= 0 then old_to_new.(o) <- i else fresh := i :: !fresh
+  done;
+  { rows = rows'; old_to_new; new_to_old; fresh = Array.of_list !fresh }
+
+type skyline_path = Remap | Merge | Rebuild
+
+let path_name = function
+  | Remap -> "remap"
+  | Merge -> "merge"
+  | Rebuild -> "rebuild"
+
+(* Correctness of the incremental paths.  FAST is available iff every
+   old-skyline member survives with its value intact: then any surviving
+   base row outside the old skyline is still (weakly) dominated by a
+   surviving skyline member, so every new skyline representative lies in
+   remap(old_sky) ∪ fresh — exactly merge_partitions' joint-coverage
+   contract, which makes the merge bit-identical to a from-scratch sfs.
+   With additionally no fresh rows (pure deletes of non-skyline rows),
+   the skyline set is unchanged and the monotone index remap preserves
+   sfs's sum-descending / index-ascending order and its lowest-index
+   duplicate representatives, so the remap alone *is* the sfs output.
+   Deleting or upserting a skyline member voids the invariant (a row it
+   dominated may surface), hence the full rebuild. *)
+let update_skyline ?domains plan ~old_sky =
+  let n0 = Array.length plan.old_to_new in
+  Array.iter
+    (fun g ->
+      if g < 0 || g >= n0 then
+        Guard.Error.invalid_input
+          "Delta.update_skyline: skyline index out of range for the base")
+    old_sky;
+  let survives = Array.for_all (fun g -> plan.old_to_new.(g) >= 0) old_sky in
+  if not survives then begin
+    Obs.Counter.incr Metrics.sky_rebuild;
+    (Skyline.sfs ?domains plan.rows, Rebuild)
+  end
+  else begin
+    let remapped = Array.map (fun g -> plan.old_to_new.(g)) old_sky in
+    if Array.length plan.fresh = 0 then begin
+      Obs.Counter.incr Metrics.sky_remap;
+      (remapped, Remap)
+    end
+    else begin
+      Obs.Counter.incr Metrics.sky_merge;
+      ( Skyline.merge_partitions ?domains plan.rows [| remapped; plan.fresh |],
+        Merge )
+    end
+  end
+
+let sequence_preserved plan ~old_sky ~new_sky =
+  Array.length old_sky = Array.length new_sky
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i g ->
+      let o = plan.new_to_old.(g) in
+      if o < 0 || o <> old_sky.(i) then ok := false)
+    new_sky;
+  !ok
+
+let carried_rows plan ~old_sky ~new_sky =
+  let n0 = Array.length plan.old_to_new in
+  let pos = Array.make n0 (-1) in
+  Array.iteri
+    (fun i g ->
+      if g < 0 || g >= n0 then
+        Guard.Error.invalid_input
+          "Delta.carried_rows: skyline index out of range for the base"
+      else pos.(g) <- i)
+    old_sky;
+  Array.map
+    (fun g ->
+      let o = plan.new_to_old.(g) in
+      if o >= 0 then pos.(o) else -1)
+    new_sky

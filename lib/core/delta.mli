@@ -1,0 +1,79 @@
+(** Dataset deltas: the core maintenance layer of the mutation
+    subsystem.
+
+    A mutation batch is applied with sequential left-to-right semantics
+    to produce a {!plan}: the new row array plus the index
+    correspondence between the old and new datasets.  The plan is what
+    every incremental artifact step consumes — skyline maintenance
+    here, matrix row carry-over via {!Regret_matrix.update}, MRST probe
+    reuse via {!Mrst.Incremental.rebase}, and the serve layer's
+    delta-scoped result-cache invalidation. *)
+
+type mutation =
+  | Insert of Rrms_geom.Vec.t  (** append a tuple at the end *)
+  | Delete of int  (** remove the tuple at this current index *)
+  | Upsert of int * Rrms_geom.Vec.t
+      (** replace the tuple at this current index; the old identity is
+          destroyed (artifact-wise a delete-at + insert-at: the row
+          keeps its position but counts as fresh) *)
+
+type plan = {
+  rows : Rrms_geom.Vec.t array;  (** the mutated dataset's rows *)
+  old_to_new : int array;
+      (** base index → new index; [-1] when deleted or value-destroyed
+          by an upsert *)
+  new_to_old : int array;
+      (** new index → base index it was carried from; [-1] for a fresh
+          value (insert or upsert) *)
+  fresh : int array;  (** new indices with no base origin, ascending *)
+}
+
+val apply : ?dim:int -> Rrms_geom.Vec.t array -> mutation list -> plan
+(** [apply rows muts] executes the batch in order.  Indices are
+    interpreted against the {e current} sequence at each step (so a
+    delete shifts everything after it, exactly like applying the ops
+    one at a time).  Inserted/upserted values must have the base
+    dimensionality ([dim] overrides it, required for an empty base) and
+    be finite and non-negative.  The result may be empty — callers that
+    must keep a dataset resident reject that case themselves.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on a bad
+    index, a dimension mismatch, or a non-finite / negative value. *)
+
+type skyline_path =
+  | Remap  (** pure index remap of the old skyline *)
+  | Merge  (** {!Rrms_skyline.Skyline.merge_partitions} of old ∪ fresh *)
+  | Rebuild  (** full from-scratch {!Rrms_skyline.Skyline.sfs} *)
+
+val path_name : skyline_path -> string
+
+val update_skyline :
+  ?domains:int -> plan -> old_sky:int array -> int array * skyline_path
+(** [update_skyline plan ~old_sky] is
+    [Rrms_skyline.Skyline.sfs plan.rows] — bit-identical indices in
+    bit-identical order — computed by the cheapest valid path.  When
+    every old skyline member survives with its value intact, surviving
+    non-skyline rows are still dominated by surviving members, so
+    merging [remap(old_sky)] with [plan.fresh] satisfies
+    [merge_partitions]' joint-coverage contract (and with no fresh rows
+    at all, the remap alone is already the sfs output).  Deleting or
+    upserting a skyline member forces the rebuild.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when
+    [old_sky] does not index the plan's base. *)
+
+val sequence_preserved : plan -> old_sky:int array -> new_sky:int array -> bool
+(** [sequence_preserved plan ~old_sky ~new_sky] is [true] iff the new
+    skyline is, position by position, the same point sequence as the
+    old one (same length, and [new_sky.(i)] carries exactly the base
+    row [old_sky.(i)]).  Then every artifact that is a pure function of
+    the skyline point sequence — the regret matrix, and any Theorem-1
+    solver answer up to index names — is unchanged, which is the
+    delta-invalidation rule that lets cached results survive a
+    mutation with their [selected] indices remapped. *)
+
+val carried_rows : plan -> old_sky:int array -> new_sky:int array -> int array
+(** [carried_rows plan ~old_sky ~new_sky] maps each new skyline
+    position to the old skyline position holding the identical point
+    ([-1] for fresh rows) — the [carried] spec for
+    {!Regret_matrix.update} / {!Mrst.Incremental.rebase}.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when
+    [old_sky] does not index the plan's base. *)

@@ -121,6 +121,10 @@ let selection t =
   ensure t;
   Array.copy t.selection
 
+let skyline t =
+  ensure t;
+  Array.copy t.skyline
+
 let regret t =
   ensure t;
   t.regret

@@ -42,6 +42,10 @@ val selection : t -> int array
 (** Handles of the current regret-minimizing set (recomputes if dirty).
     Empty array when the table is empty. *)
 
+val skyline : t -> int array
+(** Handles of the current skyline in {!Rrms2d.skyline_order}'s sweep
+    order (A₂ descending / A₁ ascending); recomputes if dirty. *)
+
 val regret : t -> float
 (** Exact maximum regret ratio of {!selection}; [0.] on an empty or
     fully-coverable table. *)

@@ -12,6 +12,12 @@ type t = {
   mutable regret : float;
   mutable skyline : int array; (* handles *)
   mutable recomputes : int;
+  (* Candidate buffer: one slot per γ-grid direction holding the live
+     handle with the best score in that direction, or -1 when the slot
+     is stale (its holder was removed) and must be lazily rebuilt.
+     Initialized on the first tuple, once the dimension is known. *)
+  mutable dirs : Vec.t array;
+  mutable dir_best : int array;
 }
 
 let check_tuple t p =
@@ -21,7 +27,11 @@ let check_tuple t p =
   | Some m when m <> Array.length p ->
       invalid_arg "Dynamic_hd: inconsistent tuple dimension"
   | Some _ -> ()
-  | None -> t.dim <- Some (Array.length p));
+  | None ->
+      let m = Array.length p in
+      t.dim <- Some m;
+      t.dirs <- Discretize.grid ~gamma:t.gamma ~m;
+      t.dir_best <- Array.make (Array.length t.dirs) (-1));
   Array.iter
     (fun v ->
       if not (Float.is_finite v) || v < 0. then
@@ -44,6 +54,8 @@ let create ?(gamma = 4) ~r points =
       regret = 0.;
       skyline = [||];
       recomputes = 0;
+      dirs = [||];
+      dir_best = [||];
     }
   in
   Array.iter
@@ -106,14 +118,38 @@ let covered t p =
       | None -> false)
     t.skyline
 
+(* Maintained invariant: a non-stale slot (-1 is stale) always holds
+   the live argmax of its direction — inserts displace it on a strictly
+   better score, removals of the holder mark the slot stale, and stale
+   slots are rebuilt only when read ([direction_maxima]) by scanning
+   live handles ascending.  Strict [>] everywhere keeps ties on the
+   lowest handle, so the lazy rebuild and the eager displacement agree
+   on every slot. *)
 let insert t p =
   check_tuple t p;
   grow t;
   let handle = t.used in
+  (* A tuple strictly beating some maintained direction maximum cannot
+     be dominated (a dominator would score at least as high), so it is
+     a new skyline point: mark dirty without the O(|sky|·m) scan. *)
+  let beats = ref false in
+  Array.iteri
+    (fun d h ->
+      if h >= 0 then
+        match t.store.(h) with
+        | Some q ->
+            if Vec.dot t.dirs.(d) p > Vec.dot t.dirs.(d) q then begin
+              beats := true;
+              t.dir_best.(d) <- handle
+            end
+        | None -> t.dir_best.(d) <- -1)
+    t.dir_best;
   t.store.(handle) <- Some p;
   t.used <- t.used + 1;
   t.live <- t.live + 1;
-  if not t.dirty then if not (covered t p) then t.dirty <- true;
+  if not t.dirty then
+    if !beats then t.dirty <- true
+    else if not (covered t p) then t.dirty <- true;
   handle
 
 let remove t handle =
@@ -124,7 +160,33 @@ let remove t handle =
   | Some _ ->
       t.store.(handle) <- None;
       t.live <- t.live - 1;
+      (* The removed tuple may have been a per-direction maximum; its
+         slots go stale here and are rebuilt lazily on the next read. *)
+      Array.iteri
+        (fun d h -> if h = handle then t.dir_best.(d) <- -1)
+        t.dir_best;
       if (not t.dirty) && Array.mem handle t.skyline then t.dirty <- true
+
+let direction_maxima t =
+  Array.iteri
+    (fun d h ->
+      if h < 0 then begin
+        let dir = t.dirs.(d) in
+        let best = ref (-1) and best_v = ref neg_infinity in
+        for c = 0 to t.used - 1 do
+          match t.store.(c) with
+          | Some q ->
+              let v = Vec.dot dir q in
+              if v > !best_v then begin
+                best_v := v;
+                best := c
+              end
+          | None -> ()
+        done;
+        t.dir_best.(d) <- !best
+      end)
+    t.dir_best;
+  Array.copy t.dir_best
 
 let get t handle =
   if handle < 0 || handle >= t.used then
@@ -134,6 +196,10 @@ let get t handle =
 let selection t =
   ensure t;
   Array.copy t.selection
+
+let skyline t =
+  ensure t;
+  Array.copy t.skyline
 
 let regret t =
   ensure t;

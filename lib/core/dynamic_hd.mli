@@ -24,6 +24,20 @@ val get : t -> int -> Rrms_geom.Vec.t option
 val selection : t -> int array
 (** Handles of the current compact set (recomputes if dirty). *)
 
+val skyline : t -> int array
+(** Handles of the current skyline, in the order {!Rrms_skyline.Skyline.sfs}
+    returns them over the live tuples (ascending-handle enumeration);
+    recomputes if dirty. *)
+
+val direction_maxima : t -> int array
+(** One entry per γ-grid direction: the live handle scoring highest in
+    that direction ([-1] only when the table is empty), ties broken to
+    the lowest handle.  Maintained incrementally — inserts displace a
+    beaten maximum, removing a maximum marks its slots stale, and stale
+    slots are rebuilt lazily here by a scan of the live tuples — so
+    reading after any insert/remove interleaving equals a from-scratch
+    scan.  Returns [[||]] before the first tuple fixes the dimension. *)
+
 val regret : t -> float
 (** Exact ({!Regret.exact_lp}) maximum regret ratio of {!selection}. *)
 

@@ -60,10 +60,22 @@ type search = {
 let batch_depth = 4
 
 let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
-    ?max_size matrix ~r =
+    ?max_size ?inc matrix ~r =
   let max_size = match max_size with Some s -> s | None -> r in
   let values = Regret_matrix.distinct_values matrix in
-  let inc = Mrst.Incremental.create ?domains matrix in
+  let inc =
+    (* A caller-supplied structure (the serve layer pools them across
+       queries and rebases them across mutations) must belong to this
+       matrix; probe state may be anywhere — every slide is
+       bidirectional from the current position. *)
+    match inc with
+    | Some i when Mrst.Incremental.rows i = Regret_matrix.rows matrix -> i
+    | Some _ ->
+        Guard.Error.invalid_input
+          "Hd_rrms.search_on_matrix: incremental state does not match the \
+           matrix"
+    | None -> Mrst.Incremental.create ?domains matrix
+  in
   let cache : (int, int array option) Hashtbl.t = Hashtbl.create 16 in
   (* Per-row prefix positions for the current batch's candidate
      midpoints, keyed by value index; rebuilt once per batch. *)
@@ -190,7 +202,7 @@ let shrink_gamma ~guard ~rows ~gamma ~m =
    server answer on cached artifacts is bit-identical to a cold
    [solve] by construction. *)
 let solve_prepared ?solver ?(budget = Strict) ?domains
-    ?(guard = Guard.Budget.unlimited) ~skyline ~gamma_used ~m matrix ~r =
+    ?(guard = Guard.Budget.unlimited) ?inc ~skyline ~gamma_used ~m matrix ~r =
   if r < 1 then
     Guard.Error.invalid_input "Hd_rrms.solve_prepared: r must be >= 1";
   if Array.length skyline <> Regret_matrix.rows matrix then
@@ -210,7 +222,7 @@ let solve_prepared ?solver ?(budget = Strict) ?domains
   in
   let search =
     Obs.Span.with_ "hd_rrms.search" (fun () ->
-        search_on_matrix ?solver ?domains ~guard ~max_size matrix ~r)
+        search_on_matrix ?solver ?domains ~guard ~max_size ?inc matrix ~r)
   in
   match search.found with
   | Some (rows, eps_min) ->

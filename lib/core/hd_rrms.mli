@@ -106,6 +106,7 @@ val search_on_matrix :
   ?domains:int ->
   ?guard:Rrms_guard.Guard.Budget.t ->
   ?max_size:int ->
+  ?inc:Mrst.Incremental.t ->
   Regret_matrix.t ->
   r:int ->
   search
@@ -113,11 +114,18 @@ val search_on_matrix :
     accepting covers of size at most [max_size] (default [r]).  Probes
     run through {!Mrst.Incremental} (prefix-sliced bitsets plus a
     per-threshold probe cache) and return exactly what from-scratch
-    {!Mrst.solve} probes would.  The [guard] is checked before every
+    {!Mrst.solve} probes would.  [inc] supplies a ready
+    {!Mrst.Incremental.t} for this matrix (e.g. pooled across queries,
+    or {!Mrst.Incremental.rebase}d across a mutation), skipping the
+    per-row sort setup; any starting probe state is fine because every
+    slide is bidirectional.  The search mutates it and leaves it at the
+    last probed threshold.  The [guard] is checked before every
     probe; on stop, if no threshold was accepted yet, one fallback
     probe at the largest distinct value recovers a certified
     single-row answer (so [found = None] with a stopped budget implies
-    an empty or degenerate matrix). *)
+    an empty or degenerate matrix).
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when
+    [inc]'s row count does not match [matrix]. *)
 
 val solve_on_matrix :
   ?solver:Mrst.solver ->
@@ -134,6 +142,7 @@ val solve_prepared :
   ?budget:budget ->
   ?domains:int ->
   ?guard:Rrms_guard.Guard.Budget.t ->
+  ?inc:Mrst.Incremental.t ->
   skyline:int array ->
   gamma_used:int ->
   m:int ->

@@ -102,6 +102,49 @@ module Incremental = struct
 
   let rows t = Array.length t.bits
 
+  (* After a mutation, most skyline rows survive with bitwise-identical
+     matrix cells (Regret_matrix.update reports this as an empty
+     changed-column list).  Their sorted orders are pure functions of
+     the row's cells, so the O(|F| log |F|) tandem sorts can be carried
+     over by reference — create() never mutates order/sorted after
+     construction — and only genuinely new rows pay a sort.  Bitsets and
+     prefix positions always restart empty: they are probe state, and
+     the next advance/advance_many moves bidirectionally from any
+     starting point. *)
+  let rebase ?domains old matrix ~carried =
+    let n = Regret_matrix.rows matrix and k = Regret_matrix.cols matrix in
+    if old.universe <> k then
+      invalid_arg "Mrst.Incremental.rebase: column counts differ";
+    if Array.length carried <> n then
+      invalid_arg "Mrst.Incremental.rebase: carried length mismatch";
+    Array.iter
+      (fun j ->
+        if j >= rows old then
+          invalid_arg "Mrst.Incremental.rebase: carried row out of range")
+      carried;
+    let order = Array.make n [||] and sorted = Array.make n [||] in
+    Rrms_parallel.parallel_for ?domains ~min_chunk:8 n (fun i ->
+        let j = carried.(i) in
+        if j >= 0 then begin
+          order.(i) <- old.order.(j);
+          sorted.(i) <- old.sorted.(j)
+        end
+        else begin
+          let vals = Array.make k 0. in
+          Regret_matrix.blit_row matrix i vals;
+          let ord = Array.init k Fun.id in
+          Fsort.sort_pairs vals ord;
+          order.(i) <- ord;
+          sorted.(i) <- vals
+        end);
+    {
+      universe = k;
+      order;
+      sorted;
+      bits = Array.init n (fun _ -> Bitset.create k);
+      pos = Array.make n 0;
+    }
+
   (* Slide row [i]'s bitset from its current prefix to [target] sorted
      columns.  The all-columns and no-columns targets collapse to
      word-level prefix fills/clears (the prefix basis is sorted order,

@@ -41,6 +41,18 @@ module Incremental : sig
 
   val rows : t -> int
 
+  val rebase : ?domains:int -> t -> Regret_matrix.t -> carried:int array -> t
+  (** [rebase old matrix ~carried] is [create matrix] at reduced cost:
+      [carried.(i)] names the row of [old] whose matrix cells are
+      bitwise identical to row [i] of [matrix] ([-1] when there is no
+      such row).  Carried rows share [old]'s per-row sorted orders by
+      reference (they are immutable after creation); only fresh rows pay
+      the tandem sort.  Probe state (bitsets, prefix positions) starts
+      empty, exactly as after [create].  The caller owns the cell-equality
+      contract — pair with {!Regret_matrix.update} returning an empty
+      changed-column list.
+      @raise Invalid_argument on a column-count or [carried] mismatch. *)
+
   val advance : ?domains:int -> t -> eps:float -> unit
   (** Slide every row's prefix pointer to the new threshold without
       solving; exposed for tests and custom probe loops. *)

@@ -14,6 +14,17 @@ module Metrics = struct
     Obs.Gauge.make
       ~help:"distinct cell values of the last distinct_values scan"
       "rrms_matrix_distinct_values"
+
+  let updates =
+    Obs.Counter.make ~help:"incremental regret-matrix updates"
+      "rrms_matrix_updates_total"
+
+  (* The whole point of [update]: cells carried over verbatim instead of
+     paying a dot product.  updates_total together with this exposes the
+     reuse ratio the dynamic bench asserts on. *)
+  let cells_carried =
+    Obs.Counter.make ~help:"cells blitted from the previous matrix by update"
+      "rrms_matrix_cells_carried_total"
 end
 
 (* One flat row-major buffer instead of [float array array]: a cell read
@@ -259,6 +270,180 @@ let materialize t =
       distinct = Atomic.make (Atomic.get t.distinct);
     }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A mutation replaces the row set (skyline) of the matrix: some rows
+   survive unchanged, some are retired, some are new.  Cells of a
+   surviving row only depend on its point and the column's best score,
+   so a column whose best provably did not move can carry every
+   surviving cell over verbatim; only new rows and moved columns pay
+   dot products.
+
+   The "provably did not move" test costs no extra storage: build's
+   kernel writes exactly 0. in the cell of any row achieving the
+   column's best (b - d = 0 with d = b), and conversely a 0. cell in a
+   positive-best column certifies dot = best bitwise (b - d = 0 in IEEE
+   implies d = b for finite d, b).  So a column keeps its best iff
+     - the old best is positive (all-zero columns always recompute:
+       a 0. cell there certifies nothing),
+     - some carried row has a 0. cell (a witness that the old max is
+       still attained), and
+     - no fresh row's dot exceeds it.
+   Recomputed columns rerun Vec.max_score's strict-> scan in the new
+   row order, so they too are bit-identical to [build ~funcs points]. *)
+
+let update ?domains ?(guard = Rrms_guard.Guard.Budget.unlimited) t ~funcs
+    ~points ~carried =
+  let k = cols t in
+  let n = Array.length points in
+  if n = 0 then
+    Rrms_guard.Guard.Error.invalid_input "Regret_matrix.update: no points";
+  if Array.length funcs <> k then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.update: function count differs from the matrix";
+  if Array.length carried <> n then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.update: carried length does not match points";
+  Array.iter
+    (fun j ->
+      if j >= rows t then
+        Rrms_guard.Guard.Error.invalid_input
+          "Regret_matrix.update: carried row index out of range")
+    carried;
+  Rrms_guard.Guard.Budget.check_cells guard ~what:"regret matrix cells" (n * k);
+  Obs.Counter.incr Metrics.updates;
+  Obs.Counter.add Metrics.cells (n * k);
+  Obs.Span.with_ "regret_matrix.update" (fun () ->
+      let t = materialize t in
+      let old = t.data and old_best = t.best in
+      (* Fresh rows need a dot product in every column no matter what;
+         compute them once up front so the per-column decision and the
+         fill phase both reuse them. *)
+      let fresh = ref [] in
+      for i = n - 1 downto 0 do
+        if carried.(i) < 0 then fresh := i :: !fresh
+      done;
+      let fresh = Array.of_list !fresh in
+      let nf = Array.length fresh in
+      let fdots = Array.make (Int.max 1 (nf * k)) 0. in
+      Rrms_parallel.parallel_for ?domains ~min_chunk:4 nf (fun fi ->
+          let p = points.(fresh.(fi)) in
+          let off = fi * k in
+          for f = 0 to k - 1 do
+            Array.unsafe_set fdots (off + f) (Vec.dot funcs.(f) p)
+          done);
+      let fpos = Array.make n (-1) in
+      Array.iteri (fun fi i -> fpos.(i) <- fi) fresh;
+      (* Does some carried row witness the old best?  One scan over the
+         carried rows' old cells. *)
+      let carried_zero = Array.make k false in
+      for i = 0 to n - 1 do
+        let j = carried.(i) in
+        if j >= 0 then begin
+          let off = j * k in
+          for f = 0 to k - 1 do
+            if Array.unsafe_get old (off + f) = 0. then carried_zero.(f) <- true
+          done
+        end
+      done;
+      let keep = Array.make k false in
+      let best = Array.make k 0. in
+      Rrms_parallel.parallel_for ?domains ~min_chunk:8 k (fun f ->
+          let ob = Array.unsafe_get old_best f in
+          let fresh_le = ref true in
+          for fi = 0 to nf - 1 do
+            if Array.unsafe_get fdots ((fi * k) + f) > ob then fresh_le := false
+          done;
+          if ob > 0. && carried_zero.(f) && !fresh_le then begin
+            keep.(f) <- true;
+            best.(f) <- ob
+          end
+          else begin
+            (* Exactly Vec.max_score's strict-> scan over the new points
+               (seeded from points.(0)), reusing the fresh dots. *)
+            let dot_of i =
+              let fi = Array.unsafe_get fpos i in
+              if fi >= 0 then Array.unsafe_get fdots ((fi * k) + f)
+              else Vec.dot funcs.(f) points.(i)
+            in
+            let b = ref (dot_of 0) in
+            for i = 1 to n - 1 do
+              let v = dot_of i in
+              if v > !b then b := v
+            done;
+            best.(f) <- !b
+          end);
+      let data = Array.make (n * k) 0. in
+      Rrms_parallel.parallel_for ?domains ~min_chunk:16 n (fun i ->
+          let off = i * k in
+          let j = carried.(i) in
+          let fi = Array.unsafe_get fpos i in
+          for f = 0 to k - 1 do
+            if j >= 0 && Array.unsafe_get keep f then
+              Array.unsafe_set data (off + f)
+                (Array.unsafe_get old ((j * k) + f))
+            else begin
+              let b = Array.unsafe_get best f in
+              if b > 0. then begin
+                let d =
+                  if fi >= 0 then Array.unsafe_get fdots ((fi * k) + f)
+                  else Vec.dot funcs.(f) points.(i)
+                in
+                Array.unsafe_set data (off + f) (Float.max 0. ((b -. d) /. b))
+              end
+            end
+          done);
+      (* Every carried row blits every kept column; nothing else does. *)
+      let kept_cols = Array.fold_left (fun a kp -> if kp then a + 1 else a) 0 keep in
+      Obs.Counter.add Metrics.cells_carried ((n - nf) * kept_cols);
+      let changed = ref [] in
+      for f = k - 1 downto 0 do
+        if best.(f) <> old_best.(f) then changed := f :: !changed
+      done;
+      ( {
+          data;
+          stride = k;
+          nrows = n;
+          colmap = Array.init k (fun f -> f);
+          contiguous = true;
+          best;
+          distinct = Atomic.make None;
+        },
+        Array.of_list !changed ))
+
+let append_rows ?domains ?guard t ~funcs ~points fresh =
+  if Array.length points <> rows t then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.append_rows: points do not match the matrix rows";
+  if Array.length fresh = 0 then
+    Rrms_guard.Guard.Error.invalid_input "Regret_matrix.append_rows: no rows";
+  let nold = Array.length points in
+  let all = Array.append points fresh in
+  let carried =
+    Array.init (Array.length all) (fun i -> if i < nold then i else -1)
+  in
+  update ?domains ?guard t ~funcs ~points:all ~carried
+
+let mask_rows ?domains ?guard t ~funcs ~points ~keep =
+  if Array.length points <> rows t then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.mask_rows: points do not match the matrix rows";
+  if Array.length keep = 0 then
+    Rrms_guard.Guard.Error.invalid_input
+      "Regret_matrix.mask_rows: empty row set";
+  let pts =
+    Array.map
+      (fun j ->
+        if j < 0 || j >= rows t then
+          Rrms_guard.Guard.Error.invalid_input
+            "Regret_matrix.mask_rows: row index out of range"
+        else points.(j))
+      keep
+  in
+  update ?domains ?guard t ~funcs ~points:pts ~carried:(Array.copy keep)
 
 let export t =
   let m = materialize t in

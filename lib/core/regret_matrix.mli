@@ -29,6 +29,63 @@ val build :
     array is empty, [Resource_limit] if the matrix would exceed the
     guard's cell cap. *)
 
+val update :
+  ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  t ->
+  funcs:Rrms_geom.Vec.t array ->
+  points:Rrms_geom.Vec.t array ->
+  carried:int array ->
+  t * int array
+(** [update t ~funcs ~points ~carried] is
+    [(build ~funcs points, changed_cols)] computed incrementally:
+    [points] is the {e new} row set and [carried.(i)] names the old row
+    of [t] holding the same point ([-1] for a fresh row).  Columns whose
+    best score provably did not move (the old best is positive, a
+    carried row's [0.] cell witnesses that it is still attained, and no
+    fresh row exceeds it) blit every carried cell verbatim; all other
+    columns rerun {!build}'s best scan and cell kernel in the new row
+    order.  The result is bit-identical to [build ~funcs points] for
+    every split of rows into carried/fresh and every domain count.
+    [changed_cols] lists (ascending) the columns whose best score is not
+    bitwise equal to [t]'s — when it is empty, every carried row's cells
+    are unchanged from [t], which is what lets MRST probe state rebase
+    ({!Mrst.Incremental.rebase}).  [funcs] must be the grid [t] was
+    built with and carried points must be the identical values.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on empty
+    points, a funcs/width mismatch, or a bad [carried] spec;
+    [Resource_limit] past the guard's cell cap. *)
+
+val append_rows :
+  ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  t ->
+  funcs:Rrms_geom.Vec.t array ->
+  points:Rrms_geom.Vec.t array ->
+  Rrms_geom.Vec.t array ->
+  t * int array
+(** [append_rows t ~funcs ~points fresh] extends the matrix with new
+    bottom rows: [points] are [t]'s current rows (in order), [fresh]
+    the appended points.  Equivalent to
+    [update ~points:(points ⧺ fresh) ~carried:[|0;…;n-1;-1;…|]].
+    @raise Rrms_guard.Guard.Error.Guard_error as {!update}, and
+    [Invalid_input] when [fresh] is empty or [points] does not match
+    [rows t]. *)
+
+val mask_rows :
+  ?domains:int ->
+  ?guard:Rrms_guard.Guard.Budget.t ->
+  t ->
+  funcs:Rrms_geom.Vec.t array ->
+  points:Rrms_geom.Vec.t array ->
+  keep:int array ->
+  t * int array
+(** [mask_rows t ~funcs ~points ~keep] retires rows: the result has
+    exactly the rows [keep] (old indices, in the given order), i.e.
+    [update ~points:(points.(keep.(0)), …) ~carried:keep].
+    @raise Rrms_guard.Guard.Error.Guard_error as {!update}, and
+    [Invalid_input] when [keep] is empty or out of range. *)
+
 val best_scores :
   ?domains:int ->
   funcs:Rrms_geom.Vec.t array ->

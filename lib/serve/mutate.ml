@@ -1,0 +1,139 @@
+module Obs = Rrms_obs.Obs
+module Delta = Rrms_core.Delta
+
+let ops_of_protocol ops =
+  Array.to_list
+    (Array.map
+       (function
+         | Protocol.Op_insert v -> Delta.Insert v
+         | Protocol.Op_delete i -> Delta.Delete i
+         | Protocol.Op_upsert (i, v) -> Delta.Upsert (i, v))
+       ops)
+
+let summary_json (r : Store.mutated) =
+  Json.Obj
+    ([
+       ("key", Json.Str r.Store.new_key);
+       ("old_key", Json.Str r.Store.old_key);
+       ("generation", Json.int r.Store.generation);
+       ("n", Json.int r.Store.n);
+       ("m", Json.int r.Store.m);
+       ("ops_applied", Json.int r.Store.ops_applied);
+     ]
+    @ (match r.Store.skyline_path with
+      | Some p -> [ ("skyline_path", Json.Str p) ]
+      | None -> [])
+    @ [
+        ("matrices_updated", Json.int r.Store.matrices_updated);
+        ("matrices_dropped", Json.int r.Store.matrices_dropped);
+        ("incs_rebased", Json.int r.Store.incs_rebased);
+        ("results_kept", Json.int r.Store.results_kept);
+        ("results_evicted", Json.int r.Store.results_evicted);
+      ])
+
+(* One mutation request under its own request context, mirroring
+   [Server.run_query]: same error codes, same access-log record shape
+   (algo = "mutate", r = op count), so mutation traffic shows up in the
+   same telemetry pipeline as query traffic. *)
+let run ~telemetry ~session_id ~request_id ~dataset_key ~elapsed_ms ~timeout
+    store ~dataset ops =
+  let ctx =
+    Obs.Ctx.create ~request_id ~session_id
+      ~capture_spans:(Telemetry.capture_spans telemetry)
+      ()
+  in
+  let outcome =
+    Obs.Ctx.with_ctx ctx (fun () ->
+        match Store.mutate ?timeout store ~dataset (ops_of_protocol ops) with
+        | Ok r -> Ok (summary_json r)
+        | Error `Unknown_dataset ->
+            Error
+              ( "unknown_dataset",
+                Printf.sprintf
+                  "no loaded dataset %S (load it first, then mutate by key \
+                   or name)"
+                  dataset )
+        | Error `Overloaded ->
+            Error
+              ( "overloaded",
+                "admission queue is full; the mutation was shed — retry later"
+              )
+        | Error `Deadline_exceeded ->
+            Error
+              ( "deadline_exceeded",
+                "the mutation's deadline expired before it started \
+                 (admission queue wait counts against the timeout)" )
+        | Error `Draining ->
+            Error
+              ( "draining",
+                "the server is draining for shutdown and admits no new \
+                 mutations — retry against the restarted instance" )
+        | exception (Stdlib.Exit | Sys.Break) -> Error ("internal", "interrupted")
+        | exception exn -> (
+            match Protocol.error_of_exn exn with
+            | Some e -> Error e
+            | None -> Error ("internal", Printexc.to_string exn)))
+  in
+  let status = match outcome with Error _ -> "error" | Ok _ -> "ok" in
+  Telemetry.record telemetry
+    {
+      Telemetry.request_id;
+      session_id;
+      algo = "mutate";
+      dataset = dataset_key;
+      r = Array.length ops;
+      gamma = 0;
+      cache = "miss";
+      status;
+      error_code =
+        (match outcome with Error (code, _) -> Some code | Ok _ -> None);
+      queue_wait_ms =
+        1000. *. Obs.Ctx.value ctx "rrms_serve_queue_wait_seconds_total";
+      elapsed_ms = elapsed_ms ();
+      probes = Obs.Ctx.value ctx "rrms_hd_rrms_probes_total";
+      cells = Obs.Ctx.value ctx "rrms_matrix_cells_total";
+      shards = 0;
+    }
+    ~spans:(Obs.Ctx.spans ctx);
+  outcome
+
+(* ------------------------------------------------------------------ *)
+(* WAL replay                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type replayed = { records : int; applied : int; skipped : int }
+
+(* Rehydrate the mutation history at startup.  Each record names its
+   base dataset by content key: if the base is not already resident
+   (from a previous record's chain), its dataset blob is rehydrated and
+   registered first.  The record's stored [new_key] is an end-to-end
+   integrity check — the replayed mutation must land on the exact
+   content hash the original process computed, else the record (and
+   anything building on it) is counted as skipped rather than installing
+   a state the original process never had. *)
+let replay store persist =
+  let applied = ref 0 and skipped = ref 0 in
+  let records =
+    Persist.Wal.replay persist
+      (fun { Persist.Wal.base_key; new_key; ops } ->
+        try
+          let resolved =
+            match Store.resolve store base_key with
+            | Some _ -> true
+            | None -> (
+                match Persist.load_dataset persist ~key:base_key with
+                | Some d ->
+                    ignore (Store.add store d);
+                    true
+                | None -> false)
+          in
+          if not resolved then incr skipped
+          else
+            match
+              Store.mutate ~journal:false store ~dataset:base_key ops
+            with
+            | Ok r when r.Store.new_key = new_key -> incr applied
+            | Ok _ | Error _ -> incr skipped
+        with _ -> incr skipped)
+  in
+  { records; applied = !applied; skipped = !skipped }

@@ -1,0 +1,49 @@
+(** Serve-protocol front-end of the mutation subsystem
+    (docs/DYNAMIC.md).
+
+    Translates the wire-level {!Protocol.mutation_op}s into
+    {!Rrms_core.Delta.mutation}s, runs {!Store.mutate} under a request
+    context with the same telemetry/error-code discipline as the query
+    path, and drives write-ahead-log replay at startup. *)
+
+val ops_of_protocol :
+  Protocol.mutation_op array -> Rrms_core.Delta.mutation list
+
+val summary_json : Store.mutated -> Json.t
+(** The deterministic [result] member of a successful mutation
+    response: new/old content key, generation, row count, the skyline
+    maintenance path taken, and the artifact/cache carry-over tallies. *)
+
+val run :
+  telemetry:Telemetry.t ->
+  session_id:string ->
+  request_id:string ->
+  dataset_key:string ->
+  elapsed_ms:(unit -> float) ->
+  timeout:float option ->
+  Store.t ->
+  dataset:string ->
+  Protocol.mutation_op array ->
+  (Json.t, string * string) result
+(** Execute one mutation request.  Total: every failure — unknown
+    dataset, shedding, deadline, malformed batch, solver guard error —
+    becomes the documented [(code, message)] pair.  Records an
+    access-log line with [algo = "mutate"] and [r] = op count. *)
+
+type replayed = {
+  records : int;  (** valid WAL records scanned *)
+  applied : int;  (** records replayed to the expected content hash *)
+  skipped : int;
+      (** records dropped: base dataset not rehydratable, replay
+          failure, or a post-replay content hash that contradicts the
+          journaled one (integrity stop) *)
+}
+
+val replay : Store.t -> Persist.t -> replayed
+(** Replay the directory's write-ahead delta log into the store —
+    called by [rrms-serve] after opening a [--state-dir], before
+    serving.  For each record the base dataset is resolved (resident,
+    or rehydrated from its blob); the mutation is re-applied with
+    [journal:false]; and the resulting content hash must equal the
+    journaled [new_key] — bit-identity of the rehydrated state is
+    checked, not assumed.  Never raises. *)

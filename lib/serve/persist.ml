@@ -26,6 +26,18 @@ module Metrics = struct
   let partial_cleaned =
     c "rrms_serve_persist_partial_writes_cleaned_total"
       "leftover temp files removed by the startup scan"
+
+  let wal_appends =
+    c "rrms_serve_persist_wal_appends_total"
+      "mutation records appended to the write-ahead delta log"
+
+  let wal_replayed =
+    c "rrms_serve_persist_wal_replayed_total"
+      "mutation records replayed from the write-ahead delta log"
+
+  let wal_torn =
+    c "rrms_serve_persist_wal_torn_total"
+      "write-ahead log tails discarded as torn or corrupt"
 end
 
 (* ------------------------------------------------------------------ *)
@@ -93,7 +105,13 @@ let magic = "RRMB"
 let version = 1
 let header_len = 22
 
-type kind = Dataset_blob | Skyline_blob | Grid_blob | Matrix_blob | Result_blob
+type kind =
+  | Dataset_blob
+  | Skyline_blob
+  | Grid_blob
+  | Matrix_blob
+  | Result_blob
+  | Wal_record
 
 let kind_byte = function
   | Dataset_blob -> 1
@@ -101,6 +119,7 @@ let kind_byte = function
   | Grid_blob -> 3
   | Matrix_blob -> 4
   | Result_blob -> 5
+  | Wal_record -> 6
 
 let kind_of_byte = function
   | 1 -> Some Dataset_blob
@@ -108,6 +127,7 @@ let kind_of_byte = function
   | 3 -> Some Grid_blob
   | 4 -> Some Matrix_blob
   | 5 -> Some Result_blob
+  | 6 -> Some Wal_record
   | _ -> None
 
 let fnv_prime = 0x100000001b3L
@@ -186,7 +206,16 @@ end
 (* ------------------------------------------------------------------ *)
 
 type scan = { valid : int; corrupt : int; partial : int }
-type t = { root : string; mutable scan : scan }
+
+type t = {
+  root : string;
+  mutable scan : scan;
+  (* Validated length of the write-ahead log's good prefix, computed
+     lazily on first WAL touch.  Appends write at this offset (after
+     truncating any torn tail) so a torn record never strands the
+     records appended after it. *)
+  mutable wal_end : int option;
+}
 
 let root t = t.root
 let last_scan t = t.scan
@@ -289,7 +318,7 @@ let open_dir path =
   if not (Sys.is_directory path) then
     Guard.Error.invalid_input
       (Printf.sprintf "Persist.open_dir: %s is not a directory" path);
-  { root = path; scan = scan_dir path }
+  { root = path; scan = scan_dir path; wal_end = None }
 
 (* ------------------------------------------------------------------ *)
 (* Atomic write                                                       *)
@@ -490,3 +519,184 @@ let load_result t ~key ~cache_key =
            match Json.parse body with
            | Ok j -> Some j
            | Error _ -> raise Codec.Truncated))
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead delta log                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Wal = struct
+  let file = "mutations.wal"
+
+  type record = {
+    base_key : string;
+    new_key : string;
+    ops : Rrms_core.Delta.mutation list;
+  }
+
+  let path t = Filename.concat t.root file
+
+  let encode { base_key; new_key; ops } =
+    let buf = Buffer.create 256 in
+    Codec.str buf base_key;
+    Codec.str buf new_key;
+    Codec.u64 buf (List.length ops);
+    List.iter
+      (fun op ->
+        match op with
+        | Rrms_core.Delta.Insert p ->
+            Codec.u64 buf 1;
+            Codec.floats buf p
+        | Rrms_core.Delta.Delete i ->
+            Codec.u64 buf 2;
+            Codec.u64 buf i
+        | Rrms_core.Delta.Upsert (i, p) ->
+            Codec.u64 buf 3;
+            Codec.u64 buf i;
+            Codec.floats buf p)
+      ops;
+    Buffer.contents buf
+
+  let decode r =
+    let base_key = Codec.rstr r in
+    let new_key = Codec.rstr r in
+    let n = Codec.ru64 r in
+    let ops =
+      List.init n (fun _ ->
+          match Codec.ru64 r with
+          | 1 -> Rrms_core.Delta.Insert (Codec.rfloats r)
+          | 2 -> Rrms_core.Delta.Delete (Codec.ru64 r)
+          | 3 ->
+              let i = Codec.ru64 r in
+              Rrms_core.Delta.Upsert (i, Codec.rfloats r)
+          | _ -> raise Codec.Truncated)
+    in
+    if not (Codec.finished r) then raise Codec.Truncated;
+    { base_key; new_key; ops }
+
+  (* Sequential scan of the log: call [f] on every valid record, stop at
+     the first torn / corrupt one.  Returns the byte offset after the
+     last valid record, the record count, and whether a bad tail was
+     seen. *)
+  let scan_records path f =
+    match open_in_bin path with
+    | exception Sys_error _ -> (0, 0, false)
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let size = in_channel_length ic in
+            let ok_end = ref 0 and count = ref 0 and torn = ref false in
+            (try
+               let continue_ = ref true in
+               while !continue_ do
+                 let pos = pos_in ic in
+                 if pos = size then continue_ := false
+                 else if pos + header_len > size then begin
+                   torn := true;
+                   continue_ := false
+                 end
+                 else begin
+                   let h = really_input_string ic header_len in
+                   let plen = Int64.to_int (String.get_int64_le h 6) in
+                   if
+                     String.sub h 0 4 <> magic
+                     || String.get_uint8 h 4 <> version
+                     || String.get_uint8 h 5 <> kind_byte Wal_record
+                     || plen < 0
+                     || pos + header_len + plen > size
+                   then begin
+                     torn := true;
+                     continue_ := false
+                   end
+                   else begin
+                     let payload = really_input_string ic plen in
+                     if checksum payload <> String.get_int64_le h 14 then begin
+                       torn := true;
+                       continue_ := false
+                     end
+                     else
+                       match decode (Codec.reader payload) with
+                       | record ->
+                           f record;
+                           ok_end := pos_in ic;
+                           incr count
+                       | exception Codec.Truncated ->
+                           torn := true;
+                           continue_ := false
+                   end
+                 end
+               done
+             with End_of_file | Sys_error _ -> torn := true);
+            (!ok_end, !count, !torn))
+
+  let valid_end t =
+    match t.wal_end with
+    | Some e -> e
+    | None ->
+        let e, _, torn = scan_records (path t) (fun _ -> ()) in
+        if torn then Obs.Counter.incr Metrics.wal_torn;
+        t.wal_end <- Some e;
+        e
+
+  (* Append one checksummed record at the validated end of the log,
+     fsync'd before the caller proceeds to install the mutation.  Like
+     every persist write this never raises: an I/O failure is counted
+     and the service degrades to memory-only durability for that
+     mutation.  The injected faults land here exactly as on the blob
+     path: a crash dies mid-record with SIGKILL's exit code, a torn
+     write leaves a half record that the next append (or the startup
+     scan) truncates away. *)
+  let append t record =
+    let payload = encode record in
+    let hdr = header ~kind:Wal_record payload in
+    let e = valid_end t in
+    let write chunks =
+      let fd =
+        Unix.openfile (path t) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.ftruncate fd e with Unix.Unix_error _ -> ());
+          ignore (Unix.lseek fd e Unix.SEEK_SET);
+          List.iter
+            (fun s ->
+              let b = Bytes.unsafe_of_string s in
+              let n = Bytes.length b in
+              let off = ref 0 in
+              while !off < n do
+                off := !off + Unix.write fd b !off (n - !off)
+              done)
+            chunks;
+          Unix.fsync fd)
+    in
+    match Fault.on_write () with
+    | Fault.Write_crash ->
+        (try write [ hdr; half payload ] with Unix.Unix_error _ -> ());
+        Unix._exit 137
+    | Fault.Write_torn ->
+        (* wal_end stays at the pre-write offset: the next append (or
+           the next process's scan) truncates the torn record away. *)
+        (try write [ hdr; half payload ] with Unix.Unix_error _ -> ());
+        Obs.Counter.incr Metrics.write_errors
+    | Fault.Write_ok -> (
+        try
+          write [ hdr; payload ];
+          t.wal_end <- Some (e + String.length hdr + String.length payload);
+          Obs.Counter.incr Metrics.wal_appends
+        with Unix.Unix_error _ | Sys_error _ ->
+          Obs.Counter.incr Metrics.write_errors)
+
+  let replay t f =
+    let count_ok = ref 0 in
+    let e, count, torn =
+      scan_records (path t) (fun record ->
+          f record;
+          incr count_ok;
+          Obs.Counter.incr Metrics.wal_replayed)
+    in
+    ignore !count_ok;
+    if torn then Obs.Counter.incr Metrics.wal_torn;
+    t.wal_end <- Some e;
+    count
+end

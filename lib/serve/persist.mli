@@ -58,6 +58,16 @@ module Metrics : sig
 
   val partial_cleaned : Rrms_obs.Obs.Counter.t
   (** Leftover temp files removed by the startup scan. *)
+
+  val wal_appends : Rrms_obs.Obs.Counter.t
+  (** Mutation records durably appended to the write-ahead log. *)
+
+  val wal_replayed : Rrms_obs.Obs.Counter.t
+  (** Mutation records replayed from the log at rehydration. *)
+
+  val wal_torn : Rrms_obs.Obs.Counter.t
+  (** Torn / corrupt log tails detected (and truncated away by the
+      next append). *)
 end
 
 (** Fault injection for the durability layer, mirroring
@@ -132,3 +142,42 @@ val save_result : t -> key:string -> cache_key:string -> Json.t -> unit
     wrong answer. *)
 
 val load_result : t -> key:string -> cache_key:string -> Json.t option
+
+(** {2 Write-ahead delta log} — docs/DYNAMIC.md describes the format.
+
+    Mutations are journaled to a single append-only file
+    ([mutations.wal]) in the state directory {e before} they are
+    installed in memory, so a crash at any point leaves a replayable
+    prefix.  Each record reuses the blob header (magic, version, kind,
+    length, FNV-1a checksum) followed by the base dataset key, the
+    expected post-mutation key, and the op list.  {!Wal.append}
+    validates the log's tail first and truncates a torn final record
+    (counted in [rrms_serve_persist_wal_torn_total]) before writing, so
+    torn tails self-heal; appends [fsync] before returning.  Like every
+    persist write, appends never raise — an I/O failure degrades that
+    mutation to memory-only durability and is counted. *)
+module Wal : sig
+  val file : string
+  (** File name of the log inside the state directory
+      ([mutations.wal]); deliberately not [*.blob], so the startup
+      blob scan ignores it. *)
+
+  type record = {
+    base_key : string;  (** dataset key the ops apply to *)
+    new_key : string;
+        (** content hash of the post-mutation dataset — an integrity
+            check: replay verifies the recomputed key matches and stops
+            the chain on a mismatch *)
+    ops : Rrms_core.Delta.mutation list;
+  }
+
+  val append : t -> record -> unit
+  (** Durably append one record at the validated end of the log
+      (truncating a torn tail first).  Never raises. *)
+
+  val replay : t -> (record -> unit) -> int
+  (** Scan the log from the start, calling the function on every valid
+      record in order; stops at the first torn / corrupt record.
+      Returns the number of records replayed.  The callback must not
+      raise. *)
+end

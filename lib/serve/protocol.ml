@@ -32,6 +32,11 @@ type query = {
   use_cache : bool;
 }
 
+type mutation_op =
+  | Op_insert of float array
+  | Op_delete of int
+  | Op_upsert of int * float array
+
 type request =
   | Load of {
       path : string;
@@ -42,6 +47,11 @@ type request =
     }
   | Query of query
   | Batch of { dataset : string; items : (query, string * string) result array }
+  | Mutate of {
+      dataset : string;
+      ops : mutation_op array;
+      timeout : float option;
+    }
   | Skyline of { dataset : string; timeout : float option }
   | Stats
   | Evict of { dataset : string }
@@ -195,6 +205,63 @@ let parse_batch obj =
   | Some _ -> bad "field \"items\" must be an array"
   | None -> bad "missing required field \"items\""
 
+(* Mutation parsing.  Unlike batch items, a mutation batch is
+   transactional — it applies atomically or not at all — so any
+   malformed op fails the whole request with [bad_request]. *)
+let req_values obj =
+  match Json.member "values" obj with
+  | Some (Json.Arr (_ :: _ as l)) ->
+      Array.of_list
+        (List.map
+           (function
+             | Json.Num v when Float.is_finite v && v >= 0. -> v
+             | _ ->
+                 bad
+                   "field \"values\" must contain finite non-negative numbers")
+           l)
+  | Some _ -> bad "field \"values\" must be a non-empty array of numbers"
+  | None -> bad "missing required field \"values\""
+
+let req_index obj =
+  let i = req_int obj "index" in
+  if i < 0 then bad "field \"index\" must be >= 0";
+  i
+
+let parse_op obj =
+  match req_string obj "op" with
+  | "insert" -> Op_insert (req_values obj)
+  | "delete" -> Op_delete (req_index obj)
+  | "upsert" -> Op_upsert (req_index obj, req_values obj)
+  | k -> bad "unknown mutation op %S (expected insert | delete | upsert)" k
+
+let parse_mutation obj ops =
+  let timeout = opt_number obj "timeout" in
+  (match timeout with
+  | Some t when t <= 0. -> bad "field \"timeout\" must be > 0"
+  | _ -> ());
+  Mutate { dataset = req_string obj "dataset"; ops; timeout }
+
+let parse_mutate_batch obj =
+  match Json.member "ops" obj with
+  | Some (Json.Arr ops) ->
+      if ops = [] then bad "field \"ops\" must not be empty";
+      if List.length ops > max_batch_items then
+        bad "field \"ops\" exceeds the %d-op batch limit" max_batch_items;
+      let ops =
+        Array.of_list
+          (List.mapi
+             (fun i op ->
+               match op with
+               | Json.Obj _ -> (
+                   try parse_op op
+                   with Bad_request msg -> bad "op %d: %s" i msg)
+               | _ -> bad "op %d: must be an object" i)
+             ops)
+      in
+      parse_mutation obj ops
+  | Some _ -> bad "field \"ops\" must be an array"
+  | None -> bad "missing required field \"ops\""
+
 let parse_body obj =
   match Json.member "req" obj with
   | None -> bad "missing required field \"req\""
@@ -224,6 +291,11 @@ let parse_body obj =
             }
       | "query" -> parse_query obj
       | "batch" -> parse_batch obj
+      | "insert" -> parse_mutation obj [| Op_insert (req_values obj) |]
+      | "delete" -> parse_mutation obj [| Op_delete (req_index obj) |]
+      | "upsert" ->
+          parse_mutation obj [| Op_upsert (req_index obj, req_values obj) |]
+      | "mutate" -> parse_mutate_batch obj
       | "skyline" ->
           let timeout = opt_number obj "timeout" in
           (match timeout with
@@ -236,8 +308,9 @@ let parse_body obj =
       | "shutdown" -> Shutdown
       | k ->
           bad
-            "unknown request kind %S (expected load | query | batch | skyline \
-             | stats | evict | ping | shutdown)"
+            "unknown request kind %S (expected load | query | batch | insert \
+             | delete | upsert | mutate | skyline | stats | evict | ping | \
+             shutdown)"
             k)
   | Some _ -> bad "field \"req\" must be a string"
 

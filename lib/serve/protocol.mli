@@ -40,6 +40,12 @@ type query = {
   use_cache : bool;  (** [false] forces a fresh solve (cache bypass) *)
 }
 
+type mutation_op =
+  | Op_insert of float array  (** append a tuple (["insert"]) *)
+  | Op_delete of int  (** delete the tuple at this index (["delete"]) *)
+  | Op_upsert of int * float array
+      (** replace the tuple at this index (["upsert"]) *)
+
 type request =
   | Load of {
       path : string;
@@ -59,6 +65,21 @@ type request =
           inherit the batch [dataset] (repeating it verbatim is
           allowed; contradicting it is a per-item error).  At most
           {!max_batch_items} items. *)
+  | Mutate of {
+      dataset : string;
+      ops : mutation_op array;
+      timeout : float option;
+    }
+      (** A dataset mutation: the single-op kinds [insert] / [delete] /
+          [upsert] (fields ["values"] / ["index"] on the request
+          itself) and the batched kind [mutate] (an ["ops"] array of
+          [{"op": …, "index": …, "values": …}] objects, at most
+          {!max_batch_items}) all parse to this.  Ops apply with
+          sequential left-to-right semantics, atomically: unlike batch
+          query items, one malformed op fails the whole request
+          ([bad_request]), and a runtime failure (bad index, dimension
+          mismatch) leaves the dataset untouched.  Indices refer to the
+          dataset's current row order at each step. *)
   | Skyline of { dataset : string; timeout : float option }
       (** The dataset's skyline indices — the per-shard half of the
           router fan-out.  Shard-local indices when the dataset was
@@ -75,7 +96,10 @@ val max_batch_items : int
 (** Stable error codes of the protocol (docs/SERVING.md lists them):
     [parse], [bad_request], [invalid_input], [timeout],
     [resource_limit], [numerical], [unknown_dataset], [overloaded],
-    [shard_failure], [internal]. *)
+    [shard_failure], [read_only], [internal].  [read_only] is the
+    documented rejection for mutation ops sent to an endpoint without
+    writable state — the shard router fans out over read-only worker
+    slices, so mutations must go to the workers' owning store. *)
 
 exception Shard_failure of string
 (** A shard worker became unreachable or answered an error during a

@@ -264,6 +264,23 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                            ("count", Json.int (List.length results));
                            ("results", Json.Arr results);
                          ])))
+    | Ok (Protocol.Mutate { dataset; ops; timeout }) ->
+        (* Mutations follow the query discipline: one request context,
+           admission-gated inside the store, end-to-end deadline, one
+           access-log line (algo = "mutate"). *)
+        incr reqno;
+        let request_id = Printf.sprintf "%s-r%d" session_id !reqno in
+        let dataset_key =
+          match Store.resolve store dataset with
+          | Some key -> key
+          | None -> dataset
+        in
+        (match
+           Mutate.run ~telemetry ~session_id ~request_id ~dataset_key
+             ~elapsed_ms ~timeout store ~dataset ops
+         with
+        | Ok result -> ok result
+        | Error (code, message) -> error code message)
     | Ok (Protocol.Skyline { dataset; timeout }) ->
         (* The per-shard half of the router fan-out: compute (or fetch)
            the dataset's skyline artifact under admission, honouring the

@@ -6,6 +6,7 @@ module Discretize = Rrms_core.Discretize
 module Regret_matrix = Rrms_core.Regret_matrix
 module Hd_rrms = Rrms_core.Hd_rrms
 module Hd_greedy = Rrms_core.Hd_greedy
+module Delta = Rrms_core.Delta
 
 let with_lock m f =
   Mutex.lock m;
@@ -46,6 +47,14 @@ module Metrics = struct
   let worker_failures =
     c ~deterministic:false "rrms_shard_worker_failures_total"
       "router fan-out legs that failed after the redial retry"
+
+  let mutations =
+    c "rrms_shard_mutations_total"
+      "mutation batches fanned out across the in-process partitions"
+
+  let stale_fallbacks =
+    c ~deterministic:false "rrms_shard_stale_fallbacks_total"
+      "queries answered by the coordinator alone after racing a mutation"
 end
 
 (* ------------------------------------------------------------------ *)
@@ -190,6 +199,12 @@ let cleanup_if_freed t key =
 exception Sub_overloaded
 exception Deadline
 
+(* The partition record a fan-out is holding was superseded by a racing
+   mutation (sub-store re-keyed, slice lengths changed).  Never an
+   error: the coordinator still holds the full dataset, so the query
+   falls back to the gather path — exact, merely unassisted. *)
+exception Stale_partition
+
 (* One systhread per shard; every task's exception is captured and
    rethrown after the join (lowest shard first), so a failed leg never
    leaks a running thread. *)
@@ -243,7 +258,9 @@ let sub_skyline t part s =
   | Some key -> (
       let st = t.stores.(s) in
       match Store.pin st key with
-      | None -> Guard.Error.invalid_input "Shard: sub-store entry vanished"
+      | None ->
+          (* Released by a racing mutation's re-partition. *)
+          raise Stale_partition
       | Some h ->
           Fun.protect
             ~finally:(fun () -> Store.unpin st h)
@@ -252,7 +269,14 @@ let sub_skyline t part s =
                 Store.with_admission st (fun () -> Store.skyline_of st h)
               with
               | Error `Overloaded -> raise Sub_overloaded
-              | Ok local -> Array.map (fun l -> part.members.(s).(l)) local))
+              | Ok local ->
+                  let idxs = part.members.(s) in
+                  let len = Array.length idxs in
+                  Array.map
+                    (fun l ->
+                      if l < 0 || l >= len then raise Stale_partition;
+                      idxs.(l))
+                    local))
 
 (* Install the merged skyline and the merged γ-matrix into the
    coordinator entry, so [Store.query_pinned] then takes its ordinary
@@ -260,7 +284,23 @@ let sub_skyline t part s =
    bit-identical inputs as the unsharded store, hence a byte-identical
    answer (the Exact merge certificate). *)
 let prepare_certified t h part (q : Protocol.query) ~guard =
+  (* One coherent view of the entry: artifacts computed below describe
+     exactly this generation's rows, and the [expect_generation] guard
+     on both preloads drops them silently if a mutation lands first
+     (the query then solves on the live entry — exact, unassisted). *)
+  let _, generation, _, rows = Store.pinned_snapshot h in
+  let n = Array.length rows in
   let _, m = Store.pinned_dims h in
+  (* Row → owning shard, from the partition record itself.  Freshly
+     registered datasets are round-robin (global ≡ s mod N) but a
+     mutated partition is not: inserts land on the shard that was
+     shortest at insert time, so membership must be looked up, never
+     recomputed from the arithmetic. *)
+  let owner = Array.make n (-1) in
+  Array.iteri
+    (fun s idxs ->
+      Array.iter (fun g -> if g >= 0 && g < n then owner.(g) <- s) idxs)
+    part.members;
   let merged =
     let sky_cached, _ = Store.artifacts_cached h ~gamma:q.Protocol.gamma in
     if sky_cached then Store.skyline_of t.coordinator h
@@ -268,10 +308,12 @@ let prepare_certified t h part (q : Protocol.query) ~guard =
       let parts_global = join (fan_out t (fun s -> sub_skyline t part s)) in
       Obs.Counter.incr Metrics.skyline_merges;
       let merged =
-        Skyline.merge_partitions ~domains:t.domains (Store.pinned_rows h)
-          parts_global
+        Skyline.merge_partitions ~domains:t.domains rows parts_global
       in
-      ignore (Store.preload_skyline t.coordinator h merged : bool);
+      ignore
+        (Store.preload_skyline ~expect_generation:generation t.coordinator h
+           merged
+          : bool);
       merged
     end
   in
@@ -281,16 +323,15 @@ let prepare_certified t h part (q : Protocol.query) ~guard =
   let gamma_used = Store.effective_gamma ~rows:(Array.length merged) ~m q in
   let _, mat_cached = Store.artifacts_cached h ~gamma:gamma_used in
   if not mat_cached then begin
-    let rows = Store.pinned_rows h in
     let funcs = Store.grid_of t.coordinator ~m ~gamma:gamma_used in
-    (* Merged-skyline rows grouped by owning shard (global ≡ s mod N):
-       each shard scores and fills exactly the rows it owns, in
-       ascending row order. *)
+    (* Merged-skyline rows grouped by owning shard: each shard scores
+       and fills exactly the rows it owns, in ascending row order. *)
     let rows_of = Array.make t.shards [] in
     let nrows = Array.length merged in
     for pos = nrows - 1 downto 0 do
       let gi = merged.(pos) in
-      let s = gi mod t.shards in
+      if gi < 0 || gi >= n || owner.(gi) < 0 then raise Stale_partition;
+      let s = owner.(gi) in
       rows_of.(s) <- (pos, gi) :: rows_of.(s)
     done;
     let bests =
@@ -317,7 +358,8 @@ let prepare_certified t h part (q : Protocol.query) ~guard =
                 rows_of.(s))));
     Obs.Counter.incr Metrics.matrix_merges;
     ignore
-      (Store.preload_matrix t.coordinator h ~gamma:gamma_used
+      (Store.preload_matrix ~expect_generation:generation t.coordinator h
+         ~gamma:gamma_used
          (Regret_matrix.import ~rows:nrows ~best ~cells)
         : bool)
   end
@@ -346,7 +388,7 @@ let union_solve t h part (q : Protocol.query) ~guard =
     | Some key -> (
         let st = t.stores.(s) in
         match Store.pin st key with
-        | None -> Guard.Error.invalid_input "Shard: sub-store entry vanished"
+        | None -> raise Stale_partition
         | Some hs ->
             Fun.protect
               ~finally:(fun () -> Store.unpin st hs)
@@ -360,8 +402,14 @@ let union_solve t h part (q : Protocol.query) ~guard =
                       let _, matrix =
                         Store.matrix_of st hs ~gamma:gamma_used ~guard
                       in
+                      let idxs = part.members.(s) in
+                      let len = Array.length idxs in
                       let global =
-                        Array.map (fun l -> part.members.(s).(l)) sky
+                        Array.map
+                          (fun l ->
+                            if l < 0 || l >= len then raise Stale_partition;
+                            idxs.(l))
+                          sky
                       in
                       match q.Protocol.algo with
                       | Protocol.Hd_rrms ->
@@ -451,6 +499,14 @@ let query ?(merge = Certified) t (q : Protocol.query) =
           let part =
             with_lock t.p_lock (fun () -> Hashtbl.find_opt t.parts key)
           in
+          (* A fan-out that raced a mutation's re-partition falls back
+             to the coordinator alone: it holds the full (current)
+             dataset, so the answer stays exact — only the shard assist
+             is lost for this one query. *)
+          let stale_fallback () =
+            Obs.Counter.incr Metrics.stale_fallbacks;
+            Store.query_pinned t.coordinator h q
+          in
           match (part, q.Protocol.algo, merge) with
           | Some part, (Protocol.Hd_rrms | Protocol.Hd_greedy), Certified -> (
               Obs.Counter.incr Metrics.certified;
@@ -460,20 +516,190 @@ let query ?(merge = Certified) t (q : Protocol.query) =
                   Store.query_pinned t.coordinator h
                     (remaining_query ~guard q)
               | exception Deadline -> Error `Deadline_exceeded
-              | exception Sub_overloaded -> Error `Overloaded)
+              | exception Sub_overloaded -> Error `Overloaded
+              | exception Stale_partition -> stale_fallback ())
           | Some part, (Protocol.Hd_rrms | Protocol.Hd_greedy), Union -> (
               Obs.Counter.incr Metrics.union;
               let guard = budget_of q in
               match union_solve t h part q ~guard with
               | r -> r
               | exception Deadline -> Error `Deadline_exceeded
-              | exception Sub_overloaded -> Error `Overloaded)
+              | exception Sub_overloaded -> Error `Overloaded
+              | exception Stale_partition -> stale_fallback ())
           | _ ->
               (* Non-decomposable algorithms (and datasets that predate
                  the partition table): the coordinator holds the full
                  dataset, so the ordinary path is trivially Exact. *)
               Obs.Counter.incr Metrics.gather;
               Store.query_pinned t.coordinator h q)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Translate the coordinator-validated global op stream into one local
+   stream per shard.
+
+   Simulation invariant: [assign] mirrors the current global row
+   sequence, holding each row's owning shard, so a row's shard-local
+   index is its rank among same-shard rows.  Restricting the global
+   stream to one shard's rows yields a valid local stream, because no
+   op on another shard's rows ever disturbs the relative order of this
+   shard's rows: a delete shifts global indices but preserves order, an
+   insert appends at the global end (which is also every shard's local
+   end).  Existing rows keep their shard; an insert goes to shard
+   [current_length mod shards] — round-robin over the live length, so
+   slices stay balanced without moving resident rows.
+
+   Returns the per-shard streams (in op order) and the new [members]
+   arrays (ascending global indices, matching sub-store row order). *)
+let translate_ops ~shards ~n0 muts =
+  let assign = ref (Array.make (max 16 n0) (-1)) in
+  let len = ref n0 in
+  let ensure_room () =
+    if !len >= Array.length !assign then begin
+      let bigger = Array.make (2 * Array.length !assign) (-1) in
+      Array.blit !assign 0 bigger 0 !len;
+      assign := bigger
+    end
+  in
+  for g = 0 to n0 - 1 do
+    !assign.(g) <- g mod shards
+  done;
+  (* The initial assignment is overwritten below from the partition
+     record itself — a mutated partition is no longer round-robin. *)
+  let streams = Array.make shards [] in
+  let push s op = streams.(s) <- op :: streams.(s) in
+  let rank s i =
+    let c = ref 0 in
+    for j = 0 to i - 1 do
+      if !assign.(j) = s then incr c
+    done;
+    !c
+  in
+  let seed members =
+    Array.iteri
+      (fun s idxs ->
+        Array.iter (fun g -> if g >= 0 && g < n0 then !assign.(g) <- s) idxs)
+      members
+  in
+  let run () =
+    List.iter
+      (fun op ->
+        match op with
+        | Delta.Insert v ->
+            let s = !len mod shards in
+            ensure_room ();
+            !assign.(!len) <- s;
+            incr len;
+            push s (Delta.Insert v)
+        | Delta.Delete i ->
+            let s = !assign.(i) in
+            push s (Delta.Delete (rank s i));
+            Array.blit !assign (i + 1) !assign i (!len - i - 1);
+            decr len
+        | Delta.Upsert (i, v) ->
+            let s = !assign.(i) in
+            push s (Delta.Upsert (rank s i, v)))
+      muts;
+    let lists = Array.make shards [] in
+    for g = !len - 1 downto 0 do
+      lists.(!assign.(g)) <- g :: lists.(!assign.(g))
+    done;
+    ( Array.map (fun l -> List.rev l) streams,
+      Array.map Array.of_list lists )
+  in
+  (seed, run)
+
+(* Re-key the partition record after the coordinator accepted the
+   batch: apply each shard's local stream to its sub-store (or rebuild
+   the slice from the new coordinator dataset when the incremental path
+   is unavailable), and move the record from [key0] to [new_key]. *)
+let repartition t h part ~key0 ~new_key ~base_n muts =
+  let d' = Store.pinned_dataset h in
+  let release_sub s =
+    match part.sub_keys.(s) with
+    | Some k -> ignore (Store.release t.stores.(s) k : Store.release)
+    | None -> ()
+  in
+  let fresh_sub s idxs =
+    if Array.length idxs = 0 then None
+    else Some (Store.add t.stores.(s) (Dataset.select d' idxs)).Store.key
+  in
+  let n0 =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 part.members
+  in
+  let members', sub_keys' =
+    if n0 <> base_n then begin
+      (* The record disagrees with the entry it claims to partition —
+         only reachable if it was left behind by an earlier defensive
+         rebuild.  Re-slice from scratch; still exact. *)
+      let members' = partition ~shards:t.shards (Dataset.size d') in
+      ( members',
+        Array.mapi
+          (fun s idxs ->
+            release_sub s;
+            fresh_sub s idxs)
+          members' )
+    end
+    else begin
+      let seed, run = translate_ops ~shards:t.shards ~n0 muts in
+      seed part.members;
+      let streams, members' = run () in
+      let sub_keys' =
+        Array.init t.shards (fun s ->
+            let target = members'.(s) in
+            if Array.length target = 0 then begin
+              release_sub s;
+              None
+            end
+            else
+              match (part.sub_keys.(s), streams.(s)) with
+              | Some k, [] -> Some k
+              | Some k, ops -> (
+                  match
+                    Store.mutate ~journal:false t.stores.(s) ~dataset:k ops
+                  with
+                  | Ok rs -> Some rs.Store.new_key
+                  | Error _ ->
+                      release_sub s;
+                      fresh_sub s target
+                  | exception _ ->
+                      release_sub s;
+                      fresh_sub s target)
+              | None, _ -> fresh_sub s target)
+      in
+      (members', sub_keys')
+    end
+  in
+  with_lock t.p_lock (fun () ->
+      Hashtbl.remove t.parts key0;
+      Hashtbl.replace t.parts new_key
+        { members = members'; sub_keys = sub_keys' })
+
+let mutate ?timeout t ~dataset muts =
+  with_lock t.load_lock (fun () ->
+      match Store.pin t.coordinator dataset with
+      | None -> Error `Unknown_dataset
+      | Some h ->
+          Fun.protect
+            ~finally:(fun () -> Store.unpin t.coordinator h)
+            (fun () ->
+              let key0 = Store.pinned_key h in
+              let base_n, _ = Store.pinned_dims h in
+              let part =
+                with_lock t.p_lock (fun () -> Hashtbl.find_opt t.parts key0)
+              in
+              match Store.mutate ?timeout t.coordinator ~dataset muts with
+              | Error _ as e -> e
+              | Ok r ->
+                  Option.iter
+                    (fun part ->
+                      Obs.Counter.incr Metrics.mutations;
+                      repartition t h part ~key0 ~new_key:r.Store.new_key
+                        ~base_n muts)
+                    part;
+                  Ok r))
 
 let stats t =
   match Store.stats t.coordinator with
@@ -940,6 +1166,14 @@ module Router = struct
                   | _ -> reply)
               | _ -> reply)
           | x -> x)
+      | Ok (Protocol.Mutate _) ->
+          (* The router's workers each hold a read-only slice of every
+             dataset; accepting a write here would silently fork the
+             router's copy away from theirs.  Documented wire code. *)
+          error "read_only"
+            "the shard router fans out over read-only worker slices; send \
+             mutations to the store that owns the writable state (an \
+             rrms-serve instance without --router)"
       | Ok (Protocol.Skyline _)
       | Ok (Protocol.Evict _)
       | Ok Protocol.Ping | Ok Protocol.Shutdown | Error _ ->

@@ -49,6 +49,13 @@ module Metrics : sig
   val worker_failures : Rrms_obs.Obs.Counter.t
   (** Fan-out legs that failed after the one redial retry
       (non-deterministic). *)
+
+  val mutations : Rrms_obs.Obs.Counter.t
+  (** Mutation batches fanned out across the in-process partitions. *)
+
+  val stale_fallbacks : Rrms_obs.Obs.Counter.t
+  (** Queries that raced a mutation's re-partition and were answered by
+      the coordinator alone — still exact (non-deterministic). *)
 end
 
 val partition : shards:int -> int -> int array array
@@ -112,6 +119,29 @@ val query :
     is one end-to-end deadline — fan-out time counts against the solve.
     Error union and exceptions as {!Store.query}. *)
 
+val mutate :
+  ?timeout:float ->
+  t ->
+  dataset:string ->
+  Rrms_core.Delta.mutation list ->
+  ( Store.mutated,
+    [ `Overloaded | `Unknown_dataset | `Deadline_exceeded | `Draining ] )
+  result
+(** Apply one mutation batch to the coordinator {e and} its partitions
+    (docs/DYNAMIC.md).  The coordinator's {!Store.mutate} runs first —
+    it validates, journals and installs the new generation — then the
+    global op stream is translated into one shard-local stream per
+    sub-store: existing rows keep their shard, inserts round-robin over
+    the live length, and each slice is maintained by its own
+    incremental {!Store.mutate} (rebuilt from the new dataset only if
+    that fails).  The partition record moves to the new content key, so
+    subsequent certified merges stay bit-identical to an unsharded
+    solve over the mutated dataset.  Queries racing the re-partition
+    fall back to the coordinator alone (exact; counted by
+    {!Metrics.stale_fallbacks}).  Serialized with loads and releases;
+    datasets registered directly on the coordinator store (no partition
+    record) mutate there alone. *)
+
 val stats : t -> Json.t
 (** Coordinator {!Store.stats} plus a ["shard"] member (shard count,
     per-sub-store admission state). *)
@@ -153,7 +183,10 @@ module Router : sig
       server; other algorithms and requests run on the router's store
       directly.  Worker failures answer [shard_failure] (per query or
       per batch item — the session survives); a worker-side deadline
-      expiry propagates as [deadline_exceeded]. *)
+      expiry propagates as [deadline_exceeded].  Mutation requests are
+      rejected with the documented [read_only] code: the workers hold
+      read-only slices, so a write accepted here would fork the
+      router's copy away from theirs. *)
 
   val close : t -> unit
   (** Drop all worker connections (the workers themselves keep

@@ -10,6 +10,8 @@ module Rrms2d = Rrms_core.Rrms2d
 module Sweepline = Rrms_core.Sweepline
 module Greedy = Rrms_core.Greedy
 module Cube = Rrms_core.Cube
+module Delta = Rrms_core.Delta
+module Mrst = Rrms_core.Mrst
 
 module Metrics = struct
   let c ?(deterministic = true) name help =
@@ -46,6 +48,24 @@ module Metrics = struct
 
   let result_misses =
     c "rrms_serve_result_misses_total" "result-cache misses (solver ran)"
+
+  let mutations = c "rrms_serve_mutations_total" "mutation batches applied"
+
+  let mutation_ops =
+    c "rrms_serve_mutation_ops_total" "individual mutation ops applied"
+
+  let results_carried =
+    c "rrms_serve_results_carried_total"
+      "cached results kept warm across a mutation by the delta-scoped \
+       invalidation proof"
+
+  let results_invalidated =
+    c "rrms_serve_results_invalidated_total"
+      "cached results evicted by a mutation"
+
+  let incs_rebased =
+    c "rrms_serve_mrst_rebased_total"
+      "pooled MRST probe states rebased (sort reuse) across a mutation"
 
   (* One per [pin]: the query paths resolve-and-pin exactly once per
      request, so a batch of k items over one dataset adds 1 here where k
@@ -109,30 +129,62 @@ let hash_string h s =
   let h = String.fold_left (fun h c -> hash_byte h (Char.code c)) h s in
   hash_byte h 0xff
 
+(* The cell loop runs on native ints: per-byte FNV boxes an Int64
+   multiply per byte, which at ~1M boxed operations per rehash puts
+   milliseconds on every mutation of a large table (the content rehash
+   is the dominant maintenance cost there).  Two multiply-xor rounds
+   per cell over the IEEE bits give the same guarantees the comment
+   above promises — deterministic, stable across runs on 64-bit
+   platforms, not adversarial-proof — at a fraction of the cost. *)
+let mix_cell h bits =
+  let lo = Int64.to_int bits in
+  let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+  let h = (h lxor lo) * 0x2545F4914F6CDD1D in
+  let h = (h lxor hi) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
 let hash_dataset d =
   let h = ref 0xcbf29ce484222325L in
   h := hash_int64 !h (Int64.of_int (Dataset.dim d));
   h := hash_int64 !h (Int64.of_int (Dataset.size d));
   Array.iter (fun a -> h := hash_string !h a) (Dataset.attributes d);
+  let acc = ref (Int64.to_int !h) in
   for i = 0 to Dataset.size d - 1 do
     for j = 0 to Dataset.dim d - 1 do
-      h := hash_int64 !h (Int64.bits_of_float (Dataset.value d i j))
+      acc := mix_cell !acc (Int64.bits_of_float (Dataset.value d i j))
     done
   done;
-  Printf.sprintf "%016Lx" !h
+  Printf.sprintf "%016Lx" (Int64.of_int !acc)
 
 (* ------------------------------------------------------------------ *)
 (* State                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* A pooled MRST probe state, valid only for the exact matrix it was
+   created (or rebased) over — checkout verifies physical equality, so
+   a slot left behind by a replaced matrix is simply never reused. *)
+type inc_slot = { inc : Mrst.Incremental.t; for_matrix : Regret_matrix.t }
+
 type entry = {
-  key : string;
-  dataset : Dataset.t;
-  rows : Rrms_geom.Vec.t array;  (* materialized once; treated immutable *)
+  (* [key]/[dataset]/[rows] are rebound wholesale by [mutate] (the row
+     array itself is never mutated in place), under [t.lock] + [e_lock];
+     readers outside [t.lock] snapshot them under [e_lock] so a solve
+     works on one consistent generation throughout. *)
+  mutable key : string;
+  mutable dataset : Dataset.t;
+  mutable rows : Rrms_geom.Vec.t array;
   e_lock : Mutex.t;  (* guards the artifact fields below *)
+  mu_lock : Mutex.t;
+      (* serializes mutations on this entry; taken before [t.lock] /
+         [e_lock] and never the other way, so it cannot deadlock with
+         the query paths *)
+  mutable generation : int;
+      (* bumped by every mutation; lets a solve that raced a mutation
+         detect that its answer belongs to a previous generation *)
   mutable skyline : int array option;
   mutable hull : Rrms2d.ctx option;
   mutable matrices : (int * Regret_matrix.t) list;  (* keyed by γ *)
+  mutable incs : (int * inc_slot) list;  (* keyed by γ, like [matrices] *)
   results : (string, Json.t) Hashtbl.t;  (* Protocol.cache_key → result *)
   (* NOT guarded by [e_lock]: [refs] is read and written only under
      [t.lock], together with the entry tables it keeps consistent — a
@@ -232,9 +284,12 @@ let register t ~warnings d =
               dataset = d;
               rows = Dataset.rows d;
               e_lock = Mutex.create ();
+              mu_lock = Mutex.create ();
+              generation = 0;
               skyline = None;
               hull = None;
               matrices = [];
+              incs = [];
               results = Hashtbl.create 16;
               refs = 1;
             }
@@ -364,9 +419,22 @@ let unpin t (e : handle) =
         | Some resident when resident == e -> free_locked t e
         | _ -> ())
 
-let pinned_key (e : handle) = e.key
-let pinned_dims (e : handle) = (Dataset.size e.dataset, Dataset.dim e.dataset)
-let pinned_rows (e : handle) = e.rows
+(* Pinned-entry accessors snapshot under [e_lock]: a concurrent
+   mutation rebinds these fields atomically, so one accessor call
+   returns one generation's value (callers that need several fields
+   from the same generation use [pinned_snapshot]). *)
+let pinned_key (e : handle) = with_lock e.e_lock (fun () -> e.key)
+
+let pinned_dims (e : handle) =
+  with_lock e.e_lock (fun () ->
+      (Dataset.size e.dataset, Dataset.dim e.dataset))
+
+let pinned_rows (e : handle) = with_lock e.e_lock (fun () -> e.rows)
+let pinned_dataset (e : handle) = with_lock e.e_lock (fun () -> e.dataset)
+let pinned_generation (e : handle) = with_lock e.e_lock (fun () -> e.generation)
+
+let pinned_snapshot (e : handle) =
+  with_lock e.e_lock (fun () -> (e.key, e.generation, e.dataset, e.rows))
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                          *)
@@ -586,37 +654,59 @@ let artifacts_cached (e : handle) ~gamma =
   with_lock e.e_lock (fun () ->
       (e.skyline <> None, List.mem_assoc gamma e.matrices))
 
-let preload_skyline t (e : handle) sky =
-  let n = Array.length e.rows in
+(* [expect_generation] guards against installing an artifact computed
+   against a generation the entry has since mutated away from: the
+   shard layer captures the generation at pin time and the preload is
+   silently dropped on a mismatch (the caller's merged artifact would
+   describe rows that no longer exist). *)
+let preload_skyline ?expect_generation t (e : handle) sky =
   if Array.length sky = 0 then
     Guard.Error.invalid_input "Store.preload_skyline: empty skyline";
-  Array.iter
-    (fun i ->
-      if i < 0 || i >= n then
-        Guard.Error.invalid_input "Store.preload_skyline: index out of range")
-    sky;
   with_lock e.e_lock (fun () ->
-      match e.skyline with
-      | Some _ -> false
-      | None ->
-          e.skyline <- Some sky;
-          Option.iter (fun p -> Persist.save_skyline p ~key:e.key sky) t.persist;
-          true)
-
-let preload_matrix t (e : handle) ~gamma mat =
-  with_lock e.e_lock (fun () ->
-      (match e.skyline with
-      | Some sky when Regret_matrix.rows mat <> Array.length sky ->
-          Guard.Error.invalid_input
-            "Store.preload_matrix: row count does not match the skyline"
-      | _ -> ());
-      if List.mem_assoc gamma e.matrices then false
+      if
+        match expect_generation with
+        | Some g -> g <> e.generation
+        | None -> false
+      then false
       else begin
-        e.matrices <- (gamma, mat) :: e.matrices;
-        Option.iter
-          (fun p -> Persist.save_matrix p ~key:e.key ~gamma mat)
-          t.persist;
-        true
+        let n = Array.length e.rows in
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= n then
+              Guard.Error.invalid_input
+                "Store.preload_skyline: index out of range")
+          sky;
+        match e.skyline with
+        | Some _ -> false
+        | None ->
+            e.skyline <- Some sky;
+            Option.iter
+              (fun p -> Persist.save_skyline p ~key:e.key sky)
+              t.persist;
+            true
+      end)
+
+let preload_matrix ?expect_generation t (e : handle) ~gamma mat =
+  with_lock e.e_lock (fun () ->
+      if
+        match expect_generation with
+        | Some g -> g <> e.generation
+        | None -> false
+      then false
+      else begin
+        (match e.skyline with
+        | Some sky when Regret_matrix.rows mat <> Array.length sky ->
+            Guard.Error.invalid_input
+              "Store.preload_matrix: row count does not match the skyline"
+        | _ -> ());
+        if List.mem_assoc gamma e.matrices then false
+        else begin
+          e.matrices <- (gamma, mat) :: e.matrices;
+          Option.iter
+            (fun p -> Persist.save_matrix p ~key:e.key ~gamma mat)
+            t.persist;
+          true
+        end
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -675,7 +765,7 @@ let solve_query t e ~guard (q : Protocol.query) =
   let m = Dataset.dim e.dataset in
   match q.algo with
   | Protocol.Hd_rrms ->
-      let sky, matrix, gamma_used, shrink =
+      let sky, matrix, gamma_used, shrink, pooled =
         with_lock e.e_lock (fun () ->
             let sky = skyline_locked t e in
             let gamma_used, shrink =
@@ -683,12 +773,38 @@ let solve_query t e ~guard (q : Protocol.query) =
                 ~gamma:q.gamma ~m
             in
             let matrix = matrix_locked t e ~sky ~m ~gamma:gamma_used ~guard in
-            (sky, matrix, gamma_used, shrink))
+            (* Check out the pooled probe state for this matrix, if any:
+               the per-row sorts it carries are the expensive part of
+               MRST search, and they are reusable across queries (any
+               starting threshold is fine) and across mutations (via
+               rebase).  Removed from the pool while in use so a
+               concurrent query on the same matrix builds its own. *)
+            let pooled =
+              match List.assoc_opt gamma_used e.incs with
+              | Some s when s.for_matrix == matrix ->
+                  e.incs <- List.remove_assoc gamma_used e.incs;
+                  Some s.inc
+              | _ -> None
+            in
+            (sky, matrix, gamma_used, shrink, pooled))
+      in
+      let inc =
+        match pooled with
+        | Some i -> i
+        | None -> Mrst.Incremental.create ~domains:t.domains matrix
       in
       let res =
         Hd_rrms.solve_prepared ~domains:t.domains ~guard ~skyline:sky
-          ~gamma_used ~m matrix ~r:q.r
+          ~gamma_used ~m ~inc matrix ~r:q.r
       in
+      (* Return the probe state (a budget failure above simply drops it;
+         the next query rebuilds).  Keyed to the matrix it served, so if
+         a mutation replaced the matrix mid-solve the slot goes stale
+         and is never reused. *)
+      with_lock e.e_lock (fun () ->
+          e.incs <-
+            (gamma_used, { inc; for_matrix = matrix })
+            :: List.remove_assoc gamma_used e.incs);
       let quality = merge_shrink res.Hd_rrms.quality shrink in
       ( Json.Obj
           ([
@@ -730,11 +846,13 @@ let solve_query t e ~guard (q : Protocol.query) =
           @ quality_fields quality),
         Guard.is_exact quality )
   | Protocol.A2d | Protocol.A2d_exact ->
-      let ctx = with_lock e.e_lock (fun () -> hull_locked e) in
+      (* ctx and rows from one lock hold: a mutation replaces [e.rows]
+         wholesale, so the pair must come from the same generation. *)
+      let ctx, rows = with_lock e.e_lock (fun () -> (hull_locked e, e.rows)) in
       let res =
         match q.algo with
-        | Protocol.A2d -> Rrms2d.solve ~ctx e.rows ~r:q.r
-        | _ -> Rrms2d.solve_exact ~ctx e.rows ~r:q.r
+        | Protocol.A2d -> Rrms2d.solve ~ctx rows ~r:q.r
+        | _ -> Rrms2d.solve_exact ~ctx rows ~r:q.r
       in
       ( Json.Obj
           [
@@ -747,7 +865,8 @@ let solve_query t e ~guard (q : Protocol.query) =
           ],
         true )
   | Protocol.Sweepline ->
-      let res = Sweepline.solve e.rows ~r:q.r in
+      let rows = with_lock e.e_lock (fun () -> e.rows) in
+      let res = Sweepline.solve rows ~r:q.r in
       ( Json.Obj
           [
             ("algo", Json.Str "sweepline");
@@ -758,7 +877,8 @@ let solve_query t e ~guard (q : Protocol.query) =
           ],
         true )
   | Protocol.Greedy ->
-      let res = Greedy.solve ~guard e.rows ~r:q.r in
+      let rows = with_lock e.e_lock (fun () -> e.rows) in
+      let res = Greedy.solve ~guard rows ~r:q.r in
       ( Json.Obj
           ([
              ("algo", Json.Str "greedy");
@@ -770,7 +890,8 @@ let solve_query t e ~guard (q : Protocol.query) =
           @ quality_fields res.Greedy.quality),
         Guard.is_exact res.Greedy.quality )
   | Protocol.Cube ->
-      let res = Cube.solve e.rows ~r:q.r in
+      let rows = with_lock e.e_lock (fun () -> e.rows) in
+      let res = Cube.solve rows ~r:q.r in
       ( Json.Obj
           [
             ("algo", Json.Str "cube");
@@ -793,10 +914,17 @@ let query_pinned t (e : handle) (q : Protocol.query) =
          afresh once a slot frees up. *)
       let guard = budget_of q in
       let ckey = Protocol.cache_key q in
-      let hit =
-        if q.use_cache then
-          with_lock e.e_lock (fun () -> Hashtbl.find_opt e.results ckey)
-        else None
+      (* Generation and content key captured with the cache probe: a
+         solve that races a mutation still answers correctly (it ran on
+         a consistent snapshot of the pre-mutation artifacts), but its
+         answer describes the {e old} rows, so it must only enter the
+         cache — memory or disk — if the generation is still the one it
+         solved. *)
+      let gen0, key0, hit =
+        with_lock e.e_lock (fun () ->
+            ( e.generation,
+              e.key,
+              if q.use_cache then Hashtbl.find_opt e.results ckey else None ))
       in
       match hit with
       | Some result ->
@@ -810,7 +938,7 @@ let query_pinned t (e : handle) (q : Protocol.query) =
           let rehydrated =
             if q.use_cache then
               match t.persist with
-              | Some p -> Persist.load_result p ~key:e.key ~cache_key:ckey
+              | Some p -> Persist.load_result p ~key:key0 ~cache_key:ckey
               | None -> None
             else None
           in
@@ -818,8 +946,8 @@ let query_pinned t (e : handle) (q : Protocol.query) =
           | Some result ->
               Obs.Counter.incr Metrics.result_hits;
               with_lock e.e_lock (fun () ->
-                  if not (Hashtbl.mem e.results ckey) then
-                    Hashtbl.add e.results ckey result);
+                  if e.generation = gen0 && not (Hashtbl.mem e.results ckey)
+                  then Hashtbl.add e.results ckey result);
               Ok { result; cached = true }
           | None ->
               if q.use_cache then Obs.Counter.incr Metrics.result_misses;
@@ -848,14 +976,26 @@ let query_pinned t (e : handle) (q : Protocol.query) =
                        bit-identity contract.  The same rule governs the
                        disk spill. *)
                     if cacheable then begin
-                      with_lock e.e_lock (fun () ->
-                          if not (Hashtbl.mem e.results ckey) then
-                            Hashtbl.add e.results ckey result);
-                      Option.iter
-                        (fun p ->
-                          Persist.save_result p ~key:e.key ~cache_key:ckey
-                            result)
-                        t.persist
+                      let same_gen =
+                        with_lock e.e_lock (fun () ->
+                            if e.generation = gen0 then begin
+                              if not (Hashtbl.mem e.results ckey) then
+                                Hashtbl.add e.results ckey result;
+                              true
+                            end
+                            else false)
+                      in
+                      (* The disk spill is keyed by the generation the
+                         solve actually ran on; skipped if a mutation
+                         won the race (the answer is still returned —
+                         query and mutation were concurrent, so the
+                         pre-mutation ordering is a valid one). *)
+                      if same_gen then
+                        Option.iter
+                          (fun p ->
+                            Persist.save_result p ~key:key0 ~cache_key:ckey
+                              result)
+                          t.persist
                     end;
                     Ok { result; cached = false })))
 
@@ -869,6 +1009,341 @@ let query t (q : Protocol.query) =
       Fun.protect
         ~finally:(fun () -> unpin t e)
         (fun () -> query_pinned t e q)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type mutated = {
+  old_key : string;
+  new_key : string;
+  generation : int;
+  n : int;
+  m : int;
+  ops_applied : int;
+  skyline_path : string option;  (* None: skyline was not materialized *)
+  matrices_updated : int;
+  matrices_dropped : int;
+  incs_rebased : int;
+  results_kept : int;
+  results_evicted : int;
+}
+
+let algo_of_cache_key ckey =
+  match String.index_opt ckey ';' with
+  | Some i when i > 5 && String.length ckey > 5 && String.sub ckey 0 5 = "algo="
+    ->
+      Protocol.algo_of_string (String.sub ckey 5 (i - 5))
+  | _ -> None
+
+(* Rewrite the "selected" member of a cached answer through the plan's
+   index map.  [None] (evict) if any selected index has no surviving
+   image — which cannot happen for a sequence-preserving mutation, but
+   the defensive check keeps a wrong remap impossible. *)
+let remap_selected old_to_new json =
+  match json with
+  | Json.Obj fields ->
+      let ok = ref true in
+      let fields =
+        List.map
+          (fun (k, v) ->
+            if k <> "selected" then (k, v)
+            else
+              match v with
+              | Json.Arr l ->
+                  ( k,
+                    Json.Arr
+                      (List.map
+                         (fun j ->
+                           match Json.int_ j with
+                           | Some i
+                             when i >= 0
+                                  && i < Array.length old_to_new
+                                  && old_to_new.(i) >= 0 ->
+                               Json.int old_to_new.(i)
+                           | _ ->
+                               ok := false;
+                               j)
+                         l) )
+              | _ ->
+                  ok := false;
+                  (k, v))
+          fields
+      in
+      if !ok then Some (Json.Obj fields) else None
+  | _ -> None
+
+let vec_bits p =
+  let b = Buffer.create (Array.length p * 8) in
+  Array.iter (fun v -> Buffer.add_int64_le b (Int64.bits_of_float v)) p;
+  Buffer.contents b
+
+(* Whether every skyline value occurs exactly once in the table.
+   [Skyline.two_d] (the 2D solvers' entry point) breaks ties between
+   bit-equal tuples with an unstable sort, so the representative index
+   it picks is only provably stable across a mutation when there is no
+   tie to break. *)
+let sky_values_unique rows sky =
+  let keys = Hashtbl.create (2 * Array.length sky) in
+  Array.iter (fun g -> Hashtbl.replace keys (vec_bits rows.(g)) false) sky;
+  let dup = ref false in
+  Array.iter
+    (fun p ->
+      let k = vec_bits p in
+      match Hashtbl.find_opt keys k with
+      | None -> ()
+      | Some seen -> if seen then dup := true else Hashtbl.replace keys k true)
+    rows;
+  not !dup
+
+(* The incremental maintenance pass: compute the post-mutation dataset,
+   skyline, matrices, probe states and surviving cached results from a
+   consistent snapshot, then install everything atomically.  Runs under
+   the entry's mutation lock, so there is exactly one writer; query
+   paths keep running against the old generation until the install. *)
+let mutate_pinned ~journal ~guard t (e : handle) muts =
+  with_lock e.mu_lock (fun () ->
+      let key0, gen0, d0, rows0, sky0, mats0, incs0, results0 =
+        with_lock e.e_lock (fun () ->
+            ( e.key,
+              e.generation,
+              e.dataset,
+              e.rows,
+              e.skyline,
+              e.matrices,
+              e.incs,
+              Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.results [] ))
+      in
+      let m = Dataset.dim d0 in
+      let plan = Delta.apply ~dim:m rows0 muts in
+      if Array.length plan.Delta.rows = 0 then
+        Guard.Error.invalid_input
+          "Store.mutate: mutation would empty the dataset";
+      let d' =
+        Dataset.create ~name:(Dataset.name d0)
+          ~attributes:(Dataset.attributes d0) plan.Delta.rows
+      in
+      let new_key = hash_dataset d' in
+      let sky', path =
+        match sky0 with
+        | None -> (None, None)
+        | Some sky ->
+            let s, p =
+              Delta.update_skyline ~domains:t.domains plan ~old_sky:sky
+            in
+            (Some s, Some p)
+      in
+      let preserved =
+        match (sky0, sky') with
+        | Some o, Some n -> Delta.sequence_preserved plan ~old_sky:o ~new_sky:n
+        | _ -> false
+      in
+      (* Matrices: a sequence-preserving mutation leaves them untouched
+         (they are pure functions of the skyline point sequence), and
+         the pooled probe states with them.  Otherwise each matrix is
+         updated in place-equivalent fashion — carried rows blit, fresh
+         rows run the kernel — and a probe state survives by rebase
+         exactly when no column's cells changed. *)
+      let mats', incs', updated, dropped, rebased =
+        if preserved then (mats0, incs0, 0, 0, 0)
+        else
+          match (sky0, sky') with
+          | Some o, Some n ->
+              let carried = Delta.carried_rows plan ~old_sky:o ~new_sky:n in
+              let points = Array.map (fun g -> plan.Delta.rows.(g)) n in
+              let rebased = ref 0 in
+              let mats', incs' =
+                List.fold_left
+                  (fun (ms, is) (gamma, mat) ->
+                    let funcs = grid_of t ~m ~gamma in
+                    let mat', changed =
+                      Regret_matrix.update ~domains:t.domains ~guard mat
+                        ~funcs ~points ~carried
+                    in
+                    let is =
+                      if Array.length changed = 0 then
+                        match List.assoc_opt gamma incs0 with
+                        | Some s when s.for_matrix == mat ->
+                            incr rebased;
+                            ( gamma,
+                              {
+                                inc =
+                                  Mrst.Incremental.rebase ~domains:t.domains
+                                    s.inc mat' ~carried;
+                                for_matrix = mat';
+                              } )
+                            :: is
+                        | _ -> is
+                      else is
+                    in
+                    ((gamma, mat') :: ms, is))
+                  ([], []) mats0
+              in
+              (List.rev mats', List.rev incs', List.length mats0, 0, !rebased)
+          | _ ->
+              (* No materialized skyline to carry from: matrices (which
+                 exist only via preload on sub-stores in that case) are
+                 dropped and rebuild lazily. *)
+              ([], [], 0, List.length mats0, 0)
+      in
+      (* Delta-scoped result invalidation.  A cached answer survives
+         only with a proof that a fresh solve over the new rows returns
+         the same bytes:
+         - hd-rrms / hd-greedy are pure functions of the skyline point
+           sequence (via the matrix) plus (r, γ); sequence preserved ⇒
+           same answer up to index names, remapped through the plan.
+         - 2d / 2d-exact / sweepline additionally cite row indices of
+           skyline members directly, so every survivor must have kept
+           its old index, and representative picks must be tie-free
+           (sky_values_unique) for the index citation to be stable.
+         - greedy (LP skip counters) and cube (t-parameter grid) read
+           the full raw table, dominated rows included — always
+           evicted. *)
+      let indices_stable =
+        let ok = ref true in
+        Array.iteri
+          (fun i v -> if v <> i && v <> -1 then ok := false)
+          plan.Delta.old_to_new;
+        !ok
+      in
+      (* Lazy: the tie-free scan walks the whole table, and only the 2D
+         family ever needs the proof — an hd-only cache must not pay
+         for it on every mutation. *)
+      let positional =
+        lazy
+          (preserved && indices_stable
+          &&
+          match sky' with
+          | Some s -> sky_values_unique plan.Delta.rows s
+          | None -> false)
+      in
+      let kept = ref 0 and evicted = ref 0 in
+      let survivors =
+        List.filter_map
+          (fun (ckey, result) ->
+            let keep =
+              match algo_of_cache_key ckey with
+              | Some (Protocol.Hd_rrms | Protocol.Hd_greedy) when preserved ->
+                  remap_selected plan.Delta.old_to_new result
+              | Some (Protocol.A2d | Protocol.A2d_exact | Protocol.Sweepline)
+                when Lazy.force positional ->
+                  Some result
+              | _ -> None
+            in
+            match keep with
+            | Some r ->
+                incr kept;
+                Some (ckey, r)
+            | None ->
+                incr evicted;
+                None)
+          results0
+      in
+      (* Write-ahead journal, after the maintenance pass proved the
+         batch applies cleanly and before the in-memory install — a
+         crash from here on is replayable. *)
+      if journal then
+        Option.iter
+          (fun p ->
+            Persist.Wal.append p
+              { Persist.Wal.base_key = key0; new_key; ops = muts })
+          t.persist;
+      (* Install: rebind the entry under its new content hash and swap
+         every artifact field in one critical section. *)
+      with_lock t.lock (fun () ->
+          (match Hashtbl.find_opt t.entries key0 with
+          | Some resident when resident == e -> Hashtbl.remove t.entries key0
+          | _ -> ());
+          (* If another resident entry already owns [new_key] (the
+             mutation made this dataset bit-identical to a separately
+             loaded one), the rebind shadows it: its pins stay safe
+             (unpin frees only on physical equality) but it lives until
+             process exit — an accepted leak for a pathological case. *)
+          Hashtbl.replace t.entries new_key e;
+          let stale =
+            Hashtbl.fold
+              (fun a k acc -> if k = key0 then a :: acc else acc)
+              t.aliases []
+          in
+          List.iter (fun a -> Hashtbl.replace t.aliases a new_key) stale;
+          (* The old hash stays resolvable, so a client that addressed
+             the dataset by content key keeps reaching it. *)
+          if key0 <> new_key then Hashtbl.replace t.aliases key0 new_key;
+          with_lock e.e_lock (fun () ->
+              e.key <- new_key;
+              e.dataset <- d';
+              e.rows <- plan.Delta.rows;
+              e.generation <- gen0 + 1;
+              e.skyline <- sky';
+              e.hull <- None;
+              e.matrices <- mats';
+              e.incs <- incs';
+              Hashtbl.reset e.results;
+              List.iter (fun (k, v) -> Hashtbl.replace e.results k v) survivors));
+      Obs.Counter.incr Metrics.mutations;
+      Obs.Counter.add Metrics.mutation_ops (List.length muts);
+      Obs.Counter.add Metrics.results_carried !kept;
+      Obs.Counter.add Metrics.results_invalidated !evicted;
+      Obs.Counter.add Metrics.incs_rebased rebased;
+      (* Spill the new generation's artifacts outside all locks, so a
+         restart rehydrates them without replaying (the WAL record is
+         then a no-op integrity check). *)
+      Option.iter
+        (fun p ->
+          Persist.save_dataset p ~key:new_key d';
+          Option.iter (fun s -> Persist.save_skyline p ~key:new_key s) sky';
+          List.iter
+            (fun (gamma, mat) -> Persist.save_matrix p ~key:new_key ~gamma mat)
+            mats';
+          List.iter
+            (fun (ck, r) -> Persist.save_result p ~key:new_key ~cache_key:ck r)
+            survivors)
+        t.persist;
+      {
+        old_key = key0;
+        new_key;
+        generation = gen0 + 1;
+        n = Array.length plan.Delta.rows;
+        m;
+        ops_applied = List.length muts;
+        skyline_path = Option.map Delta.path_name path;
+        matrices_updated = updated;
+        matrices_dropped = dropped;
+        incs_rebased = rebased;
+        results_kept = !kept;
+        results_evicted = !evicted;
+      })
+
+let mutate ?(journal = true) ?timeout t ~dataset muts =
+  if muts = [] then
+    Guard.Error.invalid_input "Store.mutate: empty mutation list";
+  match pin t dataset with
+  | None -> Error `Unknown_dataset
+  | Some e ->
+      Fun.protect
+        ~finally:(fun () -> unpin t e)
+        (fun () ->
+          if draining t then begin
+            Obs.Counter.incr Metrics.drained;
+            Error `Draining
+          end
+          else
+            let guard =
+              match timeout with
+              | None -> Guard.Budget.unlimited
+              | Some _ -> Guard.Budget.create ?timeout ()
+            in
+            match
+              with_admission t (fun () ->
+                  match Guard.Budget.deadline_expired guard with
+                  | Some _ -> `Deadline
+                  | None -> `Done (mutate_pinned ~journal ~guard t e muts))
+            with
+            | Error `Overloaded -> Error `Overloaded
+            | Ok `Deadline ->
+                Obs.Counter.incr Metrics.deadline_exceeded;
+                Error `Deadline_exceeded
+            | Ok (`Done r) -> Ok r)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
@@ -893,6 +1368,7 @@ let stats t =
                       ("n", Json.int (Dataset.size e.dataset));
                       ("m", Json.int (Dataset.dim e.dataset));
                       ("refs", Json.int e.refs);
+                      ("generation", Json.int e.generation);
                       ("skyline_cached", Json.Bool (e.skyline <> None));
                       ("hull_cached", Json.Bool (e.hull <> None));
                       ( "matrices",

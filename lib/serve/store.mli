@@ -76,6 +76,21 @@ module Metrics : sig
   val resolves : Rrms_obs.Obs.Counter.t
   (** Dataset entry resolutions ({!pin}s) performed by query paths: a
       batch of [k] items adds 1, [k] single queries add [k]. *)
+
+  val mutations : Rrms_obs.Obs.Counter.t
+  (** Mutation batches applied ({!mutate} successes). *)
+
+  val mutation_ops : Rrms_obs.Obs.Counter.t
+
+  val results_carried : Rrms_obs.Obs.Counter.t
+  (** Cached results that survived a mutation under the delta-scoped
+      invalidation proof (indices remapped where needed). *)
+
+  val results_invalidated : Rrms_obs.Obs.Counter.t
+
+  val incs_rebased : Rrms_obs.Obs.Counter.t
+  (** Pooled MRST probe states carried across a mutation by
+      {!Rrms_core.Mrst.Incremental.rebase} instead of re-sorting. *)
 end
 
 val create :
@@ -165,6 +180,64 @@ val query :
     [Invalid_argument] raised by the 2D solvers on non-2D data is
     translated to a structured [Invalid_input] here. *)
 
+(** {2 Mutations}
+
+    {!mutate} applies a batch of {!Rrms_core.Delta.mutation}s to a
+    resident dataset with sequential left-to-right semantics,
+    atomically: the whole maintenance pass — new rows, content hash,
+    skyline ({!Rrms_core.Delta.update_skyline}), regret matrices
+    ({!Rrms_core.Regret_matrix.update}), pooled MRST probe states
+    ({!Rrms_core.Mrst.Incremental.rebase}) and the delta-scoped result
+    cache — is computed against a consistent snapshot and installed in
+    one critical section, bumping the entry's {e generation}.  Queries
+    racing a mutation keep answering against the old generation (a
+    valid linearization) and never pollute the new generation's caches.
+
+    Every artifact the pass produces is {e bit-identical} to a
+    from-scratch build over the mutated rows (test/test_mutate.ml
+    asserts this at 1/2/4 domains); a cached result survives only with
+    a proof that a fresh solve would return the same bytes (see the
+    invalidation rules in docs/DYNAMIC.md).
+
+    When the store is persistent, the batch is journaled to the
+    write-ahead log ({!Persist.Wal}) before the install, so a crash at
+    any point is recoverable by replay ([journal:false] marks a replay
+    itself).  The entry stays resident under its {e new} content hash;
+    the old hash and all name aliases re-point to it. *)
+
+type mutated = {
+  old_key : string;
+  new_key : string;  (** content hash of the mutated dataset *)
+  generation : int;
+  n : int;  (** rows after the mutation *)
+  m : int;
+  ops_applied : int;
+  skyline_path : string option;
+      (** {!Rrms_core.Delta.path_name} of the maintenance path taken;
+          [None] when no skyline was materialized (it stays lazy) *)
+  matrices_updated : int;
+  matrices_dropped : int;
+  incs_rebased : int;
+  results_kept : int;
+  results_evicted : int;
+}
+
+val mutate :
+  ?journal:bool ->
+  ?timeout:float ->
+  t ->
+  dataset:string ->
+  Rrms_core.Delta.mutation list ->
+  ( mutated,
+    [ `Overloaded | `Unknown_dataset | `Deadline_exceeded | `Draining ] )
+  result
+(** Apply one mutation batch (admission-gated like a solve; [timeout]
+    is the same end-to-end deadline a query gets).  On any failure —
+    bad index, dimension mismatch, emptied dataset, budget expiry —
+    nothing is installed and nothing is journaled.
+    @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on a
+    malformed batch (including one that would empty the dataset). *)
+
 val set_draining : t -> unit
 (** Enter drain mode: every subsequent solve is refused with
     [`Draining]; in-flight solves, cached answers and the cheap
@@ -224,7 +297,21 @@ val pinned_dims : handle -> int * int
 val pinned_rows : handle -> Rrms_geom.Vec.t array
 (** The pinned entry's tuples (post-transform, in load order) — shared,
     not copied: callers must not mutate.  The shard layer merges
-    per-shard skylines against these rows. *)
+    per-shard skylines against these rows.  Mutations replace the array
+    wholesale (never in place), so a snapshot stays internally
+    consistent even if the entry mutates afterwards. *)
+
+val pinned_dataset : handle -> Rrms_dataset.Dataset.t
+(** The pinned entry's current dataset — the shard layer slices it to
+    re-seed sub-stores after a mutation. *)
+
+val pinned_generation : handle -> int
+(** The entry's mutation generation (0 at load). *)
+
+val pinned_snapshot :
+  handle -> string * int * Rrms_dataset.Dataset.t * Rrms_geom.Vec.t array
+(** [(key, generation, dataset, rows)] captured atomically — the
+    coherent multi-field read the shard fan-out needs. *)
 
 val query_pinned :
   t ->
@@ -268,17 +355,26 @@ val artifacts_cached : handle -> gamma:int -> bool * bool
     skip the fan-out when the coordinator already holds the merged
     artifacts. *)
 
-val preload_skyline : t -> handle -> int array -> bool
+val preload_skyline : ?expect_generation:int -> t -> handle -> int array -> bool
 (** Install a merged skyline as the entry's artifact ([false] if one is
     already present — first writer wins, later writers must have
     produced the identical array by the merge contract).  Writes through
-    to persistence like a computed skyline.
+    to persistence like a computed skyline.  [expect_generation] makes
+    the install conditional: if the entry has mutated past that
+    generation the artifact is silently dropped ([false]) — it
+    describes rows that no longer exist.
     @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] on an
     empty or out-of-range index set. *)
 
-val preload_matrix : t -> handle -> gamma:int -> Rrms_core.Regret_matrix.t -> bool
+val preload_matrix :
+  ?expect_generation:int ->
+  t ->
+  handle ->
+  gamma:int ->
+  Rrms_core.Regret_matrix.t ->
+  bool
 (** Install a merged regret matrix as the entry's γ-artifact (same
-    first-writer-wins contract).
+    first-writer-wins and [expect_generation] contracts).
     @raise Rrms_guard.Guard.Error.Guard_error [Invalid_input] when the
     row count disagrees with an installed skyline. *)
 

@@ -144,6 +144,58 @@ let test_invalid () =
     (Invalid_argument "Dynamic2d.remove: unknown handle") (fun () ->
       Dynamic2d.remove dyn 99)
 
+(* Property: over any interleaving of inserts and deletes, the
+   incrementally maintained skyline covers exactly the value set of a
+   from-scratch Skyline.sfs over the live tuples.  (The 2D store keeps
+   sweep order, not sfs order, so the comparison is on sorted distinct
+   values.) *)
+let arbitrary_schedule =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (fun (t, p) ->
+             Printf.sprintf "%d:%s" t (Rrms_geom.Vec.to_string p))
+           ops))
+    QCheck.Gen.(
+      list_size (int_range 5 80)
+        (pair small_nat (array_size (return 2) (float_range 0. 1.))))
+
+let prop_skyline_matches_sfs =
+  QCheck.Test.make ~count:80
+    ~name:"dynamic 2d skyline ≡ sfs over interleaved insert/delete"
+    arbitrary_schedule
+    (fun ops ->
+      let dyn = Dynamic2d.create ~r:2 [||] in
+      let live = ref [] in
+      List.iter
+        (fun (tag, p) ->
+          let n = List.length !live in
+          if tag mod 3 = 0 && n > 1 then begin
+            let h = List.nth !live (tag / 3 mod n) in
+            Dynamic2d.remove dyn h;
+            live := List.filter (fun x -> x <> h) !live
+          end
+          else live := Dynamic2d.insert dyn p :: !live)
+        ops;
+      let pts =
+        Array.of_list
+          (List.rev_map (fun h -> Option.get (Dynamic2d.get dyn h)) !live)
+      in
+      let values idxs src =
+        List.sort_uniq compare
+          (Array.to_list (Array.map (fun i -> src.(i)) idxs))
+      in
+      let want = values (Rrms_skyline.Skyline.sfs pts) pts in
+      let got =
+        List.sort_uniq compare
+          (Array.to_list
+             (Array.map
+                (fun h -> Option.get (Dynamic2d.get dyn h))
+                (Dynamic2d.skyline dyn)))
+      in
+      got = want)
+
 let suite =
   [
     Alcotest.test_case "matches from-scratch (inserts)" `Quick
@@ -157,4 +209,5 @@ let suite =
     Alcotest.test_case "handles stable" `Quick test_handles_stable;
     Alcotest.test_case "empty table" `Quick test_empty_table;
     Alcotest.test_case "invalid" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest prop_skyline_matches_sfs;
   ]

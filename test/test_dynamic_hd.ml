@@ -59,10 +59,111 @@ let test_dimension_consistency () =
     (Invalid_argument "Dynamic_hd: inconsistent tuple dimension") (fun () ->
       ignore (Dynamic_hd.insert dyn [| 1.; 2. |]))
 
+(* Regression: removing a tuple that is the cached per-direction maximum
+   must mark exactly its slots stale and rebuild them lazily from the
+   live tuples — the buffer previously kept serving the dead handle.
+   The oracle is a fresh instance over the same live tuples: its slot
+   indices, mapped through the ascending-handle enumeration, must match
+   (the lowest-handle tie-break is order-preserving under the map). *)
+let direction_maxima_oracle dyn live_handles =
+  let handles = List.sort compare live_handles in
+  let pts =
+    Array.of_list
+      (List.map (fun h -> Option.get (Dynamic_hd.get dyn h)) handles)
+  in
+  let fresh = Dynamic_hd.create ~gamma:4 ~r:2 pts in
+  let of_handle = Array.of_list handles in
+  Array.map
+    (fun slot -> if slot < 0 then -1 else of_handle.(slot))
+    (Dynamic_hd.direction_maxima fresh)
+
+let test_direction_maxima_after_removal () =
+  let rng = Rrms_rng.Rng.create 217 in
+  let dyn = Dynamic_hd.create ~gamma:4 ~r:2 [||] in
+  let live = ref [] in
+  for _ = 1 to 30 do
+    let p = Array.init 3 (fun _ -> Rrms_rng.Rng.float rng 1.) in
+    live := Dynamic_hd.insert dyn p :: !live
+  done;
+  (* Delete, one after another, every handle the buffer currently
+     points at — each removal invalidates the very slots that served
+     it, the worst case for stale entries. *)
+  for round = 1 to 4 do
+    let maxima = Dynamic_hd.direction_maxima dyn in
+    let victim = Array.fold_left max (-1) maxima in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: a maximum exists" round)
+      true (victim >= 0);
+    Dynamic_hd.remove dyn victim;
+    live := List.filter (fun h -> h <> victim) !live;
+    let got = Dynamic_hd.direction_maxima dyn in
+    Array.iter
+      (fun h ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d: no stale handle" round)
+          true (h <> victim))
+      got;
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d: equals from-scratch scan" round)
+      (direction_maxima_oracle dyn !live)
+      got
+  done
+
+(* Property: over any interleaving of inserts and deletes, the
+   incrementally maintained skyline is Skyline.sfs of the live tuples —
+   the exact index sequence, not just the set. *)
+let arbitrary_schedule m =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (fun (t, p) ->
+             Printf.sprintf "%d:%s" t (Rrms_geom.Vec.to_string p))
+           ops))
+    QCheck.Gen.(
+      list_size (int_range 5 60)
+        (pair small_nat (array_size (return m) (float_range 0. 1.))))
+
+let run_schedule dyn ops =
+  let live = ref [] in
+  List.iter
+    (fun (tag, p) ->
+      let n = List.length !live in
+      if tag mod 3 = 0 && n > 1 then begin
+        let h = List.nth !live (tag / 3 mod n) in
+        Dynamic_hd.remove dyn h;
+        live := List.filter (fun x -> x <> h) !live
+      end
+      else live := Dynamic_hd.insert dyn p :: !live)
+    ops;
+  List.sort compare !live
+
+let prop_skyline_matches_sfs =
+  QCheck.Test.make ~count:60
+    ~name:"dynamic hd skyline ≡ sfs over interleaved insert/delete"
+    (arbitrary_schedule 3)
+    (fun ops ->
+      let dyn = Dynamic_hd.create ~gamma:3 ~r:2 [||] in
+      let handles = run_schedule dyn ops in
+      let pts =
+        Array.of_list
+          (List.map (fun h -> Option.get (Dynamic_hd.get dyn h)) handles)
+      in
+      let want = Rrms_skyline.Skyline.sfs pts in
+      let rank = Hashtbl.create 16 in
+      List.iteri (fun i h -> Hashtbl.replace rank h i) handles;
+      let got =
+        Array.map (fun h -> Hashtbl.find rank h) (Dynamic_hd.skyline dyn)
+      in
+      got = want)
+
 let suite =
   [
     Alcotest.test_case "matches from-scratch" `Quick test_matches_from_scratch;
     Alcotest.test_case "dominated absorbed" `Quick test_dominated_absorbed;
     Alcotest.test_case "skyline removal" `Quick test_remove_skyline_dirties;
     Alcotest.test_case "dimension consistency" `Quick test_dimension_consistency;
+    Alcotest.test_case "direction maxima after removal" `Quick
+      test_direction_maxima_after_removal;
+    QCheck_alcotest.to_alcotest prop_skyline_matches_sfs;
   ]

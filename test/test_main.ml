@@ -54,4 +54,5 @@ let () =
       ("serve", Test_serve.suite);
       ("shard", Test_shard.suite);
       ("persist", Test_persist.suite);
+      ("mutate", Test_mutate.suite);
     ]
