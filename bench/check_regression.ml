@@ -12,8 +12,8 @@
    - higher-is-better: "speedup", "speedup_vs_1" — a regression when
      the fresh value falls below the baseline by more than the
      tolerance;
-   - lower-is-better: "ratio_vs_disabled", "ratio_vs_exact", and the
-     kernel perf gates ("matrix_build_seconds",
+   - lower-is-better: "ratio_vs_disabled", "ratio_vs_untraced",
+     "ratio_vs_exact", and the kernel perf gates ("matrix_build_seconds",
      "mrst_binary_search_seconds", "hd_rrms_solve_seconds") — a
      regression when the fresh value exceeds the baseline by more than
      the tolerance;
@@ -44,8 +44,9 @@ type rule = Higher_better | Lower_better | Identity | Info
 let rule_of_key key =
   match key with
   | "speedup" | "speedup_vs_1" | "rehydrate_speedup" -> Higher_better
-  | "ratio_vs_disabled" | "ratio_vs_exact" | "matrix_build_seconds"
-  | "mrst_binary_search_seconds" | "hd_rrms_solve_seconds" ->
+  | "ratio_vs_disabled" | "ratio_vs_untraced" | "ratio_vs_exact"
+  | "matrix_build_seconds" | "mrst_binary_search_seconds"
+  | "hd_rrms_solve_seconds" ->
       Lower_better
   | "benchmark" | "dataset" | "n" | "m" | "gamma" | "r" | "repeats"
   | "kernel" | "algo" | "level" | "domains" | "budget_kind" | "budget"

@@ -51,6 +51,7 @@ let q ?(algo = Protocol.Hd_rrms) ?(r = 5) ?(gamma = 4) ?(cache = true) dataset =
     max_cells = None;
     max_probes = None;
     use_cache = cache;
+    explain = false;
   }
 
 let run_query store query =

@@ -60,6 +60,74 @@ let top path ~interval ~iterations =
     | Some ms -> fnum ms name
     | None -> 0.
   in
+  let hist_rows container =
+    match Json.member "histograms" container with
+    | Some (Json.Arr rows) -> rows
+    | _ -> []
+  in
+  (* Cluster view (a router's stats): the per-(algo, cache, status)
+     table gains a SHARD column — the "all" rows are exact
+     cross-process merges, followed by each process under its own
+     label — plus a worker liveness/skew summary. *)
+  let render_cluster buf cluster =
+    Buffer.add_string buf
+      (Printf.sprintf "\ncluster — %.0f processes\n"
+         (fnum cluster "processes"));
+    (match Json.member "workers" cluster with
+    | Some (Json.Arr ws) ->
+        List.iter
+          (fun w ->
+            let connected =
+              match Json.member "connected" w with
+              | Some (Json.Bool true) -> "up"
+              | _ -> "down"
+            in
+            let shard =
+              match Json.member "shard" w with
+              | Some (Json.Num x) -> Printf.sprintf "%.0f" x
+              | Some (Json.Str s) -> s
+              | _ -> "?"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  shard %-3s %-4s busy %8.3fs   requests %6.0f   errors \
+                  %4.0f   hit-rate %5.1f%%\n"
+                 shard connected
+                 (fnum w "busy_seconds") (fnum w "requests")
+                 (fnum w "errors")
+                 (100. *. fnum w "hit_rate")))
+          ws
+    | _ -> ());
+    (match Json.member "skew" cluster with
+    | Some skew ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  skew: busy max %.3fs   min %.3fs   straggler gap %.3fs\n"
+             (fnum skew "busy_max_seconds") (fnum skew "busy_min_seconds")
+             (fnum skew "straggler_gap_seconds"))
+    | None -> ());
+    let rows =
+      match Json.member "latency" cluster with
+      | Some lat -> hist_rows lat
+      | None -> []
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "\n%-7s %-12s %-8s %-9s %8s %10s %10s %10s %10s\n"
+         "SHARD" "ALGO" "CACHE" "STATUS" "COUNT" "P50(ms)" "P95(ms)"
+         "P99(ms)" "MAX(ms)");
+    if rows = [] then Buffer.add_string buf "  (no queries observed yet)\n"
+    else
+      List.iter
+        (fun row ->
+          let s k = Option.value ~default:"?" (sstr row k) in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%-7s %-12s %-8s %-9s %8.0f %10.3f %10.3f %10.3f %10.3f\n"
+               (s "shard") (s "algo") (s "cache") (s "status")
+               (fnum row "count") (fnum row "p50_ms") (fnum row "p95_ms")
+               (fnum row "p99_ms") (fnum row "max_ms")))
+        rows
+  in
   let render result =
     let buf = Buffer.create 2048 in
     let hits = metric result "rrms_serve_result_hits_total" in
@@ -77,28 +145,29 @@ let top path ~interval ~iterations =
          (metric result "rrms_serve_inflight")
          (metric result "rrms_serve_queue_depth")
          (metric result "rrms_serve_overloaded_total"));
-    Buffer.add_string buf
-      (Printf.sprintf "%-12s %-8s %-9s %8s %10s %10s %10s %10s\n" "ALGO"
-         "CACHE" "STATUS" "COUNT" "P50(ms)" "P95(ms)" "P99(ms)" "MAX(ms)");
-    let rows =
-      match Json.member "latency" result with
-      | Some lat -> (
-          match Json.member "histograms" lat with
-          | Some (Json.Arr rows) -> rows
-          | _ -> [])
-      | None -> []
-    in
-    if rows = [] then Buffer.add_string buf "  (no queries observed yet)\n"
-    else
-      List.iter
-        (fun row ->
-          let s k = Option.value ~default:"?" (sstr row k) in
-          Buffer.add_string buf
-            (Printf.sprintf "%-12s %-8s %-9s %8.0f %10.3f %10.3f %10.3f %10.3f\n"
-               (s "algo") (s "cache") (s "status") (fnum row "count")
-               (fnum row "p50_ms") (fnum row "p95_ms") (fnum row "p99_ms")
-               (fnum row "max_ms")))
-        rows;
+    (match Json.member "cluster" result with
+    | Some cluster -> render_cluster buf cluster
+    | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-12s %-8s %-9s %8s %10s %10s %10s %10s\n" "ALGO"
+             "CACHE" "STATUS" "COUNT" "P50(ms)" "P95(ms)" "P99(ms)" "MAX(ms)");
+        let rows =
+          match Json.member "latency" result with
+          | Some lat -> hist_rows lat
+          | None -> []
+        in
+        if rows = [] then Buffer.add_string buf "  (no queries observed yet)\n"
+        else
+          List.iter
+            (fun row ->
+              let s k = Option.value ~default:"?" (sstr row k) in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "%-12s %-8s %-9s %8.0f %10.3f %10.3f %10.3f %10.3f\n"
+                   (s "algo") (s "cache") (s "status") (fnum row "count")
+                   (fnum row "p50_ms") (fnum row "p95_ms") (fnum row "p99_ms")
+                   (fnum row "max_ms")))
+            rows);
     (match Json.member "latency" result with
     | Some lat ->
         let slow = fnum lat "slow_queries" in

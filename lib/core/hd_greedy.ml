@@ -16,6 +16,7 @@ type result = {
   discretized_regret : float;
   gamma_used : int;
   quality : Guard.quality;
+  steps : int;
 }
 
 let shrink_gamma ~guard ~rows ~gamma ~m =
@@ -98,6 +99,7 @@ let solve_prepared ?domains ?(guard = Guard.Budget.unlimited) ~skyline
     discretized_regret = Regret_matrix.regret_of_rows matrix rows;
     gamma_used;
     quality = (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
+    steps = Array.length rows;
   }
 
 let solve ?(gamma = 4) ?funcs ?domains ?(guard = Guard.Budget.unlimited)

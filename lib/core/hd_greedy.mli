@@ -17,6 +17,9 @@ type result = {
           when a cell cap forced a shrink *)
   quality : Rrms_guard.Guard.quality;
       (** [Exact], or [Degraded] with the budget interventions *)
+  steps : int;
+      (** greedy argmin sweeps actually taken — this answer's cost
+          provenance; equals [Array.length selected] *)
 }
 
 val solve_prepared :

@@ -25,6 +25,12 @@ module Metrics = struct
       "rrms_hd_rrms_gamma_used"
 end
 
+(* Per-solve cost provenance (the paper's cost-model quantities for one
+   answer, as opposed to the process-cumulative Metrics counters): how
+   many binary-search probes ran and how many of them paid a fresh MRST
+   solve vs. rode the threshold-index cache. *)
+type cost = { probes : int; probes_fresh : int; probes_cached : int }
+
 type result = {
   selected : int array;
   eps_min : float;
@@ -32,6 +38,7 @@ type result = {
   discretized_regret : float;
   gamma_used : int;
   quality : Guard.quality;
+  cost : cost;
 }
 
 type budget = Strict | Inflated
@@ -39,6 +46,8 @@ type budget = Strict | Inflated
 type search = {
   found : (int array * float) option;
   probes : int;
+  probes_fresh : int;
+  probes_cached : int;
   stopped : Guard.reason option;
 }
 
@@ -80,13 +89,17 @@ let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
   (* Per-row prefix positions for the current batch's candidate
      midpoints, keyed by value index; rebuilt once per batch. *)
   let positions : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  let cached = ref 0 in
   let probe mid =
     match Hashtbl.find_opt cache mid with
     | Some answer ->
         Obs.Counter.incr Metrics.cache_hits;
+        incr cached;
         answer
     | None ->
         Obs.Counter.incr Metrics.cache_misses;
+        incr fresh;
         let answer =
           match Hashtbl.find_opt positions mid with
           | Some pos -> Mrst.Incremental.solve_at ?solver ?domains inc ~pos
@@ -170,7 +183,13 @@ let search_on_matrix ?solver ?domains ?(guard = Guard.Budget.unlimited)
         | Some _ | None -> ()
       end
   | _ -> ());
-  { found = !best; probes = !probes; stopped = !stopped }
+  {
+    found = !best;
+    probes = !probes;
+    probes_fresh = !fresh;
+    probes_cached = !cached;
+    stopped = !stopped;
+  }
 
 let solve_on_matrix ?solver ?domains ?max_size matrix ~r =
   (search_on_matrix ?solver ?domains ?max_size matrix ~r).found
@@ -245,6 +264,12 @@ let solve_prepared ?solver ?(budget = Strict) ?domains
         gamma_used;
         quality =
           (if reasons = [] then Guard.Exact else Guard.Degraded reasons);
+        cost =
+          {
+            probes = search.probes;
+            probes_fresh = search.probes_fresh;
+            probes_cached = search.probes_cached;
+          };
       }
   | None ->
       (* Unreachable for a well-formed matrix: at the largest distinct

@@ -39,6 +39,18 @@
 
 type budget = Strict | Inflated
 
+(** Per-solve cost provenance: the paper's cost-model quantities for
+    {e one} answer — as opposed to the process-cumulative
+    [rrms_hd_rrms_*] counters.  The serving layer threads this record
+    through shard merges into the per-answer ["cost"] echo
+    (docs/OBSERVABILITY.md, "Cost provenance"). *)
+type cost = {
+  probes : int;  (** binary-search probes executed (incl. the fallback) *)
+  probes_fresh : int;  (** probes that paid an MRST solve *)
+  probes_cached : int;
+      (** probes answered from the threshold-index cache *)
+}
+
 type result = {
   selected : int array;
       (** chosen tuples (indices into the input points); at most [r]
@@ -59,6 +71,7 @@ type result = {
   quality : Rrms_guard.Guard.quality;
       (** [Exact] when the full binary search ran at the requested γ;
           [Degraded reasons] records every budget intervention *)
+  cost : cost;  (** this answer's probe accounting *)
 }
 
 val solve :
@@ -97,6 +110,9 @@ type search = {
       (** (row set, ε) for the best accepted threshold; [None] only if
           nothing satisfies even the largest cell value *)
   probes : int;  (** MRST probes actually executed by the search loop *)
+  probes_fresh : int;  (** probes that paid an MRST solve *)
+  probes_cached : int;
+      (** probes answered from the threshold-index cache *)
   stopped : Rrms_guard.Guard.reason option;
       (** [Some _] iff the budget cut the binary search short *)
 }

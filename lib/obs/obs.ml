@@ -103,6 +103,12 @@ module Trace = struct
     start : float; (* seconds since process start of the span's entry *)
     dur : float;
     attrs : (string * string) list;
+    (* Distributed-trace identity; all empty outside a traced request,
+       in which case the JSON encoding is unchanged from the pre-trace
+       schema. *)
+    span_id : string;
+    parent_id : string;
+    trace_id : string;
   }
 
   let origin = Unix.gettimeofday ()
@@ -190,10 +196,17 @@ module Trace = struct
           in
           Printf.sprintf ",\"attrs\":{%s}" (String.concat "," fields)
     in
+    let opt key v =
+      if v = "" then "" else Printf.sprintf ",\"%s\":\"%s\"" key (json_escape v)
+    in
     Printf.sprintf
       "{\"type\":\"span\",\"name\":\"%s\",\"domain\":%d,\"depth\":%d,\
-       \"start\":%.6f,\"dur\":%.6f%s}"
-      (json_escape ev.name) ev.domain ev.depth ev.start ev.dur attrs
+       \"start\":%.6f,\"dur\":%.6f%s%s%s%s}"
+      (json_escape ev.name) ev.domain ev.depth ev.start ev.dur
+      (opt "span_id" ev.span_id)
+      (opt "parent_id" ev.parent_id)
+      (opt "trace_id" ev.trace_id)
+      attrs
 end
 
 (* ------------------------------------------------------------------ *)
@@ -204,6 +217,17 @@ module Ctx = struct
     request_id : string;
     session_id : string;
     capture_spans : bool;
+    (* Distributed-trace identity (docs/OBSERVABILITY.md, "Cluster
+       tracing"): [trace_id] marks the whole cross-process request;
+       [parent_span] is the caller's span id, the cross-process edge a
+       root span recorded here hangs from.  Both default to empty, in
+       which case spans carry no trace identity at all. *)
+    trace_id : string;
+    parent_span : string;
+    mutable c_root_span : string;
+        (* id of the first stack-root span opened under this context —
+           later stack-root spans (e.g. pool-worker chunks) attach
+           under it so a request trace has exactly one local root. *)
     c_mutex : Mutex.t;
     vals : (string, float ref) Hashtbl.t;
     mutable c_spans : Trace.event list; (* newest first *)
@@ -213,12 +237,15 @@ module Ctx = struct
 
   let max_spans = 10_000
 
-  let create ?(request_id = "") ?(session_id = "") ?(capture_spans = false) ()
-      =
+  let create ?(request_id = "") ?(session_id = "") ?(capture_spans = false)
+      ?(trace_id = "") ?(parent_span = "") () =
     {
       request_id;
       session_id;
       capture_spans;
+      trace_id;
+      parent_span;
+      c_root_span = "";
       c_mutex = Mutex.create ();
       vals = Hashtbl.create 16;
       c_spans = [];
@@ -228,6 +255,8 @@ module Ctx = struct
 
   let request_id t = t.request_id
   let session_id t = t.session_id
+  let trace_id t = t.trace_id
+  let parent_span t = t.parent_span
 
   (* Ambient binding, keyed by (domain, systhread).  Domain.DLS would
      be wrong here: server sessions are systhreads multiplexed on
@@ -523,6 +552,18 @@ module Hist = struct
     absorb b;
     t
 
+  (* Rebuild a histogram from exported raw parts (the [metrics] wire
+     op): a shorter bucket array is accepted and zero-padded, so a
+     reader with more buckets than the writer still merges. *)
+  let import ~count ~sum ~max_value ~buckets =
+    let t = create () in
+    t.h_count <- count;
+    t.h_sum <- sum;
+    t.h_max <- max_value;
+    let n = Stdlib.min (Array.length buckets) (Array.length t.h_buckets) in
+    Array.blit buckets 0 t.h_buckets 0 n;
+    t
+
   (* Rank-based: the answer for quantile q over n observations is the
      upper bound of the bucket holding the ceil(q·n)-th smallest one
      (clamped by the observed max; the +Inf bucket answers the max).
@@ -560,6 +601,41 @@ module Span = struct
   (* Per-domain nesting depth; worker domains get their own stack, so a
      span opened inside a pool chunk nests under nothing foreign. *)
   let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+  (* Distributed-trace span identity — engaged only when the bound
+     context carries a trace id, so the untraced path never touches any
+     of this.  Ids are hierarchical: [base.n] where [base] is the
+     caller's span id (the context's [parent_span]) or, failing that,
+     the request id — each process of a fanned-out request mints under
+     the unique span id of the leg that spawned it, so ids never
+     collide across processes of one trace. *)
+  let span_seq = Atomic.make 0
+
+  (* Innermost open traced span per (domain, systhread) — same keying
+     as [Ctx] bindings (sessions are systhreads multiplexed on domain
+     0); saved and restored around each traced span. *)
+  let open_spans : (int * int, string) Hashtbl.t = Hashtbl.create 32
+  let open_mutex = Mutex.create ()
+
+  (* First stack-root span under the context claims the context root;
+     later stack-roots (pool-worker chunks on other domains) attach
+     under it, so a request's local trace has exactly one root. *)
+  let claim_root (c : Ctx.t) id =
+    Mutex.lock c.Ctx.c_mutex;
+    let existing = c.Ctx.c_root_span in
+    if existing = "" then c.Ctx.c_root_span <- id;
+    Mutex.unlock c.Ctx.c_mutex;
+    existing
+
+  (* The innermost open traced span on this (domain, systhread) — the
+     id a cross-process fan-out puts in its wire envelopes so worker
+     spans hang from the span that dispatched them. *)
+  let current_id () =
+    let key = Ctx.self_key () in
+    Mutex.lock open_mutex;
+    let id = Hashtbl.find_opt open_spans key in
+    Mutex.unlock open_mutex;
+    match id with Some id -> id | None -> ""
 
   (* Aggregate duration stats per span name, for the summary table and
      the Prometheus histogram sink. *)
@@ -599,11 +675,48 @@ module Span = struct
         let depth = Domain.DLS.get depth_key in
         let d = !depth in
         depth := d + 1;
+        let trace_id, span_id, parent_id, open_key, prev_open =
+          match ctx with
+          | Some c when c.Ctx.trace_id <> "" ->
+              let key = Ctx.self_key () in
+              Mutex.lock open_mutex;
+              let prev = Hashtbl.find_opt open_spans key in
+              Mutex.unlock open_mutex;
+              let base =
+                if c.Ctx.parent_span <> "" then c.Ctx.parent_span
+                else if c.Ctx.request_id <> "" then c.Ctx.request_id
+                else c.Ctx.trace_id
+              in
+              let id =
+                Printf.sprintf "%s.%d" base
+                  (1 + Atomic.fetch_and_add span_seq 1)
+              in
+              let parent =
+                match prev with
+                | Some p -> p
+                | None ->
+                    let root = claim_root c id in
+                    if root <> "" then root else c.Ctx.parent_span
+              in
+              Mutex.lock open_mutex;
+              Hashtbl.replace open_spans key id;
+              Mutex.unlock open_mutex;
+              (c.Ctx.trace_id, id, parent, Some key, prev)
+          | _ -> ("", "", "", None, None)
+        in
         let t0 = Unix.gettimeofday () in
         Fun.protect
           ~finally:(fun () ->
             let dur = Unix.gettimeofday () -. t0 in
             depth := d;
+            (match open_key with
+            | None -> ()
+            | Some key ->
+                Mutex.lock open_mutex;
+                (match prev_open with
+                | Some p -> Hashtbl.replace open_spans key p
+                | None -> Hashtbl.remove open_spans key);
+                Mutex.unlock open_mutex);
             Timer.observe (timer_for name) dur;
             let attrs =
               match ctx with
@@ -627,6 +740,9 @@ module Span = struct
                 start = t0 -. Trace.origin;
                 dur;
                 attrs;
+                span_id;
+                parent_id;
+                trace_id;
               }
             in
             if lvl > 1 then Trace.record ev;

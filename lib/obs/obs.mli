@@ -83,6 +83,13 @@ end
     aggregated [rrms_span_seconds{span="name"}] histogram. *)
 module Span : sig
   val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+  val current_id : unit -> string
+  (** Id of the innermost open traced span on the calling
+      (domain, systhread), [""] when none (or when the bound context
+      carries no trace id).  A cross-process fan-out calls this inside
+      its dispatch span to fill the wire envelope's [parent] member, so
+      worker spans hang from the span that dispatched them. *)
 end
 
 val reset : unit -> unit
@@ -113,10 +120,23 @@ module Trace : sig
     start : float; (* seconds since process start *)
     dur : float;
     attrs : (string * string) list;
+    span_id : string;
+        (** Distributed-trace identity (docs/OBSERVABILITY.md, "Cluster
+            tracing & metrics").  All three ids are empty outside a
+            traced request; empty ids are omitted from the JSON
+            encoding, so untraced output is byte-identical to the
+            pre-trace schema. *)
+    parent_id : string;
+    trace_id : string;
   }
 
   val events : unit -> event list
   val count : unit -> int
+
+  val record : event -> unit
+  (** Append one event to the buffer (subject to the cap).  Used by the
+      router to ingest span dumps returned by shard workers, so one
+      process's trace file covers the whole cluster. *)
 
   val dropped : unit -> int
   (** Span events discarded because the buffer was at its cap since the
@@ -155,15 +175,28 @@ module Ctx : sig
     ?request_id:string ->
     ?session_id:string ->
     ?capture_spans:bool ->
+    ?trace_id:string ->
+    ?parent_span:string ->
     unit ->
     t
   (** [capture_spans] (default [false]) additionally records every span
       executed under the context into the context itself — this works
       at {!Counters} (not just {!Full}), which is what lets a server
-      keep slow-query traces without a global trace buffer. *)
+      keep slow-query traces without a global trace buffer.
+
+      [trace_id] (default empty) marks the context as part of a
+      distributed trace: every span recorded under it is assigned a
+      hierarchical [span_id], its parent resolved from the innermost
+      open span on the recording thread (falling back to the context's
+      first root span, then to [parent_span] — the caller's span id,
+      i.e. the cross-process edge).  With an empty [trace_id] span
+      events carry no identity and the encoding is unchanged. *)
 
   val request_id : t -> string
   val session_id : t -> string
+
+  val trace_id : t -> string
+  val parent_span : t -> string
 
   val with_ctx : t -> (unit -> 'a) -> 'a
   (** Bind the context to the calling thread for the thunk's duration
@@ -220,6 +253,11 @@ module Hist : sig
   val merge : t -> t -> t
   (** Pure: builds a new histogram; bucket counts and counts add
       exactly (associative), [sum] adds in float. *)
+
+  val import :
+    count:int -> sum:float -> max_value:float -> buckets:int array -> t
+  (** Rebuild a histogram from raw exported parts (the wire [metrics]
+      op); a shorter [buckets] array is zero-padded. *)
 
   val quantile : t -> float -> float
   (** [quantile t q] for q in [0,1]; [0.] on an empty histogram. *)

@@ -35,17 +35,29 @@ let summary_json (r : Store.mutated) =
    [Server.run_query]: same error codes, same access-log record shape
    (algo = "mutate", r = op count), so mutation traffic shows up in the
    same telemetry pipeline as query traffic. *)
-let run ~telemetry ~session_id ~request_id ~dataset_key ~elapsed_ms ~timeout
-    store ~dataset ops =
+let run ?trace ~telemetry ~session_id ~request_id ~dataset_key ~elapsed_ms
+    ~timeout store ~dataset ops =
+  let trace_id, parent_span =
+    match trace with
+    | Some t -> (t.Protocol.trace_id, t.Protocol.parent_span)
+    | None -> ("", "")
+  in
   let ctx =
     Obs.Ctx.create ~request_id ~session_id
-      ~capture_spans:(Telemetry.capture_spans telemetry)
-      ()
+      ~capture_spans:(Telemetry.capture_spans telemetry || trace_id <> "")
+      ~trace_id ~parent_span ()
   in
+  let merge_path = ref "" in
   let outcome =
     Obs.Ctx.with_ctx ctx (fun () ->
+        Obs.Span.with_ "serve.mutate"
+          ~attrs:[ ("dataset", dataset_key) ]
+        @@ fun () ->
         match Store.mutate ?timeout store ~dataset (ops_of_protocol ops) with
-        | Ok r -> Ok (summary_json r)
+        | Ok r ->
+            (merge_path :=
+               match r.Store.skyline_path with Some p -> p | None -> "");
+            Ok (summary_json r)
         | Error `Unknown_dataset ->
             Error
               ( "unknown_dataset",
@@ -93,6 +105,7 @@ let run ~telemetry ~session_id ~request_id ~dataset_key ~elapsed_ms ~timeout
       probes = Obs.Ctx.value ctx "rrms_hd_rrms_probes_total";
       cells = Obs.Ctx.value ctx "rrms_matrix_cells_total";
       shards = 0;
+      merge = !merge_path;
     }
     ~spans:(Obs.Ctx.spans ctx);
   outcome

@@ -15,6 +15,7 @@ val summary_json : Store.mutated -> Json.t
     maintenance path taken, and the artifact/cache carry-over tallies. *)
 
 val run :
+  ?trace:Protocol.trace ->
   telemetry:Telemetry.t ->
   session_id:string ->
   request_id:string ->
@@ -28,7 +29,10 @@ val run :
 (** Execute one mutation request.  Total: every failure — unknown
     dataset, shedding, deadline, malformed batch, solver guard error —
     becomes the documented [(code, message)] pair.  Records an
-    access-log line with [algo = "mutate"] and [r] = op count. *)
+    access-log line with [algo = "mutate"] and [r] = op count; with a
+    [trace] envelope the work runs under a ["serve.mutate"] span bound
+    to the originating trace, and the access record carries the
+    skyline maintenance path as its [merge] field. *)
 
 type replayed = {
   records : int;  (** valid WAL records scanned *)

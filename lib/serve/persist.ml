@@ -19,6 +19,14 @@ module Metrics = struct
     c "rrms_serve_persist_rehydrated_total"
       "artifacts rehydrated from the state directory"
 
+  let blobs_scanned =
+    c "rrms_serve_persist_blobs_scanned_total"
+      "blob files examined by the startup scan"
+
+  let rehydrate_seconds =
+    Obs.Timer.make ~help:"blob load + decode latency (hits and misses alike)"
+      "rrms_serve_persist_rehydrate_seconds"
+
   let corrupt =
     c "rrms_serve_persist_corrupt_blobs_total"
       "blobs discarded as torn, corrupt or version-mismatched"
@@ -295,14 +303,16 @@ let scan_dir root =
         Obs.Counter.incr Metrics.partial_cleaned;
         tally := { !tally with partial = !tally.partial + 1 }
       end
-      else if Filename.check_suffix name ".blob" then
+      else if Filename.check_suffix name ".blob" then begin
+        Obs.Counter.incr Metrics.blobs_scanned;
         if blob_valid path then
           tally := { !tally with valid = !tally.valid + 1 }
         else begin
           (try Sys.remove path with Sys_error _ -> ());
           Obs.Counter.incr Metrics.corrupt;
           tally := { !tally with corrupt = !tally.corrupt + 1 }
-        end)
+        end
+      end)
     names;
   !tally
 
@@ -388,22 +398,23 @@ let write_blob t ~kind ~name payload =
    — header, checksum, or decode — is unlinked and counted corrupt, and
    the caller proceeds as on a miss. *)
 let load_blob t ~kind ~name decode =
-  let path = Filename.concat t.root name in
-  match read_blob ~kind path with
-  | Error `Missing -> None
-  | Error `Corrupt ->
-      Obs.Counter.incr Metrics.corrupt;
-      (try Sys.remove path with Sys_error _ -> ());
-      None
-  | Ok payload -> (
-      match decode (Codec.reader payload) with
-      | v ->
-          Obs.Counter.incr Metrics.rehydrated;
-          Some v
-      | exception _ ->
+  Obs.Timer.time Metrics.rehydrate_seconds (fun () ->
+      let path = Filename.concat t.root name in
+      match read_blob ~kind path with
+      | Error `Missing -> None
+      | Error `Corrupt ->
           Obs.Counter.incr Metrics.corrupt;
           (try Sys.remove path with Sys_error _ -> ());
-          None)
+          None
+      | Ok payload -> (
+          match decode (Codec.reader payload) with
+          | v ->
+              Obs.Counter.incr Metrics.rehydrated;
+              Some v
+          | exception _ ->
+              Obs.Counter.incr Metrics.corrupt;
+              (try Sys.remove path with Sys_error _ -> ());
+              None))
 
 (* ------------------------------------------------------------------ *)
 (* Artifact codecs                                                    *)

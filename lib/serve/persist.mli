@@ -59,6 +59,14 @@ module Metrics : sig
   val partial_cleaned : Rrms_obs.Obs.Counter.t
   (** Leftover temp files removed by the startup scan. *)
 
+  val blobs_scanned : Rrms_obs.Obs.Counter.t
+  (** Blob files examined (validated) by the startup scan — with
+      [corrupt], gives the scan's discard rate. *)
+
+  val rehydrate_seconds : Rrms_obs.Obs.Timer.t
+  (** Latency of one blob load + decode attempt (hits and misses
+      alike) — the rehydration cost [stats] exposes. *)
+
   val wal_appends : Rrms_obs.Obs.Counter.t
   (** Mutation records durably appended to the write-ahead log. *)
 

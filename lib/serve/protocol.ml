@@ -30,7 +30,38 @@ type query = {
   max_cells : int option;
   max_probes : int option;
   use_cache : bool;
+  explain : bool;
 }
+
+(* Optional distributed-trace envelope: any request may carry a
+   ["trace"] object; a router injects one into every fan-out leg and
+   batch item so worker spans and counter deltas land under the
+   originating trace id.  The envelope never participates in caching —
+   [cache_key] ignores it — and never changes the [result] bytes. *)
+type trace = {
+  trace_id : string;
+  parent_span : string;
+  origin_request : string;
+  origin_session : string;
+  deadline : float option;
+}
+
+let trace_member t =
+  ( "trace",
+    Json.Obj
+      (("id", Json.Str t.trace_id)
+      :: ((if t.parent_span <> "" then [ ("parent", Json.Str t.parent_span) ]
+           else [])
+         @ (if t.origin_request <> "" then
+              [ ("request_id", Json.Str t.origin_request) ]
+            else [])
+         @ (if t.origin_session <> "" then
+              [ ("session_id", Json.Str t.origin_session) ]
+            else [])
+         @
+         match t.deadline with
+         | Some d -> [ ("deadline", Json.float d) ]
+         | None -> [])) )
 
 type mutation_op =
   | Op_insert of float array
@@ -54,6 +85,7 @@ type request =
     }
   | Skyline of { dataset : string; timeout : float option }
   | Stats
+  | Metrics
   | Evict of { dataset : string }
   | Ping
   | Shutdown
@@ -79,7 +111,11 @@ let error_of_exn = function
       Some ("internal", Printf.sprintf "injected fault in worker %d" w)
   | _ -> None
 
-type parsed = { id : Json.t; req : (request, string * string) result }
+type parsed = {
+  id : Json.t;
+  req : (request, string * string) result;
+  trace : trace option;
+}
 
 (* Field readers over the request object; every shape problem becomes a
    [bad_request] with the offending field named, never an exception. *)
@@ -155,7 +191,19 @@ let parse_query obj =
   let max_cells = check_pos "max_cells" (opt_int obj "max_cells") in
   let max_probes = check_pos "max_probes" (opt_int obj "max_probes") in
   let use_cache = opt_bool obj "cache" ~default:true in
-  Query { dataset; algo; r; gamma; timeout; max_cells; max_probes; use_cache }
+  let explain = opt_bool obj "explain" ~default:false in
+  Query
+    {
+      dataset;
+      algo;
+      r;
+      gamma;
+      timeout;
+      max_cells;
+      max_probes;
+      use_cache;
+      explain;
+    }
 
 let max_batch_items = 1024
 
@@ -303,27 +351,55 @@ let parse_body obj =
           | _ -> ());
           Skyline { dataset = req_string obj "dataset"; timeout }
       | "stats" -> Stats
+      | "metrics" -> Metrics
       | "evict" -> Evict { dataset = req_string obj "dataset" }
       | "ping" -> Ping
       | "shutdown" -> Shutdown
       | k ->
           bad
             "unknown request kind %S (expected load | query | batch | insert \
-             | delete | upsert | mutate | skyline | stats | evict | ping | \
-             shutdown)"
+             | delete | upsert | mutate | skyline | stats | metrics | evict | \
+             ping | shutdown)"
             k)
   | Some _ -> bad "field \"req\" must be a string"
 
+(* The trace envelope is parsed independently of the body: a valid
+   envelope on a malformed request still scopes the error handling, and
+   a malformed envelope fails the request like any other bad field. *)
+let parse_trace obj =
+  match Json.member "trace" obj with
+  | None | Some Json.Null -> None
+  | Some (Json.Obj _ as t) ->
+      let trace_id = req_string t "id" in
+      let parent_span = Option.value ~default:"" (opt_string t "parent") in
+      let origin_request =
+        Option.value ~default:"" (opt_string t "request_id")
+      in
+      let origin_session =
+        Option.value ~default:"" (opt_string t "session_id")
+      in
+      let deadline = opt_number t "deadline" in
+      Some { trace_id; parent_span; origin_request; origin_session; deadline }
+  | Some _ -> bad "field \"trace\" must be an object"
+
 let parse_request line =
   match Json.parse line with
-  | Error msg -> { id = Json.Null; req = Error ("parse", msg) }
+  | Error msg -> { id = Json.Null; req = Error ("parse", msg); trace = None }
   | Ok (Json.Obj _ as obj) -> (
       let id = Option.value ~default:Json.Null (Json.member "id" obj) in
-      match parse_body obj with
-      | req -> { id; req = Ok req }
-      | exception Bad_request msg -> { id; req = Error ("bad_request", msg) })
+      match
+        let trace = parse_trace obj in
+        (parse_body obj, trace)
+      with
+      | req, trace -> { id; req = Ok req; trace }
+      | exception Bad_request msg ->
+          { id; req = Error ("bad_request", msg); trace = None })
   | Ok _ ->
-      { id = Json.Null; req = Error ("bad_request", "request must be an object") }
+      {
+        id = Json.Null;
+        req = Error ("bad_request", "request must be an object");
+        trace = None;
+      }
 
 let cache_key q =
   (* Budgets and cache flags never select the answer; γ only matters to
@@ -333,16 +409,20 @@ let cache_key q =
   | Hd_rrms | Hd_greedy -> Printf.sprintf "%s;gamma=%d" base q.gamma
   | A2d | A2d_exact | Sweepline | Greedy | Cube -> base
 
-let ok_response ~id ~cached ~elapsed_ms result =
+(* [cost] is a response-envelope sibling of [result], never inside it:
+   the [result] bytes are what the cache stores and what byte-identity
+   tests compare, so provenance must not perturb them. *)
+let ok_response ?cost ~id ~cached ~elapsed_ms result =
   Json.to_string
     (Json.Obj
-       [
-         ("id", id);
-         ("ok", Json.Bool true);
-         ("cached", Json.Bool cached);
-         ("elapsed_ms", Json.float elapsed_ms);
-         ("result", result);
-       ])
+       ([
+          ("id", id);
+          ("ok", Json.Bool true);
+          ("cached", Json.Bool cached);
+          ("elapsed_ms", Json.float elapsed_ms);
+          ("result", result);
+        ]
+       @ match cost with Some c -> [ ("cost", c) ] | None -> []))
 
 let error_response ~id ~code ~message =
   Json.to_string

@@ -38,7 +38,33 @@ type query = {
   max_cells : int option;  (** per-request regret-matrix cell cap *)
   max_probes : int option;  (** per-request probe/iteration cap *)
   use_cache : bool;  (** [false] forces a fresh solve (cache bypass) *)
+  explain : bool;
+      (** echo the per-answer cost-provenance record in the response
+          envelope (["cost"] member, a sibling of ["result"] — the
+          [result] bytes are unchanged) *)
 }
+
+(** Distributed-trace envelope (docs/OBSERVABILITY.md, "Cluster tracing
+    & metrics").  Any request may carry a ["trace"] object:
+    [{"id": …, "parent": …, "request_id": …, "session_id": …,
+    "deadline": …}] with only [id] required.  The receiving server
+    binds it into the request's {!Rrms_obs.Obs.Ctx}, so spans and
+    counter deltas recorded there carry the originating trace id; a
+    router injects one into every fan-out leg and batch item.  The
+    envelope never participates in the result cache and never changes
+    the [result] bytes. *)
+type trace = {
+  trace_id : string;  (** wire field ["id"]; never empty *)
+  parent_span : string;  (** caller's span id — the cross-process edge *)
+  origin_request : string;  (** baggage: originating request id *)
+  origin_session : string;  (** baggage: originating session id *)
+  deadline : float option;
+      (** baggage: originating absolute deadline budget, seconds *)
+}
+
+val trace_member : trace -> string * Json.t
+(** The [("trace", {...})] request member encoding [t] — what a router
+    splices into fan-out requests. *)
 
 type mutation_op =
   | Op_insert of float array  (** append a tuple (["insert"]) *)
@@ -85,6 +111,12 @@ type request =
           router fan-out.  Shard-local indices when the dataset was
           loaded with [shard]. *)
   | Stats
+  | Metrics
+      (** The process's metric snapshot as JSON: every registered
+          {!Rrms_obs.Obs} counter/gauge/timer plus the telemetry
+          histogram family in raw (mergeable) form.  A router answers
+          by fanning out and merging — counters sum, histograms merge
+          associatively — into the cluster-wide view. *)
   | Evict of { dataset : string }
   | Ping
   | Shutdown
@@ -124,6 +156,8 @@ type parsed = {
       (** parsed request, or [(code, message)] — [parse] for malformed
           JSON, [bad_request] for a well-formed object that is not a
           valid request *)
+  trace : trace option;
+      (** the request's ["trace"] envelope, when present and valid *)
 }
 
 val parse_request : string -> parsed
@@ -137,7 +171,11 @@ val cache_key : query -> string
     can be answered from a cache entry computed without budgets. *)
 
 val ok_response :
-  id:Json.t -> cached:bool -> elapsed_ms:float -> Json.t -> string
-(** Serialize a success line; the last argument is [result]. *)
+  ?cost:Json.t -> id:Json.t -> cached:bool -> elapsed_ms:float -> Json.t ->
+  string
+(** Serialize a success line; the last argument is [result].  [cost]
+    (the [explain: true] provenance echo) is emitted as a sibling of
+    [result], so the [result] bytes — the cached, byte-compared part —
+    are identical with or without it. *)
 
 val error_response : id:Json.t -> code:string -> message:string -> string

@@ -53,19 +53,39 @@ let ints arr = Json.Arr (Array.to_list (Array.map Json.int arr))
    batch item, or the router's merged fan-out).  Shared by the
    single-query path, every batch item and the shard router, so all
    three produce identical error codes and access-log records. *)
-let run_query ~telemetry ~session_id ~request_id ~dataset_key ~shards
+let run_query ?trace ~telemetry ~session_id ~request_id ~dataset_key ~shards
     ~elapsed_ms (q : Protocol.query) run =
+  (* A trace envelope binds the request into the caller's distributed
+     trace: spans minted here carry its trace id and hang from the
+     caller's span (the cross-process edge), and span capture turns on
+     so the worker can hand its span dump back.  Without an envelope
+     nothing changes — ids stay empty and the wire bytes are identical. *)
+  let trace_id, parent_span =
+    match trace with
+    | Some t -> (t.Protocol.trace_id, t.Protocol.parent_span)
+    | None -> ("", "")
+  in
   let ctx =
     Obs.Ctx.create ~request_id ~session_id
-      ~capture_spans:(Telemetry.capture_spans telemetry)
-      ()
+      ~capture_spans:(Telemetry.capture_spans telemetry || trace_id <> "")
+      ~trace_id ~parent_span ()
   in
   let cache_outcome = ref "miss" in
   let degraded = ref false in
+  let cost = ref [] in
   let outcome =
     Obs.Ctx.with_ctx ctx (fun () ->
-        match run () with
-        | Ok { Store.result; cached } ->
+        match
+          Obs.Span.with_ "serve.query"
+            ~attrs:
+              [
+                ("algo", Protocol.algo_to_string q.Protocol.algo);
+                ("dataset", dataset_key);
+              ]
+            run
+        with
+        | Ok { Store.result; cached; cost = c } ->
+            cost := c;
             (if cached then cache_outcome := "hit"
              else if Obs.Ctx.value ctx "rrms_serve_matrix_derived_total" > 0.
              then cache_outcome := "derived");
@@ -107,6 +127,11 @@ let run_query ~telemetry ~session_id ~request_id ~dataset_key ~shards
     | Error _ -> "error"
     | Ok _ -> if !degraded then "degraded" else "ok"
   in
+  let merge_path =
+    match List.assoc_opt "merge" !cost with
+    | Some (Json.Str s) -> s
+    | _ -> ""
+  in
   Telemetry.record telemetry
     {
       Telemetry.request_id;
@@ -125,9 +150,16 @@ let run_query ~telemetry ~session_id ~request_id ~dataset_key ~shards
       probes = Obs.Ctx.value ctx "rrms_hd_rrms_probes_total";
       cells = Obs.Ctx.value ctx "rrms_matrix_cells_total";
       shards;
+      merge = merge_path;
     }
     ~spans:(Obs.Ctx.spans ctx);
-  outcome
+  match outcome with
+  | Error _ as e -> e
+  | Ok (result, cached) ->
+      let cost_echo =
+        if q.Protocol.explain then Some (Json.Obj !cost) else None
+      in
+      Ok (result, cached, cost_echo)
 
 (* One request line → one response.  [session] collects the dataset
    references this connection holds, for teardown.  Total: every
@@ -135,11 +167,13 @@ let run_query ~telemetry ~session_id ~request_id ~dataset_key ~shards
    injected worker faults — becomes an error response. *)
 let dispatch ~telemetry ~session_id ~reqno store session line =
   let t0 = Unix.gettimeofday () in
-  let { Protocol.id; req } = Protocol.parse_request line in
+  let { Protocol.id; req; trace } = Protocol.parse_request line in
   Obs.Counter.incr Metrics.requests;
   let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
-  let ok ?(cached = false) result =
-    `Reply (Protocol.ok_response ~id ~cached ~elapsed_ms:(elapsed_ms ()) result)
+  let ok ?(cached = false) ?cost result =
+    `Reply
+      (Protocol.ok_response ?cost ~id ~cached ~elapsed_ms:(elapsed_ms ())
+         result)
   in
   let error_code = ref None in
   let error code message =
@@ -187,10 +221,10 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
           | None -> q.Protocol.dataset
         in
         (match
-           run_query ~telemetry ~session_id ~request_id ~dataset_key
+           run_query ?trace ~telemetry ~session_id ~request_id ~dataset_key
              ~shards:0 ~elapsed_ms q (fun () -> Store.query store q)
          with
-        | Ok (result, cached) -> ok ~cached result
+        | Ok (result, cached, cost) -> ok ~cached ?cost result
         | Error (code, message) -> error code message)
     | Ok (Protocol.Batch { dataset; items }) ->
         (* One resolve, many items: the dataset is pinned once and every
@@ -239,20 +273,24 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                                    (Unix.gettimeofday () -. t0i) *. 1000.
                                  in
                                  match
-                                   run_query ~telemetry ~session_id
+                                   run_query ?trace ~telemetry ~session_id
                                      ~request_id:
                                        (Printf.sprintf "%s.%d" base_id i)
                                      ~dataset_key:key ~shards:0
                                      ~elapsed_ms:item_ms q (fun () ->
                                        Store.query_pinned store h q)
                                  with
-                                 | Ok (result, cached) ->
+                                 | Ok (result, cached, cost) ->
                                      Json.Obj
-                                       [
-                                         ("ok", Json.Bool true);
-                                         ("cached", Json.Bool cached);
-                                         ("result", result);
-                                       ]
+                                       ([
+                                          ("ok", Json.Bool true);
+                                          ("cached", Json.Bool cached);
+                                          ("result", result);
+                                        ]
+                                       @
+                                       match cost with
+                                       | Some c -> [ ("cost", c) ]
+                                       | None -> [])
                                  | Error (code, message) ->
                                      item_error code message))
                            items)
@@ -276,7 +314,7 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
           | None -> dataset
         in
         (match
-           Mutate.run ~telemetry ~session_id ~request_id ~dataset_key
+           Mutate.run ?trace ~telemetry ~session_id ~request_id ~dataset_key
              ~elapsed_ms ~timeout store ~dataset ops
          with
         | Ok result -> ok result
@@ -284,12 +322,30 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
     | Ok (Protocol.Skyline { dataset; timeout }) ->
         (* The per-shard half of the router fan-out: compute (or fetch)
            the dataset's skyline artifact under admission, honouring the
-           forwarded remaining deadline. *)
+           forwarded remaining deadline.  With a trace envelope, the
+           work runs under a context bound to the originating trace and
+           the reply carries this worker's span dump, so the router can
+           splice it into one merged cluster trace. *)
         safe (fun () ->
             let budget =
               match timeout with
               | None -> Guard.Budget.unlimited
               | Some t -> Guard.Budget.create ~timeout:t ()
+            in
+            let ctx =
+              match trace with
+              | Some t ->
+                  incr reqno;
+                  Some
+                    (Obs.Ctx.create
+                       ~request_id:
+                         (if t.Protocol.origin_request <> "" then
+                            t.Protocol.origin_request
+                          else Printf.sprintf "%s-r%d" session_id !reqno)
+                       ~session_id ~capture_spans:true
+                       ~trace_id:t.Protocol.trace_id
+                       ~parent_span:t.Protocol.parent_span ())
+              | None -> None
             in
             match Store.pin store dataset with
             | None ->
@@ -299,12 +355,18 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                 Fun.protect
                   ~finally:(fun () -> Store.unpin store h)
                   (fun () ->
-                    match
-                      Store.with_admission store (fun () ->
-                          match Guard.Budget.deadline_expired budget with
-                          | Some _ -> `Deadline
-                          | None -> `Sky (Store.skyline_of store h))
-                    with
+                    let outcome =
+                      Obs.Ctx.scoped ctx (fun () ->
+                          Obs.Span.with_ "serve.skyline"
+                            ~attrs:[ ("dataset", dataset) ] (fun () ->
+                              Store.with_admission store (fun () ->
+                                  match
+                                    Guard.Budget.deadline_expired budget
+                                  with
+                                  | Some _ -> `Deadline
+                                  | None -> `Sky (Store.skyline_of store h))))
+                    in
+                    match outcome with
                     | Error `Overloaded ->
                         error "overloaded"
                           "admission queue is full; the request was shed — \
@@ -315,15 +377,27 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                            computation started"
                     | Ok (`Sky sky) ->
                         let n, m = Store.pinned_dims h in
+                        let span_dump =
+                          match ctx with
+                          | None -> []
+                          | Some c ->
+                              [
+                                ( "spans",
+                                  Json.Arr
+                                    (List.map Telemetry.span_json
+                                       (Obs.Ctx.spans c)) );
+                              ]
+                        in
                         ok
                           (Json.Obj
-                             [
-                               ("key", Json.Str (Store.pinned_key h));
-                               ("n", Json.int n);
-                               ("m", Json.int m);
-                               ("size", Json.int (Array.length sky));
-                               ("indices", ints sky);
-                             ])))
+                             ([
+                                ("key", Json.Str (Store.pinned_key h));
+                                ("n", Json.int n);
+                                ("m", Json.int m);
+                                ("size", Json.int (Array.length sky));
+                                ("indices", ints sky);
+                              ]
+                             @ span_dump))))
     | Ok (Protocol.Evict { dataset }) ->
         safe (fun () ->
             match Store.release store dataset with
@@ -360,6 +434,23 @@ let dispatch ~telemetry ~session_id ~reqno store session line =
                            Json.Obj [ ("restarts", Json.int restarts) ] );
                        ]))
             | j -> ok j)
+    | Ok Protocol.Metrics ->
+        (* The raw, mergeable half of cluster observability: the global
+           counter snapshot plus the latency histograms as raw bucket
+           counts (seconds).  A router fans this out and merges the
+           exports — counters sum, histograms merge associatively — so
+           [stats] against a router reports cluster-wide quantiles. *)
+        safe (fun () ->
+            ok
+              (Json.Obj
+                 [
+                   ( "metrics",
+                     Json.Obj
+                       (List.map
+                          (fun (name, v) -> (name, Json.float v))
+                          (Obs.snapshot ())) );
+                   ("latency_raw", Telemetry.export_json telemetry);
+                 ]))
     | Ok Protocol.Ping -> ok (Json.Obj [ ("pong", Json.Bool true) ])
     | Ok Protocol.Shutdown ->
         `Shutdown

@@ -35,6 +35,7 @@ val handle_line :
     instance's histograms into its response as a ["latency"] member. *)
 
 val run_query :
+  ?trace:Protocol.trace ->
   telemetry:Telemetry.t ->
   session_id:string ->
   request_id:string ->
@@ -46,15 +47,18 @@ val run_query :
   ( Store.outcome,
     [ `Overloaded | `Unknown_dataset | `Deadline_exceeded | `Draining ] )
   result) ->
-  (Json.t * bool, string * string) result
+  (Json.t * bool * Json.t option, string * string) result
 (** Run one query thunk under a fresh request context and record its
     telemetry (access-log line, latency histogram, cache outcome,
-    per-request counters).  Returns the result and its cached flag, or
-    the wire [(code, message)] — exceptions included, via
-    {!Protocol.error_of_exn}.  Shared by the single-query path, every
-    batch item and the shard router, so all three report identically;
-    [shards] is the fan-out width recorded in the access log (0 =
-    unsharded). *)
+    per-request counters).  Returns the result, its cached flag, and —
+    when the query asked [explain: true] — the cost-provenance object
+    to echo beside the result; or the wire [(code, message)] —
+    exceptions included, via {!Protocol.error_of_exn}.  With a [trace]
+    envelope the whole run executes under a ["serve.query"] span bound
+    to the caller's trace id and parent span (the cross-process edge).
+    Shared by the single-query path, every batch item and the shard
+    router, so all three report identically; [shards] is the fan-out
+    width recorded in the access log (0 = unsharded). *)
 
 type session_handler = {
   on_line : string -> [ `Reply of string | `Shutdown of string ];

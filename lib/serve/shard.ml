@@ -55,7 +55,20 @@ module Metrics = struct
   let stale_fallbacks =
     c ~deterministic:false "rrms_shard_stale_fallbacks_total"
       "queries answered by the coordinator alone after racing a mutation"
+
+  let straggler_gap =
+    Obs.Floatc.make ~deterministic:false
+      ~help:"accumulated slowest-minus-fastest leg time over router fan-outs"
+      "rrms_shard_fanout_straggler_seconds_total"
 end
+
+(* Annotate an outcome's cost provenance with the merge path that
+   produced it — ["certified"] / ["union"] / ["gather"] — so the
+   per-answer cost echo and the access log both say how the cluster
+   assembled the answer. *)
+let tag_merge path = function
+  | Ok o -> Ok { o with Store.cost = o.Store.cost @ [ ("merge", Json.Str path) ] }
+  | Error _ as e -> e
 
 (* ------------------------------------------------------------------ *)
 (* Partition arithmetic                                                *)
@@ -420,7 +433,8 @@ let union_solve t h part (q : Protocol.query) ~guard =
                           in
                           ( res.Hd_rrms.selected,
                             res.Hd_rrms.discretized_regret,
-                            gamma_used )
+                            gamma_used,
+                            Array.length global )
                       | Protocol.Hd_greedy ->
                           let res =
                             Hd_greedy.solve_prepared ~domains:t.domains ~guard
@@ -429,7 +443,8 @@ let union_solve t h part (q : Protocol.query) ~guard =
                           in
                           ( res.Hd_greedy.selected,
                             res.Hd_greedy.discretized_regret,
-                            gamma_used )
+                            gamma_used,
+                            Array.length global )
                       | _ -> assert false)
                 with
                 | Error `Overloaded -> raise Sub_overloaded
@@ -442,12 +457,12 @@ let union_solve t h part (q : Protocol.query) ~guard =
     Array.of_list
       (List.sort_uniq Stdlib.compare
          (List.concat_map
-            (fun (_, (sel, _, _)) -> Array.to_list sel)
+            (fun (_, (sel, _, _, _)) -> Array.to_list sel)
             per_shard))
   in
   let bound =
     List.fold_left
-      (fun acc (_, (_, eps, g)) ->
+      (fun acc (_, (_, eps, g, _)) ->
         Float.max acc (Discretize.theorem4_bound ~gamma:g ~m ~eps))
       0. per_shard
   in
@@ -462,7 +477,7 @@ let union_solve t h part (q : Protocol.query) ~guard =
         ( "shards",
           Json.Arr
             (List.map
-               (fun (s, (sel, eps, g)) ->
+               (fun (s, (sel, eps, g, _)) ->
                  Json.Obj
                    [
                      ("shard", Json.int s);
@@ -475,10 +490,34 @@ let union_solve t h part (q : Protocol.query) ~guard =
         ("degraded", Json.Bool true);
       ]
   in
+  (* Cost provenance: which merge path answered and what each shard
+     contributed — slice skyline size [s], its γ, and the Theorem-4
+     bound it feeds into the certified union bound. *)
+  let cost =
+    [
+      ("source", Json.Str "solve");
+      ("merge", Json.Str "union");
+      ("theorem4_bound", Json.float bound);
+      ( "shards",
+        Json.Arr
+          (List.map
+             (fun (s, (sel, eps, g, ssize)) ->
+               Json.Obj
+                 [
+                   ("shard", Json.int s);
+                   ("s", Json.int ssize);
+                   ("selected", Json.int (Array.length sel));
+                   ("gamma_used", Json.int g);
+                   ( "theorem4_bound",
+                     Json.float (Discretize.theorem4_bound ~gamma:g ~m ~eps) );
+                 ])
+             per_shard) );
+    ]
+  in
   (* Never cached: the union answer depends on the partition, so serving
      it to a later unsharded request would break the bit-identity
      contract of the result cache. *)
-  Ok { Store.result; cached = false }
+  Ok { Store.result; cached = false; cost }
 
 (* ------------------------------------------------------------------ *)
 (* Query                                                               *)
@@ -505,7 +544,7 @@ let query ?(merge = Certified) t (q : Protocol.query) =
              is lost for this one query. *)
           let stale_fallback () =
             Obs.Counter.incr Metrics.stale_fallbacks;
-            Store.query_pinned t.coordinator h q
+            tag_merge "gather" (Store.query_pinned t.coordinator h q)
           in
           match (part, q.Protocol.algo, merge) with
           | Some part, (Protocol.Hd_rrms | Protocol.Hd_greedy), Certified -> (
@@ -513,8 +552,9 @@ let query ?(merge = Certified) t (q : Protocol.query) =
               let guard = budget_of q in
               match prepare_certified t h part q ~guard with
               | () ->
-                  Store.query_pinned t.coordinator h
-                    (remaining_query ~guard q)
+                  tag_merge "certified"
+                    (Store.query_pinned t.coordinator h
+                       (remaining_query ~guard q))
               | exception Deadline -> Error `Deadline_exceeded
               | exception Sub_overloaded -> Error `Overloaded
               | exception Stale_partition -> stale_fallback ())
@@ -531,7 +571,7 @@ let query ?(merge = Certified) t (q : Protocol.query) =
                  the partition table): the coordinator holds the full
                  dataset, so the ordinary path is trivially Exact. *)
               Obs.Counter.incr Metrics.gather;
-              Store.query_pinned t.coordinator h q)
+              tag_merge "gather" (Store.query_pinned t.coordinator h q))
 
 (* ------------------------------------------------------------------ *)
 (* Mutation                                                            *)
@@ -862,36 +902,47 @@ module Router = struct
             wk
         | _ -> raise (Worker_down (w.w_path, "malformed load reply")))
 
-  let skyline_request ~dataset ~timeout =
+  let skyline_request ?trace ~dataset ~timeout () =
     Json.to_string
       (Json.Obj
          ([ ("req", Json.Str "skyline"); ("dataset", Json.Str dataset) ]
          @ (match timeout with
            | Some tm -> [ ("timeout", Json.float tm) ]
            | None -> [])
+         @ (match trace with
+           | Some t -> [ Protocol.trace_member t ]
+           | None -> [])
          @ [ ("id", Json.Str "router-skyline") ]))
 
-  (* One fan-out leg: the worker's shard-local skyline indices.  A
-     transport failure redials once (replaying the load), so a worker
-     restart between requests heals transparently; a second failure —
-     or a semantic error — surfaces to the caller. *)
-  let worker_skyline rt w ~key ~timeout =
+  (* One fan-out leg: the worker's shard-local skyline indices, plus —
+     when a trace envelope rode along — the worker's span dump for the
+     router's merged trace.  A transport failure redials once
+     (replaying the load), so a worker restart between requests heals
+     transparently; a second failure — or a semantic error — surfaces
+     to the caller. *)
+  let worker_skyline ?trace rt w ~key ~timeout =
     with_lock w.w_lock (fun () ->
         let attempt () =
           ensure_conn w;
           let wkey = worker_key rt w ~key in
-          let j = rpc_once w (skyline_request ~dataset:wkey ~timeout) in
+          let j = rpc_once w (skyline_request ?trace ~dataset:wkey ~timeout ()) in
+          let spans =
+            match reply_field j "spans" with
+            | Some (Json.Arr l) -> l
+            | _ -> []
+          in
           match reply_field j "indices" with
           | Some (Json.Arr l) ->
-              Array.of_list
-                (List.map
-                   (fun x ->
-                     match Json.int_ x with
-                     | Some i -> i
-                     | None ->
-                         raise
-                           (Worker_down (w.w_path, "malformed skyline reply")))
-                   l)
+              ( Array.of_list
+                  (List.map
+                     (fun x ->
+                       match Json.int_ x with
+                       | Some i -> i
+                       | None ->
+                           raise
+                             (Worker_down (w.w_path, "malformed skyline reply")))
+                     l),
+                spans )
           | _ -> raise (Worker_down (w.w_path, "malformed skyline reply"))
         in
         try attempt ()
@@ -905,18 +956,84 @@ module Router = struct
   let fan_out_workers rt f =
     let n = Array.length rt.workers in
     let out = Array.make n None in
+    let durs = Array.make n 0. in
     let threads =
       Array.init n (fun s ->
           Thread.create
-            (fun () -> out.(s) <- Some (try Ok (f s) with exn -> Error exn))
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              out.(s) <- Some (try Ok (f s) with exn -> Error exn);
+              durs.(s) <- Unix.gettimeofday () -. t0)
             ())
     in
     Array.iter Thread.join threads;
+    (* Fan-out skew: the wall-time the fastest leg spent waiting for
+       the slowest — the cluster's straggler signal in [stats]. *)
+    if n > 1 then begin
+      let mx = Array.fold_left Float.max neg_infinity durs in
+      let mn = Array.fold_left Float.min infinity durs in
+      Obs.Floatc.add Metrics.straggler_gap (Float.max 0. (mx -. mn))
+    end;
     Array.map
       (function
         | Some r -> r
         | None -> Error (Failure "Router fan-out task produced no result"))
       out
+
+  (* Splice a worker's span dump into the router's global trace buffer,
+     labelled with its shard index — the cross-process half of the
+     merged trace.  The events already carry the originating trace id
+     and hang from the router's fan-out span via their wire [parent].
+     Workers mint ids independently under the same fan-out parent, so
+     two shards produce the same hierarchical ids; namespace each dump
+     with its shard ([w0:…]) to keep merged ids globally unique,
+     rewriting intra-dump parent references to match and leaving the
+     cross-process edge (a parent outside the dump) untouched. *)
+  let ingest_worker_spans s spans =
+    if Obs.spans_enabled () then begin
+      let evs = List.map Telemetry.span_of_json spans in
+      let local = Hashtbl.create 16 in
+      List.iter
+        (fun ev ->
+          if ev.Obs.Trace.span_id <> "" then
+            Hashtbl.replace local ev.Obs.Trace.span_id ())
+        evs;
+      let tag id =
+        if id = "" then "" else Printf.sprintf "w%d:%s" s id
+      in
+      List.iter
+        (fun ev ->
+          Obs.Trace.record
+            {
+              ev with
+              Obs.Trace.span_id = tag ev.Obs.Trace.span_id;
+              Obs.Trace.parent_id =
+                (if Hashtbl.mem local ev.Obs.Trace.parent_id then
+                   tag ev.Obs.Trace.parent_id
+                 else ev.Obs.Trace.parent_id);
+              Obs.Trace.attrs =
+                ("shard", string_of_int s) :: ev.Obs.Trace.attrs;
+            })
+        evs
+    end
+
+  (* The envelope the router forwards on every fan-out leg: the bound
+     context's trace id plus the id of the currently open span (the
+     dispatch span), so worker spans hang from it.  Computed on the
+     dispatching thread — fan-out legs run on fresh systhreads that
+     inherit neither the context nor the open-span stack. *)
+  let fan_out_trace ~deadline =
+    match Obs.Ctx.current () with
+    | Some c when Obs.Ctx.trace_id c <> "" ->
+        Some
+          {
+            Protocol.trace_id = Obs.Ctx.trace_id c;
+            parent_span = Obs.Span.current_id ();
+            origin_request = Obs.Ctx.request_id c;
+            origin_session = Obs.Ctx.session_id c;
+            deadline;
+          }
+    | _ -> None
 
   (* Merge the workers' skylines into the router store's artifact; the
      regret matrix is then built locally from the merged skyline by the
@@ -936,24 +1053,40 @@ module Router = struct
       in
       let n = Array.length rt.workers in
       let results =
-        fan_out_workers rt (fun s ->
-            worker_skyline rt rt.workers.(s) ~key ~timeout)
+        Obs.Span.with_ "router.fanout"
+          ~attrs:[ ("workers", string_of_int n) ]
+          (fun () ->
+            let trace = fan_out_trace ~deadline:timeout in
+            let results =
+              fan_out_workers rt (fun s ->
+                  worker_skyline ?trace rt rt.workers.(s) ~key ~timeout)
+            in
+            Array.iteri
+              (fun s r ->
+                match r with
+                | Ok (_, spans) -> ingest_worker_spans s spans
+                | Error _ -> ())
+              results;
+            results)
       in
       Array.iter (function Ok _ -> () | Error e -> raise e) results;
       let parts =
         Array.mapi
           (fun s r ->
             match r with
-            | Ok local -> Array.map (fun l -> s + (l * n)) local
+            | Ok (local, _) -> Array.map (fun l -> s + (l * n)) local
             | Error _ -> assert false)
           results
       in
       Obs.Counter.incr Metrics.skyline_merges;
-      let merged =
-        Skyline.merge_partitions ?domains:rt.domains (Store.pinned_rows h)
-          parts
-      in
-      ignore (Store.preload_skyline rt.rt_store h merged : bool)
+      Obs.Span.with_ "router.certified_merge"
+        ~attrs:[ ("shards", string_of_int n) ]
+        (fun () ->
+          let merged =
+            Skyline.merge_partitions ?domains:rt.domains (Store.pinned_rows h)
+              parts
+          in
+          ignore (Store.preload_skyline rt.rt_store h merged : bool))
     end
 
   (* One query against a pinned handle, fanning out for the HD
@@ -965,7 +1098,9 @@ module Router = struct
     | Protocol.Hd_rrms | Protocol.Hd_greedy -> (
         let guard = budget_of q in
         match ensure_artifacts rt h q ~guard with
-        | () -> Store.query_pinned rt.rt_store h (remaining_query ~guard q)
+        | () ->
+            tag_merge "certified"
+              (Store.query_pinned rt.rt_store h (remaining_query ~guard q))
         | exception Deadline -> Error `Deadline_exceeded
         | exception Worker_error (_, "deadline_exceeded", _) ->
             Error `Deadline_exceeded
@@ -979,7 +1114,7 @@ module Router = struct
             raise
               (Protocol.Shard_failure
                  (Printf.sprintf "worker %s unreachable: %s" p msg)))
-    | _ -> Store.query_pinned rt.rt_store h q
+    | _ -> tag_merge "gather" (Store.query_pinned rt.rt_store h q)
 
   let register_dataset rt ~key ~path ~name ~normalize ~lenient =
     let count = Array.length rt.workers in
@@ -1010,6 +1145,153 @@ module Router = struct
         );
       ]
 
+  (* ----------------------- cluster aggregation -------------------- *)
+
+  let metrics_request =
+    Json.to_string
+      (Json.Obj
+         [ ("req", Json.Str "metrics"); ("id", Json.Str "router-metrics") ])
+
+  let worker_metrics w =
+    with_lock w.w_lock (fun () ->
+        let attempt () =
+          ensure_conn w;
+          rpc_once w metrics_request
+        in
+        try attempt ()
+        with Worker_down _ ->
+          Obs.Counter.incr Metrics.worker_redials;
+          disconnect w;
+          attempt ())
+
+  (* Fraction of a process's requests answered from its result cache,
+     read off its raw latency export. *)
+  let hit_rate raw =
+    match Json.member "histograms" raw with
+    | Some (Json.Arr rows) ->
+        let tot = ref 0 and hits = ref 0 in
+        List.iter
+          (fun r ->
+            let c =
+              match Json.member "count" r with
+              | Some x -> Option.value ~default:0 (Json.int_ x)
+              | None -> 0
+            in
+            tot := !tot + c;
+            match Json.member "cache" r with
+            | Some (Json.Str "hit") -> hits := !hits + c
+            | _ -> ())
+          rows;
+        if !tot = 0 then 0. else float_of_int !hits /. float_of_int !tot
+    | _ -> 0.
+
+  (* The cluster view [stats] carries when answered by a router: fan
+     the [metrics] op out to every worker, sum the counters (only the
+     [_total] families — gauges and timers don't sum meaningfully),
+     merge the raw latency histograms into cluster-wide quantiles, and
+     summarize skew (per-shard busy time spread, accumulated fan-out
+     straggler gap).  An unreachable worker degrades to a
+     [connected: false] row — never a failed [stats]. *)
+  let cluster_stats rt =
+    let replies =
+      Array.map
+        (function Ok v -> v | Error _ -> None)
+        (fan_out_workers rt (fun s ->
+             match worker_metrics rt.workers.(s) with
+             | j -> Some j
+             | exception _ -> None))
+    in
+    let counter_sums : (string, float) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    let is_total name =
+      let n = String.length name in
+      n > 6 && String.sub name (n - 6) 6 = "_total"
+    in
+    let add_counters kvs =
+      List.iter
+        (fun (name, v) ->
+          if is_total name then
+            match Hashtbl.find_opt counter_sums name with
+            | Some prev -> Hashtbl.replace counter_sums name (prev +. v)
+            | None ->
+                Hashtbl.replace counter_sums name v;
+                order := name :: !order)
+        kvs
+    in
+    add_counters (Obs.snapshot ());
+    let worker_counters j =
+      match reply_field j "metrics" with
+      | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) -> match v with Json.Num x -> Some (k, x) | _ -> None)
+            kvs
+      | _ -> []
+    in
+    let busies = ref [] in
+    let labeled = ref [ ("router", Telemetry.export_json rt.telemetry) ] in
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun s reply ->
+             let w = rt.workers.(s) in
+             match reply with
+             | None ->
+                 Json.Obj
+                   [
+                     ("shard", Json.int s);
+                     ("path", Json.Str w.w_path);
+                     ("connected", Json.Bool false);
+                   ]
+             | Some j ->
+                 let kvs = worker_counters j in
+                 add_counters kvs;
+                 let v name =
+                   Option.value ~default:0. (List.assoc_opt name kvs)
+                 in
+                 let raw =
+                   Option.value ~default:(Json.Obj [])
+                     (reply_field j "latency_raw")
+                 in
+                 labeled := (string_of_int s, raw) :: !labeled;
+                 let busy = v "rrms_serve_request_seconds" in
+                 busies := busy :: !busies;
+                 Json.Obj
+                   [
+                     ("shard", Json.int s);
+                     ("path", Json.Str w.w_path);
+                     ("connected", Json.Bool true);
+                     ("busy_seconds", Json.float busy);
+                     ("requests", Json.float (v "rrms_serve_requests_total"));
+                     ("errors", Json.float (v "rrms_serve_errors_total"));
+                     ("hit_rate", Json.float (hit_rate raw));
+                   ])
+           replies)
+    in
+    let live = List.length !busies in
+    let busy_max = List.fold_left Float.max 0. !busies in
+    let busy_min =
+      if !busies = [] then 0. else List.fold_left Float.min infinity !busies
+    in
+    Json.Obj
+      [
+        ("processes", Json.int (1 + live));
+        ("workers", Json.Arr rows);
+        ( "counters",
+          Json.Obj
+            (List.map
+               (fun name -> (name, Json.float (Hashtbl.find counter_sums name)))
+               (List.sort compare !order)) );
+        ("latency", Telemetry.merge_exports (List.rev !labeled));
+        ( "skew",
+          Json.Obj
+            [
+              ("busy_max_seconds", Json.float busy_max);
+              ("busy_min_seconds", Json.float busy_min);
+              ( "straggler_gap_seconds",
+                Json.float (Obs.Floatc.value Metrics.straggler_gap) );
+            ] );
+      ]
+
   (* The router's protocol handler: [load], [query] and [batch] get the
      fan-out treatment; everything else — stats, skyline, evict, ping,
      shutdown, malformed lines — delegates to an ordinary store-backed
@@ -1024,11 +1306,29 @@ module Router = struct
     let reqno = ref 0 in
     let shards = Array.length rt.workers in
     let on_line line =
-      let { Protocol.id; req } = Protocol.parse_request line in
+      let { Protocol.id; req; trace } = Protocol.parse_request line in
       let t0 = Unix.gettimeofday () in
       let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
       let error code message =
         `Reply (Protocol.error_response ~id ~code ~message)
+      in
+      (* The router is a trace origin as well as a propagator: a client
+         envelope is forwarded as-is; with none, global tracing (Full)
+         mints one per request, so every routed query yields a merged
+         cross-process trace. *)
+      let traced request_id =
+        match trace with
+        | Some _ -> trace
+        | None when Obs.spans_enabled () ->
+            Some
+              {
+                Protocol.trace_id = "t-" ^ request_id;
+                parent_span = "";
+                origin_request = request_id;
+                origin_session = session_id;
+                deadline = None;
+              }
+        | None -> None
       in
       match req with
       | Ok (Protocol.Load { path; name; normalize; lenient; shard = _ }) -> (
@@ -1055,8 +1355,9 @@ module Router = struct
             | None -> q.Protocol.dataset
           in
           match
-            Server.run_query ~telemetry:rt.telemetry ~session_id ~request_id
-              ~dataset_key ~shards ~elapsed_ms q (fun () ->
+            Server.run_query ?trace:(traced request_id) ~telemetry:rt.telemetry
+              ~session_id ~request_id ~dataset_key ~shards ~elapsed_ms q
+              (fun () ->
                 match Store.pin rt.rt_store q.Protocol.dataset with
                 | None -> Error `Unknown_dataset
                 | Some h ->
@@ -1064,10 +1365,10 @@ module Router = struct
                       ~finally:(fun () -> Store.unpin rt.rt_store h)
                       (run_item rt h q))
           with
-          | Ok (result, cached) ->
+          | Ok (result, cached, cost) ->
               `Reply
-                (Protocol.ok_response ~id ~cached ~elapsed_ms:(elapsed_ms ())
-                   result)
+                (Protocol.ok_response ?cost ~id ~cached
+                   ~elapsed_ms:(elapsed_ms ()) result)
           | Error (code, message) -> error code message)
       | Ok (Protocol.Batch { dataset; items }) -> (
           incr reqno;
@@ -1095,21 +1396,26 @@ module Router = struct
                                let item_ms () =
                                  (Unix.gettimeofday () -. t0i) *. 1000.
                                in
+                               let item_id =
+                                 Printf.sprintf "%s.%d" base_id i
+                               in
                                match
-                                 Server.run_query ~telemetry:rt.telemetry
-                                   ~session_id
-                                   ~request_id:
-                                     (Printf.sprintf "%s.%d" base_id i)
-                                   ~dataset_key:key ~shards ~elapsed_ms:item_ms
-                                   q (run_item rt h q)
+                                 Server.run_query ?trace:(traced item_id)
+                                   ~telemetry:rt.telemetry ~session_id
+                                   ~request_id:item_id ~dataset_key:key ~shards
+                                   ~elapsed_ms:item_ms q (run_item rt h q)
                                with
-                               | Ok (result, cached) ->
+                               | Ok (result, cached, cost) ->
                                    Json.Obj
-                                     [
-                                       ("ok", Json.Bool true);
-                                       ("cached", Json.Bool cached);
-                                       ("result", result);
-                                     ]
+                                     ([
+                                        ("ok", Json.Bool true);
+                                        ("cached", Json.Bool cached);
+                                        ("result", result);
+                                      ]
+                                     @
+                                     match cost with
+                                     | Some c -> [ ("cost", c) ]
+                                     | None -> [])
                                | Error (code, message) ->
                                    item_error code message))
                          items)
@@ -1152,6 +1458,7 @@ module Router = struct
                                       rt.workers)) );
                           ]
                       in
+                      let cluster = cluster_stats rt in
                       `Reply
                         (Json.to_string
                            (Json.Obj
@@ -1160,7 +1467,11 @@ module Router = struct
                                    if k = "result" then
                                      ( k,
                                        Json.Obj
-                                         (fields @ [ ("router", router) ]) )
+                                         (fields
+                                         @ [
+                                             ("router", router);
+                                             ("cluster", cluster);
+                                           ]) )
                                    else (k, v))
                                  top)))
                   | _ -> reply)
@@ -1176,7 +1487,8 @@ module Router = struct
              rrms-serve instance without --router)"
       | Ok (Protocol.Skyline _)
       | Ok (Protocol.Evict _)
-      | Ok Protocol.Ping | Ok Protocol.Shutdown | Error _ ->
+      | Ok Protocol.Metrics | Ok Protocol.Ping | Ok Protocol.Shutdown
+      | Error _ ->
           inner.Server.on_line line
     in
     { Server.on_line; on_close = (fun () -> inner.Server.on_close ()) }

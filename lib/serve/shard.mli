@@ -56,6 +56,11 @@ module Metrics : sig
   val stale_fallbacks : Rrms_obs.Obs.Counter.t
   (** Queries that raced a mutation's re-partition and were answered by
       the coordinator alone — still exact (non-deterministic). *)
+
+  val straggler_gap : Rrms_obs.Obs.Floatc.t
+  (** Accumulated (slowest − fastest) leg wall-time over router
+      fan-outs — the skew signal [stats] reports per cluster
+      (non-deterministic). *)
 end
 
 val partition : shards:int -> int -> int array array

@@ -817,7 +817,18 @@ let solve_query t e ~guard (q : Protocol.query) =
              ("gamma_used", Json.int res.Hd_rrms.gamma_used);
            ]
           @ quality_fields quality),
-        Guard.is_exact quality )
+        Guard.is_exact quality,
+        [
+          ("s", Json.int (Array.length sky));
+          ("gamma_used", Json.int gamma_used);
+          ( "cells",
+            Json.int (Regret_matrix.rows matrix * Regret_matrix.cols matrix) );
+          ("probes", Json.int res.Hd_rrms.cost.Hd_rrms.probes);
+          ("probes_fresh", Json.int res.Hd_rrms.cost.Hd_rrms.probes_fresh);
+          ("probes_cached", Json.int res.Hd_rrms.cost.Hd_rrms.probes_cached);
+          ("probe_state", Json.Str (if pooled = None then "fresh" else "pooled"));
+          ("theorem4_bound", Json.float res.Hd_rrms.guarantee);
+        ] )
   | Protocol.Hd_greedy ->
       let sky, matrix, gamma_used, shrink =
         with_lock e.e_lock (fun () ->
@@ -844,7 +855,14 @@ let solve_query t e ~guard (q : Protocol.query) =
              ("gamma_used", Json.int res.Hd_greedy.gamma_used);
            ]
           @ quality_fields quality),
-        Guard.is_exact quality )
+        Guard.is_exact quality,
+        [
+          ("s", Json.int (Array.length sky));
+          ("gamma_used", Json.int gamma_used);
+          ( "cells",
+            Json.int (Regret_matrix.rows matrix * Regret_matrix.cols matrix) );
+          ("steps", Json.int res.Hd_greedy.steps);
+        ] )
   | Protocol.A2d | Protocol.A2d_exact ->
       (* ctx and rows from one lock hold: a mutation replaces [e.rows]
          wholesale, so the pair must come from the same generation. *)
@@ -863,7 +881,8 @@ let solve_query t e ~guard (q : Protocol.query) =
             ("dp_value", Json.float res.Rrms2d.dp_value);
             ("regret", Json.float res.Rrms2d.regret);
           ],
-        true )
+        true,
+        [] )
   | Protocol.Sweepline ->
       let rows = with_lock e.e_lock (fun () -> e.rows) in
       let res = Sweepline.solve rows ~r:q.r in
@@ -875,7 +894,8 @@ let solve_query t e ~guard (q : Protocol.query) =
             ("dp_value", Json.float res.Sweepline.dp_value);
             ("regret", Json.float res.Sweepline.regret);
           ],
-        true )
+        true,
+        [] )
   | Protocol.Greedy ->
       let rows = with_lock e.e_lock (fun () -> e.rows) in
       let res = Greedy.solve ~guard rows ~r:q.r in
@@ -888,7 +908,8 @@ let solve_query t e ~guard (q : Protocol.query) =
              ("skipped_lps", Json.int res.Greedy.skipped_lps);
            ]
           @ quality_fields res.Greedy.quality),
-        Guard.is_exact res.Greedy.quality )
+        Guard.is_exact res.Greedy.quality,
+        [ ("skipped_lps", Json.int res.Greedy.skipped_lps) ] )
   | Protocol.Cube ->
       let rows = with_lock e.e_lock (fun () -> e.rows) in
       let res = Cube.solve rows ~r:q.r in
@@ -899,9 +920,19 @@ let solve_query t e ~guard (q : Protocol.query) =
             ("size", Json.int (Array.length res.Cube.selected));
             ("t_parameter", Json.int res.Cube.t_parameter);
           ],
-        true )
+        true,
+        [] )
 
-type outcome = { result : Json.t; cached : bool }
+(* [cost] is the answer's provenance record (docs/OBSERVABILITY.md,
+   "Cost provenance"): ordered fields ready to be wrapped in an object.
+   It lives OUTSIDE [result] — the cached, byte-compared member — so
+   provenance can vary (cache hit vs. fresh solve, shard merge path)
+   without perturbing the answer bytes. *)
+type outcome = {
+  result : Json.t;
+  cached : bool;
+  cost : (string * Json.t) list;
+}
 
 let set_draining t = Atomic.set t.draining true
 let draining t = Atomic.get t.draining
@@ -929,7 +960,7 @@ let query_pinned t (e : handle) (q : Protocol.query) =
       match hit with
       | Some result ->
           Obs.Counter.incr Metrics.result_hits;
-          Ok { result; cached = true }
+          Ok { result; cached = true; cost = [ ("source", Json.Str "cache") ] }
       | None -> (
           (* Memory miss: the previous process may have left this exact
              answer on disk.  A rehydrated result joins the memory cache
@@ -948,7 +979,12 @@ let query_pinned t (e : handle) (q : Protocol.query) =
               with_lock e.e_lock (fun () ->
                   if e.generation = gen0 && not (Hashtbl.mem e.results ckey)
                   then Hashtbl.add e.results ckey result);
-              Ok { result; cached = true }
+              Ok
+                {
+                  result;
+                  cached = true;
+                  cost = [ ("source", Json.Str "persist") ];
+                }
           | None ->
               if q.use_cache then Obs.Counter.incr Metrics.result_misses;
               if draining t then begin
@@ -969,7 +1005,7 @@ let query_pinned t (e : handle) (q : Protocol.query) =
                 | Ok `Deadline ->
                     Obs.Counter.incr Metrics.deadline_exceeded;
                     Error `Deadline_exceeded
-                | Ok (`Solved (result, cacheable)) ->
+                | Ok (`Solved (result, cacheable, cost)) ->
                     (* Only Exact answers are cached: a budget-degraded
                        result depends on its budget, so serving it to a
                        later (maybe unbudgeted) request would break the
@@ -997,7 +1033,12 @@ let query_pinned t (e : handle) (q : Protocol.query) =
                               result)
                           t.persist
                     end;
-                    Ok { result; cached = false })))
+                    Ok
+                      {
+                        result;
+                        cached = false;
+                        cost = ("source", Json.Str "solve") :: cost;
+                      })))
 
 let query t (q : Protocol.query) =
   match pin t q.dataset with

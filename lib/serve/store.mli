@@ -160,6 +160,14 @@ val release : t -> string -> release
 type outcome = {
   result : Json.t;  (** the deterministic [result] member *)
   cached : bool;  (** answered from the result cache *)
+  cost : (string * Json.t) list;
+      (** the answer's cost-provenance fields (docs/OBSERVABILITY.md,
+          "Cost provenance"): [source] (["cache"] / ["persist"] /
+          ["solve"]) plus, for a fresh HD solve, the paper's cost-model
+          quantities — skyline size [s], [gamma_used], matrix [cells],
+          fresh vs. cache-answered [probes], the [theorem4_bound].
+          Ordered fields ready for [Json.Obj]; always outside [result],
+          so the answer bytes never depend on provenance. *)
 }
 
 val query :

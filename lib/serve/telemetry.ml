@@ -70,6 +70,7 @@ type request = {
   probes : float;
   cells : float;
   shards : int;  (** fan-out width; [0] for an unsharded store *)
+  merge : string;  (** answer's merge path; [""] for an unsharded answer *)
 }
 
 let hist_for t k =
@@ -82,16 +83,55 @@ let hist_for t k =
 
 let span_json (ev : Obs.Trace.event) =
   Json.Obj
-    [
-      ("name", Json.Str ev.Obs.Trace.name);
-      ("domain", Json.int ev.Obs.Trace.domain);
-      ("depth", Json.int ev.Obs.Trace.depth);
-      ("start", Json.float ev.Obs.Trace.start);
-      ("dur", Json.float ev.Obs.Trace.dur);
-      ( "attrs",
-        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ev.Obs.Trace.attrs)
-      );
-    ]
+    ([
+       ("name", Json.Str ev.Obs.Trace.name);
+       ("domain", Json.int ev.Obs.Trace.domain);
+       ("depth", Json.int ev.Obs.Trace.depth);
+       ("start", Json.float ev.Obs.Trace.start);
+       ("dur", Json.float ev.Obs.Trace.dur);
+     ]
+    @ (let opt key v =
+         if v = "" then [] else [ (key, Json.Str v) ]
+       in
+       opt "span_id" ev.Obs.Trace.span_id
+       @ opt "parent_id" ev.Obs.Trace.parent_id
+       @ opt "trace_id" ev.Obs.Trace.trace_id)
+    @ [
+        ( "attrs",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Json.Str v)) ev.Obs.Trace.attrs) );
+      ])
+
+(* Inverse of [span_json], for the router splicing worker span dumps
+   into its merged trace.  Missing fields default (empty / zero) — a
+   malformed span never fails the merge, it just carries less. *)
+let span_of_json j =
+  let str f = match Json.member f j with Some (Json.Str s) -> s | _ -> "" in
+  let int f =
+    match Json.member f j with
+    | Some x -> Option.value ~default:0 (Json.int_ x)
+    | None -> 0
+  in
+  let num f = match Json.member f j with Some (Json.Num v) -> v | _ -> 0. in
+  let attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> match v with Json.Str s -> Some (k, s) | _ -> None)
+          kvs
+    | _ -> []
+  in
+  {
+    Obs.Trace.name = str "name";
+    domain = int "domain";
+    depth = int "depth";
+    start = num "start";
+    dur = num "dur";
+    attrs;
+    span_id = str "span_id";
+    parent_id = str "parent_id";
+    trace_id = str "trace_id";
+  }
 
 let request_fields r =
   [
@@ -108,6 +148,7 @@ let request_fields r =
     | Some c -> [ ("error_code", Json.Str c) ]
     | None -> [])
   @ (if r.shards > 0 then [ ("shards", Json.int r.shards) ] else [])
+  @ (if r.merge <> "" then [ ("merge", Json.Str r.merge) ] else [])
   @ [
       ("queue_wait_ms", Json.float r.queue_wait_ms);
       ("elapsed_ms", Json.float r.elapsed_ms);
@@ -190,3 +231,120 @@ let to_json t =
     match t.access_path with
     | Some p -> [ ("access_log", Json.Str p) ]
     | None -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Raw (mergeable) export and the cluster merge — the two halves of the
+   wire [metrics] op.  Export carries seconds and raw bucket counts, so
+   a router merging N worker exports gets exactly the histogram a
+   single process observing the union would hold. *)
+
+let sorted_entries t =
+  Mutex.lock t.mutex;
+  let entries = Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [] in
+  Mutex.unlock t.mutex;
+  List.sort
+    (fun ((a : key), _) (b, _) ->
+      compare
+        (a.k_algo, a.k_cache, a.k_status)
+        (b.k_algo, b.k_cache, b.k_status))
+    entries
+
+let key_fields k =
+  [
+    ("algo", Json.Str k.k_algo);
+    ("cache", Json.Str k.k_cache);
+    ("status", Json.Str k.k_status);
+  ]
+
+let export_json t =
+  Json.Obj
+    [
+      ( "histograms",
+        Json.Arr
+          (List.map
+             (fun (k, h) ->
+               Json.Obj
+                 (key_fields k
+                 @ [
+                     ("count", Json.int (Obs.Hist.count h));
+                     ("sum", Json.float (Obs.Hist.sum h));
+                     ("max", Json.float (Obs.Hist.max_value h));
+                     ( "buckets",
+                       Json.Arr
+                         (Array.to_list
+                            (Array.map Json.int (Obs.Hist.buckets h))) );
+                   ]))
+             (sorted_entries t)) );
+    ]
+
+let hist_of_export j =
+  let str f = match Json.member f j with Some (Json.Str s) -> s | _ -> "" in
+  let int f =
+    match Json.member f j with
+    | Some x -> Option.value ~default:0 (Json.int_ x)
+    | None -> 0
+  in
+  let num f =
+    match Json.member f j with Some (Json.Num v) -> v | _ -> 0.
+  in
+  let buckets =
+    match Json.member "buckets" j with
+    | Some (Json.Arr l) ->
+        Array.of_list
+          (List.map (fun x -> Option.value ~default:0 (Json.int_ x)) l)
+    | _ -> [||]
+  in
+  ( { k_algo = str "algo"; k_cache = str "cache"; k_status = str "status" },
+    Obs.Hist.import ~count:(int "count") ~sum:(num "sum")
+      ~max_value:(num "max") ~buckets )
+
+let summary_row ~shard k h =
+  Json.Obj
+    (("shard", Json.Str shard)
+    :: key_fields k
+    @ [
+        ("count", Json.int (Obs.Hist.count h));
+        ("p50_ms", Json.float (quantile_ms h 0.5));
+        ("p95_ms", Json.float (quantile_ms h 0.95));
+        ("p99_ms", Json.float (quantile_ms h 0.99));
+        ("max_ms", Json.float (1000. *. Obs.Hist.max_value h));
+        ("sum_ms", Json.float (1000. *. Obs.Hist.sum h));
+      ])
+
+(* Merge per-process exports into the cluster latency view: one
+   ["all"]-labelled row per key (histograms merged across processes,
+   quantiles recomputed — identical to a single process observing the
+   union), followed by the per-process rows under their shard labels,
+   in the given order. *)
+let merge_exports labeled =
+  let parse (label, j) =
+    match Json.member "histograms" j with
+    | Some (Json.Arr rows) -> List.map (fun r -> (label, hist_of_export r)) rows
+    | _ -> []
+  in
+  let per_shard = List.concat_map parse labeled in
+  let merged : (key, Obs.Hist.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (_, (k, h)) ->
+      match Hashtbl.find_opt merged k with
+      | Some prev -> Hashtbl.replace merged k (Obs.Hist.merge prev h)
+      | None ->
+          Hashtbl.replace merged k h;
+          order := k :: !order)
+    per_shard;
+  let keys =
+    List.sort
+      (fun (a : key) b ->
+        compare
+          (a.k_algo, a.k_cache, a.k_status)
+          (b.k_algo, b.k_cache, b.k_status))
+      (List.rev !order)
+  in
+  let all_rows =
+    List.map (fun k -> summary_row ~shard:"all" k (Hashtbl.find merged k)) keys
+  in
+  let shard_rows =
+    List.map (fun (label, (k, h)) -> summary_row ~shard:label k h) per_shard
+  in
+  Json.Obj [ ("histograms", Json.Arr (all_rows @ shard_rows)) ]

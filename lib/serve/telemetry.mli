@@ -57,13 +57,42 @@ type request = {
       (** fan-out width of the answering path: [0] for an unsharded
           store (the field is then omitted from access-log lines, so
           pre-shard log consumers see unchanged records) *)
+  merge : string;
+      (** the answer's merge path — ["certified"] / ["union"] /
+          ["gather"] for sharded answers, [""] otherwise (omitted from
+          access-log lines) *)
 }
 
 val record : t -> request -> spans:Rrms_obs.Obs.Trace.event list -> unit
 (** Observe the request in its histogram, append the access-log line,
     and emit a slow-query record when the threshold says so. *)
 
+val span_json : Rrms_obs.Obs.Trace.event -> Json.t
+(** One captured span as JSON — name, domain, depth, start, dur, the
+    span/parent/trace ids when the span was minted under a traced
+    context, and its attrs.  The shape shared by slow-query records,
+    shard-worker span dumps and the router's merged trace. *)
+
+val span_of_json : Json.t -> Rrms_obs.Obs.Trace.event
+(** Inverse of {!span_json} — the router parses worker span dumps back
+    into events to splice them into its merged trace.  Missing fields
+    default to empty/zero; never raises on a malformed span. *)
+
 val to_json : t -> Json.t
 (** [{"histograms": [{algo, cache, status, count, p50_ms, p95_ms,
     p99_ms, max_ms, sum_ms}], "access_log_lines": n, "slow_queries":
     n, "access_log"?: path}] — histogram entries sorted by key. *)
+
+val export_json : t -> Json.t
+(** Raw, mergeable histogram export — the per-process half of the wire
+    [metrics] op: [{"histograms": [{algo, cache, status, count, sum,
+    max, buckets}]}] with durations in seconds and raw bucket counts,
+    so merging across processes is exact. *)
+
+val merge_exports : (string * Json.t) list -> Json.t
+(** Merge per-process {!export_json} values (labelled by shard — the
+    router uses ["router"], ["0"], ["1"], …) into the cluster latency
+    view: one ["all"]-labelled quantile row per key with histograms
+    merged across processes ({!Rrms_obs.Obs.Hist.merge} is associative,
+    so this equals a single process observing the union), followed by
+    the per-process rows under their own labels. *)

@@ -61,7 +61,7 @@ let must_mutate label = function
   | Error _ -> Alcotest.fail (label ^ ": mutation unexpectedly refused")
 
 let answer_of label = function
-  | Ok { Store.result; cached } -> (Json.to_string result, cached)
+  | Ok { Store.result; cached; _ } -> (Json.to_string result, cached)
   | Error _ -> Alcotest.fail (label ^ ": query unexpectedly refused")
 
 (* ------------------------------------------------------------------ *)

@@ -434,6 +434,174 @@ let test_trace_drop_accounting () =
           Alcotest.(check int) "clear resets the drop count" 0
             (Obs.Trace.dropped ())))
 
+(* ------------------------------------------------------------------ *)
+(* Distributed span identity                                           *)
+
+(* A traced context assigns hierarchical span ids: every captured span
+   carries the context's trace id, exactly one span is the root, and
+   every other span reaches the root over parent edges. *)
+let test_span_ids_single_root_reachable () =
+  with_level Obs.Counters (fun () ->
+      let ctx =
+        Obs.Ctx.create ~request_id:"rq-1" ~session_id:"s" ~capture_spans:true
+          ~trace_id:"t-alpha" ()
+      in
+      Obs.Ctx.with_ctx ctx (fun () ->
+          Obs.Span.with_ "outer" (fun () ->
+              Obs.Span.with_ "mid" (fun () ->
+                  Obs.Span.with_ "leaf_a" (fun () -> ()));
+              Obs.Span.with_ "leaf_b" (fun () -> ())));
+      let spans = Obs.Ctx.spans ctx in
+      Alcotest.(check int) "four spans captured" 4 (List.length spans);
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          Alcotest.(check string) "trace id stamped" "t-alpha" e.trace_id;
+          Alcotest.(check bool) "span id minted" true (e.span_id <> ""))
+        spans;
+      let ids =
+        List.map (fun (e : Obs.Trace.event) -> e.span_id) spans
+      in
+      Alcotest.(check int) "span ids unique" (List.length ids)
+        (List.length (List.sort_uniq compare ids));
+      let roots =
+        List.filter (fun (e : Obs.Trace.event) -> e.parent_id = "") spans
+      in
+      Alcotest.(check int) "exactly one root" 1 (List.length roots);
+      let root = List.hd roots in
+      let parent_of id =
+        List.find_opt (fun (e : Obs.Trace.event) -> e.span_id = id) spans
+      in
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          let rec climb (e : Obs.Trace.event) hops =
+            Alcotest.(check bool) "no parent cycle" true (hops < 10);
+            if e.span_id = root.Obs.Trace.span_id then ()
+            else
+              match parent_of e.parent_id with
+              | Some p -> climb p (hops + 1)
+              | None ->
+                  Alcotest.failf "span %s has dangling parent %s" e.span_id
+                    e.parent_id
+          in
+          climb e 0)
+        spans)
+
+(* An untraced context mints no identity: span events keep empty ids,
+   so the JSON encoding (and any byte-compared output) is unchanged. *)
+let test_span_ids_absent_untraced () =
+  with_level Obs.Counters (fun () ->
+      let ctx =
+        Obs.Ctx.create ~request_id:"rq-2" ~session_id:"s" ~capture_spans:true ()
+      in
+      Obs.Ctx.with_ctx ctx (fun () ->
+          Obs.Span.with_ "outer" (fun () ->
+              Obs.Span.with_ "inner" (fun () -> ())));
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          Alcotest.(check string) "no span id" "" e.span_id;
+          Alcotest.(check string) "no parent id" "" e.parent_id;
+          Alcotest.(check string) "no trace id" "" e.trace_id)
+        (Obs.Ctx.spans ctx))
+
+(* The cross-process edge: a context created with [parent_span] (the
+   wire envelope's [parent]) hangs its root from that foreign id, and
+   [Span.current_id] exposes the innermost open span for the next hop's
+   envelope. *)
+let test_span_ids_cross_process_edge () =
+  with_level Obs.Counters (fun () ->
+      Alcotest.(check string) "current_id empty outside spans" ""
+        (Obs.Span.current_id ());
+      let ctx =
+        Obs.Ctx.create ~request_id:"rq-3" ~session_id:"s" ~capture_spans:true
+          ~trace_id:"t-beta" ~parent_span:"router-span.7" ()
+      in
+      let inner_id = ref "" in
+      Obs.Ctx.with_ctx ctx (fun () ->
+          Obs.Span.with_ "worker.solve" (fun () ->
+              inner_id := Obs.Span.current_id ()));
+      Alcotest.(check bool) "current_id non-empty inside traced span" true
+        (!inner_id <> "");
+      Alcotest.(check string) "current_id closed again" ""
+        (Obs.Span.current_id ());
+      match Obs.Ctx.spans ctx with
+      | [ e ] ->
+          Alcotest.(check string) "root hangs from the wire parent"
+            "router-span.7" e.Obs.Trace.parent_id;
+          Alcotest.(check string) "current_id was the span's own id"
+            e.Obs.Trace.span_id !inner_id
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+(* span_json / span_of_json round-trip — the wire form of a worker span
+   dump must reconstruct the event the router splices into its merged
+   trace. *)
+let test_span_json_roundtrip () =
+  let module Telemetry = Rrms_serve.Telemetry in
+  let e =
+    {
+      Obs.Trace.name = "serve.skyline";
+      domain = 2;
+      depth = 1;
+      start = 0.125;
+      dur = 0.0625;
+      attrs = [ ("dataset", "k1"); ("request_id", "rq") ];
+      span_id = "rq.3";
+      parent_id = "rq.1";
+      trace_id = "t-gamma";
+    }
+  in
+  let e' = Telemetry.span_of_json (Telemetry.span_json e) in
+  Alcotest.(check string) "name" e.Obs.Trace.name e'.Obs.Trace.name;
+  Alcotest.(check int) "domain" e.Obs.Trace.domain e'.Obs.Trace.domain;
+  Alcotest.(check int) "depth" e.Obs.Trace.depth e'.Obs.Trace.depth;
+  Alcotest.(check (float 0.)) "start" e.Obs.Trace.start e'.Obs.Trace.start;
+  Alcotest.(check (float 0.)) "dur" e.Obs.Trace.dur e'.Obs.Trace.dur;
+  Alcotest.(check (list (pair string string))) "attrs" e.Obs.Trace.attrs
+    e'.Obs.Trace.attrs;
+  Alcotest.(check string) "span_id" e.Obs.Trace.span_id e'.Obs.Trace.span_id;
+  Alcotest.(check string) "parent_id" e.Obs.Trace.parent_id
+    e'.Obs.Trace.parent_id;
+  Alcotest.(check string) "trace_id" e.Obs.Trace.trace_id
+    e'.Obs.Trace.trace_id;
+  (* Untraced events omit the ids on the wire and come back empty. *)
+  let plain = { e with Obs.Trace.span_id = ""; parent_id = ""; trace_id = "" } in
+  let plain' = Telemetry.span_of_json (Telemetry.span_json plain) in
+  Alcotest.(check string) "empty span_id survives" "" plain'.Obs.Trace.span_id;
+  Alcotest.(check string) "empty trace_id survives" "" plain'.Obs.Trace.trace_id
+
+(* Hist raw export → import round-trip: the wire [metrics] op ships
+   count/sum/max/buckets; the rebuilt histogram must merge and answer
+   quantiles exactly like the original. *)
+let test_hist_import_roundtrip () =
+  let b = Obs.Hist.bounds in
+  let h = Obs.Hist.create () in
+  List.iter
+    (fun (v, times) -> for _ = 1 to times do Obs.Hist.observe h v done)
+    [ (b.(4), 12); (b.(13), 6); (b.(33), 2); (5000., 1) ];
+  let h' =
+    Obs.Hist.import ~count:(Obs.Hist.count h) ~sum:(Obs.Hist.sum h)
+      ~max_value:(Obs.Hist.max_value h) ~buckets:(Obs.Hist.buckets h)
+  in
+  Alcotest.(check int) "count" (Obs.Hist.count h) (Obs.Hist.count h');
+  Alcotest.(check (float 0.)) "sum" (Obs.Hist.sum h) (Obs.Hist.sum h');
+  Alcotest.(check (float 0.)) "max" (Obs.Hist.max_value h)
+    (Obs.Hist.max_value h');
+  Alcotest.(check (array int)) "buckets" (Obs.Hist.buckets h)
+    (Obs.Hist.buckets h');
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "quantile %.2f" q)
+        (Obs.Hist.quantile h q) (Obs.Hist.quantile h' q))
+    [ 0.5; 0.95; 0.99; 1. ];
+  (* Merging an imported copy doubles the bucket counts exactly. *)
+  let doubled = Obs.Hist.merge h h' in
+  Alcotest.(check int) "merge of import doubles count"
+    (2 * Obs.Hist.count h)
+    (Obs.Hist.count doubled);
+  (* A short (pre-resize) bucket array zero-pads. *)
+  let short = Obs.Hist.import ~count:3 ~sum:1. ~max_value:0.5 ~buckets:[| 3 |] in
+  Alcotest.(check int) "short import keeps count" 3 (Obs.Hist.count short)
+
 let suite =
   [
     Alcotest.test_case "instrument primitives" `Quick test_counter_primitives;
@@ -459,4 +627,13 @@ let suite =
       test_ctx_disjoint_under_concurrency;
     Alcotest.test_case "trace drop accounting" `Quick
       test_trace_drop_accounting;
+    Alcotest.test_case "span ids: single root, all reachable" `Quick
+      test_span_ids_single_root_reachable;
+    Alcotest.test_case "span ids absent untraced" `Quick
+      test_span_ids_absent_untraced;
+    Alcotest.test_case "span ids: cross-process edge" `Quick
+      test_span_ids_cross_process_edge;
+    Alcotest.test_case "span json roundtrip" `Quick test_span_json_roundtrip;
+    Alcotest.test_case "hist import roundtrip" `Quick
+      test_hist_import_roundtrip;
   ]

@@ -79,11 +79,12 @@ let query ?(algo = Protocol.Hd_rrms) ?(r = 4) ?(gamma = 4) ?timeout ?max_cells
     max_cells;
     max_probes;
     use_cache = cache;
+    explain = false;
   }
 
 let result_string store q =
   match Store.query store q with
-  | Ok { Store.result; cached } -> (Json.to_string result, cached)
+  | Ok { Store.result; cached; _ } -> (Json.to_string result, cached)
   | Error `Unknown_dataset -> Alcotest.fail "unexpected unknown_dataset"
   | Error `Overloaded -> Alcotest.fail "unexpected overloaded"
   | Error `Deadline_exceeded -> Alcotest.fail "unexpected deadline_exceeded"

@@ -60,11 +60,12 @@ let query ?(algo = Protocol.Hd_rrms) ?(r = 4) ?(gamma = 4) ?timeout ?max_cells
     max_cells;
     max_probes;
     use_cache = cache;
+    explain = false;
   }
 
 let result_string store q =
   match Store.query store q with
-  | Ok { Store.result; cached } -> (Json.to_string result, cached)
+  | Ok { Store.result; cached; _ } -> (Json.to_string result, cached)
   | Error `Unknown_dataset -> Alcotest.fail "unexpected unknown_dataset"
   | Error `Overloaded -> Alcotest.fail "unexpected overloaded"
   | Error `Deadline_exceeded -> Alcotest.fail "unexpected deadline_exceeded"
@@ -143,7 +144,7 @@ let test_protocol_parse () =
      Protocol.parse_request
        "{\"id\":7,\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3}"
    with
-  | { Protocol.id = Json.Num 7.; req = Ok (Protocol.Query q) } ->
+  | { Protocol.id = Json.Num 7.; req = Ok (Protocol.Query q); _ } ->
       Alcotest.(check int) "default gamma" 4 q.Protocol.gamma;
       Alcotest.(check bool) "default cache" true q.Protocol.use_cache;
       Alcotest.(check int) "r" 3 q.Protocol.r
@@ -159,7 +160,7 @@ let test_protocol_parse () =
     (req_error "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"cube\",\"r\":0}");
   (* id survives a bad body, for correlation. *)
   (match Protocol.parse_request "{\"id\":\"x\",\"req\":\"nope\"}" with
-  | { Protocol.id = Json.Str "x"; req = Error ("bad_request", _) } -> ()
+  | { Protocol.id = Json.Str "x"; req = Error ("bad_request", _); _ } -> ()
   | _ -> Alcotest.fail "id recovered from bad request");
   (* Budgets never leak into the cache key; γ only for grid algos. *)
   let base = query ~algo:Protocol.Hd_rrms ~r:3 ~gamma:8 "d" in

@@ -196,7 +196,7 @@ let test_certified_bit_identity () =
                       shards domains
                   in
                   match Shard.query sh q with
-                  | Ok { Store.result; cached } ->
+                  | Ok { Store.result; cached; _ } ->
                       Alcotest.(check bool)
                         ("cold not cached: " ^ label)
                         false cached;
@@ -204,7 +204,7 @@ let test_certified_bit_identity () =
                         ("bit-identical: " ^ label)
                         expect (Json.to_string result);
                       (match Shard.query sh q with
-                      | Ok { Store.result = r2; cached = c2 } ->
+                      | Ok { Store.result = r2; cached = c2; _ } ->
                           Alcotest.(check bool)
                             ("warm is a hit: " ^ label)
                             true c2;
@@ -303,7 +303,7 @@ let test_union_bound () =
           let q = query ~algo ~r:3 ~gamma:6 l.Store.key in
           match Shard.query ~merge:Shard.Union sh q with
           | Error _ -> Alcotest.fail "union query failed"
-          | Ok { Store.result; cached } ->
+          | Ok { Store.result; cached; _ } ->
               Alcotest.(check bool) "union answers are never cached" false
                 cached;
               let s = Json.to_string result in
@@ -340,7 +340,7 @@ let test_union_bound () =
               | _ -> Alcotest.fail "repeated union answer must stay uncached");
               (* ... and must not have polluted the exact-result cache *)
               (match Shard.query sh q with
-              | Ok { Store.result = r; cached = false } ->
+              | Ok { Store.result = r; cached = false; _ } ->
                   Alcotest.(check bool) "certified after union is exact" false
                     (contains (Json.to_string r) "\"merge\":\"union\"")
               | _ -> Alcotest.fail "certified query after union failed"))
@@ -817,6 +817,338 @@ let test_router_deadline_propagation () =
                     (tm > 0. && tm <= 7.5)
               | _ -> Alcotest.fail "forwarded request must carry a timeout")))
 
+(* ------------------------------------------------------------------ *)
+(* Cluster tracing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_full f =
+  let prev = Obs.level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_level prev)
+    (fun () ->
+      Obs.set_level Obs.Full;
+      Obs.reset ();
+      f ())
+
+(* Spawn a real worker daemon (a separate OS process — the only honest
+   way to test cross-process trace merging) and block until its socket
+   accepts.  Returns the kill-and-reap closure. *)
+let spawn_worker_process sock =
+  let null_r = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_w = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process Test_serve.serve_exe
+      [| Test_serve.serve_exe; "--socket"; sock |]
+      null_r null_w null_w
+  in
+  Unix.close null_r;
+  Unix.close null_w;
+  let rec wait_ready tries =
+    if tries = 0 then Alcotest.fail ("worker never came up on " ^ sock)
+    else
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> Unix.close fd
+      | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.05;
+          wait_ready (tries - 1)
+  in
+  wait_ready 200;
+  fun () ->
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+     with Unix.Unix_error _ -> ());
+    if Sys.file_exists sock then Sys.remove sock
+
+(* The acceptance scenario: a router over two real worker processes at
+   Full tracing.  One routed query must leave one merged trace in the
+   router's buffer — a single trace id, exactly one root, every span
+   (router admission, both workers' skyline solves, certified merge)
+   reachable from the root over parent edges — while the answer stays
+   byte-identical to a single-process store, with and without the
+   explain cost echo. *)
+let test_router_merged_trace () =
+  with_csv ~n:140 ~m:3 ~seed:37 (fun csv ->
+      let sock_a = temp_socket "tra" and sock_b = temp_socket "trb" in
+      let kill_a = spawn_worker_process sock_a in
+      let kill_b = spawn_worker_process sock_b in
+      with_full (fun () ->
+          let rt = Shard.Router.create ~workers:[ sock_a; sock_b ] () in
+          Fun.protect
+            ~finally:(fun () ->
+              Shard.Router.close rt;
+              kill_a ();
+              kill_b ())
+            (fun () ->
+              let rpc, close = open_session (Shard.Router.handler rt) in
+              Fun.protect ~finally:close (fun () ->
+                  let load =
+                    rpc
+                      (Printf.sprintf
+                         "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv)
+                  in
+                  Alcotest.(check bool) "router load ok" true
+                    (contains load "\"ok\":true");
+                  let q1 =
+                    rpc
+                      "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3,\"gamma\":4}"
+                  in
+                  Alcotest.(check bool) "routed query ok" true
+                    (contains q1 "\"ok\":true");
+                  (* --- the merged trace --- *)
+                  let traced =
+                    List.filter
+                      (fun (e : Obs.Trace.event) -> e.trace_id <> "")
+                      (Obs.Trace.events ())
+                  in
+                  Alcotest.(check bool) "traced spans recorded" true
+                    (List.length traced >= 4);
+                  let tid = (List.hd traced).Obs.Trace.trace_id in
+                  List.iter
+                    (fun (e : Obs.Trace.event) ->
+                      Alcotest.(check string) "single trace id" tid e.trace_id)
+                    traced;
+                  let roots =
+                    List.filter
+                      (fun (e : Obs.Trace.event) -> e.parent_id = "")
+                      traced
+                  in
+                  Alcotest.(check int) "exactly one root" 1 (List.length roots);
+                  (* Globally unique ids: two workers mint under the same
+                     fan-out parent, so this holds only because the router
+                     namespaces ingested dumps per shard. *)
+                  let ids =
+                    List.sort compare
+                      (List.map
+                         (fun (e : Obs.Trace.event) -> e.span_id)
+                         traced)
+                  in
+                  Alcotest.(check int) "merged span ids unique"
+                    (List.length ids)
+                    (List.length (List.sort_uniq compare ids));
+                  let root = List.hd roots in
+                  let find id =
+                    List.find_opt
+                      (fun (e : Obs.Trace.event) -> e.span_id = id)
+                      traced
+                  in
+                  List.iter
+                    (fun (e : Obs.Trace.event) ->
+                      let rec climb (e : Obs.Trace.event) hops =
+                        Alcotest.(check bool) "no parent cycle" true (hops < 20);
+                        if e.span_id = root.Obs.Trace.span_id then ()
+                        else
+                          match find e.parent_id with
+                          | Some p -> climb p (hops + 1)
+                          | None ->
+                              Alcotest.failf
+                                "span %s (%s) dangling parent %s" e.span_id
+                                e.name e.parent_id
+                      in
+                      climb e 0)
+                    traced;
+                  let has_span name shard =
+                    List.exists
+                      (fun (e : Obs.Trace.event) ->
+                        e.name = name
+                        &&
+                        match shard with
+                        | None -> true
+                        | Some s ->
+                            List.assoc_opt "shard" e.attrs
+                            = Some (string_of_int s))
+                      traced
+                  in
+                  Alcotest.(check bool) "router admission span" true
+                    (has_span "serve.query" None);
+                  Alcotest.(check bool) "router fan-out span" true
+                    (has_span "router.fanout" None);
+                  Alcotest.(check bool) "certified merge span" true
+                    (has_span "router.certified_merge" None);
+                  Alcotest.(check bool) "worker 0 solve ingested" true
+                    (has_span "serve.skyline" (Some 0));
+                  Alcotest.(check bool) "worker 1 solve ingested" true
+                    (has_span "serve.skyline" (Some 1));
+                  (* --- bytes: traced, explained, and reference --- *)
+                  let base = Store.create () in
+                  ignore (Store.load base ~name:"d" csv : Store.loaded);
+                  let expect =
+                    fst
+                      (Test_serve.result_string base
+                         (query ~algo:Protocol.Hd_rrms ~r:3 ~gamma:4 "d"))
+                  in
+                  (match Test_serve.member_string "result" q1 with
+                  | Some r ->
+                      Alcotest.(check string)
+                        "traced routed answer = single-process bytes" expect r
+                  | None -> Alcotest.fail "routed query without result");
+                  let q2 =
+                    rpc
+                      "{\"req\":\"query\",\"dataset\":\"d\",\"algo\":\"hd-rrms\",\"r\":3,\"gamma\":4,\"explain\":true}"
+                  in
+                  (match Test_serve.member_string "result" q2 with
+                  | Some r ->
+                      Alcotest.(check string)
+                        "explain leaves result bytes unchanged" expect r
+                  | None -> Alcotest.fail "explain query without result");
+                  Alcotest.(check bool) "cost echo present under explain" true
+                    (contains q2 "\"cost\":");
+                  Alcotest.(check bool) "cost names the merge path" true
+                    (contains q2 "\"merge\":\"certified\"");
+                  Alcotest.(check bool)
+                    "plain response carries no cost member" false
+                    (contains q1 "\"cost\":");
+                  (* --- cluster-aggregated stats --- *)
+                  let st = rpc "{\"req\":\"stats\"}" in
+                  Alcotest.(check bool) "stats has the cluster view" true
+                    (contains st "\"cluster\":");
+                  Alcotest.(check bool) "cluster counts processes" true
+                    (contains st "\"processes\":3");
+                  Alcotest.(check bool) "cluster merges latency rows" true
+                    (contains st "\"shard\":\"all\"");
+                  Alcotest.(check bool) "cluster reports skew" true
+                    (contains st "\"straggler_gap_seconds\":")))))
+
+(* Answers are bit-identical with tracing off (Disabled) and fully on
+   (Full + a traced, span-capturing context) at 1 / 2 / 4 shards. *)
+let test_trace_onoff_bit_identity () =
+  with_csv ~n:180 ~m:3 ~seed:41 (fun csv ->
+      List.iter
+        (fun shards ->
+          let solve level traced =
+            let prev = Obs.level () in
+            Fun.protect
+              ~finally:(fun () ->
+                Obs.reset ();
+                Obs.set_level prev)
+              (fun () ->
+                Obs.set_level level;
+                Obs.reset ();
+                let sh = Shard.create ~shards () in
+                let l = Shard.load sh csv in
+                let q =
+                  query ~algo:Protocol.Hd_rrms ~r:3 ~gamma:4 l.Store.key
+                in
+                let run () =
+                  match Shard.query sh q with
+                  | Ok { Store.result; _ } -> Json.to_string result
+                  | Error _ -> Alcotest.fail "shard query failed"
+                in
+                if traced then
+                  let ctx =
+                    Obs.Ctx.create ~request_id:"rq" ~session_id:"s"
+                      ~capture_spans:true ~trace_id:"t-bits" ()
+                  in
+                  Obs.Ctx.with_ctx ctx run
+                else run ())
+          in
+          let off = solve Obs.Disabled false in
+          let on = solve Obs.Full true in
+          Alcotest.(check string)
+            (Printf.sprintf "bytes identical traced vs untraced, %d shards"
+               shards)
+            off on)
+        [ 1; 2; 4 ])
+
+(* Trace-id propagation: a client envelope rides every fan-out leg of a
+   batch request (stub worker records the forwarded lines), and a
+   mutation binds the envelope's trace id to its [serve.mutate] span. *)
+let test_trace_propagation_batch_mutation () =
+  with_csv ~n:90 ~m:3 ~seed:43 (fun csv ->
+      (* batch → forwarded skyline requests carry the client's id.
+         Counters level (the service default): the parent span id in
+         the envelope is minted by the traced context, no global Full
+         buffer needed. *)
+      with_counters (fun () ->
+      let sock = temp_socket "tprop" in
+      let recorded = ref [] in
+      let rec_lock = Mutex.create () in
+      let on_line line =
+        if contains line "\"req\":\"load\"" then
+          "{\"id\":\"router-load-0\",\"ok\":true,\"result\":{\"key\":\"w0slice\"}}"
+        else begin
+          Mutex.lock rec_lock;
+          recorded := line :: !recorded;
+          Mutex.unlock rec_lock;
+          "{\"id\":\"router-skyline\",\"ok\":false,\"error\":{\"code\":\"deadline_exceeded\",\"message\":\"stub\"}}"
+        end
+      in
+      let kill = scripted_stub sock on_line in
+      let rt = Shard.Router.create ~workers:[ sock ] () in
+      Fun.protect
+        ~finally:(fun () ->
+          Shard.Router.close rt;
+          kill ())
+        (fun () ->
+          let rpc, close = open_session (Shard.Router.handler rt) in
+          Fun.protect ~finally:close (fun () ->
+              let load =
+                rpc
+                  (Printf.sprintf
+                     "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv)
+              in
+              Alcotest.(check bool) "load ok" true
+                (contains load "\"ok\":true");
+              ignore
+                (rpc
+                   "{\"req\":\"batch\",\"dataset\":\"d\",\"trace\":{\"id\":\"t-client\",\"request_id\":\"creq\"},\"items\":[{\"algo\":\"hd-rrms\",\"r\":3},{\"algo\":\"cube\",\"r\":3}]}"
+                  : string);
+              let lines =
+                Mutex.lock rec_lock;
+                let l = !recorded in
+                Mutex.unlock rec_lock;
+                l
+              in
+              Alcotest.(check int) "one fan-out for the batch" 1
+                (List.length lines);
+              let fanned = parse_json (List.hd lines) in
+              match Json.member "trace" fanned with
+              | Some t -> (
+                  (match Json.member "id" t with
+                  | Some (Json.Str "t-client") -> ()
+                  | _ -> Alcotest.fail "client trace id not forwarded");
+                  match Json.member "parent" t with
+                  | Some (Json.Str p) ->
+                      Alcotest.(check bool)
+                        "fan-out carries a parent span id" true (p <> "")
+                  | _ -> Alcotest.fail "forwarded envelope without parent")
+              | None -> Alcotest.fail "fan-out leg lost the trace envelope")));
+      (* mutation → the serve.mutate span carries the envelope's id *)
+      with_full (fun () ->
+          let store = Store.create () in
+          let rpc, close = open_session (Server.store_handler store) in
+          Fun.protect ~finally:close (fun () ->
+              let load =
+                rpc
+                  (Printf.sprintf
+                     "{\"req\":\"load\",\"path\":%S,\"name\":\"d\"}" csv)
+              in
+              Alcotest.(check bool) "load ok" true
+                (contains load "\"ok\":true");
+              let m =
+                rpc
+                  "{\"req\":\"insert\",\"dataset\":\"d\",\"values\":[0.5,0.5,0.5],\"trace\":{\"id\":\"t-mut\"}}"
+              in
+              Alcotest.(check bool) "mutation ok" true
+                (contains m "\"ok\":true");
+              let spans =
+                List.filter
+                  (fun (e : Obs.Trace.event) -> e.name = "serve.mutate")
+                  (Obs.Trace.events ())
+              in
+              Alcotest.(check bool) "mutate span recorded" true (spans <> []);
+              List.iter
+                (fun (e : Obs.Trace.event) ->
+                  Alcotest.(check string)
+                    "mutation routed under the client's trace id" "t-mut"
+                    e.trace_id;
+                  Alcotest.(check bool) "mutate span has an id" true
+                    (e.span_id <> ""))
+                spans)))
+
 (* The binary refuses inconsistent router flags. *)
 let test_router_flag_validation () =
   let dev_null = " >/dev/null 2>&1" in
@@ -851,4 +1183,10 @@ let suite =
       test_router_deadline_propagation;
     Alcotest.test_case "router flag validation" `Quick
       test_router_flag_validation;
+    Alcotest.test_case "router merged trace (real workers)" `Quick
+      test_router_merged_trace;
+    Alcotest.test_case "tracing on/off bit-identity (1/2/4 shards)" `Quick
+      test_trace_onoff_bit_identity;
+    Alcotest.test_case "trace propagation: batch and mutation" `Quick
+      test_trace_propagation_batch_mutation;
   ]
